@@ -1,0 +1,137 @@
+//! **QS — query-optimizer adaptability** (§II's learned-optimizer side).
+//!
+//! Three query SUTs run the same two-phase join workload (a star-schema
+//! profile that shifts its filter placement mid-run):
+//!
+//! * `traditional-optimizer` — DP over histogram estimates, never adapts;
+//! * `learned-cardinality` — same optimizer with a feedback-trained
+//!   estimator (collects true cardinalities, §IV);
+//! * `bandit-steered` — Bao-style ε-greedy choice among plan arms.
+//!
+//! Expected shape: learned systems lag on the first queries of each phase
+//! (exploration / cold estimator), then meet or beat the traditional
+//! optimizer; Jaccard-based workload Φ separates the two phases.
+
+use lsbench_bench::emit;
+use lsbench_core::driver::run_query_workload;
+use lsbench_core::metrics::adaptability::AdaptabilityReport;
+use lsbench_core::metrics::phi::workload_phi;
+use lsbench_core::record::RunRecord;
+use lsbench_core::report::render_adaptability;
+use lsbench_query::generator::JoinQueryGenerator;
+use lsbench_query::table::{Catalog, Table};
+use lsbench_sut::query_sut::{
+    BanditQuerySut, LearnedCardinalitySut, QueryOp, TraditionalQuerySut,
+};
+use lsbench_sut::sut::SystemUnderTest;
+
+const QUERIES_PER_PHASE: usize = 250;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(Table::generate("fact", 30_000, 4, 61));
+    cat.add(Table::generate("dim_small", 100, 2, 62));
+    cat.add(Table::generate("dim_mid", 1_500, 2, 63));
+    cat.add(Table::generate("dim_big", 8_000, 2, 64));
+    cat
+}
+
+fn phases(cat: &Catalog) -> Vec<(String, Vec<QueryOp>)> {
+    // Phase 1: narrow filters (small intermediates).
+    let mut g1 = JoinQueryGenerator::new(
+        cat,
+        "fact",
+        vec!["dim_small".into(), "dim_mid".into(), "dim_big".into()],
+        (0, 120),
+        71,
+    )
+    .expect("valid generator");
+    // Phase 2: wide filters (big intermediates) — different shapes.
+    let mut g2 = JoinQueryGenerator::new(
+        cat,
+        "fact",
+        vec!["dim_big".into(), "dim_mid".into()],
+        (600, 1000),
+        72,
+    )
+    .expect("valid generator");
+    let narrow: Vec<QueryOp> = g1
+        .take(QUERIES_PER_PHASE)
+        .into_iter()
+        .map(|query| QueryOp { query })
+        .collect();
+    let wide: Vec<QueryOp> = g2
+        .take(QUERIES_PER_PHASE)
+        .into_iter()
+        .map(|query| QueryOp { query })
+        .collect();
+    // The third phase repeats the first: a bandit that remembers per-shape
+    // arms should show no exploration penalty the second time around.
+    vec![
+        ("narrow-star".to_string(), narrow.clone()),
+        ("wide-star".to_string(), wide),
+        ("narrow-star-again".to_string(), narrow),
+    ]
+}
+
+fn run<S: SystemUnderTest<QueryOp>>(sut: &mut S, phases: &[(String, Vec<QueryOp>)]) -> RunRecord {
+    run_query_workload(sut, phases, 1_000_000.0, u64::MAX).expect("run succeeds")
+}
+
+fn main() {
+    println!("=== QS: query-optimizer steering under workload shift ===\n");
+    let cat = catalog();
+    let phases = phases(&cat);
+
+    // Workload Φ between the two phases (Jaccard over query subtrees).
+    let trees_a: Vec<_> = phases[0]
+        .1
+        .iter()
+        .flat_map(|op| op.query.relations.clone())
+        .collect();
+    let trees_b: Vec<_> = phases[1]
+        .1
+        .iter()
+        .flat_map(|op| op.query.relations.clone())
+        .collect();
+    println!(
+        "workload Φ (1 − Jaccard over subtrees) between phases: {:.3}\n",
+        workload_phi(&trees_a, &trees_b)
+    );
+
+    let mut traditional = TraditionalQuerySut::build(cat.clone()).expect("builds");
+    let rec_t = run(&mut traditional, &phases);
+    let mut learned = LearnedCardinalitySut::build(cat.clone()).expect("builds");
+    let rec_l = run(&mut learned, &phases);
+    let mut bandit = BanditQuerySut::build(cat.clone(), 0.1, 73).expect("builds");
+    let rec_b = run(&mut bandit, &phases);
+
+    let rep_t = AdaptabilityReport::from_record(&rec_t).expect("report");
+    let rep_l = AdaptabilityReport::from_record(&rec_l).expect("report");
+    let rep_b = AdaptabilityReport::from_record(&rec_b).expect("report");
+    let mut fig = render_adaptability(&[&rep_t, &rep_l, &rep_b]);
+
+    fig.push_str("\nper-phase mean latency (virtual ms/query, lower is better):\n");
+    for (rec, _rep) in [(&rec_t, &rep_t), (&rec_l, &rep_l), (&rec_b, &rep_b)] {
+        let mut row = format!("  {:<22}", rec.sut_name);
+        for p in 0..rec.phase_names.len() {
+            let lats = rec.phase_latencies(p);
+            let mean = lats.iter().sum::<f64>() / lats.len().max(1) as f64;
+            row.push_str(&format!(" {:>9.3}", mean * 1e3));
+        }
+        row.push_str(&format!(
+            "   label-work: {}\n",
+            rec.final_metrics.label_collection_work
+        ));
+        fig.push_str(&row);
+    }
+    fig.push_str(&format!(
+        "\n  two-system area (learned − traditional): {:+.1}\n",
+        rep_l.area_vs(&rep_t).expect("comparable")
+    ));
+    fig.push_str(&format!(
+        "  two-system area (bandit − traditional):  {:+.1}\n",
+        rep_b.area_vs(&rep_t).expect("comparable")
+    ));
+    emit("fig_query_steering.txt", &fig);
+}

@@ -1,0 +1,154 @@
+//! **M1 — microbenches**: wall-clock performance of every index structure.
+//!
+//! Unlike the figure benches (virtual clock, deterministic), these measure
+//! the real data structures in real time: point lookups across
+//! distributions, bulk-load/build cost, and learned sort vs. `sort_unstable`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsbench_index::alex::AlexIndex;
+use lsbench_index::btree::BPlusTree;
+use lsbench_index::hash::HashIndex;
+use lsbench_index::learned_sort::learned_sort;
+use lsbench_index::pgm::PgmIndex;
+use lsbench_index::rmi::Rmi;
+use lsbench_index::sorted_array::SortedArray;
+use lsbench_index::spline::RadixSpline;
+use lsbench_index::{BulkLoad, Index};
+use lsbench_workload::dataset::Dataset;
+use lsbench_workload::keygen::{KeyDistribution, KeyGenerator};
+
+const N: usize = 1_000_000;
+const PROBES: usize = 1024;
+
+fn dataset() -> Dataset {
+    Dataset::generate(
+        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        0,
+        100_000_000,
+        N,
+        99,
+    )
+    .expect("dataset builds")
+}
+
+fn probe_keys(data: &Dataset) -> Vec<u64> {
+    let mut g = KeyGenerator::new(KeyDistribution::Uniform, 0, data.len() as u64, 7)
+        .expect("valid generator");
+    (0..PROBES).map(|_| data.keys()[g.next_key() as usize]).collect()
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let data = dataset();
+    let pairs: Vec<(u64, u64)> = data.pairs().collect();
+    let probes = probe_keys(&data);
+    let mut group = c.benchmark_group("point_lookup_1M_lognormal");
+
+    let btree = BPlusTree::bulk_load(&pairs).expect("builds");
+    let sorted = SortedArray::bulk_load(&pairs).expect("builds");
+    let hash = HashIndex::bulk_load(&pairs).expect("builds");
+    let rmi = Rmi::bulk_load(&pairs).expect("builds");
+    let pgm = PgmIndex::bulk_load(&pairs).expect("builds");
+    let spline = RadixSpline::bulk_load(&pairs).expect("builds");
+    let alex = AlexIndex::bulk_load(&pairs).expect("builds");
+
+    macro_rules! bench_index {
+        ($idx:expr, $name:expr) => {
+            group.bench_function($name, |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let k = probes[i % PROBES];
+                    i += 1;
+                    black_box($idx.get(black_box(k)))
+                })
+            });
+        };
+    }
+    bench_index!(btree, "btree");
+    bench_index!(sorted, "sorted-array");
+    bench_index!(hash, "hash");
+    bench_index!(rmi, "rmi");
+    bench_index!(pgm, "pgm");
+    bench_index!(spline, "radix-spline");
+    bench_index!(alex, "alex");
+    group.finish();
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let data = dataset();
+    let pairs: Vec<(u64, u64)> = data.pairs().collect();
+    let mut group = c.benchmark_group("bulk_build_1M");
+    group.sample_size(10);
+    group.bench_function("btree", |b| {
+        b.iter(|| black_box(BPlusTree::bulk_load(&pairs).expect("builds")))
+    });
+    group.bench_function("rmi", |b| {
+        b.iter(|| black_box(Rmi::bulk_load(&pairs).expect("builds")))
+    });
+    group.bench_function("pgm", |b| {
+        b.iter(|| black_box(PgmIndex::bulk_load(&pairs).expect("builds")))
+    });
+    group.bench_function("radix-spline", |b| {
+        b.iter(|| black_box(RadixSpline::bulk_load(&pairs).expect("builds")))
+    });
+    group.finish();
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_100k");
+    group.sample_size(10);
+    let keys: Vec<u64> = {
+        let mut g = KeyGenerator::new(KeyDistribution::Uniform, 0, u64::MAX / 2, 3)
+            .expect("valid generator");
+        g.take(100_000)
+    };
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            let mut idx = BPlusTree::new();
+            for &k in &keys {
+                idx.insert(k, k).expect("insert succeeds");
+            }
+            black_box(idx.len())
+        })
+    });
+    group.bench_function("alex", |b| {
+        b.iter(|| {
+            let mut idx = AlexIndex::new();
+            for &k in &keys {
+                idx.insert(k, k).expect("insert succeeds");
+            }
+            black_box(idx.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_learned_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort_1M");
+    group.sample_size(10);
+    let mut g =
+        KeyGenerator::new(KeyDistribution::Uniform, 0, u64::MAX, 5).expect("valid generator");
+    let data: Vec<u64> = g.take(1_000_000);
+    for (name, learned) in [("std_unstable", false), ("learned_cdf", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &learned, |b, &l| {
+            b.iter(|| {
+                let mut copy = data.clone();
+                if l {
+                    learned_sort(&mut copy, 1);
+                } else {
+                    copy.sort_unstable();
+                }
+                black_box(copy[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lookups,
+    bench_builds,
+    bench_inserts,
+    bench_learned_sort
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! **Suite — the "official result"**: every KV SUT through the standard
+//! five-scenario suite, with per-scenario SLA calibration from the B+-tree
+//! baseline and the S1 hold-out pass.
+//!
+//! This is the §V-A "benchmark-as-a-service" artifact: one table that a
+//! result submission would consist of.
+
+use lsbench_bench::emit;
+use lsbench_core::suite::{render_comparison, run_suite, SuiteConfig, SuiteResult};
+use lsbench_core::report::{to_json, write_artifact};
+use lsbench_core::BenchError;
+use lsbench_sut::kv::{
+    AlexSut, BTreeSut, HashSut, PgmSut, RetrainPolicy, RmiSut, SortedArraySut, SplineSut,
+};
+use lsbench_sut::sut::SystemUnderTest;
+use lsbench_workload::dataset::Dataset;
+use lsbench_workload::ops::Operation;
+
+type BoxSut = Box<dyn SystemUnderTest<Operation>>;
+
+fn sut_err(e: impl std::fmt::Display) -> BenchError {
+    BenchError::Sut(e.to_string())
+}
+
+fn main() {
+    let cfg = SuiteConfig {
+        dataset_size: 100_000,
+        ops_per_phase: 10_000,
+        seed: 0x5EED,
+        work_units_per_second: 1_000_000.0,
+    };
+    println!("=== Standard suite: 5 scenarios × 7 SUTs ===\n");
+
+    type Factory = Box<dyn FnMut(&Dataset) -> lsbench_core::Result<BoxSut>>;
+    let factories: Vec<(&str, Factory)> = vec![
+        (
+            "btree",
+            Box::new(|d: &Dataset| Ok(Box::new(BTreeSut::build(d).map_err(sut_err)?) as BoxSut)),
+        ),
+        (
+            "sorted-array",
+            Box::new(|d: &Dataset| {
+                Ok(Box::new(SortedArraySut::build(d).map_err(sut_err)?) as BoxSut)
+            }),
+        ),
+        (
+            "hash",
+            Box::new(|d: &Dataset| Ok(Box::new(HashSut::build(d).map_err(sut_err)?) as BoxSut)),
+        ),
+        (
+            "alex",
+            Box::new(|d: &Dataset| Ok(Box::new(AlexSut::build(d).map_err(sut_err)?) as BoxSut)),
+        ),
+        (
+            "rmi+retrain",
+            Box::new(|d: &Dataset| {
+                Ok(Box::new(
+                    RmiSut::build("rmi+retrain", d, RetrainPolicy::DeltaFraction(0.05))
+                        .map_err(sut_err)?,
+                ) as BoxSut)
+            }),
+        ),
+        (
+            "pgm+retrain",
+            Box::new(|d: &Dataset| {
+                Ok(Box::new(
+                    PgmSut::build("pgm+retrain", d, RetrainPolicy::DeltaFraction(0.05))
+                        .map_err(sut_err)?,
+                ) as BoxSut)
+            }),
+        ),
+        (
+            "spline+retrain",
+            Box::new(|d: &Dataset| {
+                Ok(Box::new(
+                    SplineSut::build("spline+retrain", d, RetrainPolicy::DeltaFraction(0.05))
+                        .map_err(sut_err)?,
+                ) as BoxSut)
+            }),
+        ),
+    ];
+
+    let mut results: Vec<SuiteResult> = Vec::new();
+    for (name, mut factory) in factories {
+        print!("running {name} ... ");
+        let result = run_suite(&mut factory, &cfg).expect("suite run succeeds");
+        println!("done");
+        results.push(result);
+    }
+    println!();
+    emit("suite_comparison.txt", &render_comparison(&results));
+    let _ = write_artifact(
+        "suite_comparison.json",
+        &to_json(&results).expect("serializable"),
+    );
+}

@@ -1,0 +1,643 @@
+//! The benchmark driver.
+//!
+//! The driver runs a [`SystemUnderTest`] through a [`Scenario`]: it
+//! bulk-loads the dataset (outside measured time, as benchmarks do), runs
+//! the **training phase** against the configured budget — reported as a
+//! first-class result (Lesson 3) — then streams the phased workload,
+//! recording every completion on a deterministic virtual clock. Phase
+//! changes are announced to the SUT (systems may ignore them), and
+//! maintenance slots are offered periodically so online-adaptive systems
+//! can retrain; both kinds of adaptation work consume virtual time, which
+//! is exactly how adaptation cost becomes visible in the Fig. 1b/1c
+//! curves.
+
+use crate::record::{OpRecord, RunRecord, TrainInfo};
+use crate::scenario::Scenario;
+use crate::{BenchError, Result};
+use lsbench_sut::clock::{Clock, SimClock};
+use lsbench_sut::query_sut::QueryOp;
+use lsbench_sut::sut::SystemUnderTest;
+use lsbench_workload::arrival::ArrivalGenerator;
+use lsbench_workload::ops::Operation;
+
+/// Extra driver knobs independent of the scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Cap on recorded operations (guards against runaway scenarios).
+    pub max_ops: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig { max_ops: u64::MAX }
+    }
+}
+
+/// Runs a key-value SUT through a scenario's phased workload.
+///
+/// The SUT must already be loaded with the scenario's dataset (SUT
+/// constructors take the dataset so each system can bulk-load natively).
+pub fn run_kv_scenario<S: SystemUnderTest<Operation> + ?Sized>(
+    sut: &mut S,
+    scenario: &Scenario,
+    config: DriverConfig,
+) -> Result<RunRecord> {
+    scenario.validate()?;
+    let stream = scenario
+        .workload
+        .stream()
+        .map_err(|e| BenchError::Workload(e.to_string()))?;
+    let rate = scenario.work_units_per_second;
+    let mut clock = SimClock::new();
+
+    // Training phase (Lesson 3: first-class result).
+    let train_work = sut.train(scenario.train_budget);
+    clock.advance(train_work as f64 / rate);
+    let train = TrainInfo {
+        work: train_work,
+        seconds: clock.now(),
+    };
+    let exec_start = clock.now();
+
+    let mut ops = Vec::with_capacity(scenario.workload.total_ops().min(1 << 22) as usize);
+    let mut phase_change_times = vec![(0usize, exec_start)];
+    let mut current_phase = 0usize;
+    let mut since_maintenance = 0u64;
+    // Adaptation work (retraining bursts) slows the queries issued behind
+    // it — §V-D.2: "throughput could temporarily decrease due to the CPU
+    // overheads of retraining a model. Similarly, query latency could
+    // increase". In Foreground mode the whole burst stalls the next query;
+    // in Background mode it becomes a backlog drained by processor sharing
+    // (see `service_with_backlog`).
+    let mut backlog = 0.0f64;
+    // Open loop: operations arrive on their own schedule and may queue
+    // behind earlier ones; latency = completion − arrival.
+    let mut arrivals = match &scenario.arrival {
+        Some(spec) => Some(
+            ArrivalGenerator::new(spec.process, spec.modulation, spec.seed)
+                .map_err(|e| BenchError::Workload(e.to_string()))?,
+        ),
+        None => None,
+    };
+
+    for labeled in stream {
+        if ops.len() as u64 >= config.max_ops {
+            break;
+        }
+        if labeled.phase != current_phase {
+            current_phase = labeled.phase;
+            phase_change_times.push((current_phase, clock.now()));
+            let adapt_work = sut.on_phase_change(current_phase);
+            backlog += adapt_work as f64 / rate;
+        }
+        since_maintenance += 1;
+        if since_maintenance >= scenario.maintenance_every {
+            since_maintenance = 0;
+            let maint_work = sut.maintenance();
+            backlog += maint_work as f64 / rate;
+        }
+        // In open loop the server may idle until the next arrival.
+        let arrival_t = arrivals.as_mut().map(|g| {
+            let t = exec_start + g.next_arrival();
+            if t > clock.now() {
+                clock.advance(t - clock.now());
+            }
+            t
+        });
+        let outcome = sut
+            .execute(&labeled.op)
+            .map_err(|e| BenchError::Sut(e.to_string()))?;
+        let service = service_with_backlog(
+            outcome.work as f64 / rate,
+            &mut backlog,
+            scenario.online_train,
+        );
+        clock.advance(service);
+        // Closed loop: latency = service. Open loop: queueing included.
+        let latency = match arrival_t {
+            Some(a) => clock.now() - a,
+            None => service,
+        };
+        ops.push(OpRecord {
+            t_end: clock.now(),
+            latency,
+            phase: labeled.phase as u16,
+            ok: outcome.ok,
+            in_transition: labeled.in_transition,
+        });
+    }
+
+    // Any undrained background-training backlog must still be paid before
+    // the run can be declared finished (conservation of adaptation work).
+    clock.advance(backlog);
+
+    Ok(RunRecord {
+        sut_name: sut.name(),
+        scenario_name: scenario.name.clone(),
+        phase_names: scenario
+            .workload
+            .phases()
+            .iter()
+            .map(|p| p.name.clone())
+            .collect(),
+        ops,
+        phase_change_times,
+        train,
+        exec_start,
+        exec_end: clock.now(),
+        final_metrics: sut.metrics(),
+        work_units_per_second: rate,
+    })
+}
+
+/// Computes one operation's service time given pending adaptation backlog
+/// (both in seconds of full-rate work).
+///
+/// * [`OnlineTrainMode::Foreground`]: the entire backlog is prepended to
+///   this operation's service time (a single latency spike).
+/// * [`OnlineTrainMode::Background`]: processor sharing — while backlog
+///   remains, training gets `fraction` of the resources and the query runs
+///   at `1 − fraction` speed; the backlog drains by `fraction ×` the shared
+///   wall time. The dip is shallower but lasts longer.
+fn service_with_backlog(
+    base_service: f64,
+    backlog: &mut f64,
+    mode: crate::scenario::OnlineTrainMode,
+) -> f64 {
+    use crate::scenario::OnlineTrainMode;
+    match mode {
+        OnlineTrainMode::Foreground => {
+            let service = *backlog + base_service;
+            *backlog = 0.0;
+            service
+        }
+        OnlineTrainMode::Background { fraction } => {
+            if *backlog <= 0.0 {
+                return base_service;
+            }
+            let query_share = 1.0 - fraction;
+            // Wall time until the backlog would drain under sharing.
+            let drain_wall = *backlog / fraction;
+            // Query work that would complete during that window.
+            let query_done = drain_wall * query_share;
+            if query_done >= base_service {
+                // Query finishes while training still runs in background.
+                let wall = base_service / query_share;
+                *backlog -= fraction * wall;
+                wall
+            } else {
+                // Backlog drains mid-query; the rest runs at full speed.
+                *backlog = 0.0;
+                drain_wall + (base_service - query_done)
+            }
+        }
+    }
+}
+
+/// Configuration for trace replay.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayConfig {
+    /// Virtual work units per second.
+    pub work_units_per_second: f64,
+    /// Offer a maintenance slot every this many operations.
+    pub maintenance_every: u64,
+    /// Offline training budget passed to the SUT before replay.
+    pub train_budget: u64,
+    /// Online-training scheduling mode.
+    pub online_train: crate::scenario::OnlineTrainMode,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            work_units_per_second: 1_000_000.0,
+            maintenance_every: 256,
+            train_budget: u64::MAX,
+            online_train: crate::scenario::OnlineTrainMode::Foreground,
+        }
+    }
+}
+
+/// Replays a recorded [`Trace`] against a SUT.
+///
+/// This is the mechanism behind §V-A's requirement that hold-out workloads
+/// be presented to every system *identically and exactly once*: a trace is
+/// recorded once and shipped to each SUT. Entries with positive `arrival`
+/// times are replayed open-loop (latency includes queueing); zero arrival
+/// times replay closed-loop.
+pub fn run_kv_trace<S: SystemUnderTest<Operation> + ?Sized>(
+    sut: &mut S,
+    trace: &lsbench_workload::trace::Trace,
+    config: &ReplayConfig,
+) -> Result<RunRecord> {
+    if config.work_units_per_second <= 0.0 {
+        return Err(BenchError::InvalidScenario(
+            "work_units_per_second must be positive".to_string(),
+        ));
+    }
+    let rate = config.work_units_per_second;
+    let mut clock = SimClock::new();
+    let train_work = sut.train(config.train_budget);
+    clock.advance(train_work as f64 / rate);
+    let train = TrainInfo {
+        work: train_work,
+        seconds: clock.now(),
+    };
+    let exec_start = clock.now();
+    let mut ops = Vec::with_capacity(trace.len());
+    let mut phase_change_times = vec![(0usize, exec_start)];
+    let mut current_phase = 0usize;
+    let mut since_maintenance = 0u64;
+    let mut backlog = 0.0f64;
+    for entry in trace.entries() {
+        if entry.phase != current_phase {
+            current_phase = entry.phase;
+            phase_change_times.push((current_phase, clock.now()));
+            backlog += sut.on_phase_change(current_phase) as f64 / rate;
+        }
+        since_maintenance += 1;
+        if since_maintenance >= config.maintenance_every {
+            since_maintenance = 0;
+            backlog += sut.maintenance() as f64 / rate;
+        }
+        let arrival_t = if entry.arrival > 0.0 {
+            let t = exec_start + entry.arrival;
+            if t > clock.now() {
+                clock.advance(t - clock.now());
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let outcome = sut
+            .execute(&entry.op)
+            .map_err(|e| BenchError::Sut(e.to_string()))?;
+        let service = service_with_backlog(
+            outcome.work as f64 / rate,
+            &mut backlog,
+            config.online_train,
+        );
+        clock.advance(service);
+        let latency = match arrival_t {
+            Some(a) => clock.now() - a,
+            None => service,
+        };
+        ops.push(OpRecord {
+            t_end: clock.now(),
+            latency,
+            phase: entry.phase as u16,
+            ok: outcome.ok,
+            in_transition: false,
+        });
+    }
+    clock.advance(backlog);
+    Ok(RunRecord {
+        sut_name: sut.name(),
+        scenario_name: "trace-replay".to_string(),
+        phase_names: trace.phase_names().to_vec(),
+        ops,
+        phase_change_times,
+        train,
+        exec_start,
+        exec_end: clock.now(),
+        final_metrics: sut.metrics(),
+        work_units_per_second: rate,
+    })
+}
+
+/// Runs a query SUT over per-phase query batches (each inner vector is one
+/// workload phase). Phase changes are announced between batches.
+pub fn run_query_workload<S: SystemUnderTest<QueryOp> + ?Sized>(
+    sut: &mut S,
+    phases: &[(String, Vec<QueryOp>)],
+    work_units_per_second: f64,
+    train_budget: u64,
+) -> Result<RunRecord> {
+    if work_units_per_second <= 0.0 {
+        return Err(BenchError::InvalidScenario(
+            "work_units_per_second must be positive".to_string(),
+        ));
+    }
+    let rate = work_units_per_second;
+    let mut clock = SimClock::new();
+    let train_work = sut.train(train_budget);
+    clock.advance(train_work as f64 / rate);
+    let train = TrainInfo {
+        work: train_work,
+        seconds: clock.now(),
+    };
+    let exec_start = clock.now();
+    let mut ops = Vec::new();
+    let mut phase_change_times = Vec::new();
+    let mut stall = 0.0f64;
+    for (phase_idx, (_, batch)) in phases.iter().enumerate() {
+        phase_change_times.push((phase_idx, clock.now()));
+        if phase_idx > 0 {
+            let adapt = sut.on_phase_change(phase_idx);
+            stall += adapt as f64 / rate;
+        }
+        for op in batch {
+            let outcome = sut
+                .execute(op)
+                .map_err(|e| BenchError::Sut(e.to_string()))?;
+            let latency = stall + outcome.work as f64 / rate;
+            stall = 0.0;
+            clock.advance(latency);
+            ops.push(OpRecord {
+                t_end: clock.now(),
+                latency,
+                phase: phase_idx as u16,
+                ok: outcome.ok,
+                in_transition: false,
+            });
+        }
+    }
+    Ok(RunRecord {
+        sut_name: sut.name(),
+        scenario_name: "query-workload".to_string(),
+        phase_names: phases.iter().map(|(n, _)| n.clone()).collect(),
+        ops,
+        phase_change_times,
+        train,
+        exec_start,
+        exec_end: clock.now(),
+        final_metrics: sut.metrics(),
+        work_units_per_second: rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsbench_sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
+    use lsbench_workload::keygen::KeyDistribution;
+
+    fn scenario() -> Scenario {
+        Scenario::two_phase_shift(
+            "test-shift",
+            KeyDistribution::Uniform,
+            KeyDistribution::Normal {
+                center: 0.1,
+                std_frac: 0.02,
+            },
+            5_000,
+            2_000,
+            42,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn kv_run_produces_complete_record() {
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap();
+        assert_eq!(r.completed(), 4_000);
+        assert_eq!(r.phase_names.len(), 2);
+        assert_eq!(r.phase_change_times.len(), 2);
+        assert_eq!(r.failures(), 0);
+        assert!(r.exec_end > r.exec_start);
+        // Timestamps are non-decreasing.
+        for w in r.ops.windows(2) {
+            assert!(w[0].t_end <= w[1].t_end);
+        }
+        // B-tree doesn't train.
+        assert_eq!(r.train.work, 0);
+    }
+
+    #[test]
+    fn learned_sut_reports_training_time() {
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let mut sut = RmiSut::build("rmi", &data, RetrainPolicy::Never).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap();
+        assert!(r.train.work > 0);
+        assert!(r.train.seconds > 0.0);
+        assert_eq!(r.exec_start, r.train.seconds);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let run = || {
+            let mut sut = RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.1)).unwrap();
+            run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.exec_end, b.exec_end);
+    }
+
+    #[test]
+    fn max_ops_cap() {
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig { max_ops: 100 }).unwrap();
+        assert_eq!(r.completed(), 100);
+    }
+
+    #[test]
+    fn background_training_spreads_the_cost() {
+        use crate::scenario::OnlineTrainMode;
+        use lsbench_workload::ops::OperationMix;
+        use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
+        // One retrain at a phase boundary, then a long read phase to drain
+        // the backlog: foreground shows one huge latency spike, background
+        // a long shallow slowdown — same total cost (§V-B trade-off).
+        let key_range = (0u64, 10_000_000u64);
+        let write_mix = OperationMix {
+            read: 0.3,
+            insert: 0.7,
+            update: 0.0,
+            scan: 0.0,
+            delete: 0.0,
+            max_scan_len: 0,
+        };
+        let workload = PhasedWorkload::new(
+            vec![
+                WorkloadPhase::new(
+                    "reads",
+                    KeyDistribution::Uniform,
+                    key_range,
+                    OperationMix::ycsb_c(),
+                    3_000,
+                ),
+                WorkloadPhase::new(
+                    "writes",
+                    KeyDistribution::Uniform,
+                    key_range,
+                    write_mix,
+                    2_000,
+                ),
+                WorkloadPhase::new(
+                    "drain-reads",
+                    KeyDistribution::Uniform,
+                    key_range,
+                    OperationMix::ycsb_c(),
+                    30_000,
+                ),
+            ],
+            vec![TransitionKind::Abrupt, TransitionKind::Abrupt],
+            50,
+        )
+        .unwrap();
+        let mut s = Scenario::two_phase_shift(
+            "bg-train",
+            KeyDistribution::Uniform,
+            KeyDistribution::Uniform,
+            5_000,
+            10,
+            50,
+        )
+        .unwrap();
+        s.workload = workload;
+        let run_with = |mode: OnlineTrainMode| {
+            let mut s2 = s.clone();
+            s2.online_train = mode;
+            let data = s2.dataset.build().unwrap();
+            // Retrains only at phase boundaries (once, entering phase 3).
+            let mut sut =
+                RmiSut::build("rmi", &data, RetrainPolicy::OnPhaseChange).unwrap();
+            run_kv_scenario(&mut sut, &s2, DriverConfig::default()).unwrap()
+        };
+        let fg = run_with(OnlineTrainMode::Foreground);
+        let bg = run_with(OnlineTrainMode::Background { fraction: 0.3 });
+        assert!(fg.final_metrics.adaptations > 0, "no retrains happened");
+        let max_lat = |r: &crate::record::RunRecord| {
+            r.ops.iter().map(|o| o.latency).fold(0.0f64, f64::max)
+        };
+        // Foreground: one spike near the full retrain cost; background:
+        // worst latency orders of magnitude smaller.
+        assert!(
+            max_lat(&fg) > 10.0 * max_lat(&bg),
+            "fg {} vs bg {}",
+            max_lat(&fg),
+            max_lat(&bg)
+        );
+        // Total adaptation work is conserved: end-to-end durations are
+        // close; the cost is just distributed differently.
+        let ratio = fg.exec_duration() / bg.exec_duration();
+        assert!((0.8..1.25).contains(&ratio), "duration ratio {ratio}");
+    }
+
+    #[test]
+    fn background_fraction_validated() {
+        use crate::scenario::OnlineTrainMode;
+        let mut s = scenario();
+        s.online_train = OnlineTrainMode::Background { fraction: 0.0 };
+        assert!(s.validate().is_err());
+        s.online_train = OnlineTrainMode::Background { fraction: 1.0 };
+        assert!(s.validate().is_err());
+        s.online_train = OnlineTrainMode::Background { fraction: 0.5 };
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn open_loop_includes_queueing_latency() {
+        use crate::scenario::ArrivalSpec;
+        use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
+        let mut s = scenario();
+        let data = s.dataset.build().unwrap();
+        // Service rate of the btree is ~50k ops/s at 1M work-units/s.
+        // Bursts at 8× a 40k ops/s base rate overload the server, so
+        // queueing delay must appear in latencies during bursts.
+        s.arrival = Some(ArrivalSpec {
+            process: ArrivalProcess::Poisson { rate: 40_000.0 },
+            modulation: LoadModulation::Burst {
+                period: 0.02,
+                burst_len: 0.005,
+                multiplier: 8.0,
+            },
+            seed: 3,
+        });
+        s.validate().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap();
+        assert_eq!(r.completed(), 4_000);
+        // Some latencies exceed any plausible service time (queueing).
+        let service_bound = 200.0 / s.work_units_per_second;
+        let queued = r.ops.iter().filter(|o| o.latency > service_bound).count();
+        assert!(queued > 100, "queued = {queued}");
+        // And all latencies are non-negative.
+        assert!(r.ops.iter().all(|o| o.latency >= 0.0));
+    }
+
+    #[test]
+    fn open_loop_underload_matches_service_latency() {
+        use crate::scenario::ArrivalSpec;
+        use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
+        let mut s = scenario();
+        let data = s.dataset.build().unwrap();
+        // 100 ops/s against a ~50k ops/s server: no queueing, latency ≈
+        // service time.
+        s.arrival = Some(ArrivalSpec {
+            process: ArrivalProcess::Uniform { rate: 100.0 },
+            modulation: LoadModulation::Constant,
+            seed: 4,
+        });
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig { max_ops: 500 }).unwrap();
+        let service_bound = 200.0 / s.work_units_per_second;
+        assert!(
+            r.ops.iter().all(|o| o.latency <= service_bound),
+            "unexpected queueing under light load"
+        );
+        // Execution time is dominated by arrival pacing: 500 ops at 100/s.
+        assert!(r.exec_duration() > 4.0, "duration = {}", r.exec_duration());
+    }
+
+    #[test]
+    fn closed_loop_rejected_as_arrival_spec() {
+        use crate::scenario::ArrivalSpec;
+        use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
+        let mut s = scenario();
+        s.arrival = Some(ArrivalSpec {
+            process: ArrivalProcess::ClosedLoop,
+            modulation: LoadModulation::Constant,
+            seed: 1,
+        });
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn trace_replay_matches_streamed_run() {
+        use lsbench_workload::trace::Trace;
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        // Record the scenario workload once, replay it.
+        let trace = Trace::record(&s.workload).unwrap();
+        let mut streamed_sut = BTreeSut::build(&data).unwrap();
+        let streamed = run_kv_scenario(&mut streamed_sut, &s, DriverConfig::default()).unwrap();
+        let mut replay_sut = BTreeSut::build(&data).unwrap();
+        let cfg = ReplayConfig {
+            work_units_per_second: s.work_units_per_second,
+            maintenance_every: s.maintenance_every,
+            train_budget: s.train_budget,
+            online_train: s.online_train,
+        };
+        let replayed = run_kv_trace(&mut replay_sut, &trace, &cfg).unwrap();
+        // Identical op stream + deterministic SUT => identical records.
+        assert_eq!(replayed.ops, streamed.ops);
+        assert_eq!(replayed.phase_names, streamed.phase_names);
+        // Replays against a second (different) SUT complete too.
+        let mut other = RmiSut::build("rmi", &data, RetrainPolicy::Never).unwrap();
+        let r2 = run_kv_trace(&mut other, &trace, &cfg).unwrap();
+        assert_eq!(r2.completed(), trace.len());
+    }
+
+    #[test]
+    fn phase_change_recorded_at_boundary() {
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap();
+        let t1 = r.phase_start_time(1).unwrap();
+        // Phase 1 starts after exactly 2000 ops.
+        let ops_before: usize = r.ops.iter().filter(|o| o.t_end <= t1).count();
+        assert_eq!(ops_before, 2000);
+    }
+}

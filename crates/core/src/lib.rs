@@ -1,0 +1,73 @@
+//! The learned-systems benchmark framework — the paper's contribution.
+//!
+//! This crate implements the benchmark *Towards a Benchmark for Learned
+//! Systems* (ICDE 2021) sketches:
+//!
+//! * [`scenario`] — benchmark scenarios: a dataset, a multi-phase workload
+//!   with transitions, a training budget, an SLA policy, and hold-out
+//!   phases (§V-A/§V-B configuration).
+//! * [`driver`] — the benchmark driver: load → train → phased execution
+//!   with per-query records on a deterministic virtual clock, maintenance
+//!   slots, and phase-change notifications.
+//! * [`record`] — run records: every completed query with timestamp,
+//!   latency, phase, and success flag, plus training info and SUT metrics.
+//! * [`metrics`] — the paper's new metric families:
+//!   [`metrics::specialization`] (Fig. 1a), [`metrics::adaptability`]
+//!   (Fig. 1b), [`metrics::sla`] (Fig. 1c), [`metrics::cost`] (Fig. 1d),
+//!   and the Φ distribution-similarity axis ([`metrics::phi`]).
+//! * [`holdout`] — out-of-sample evaluation: hold-out phases executed once,
+//!   reported as an overfitting gap (§V-A).
+//! * [`report`] — plain-text figures (ASCII), CSV series, and JSON
+//!   artifacts so results are comparable across deployments.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod holdout;
+pub mod metrics;
+pub mod record;
+pub mod report;
+pub mod scenario;
+pub mod suite;
+
+pub use driver::{run_kv_scenario, run_kv_trace, run_query_workload, DriverConfig, ReplayConfig};
+pub use holdout::HoldoutReport;
+pub use metrics::adaptability::AdaptabilityReport;
+pub use metrics::cost::CostReport;
+pub use metrics::sla::{SlaPolicy, SlaReport};
+pub use metrics::specialization::SpecializationReport;
+pub use record::{OpRecord, RunRecord};
+pub use scenario::Scenario;
+pub use suite::{run_suite, standard_scenarios, SuiteConfig, SuiteResult};
+
+/// Errors produced by the benchmark framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// Scenario configuration was invalid.
+    InvalidScenario(String),
+    /// The workload generator failed.
+    Workload(String),
+    /// The system under test failed fatally.
+    Sut(String),
+    /// A metric could not be computed from the given records.
+    Metric(String),
+    /// Result serialization failed.
+    Serialization(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::InvalidScenario(m) => write!(f, "invalid scenario: {m}"),
+            BenchError::Workload(m) => write!(f, "workload error: {m}"),
+            BenchError::Sut(m) => write!(f, "SUT error: {m}"),
+            BenchError::Metric(m) => write!(f, "metric error: {m}"),
+            BenchError::Serialization(m) => write!(f, "serialization error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, BenchError>;

@@ -1,0 +1,293 @@
+//! Adaptability metrics (Fig. 1b).
+//!
+//! "We suggest reporting throughput variations by plotting the cumulative
+//! queries completed over time. … We can derive a single-value result from
+//! this plot by computing the area difference between an ideal system with
+//! a constant throughput. … When comparing two systems, the area difference
+//! between the two systems provides a single-value result."
+//!
+//! On top of the curve and areas, this module derives a *recovery time* per
+//! phase change: how long after a distribution switch the system needs to
+//! regain its steady-state throughput (§IV: "capture the time a system
+//! takes to adapt to a new workload").
+
+use crate::record::RunRecord;
+use crate::{BenchError, Result};
+use lsbench_stats::timeseries::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// The full Fig. 1b report for one SUT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptabilityReport {
+    /// SUT name.
+    pub sut_name: String,
+    /// `(time, cumulative completions)` sampled curve for plotting.
+    pub curve: Vec<(f64, f64)>,
+    /// Signed area between the actual curve and the ideal constant-
+    /// throughput system (negative = lags the ideal, as in a slow start).
+    pub area_vs_ideal: f64,
+    /// Same, normalized by `total_ops × duration` into `[-1, 1]`-ish scale
+    /// so different runs are comparable.
+    pub normalized_area: f64,
+    /// Per phase change: `(phase, recovery_seconds)` — time until windowed
+    /// throughput first reaches the phase's own steady-state level.
+    pub recovery_times: Vec<(usize, f64)>,
+    /// Mean throughput per phase (ops/sec), for reference.
+    pub phase_throughput: Vec<f64>,
+}
+
+/// Number of points the plotted curve is downsampled to.
+const CURVE_POINTS: usize = 256;
+
+/// Window (in ops) for recovery-time throughput measurement.
+const RECOVERY_WINDOW: usize = 50;
+
+/// Fraction of steady-state throughput that counts as "recovered".
+const RECOVERY_LEVEL: f64 = 0.8;
+
+impl AdaptabilityReport {
+    /// Builds the report from a run record.
+    pub fn from_record(record: &RunRecord) -> Result<Self> {
+        if record.ops.is_empty() {
+            return Err(BenchError::Metric("empty run record".to_string()));
+        }
+        let curve_full = record.cumulative_curve();
+        let area = curve_full
+            .area_vs_ideal(record.exec_start, record.exec_end)
+            .map_err(|e| BenchError::Metric(e.to_string()))?;
+        let duration = record.exec_duration().max(f64::MIN_POSITIVE);
+        let normalized = area / (record.ops.len() as f64 * duration);
+
+        // Downsample the curve for plotting.
+        let series = curve_full.to_series(record.exec_start);
+        let mut curve = Vec::with_capacity(CURVE_POINTS + 1);
+        for i in 0..=CURVE_POINTS {
+            let t = record.exec_start + duration * i as f64 / CURVE_POINTS as f64;
+            let v = series
+                .value_at(t)
+                .map_err(|e| BenchError::Metric(e.to_string()))?;
+            curve.push((t, v));
+        }
+
+        let phase_count = record.phase_names.len();
+        let mut phase_throughput = Vec::with_capacity(phase_count);
+        for p in 0..phase_count {
+            let lats: Vec<&crate::record::OpRecord> = record
+                .ops
+                .iter()
+                .filter(|o| o.phase as usize == p)
+                .collect();
+            if lats.len() < 2 {
+                phase_throughput.push(0.0);
+                continue;
+            }
+            let span = lats[lats.len() - 1].t_end - lats[0].t_end;
+            phase_throughput.push(if span > 0.0 {
+                (lats.len() - 1) as f64 / span
+            } else {
+                0.0
+            });
+        }
+
+        // Recovery times per phase change (skip the initial phase 0 entry).
+        let mut recovery_times = Vec::new();
+        for &(phase, start_t) in &record.phase_change_times {
+            if phase == 0 {
+                continue;
+            }
+            let steady = phase_steady_throughput(record, phase);
+            if steady <= 0.0 {
+                continue;
+            }
+            let recovery = recovery_time(record, phase, start_t, steady);
+            recovery_times.push((phase, recovery));
+        }
+
+        Ok(AdaptabilityReport {
+            sut_name: record.sut_name.clone(),
+            curve,
+            area_vs_ideal: area,
+            normalized_area: normalized,
+            recovery_times,
+            phase_throughput,
+        })
+    }
+
+    /// The paper's two-system comparison: signed area between this report's
+    /// curve and another's over the overlapping span (positive = `self`
+    /// completed more work earlier).
+    pub fn area_vs(&self, other: &AdaptabilityReport) -> Result<f64> {
+        let a = TimeSeries::from_points(self.curve.clone())
+            .map_err(|e| BenchError::Metric(e.to_string()))?;
+        let b = TimeSeries::from_points(other.curve.clone())
+            .map_err(|e| BenchError::Metric(e.to_string()))?;
+        a.area_difference(&b)
+            .map_err(|e| BenchError::Metric(e.to_string()))
+    }
+}
+
+/// Steady-state throughput of a phase: measured over its second half (the
+/// first half may include the adaptation transient).
+fn phase_steady_throughput(record: &RunRecord, phase: usize) -> f64 {
+    let times: Vec<f64> = record
+        .ops
+        .iter()
+        .filter(|o| o.phase as usize == phase)
+        .map(|o| o.t_end)
+        .collect();
+    if times.len() < 4 {
+        return 0.0;
+    }
+    let half = times.len() / 2;
+    let span = times[times.len() - 1] - times[half];
+    if span > 0.0 {
+        (times.len() - half - 1) as f64 / span
+    } else {
+        0.0
+    }
+}
+
+/// Seconds after `start_t` until windowed throughput reaches
+/// `RECOVERY_LEVEL × steady`.
+fn recovery_time(record: &RunRecord, phase: usize, start_t: f64, steady: f64) -> f64 {
+    let times: Vec<f64> = record
+        .ops
+        .iter()
+        .filter(|o| o.phase as usize == phase)
+        .map(|o| o.t_end)
+        .collect();
+    let window = RECOVERY_WINDOW.min(times.len().saturating_sub(1)).max(1);
+    for i in window..times.len() {
+        let span = times[i] - times[i - window];
+        if span <= 0.0 {
+            continue;
+        }
+        let tput = window as f64 / span;
+        if tput >= RECOVERY_LEVEL * steady {
+            return (times[i] - start_t).max(0.0);
+        }
+    }
+    // Never recovered within the phase.
+    record.exec_end - start_t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OpRecord, RunRecord, TrainInfo};
+    use lsbench_sut::sut::SutMetrics;
+
+    /// Record with a slow stretch (per-op seconds `slow`) for `n_slow` ops,
+    /// then fast (`fast`) for `n_fast`.
+    fn two_speed_record(slow: f64, n_slow: usize, fast: f64, n_fast: usize) -> RunRecord {
+        let mut ops = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..n_slow {
+            t += slow;
+            ops.push(OpRecord {
+                t_end: t,
+                latency: slow,
+                phase: 1,
+                ok: true,
+                in_transition: false,
+            });
+        }
+        for _ in 0..n_fast {
+            t += fast;
+            ops.push(OpRecord {
+                t_end: t,
+                latency: fast,
+                phase: 1,
+                ok: true,
+                in_transition: false,
+            });
+        }
+        RunRecord {
+            sut_name: "two-speed".to_string(),
+            scenario_name: "adapt".to_string(),
+            phase_names: vec!["p0".to_string(), "p1".to_string()],
+            ops,
+            phase_change_times: vec![(0, 0.0), (1, 0.0)],
+            train: TrainInfo::default(),
+            exec_start: 0.0,
+            exec_end: t,
+            final_metrics: SutMetrics::default(),
+            work_units_per_second: 1.0,
+        }
+    }
+
+    #[test]
+    fn slow_start_negative_area() {
+        // Slow first half, fast second half — the Fig. 1b learned-system
+        // shape: "starts slow and later catches up".
+        let r = two_speed_record(1.0, 100, 0.1, 900);
+        let report = AdaptabilityReport::from_record(&r).unwrap();
+        assert!(
+            report.area_vs_ideal < 0.0,
+            "area = {}",
+            report.area_vs_ideal
+        );
+        assert!(report.normalized_area < 0.0);
+        assert!(report.normalized_area > -1.0);
+    }
+
+    #[test]
+    fn constant_speed_near_zero_area() {
+        let r = two_speed_record(0.5, 500, 0.5, 500);
+        let report = AdaptabilityReport::from_record(&r).unwrap();
+        assert!(
+            report.normalized_area.abs() < 0.01,
+            "normalized = {}",
+            report.normalized_area
+        );
+    }
+
+    #[test]
+    fn area_vs_other_system() {
+        let fast = AdaptabilityReport::from_record(&two_speed_record(0.1, 500, 0.1, 500)).unwrap();
+        let slow = AdaptabilityReport::from_record(&two_speed_record(0.5, 500, 0.5, 500)).unwrap();
+        // The faster system accumulates completions earlier.
+        assert!(fast.area_vs(&slow).unwrap() > 0.0);
+        assert!(slow.area_vs(&fast).unwrap() < 0.0);
+        assert!(fast.area_vs(&fast).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovery_time_detects_transient() {
+        // Phase 1 starts slow (adaptation transient) then reaches steady
+        // state: recovery time should be near the transient length.
+        let r = two_speed_record(1.0, 100, 0.1, 900);
+        let report = AdaptabilityReport::from_record(&r).unwrap();
+        let (_, recovery) = report.recovery_times[0];
+        // Transient lasts 100 s; recovery detection should fall near it.
+        assert!(
+            (90.0..=120.0).contains(&recovery),
+            "recovery = {recovery}"
+        );
+    }
+
+    #[test]
+    fn instant_steady_state_recovers_fast() {
+        let r = two_speed_record(0.2, 500, 0.2, 500);
+        let report = AdaptabilityReport::from_record(&r).unwrap();
+        let (_, recovery) = report.recovery_times[0];
+        assert!(recovery < 15.0, "recovery = {recovery}");
+    }
+
+    #[test]
+    fn curve_monotone_and_complete() {
+        let r = two_speed_record(0.3, 200, 0.1, 200);
+        let report = AdaptabilityReport::from_record(&r).unwrap();
+        for w in report.curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "curve not monotone");
+        }
+        assert!((report.curve.last().unwrap().1 - 400.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_record_rejected() {
+        let mut r = two_speed_record(0.1, 10, 0.1, 10);
+        r.ops.clear();
+        assert!(AdaptabilityReport::from_record(&r).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Cost metrics (Fig. 1d, Lesson 4).
+//!
+//! "We propose to break down the cost-per-performance metrics into training
+//! and execution time. … we should evaluate the cost of training on
+//! different hardware (CPU, GPU, or TPU). … This plot allows us to define a
+//! new metric: the training cost to outperform a traditional system."
+//!
+//! Inputs are a [`RunRecord`] (whose SUT metrics carry training and
+//! execution work) plus hardware profiles and a DBA step-function model
+//! from `lsbench-sut`.
+
+use crate::record::RunRecord;
+use crate::{BenchError, Result};
+use lsbench_sut::cost::{
+    cost_per_performance, training_cost, training_cost_to_outperform, DbaCostModel,
+    HardwareProfile, TrainingCost,
+};
+use serde::{Deserialize, Serialize};
+
+/// Cost breakdown for one run on one hardware profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Hardware profile name.
+    pub hardware: String,
+    /// Training cost (time + dollars) on this hardware.
+    pub training: TrainingCost,
+    /// Execution cost (time + dollars) on this hardware.
+    pub execution: TrainingCost,
+    /// Label-collection cost (part of training, shown separately per §IV).
+    pub label_collection: TrainingCost,
+}
+
+/// The full Fig. 1d report for one SUT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// SUT name.
+    pub sut_name: String,
+    /// Mean throughput achieved (ops/sec), the Y axis of Fig. 1d.
+    pub throughput: f64,
+    /// Per-hardware breakdowns.
+    pub breakdowns: Vec<CostBreakdown>,
+    /// Classic cost-per-performance ($ per ops/sec) on the first profile,
+    /// using training + execution dollars.
+    pub cost_per_performance: Option<f64>,
+}
+
+impl CostReport {
+    /// Builds the report from a run record over the given hardware profiles.
+    pub fn from_record(record: &RunRecord, profiles: &[HardwareProfile]) -> Result<Self> {
+        if profiles.is_empty() {
+            return Err(BenchError::Metric(
+                "at least one hardware profile required".to_string(),
+            ));
+        }
+        let m = &record.final_metrics;
+        let breakdowns: Vec<CostBreakdown> = profiles
+            .iter()
+            .map(|hw| CostBreakdown {
+                hardware: hw.name.clone(),
+                training: training_cost(m.training_work, hw),
+                execution: training_cost(m.execution_work, hw),
+                label_collection: training_cost(m.label_collection_work, hw),
+            })
+            .collect();
+        let throughput = record.mean_throughput();
+        let total_dollars = breakdowns[0].training.dollars + breakdowns[0].execution.dollars;
+        Ok(CostReport {
+            sut_name: record.sut_name.clone(),
+            throughput,
+            breakdowns,
+            cost_per_performance: cost_per_performance(total_dollars, throughput),
+        })
+    }
+}
+
+/// The Fig. 1d learned-vs-DBA comparison: a throughput-vs-training-cost
+/// curve for the learned system against the DBA step function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingTradeoff {
+    /// `(training_dollars, throughput)` points for the learned system,
+    /// sorted by spend.
+    pub learned_curve: Vec<(f64, f64)>,
+    /// The DBA step function `(cumulative_dollars, throughput)`.
+    pub dba_steps: Vec<(f64, f64)>,
+    /// Smallest training spend at which the learned system beats the fully
+    /// tuned traditional system (`None` = never).
+    pub cost_to_outperform: Option<f64>,
+}
+
+impl TrainingTradeoff {
+    /// Builds the trade-off from per-budget run records of the learned
+    /// system (each run trained with a different budget) plus the DBA model.
+    ///
+    /// Training dollars are computed on `hw`.
+    pub fn new(
+        learned_runs: &[RunRecord],
+        hw: &HardwareProfile,
+        dba: &DbaCostModel,
+    ) -> Result<Self> {
+        if learned_runs.is_empty() {
+            return Err(BenchError::Metric("no learned runs given".to_string()));
+        }
+        let mut curve: Vec<(f64, f64)> = learned_runs
+            .iter()
+            .map(|r| {
+                let dollars = training_cost(r.final_metrics.training_work, hw).dollars;
+                (dollars, r.mean_throughput())
+            })
+            .collect();
+        curve.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+        let cost_to_outperform = training_cost_to_outperform(&curve, dba);
+        Ok(TrainingTradeoff {
+            learned_curve: curve,
+            dba_steps: dba.steps().to_vec(),
+            cost_to_outperform,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OpRecord, RunRecord, TrainInfo};
+    use lsbench_sut::sut::SutMetrics;
+
+    fn record(training_work: u64, ops: usize, per_op: f64) -> RunRecord {
+        let mut v = Vec::new();
+        let mut t = 0.0;
+        for _ in 0..ops {
+            t += per_op;
+            v.push(OpRecord {
+                t_end: t,
+                latency: per_op,
+                phase: 0,
+                ok: true,
+                in_transition: false,
+            });
+        }
+        RunRecord {
+            sut_name: "cost-test".to_string(),
+            scenario_name: "cost".to_string(),
+            phase_names: vec!["p0".to_string()],
+            ops: v,
+            phase_change_times: vec![(0, 0.0)],
+            train: TrainInfo {
+                work: training_work,
+                seconds: 1.0,
+            },
+            exec_start: 0.0,
+            exec_end: t,
+            final_metrics: SutMetrics {
+                size_bytes: 0,
+                training_work,
+                execution_work: (ops as u64) * 10,
+                model_count: 1,
+                adaptations: 0,
+                label_collection_work: training_work / 10,
+            },
+            work_units_per_second: 1.0,
+        }
+    }
+
+    #[test]
+    fn breakdown_per_hardware() {
+        let r = record(1_000_000_000, 1000, 0.001);
+        let profiles = [
+            HardwareProfile::cpu(),
+            HardwareProfile::gpu(),
+            HardwareProfile::tpu(),
+        ];
+        let report = CostReport::from_record(&r, &profiles).unwrap();
+        assert_eq!(report.breakdowns.len(), 3);
+        // GPU trains the same work faster than CPU.
+        let cpu = &report.breakdowns[0];
+        let gpu = &report.breakdowns[1];
+        assert!(gpu.training.seconds < cpu.training.seconds);
+        assert!(report.throughput > 0.0);
+        assert!(report.cost_per_performance.unwrap() > 0.0);
+        // Label collection is a tenth of training work.
+        assert!((cpu.label_collection.seconds * 10.0 - cpu.training.seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_profiles_rejected() {
+        let r = record(10, 10, 0.1);
+        assert!(CostReport::from_record(&r, &[]).is_err());
+    }
+
+    #[test]
+    fn tradeoff_finds_crossover() {
+        // Three learned runs: more training => more throughput.
+        let runs = vec![
+            record(1_000_000_000, 1000, 0.0015), // ~667 ops/s
+            record(20_000_000_000, 1000, 0.0006), // ~1667 ops/s
+            record(400_000_000_000, 1000, 0.0003), // ~3333 ops/s
+        ];
+        let dba = DbaCostModel::default_model(1000.0); // max 2500
+        let t = TrainingTradeoff::new(&runs, &HardwareProfile::cpu(), &dba).unwrap();
+        assert_eq!(t.learned_curve.len(), 3);
+        // Curve sorted by spend.
+        assert!(t.learned_curve.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Only the biggest budget beats 2500 ops/s.
+        let expect_cost = t.learned_curve[2].0;
+        assert_eq!(t.cost_to_outperform, Some(expect_cost));
+    }
+
+    #[test]
+    fn tradeoff_none_when_never_winning() {
+        let runs = vec![record(1_000_000, 100, 1.0)]; // 1 op/s
+        let dba = DbaCostModel::default_model(1000.0);
+        let t = TrainingTradeoff::new(&runs, &HardwareProfile::cpu(), &dba).unwrap();
+        assert_eq!(t.cost_to_outperform, None);
+        assert!(TrainingTradeoff::new(&[], &HardwareProfile::cpu(), &dba).is_err());
+    }
+}

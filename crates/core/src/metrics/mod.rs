@@ -1,0 +1,18 @@
+//! The paper's new metric families (§V-D).
+//!
+//! * [`phi`] — the Φ distribution-similarity axis: KS/MMD over data, Jaccard
+//!   over query subtrees.
+//! * [`specialization`] — Fig. 1a: throughput box plots per
+//!   workload/data distribution, sorted by Φ.
+//! * [`adaptability`] — Fig. 1b: cumulative queries over time, area
+//!   differences, recovery times.
+//! * [`sla`] — Fig. 1c: per-interval latency bands split by SLA compliance,
+//!   adjustment speed after distribution changes.
+//! * [`cost`] — Fig. 1d: training vs. execution cost, hardware profiles,
+//!   the DBA step function, and training-cost-to-outperform.
+
+pub mod adaptability;
+pub mod cost;
+pub mod phi;
+pub mod sla;
+pub mod specialization;

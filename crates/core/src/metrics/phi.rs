@@ -1,0 +1,229 @@
+//! The Φ similarity axis (§V-D.1).
+//!
+//! "We suggest providing an estimate of how far workload and data
+//! distributions differ from each other. Similarity across workloads can be
+//! estimated, for example, using the Jaccard similarity between the sets of
+//! all subtrees of the query tree … Likewise, similarity across data
+//! distributions can be evaluated using, e.g., the Kolmogorov-Smirnov test
+//! or the Maximum Mean Discrepancy. … the similarity values, represented by
+//! the function Φ, across the X-axis need not be precise, and it should be
+//! sufficient to sort the results by Φ value."
+//!
+//! All functions return a *distance* in `[0, 1]`-ish scale where 0 means
+//! identical to the baseline — exactly what the Fig. 1a X-axis needs.
+
+use crate::{BenchError, Result};
+use lsbench_query::plan::QueryNode;
+use lsbench_stats::jaccard::jaccard_similarity;
+use lsbench_stats::ks::ks_statistic;
+use lsbench_stats::mmd::mmd_rbf;
+use lsbench_workload::keygen::KeyDistribution;
+use lsbench_workload::keygen::KeyGenerator;
+use std::collections::HashSet;
+
+/// How data-distribution distance is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPhiMethod {
+    /// Two-sample Kolmogorov–Smirnov statistic (exact, `[0, 1]`).
+    KolmogorovSmirnov,
+    /// RBF-kernel Maximum Mean Discrepancy distance (≥ 0, clamped to 1).
+    MaximumMeanDiscrepancy,
+}
+
+/// Φ distance between two key samples.
+pub fn data_phi(baseline: &[f64], other: &[f64], method: DataPhiMethod) -> Result<f64> {
+    match method {
+        DataPhiMethod::KolmogorovSmirnov => {
+            ks_statistic(baseline, other).map_err(|e| BenchError::Metric(e.to_string()))
+        }
+        DataPhiMethod::MaximumMeanDiscrepancy => {
+            let m = mmd_rbf(baseline, other, None)
+                .map_err(|e| BenchError::Metric(e.to_string()))?;
+            Ok(m.max(0.0).sqrt().min(1.0))
+        }
+    }
+}
+
+/// Number of samples drawn per distribution when computing Φ from specs.
+const PHI_SAMPLES: usize = 4096;
+
+/// Φ distances of each distribution from the first (the baseline), computed
+/// by sampling the generators — the Fig. 1a X-axis for key-value scenarios.
+pub fn distribution_phis(
+    distributions: &[KeyDistribution],
+    key_range: (u64, u64),
+    method: DataPhiMethod,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    if distributions.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut samples = Vec::with_capacity(distributions.len());
+    for (i, d) in distributions.iter().enumerate() {
+        let mut g = KeyGenerator::new(d.clone(), key_range.0, key_range.1, seed + i as u64)
+            .map_err(|e| BenchError::Workload(e.to_string()))?;
+        samples.push(g.sample_f64(PHI_SAMPLES));
+    }
+    let baseline = &samples[0];
+    samples
+        .iter()
+        .map(|s| data_phi(baseline, s, method))
+        .collect()
+}
+
+/// Φ distance between two *key-value* workloads: the mean of the operation
+/// -mix distance (`1 − weighted Jaccard` over operation-kind counts) and
+/// the accessed-key distribution distance (KS).
+///
+/// Query workloads should use [`workload_phi`] (Jaccard over query
+/// subtrees, as §V-D.1 specifies); this is its key-value analogue so KV
+/// scenarios get a principled Fig. 1a axis when both the mix *and* the key
+/// pattern shift.
+pub fn kv_workload_phi(
+    a: &[lsbench_workload::ops::Operation],
+    b: &[lsbench_workload::ops::Operation],
+) -> Result<f64> {
+    use lsbench_stats::jaccard::weighted_jaccard;
+    use std::collections::HashMap;
+    let count_kinds = |ops: &[lsbench_workload::ops::Operation]| {
+        let mut m: HashMap<lsbench_workload::ops::OpKind, u64> = HashMap::new();
+        for op in ops {
+            *m.entry(op.kind()).or_insert(0) += 1;
+        }
+        m
+    };
+    let mix_distance = 1.0 - weighted_jaccard(&count_kinds(a), &count_kinds(b));
+    let keys_a: Vec<f64> = a.iter().map(|o| o.key() as f64).collect();
+    let keys_b: Vec<f64> = b.iter().map(|o| o.key() as f64).collect();
+    let key_distance = if keys_a.is_empty() || keys_b.is_empty() {
+        if keys_a.is_empty() && keys_b.is_empty() {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        ks_statistic(&keys_a, &keys_b).map_err(|e| BenchError::Metric(e.to_string()))?
+    };
+    Ok((mix_distance + key_distance) / 2.0)
+}
+
+/// Workload Φ distance: `1 − Jaccard` over the union of all query subtree
+/// hashes of each workload (§V-D.1).
+pub fn workload_phi(baseline: &[QueryNode], other: &[QueryNode]) -> f64 {
+    let a: HashSet<u64> = baseline.iter().flat_map(|q| q.subtree_hashes()).collect();
+    let b: HashSet<u64> = other.iter().flat_map(|q| q.subtree_hashes()).collect();
+    1.0 - jaccard_similarity(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsbench_query::plan::CmpOp;
+
+    #[test]
+    fn identical_data_zero_phi() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        assert_eq!(
+            data_phi(&a, &a, DataPhiMethod::KolmogorovSmirnov).unwrap(),
+            0.0
+        );
+        assert!(data_phi(&a, &a, DataPhiMethod::MaximumMeanDiscrepancy).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn distribution_phis_sorted_by_skew() {
+        // Baseline uniform; increasing zipf skew should give increasing Φ.
+        let phis = distribution_phis(
+            &[
+                KeyDistribution::Uniform,
+                KeyDistribution::Zipf { theta: 0.6 },
+                KeyDistribution::Zipf { theta: 1.4 },
+            ],
+            (0, 1_000_000),
+            DataPhiMethod::KolmogorovSmirnov,
+            1,
+        )
+        .unwrap();
+        assert_eq!(phis.len(), 3);
+        assert!(phis[0] < 0.05, "baseline vs itself-ish: {phis:?}");
+        assert!(phis[1] < phis[2], "phis not ordered: {phis:?}");
+    }
+
+    #[test]
+    fn both_methods_agree_on_ordering() {
+        let dists = [
+            KeyDistribution::Uniform,
+            KeyDistribution::Normal {
+                center: 0.4,
+                std_frac: 0.2,
+            },
+            KeyDistribution::Normal {
+                center: 0.1,
+                std_frac: 0.02,
+            },
+        ];
+        let ks = distribution_phis(&dists, (0, 100_000), DataPhiMethod::KolmogorovSmirnov, 2)
+            .unwrap();
+        let mmd = distribution_phis(
+            &dists,
+            (0, 100_000),
+            DataPhiMethod::MaximumMeanDiscrepancy,
+            2,
+        )
+        .unwrap();
+        // The paper: "it should be sufficient to sort the results by Φ".
+        assert!(ks[1] < ks[2]);
+        assert!(mmd[1] < mmd[2]);
+    }
+
+    #[test]
+    fn workload_phi_behaviour() {
+        let w1 = vec![QueryNode::scan("a").filter(1, CmpOp::Lt, 100).count()];
+        let w2 = vec![QueryNode::scan("a").filter(1, CmpOp::Lt, 110).count()]; // same buckets
+        let w3 = vec![QueryNode::scan("b").filter(3, CmpOp::Gt, 9_999_999).count()];
+        assert_eq!(workload_phi(&w1, &w1), 0.0);
+        assert!(workload_phi(&w1, &w2) < 0.2);
+        assert!(workload_phi(&w1, &w3) > 0.9);
+    }
+
+    #[test]
+    fn kv_workload_phi_behaviour() {
+        use lsbench_workload::keygen::KeyGenerator;
+        use lsbench_workload::ops::{OperationGenerator, OperationMix};
+        let make = |dist: KeyDistribution, mix: OperationMix, seed: u64| {
+            let kg = KeyGenerator::new(dist, 0, 1_000_000, seed).unwrap();
+            OperationGenerator::new(kg, mix, seed).unwrap().take(2000)
+        };
+        let base = make(KeyDistribution::Uniform, OperationMix::ycsb_c(), 1);
+        // Same distribution + mix, different seed: near zero.
+        let same = make(KeyDistribution::Uniform, OperationMix::ycsb_c(), 2);
+        let phi_same = kv_workload_phi(&base, &same).unwrap();
+        assert!(phi_same < 0.1, "phi_same = {phi_same}");
+        // Different mix, same keys: mid.
+        let other_mix = make(KeyDistribution::Uniform, OperationMix::ycsb_a(), 3);
+        let phi_mix = kv_workload_phi(&base, &other_mix).unwrap();
+        // Different keys AND mix: largest.
+        let far = make(
+            KeyDistribution::Normal {
+                center: 0.95,
+                std_frac: 0.01,
+            },
+            OperationMix::ycsb_e(),
+            4,
+        );
+        let phi_far = kv_workload_phi(&base, &far).unwrap();
+        assert!(
+            phi_same < phi_mix && phi_mix < phi_far,
+            "ordering broken: {phi_same} {phi_mix} {phi_far}"
+        );
+        assert!((0.0..=1.0).contains(&phi_far));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(distribution_phis(&[], (0, 10), DataPhiMethod::KolmogorovSmirnov, 1)
+            .unwrap()
+            .is_empty());
+        assert_eq!(workload_phi(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! SLA-band metrics (Fig. 1c).
+//!
+//! "We also propose to report query latency bands at, e.g., 1-second or
+//! 10-second intervals throughout execution. Each query latency band
+//! represents the number of completed queries within the interval
+//! (throughput), split into two categories depending on whether the query
+//! finished within the allotted Service-Level Agreement (SLA) time. …
+//! the SLA threshold should ideally be determined based on a baseline
+//! system's query latency statistics on the same hardware and workload
+//! distribution. … A single-value metric for the adjustment speed can also
+//! be obtained as the sum of query times above the SLA threshold over the
+//! first N queries after a distribution change."
+//!
+//! The multi-band variant ("green-yellow-orange-red") is implemented too.
+
+use crate::record::RunRecord;
+use crate::{BenchError, Result};
+use lsbench_stats::descriptive::quantile;
+use serde::{Deserialize, Serialize};
+
+/// How the SLA threshold is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SlaPolicy {
+    /// Fixed threshold in seconds.
+    Fixed {
+        /// Latency threshold in virtual seconds.
+        threshold: f64,
+    },
+    /// `multiplier ×` the baseline system's p99 latency (the paper's
+    /// calibration recommendation).
+    FromBaselineP99 {
+        /// Multiplier on the baseline p99.
+        multiplier: f64,
+    },
+}
+
+impl SlaPolicy {
+    /// Resolves the policy to a concrete threshold, given the baseline
+    /// record when required.
+    pub fn resolve(&self, baseline: Option<&RunRecord>) -> Result<f64> {
+        match *self {
+            SlaPolicy::Fixed { threshold } => {
+                if threshold > 0.0 {
+                    Ok(threshold)
+                } else {
+                    Err(BenchError::Metric("SLA threshold must be positive".to_string()))
+                }
+            }
+            SlaPolicy::FromBaselineP99 { multiplier } => {
+                let baseline = baseline.ok_or_else(|| {
+                    BenchError::Metric(
+                        "FromBaselineP99 requires a baseline run record".to_string(),
+                    )
+                })?;
+                let lats = baseline.all_latencies();
+                let p99 =
+                    quantile(&lats, 0.99).map_err(|e| BenchError::Metric(e.to_string()))?;
+                Ok(p99 * multiplier)
+            }
+        }
+    }
+}
+
+/// One interval's band: completions within / violating the SLA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Band {
+    /// Queries completed within the SLA in this interval.
+    pub within: usize,
+    /// Queries completed but over the SLA.
+    pub violated: usize,
+}
+
+impl Band {
+    /// Total completions in the interval.
+    pub fn total(&self) -> usize {
+        self.within + self.violated
+    }
+}
+
+/// Multi-band breakdown of one interval by latency relative to the SLA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ColorBand {
+    /// ≤ 0.5× SLA.
+    pub green: usize,
+    /// 0.5–1× SLA.
+    pub yellow: usize,
+    /// 1–2× SLA.
+    pub orange: usize,
+    /// > 2× SLA.
+    pub red: usize,
+}
+
+/// The full Fig. 1c report for one SUT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaReport {
+    /// SUT name.
+    pub sut_name: String,
+    /// The resolved SLA threshold in seconds.
+    pub threshold: f64,
+    /// Interval width in seconds.
+    pub interval: f64,
+    /// Two-way bands per interval.
+    pub bands: Vec<Band>,
+    /// Four-way color bands per interval.
+    pub color_bands: Vec<ColorBand>,
+    /// Overall SLA violation fraction.
+    pub violation_fraction: f64,
+    /// Adjustment speed per phase change: `(phase, Σ over-SLA latency over
+    /// the first N queries after the change)` — lower is faster adjustment.
+    pub adjustment_speed: Vec<(usize, f64)>,
+    /// N used for adjustment speed.
+    pub adjustment_n: usize,
+}
+
+impl SlaReport {
+    /// Builds the report. `interval` is the band width in virtual seconds;
+    /// `adjustment_n` is the N of the adjustment-speed metric.
+    pub fn from_record(
+        record: &RunRecord,
+        threshold: f64,
+        interval: f64,
+        adjustment_n: usize,
+    ) -> Result<Self> {
+        if record.ops.is_empty() {
+            return Err(BenchError::Metric("empty run record".to_string()));
+        }
+        if threshold <= 0.0 || interval <= 0.0 {
+            return Err(BenchError::Metric(
+                "threshold and interval must be positive".to_string(),
+            ));
+        }
+        let start = record.exec_start;
+        let end = record.exec_end.max(start + interval);
+        let n_intervals = ((end - start) / interval).ceil() as usize;
+        let mut bands = vec![
+            Band {
+                within: 0,
+                violated: 0
+            };
+            n_intervals
+        ];
+        let mut color_bands = vec![ColorBand::default(); n_intervals];
+        let mut violated_total = 0usize;
+        for op in &record.ops {
+            let idx = (((op.t_end - start) / interval) as usize).min(n_intervals - 1);
+            if op.latency <= threshold {
+                bands[idx].within += 1;
+            } else {
+                bands[idx].violated += 1;
+                violated_total += 1;
+            }
+            let c = &mut color_bands[idx];
+            if op.latency <= 0.5 * threshold {
+                c.green += 1;
+            } else if op.latency <= threshold {
+                c.yellow += 1;
+            } else if op.latency <= 2.0 * threshold {
+                c.orange += 1;
+            } else {
+                c.red += 1;
+            }
+        }
+
+        // Adjustment speed after each phase change.
+        let mut adjustment_speed = Vec::new();
+        for &(phase, t) in &record.phase_change_times {
+            if phase == 0 {
+                continue;
+            }
+            // Strictly after the change: a query completing exactly at the
+            // change instant belongs to the old distribution.
+            let over_sla: f64 = record
+                .ops
+                .iter()
+                .filter(|o| o.t_end > t)
+                .take(adjustment_n)
+                .map(|o| (o.latency - threshold).max(0.0))
+                .sum();
+            adjustment_speed.push((phase, over_sla));
+        }
+
+        Ok(SlaReport {
+            sut_name: record.sut_name.clone(),
+            threshold,
+            interval,
+            bands,
+            color_bands,
+            violation_fraction: violated_total as f64 / record.ops.len() as f64,
+            adjustment_speed,
+            adjustment_n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OpRecord, RunRecord, TrainInfo};
+    use lsbench_sut::sut::SutMetrics;
+
+    /// 100 fast ops (0.01 s), then 20 slow ops (0.5 s) right after a phase
+    /// change, then 100 fast again.
+    fn spike_record() -> RunRecord {
+        let mut ops = Vec::new();
+        let mut t = 0.0;
+        let mut push = |t: &mut f64, latency: f64, phase: u16| {
+            *t += latency;
+            ops.push(OpRecord {
+                t_end: *t,
+                latency,
+                phase,
+                ok: true,
+                in_transition: false,
+            });
+        };
+        for _ in 0..100 {
+            push(&mut t, 0.01, 0);
+        }
+        let change_t = t;
+        for _ in 0..20 {
+            push(&mut t, 0.5, 1);
+        }
+        for _ in 0..100 {
+            push(&mut t, 0.01, 1);
+        }
+        RunRecord {
+            sut_name: "spike".to_string(),
+            scenario_name: "sla".to_string(),
+            phase_names: vec!["a".to_string(), "b".to_string()],
+            ops,
+            phase_change_times: vec![(0, 0.0), (1, change_t)],
+            train: TrainInfo::default(),
+            exec_start: 0.0,
+            exec_end: t,
+            final_metrics: SutMetrics::default(),
+            work_units_per_second: 1.0,
+        }
+    }
+
+    #[test]
+    fn bands_conserve_ops() {
+        let r = spike_record();
+        let report = SlaReport::from_record(&r, 0.1, 1.0, 50).unwrap();
+        let total: usize = report.bands.iter().map(|b| b.total()).sum();
+        assert_eq!(total, 220);
+        let color_total: usize = report
+            .color_bands
+            .iter()
+            .map(|c| c.green + c.yellow + c.orange + c.red)
+            .sum();
+        assert_eq!(color_total, 220);
+    }
+
+    #[test]
+    fn violations_counted() {
+        let r = spike_record();
+        let report = SlaReport::from_record(&r, 0.1, 1.0, 50).unwrap();
+        let violated: usize = report.bands.iter().map(|b| b.violated).sum();
+        assert_eq!(violated, 20); // exactly the slow ops
+        assert!((report.violation_fraction - 20.0 / 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn color_bands_classify() {
+        let r = spike_record();
+        // threshold 0.1: 0.01 s ops are green (≤ 0.05); 0.5 s ops are red (> 0.2).
+        let report = SlaReport::from_record(&r, 0.1, 1.0, 50).unwrap();
+        let green: usize = report.color_bands.iter().map(|c| c.green).sum();
+        let red: usize = report.color_bands.iter().map(|c| c.red).sum();
+        assert_eq!(green, 200);
+        assert_eq!(red, 20);
+    }
+
+    #[test]
+    fn adjustment_speed_measures_spike() {
+        let r = spike_record();
+        let report = SlaReport::from_record(&r, 0.1, 1.0, 50).unwrap();
+        let (phase, speed) = report.adjustment_speed[0];
+        assert_eq!(phase, 1);
+        // 20 ops over SLA by 0.4 s each = 8.0.
+        assert!((speed - 8.0).abs() < 1e-9, "speed = {speed}");
+    }
+
+    #[test]
+    fn adjustment_n_limits_window() {
+        let r = spike_record();
+        // With N = 10 only 10 of the slow ops count.
+        let report = SlaReport::from_record(&r, 0.1, 1.0, 10).unwrap();
+        let (_, speed) = report.adjustment_speed[0];
+        assert!((speed - 4.0).abs() < 1e-9, "speed = {speed}");
+    }
+
+    #[test]
+    fn policy_resolution() {
+        let r = spike_record();
+        assert_eq!(
+            SlaPolicy::Fixed { threshold: 0.2 }.resolve(None).unwrap(),
+            0.2
+        );
+        assert!(SlaPolicy::Fixed { threshold: 0.0 }.resolve(None).is_err());
+        let from_baseline = SlaPolicy::FromBaselineP99 { multiplier: 2.0 }
+            .resolve(Some(&r))
+            .unwrap();
+        // p99 of the latencies is 0.5 (the slow ops are ~9% of the run);
+        // actually 20/220 ≈ 9% > 1%, so p99 = 0.5 → threshold 1.0.
+        assert!((from_baseline - 1.0).abs() < 1e-9, "got {from_baseline}");
+        assert!(SlaPolicy::FromBaselineP99 { multiplier: 2.0 }
+            .resolve(None)
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let r = spike_record();
+        assert!(SlaReport::from_record(&r, 0.0, 1.0, 10).is_err());
+        assert!(SlaReport::from_record(&r, 0.1, 0.0, 10).is_err());
+        let mut empty = r;
+        empty.ops.clear();
+        assert!(SlaReport::from_record(&empty, 0.1, 1.0, 10).is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! Run records: everything a benchmark run produced.
+//!
+//! The metric families (Fig. 1a–1d) are all *derived* from one record
+//! format: a vector of per-operation completions with timestamps, latencies
+//! and phase labels, plus training information and the SUT's final metric
+//! counters. Keeping the raw record (rather than aggregates) is what lets
+//! the benchmark report distributions, transitions, and bands instead of a
+//! single average (Lesson 2).
+
+use lsbench_stats::timeseries::CumulativeCurve;
+use lsbench_sut::sut::SutMetrics;
+use serde::{Deserialize, Serialize};
+
+/// One completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// Completion time (virtual seconds since run start).
+    pub t_end: f64,
+    /// Latency in virtual seconds.
+    pub latency: f64,
+    /// Scheduled phase index.
+    pub phase: u16,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+    /// Whether the operation fell inside a gradual-transition window.
+    pub in_transition: bool,
+}
+
+/// Training-phase outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrainInfo {
+    /// Work units spent training offline.
+    pub work: u64,
+    /// Virtual seconds the training phase took.
+    pub seconds: f64,
+}
+
+/// A complete run record for one SUT on one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// SUT display name.
+    pub sut_name: String,
+    /// Scenario name.
+    pub scenario_name: String,
+    /// Phase names, indexed by [`OpRecord::phase`].
+    pub phase_names: Vec<String>,
+    /// Per-operation records in completion order.
+    pub ops: Vec<OpRecord>,
+    /// Time each phase first became active: `(phase, time)`.
+    pub phase_change_times: Vec<(usize, f64)>,
+    /// Offline training outcome.
+    pub train: TrainInfo,
+    /// Virtual time when execution (post-training) started.
+    pub exec_start: f64,
+    /// Virtual time when execution finished.
+    pub exec_end: f64,
+    /// SUT metric counters at the end of the run.
+    #[serde(skip)]
+    pub final_metrics: SutMetrics,
+    /// Work-to-time conversion rate used (work units per second).
+    pub work_units_per_second: f64,
+}
+
+impl RunRecord {
+    /// Number of completed operations.
+    pub fn completed(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of failed/unsupported operations.
+    pub fn failures(&self) -> usize {
+        self.ops.iter().filter(|o| !o.ok).count()
+    }
+
+    /// Wall span of the execution portion.
+    pub fn exec_duration(&self) -> f64 {
+        self.exec_end - self.exec_start
+    }
+
+    /// Average throughput over the execution portion (ops per virtual
+    /// second) — the *traditional* metric, kept for comparison.
+    pub fn mean_throughput(&self) -> f64 {
+        if self.exec_duration() <= 0.0 {
+            0.0
+        } else {
+            self.ops.len() as f64 / self.exec_duration()
+        }
+    }
+
+    /// Latencies of operations in phase `p` (seconds).
+    pub fn phase_latencies(&self, p: usize) -> Vec<f64> {
+        self.ops
+            .iter()
+            .filter(|o| o.phase as usize == p)
+            .map(|o| o.latency)
+            .collect()
+    }
+
+    /// Latencies of all operations.
+    pub fn all_latencies(&self) -> Vec<f64> {
+        self.ops.iter().map(|o| o.latency).collect()
+    }
+
+    /// Completion-time curve of the execution portion.
+    pub fn cumulative_curve(&self) -> CumulativeCurve {
+        CumulativeCurve::from_timestamps(self.ops.iter().map(|o| o.t_end).collect())
+            .expect("timestamps are finite and ordered")
+    }
+
+    /// Throughput measured over consecutive windows of `ops_per_window`
+    /// completions within phase `p` (ops/second). Used by the Fig. 1a
+    /// box plots: each window contributes one throughput sample.
+    pub fn phase_throughput_samples(&self, p: usize, ops_per_window: usize) -> Vec<f64> {
+        let times: Vec<f64> = self
+            .ops
+            .iter()
+            .filter(|o| o.phase as usize == p)
+            .map(|o| o.t_end)
+            .collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i + ops_per_window <= times.len() {
+            let span = times[i + ops_per_window - 1] - times[i];
+            if span > 0.0 {
+                out.push((ops_per_window - 1) as f64 / span);
+            }
+            i += ops_per_window;
+        }
+        out
+    }
+
+    /// Time the given phase became active, if it ever did.
+    pub fn phase_start_time(&self, p: usize) -> Option<f64> {
+        self.phase_change_times
+            .iter()
+            .find(|&&(phase, _)| phase == p)
+            .map(|&(_, t)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic record: phase 0 at 1 op/sec for 10s, phase 1 at 5 ops/sec
+    /// for 10s.
+    pub(crate) fn synthetic() -> RunRecord {
+        let mut ops = Vec::new();
+        for i in 0..10 {
+            ops.push(OpRecord {
+                t_end: i as f64 + 1.0,
+                latency: 1.0,
+                phase: 0,
+                ok: true,
+                in_transition: false,
+            });
+        }
+        for i in 0..50 {
+            ops.push(OpRecord {
+                t_end: 10.0 + (i as f64 + 1.0) * 0.2,
+                latency: 0.2,
+                phase: 1,
+                ok: i % 10 != 0,
+                in_transition: false,
+            });
+        }
+        RunRecord {
+            sut_name: "synthetic".to_string(),
+            scenario_name: "test".to_string(),
+            phase_names: vec!["slow".to_string(), "fast".to_string()],
+            ops,
+            phase_change_times: vec![(0, 0.0), (1, 10.0)],
+            train: TrainInfo {
+                work: 100,
+                seconds: 0.1,
+            },
+            exec_start: 0.0,
+            exec_end: 20.0,
+            final_metrics: SutMetrics::default(),
+            work_units_per_second: 1000.0,
+        }
+    }
+
+    #[test]
+    fn counters() {
+        let r = synthetic();
+        assert_eq!(r.completed(), 60);
+        assert_eq!(r.failures(), 5);
+        assert_eq!(r.exec_duration(), 20.0);
+        assert!((r.mean_throughput() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_latencies_split() {
+        let r = synthetic();
+        assert_eq!(r.phase_latencies(0).len(), 10);
+        assert_eq!(r.phase_latencies(1).len(), 50);
+        assert!(r.phase_latencies(0).iter().all(|&l| l == 1.0));
+        assert!(r.phase_latencies(2).is_empty());
+    }
+
+    #[test]
+    fn throughput_samples_reflect_phase_speed() {
+        let r = synthetic();
+        let slow = r.phase_throughput_samples(0, 5);
+        let fast = r.phase_throughput_samples(1, 5);
+        assert!(!slow.is_empty() && !fast.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean(&slow) - 1.0).abs() < 0.01, "slow = {slow:?}");
+        assert!((mean(&fast) - 5.0).abs() < 0.1, "fast = {fast:?}");
+    }
+
+    #[test]
+    fn cumulative_curve_total() {
+        let r = synthetic();
+        let c = r.cumulative_curve();
+        assert_eq!(c.total(), 60);
+        assert_eq!(c.completed_by(10.0), 10);
+    }
+
+    #[test]
+    fn phase_start_lookup() {
+        let r = synthetic();
+        assert_eq!(r.phase_start_time(1), Some(10.0));
+        assert_eq!(r.phase_start_time(9), None);
+    }
+}

@@ -1,0 +1,325 @@
+//! Benchmark scenarios.
+//!
+//! A [`Scenario`] bundles everything one benchmark run needs (§V-B:
+//! "settings for configuring execution with different workload and data
+//! distributions as well as setting the training time and associated
+//! resource overhead"):
+//!
+//! * the initial **dataset** (distribution, size, key range, seed),
+//! * the **phased workload** (distributions, mixes, transitions, order),
+//! * the offline **training budget** in work units,
+//! * the **SLA policy** (explicit threshold or calibrate-from-baseline),
+//! * optional **hold-out phases** executed exactly once for out-of-sample
+//!   measurement (§V-A).
+
+use crate::metrics::sla::SlaPolicy;
+use crate::{BenchError, Result};
+use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
+use lsbench_workload::dataset::Dataset;
+use lsbench_workload::keygen::KeyDistribution;
+use lsbench_workload::ops::OperationMix;
+use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
+use serde::{Deserialize, Serialize};
+
+/// Open-loop arrival specification: operations arrive on their own
+/// schedule regardless of completions, so queueing delay becomes part of
+/// query latency. This is how the benchmark models §III-A's "temporary
+/// bursts in query load" and "diurnal query patterns".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSpec {
+    /// The arrival process (Poisson or uniform; closed-loop is expressed by
+    /// leaving [`Scenario::arrival`] as `None`).
+    pub process: ArrivalProcess,
+    /// Time-varying load modulation.
+    pub modulation: LoadModulation,
+    /// Seed for the arrival process.
+    pub seed: u64,
+}
+
+/// How online adaptation (retraining) work consumes resources (§V-B:
+/// "the fraction of system resources to dedicate for online training").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OnlineTrainMode {
+    /// Retraining runs in the foreground: the full burst stalls the next
+    /// query (one large latency spike).
+    Foreground,
+    /// Retraining runs in the background on `fraction` of the resources
+    /// (processor sharing): queries slow to `1 − fraction` speed until the
+    /// backlog drains — a longer, shallower throughput dip instead of a
+    /// spike.
+    Background {
+        /// Fraction of resources dedicated to training, in `(0, 1)`.
+        fraction: f64,
+    },
+}
+
+/// Specification of the initial dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Key distribution to draw from.
+    pub distribution: KeyDistribution,
+    /// Key range `[lo, hi)`.
+    pub key_range: (u64, u64),
+    /// Number of unique keys.
+    pub size: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Materializes the dataset.
+    pub fn build(&self) -> Result<Dataset> {
+        Dataset::generate(
+            self.distribution.clone(),
+            self.key_range.0,
+            self.key_range.1,
+            self.size,
+            self.seed,
+        )
+        .map_err(|e| BenchError::Workload(e.to_string()))
+    }
+}
+
+/// A complete benchmark scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name for reports.
+    pub name: String,
+    /// Initial database.
+    pub dataset: DatasetSpec,
+    /// The phased execution workload.
+    pub workload: PhasedWorkload,
+    /// Offline training budget in work units (0 = skip training phase).
+    pub train_budget: u64,
+    /// SLA policy for Fig. 1c metrics.
+    pub sla: SlaPolicy,
+    /// Virtual work units per second (converts work to time).
+    pub work_units_per_second: f64,
+    /// Offer the SUT a maintenance slot every this many operations.
+    pub maintenance_every: u64,
+    /// Optional hold-out workload, executed once after the main run (§V-A).
+    pub holdout: Option<PhasedWorkload>,
+    /// `None` = closed loop (next op issued on completion); `Some` = open
+    /// loop, where latency includes queueing behind earlier operations.
+    pub arrival: Option<ArrivalSpec>,
+    /// How online retraining work is scheduled against queries.
+    pub online_train: OnlineTrainMode,
+}
+
+impl Scenario {
+    /// Validates the scenario.
+    pub fn validate(&self) -> Result<()> {
+        if self.work_units_per_second <= 0.0 {
+            return Err(BenchError::InvalidScenario(
+                "work_units_per_second must be positive".to_string(),
+            ));
+        }
+        if self.maintenance_every == 0 {
+            return Err(BenchError::InvalidScenario(
+                "maintenance_every must be positive".to_string(),
+            ));
+        }
+        if self.dataset.size == 0 {
+            return Err(BenchError::InvalidScenario(
+                "dataset size must be positive".to_string(),
+            ));
+        }
+        if let OnlineTrainMode::Background { fraction } = self.online_train {
+            if !(0.0 < fraction && fraction < 1.0) {
+                return Err(BenchError::InvalidScenario(
+                    "background training fraction must be in (0, 1)".to_string(),
+                ));
+            }
+        }
+        if let Some(a) = &self.arrival {
+            a.process
+                .validate()
+                .and_then(|()| a.modulation.validate())
+                .map_err(|e| BenchError::InvalidScenario(e.to_string()))?;
+            if matches!(a.process, ArrivalProcess::ClosedLoop) {
+                return Err(BenchError::InvalidScenario(
+                    "closed loop is expressed by arrival = None".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A ready-made two-phase shift scenario: `ops_per_phase` operations of
+    /// reads on `first`, then an abrupt switch to `second` — the canonical
+    /// adaptability experiment behind Fig. 1b/1c.
+    pub fn two_phase_shift(
+        name: impl Into<String>,
+        first: KeyDistribution,
+        second: KeyDistribution,
+        dataset_size: usize,
+        ops_per_phase: u64,
+        seed: u64,
+    ) -> Result<Scenario> {
+        let key_range = (0u64, 10_000_000u64);
+        let workload = PhasedWorkload::new(
+            vec![
+                WorkloadPhase::new(
+                    first.name().to_string(),
+                    first.clone(),
+                    key_range,
+                    OperationMix::ycsb_c(),
+                    ops_per_phase,
+                ),
+                WorkloadPhase::new(
+                    second.name().to_string(),
+                    second,
+                    key_range,
+                    OperationMix::ycsb_c(),
+                    ops_per_phase,
+                ),
+            ],
+            vec![TransitionKind::Abrupt],
+            seed,
+        )
+        .map_err(|e| BenchError::Workload(e.to_string()))?;
+        Ok(Scenario {
+            name: name.into(),
+            dataset: DatasetSpec {
+                distribution: first,
+                key_range,
+                size: dataset_size,
+                seed: seed ^ 0xDA7A,
+            },
+            workload,
+            train_budget: u64::MAX,
+            sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
+            work_units_per_second: 1_000_000.0,
+            maintenance_every: 64,
+            holdout: None,
+            arrival: None,
+            online_train: OnlineTrainMode::Foreground,
+        })
+    }
+
+    /// A multi-distribution specialization scenario: one phase per given
+    /// distribution, all with the same mix — the Fig. 1a experiment.
+    pub fn specialization_sweep(
+        name: impl Into<String>,
+        distributions: Vec<KeyDistribution>,
+        dataset_size: usize,
+        ops_per_phase: u64,
+        mix: OperationMix,
+        seed: u64,
+    ) -> Result<Scenario> {
+        if distributions.is_empty() {
+            return Err(BenchError::InvalidScenario(
+                "need at least one distribution".to_string(),
+            ));
+        }
+        let key_range = (0u64, 10_000_000u64);
+        let phases: Vec<WorkloadPhase> = distributions
+            .iter()
+            .map(|d| {
+                WorkloadPhase::new(d.name(), d.clone(), key_range, mix.clone(), ops_per_phase)
+            })
+            .collect();
+        let transitions = vec![TransitionKind::Abrupt; phases.len() - 1];
+        let workload = PhasedWorkload::new(phases, transitions, seed)
+            .map_err(|e| BenchError::Workload(e.to_string()))?;
+        Ok(Scenario {
+            name: name.into(),
+            dataset: DatasetSpec {
+                distribution: KeyDistribution::Uniform,
+                key_range,
+                size: dataset_size,
+                seed: seed ^ 0xDA7A,
+            },
+            workload,
+            train_budget: u64::MAX,
+            sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
+            work_units_per_second: 1_000_000.0,
+            maintenance_every: 64,
+            holdout: None,
+            arrival: None,
+            online_train: OnlineTrainMode::Foreground,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_spec_builds() {
+        let spec = DatasetSpec {
+            distribution: KeyDistribution::Uniform,
+            key_range: (0, 100_000),
+            size: 5000,
+            seed: 1,
+        };
+        let d = spec.build().unwrap();
+        assert_eq!(d.len(), 5000);
+    }
+
+    #[test]
+    fn two_phase_shift_valid() {
+        let s = Scenario::two_phase_shift(
+            "shift",
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipf { theta: 1.1 },
+            1000,
+            500,
+            7,
+        )
+        .unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.workload.phases().len(), 2);
+        assert_eq!(s.workload.total_ops(), 1000);
+    }
+
+    #[test]
+    fn specialization_sweep_valid() {
+        let s = Scenario::specialization_sweep(
+            "sweep",
+            vec![
+                KeyDistribution::Uniform,
+                KeyDistribution::Zipf { theta: 0.8 },
+                KeyDistribution::Zipf { theta: 1.4 },
+            ],
+            1000,
+            200,
+            OperationMix::ycsb_c(),
+            3,
+        )
+        .unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.workload.phases().len(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_bad_config() {
+        let mut s = Scenario::two_phase_shift(
+            "s",
+            KeyDistribution::Uniform,
+            KeyDistribution::Uniform,
+            100,
+            10,
+            1,
+        )
+        .unwrap();
+        s.work_units_per_second = 0.0;
+        assert!(s.validate().is_err());
+        s.work_units_per_second = 1.0;
+        s.maintenance_every = 0;
+        assert!(s.validate().is_err());
+        s.maintenance_every = 10;
+        s.dataset.size = 0;
+        assert!(s.validate().is_err());
+        assert!(Scenario::specialization_sweep(
+            "x",
+            vec![],
+            10,
+            10,
+            OperationMix::ycsb_c(),
+            1
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,491 @@
+//! The standard benchmark suite.
+//!
+//! §V-A envisions the benchmark as "a common framework for executing
+//! different scenarios" whose official results come from a fixed,
+//! hold-out-bearing suite (possibly run as a service). This module defines
+//! that suite: five standard scenarios covering the paper's dynamism axes
+//! — specialization, abrupt and gradual shifts, write bursts, and bursty
+//! open-loop load — plus a hold-out pass. Running a SUT through the suite
+//! yields one [`SuiteResult`] combining every metric family, with the SLA
+//! threshold calibrated per scenario from a B+-tree baseline run (as
+//! §V-D.2 recommends).
+
+use crate::driver::{run_kv_scenario, DriverConfig};
+use crate::holdout::{run_holdout, HoldoutReport};
+use crate::metrics::adaptability::AdaptabilityReport;
+use crate::metrics::sla::{SlaPolicy, SlaReport};
+use crate::record::RunRecord;
+use crate::scenario::{ArrivalSpec, DatasetSpec, OnlineTrainMode, Scenario};
+use crate::{BenchError, Result};
+use lsbench_sut::kv::BTreeSut;
+use lsbench_sut::sut::SystemUnderTest;
+use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
+use lsbench_workload::dataset::Dataset;
+use lsbench_workload::keygen::KeyDistribution;
+use lsbench_workload::ops::{Operation, OperationMix};
+use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
+use serde::{Deserialize, Serialize};
+
+/// Scale configuration for the standard suite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuiteConfig {
+    /// Keys in each scenario's dataset.
+    pub dataset_size: usize,
+    /// Operations per workload phase.
+    pub ops_per_phase: u64,
+    /// Master seed; every scenario derives its own seeds from it.
+    pub seed: u64,
+    /// Virtual work units per second.
+    pub work_units_per_second: f64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            dataset_size: 100_000,
+            ops_per_phase: 10_000,
+            seed: 0x5EED,
+            work_units_per_second: 1_000_000.0,
+        }
+    }
+}
+
+const KEY_RANGE: (u64, u64) = (0, 10_000_000);
+
+fn base_dataset(cfg: &SuiteConfig, salt: u64) -> DatasetSpec {
+    DatasetSpec {
+        distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        key_range: KEY_RANGE,
+        size: cfg.dataset_size,
+        seed: cfg.seed ^ salt,
+    }
+}
+
+fn phase(name: &str, d: KeyDistribution, mix: OperationMix, ops: u64) -> WorkloadPhase {
+    WorkloadPhase::new(name, d, KEY_RANGE, mix, ops)
+}
+
+/// Builds the five standard scenarios.
+pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
+    let wrap = |e: lsbench_workload::WorkloadError| BenchError::Workload(e.to_string());
+    let ops = cfg.ops_per_phase;
+    let mut scenarios = Vec::with_capacity(5);
+
+    // S1: specialization sweep over four read distributions + hold-out.
+    let s1_workload = PhasedWorkload::new(
+        vec![
+            phase("uniform", KeyDistribution::Uniform, OperationMix::ycsb_c(), ops),
+            phase(
+                "zipf",
+                KeyDistribution::Zipf { theta: 1.1 },
+                OperationMix::ycsb_c(),
+                ops,
+            ),
+            phase(
+                "hotspot",
+                KeyDistribution::Hotspot {
+                    hot_span: 0.05,
+                    hot_fraction: 0.9,
+                },
+                OperationMix::ycsb_c(),
+                ops,
+            ),
+            phase(
+                "clustered",
+                KeyDistribution::Clustered {
+                    clusters: 4,
+                    cluster_std_frac: 0.01,
+                },
+                OperationMix::ycsb_c(),
+                ops,
+            ),
+        ],
+        vec![TransitionKind::Abrupt; 3],
+        cfg.seed ^ 0x51,
+    )
+    .map_err(wrap)?;
+    let s1_holdout = PhasedWorkload::single(
+        phase(
+            "holdout-tail",
+            KeyDistribution::Normal {
+                center: 0.92,
+                std_frac: 0.02,
+            },
+            OperationMix::ycsb_c(),
+            ops / 2,
+        ),
+        cfg.seed ^ 0x52,
+    )
+    .map_err(wrap)?;
+    scenarios.push(Scenario {
+        name: "S1-specialization".to_string(),
+        dataset: base_dataset(cfg, 0x11),
+        workload: s1_workload,
+        train_budget: u64::MAX,
+        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
+        work_units_per_second: cfg.work_units_per_second,
+        maintenance_every: 256,
+        holdout: Some(s1_holdout),
+        arrival: None,
+        online_train: OnlineTrainMode::Foreground,
+    });
+
+    // S2: abrupt distribution shift (reads).
+    scenarios.push(Scenario {
+        name: "S2-abrupt-shift".to_string(),
+        dataset: base_dataset(cfg, 0x22),
+        workload: PhasedWorkload::new(
+            vec![
+                phase(
+                    "head",
+                    KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                    OperationMix::ycsb_c(),
+                    ops,
+                ),
+                phase(
+                    "tail",
+                    KeyDistribution::Normal {
+                        center: 0.9,
+                        std_frac: 0.03,
+                    },
+                    OperationMix::ycsb_c(),
+                    ops,
+                ),
+            ],
+            vec![TransitionKind::Abrupt],
+            cfg.seed ^ 0x53,
+        )
+        .map_err(wrap)?,
+        train_budget: u64::MAX,
+        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
+        work_units_per_second: cfg.work_units_per_second,
+        maintenance_every: 256,
+        holdout: None,
+        arrival: None,
+        online_train: OnlineTrainMode::Foreground,
+    });
+
+    // S3: gradual shift into a write-heavy phase (adaptation pressure).
+    scenarios.push(Scenario {
+        name: "S3-gradual-writes".to_string(),
+        dataset: base_dataset(cfg, 0x33),
+        workload: PhasedWorkload::new(
+            vec![
+                phase(
+                    "reads",
+                    KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                    OperationMix::ycsb_c(),
+                    ops,
+                ),
+                phase(
+                    "mixed-writes",
+                    KeyDistribution::Normal {
+                        center: 0.85,
+                        std_frac: 0.04,
+                    },
+                    OperationMix {
+                        read: 0.5,
+                        insert: 0.5,
+                        update: 0.0,
+                        scan: 0.0,
+                        delete: 0.0,
+                        max_scan_len: 0,
+                    },
+                    ops,
+                ),
+            ],
+            vec![TransitionKind::Gradual { window: 0.3 }],
+            cfg.seed ^ 0x54,
+        )
+        .map_err(wrap)?,
+        train_budget: u64::MAX,
+        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
+        work_units_per_second: cfg.work_units_per_second,
+        maintenance_every: 256,
+        holdout: None,
+        arrival: None,
+        online_train: OnlineTrainMode::Foreground,
+    });
+
+    // S4: scan-bearing mixed workload (YCSB-E flavour).
+    scenarios.push(Scenario {
+        name: "S4-scans".to_string(),
+        dataset: base_dataset(cfg, 0x44),
+        workload: PhasedWorkload::new(
+            vec![
+                phase(
+                    "points",
+                    KeyDistribution::Zipf { theta: 0.99 },
+                    OperationMix::ycsb_b(),
+                    ops,
+                ),
+                phase(
+                    "scans",
+                    KeyDistribution::Zipf { theta: 0.99 },
+                    OperationMix::ycsb_e(),
+                    ops,
+                ),
+            ],
+            vec![TransitionKind::Abrupt],
+            cfg.seed ^ 0x55,
+        )
+        .map_err(wrap)?,
+        train_budget: u64::MAX,
+        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
+        work_units_per_second: cfg.work_units_per_second,
+        maintenance_every: 256,
+        holdout: None,
+        arrival: None,
+        online_train: OnlineTrainMode::Foreground,
+    });
+
+    // S5: bursty open-loop load (diurnal + burst dynamics of §III-A).
+    scenarios.push(Scenario {
+        name: "S5-bursty-load".to_string(),
+        dataset: base_dataset(cfg, 0x66),
+        workload: PhasedWorkload::single(
+            phase(
+                "steady-reads",
+                KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                OperationMix::ycsb_c(),
+                ops * 2,
+            ),
+            cfg.seed ^ 0x56,
+        )
+        .map_err(wrap)?,
+        train_budget: u64::MAX,
+        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
+        work_units_per_second: cfg.work_units_per_second,
+        maintenance_every: 256,
+        holdout: None,
+        online_train: OnlineTrainMode::Foreground,
+        arrival: Some(ArrivalSpec {
+            process: ArrivalProcess::Poisson {
+                // ~60% of the slowest SUT's service rate, so the baseline
+                // keeps up at steady state but every system queues during
+                // the ×4 bursts.
+                rate: cfg.work_units_per_second / 33.0,
+            },
+            modulation: LoadModulation::Burst {
+                period: 0.2,
+                burst_len: 0.04,
+                multiplier: 4.0,
+            },
+            seed: cfg.seed ^ 0x57,
+        }),
+    });
+
+    Ok(scenarios)
+}
+
+/// One scenario's condensed results within a suite run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Classic average throughput (ops/s).
+    pub mean_throughput: f64,
+    /// Normalized area vs. the ideal constant-throughput system (Fig. 1b).
+    pub normalized_area: f64,
+    /// SLA violation fraction against the B+-tree-calibrated threshold.
+    pub violation_fraction: f64,
+    /// Worst adjustment speed across phase changes (Fig. 1c single value).
+    pub adjustment_speed: f64,
+    /// Offline training seconds (Lesson 3).
+    pub train_seconds: f64,
+    /// Failed/unsupported operations.
+    pub failures: usize,
+    /// Out-of-sample generalization ratio, when the scenario has a hold-out.
+    pub generalization: Option<f64>,
+}
+
+/// A complete suite result for one SUT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// SUT display name.
+    pub sut_name: String,
+    /// Per-scenario summaries, in suite order.
+    pub summaries: Vec<ScenarioSummary>,
+}
+
+/// Interval count used for SLA bands inside the suite.
+const SLA_INTERVALS: f64 = 40.0;
+/// N for the adjustment-speed metric inside the suite.
+const ADJUSTMENT_N: usize = 2_000;
+
+/// Runs one SUT (built fresh per scenario by `factory`) through the
+/// standard suite.
+///
+/// For every scenario a B+-tree baseline is run first to calibrate the SLA
+/// threshold, so violation fractions are comparable across SUTs.
+pub fn run_suite<F>(mut factory: F, cfg: &SuiteConfig) -> Result<SuiteResult>
+where
+    F: FnMut(&Dataset) -> Result<Box<dyn SystemUnderTest<Operation>>>,
+{
+    let scenarios = standard_scenarios(cfg)?;
+    let mut summaries = Vec::with_capacity(scenarios.len());
+    let mut sut_name = String::new();
+    for scenario in &scenarios {
+        let data = scenario.dataset.build()?;
+        // Baseline for SLA calibration.
+        let mut baseline = BTreeSut::build(&data).map_err(|e| BenchError::Sut(e.to_string()))?;
+        let baseline_record = run_kv_scenario(&mut baseline, scenario, DriverConfig::default())?;
+        let threshold = scenario.sla.resolve(Some(&baseline_record))?;
+
+        let mut sut = factory(&data)?;
+        let record = run_kv_scenario(sut.as_mut(), scenario, DriverConfig::default())?;
+        sut_name = record.sut_name.clone();
+        let generalization = if scenario.holdout.is_some() {
+            let hold = run_holdout(sut.as_mut(), scenario)?;
+            Some(HoldoutReport::new(&record, &hold)?.generalization_ratio)
+        } else {
+            None
+        };
+        summaries.push(summarize(&record, threshold, generalization)?);
+    }
+    Ok(SuiteResult { sut_name, summaries })
+}
+
+fn summarize(
+    record: &RunRecord,
+    threshold: f64,
+    generalization: Option<f64>,
+) -> Result<ScenarioSummary> {
+    let adapt = AdaptabilityReport::from_record(record)?;
+    let interval = (record.exec_duration() / SLA_INTERVALS).max(f64::MIN_POSITIVE);
+    let sla = SlaReport::from_record(record, threshold, interval, ADJUSTMENT_N)?;
+    let adjustment_speed = sla
+        .adjustment_speed
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0, f64::max);
+    Ok(ScenarioSummary {
+        scenario: record.scenario_name.clone(),
+        mean_throughput: record.mean_throughput(),
+        normalized_area: adapt.normalized_area,
+        violation_fraction: sla.violation_fraction,
+        adjustment_speed,
+        train_seconds: record.train.seconds,
+        failures: record.failures(),
+        generalization,
+    })
+}
+
+/// Renders a cross-SUT comparison table over suite results.
+pub fn render_comparison(results: &[SuiteResult]) -> String {
+    let mut out = String::new();
+    if results.is_empty() {
+        return out;
+    }
+    for (i, scenario) in results[0].summaries.iter().enumerate() {
+        out.push_str(&format!("== {} ==\n", scenario.scenario));
+        out.push_str(
+            "  SUT                 ops/s    norm-area  viol%   adjust-s  train-s  fail  general\n",
+        );
+        for r in results {
+            let Some(s) = r.summaries.get(i) else { continue };
+            out.push_str(&format!(
+                "  {:<18} {:>8.0} {:>11.4} {:>6.2} {:>10.4} {:>8.3} {:>5} {:>8}\n",
+                r.sut_name,
+                s.mean_throughput,
+                s.normalized_area,
+                s.violation_fraction * 100.0,
+                s.adjustment_speed,
+                s.train_seconds,
+                s.failures,
+                s.generalization
+                    .map(|g| format!("{g:.3}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsbench_sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
+
+    fn tiny() -> SuiteConfig {
+        SuiteConfig {
+            dataset_size: 4_000,
+            ops_per_phase: 600,
+            seed: 1,
+            work_units_per_second: 1_000_000.0,
+        }
+    }
+
+    #[test]
+    fn standard_scenarios_are_valid() {
+        let scenarios = standard_scenarios(&tiny()).unwrap();
+        assert_eq!(scenarios.len(), 5);
+        for s in &scenarios {
+            s.validate().unwrap();
+        }
+        // S1 carries the hold-out; S5 is open loop.
+        assert!(scenarios[0].holdout.is_some());
+        assert!(scenarios[4].arrival.is_some());
+    }
+
+    #[test]
+    fn suite_runs_for_learned_and_traditional() {
+        let cfg = tiny();
+        let rmi = run_suite(
+            |data| {
+                Ok(Box::new(
+                    RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05))
+                        .map_err(|e| crate::BenchError::Sut(e.to_string()))?,
+                ))
+            },
+            &cfg,
+        )
+        .unwrap();
+        let btree = run_suite(
+            |data| {
+                Ok(Box::new(
+                    BTreeSut::build(data).map_err(|e| crate::BenchError::Sut(e.to_string()))?,
+                ))
+            },
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(rmi.summaries.len(), 5);
+        assert_eq!(btree.summaries.len(), 5);
+        assert_eq!(rmi.sut_name, "rmi");
+        // Only S1 has a generalization ratio.
+        assert!(rmi.summaries[0].generalization.is_some());
+        assert!(rmi.summaries[1].generalization.is_none());
+        // Learned SUT trains, traditional does not.
+        assert!(rmi.summaries.iter().all(|s| s.train_seconds > 0.0));
+        assert!(btree.summaries.iter().all(|s| s.train_seconds == 0.0));
+        // Comparison renders every scenario once.
+        let table = render_comparison(&[rmi.clone(), btree]);
+        assert_eq!(table.matches("== S").count(), 5);
+        assert!(table.contains("rmi"));
+        assert!(table.contains("btree"));
+        // JSON round trip.
+        let json = serde_json::to_string(&rmi).unwrap();
+        let back: SuiteResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rmi);
+    }
+
+    #[test]
+    fn suite_deterministic() {
+        let cfg = tiny();
+        let run = || {
+            run_suite(
+                |data| {
+                    Ok(Box::new(
+                        RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05))
+                            .map_err(|e| crate::BenchError::Sut(e.to_string()))?,
+                    ))
+                },
+                &cfg,
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

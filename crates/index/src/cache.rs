@@ -1,0 +1,466 @@
+//! Caches: LRU baseline and a learned (frequency-predicting) cache.
+//!
+//! §II lists "learning-based caches" among the learned components under
+//! active exploration. This module provides the two SUT-pluggable policies
+//! the benchmark compares:
+//!
+//! * [`LruCache`] — the classic recency baseline.
+//! * [`LearnedCache`] — an admission/eviction policy driven by a *learned
+//!   per-key access-frequency model*: exponentially decayed counts predict
+//!   each key's re-access probability, evictions remove the key with the
+//!   lowest prediction (sampled, as production systems do). The decay rate
+//!   is its adaptability knob: slow decay specializes hard to the observed
+//!   distribution (and overfits it, which the hold-out metric exposes),
+//!   fast decay adapts quickly after a shift.
+//!
+//! Both are value-less (they cache key presence; the benchmark charges a
+//! reduced probe cost on hits), deterministic, and report hit statistics.
+
+use std::collections::HashMap;
+
+/// Statistics a cache reports to the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A key cache the benchmark can put in front of an index.
+pub trait KeyCache: Send {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+    /// Records an access; returns true on hit. Misses are admitted.
+    fn access(&mut self, key: u64) -> bool;
+    /// Removes a key (on delete), if present.
+    fn invalidate(&mut self, key: u64);
+    /// Current statistics.
+    fn stats(&self) -> CacheStats;
+    /// Number of cached keys.
+    fn len(&self) -> usize;
+    /// Whether the cache is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Classic LRU cache over `u64` keys.
+///
+/// Intrusive doubly-linked list over an arena, `O(1)` per operation.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    /// key → slot index.
+    map: HashMap<u64, usize>,
+    /// Arena of (key, prev, next); `usize::MAX` = none.
+    nodes: Vec<(u64, usize, usize)>,
+    free: Vec<usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    stats: CacheStats,
+}
+
+const NONE: usize = usize::MAX;
+
+impl LruCache {
+    /// Creates an LRU cache holding up to `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (_, prev, next) = self.nodes[idx];
+        if prev != NONE {
+            self.nodes[prev].2 = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.nodes[next].1 = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].1 = NONE;
+        self.nodes[idx].2 = self.head;
+        if self.head != NONE {
+            self.nodes[self.head].1 = idx;
+        }
+        self.head = idx;
+        if self.tail == NONE {
+            self.tail = idx;
+        }
+    }
+
+    #[cfg(test)]
+    fn keys_in_order(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = self.head;
+        while cur != NONE {
+            out.push(self.nodes[cur].0);
+            cur = self.nodes[cur].2;
+        }
+        out
+    }
+}
+
+impl KeyCache for LruCache {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn access(&mut self, key: u64) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.stats.hits += 1;
+            self.detach(idx);
+            self.push_front(idx);
+            return true;
+        }
+        self.stats.misses += 1;
+        // Admit; evict the tail if full.
+        if self.map.len() >= self.capacity {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NONE);
+            let victim = self.nodes[tail].0;
+            self.detach(tail);
+            self.map.remove(&victim);
+            self.free.push(tail);
+            self.stats.evictions += 1;
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = (key, NONE, NONE);
+            idx
+        } else {
+            self.nodes.push((key, NONE, NONE));
+            self.nodes.len() - 1
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        false
+    }
+
+    fn invalidate(&mut self, key: u64) {
+        if let Some(idx) = self.map.remove(&key) {
+            self.detach(idx);
+            self.free.push(idx);
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Learned cache: per-key exponentially decayed frequency predictions.
+///
+/// Every access trains the model (`score ← score·decay^Δt + 1` in virtual
+/// access-count time); eviction removes the lowest-scoring of `SAMPLE`
+/// deterministically chosen candidates. Cold keys with low predicted
+/// re-access probability are evicted even if recently touched — the
+/// frequency signal the LRU baseline ignores.
+#[derive(Debug)]
+pub struct LearnedCache {
+    capacity: usize,
+    /// key → (decayed score, last-access tick).
+    entries: HashMap<u64, (f64, u64)>,
+    /// Per-access decay factor applied per elapsed tick.
+    decay: f64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// Eviction candidates sampled per eviction.
+const SAMPLE: usize = 8;
+
+impl LearnedCache {
+    /// Creates a learned cache with the given capacity and a default decay
+    /// half-life of 16× the capacity: long enough that a genuinely hot
+    /// key's accumulated score dominates a one-shot scan key's score of 1,
+    /// short enough to adapt to shifts within a few cache-lifetimes.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_half_life(capacity, (capacity as f64) * 16.0)
+    }
+
+    /// Creates a learned cache whose frequency scores halve every
+    /// `half_life_accesses` accesses. Short half-lives adapt fast after a
+    /// shift; long ones specialize harder in steady state.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or `half_life_accesses` is not positive.
+    pub fn with_half_life(capacity: usize, half_life_accesses: f64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(
+            half_life_accesses > 0.0,
+            "half life must be positive"
+        );
+        LearnedCache {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            decay: 0.5f64.powf(1.0 / half_life_accesses),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The decayed score of `key` as of the current tick.
+    fn score_now(&self, score: f64, last: u64) -> f64 {
+        score * self.decay.powf((self.tick - last) as f64)
+    }
+
+    fn evict_one(&mut self) {
+        // Deterministic sampling: take the SAMPLE keys with the smallest
+        // mixed hash (key, tick) to avoid scanning everything, then evict
+        // the lowest score among them. The murmur3 finalizer is needed
+        // here — a bare multiply leaves consecutive keys ordered, which
+        // would bias the sample toward whole key clusters.
+        fn mix(mut x: u64) -> u64 {
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            x ^= x >> 33;
+            x
+        }
+        let mut candidates: Vec<(u64, f64)> = Vec::with_capacity(SAMPLE);
+        let salt = self.tick.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sampled: Vec<(u64, u64)> = self
+            .entries
+            .keys()
+            .map(|&k| (mix(k ^ salt), k))
+            .collect();
+        sampled.sort_unstable();
+        for &(_, k) in sampled.iter().take(SAMPLE) {
+            let (score, last) = self.entries[&k];
+            candidates.push((k, self.score_now(score, last)));
+        }
+        if let Some(&(victim, _)) = candidates
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+        {
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+impl KeyCache for LearnedCache {
+    fn name(&self) -> &'static str {
+        "learned-freq"
+    }
+
+    fn access(&mut self, key: u64) -> bool {
+        self.tick += 1;
+        let hit = if let Some(&(score, last)) = self.entries.get(&key) {
+            let new_score = self.score_now(score, last) + 1.0;
+            self.entries.insert(key, (new_score, self.tick));
+            true
+        } else {
+            false
+        };
+        if hit {
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.entries.insert(key, (1.0, self.tick));
+        false
+    }
+
+    fn invalidate(&mut self, key: u64) {
+        self.entries.remove(&key);
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn lru_basic_semantics() {
+        let mut c = LruCache::new(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // 1 is now most recent
+        assert!(!c.access(3)); // evicts 2
+        assert!(!c.access(2)); // miss: was evicted
+        assert!(c.access(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn lru_order_maintained() {
+        let mut c = LruCache::new(3);
+        for k in [1, 2, 3] {
+            c.access(k);
+        }
+        assert_eq!(c.keys_in_order(), vec![3, 2, 1]);
+        c.access(1);
+        assert_eq!(c.keys_in_order(), vec![1, 3, 2]);
+        c.access(4); // evicts 2
+        assert_eq!(c.keys_in_order(), vec![4, 1, 3]);
+    }
+
+    #[test]
+    fn lru_invalidate() {
+        let mut c = LruCache::new(3);
+        c.access(1);
+        c.access(2);
+        c.invalidate(1);
+        assert_eq!(c.len(), 1);
+        assert!(!c.access(1)); // readmitted as miss
+        c.invalidate(99); // absent: no-op
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn learned_basic_semantics() {
+        let mut c = LearnedCache::new(2);
+        assert!(!c.access(1));
+        assert!(c.access(1));
+        assert!(!c.access(2));
+        assert_eq!(c.len(), 2);
+        c.invalidate(1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn learned_keeps_hot_keys_under_scan_pollution() {
+        // A small hot set plus a long one-shot scan: the learned cache must
+        // retain the hot keys (high predicted frequency); LRU flushes them.
+        let capacity = 64;
+        let mut learned = LearnedCache::new(capacity);
+        let mut lru = LruCache::new(capacity);
+        let mut rng = StdRng::seed_from_u64(9);
+        let hot: Vec<u64> = (0..16).collect();
+        // Warm up both caches on the hot set.
+        for _ in 0..2000 {
+            let k = hot[rng.gen_range(0..hot.len())];
+            learned.access(k);
+            lru.access(k);
+        }
+        // One-shot scan of 4000 cold keys interleaved with hot accesses;
+        // count hot-access hits *during* the pollution (the moment that
+        // separates frequency-aware from recency-only policies).
+        let mut learned_hot_hits = 0u64;
+        let mut lru_hot_hits = 0u64;
+        let mut hot_accesses = 0u64;
+        for i in 0..4000u64 {
+            learned.access(1_000_000 + i);
+            lru.access(1_000_000 + i);
+            if i % 10 == 0 {
+                let k = hot[rng.gen_range(0..hot.len())];
+                hot_accesses += 1;
+                learned_hot_hits += u64::from(learned.access(k));
+                lru_hot_hits += u64::from(lru.access(k));
+            }
+        }
+        let learned_rate = learned_hot_hits as f64 / hot_accesses as f64;
+        let lru_rate = lru_hot_hits as f64 / hot_accesses as f64;
+        // The learned cache retains the hot set through the scan; LRU's
+        // recency policy lets the scan flush it.
+        assert!(
+            learned_rate > 0.9,
+            "learned cache lost the hot set: {learned_rate}"
+        );
+        assert!(
+            lru_rate < 0.5,
+            "scan unexpectedly failed to pollute LRU: {lru_rate}"
+        );
+    }
+
+    #[test]
+    fn learned_adapts_after_distribution_shift() {
+        // Hot set A, then hot set B: hit rate on B must recover.
+        let mut c = LearnedCache::with_half_life(32, 64.0);
+        for i in 0..2000u64 {
+            c.access(i % 16);
+        }
+        let before = c.stats();
+        for i in 0..2000u64 {
+            c.access(1000 + (i % 16));
+        }
+        let after = c.stats();
+        let b_hits = (after.hits - before.hits) as f64 / 2000.0;
+        assert!(b_hits > 0.9, "failed to adapt: {b_hits}");
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = LruCache::new(4);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(1);
+        c.access(1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_respected_under_churn() {
+        let mut learned = LearnedCache::new(50);
+        let mut lru = LruCache::new(50);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let k = rng.gen_range(0u64..500);
+            learned.access(k);
+            lru.access(k);
+            assert!(learned.len() <= 50);
+            assert!(lru.len() <= 50);
+        }
+        assert_eq!(lru.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::new(0);
+    }
+}

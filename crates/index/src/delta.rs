@@ -1,0 +1,368 @@
+//! Delta buffer + retrain wrapper for read-only learned indexes.
+//!
+//! Most learned indexes (RMI, PGM, RadixSpline) are built once over a
+//! static array. Real systems make them updatable by buffering writes in a
+//! small dynamic structure and periodically *retraining* — rebuilding the
+//! learned structure over the merged data. That retraining step is
+//! precisely the behaviour the paper's adaptability metrics measure: it
+//! costs a burst of work (Fig. 1b's slow segment, Fig. 1c's SLA violations)
+//! in exchange for restored lookup speed.
+//!
+//! [`DeltaIndex`] wraps any `Index + BulkLoad` with:
+//! * a sorted delta buffer for inserts/updates,
+//! * a tombstone set for deletes,
+//! * an explicit [`DeltaIndex::retrain`] that merges and rebuilds,
+//! * [`DeltaIndex::delta_fraction`] so a policy can decide *when* to retrain.
+
+use crate::sorted_array::SortedArray;
+use crate::{BulkLoad, Index, IndexStats, Result};
+use std::collections::HashSet;
+
+/// An updatable wrapper around a read-only (bulk-loaded) index.
+#[derive(Debug)]
+pub struct DeltaIndex<I> {
+    base: I,
+    delta: SortedArray,
+    tombstones: HashSet<u64>,
+    /// Work spent on retrains (cumulative build work of rebuilt bases).
+    retrain_work: u64,
+    retrain_count: u64,
+}
+
+impl<I: Index + BulkLoad> DeltaIndex<I> {
+    /// Builds the base index from sorted pairs with an empty delta.
+    pub fn build(pairs: &[(u64, u64)]) -> Result<Self> {
+        Ok(DeltaIndex {
+            base: I::bulk_load(pairs)?,
+            delta: SortedArray::new(),
+            tombstones: HashSet::new(),
+            retrain_work: 0,
+            retrain_count: 0,
+        })
+    }
+
+    /// Wraps an already-built base index with an empty delta.
+    ///
+    /// Used when the base was trained with a custom configuration (e.g. a
+    /// specific training budget) rather than the type's default bulk load.
+    pub fn from_base(base: I) -> Self {
+        DeltaIndex {
+            base,
+            delta: SortedArray::new(),
+            tombstones: HashSet::new(),
+            retrain_work: 0,
+            retrain_count: 0,
+        }
+    }
+
+    /// Immutable access to the wrapped base index.
+    pub fn base(&self) -> &I {
+        &self.base
+    }
+
+    /// Pending (unmerged) writes: delta entries plus tombstones.
+    pub fn pending(&self) -> usize {
+        self.delta.len() + self.tombstones.len()
+    }
+
+    /// Pending writes as a fraction of total live keys; retrain policies
+    /// trigger when this crosses a threshold.
+    pub fn delta_fraction(&self) -> f64 {
+        let total = self.len();
+        if total == 0 {
+            if self.pending() > 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.pending() as f64 / total as f64
+        }
+    }
+
+    /// Number of retrains performed.
+    pub fn retrain_count(&self) -> u64 {
+        self.retrain_count
+    }
+
+    /// Materializes base ∪ delta − tombstones as sorted pairs.
+    fn merged_pairs(&self) -> Vec<(u64, u64)> {
+        // The base is read-only, so a full range scan enumerates it.
+        let base_pairs = self
+            .base
+            .range(0, usize::MAX >> 1)
+            .expect("ordered base index supports range");
+        let mut out = Vec::with_capacity(base_pairs.len() + self.delta.len());
+        let dk = self.delta.keys();
+        let dv = self.delta.values();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < base_pairs.len() || j < dk.len() {
+            let take_base = match (base_pairs.get(i), dk.get(j)) {
+                (Some(&(bk, _)), Some(&dkj)) => {
+                    if bk == dkj {
+                        i += 1; // delta overwrites base
+                        continue;
+                    }
+                    bk < dkj
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (k, v) = if take_base {
+                let p = base_pairs[i];
+                i += 1;
+                p
+            } else {
+                let p = (dk[j], dv[j]);
+                j += 1;
+                p
+            };
+            if !self.tombstones.contains(&k) {
+                out.push((k, v));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds the base over the merged data and clears the delta.
+    ///
+    /// Returns the build work of the rebuilt base (the cost the benchmark's
+    /// training metrics attribute to this adaptation).
+    pub fn retrain(&mut self) -> Result<u64> {
+        let pairs = self.merged_pairs();
+        self.base = I::bulk_load(&pairs)?;
+        self.delta = SortedArray::new();
+        self.tombstones.clear();
+        let work = self.base.stats().build_work;
+        self.retrain_work += work;
+        self.retrain_count += 1;
+        Ok(work)
+    }
+}
+
+impl<I: Index + BulkLoad> Index for DeltaIndex<I> {
+    fn name(&self) -> &'static str {
+        // Stable name: callers needing the base name can use `base()`.
+        "delta"
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        if self.tombstones.contains(&key) {
+            return None;
+        }
+        self.delta.get(key).or_else(|| self.base.get(key))
+    }
+
+    fn range(&self, start: u64, limit: usize) -> Result<Vec<(u64, u64)>> {
+        // Merge base and delta streams, honouring tombstones.
+        let base = self.base.range(start, limit + self.tombstones.len())?;
+        let delta = self.delta.range(start, limit)?;
+        let mut out = Vec::with_capacity(limit.min(1024));
+        let (mut i, mut j) = (0usize, 0usize);
+        while out.len() < limit && (i < base.len() || j < delta.len()) {
+            let take_base = match (base.get(i), delta.get(j)) {
+                (Some(&(bk, _)), Some(&(dk, _))) => {
+                    if bk == dk {
+                        i += 1;
+                        continue;
+                    }
+                    bk < dk
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (k, v) = if take_base {
+                let p = base[i];
+                i += 1;
+                p
+            } else {
+                let p = delta[j];
+                j += 1;
+                p
+            };
+            if !self.tombstones.contains(&k) {
+                out.push((k, v));
+            }
+        }
+        // The base range may have been truncated by `limit +
+        // tombstones.len()` while tombstones consumed entries; in the common
+        // benchmark configurations limits are small, so accept the
+        // approximation and top up from the base directly if short.
+        if out.len() < limit {
+            if let Some(&(last, _)) = out.last() {
+                let more = self.base.range(last + 1, limit - out.len() + self.tombstones.len())?;
+                for (k, v) in more {
+                    if out.len() >= limit {
+                        break;
+                    }
+                    if !self.tombstones.contains(&k) && self.delta.get(k).is_none() {
+                        out.push((k, v));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn insert(&mut self, key: u64, value: u64) -> Result<Option<u64>> {
+        // A tombstoned key is logically absent: reinserting it returns None,
+        // not the stale base value.
+        let was_tombstoned = self.tombstones.remove(&key);
+        let prev_delta = self.delta.insert(key, value)?;
+        if was_tombstoned {
+            debug_assert!(prev_delta.is_none(), "tombstone and delta entry coexisted");
+            return Ok(None);
+        }
+        Ok(prev_delta.or_else(|| self.base.get(key)))
+    }
+
+    fn delete(&mut self, key: u64) -> Result<Option<u64>> {
+        let in_delta = self.delta.delete(key)?;
+        if self.tombstones.contains(&key) {
+            // Already logically deleted.
+            debug_assert!(in_delta.is_none(), "tombstone and delta entry coexisted");
+            return Ok(None);
+        }
+        let in_base = self.base.get(key);
+        if in_base.is_some() {
+            self.tombstones.insert(key);
+        }
+        Ok(in_delta.or(in_base))
+    }
+
+    fn len(&self) -> usize {
+        // Base keys minus tombstoned base keys plus delta keys not in base.
+        let mut len = self.base.len() + self.delta.len();
+        for k in self.delta.keys() {
+            if self.base.get(*k).is_some() {
+                len -= 1; // counted twice
+            }
+        }
+        len - self.tombstones.len()
+    }
+
+    fn stats(&self) -> IndexStats {
+        let base = self.base.stats();
+        IndexStats {
+            size_bytes: base.size_bytes + self.delta.len() * 16 + self.tombstones.len() * 8,
+            build_work: base.build_work + self.retrain_work,
+            model_count: base.model_count,
+        }
+    }
+
+    fn probe_cost(&self, key: u64) -> u64 {
+        // Base probe plus a binary search of the pending delta: an unmerged
+        // delta makes every read slower, which is why retraining pays off.
+        self.base.probe_cost(key) + crate::bsearch_cost(self.pending() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmi::Rmi;
+    use crate::test_support::test_pairs;
+
+    type DeltaRmi = DeltaIndex<Rmi>;
+
+    #[test]
+    fn reads_see_base() {
+        let pairs = test_pairs(1000);
+        let idx = DeltaRmi::build(&pairs).unwrap();
+        for &(k, v) in &pairs {
+            assert_eq!(idx.get(k), Some(v));
+        }
+        assert_eq!(idx.len(), pairs.len());
+    }
+
+    #[test]
+    fn inserts_buffer_in_delta() {
+        let pairs = test_pairs(100);
+        let mut idx = DeltaRmi::build(&pairs).unwrap();
+        let fresh = pairs.last().unwrap().0 + 10;
+        assert_eq!(idx.insert(fresh, 7).unwrap(), None);
+        assert_eq!(idx.get(fresh), Some(7));
+        assert_eq!(idx.pending(), 1);
+        assert_eq!(idx.len(), 101);
+    }
+
+    #[test]
+    fn update_overwrites_base_value() {
+        let pairs = test_pairs(100);
+        let (k, v) = pairs[50];
+        let mut idx = DeltaRmi::build(&pairs).unwrap();
+        assert_eq!(idx.insert(k, v + 1).unwrap(), Some(v));
+        assert_eq!(idx.get(k), Some(v + 1));
+        assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn delete_tombstones_base_key() {
+        let pairs = test_pairs(100);
+        let (k, v) = pairs[10];
+        let mut idx = DeltaRmi::build(&pairs).unwrap();
+        assert_eq!(idx.delete(k).unwrap(), Some(v));
+        assert_eq!(idx.get(k), None);
+        assert_eq!(idx.len(), 99);
+        // Reinsert resurrects.
+        idx.insert(k, 1).unwrap();
+        assert_eq!(idx.get(k), Some(1));
+        assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn retrain_merges_everything() {
+        let pairs = test_pairs(500);
+        let mut idx = DeltaRmi::build(&pairs).unwrap();
+        let max = pairs.last().unwrap().0;
+        // Mix of updates, fresh inserts, deletes.
+        idx.insert(pairs[0].0, 999).unwrap();
+        idx.insert(max + 5, 5).unwrap();
+        idx.delete(pairs[1].0).unwrap();
+        let len_before = idx.len();
+        let work = idx.retrain().unwrap();
+        assert!(work > 0);
+        assert_eq!(idx.pending(), 0);
+        assert_eq!(idx.retrain_count(), 1);
+        assert_eq!(idx.len(), len_before);
+        assert_eq!(idx.get(pairs[0].0), Some(999));
+        assert_eq!(idx.get(max + 5), Some(5));
+        assert_eq!(idx.get(pairs[1].0), None);
+    }
+
+    #[test]
+    fn range_merges_delta() {
+        let pairs: Vec<(u64, u64)> = (0..100u64).map(|i| (i * 10, i)).collect();
+        let mut idx = DeltaRmi::build(&pairs).unwrap();
+        idx.insert(15, 150).unwrap(); // between base keys
+        idx.delete(20).unwrap(); // tombstone a base key
+        let got = idx.range(10, 4).unwrap();
+        assert_eq!(got, vec![(10, 1), (15, 150), (30, 3), (40, 4)]);
+    }
+
+    #[test]
+    fn delta_fraction_drives_policy() {
+        let pairs = test_pairs(100);
+        let mut idx = DeltaRmi::build(&pairs).unwrap();
+        assert_eq!(idx.delta_fraction(), 0.0);
+        let max = pairs.last().unwrap().0;
+        for i in 0..50u64 {
+            idx.insert(max + 1 + i, i).unwrap();
+        }
+        assert!(idx.delta_fraction() > 0.3);
+        idx.retrain().unwrap();
+        assert_eq!(idx.delta_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_base_works() {
+        let mut idx = DeltaRmi::build(&[]).unwrap();
+        assert_eq!(idx.len(), 0);
+        idx.insert(1, 10).unwrap();
+        assert_eq!(idx.get(1), Some(10));
+        idx.retrain().unwrap();
+        assert_eq!(idx.base().len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Learned sort: CDF-model bucketing plus a touch-up pass.
+//!
+//! §II of the paper cites learned sorting [31] as a query-execution use of
+//! models: "a cumulative distribution function (CDF) model allows fast
+//! sorting by placing the data records in roughly sorted order and then
+//! running a quick touch-up pass to get the final correct order". This
+//! module implements that algorithm: sample → fit an equi-depth CDF model →
+//! scatter into buckets → sort buckets → concatenate (the concatenation is
+//! already globally ordered because bucket boundaries partition the key
+//! space).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of samples used to fit the CDF model.
+const SAMPLE_SIZE: usize = 1024;
+
+/// Target elements per bucket.
+const BUCKET_TARGET: usize = 64;
+
+/// Statistics about a learned-sort run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortStats {
+    /// Number of buckets used.
+    pub buckets: usize,
+    /// Elements that landed outside their model-predicted bucket's ideal
+    /// position and were fixed by the per-bucket sort (diagnostic; equals
+    /// `n` minus already-sorted runs).
+    pub sampled: usize,
+}
+
+/// Sorts `data` in place using a learned CDF model; returns run statistics.
+///
+/// Deterministic for a given `seed`. Falls back to `sort_unstable` for tiny
+/// inputs where model fitting cannot pay off.
+pub fn learned_sort(data: &mut [u64], seed: u64) -> SortStats {
+    let n = data.len();
+    if n <= 2 * BUCKET_TARGET {
+        data.sort_unstable();
+        return SortStats {
+            buckets: 1,
+            sampled: 0,
+        };
+    }
+    // 1. Sample and build an equi-depth CDF over the sample.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample_size = SAMPLE_SIZE.min(n);
+    let mut sample: Vec<u64> = (0..sample_size)
+        .map(|_| data[rng.gen_range(0..n)])
+        .collect();
+    sample.sort_unstable();
+
+    let bucket_count = (n / BUCKET_TARGET).clamp(2, 64 * 1024);
+    // Bucket boundaries from sample quantiles (equi-depth: each bucket gets
+    // an equal share of the sampled CDF).
+    let mut bounds = Vec::with_capacity(bucket_count - 1);
+    for b in 1..bucket_count {
+        let idx = b * sample.len() / bucket_count;
+        bounds.push(sample[idx.min(sample.len() - 1)]);
+    }
+
+    // 2. Scatter into buckets via binary search on the boundaries (this is
+    // the CDF model application).
+    let mut buckets: Vec<Vec<u64>> = vec![Vec::with_capacity(BUCKET_TARGET * 2); bucket_count];
+    for &v in data.iter() {
+        let b = bounds.partition_point(|&bound| bound <= v);
+        buckets[b].push(v);
+    }
+
+    // 3. Touch-up: sort each bucket and write back.
+    let mut out = 0usize;
+    for bucket in &mut buckets {
+        bucket.sort_unstable();
+        data[out..out + bucket.len()].copy_from_slice(bucket);
+        out += bucket.len();
+    }
+    debug_assert_eq!(out, n);
+    SortStats {
+        buckets: bucket_count,
+        sampled: sample_size,
+    }
+}
+
+/// Checks whether a slice is sorted ascending (test/bench helper).
+pub fn is_sorted(data: &[u64]) -> bool {
+    data.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_random_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data: Vec<u64> = (0..50_000).map(|_| rng.gen()).collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        let stats = learned_sort(&mut data, 2);
+        assert_eq!(data, expected);
+        assert!(stats.buckets > 1);
+    }
+
+    #[test]
+    fn sorts_skewed_data() {
+        // Heavy duplication + skew: many equal keys in few buckets.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data: Vec<u64> = (0..20_000)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.8 {
+                    rng.gen_range(0..100)
+                } else {
+                    rng.gen()
+                }
+            })
+            .collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        learned_sort(&mut data, 4);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn sorts_already_sorted() {
+        let mut data: Vec<u64> = (0..10_000).collect();
+        let expected = data.clone();
+        learned_sort(&mut data, 5);
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn sorts_reverse_sorted() {
+        let mut data: Vec<u64> = (0..10_000).rev().collect();
+        learned_sort(&mut data, 6);
+        assert!(is_sorted(&data));
+        assert_eq!(data[0], 0);
+        assert_eq!(data[9999], 9999);
+    }
+
+    #[test]
+    fn small_input_falls_back() {
+        let mut data = vec![3, 1, 2];
+        let stats = learned_sort(&mut data, 7);
+        assert_eq!(data, vec![1, 2, 3]);
+        assert_eq!(stats.buckets, 1);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut empty: Vec<u64> = vec![];
+        learned_sort(&mut empty, 8);
+        assert!(empty.is_empty());
+        let mut one = vec![42];
+        learned_sort(&mut one, 9);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn all_equal() {
+        let mut data = vec![7u64; 10_000];
+        learned_sort(&mut data, 10);
+        assert!(data.iter().all(|&v| v == 7));
+        assert_eq!(data.len(), 10_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let original: Vec<u64> = (0..5000).map(|_| rng.gen()).collect();
+        let mut a = original.clone();
+        let mut b = original;
+        let sa = learned_sort(&mut a, 12);
+        let sb = learned_sort(&mut b, 12);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,208 @@
+//! Index structures — the systems under test of the benchmark.
+//!
+//! §II of the paper surveys the learned components the benchmark must be
+//! able to evaluate; learned indexes are its flagship example ("models …
+//! arranged in a tree, with the prediction of a model being used to pick a
+//! more specialized model recursively"). This crate implements, from
+//! scratch, both the **traditional baselines** and the **learned indexes**
+//! a credible evaluation needs:
+//!
+//! Traditional:
+//! * [`btree::BPlusTree`] — a B+-tree with linked leaves (the classic
+//!   baseline the paper's references compare against).
+//! * [`hash::HashIndex`] — a chained hash index (point lookups only).
+//! * [`sorted_array::SortedArray`] — binary search over a dense sorted
+//!   array, the no-model lower bound on space.
+//!
+//! Learned:
+//! * [`rmi::Rmi`] — a two-level Recursive Model Index (Kraska et al. [8]).
+//! * [`pgm::PgmIndex`] — an ε-bounded piecewise-geometric-model index.
+//! * [`spline::RadixSpline`] — a radix-table-accelerated spline index.
+//! * [`alex::AlexIndex`] — an updatable, adaptive gapped-array learned
+//!   index in the spirit of ALEX [33].
+//! * [`delta::DeltaIndex`] — an updatable wrapper that pairs any read-only
+//!   learned index with a delta buffer and explicit retraining, the
+//!   mechanism the benchmark's adaptability metrics exercise.
+//! * [`learned_sort::learned_sort`] — the CDF-model sort of [31], included
+//!   as the §II "query execution" example.
+//!
+//! Every structure reports its memory footprint and the *work units* spent
+//! building/training, which the cost metrics (Fig. 1d) convert to dollars.
+
+#![warn(missing_docs)]
+
+pub mod alex;
+pub mod cache;
+pub mod btree;
+pub mod delta;
+pub mod hash;
+pub mod learned_sort;
+pub mod model;
+pub mod pgm;
+pub mod rmi;
+pub mod sorted_array;
+pub mod spline;
+
+pub use alex::AlexIndex;
+pub use cache::{KeyCache, LearnedCache, LruCache};
+pub use btree::BPlusTree;
+pub use delta::DeltaIndex;
+pub use hash::HashIndex;
+pub use pgm::PgmIndex;
+pub use rmi::Rmi;
+pub use sorted_array::SortedArray;
+pub use spline::RadixSpline;
+
+/// Errors produced by index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// The index does not support this operation (e.g. range scans on a
+    /// hash index, inserts on a read-only learned index).
+    Unsupported(&'static str),
+    /// Bulk-load input was not sorted by key or contained duplicates.
+    UnsortedInput,
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Unsupported(op) => write!(f, "operation not supported: {op}"),
+            IndexError::UnsortedInput => {
+                write!(f, "bulk-load input must be sorted by key without duplicates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, IndexError>;
+
+/// Statistics every index reports for cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// Approximate in-memory footprint in bytes.
+    pub size_bytes: usize,
+    /// Abstract work units spent building/training (key-model updates,
+    /// node writes, …). The cost model converts these to time and dollars.
+    pub build_work: u64,
+    /// Number of learned model instances (0 for traditional structures).
+    pub model_count: usize,
+}
+
+/// The common interface all indexes expose to the benchmark driver.
+///
+/// Keys and values are `u64`. Implementations must be deterministic.
+pub trait Index: Send {
+    /// A short stable name for reports (e.g. `"btree"`, `"rmi"`).
+    fn name(&self) -> &'static str;
+
+    /// Point lookup.
+    fn get(&self, key: u64) -> Option<u64>;
+
+    /// Range scan: up to `limit` pairs with `key >= start`, ascending.
+    ///
+    /// Returns [`IndexError::Unsupported`] for structures without order
+    /// (hash indexes).
+    fn range(&self, start: u64, limit: usize) -> Result<Vec<(u64, u64)>>;
+
+    /// Inserts or overwrites; returns the previous value if the key existed.
+    ///
+    /// Read-only structures return [`IndexError::Unsupported`].
+    fn insert(&mut self, key: u64, value: u64) -> Result<Option<u64>>;
+
+    /// Deletes a key; returns the removed value if it existed.
+    fn delete(&mut self, key: u64) -> Result<Option<u64>>;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size/build-cost statistics.
+    fn stats(&self) -> IndexStats;
+
+    /// Deterministic estimate of the work (memory probes) a [`Index::get`]
+    /// for `key` costs in this structure, *for this specific key*.
+    ///
+    /// Learned indexes return their model-evaluation cost plus the
+    /// last-mile search of the key's local error window, so lookups in
+    /// well-modeled regions are cheap and poorly-modeled regions expensive —
+    /// the per-distribution variation the specialization metric (Fig. 1a)
+    /// measures. The default is a plain binary search over the whole index.
+    fn probe_cost(&self, _key: u64) -> u64 {
+        (self.len() as u64 + 2).ilog2() as u64 + 1
+    }
+}
+
+/// Indexes that are bulk-loaded from sorted `(key, value)` pairs.
+pub trait BulkLoad: Sized {
+    /// Builds the index from pairs sorted ascending by unique key.
+    fn bulk_load(pairs: &[(u64, u64)]) -> Result<Self>;
+}
+
+/// Cost (probes) of a binary search over a window of `w` items.
+pub(crate) fn bsearch_cost(w: u64) -> u64 {
+    (w + 2).ilog2() as u64 + 1
+}
+
+/// Validates that `pairs` is sorted ascending by key with no duplicates.
+pub(crate) fn check_sorted(pairs: &[(u64, u64)]) -> Result<()> {
+    for w in pairs.windows(2) {
+        if w[0].0 >= w[1].0 {
+            return Err(IndexError::UnsortedInput);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared conformance tests run against every [`Index`] implementation.
+
+    use super::*;
+
+    /// Sorted test pairs `(k, 31 k)` for k in a deterministic pseudo-random set.
+    pub fn test_pairs(n: usize) -> Vec<(u64, u64)> {
+        let mut keys: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(2654435761) % (n as u64 * 10))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.iter().map(|&k| (k, k.wrapping_mul(31))).collect()
+    }
+
+    /// Checks point lookups for every loaded key plus misses.
+    pub fn check_point_lookups<I: Index>(idx: &I, pairs: &[(u64, u64)]) {
+        for &(k, v) in pairs {
+            assert_eq!(idx.get(k), Some(v), "{}: missing key {k}", idx.name());
+        }
+        // Keys guaranteed absent.
+        let max = pairs.last().map(|&(k, _)| k).unwrap_or(0);
+        assert_eq!(idx.get(max + 1), None);
+        let present: std::collections::HashSet<u64> = pairs.iter().map(|p| p.0).collect();
+        for k in 0..100u64 {
+            if !present.contains(&k) {
+                assert_eq!(idx.get(k), None, "{}: phantom key {k}", idx.name());
+            }
+        }
+    }
+
+    /// Checks range scans against a reference sorted vector.
+    pub fn check_ranges<I: Index>(idx: &I, pairs: &[(u64, u64)]) {
+        for &(start, limit) in &[(0u64, 10usize), (5, 3), (1_000, 100), (u64::MAX, 5)] {
+            let expected: Vec<(u64, u64)> = pairs
+                .iter()
+                .copied()
+                .filter(|&(k, _)| k >= start)
+                .take(limit)
+                .collect();
+            let got = idx.range(start, limit).expect("range supported");
+            assert_eq!(got, expected, "{}: range({start}, {limit})", idx.name());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests: every index implementation must agree with a reference
+//! `BTreeMap` model, and learned-model invariants must hold for arbitrary
+//! key sets.
+
+use lsbench_index::alex::AlexIndex;
+use lsbench_index::btree::BPlusTree;
+use lsbench_index::delta::DeltaIndex;
+use lsbench_index::hash::HashIndex;
+use lsbench_index::model::{pla_segments, LinearModel};
+use lsbench_index::pgm::PgmIndex;
+use lsbench_index::rmi::Rmi;
+use lsbench_index::sorted_array::SortedArray;
+use lsbench_index::spline::RadixSpline;
+use lsbench_index::{BulkLoad, Index};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Sorted unique pairs from an arbitrary key set.
+fn arb_pairs() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::btree_set(any::<u64>(), 0..400)
+        .prop_map(|set| set.into_iter().map(|k| (k, k.wrapping_mul(31))).collect())
+}
+
+fn check_against_model<I: Index>(idx: &I, model: &BTreeMap<u64, u64>, probes: &[u64]) {
+    assert_eq!(idx.len(), model.len(), "{} len", idx.name());
+    for &k in probes {
+        assert_eq!(idx.get(k), model.get(&k).copied(), "{} get({k})", idx.name());
+    }
+    for (&k, &v) in model.iter().take(50) {
+        assert_eq!(idx.get(k), Some(v), "{} get(existing {k})", idx.name());
+    }
+}
+
+fn check_range_against_model<I: Index>(idx: &I, model: &BTreeMap<u64, u64>, starts: &[u64]) {
+    for &s in starts {
+        let expected: Vec<(u64, u64)> = model.range(s..).take(20).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(
+            idx.range(s, 20).unwrap(),
+            expected,
+            "{} range({s})",
+            idx.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn read_only_indexes_agree(pairs in arb_pairs(), probes in prop::collection::vec(any::<u64>(), 20)) {
+        let model: BTreeMap<u64, u64> = pairs.iter().copied().collect();
+        let starts: Vec<u64> = probes.iter().take(5).copied().collect();
+
+        let rmi = Rmi::bulk_load(&pairs).unwrap();
+        check_against_model(&rmi, &model, &probes);
+        check_range_against_model(&rmi, &model, &starts);
+
+        let pgm = PgmIndex::bulk_load(&pairs).unwrap();
+        check_against_model(&pgm, &model, &probes);
+        check_range_against_model(&pgm, &model, &starts);
+
+        let rs = RadixSpline::bulk_load(&pairs).unwrap();
+        check_against_model(&rs, &model, &probes);
+        check_range_against_model(&rs, &model, &starts);
+
+        let bt = BPlusTree::bulk_load(&pairs).unwrap();
+        check_against_model(&bt, &model, &probes);
+        check_range_against_model(&bt, &model, &starts);
+
+        let sa = SortedArray::bulk_load(&pairs).unwrap();
+        check_against_model(&sa, &model, &probes);
+        check_range_against_model(&sa, &model, &starts);
+
+        let al = AlexIndex::bulk_load(&pairs).unwrap();
+        check_against_model(&al, &model, &probes);
+        check_range_against_model(&al, &model, &starts);
+
+        let h = HashIndex::bulk_load(&pairs).unwrap();
+        check_against_model(&h, &model, &probes);
+    }
+
+    #[test]
+    fn mutable_indexes_follow_op_sequence(
+        ops in prop::collection::vec((any::<u8>(), 0u64..2000, any::<u64>()), 1..600),
+    ) {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut bt = BPlusTree::with_fanout(6);
+        let mut al = AlexIndex::new();
+        let mut sa = SortedArray::new();
+        let mut h = HashIndex::new();
+        for &(op, key, value) in &ops {
+            match op % 3 {
+                0 => {
+                    let expect = model.insert(key, value);
+                    prop_assert_eq!(bt.insert(key, value).unwrap(), expect, "btree insert");
+                    prop_assert_eq!(al.insert(key, value).unwrap(), expect, "alex insert");
+                    prop_assert_eq!(sa.insert(key, value).unwrap(), expect, "sorted insert");
+                    prop_assert_eq!(h.insert(key, value).unwrap(), expect, "hash insert");
+                }
+                1 => {
+                    let expect = model.remove(&key);
+                    prop_assert_eq!(bt.delete(key).unwrap(), expect, "btree delete");
+                    prop_assert_eq!(al.delete(key).unwrap(), expect, "alex delete");
+                    prop_assert_eq!(sa.delete(key).unwrap(), expect, "sorted delete");
+                    prop_assert_eq!(h.delete(key).unwrap(), expect, "hash delete");
+                }
+                _ => {
+                    let expect = model.get(&key).copied();
+                    prop_assert_eq!(bt.get(key), expect, "btree get");
+                    prop_assert_eq!(al.get(key), expect, "alex get");
+                    prop_assert_eq!(sa.get(key), expect, "sorted get");
+                    prop_assert_eq!(h.get(key), expect, "hash get");
+                }
+            }
+        }
+        prop_assert_eq!(bt.len(), model.len());
+        prop_assert_eq!(al.len(), model.len());
+        // Full scans agree.
+        let all: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(bt.range(0, usize::MAX >> 1).unwrap(), all.clone());
+        prop_assert_eq!(al.range(0, usize::MAX >> 1).unwrap(), all);
+    }
+
+    #[test]
+    fn delta_index_follows_op_sequence(
+        base in arb_pairs(),
+        ops in prop::collection::vec((any::<u8>(), 0u64..3000, any::<u64>()), 0..200),
+        retrain_at in 0usize..200,
+    ) {
+        let mut model: BTreeMap<u64, u64> = base.iter().copied().collect();
+        let mut idx: DeltaIndex<Rmi> = DeltaIndex::build(&base).unwrap();
+        for (i, &(op, key, value)) in ops.iter().enumerate() {
+            if i == retrain_at {
+                idx.retrain().unwrap();
+            }
+            match op % 3 {
+                0 => {
+                    prop_assert_eq!(idx.insert(key, value).unwrap(), model.insert(key, value));
+                }
+                1 => {
+                    prop_assert_eq!(idx.delete(key).unwrap(), model.remove(&key));
+                }
+                _ => {
+                    prop_assert_eq!(idx.get(key), model.get(&key).copied());
+                }
+            }
+        }
+        prop_assert_eq!(idx.len(), model.len());
+        idx.retrain().unwrap();
+        prop_assert_eq!(idx.len(), model.len());
+        for (&k, &v) in model.iter().take(100) {
+            prop_assert_eq!(idx.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn pla_epsilon_invariant(keys in prop::collection::btree_set(any::<u64>(), 1..500), eps in 0.5f64..128.0) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let segs = pla_segments(&keys, eps);
+        let covered: usize = segs.iter().map(|s| s.len).sum();
+        prop_assert_eq!(covered, keys.len());
+        for seg in &segs {
+            let covered = keys.iter().enumerate().skip(seg.start_pos).take(seg.len);
+            for (i, &key) in covered {
+                let err = (seg.model.predict(key) - i as f64).abs();
+                prop_assert!(err <= eps + 1e-6, "err {err} > eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_fit_bounded_by_worst_case(keys in prop::collection::btree_set(0u64..1_000_000_000, 2..300)) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let m = LinearModel::fit(&keys);
+        // A least-squares fit can never err by more than n positions.
+        prop_assert!(m.max_error(&keys) <= keys.len() as f64);
+        // Predictions are monotone for sorted keys (slope >= 0 on CDFs).
+        prop_assert!(m.slope >= 0.0, "negative slope {}", m.slope);
+    }
+
+    #[test]
+    fn lower_bound_agrees_across_learned_indexes(pairs in arb_pairs(), probes in prop::collection::vec(any::<u64>(), 30)) {
+        prop_assume!(!pairs.is_empty());
+        let keys: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let rmi = Rmi::bulk_load(&pairs).unwrap();
+        let pgm = PgmIndex::bulk_load(&pairs).unwrap();
+        let rs = RadixSpline::bulk_load(&pairs).unwrap();
+        for &p in &probes {
+            let expected = keys.partition_point(|&k| k < p);
+            prop_assert_eq!(rmi.lower_bound(p), expected, "rmi lb({})", p);
+            prop_assert_eq!(pgm.lower_bound(p), expected, "pgm lb({})", p);
+            prop_assert_eq!(rs.lower_bound(p), expected, "spline lb({})", p);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Bao-style plan steering with an ε-greedy bandit.
+//!
+//! Bao [14] "learn[s] to steer query optimizers": instead of replacing the
+//! optimizer it chooses among *hint sets* (optimizer configurations) per
+//! query, learning from observed runtimes. [`PlanSteerer`] implements the
+//! same loop with an ε-greedy contextual bandit keyed by query shape: the
+//! context is the query's structural hash, the arms are hint sets, the
+//! reward is (negative) execution cost.
+//!
+//! The benchmark drives this component through workload shifts: when a new
+//! query shape family arrives, the steerer must re-explore — the
+//! exploration cost shows up as the adaptability dip of Fig. 1b/1c.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// EMA smoothing of observed costs.
+const COST_ALPHA: f64 = 0.3;
+
+/// Per-(shape, arm) cost statistics.
+#[derive(Debug, Clone, Copy)]
+struct ArmStats {
+    mean_cost: f64,
+    pulls: u64,
+}
+
+/// ε-greedy plan steerer over a fixed set of hint arms.
+#[derive(Debug)]
+pub struct PlanSteerer {
+    arm_names: Vec<String>,
+    epsilon: f64,
+    rng: StdRng,
+    stats: HashMap<(u64, usize), ArmStats>,
+    total_pulls: u64,
+    exploration_pulls: u64,
+}
+
+impl PlanSteerer {
+    /// Creates a steerer over `arm_names` with exploration rate `epsilon`.
+    ///
+    /// # Panics
+    /// Panics if `arm_names` is empty or `epsilon` outside `[0, 1]`.
+    pub fn new(arm_names: Vec<String>, epsilon: f64, seed: u64) -> Self {
+        assert!(!arm_names.is_empty(), "at least one arm required");
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        PlanSteerer {
+            arm_names,
+            epsilon,
+            rng: StdRng::seed_from_u64(seed),
+            stats: HashMap::new(),
+            total_pulls: 0,
+            exploration_pulls: 0,
+        }
+    }
+
+    /// Number of arms.
+    pub fn arm_count(&self) -> usize {
+        self.arm_names.len()
+    }
+
+    /// Arm names.
+    pub fn arm_names(&self) -> &[String] {
+        &self.arm_names
+    }
+
+    /// Chooses an arm for a query shape.
+    ///
+    /// Unexplored arms for a known shape are tried first (optimistic
+    /// initialization); otherwise ε-greedy over observed mean costs.
+    pub fn choose(&mut self, shape: u64) -> usize {
+        self.total_pulls += 1;
+        // Prefer any arm never tried for this shape.
+        for arm in 0..self.arm_names.len() {
+            if !self.stats.contains_key(&(shape, arm)) {
+                self.exploration_pulls += 1;
+                return arm;
+            }
+        }
+        if self.rng.gen::<f64>() < self.epsilon {
+            self.exploration_pulls += 1;
+            return self.rng.gen_range(0..self.arm_names.len());
+        }
+        (0..self.arm_names.len())
+            .min_by(|&a, &b| {
+                let ca = self.stats[&(shape, a)].mean_cost;
+                let cb = self.stats[&(shape, b)].mean_cost;
+                ca.partial_cmp(&cb).expect("costs are finite")
+            })
+            .expect("non-empty arms")
+    }
+
+    /// Reports the observed execution cost of `arm` on `shape`.
+    pub fn observe(&mut self, shape: u64, arm: usize, cost: f64) {
+        assert!(arm < self.arm_names.len(), "arm out of range");
+        let entry = self.stats.entry((shape, arm)).or_insert(ArmStats {
+            mean_cost: cost,
+            pulls: 0,
+        });
+        entry.mean_cost += COST_ALPHA * (cost - entry.mean_cost);
+        entry.pulls += 1;
+    }
+
+    /// The currently-best arm for `shape`, if any observation exists.
+    pub fn best_arm(&self, shape: u64) -> Option<usize> {
+        (0..self.arm_names.len())
+            .filter(|&a| self.stats.contains_key(&(shape, a)))
+            .min_by(|&a, &b| {
+                self.stats[&(shape, a)]
+                    .mean_cost
+                    .partial_cmp(&self.stats[&(shape, b)].mean_cost)
+                    .expect("costs are finite")
+            })
+    }
+
+    /// Fraction of choices that were exploratory so far.
+    pub fn exploration_fraction(&self) -> f64 {
+        if self.total_pulls == 0 {
+            0.0
+        } else {
+            self.exploration_pulls as f64 / self.total_pulls as f64
+        }
+    }
+
+    /// Number of distinct query shapes seen.
+    pub fn shapes_seen(&self) -> usize {
+        let mut shapes: Vec<u64> = self.stats.keys().map(|&(s, _)| s).collect();
+        shapes.sort_unstable();
+        shapes.dedup();
+        shapes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steerer(eps: f64) -> PlanSteerer {
+        PlanSteerer::new(
+            vec!["hash".into(), "nested-loop".into(), "merge".into()],
+            eps,
+            7,
+        )
+    }
+
+    /// Simulated environment: arm costs differ per shape.
+    fn env_cost(shape: u64, arm: usize) -> f64 {
+        match (shape, arm) {
+            (1, 0) => 10.0,
+            (1, 1) => 100.0,
+            (1, 2) => 50.0,
+            (2, 0) => 80.0,
+            (2, 1) => 5.0,
+            (2, 2) => 40.0,
+            _ => 60.0,
+        }
+    }
+
+    #[test]
+    fn explores_each_arm_once_first() {
+        let mut s = steerer(0.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let arm = s.choose(1);
+            assert!(seen.insert(arm), "arm {arm} repeated during bootstrap");
+            s.observe(1, arm, env_cost(1, arm));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn converges_to_best_arm_per_shape() {
+        let mut s = steerer(0.1);
+        for _ in 0..300 {
+            for shape in [1u64, 2] {
+                let arm = s.choose(shape);
+                s.observe(shape, arm, env_cost(shape, arm));
+            }
+        }
+        assert_eq!(s.best_arm(1), Some(0));
+        assert_eq!(s.best_arm(2), Some(1));
+        // With eps = 0.1 the greedy choice dominates.
+        let mut greedy_hits = 0;
+        for _ in 0..100 {
+            if s.choose(1) == 0 {
+                greedy_hits += 1;
+            }
+        }
+        assert!(greedy_hits > 80, "greedy_hits = {greedy_hits}");
+        assert_eq!(s.shapes_seen(), 2);
+    }
+
+    #[test]
+    fn new_shape_triggers_exploration() {
+        let mut s = steerer(0.05);
+        for _ in 0..100 {
+            let arm = s.choose(1);
+            s.observe(1, arm, env_cost(1, arm));
+        }
+        let before = s.exploration_fraction();
+        // A brand-new shape forces three bootstrap pulls.
+        for _ in 0..3 {
+            let arm = s.choose(99);
+            s.observe(99, arm, env_cost(99, arm));
+        }
+        assert!(s.exploration_fraction() > before * 0.9);
+        assert_eq!(s.shapes_seen(), 2);
+    }
+
+    #[test]
+    fn adapts_when_environment_shifts() {
+        let mut s = steerer(0.15);
+        // Phase 1: arm 0 is best.
+        for _ in 0..200 {
+            let arm = s.choose(1);
+            s.observe(1, arm, env_cost(1, arm));
+        }
+        assert_eq!(s.best_arm(1), Some(0));
+        // Phase 2: arm 0 becomes terrible; arm 2 best. EMA forgets.
+        for _ in 0..400 {
+            let arm = s.choose(1);
+            let cost = match arm {
+                0 => 500.0,
+                1 => 100.0,
+                _ => 20.0,
+            };
+            s.observe(1, arm, cost);
+        }
+        assert_eq!(s.best_arm(1), Some(2));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut s = PlanSteerer::new(vec!["a".into(), "b".into()], 0.3, seed);
+            let mut choices = Vec::new();
+            for i in 0..50 {
+                let arm = s.choose(i % 3);
+                choices.push(arm);
+                s.observe(i % 3, arm, (arm + 1) as f64 * 10.0);
+            }
+            choices
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one arm")]
+    fn rejects_empty_arms() {
+        let _ = PlanSteerer::new(vec![], 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arm out of range")]
+    fn rejects_bad_observation() {
+        let mut s = steerer(0.1);
+        s.observe(1, 99, 1.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Cardinality estimation: histogram baseline vs. feedback-driven learned.
+//!
+//! The paper's §II lists learned cardinality estimation [25]–[29] as a core
+//! learned component, and §IV highlights the cost of "collecting the real
+//! cardinalities to build a regression model". We implement both sides of
+//! the comparison:
+//!
+//! * [`HistogramEstimator`] — the traditional baseline: per-column
+//!   equi-depth histograms combined under the independence assumption
+//!   (filters) and the uniform-containment assumption (joins).
+//! * [`LearnedEstimator`] — a query-driven model: it memorizes observed
+//!   true cardinalities per query *shape* (structural hash) with an EMA,
+//!   falling back to the histogram estimate for unseen shapes. Feeding it
+//!   labels costs work, which the SUT layer charges as training cost.
+
+use crate::plan::{CmpOp, QueryNode};
+use crate::table::Catalog;
+use crate::Result;
+use lsbench_stats::histogram::EquiDepthHistogram;
+use std::collections::HashMap;
+
+/// Estimates output cardinalities of query subtrees.
+pub trait CardinalityEstimator {
+    /// Estimated output rows of `node`.
+    fn estimate(&self, node: &QueryNode) -> f64;
+
+    /// Feeds one observed (subtree, true cardinality) label. Default: ignore.
+    fn observe(&mut self, _subtree_hash: u64, _true_card: u64) {}
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Number of buckets per column histogram.
+const HIST_BUCKETS: usize = 64;
+
+/// Traditional estimator: equi-depth histograms + independence assumption.
+#[derive(Debug, Clone)]
+pub struct HistogramEstimator {
+    /// Per (table, column) histograms.
+    histograms: HashMap<(String, usize), EquiDepthHistogram>,
+    /// Per (table, column) distinct-value counts (for join estimates).
+    distinct: HashMap<(String, usize), usize>,
+    /// Base table row counts.
+    row_counts: HashMap<String, usize>,
+    /// Work spent building statistics (rows scanned).
+    pub build_work: u64,
+}
+
+impl HistogramEstimator {
+    /// Builds statistics for every column of every table in `catalog`.
+    pub fn build(catalog: &Catalog) -> Result<Self> {
+        let mut histograms = HashMap::new();
+        let mut distinct = HashMap::new();
+        let mut row_counts = HashMap::new();
+        let mut work = 0u64;
+        let mut names: Vec<String> = catalog.table_names().map(|s| s.to_string()).collect();
+        names.sort();
+        for name in names {
+            let t = catalog.get(&name)?;
+            row_counts.insert(name.clone(), t.row_count());
+            for c in 0..t.column_count() {
+                let col = t.column(c)?;
+                work += col.len() as u64;
+                if col.is_empty() {
+                    continue;
+                }
+                let data: Vec<f64> = col.iter().map(|&v| v as f64).collect();
+                if let Ok(h) = EquiDepthHistogram::from_data(&data, HIST_BUCKETS) {
+                    histograms.insert((name.clone(), c), h);
+                }
+                let mut unique: Vec<i64> = col.to_vec();
+                unique.sort_unstable();
+                unique.dedup();
+                distinct.insert((name.clone(), c), unique.len());
+            }
+        }
+        Ok(HistogramEstimator {
+            histograms,
+            distinct,
+            row_counts,
+            build_work: work,
+        })
+    }
+
+    /// Selectivity of `op value` on (table, column); 0.5 when unknown.
+    fn selectivity(&self, table: &str, column: usize, op: CmpOp, value: i64) -> f64 {
+        let key = (table.to_string(), column);
+        let Some(h) = self.histograms.get(&key) else {
+            return 0.5;
+        };
+        let v = value as f64;
+        let sel = match op {
+            CmpOp::Lt => h.estimate_cdf(v),
+            CmpOp::Le => h.estimate_cdf(v + 1.0),
+            CmpOp::Gt => 1.0 - h.estimate_cdf(v + 1.0),
+            CmpOp::Ge => 1.0 - h.estimate_cdf(v),
+            CmpOp::Eq => {
+                let d = self.distinct.get(&key).copied().unwrap_or(1).max(1);
+                1.0 / d as f64
+            }
+        };
+        sel.clamp(0.0, 1.0)
+    }
+
+    /// Estimates `node`, tracking which base table each column position in
+    /// the node's output schema belongs to. Returns `(rows, column → (table,
+    /// base column))`.
+    fn estimate_with_schema(&self, node: &QueryNode) -> (f64, Vec<(String, usize)>) {
+        match node {
+            QueryNode::Scan { table } => {
+                let rows = self.row_counts.get(table).copied().unwrap_or(0) as f64;
+                let cols = self
+                    .histograms
+                    .keys()
+                    .filter(|(t, _)| t == table)
+                    .count()
+                    .max(self.distinct.keys().filter(|(t, _)| t == table).count());
+                let schema = (0..cols).map(|c| (table.clone(), c)).collect();
+                (rows, schema)
+            }
+            QueryNode::Filter { pred, input } => {
+                let (rows, schema) = self.estimate_with_schema(input);
+                let sel = schema
+                    .get(pred.column)
+                    .map(|(t, c)| self.selectivity(t, *c, pred.op, pred.value))
+                    .unwrap_or(0.5);
+                (rows * sel, schema)
+            }
+            QueryNode::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                let (lr, ls) = self.estimate_with_schema(left);
+                let (rr, rs) = self.estimate_with_schema(right);
+                // |L ⋈ R| ≈ |L| · |R| / max(d(L.a), d(R.b))
+                let dl = ls
+                    .get(*left_col)
+                    .and_then(|k| self.distinct.get(k))
+                    .copied()
+                    .unwrap_or(1)
+                    .max(1);
+                let dr = rs
+                    .get(*right_col)
+                    .and_then(|k| self.distinct.get(k))
+                    .copied()
+                    .unwrap_or(1)
+                    .max(1);
+                let rows = lr * rr / dl.max(dr) as f64;
+                let mut schema = ls;
+                schema.extend(rs);
+                (rows, schema)
+            }
+            QueryNode::Count { input } => self.estimate_with_schema(input),
+        }
+    }
+}
+
+impl CardinalityEstimator for HistogramEstimator {
+    fn estimate(&self, node: &QueryNode) -> f64 {
+        self.estimate_with_schema(node).0
+    }
+
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+}
+
+/// EMA smoothing for observed cardinalities.
+const OBS_ALPHA: f64 = 0.5;
+
+/// Learned estimator: memorizes observed cardinalities per query shape.
+///
+/// This is the simplest member of the query-driven learned-estimator family
+/// (cf. [36]): exact recall on seen shapes, graceful fallback to the
+/// histogram baseline on unseen ones. The benchmark's out-of-sample
+/// (hold-out) metric exists precisely to expose the gap between those two
+/// regimes.
+#[derive(Debug)]
+pub struct LearnedEstimator {
+    fallback: HistogramEstimator,
+    observed: HashMap<u64, f64>,
+    observations: u64,
+}
+
+impl LearnedEstimator {
+    /// Creates a learned estimator over a histogram fallback.
+    pub fn new(fallback: HistogramEstimator) -> Self {
+        LearnedEstimator {
+            fallback,
+            observed: HashMap::new(),
+            observations: 0,
+        }
+    }
+
+    /// Number of labels observed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Number of distinct query shapes memorized.
+    pub fn shapes_known(&self) -> usize {
+        self.observed.len()
+    }
+
+    /// Whether this shape has been seen.
+    pub fn knows(&self, node: &QueryNode) -> bool {
+        self.observed.contains_key(&node.structural_hash())
+    }
+}
+
+impl CardinalityEstimator for LearnedEstimator {
+    fn estimate(&self, node: &QueryNode) -> f64 {
+        self.observed
+            .get(&node.structural_hash())
+            .copied()
+            .unwrap_or_else(|| self.fallback.estimate(node))
+    }
+
+    fn observe(&mut self, subtree_hash: u64, true_card: u64) {
+        self.observations += 1;
+        let entry = self.observed.entry(subtree_hash).or_insert(true_card as f64);
+        *entry += OBS_ALPHA * (true_card as f64 - *entry);
+    }
+
+    fn name(&self) -> &'static str {
+        "learned"
+    }
+}
+
+/// Q-error between an estimate and the truth: `max(est/true, true/est)`,
+/// with zero-handling. The standard accuracy metric for cardinality
+/// estimators; 1.0 is perfect.
+pub fn q_error(estimate: f64, truth: f64) -> f64 {
+    let est = estimate.max(1.0);
+    let tru = truth.max(1.0);
+    (est / tru).max(tru / est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::table::Table;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add(Table::generate("facts", 10_000, 3, 42));
+        cat.add(Table::generate("dims", 1000, 2, 43));
+        cat
+    }
+
+    #[test]
+    fn scan_estimate_exact() {
+        let cat = catalog();
+        let est = HistogramEstimator::build(&cat).unwrap();
+        assert_eq!(est.estimate(&QueryNode::scan("facts")), 10_000.0);
+        assert_eq!(est.estimate(&QueryNode::scan("missing")), 0.0);
+    }
+
+    #[test]
+    fn filter_estimate_close_on_uniform() {
+        let cat = catalog();
+        let est = HistogramEstimator::build(&cat).unwrap();
+        // Column 2 is uniform 0..1000: selectivity of < 250 is ~25%.
+        let q = QueryNode::scan("facts").filter(2, CmpOp::Lt, 250);
+        let guess = est.estimate(&q);
+        let truth = execute(&q, &cat).unwrap().count as f64;
+        assert!(
+            q_error(guess, truth) < 1.3,
+            "guess {guess} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn filter_estimate_close_on_skewed() {
+        let cat = catalog();
+        let est = HistogramEstimator::build(&cat).unwrap();
+        // Column 1 is skewed: equi-depth histograms handle it.
+        let q = QueryNode::scan("facts").filter(1, CmpOp::Lt, 100);
+        let guess = est.estimate(&q);
+        let truth = execute(&q, &cat).unwrap().count as f64;
+        assert!(
+            q_error(guess, truth) < 1.5,
+            "guess {guess} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn independence_assumption_compounds_error() {
+        // Two filters on correlated columns: independence underestimates.
+        let mut cat = Catalog::new();
+        // Column 1 == column 2 exactly (perfect correlation).
+        let col: Vec<i64> = (0..1000).map(|i| i % 100).collect();
+        cat.add(
+            Table::new(
+                "corr",
+                vec!["id".into(), "a".into(), "b".into()],
+                vec![(0..1000).collect(), col.clone(), col],
+            )
+            .unwrap(),
+        );
+        let est = HistogramEstimator::build(&cat).unwrap();
+        let q = QueryNode::scan("corr")
+            .filter(1, CmpOp::Lt, 10)
+            .filter(2, CmpOp::Lt, 10);
+        let truth = execute(&q, &cat).unwrap().count as f64; // 100
+        let guess = est.estimate(&q); // ~0.1 * 0.1 * 1000 = 10
+        assert!(
+            q_error(guess, truth) > 5.0,
+            "expected big q-error, got {} (guess {guess} truth {truth})",
+            q_error(guess, truth)
+        );
+    }
+
+    #[test]
+    fn learned_estimator_fixes_correlation_after_feedback() {
+        let mut cat = Catalog::new();
+        let col: Vec<i64> = (0..1000).map(|i| i % 100).collect();
+        cat.add(
+            Table::new(
+                "corr",
+                vec!["id".into(), "a".into(), "b".into()],
+                vec![(0..1000).collect(), col.clone(), col],
+            )
+            .unwrap(),
+        );
+        let hist = HistogramEstimator::build(&cat).unwrap();
+        let mut learned = LearnedEstimator::new(hist);
+        let q = QueryNode::scan("corr")
+            .filter(1, CmpOp::Lt, 10)
+            .filter(2, CmpOp::Lt, 10);
+        let truth = execute(&q, &cat).unwrap();
+        let before = q_error(learned.estimate(&q), truth.count as f64);
+        // Feed the observed labels (what a real system collects during
+        // execution, per §IV).
+        for (&h, &c) in &truth.true_cardinalities {
+            learned.observe(h, c);
+        }
+        let after = q_error(learned.estimate(&q), truth.count as f64);
+        assert!(after <= 1.01, "after = {after}");
+        assert!(before > after * 5.0, "before {before} after {after}");
+        assert!(learned.knows(&q));
+        assert!(learned.observations() > 0);
+    }
+
+    #[test]
+    fn learned_falls_back_when_unseen() {
+        let cat = catalog();
+        let hist = HistogramEstimator::build(&cat).unwrap();
+        let hist_guess = hist.estimate(&QueryNode::scan("facts"));
+        let learned = LearnedEstimator::new(hist);
+        assert_eq!(learned.estimate(&QueryNode::scan("facts")), hist_guess);
+        assert_eq!(learned.shapes_known(), 0);
+    }
+
+    #[test]
+    fn join_estimate_right_order_of_magnitude() {
+        let cat = catalog();
+        let est = HistogramEstimator::build(&cat).unwrap();
+        // facts.c0 (0..10000) join dims.c0 (0..1000): 1000 matches.
+        let q = QueryNode::scan("facts").join(QueryNode::scan("dims"), 0, 0);
+        let truth = execute(&q, &cat).unwrap().count as f64;
+        let guess = est.estimate(&q);
+        assert!(
+            q_error(guess, truth) < 3.0,
+            "guess {guess} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn ema_observation_smoothing() {
+        let cat = catalog();
+        let mut learned = LearnedEstimator::new(HistogramEstimator::build(&cat).unwrap());
+        learned.observe(7, 100);
+        learned.observe(7, 200);
+        let est = learned.observed[&7];
+        assert!(est > 100.0 && est < 200.0, "est = {est}");
+    }
+
+    #[test]
+    fn q_error_properties() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Query execution with true-cardinality collection and work accounting.
+//!
+//! The executor is deliberately simple (materializing, single-threaded) but
+//! *instrumented*: it reports the true output cardinality of every operator
+//! (the ground-truth labels §IV says learned components must collect, at a
+//! measurable cost) and a deterministic work counter (rows touched), which
+//! the SUT layer converts to simulated latency.
+
+use crate::plan::QueryNode;
+use crate::table::Catalog;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecResult {
+    /// Materialized output rows (empty for `Count`, which reports via
+    /// [`ExecResult::count`]).
+    pub rows: Vec<Vec<i64>>,
+    /// Output row count of the root operator (for `Count`, the counted value).
+    pub count: u64,
+    /// True output cardinality per subtree, keyed by structural hash — the
+    /// training labels for learned cardinality estimation.
+    pub true_cardinalities: HashMap<u64, u64>,
+    /// Deterministic work units: rows processed across all operators.
+    pub work: u64,
+}
+
+/// Executes `query` against `catalog`.
+pub fn execute(query: &QueryNode, catalog: &Catalog) -> Result<ExecResult> {
+    let mut cards = HashMap::new();
+    let mut work = 0u64;
+    let rows = run(query, catalog, &mut cards, &mut work)?;
+    let count = match query {
+        QueryNode::Count { .. } => {
+            // run() returns a single row [count] for Count nodes.
+            rows.first().and_then(|r| r.first()).copied().unwrap_or(0) as u64
+        }
+        _ => rows.len() as u64,
+    };
+    Ok(ExecResult {
+        count,
+        true_cardinalities: cards,
+        work,
+        rows: match query {
+            QueryNode::Count { .. } => Vec::new(),
+            _ => rows,
+        },
+    })
+}
+
+fn run(
+    node: &QueryNode,
+    catalog: &Catalog,
+    cards: &mut HashMap<u64, u64>,
+    work: &mut u64,
+) -> Result<Vec<Vec<i64>>> {
+    let rows = match node {
+        QueryNode::Scan { table } => {
+            let t = catalog.get(table)?;
+            let n = t.row_count();
+            *work += n as u64;
+            (0..n).map(|r| t.row(r)).collect()
+        }
+        QueryNode::Filter { pred, input } => {
+            let input_rows = run(input, catalog, cards, work)?;
+            *work += input_rows.len() as u64;
+            if let Some(first) = input_rows.first() {
+                if pred.column >= first.len() {
+                    return Err(crate::QueryError::InvalidQuery(format!(
+                        "filter column {} out of range (arity {})",
+                        pred.column,
+                        first.len()
+                    )));
+                }
+            }
+            input_rows.into_iter().filter(|r| pred.eval(r)).collect()
+        }
+        QueryNode::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let left_rows = run(left, catalog, cards, work)?;
+            let right_rows = run(right, catalog, cards, work)?;
+            validate_col(&left_rows, *left_col, "join left")?;
+            validate_col(&right_rows, *right_col, "join right")?;
+            // Hash join: build on the smaller side.
+            let (build, probe, build_col, probe_col, build_is_left) =
+                if left_rows.len() <= right_rows.len() {
+                    (&left_rows, &right_rows, *left_col, *right_col, true)
+                } else {
+                    (&right_rows, &left_rows, *right_col, *left_col, false)
+                };
+            let mut ht: HashMap<i64, Vec<usize>> = HashMap::with_capacity(build.len());
+            for (i, row) in build.iter().enumerate() {
+                ht.entry(row[build_col]).or_default().push(i);
+            }
+            *work += build.len() as u64;
+            let mut out = Vec::new();
+            for probe_row in probe {
+                *work += 1;
+                if let Some(matches) = ht.get(&probe_row[probe_col]) {
+                    for &bi in matches {
+                        let build_row = &build[bi];
+                        // Output schema: left columns then right columns.
+                        let mut joined =
+                            Vec::with_capacity(build_row.len() + probe_row.len());
+                        if build_is_left {
+                            joined.extend_from_slice(build_row);
+                            joined.extend_from_slice(probe_row);
+                        } else {
+                            joined.extend_from_slice(probe_row);
+                            joined.extend_from_slice(build_row);
+                        }
+                        out.push(joined);
+                    }
+                }
+            }
+            *work += out.len() as u64;
+            out
+        }
+        QueryNode::Count { input } => {
+            let input_rows = run(input, catalog, cards, work)?;
+            *work += 1;
+            vec![vec![input_rows.len() as i64]]
+        }
+    };
+    let card = match node {
+        // Count's "cardinality" is its counted input, more useful as a label.
+        QueryNode::Count { .. } => rows
+            .first()
+            .and_then(|r| r.first())
+            .copied()
+            .unwrap_or(0) as u64,
+        _ => rows.len() as u64,
+    };
+    cards.insert(node.structural_hash(), card);
+    Ok(rows)
+}
+
+fn validate_col(rows: &[Vec<i64>], col: usize, what: &str) -> Result<()> {
+    if let Some(first) = rows.first() {
+        if col >= first.len() {
+            return Err(crate::QueryError::InvalidQuery(format!(
+                "{what} column {col} out of range (arity {})",
+                first.len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CmpOp;
+    use crate::table::Table;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add(
+            Table::new(
+                "users",
+                vec!["id".into(), "age".into()],
+                vec![vec![1, 2, 3, 4], vec![20, 30, 40, 50]],
+            )
+            .unwrap(),
+        );
+        cat.add(
+            Table::new(
+                "orders",
+                vec!["user_id".into(), "amount".into()],
+                vec![vec![1, 1, 2, 9], vec![100, 200, 300, 400]],
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    #[test]
+    fn scan_returns_all_rows() {
+        let r = execute(&QueryNode::scan("users"), &catalog()).unwrap();
+        assert_eq!(r.count, 4);
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.rows[0], vec![1, 20]);
+    }
+
+    #[test]
+    fn filter_selects() {
+        let q = QueryNode::scan("users").filter(1, CmpOp::Gt, 30);
+        let r = execute(&q, &catalog()).unwrap();
+        assert_eq!(r.count, 2);
+        assert!(r.rows.iter().all(|row| row[1] > 30));
+    }
+
+    #[test]
+    fn join_matches_pairs() {
+        // users join orders on users.id = orders.user_id.
+        let q = QueryNode::scan("users").join(QueryNode::scan("orders"), 0, 0);
+        let r = execute(&q, &catalog()).unwrap();
+        // user 1 matches two orders, user 2 one, users 3/4 none, order 9 none.
+        assert_eq!(r.count, 3);
+        for row in &r.rows {
+            assert_eq!(row.len(), 4);
+            assert_eq!(row[0], row[2], "join key mismatch in {row:?}");
+        }
+    }
+
+    #[test]
+    fn join_schema_order_is_left_then_right() {
+        let q = QueryNode::scan("orders").join(QueryNode::scan("users"), 0, 0);
+        let r = execute(&q, &catalog()).unwrap();
+        // orders columns first: [user_id, amount, id, age]
+        let row = &r.rows[0];
+        assert_eq!(row[0], row[2]);
+        assert!(row[1] >= 100, "amount column misplaced: {row:?}");
+    }
+
+    #[test]
+    fn count_terminal() {
+        let q = QueryNode::scan("orders")
+            .filter(1, CmpOp::Ge, 200)
+            .count();
+        let r = execute(&q, &catalog()).unwrap();
+        assert_eq!(r.count, 3);
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn true_cardinalities_per_subtree() {
+        let scan = QueryNode::scan("users");
+        let filtered = scan.clone().filter(1, CmpOp::Gt, 30);
+        let r = execute(&filtered, &catalog()).unwrap();
+        assert_eq!(r.true_cardinalities[&scan.structural_hash()], 4);
+        assert_eq!(r.true_cardinalities[&filtered.structural_hash()], 2);
+    }
+
+    #[test]
+    fn work_accumulates() {
+        let scan = execute(&QueryNode::scan("users"), &catalog()).unwrap();
+        let join = execute(
+            &QueryNode::scan("users").join(QueryNode::scan("orders"), 0, 0),
+            &catalog(),
+        )
+        .unwrap();
+        assert!(join.work > scan.work);
+    }
+
+    #[test]
+    fn errors_surface() {
+        assert!(matches!(
+            execute(&QueryNode::scan("nope"), &catalog()),
+            Err(crate::QueryError::UnknownTable(_))
+        ));
+        let bad_filter = QueryNode::scan("users").filter(9, CmpOp::Eq, 1);
+        assert!(matches!(
+            execute(&bad_filter, &catalog()),
+            Err(crate::QueryError::InvalidQuery(_))
+        ));
+        let bad_join = QueryNode::scan("users").join(QueryNode::scan("orders"), 7, 0);
+        assert!(execute(&bad_join, &catalog()).is_err());
+    }
+
+    #[test]
+    fn empty_filter_result() {
+        let q = QueryNode::scan("users").filter(1, CmpOp::Gt, 1000);
+        let r = execute(&q, &catalog()).unwrap();
+        assert_eq!(r.count, 0);
+        // Chained operators on empty inputs stay valid.
+        let q2 = QueryNode::scan("users")
+            .filter(1, CmpOp::Gt, 1000)
+            .join(QueryNode::scan("orders"), 0, 0)
+            .count();
+        let r2 = execute(&q2, &catalog()).unwrap();
+        assert_eq!(r2.count, 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Parametric query-workload generation.
+//!
+//! Generates families of queries over a catalog with controllable *shape
+//! bias*: which tables are queried, which columns are filtered, and how
+//! selective filters are. Two generator profiles with different biases
+//! produce workloads whose Jaccard subtree similarity (§V-D.1) is low —
+//! the knob the benchmark turns to build its Φ axis.
+
+use crate::plan::{CmpOp, QueryNode};
+use crate::table::Catalog;
+use crate::{QueryError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Profile controlling the distribution of generated query shapes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryProfile {
+    /// Tables eligible for the driving (first) relation.
+    pub tables: Vec<String>,
+    /// Probability of adding a join to a second table (per query).
+    pub join_probability: f64,
+    /// Candidate filter columns (index into the driving table's schema).
+    pub filter_columns: Vec<usize>,
+    /// Range of filter literals.
+    pub literal_range: (i64, i64),
+    /// Probability that a query carries a filter.
+    pub filter_probability: f64,
+}
+
+impl QueryProfile {
+    /// Validates the profile.
+    pub fn validate(&self) -> Result<()> {
+        if self.tables.is_empty() {
+            return Err(QueryError::InvalidQuery(
+                "profile needs at least one table".to_string(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.join_probability)
+            || !(0.0..=1.0).contains(&self.filter_probability)
+        {
+            return Err(QueryError::InvalidQuery(
+                "probabilities must be in [0, 1]".to_string(),
+            ));
+        }
+        if self.literal_range.0 > self.literal_range.1 {
+            return Err(QueryError::InvalidQuery(
+                "literal range inverted".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Seeded query generator for a profile.
+#[derive(Debug)]
+pub struct QueryGenerator {
+    profile: QueryProfile,
+    rng: StdRng,
+}
+
+impl QueryGenerator {
+    /// Creates a generator; validates the profile against the catalog.
+    pub fn new(profile: QueryProfile, catalog: &Catalog, seed: u64) -> Result<Self> {
+        profile.validate()?;
+        for t in &profile.tables {
+            let table = catalog.get(t)?;
+            for &c in &profile.filter_columns {
+                if c >= table.column_count() {
+                    return Err(QueryError::UnknownColumn {
+                        table: t.clone(),
+                        column: c,
+                    });
+                }
+            }
+        }
+        Ok(QueryGenerator {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Generates the next query.
+    pub fn next_query(&mut self) -> QueryNode {
+        let t = &self.profile.tables[self.rng.gen_range(0..self.profile.tables.len())];
+        let mut q = QueryNode::scan(t.clone());
+        if !self.profile.filter_columns.is_empty()
+            && self.rng.gen::<f64>() < self.profile.filter_probability
+        {
+            let col =
+                self.profile.filter_columns[self.rng.gen_range(0..self.profile.filter_columns.len())];
+            let op = match self.rng.gen_range(0..4u8) {
+                0 => CmpOp::Lt,
+                1 => CmpOp::Le,
+                2 => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            let (lo, hi) = self.profile.literal_range;
+            let value = self.rng.gen_range(lo..=hi);
+            q = q.filter(col, op, value);
+        }
+        if self.profile.tables.len() > 1 && self.rng.gen::<f64>() < self.profile.join_probability {
+            let other =
+                &self.profile.tables[self.rng.gen_range(0..self.profile.tables.len())];
+            if other != t {
+                // Key-key join on column 0 (generated tables use c0 as key).
+                q = q.join(QueryNode::scan(other.clone()), 0, 0);
+            }
+        }
+        q.count()
+    }
+
+    /// Generates `n` queries.
+    pub fn take(&mut self, n: usize) -> Vec<QueryNode> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+}
+
+/// Generates multiway [`JoinQuery`] instances over a star schema, for the
+/// optimizer SUTs (a fact table joined to a varying subset of dimensions,
+/// each relation optionally filtered).
+#[derive(Debug)]
+pub struct JoinQueryGenerator {
+    /// Fact table name (relation 0 of every query).
+    fact: String,
+    fact_arity: usize,
+    /// Dimension table names and arities.
+    dims: Vec<(String, usize)>,
+    /// Filter literal range applied to fact filters.
+    literal_range: (i64, i64),
+    rng: StdRng,
+}
+
+impl JoinQueryGenerator {
+    /// Creates a generator; `fact` joins each chosen dimension on column 0.
+    pub fn new(
+        catalog: &Catalog,
+        fact: impl Into<String>,
+        dims: Vec<String>,
+        literal_range: (i64, i64),
+        seed: u64,
+    ) -> Result<Self> {
+        let fact = fact.into();
+        let fact_arity = catalog.get(&fact)?.column_count();
+        let mut dim_info = Vec::with_capacity(dims.len());
+        for d in dims {
+            let arity = catalog.get(&d)?.column_count();
+            dim_info.push((d, arity));
+        }
+        if dim_info.is_empty() {
+            return Err(QueryError::InvalidQuery(
+                "join generator needs at least one dimension".to_string(),
+            ));
+        }
+        Ok(JoinQueryGenerator {
+            fact,
+            fact_arity,
+            dims: dim_info,
+            literal_range,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Generates the next join query (fact + 1..=all dimensions).
+    pub fn next_query(&mut self) -> crate::optimizer::JoinQuery {
+        use crate::optimizer::{JoinEdge, JoinQuery};
+        let k = self.rng.gen_range(1..=self.dims.len());
+        let mut fact_node = QueryNode::scan(self.fact.clone());
+        if self.fact_arity > 1 && self.rng.gen::<f64>() < 0.7 {
+            let col = self.rng.gen_range(1..self.fact_arity);
+            let (lo, hi) = self.literal_range;
+            fact_node = fact_node.filter(col, CmpOp::Lt, self.rng.gen_range(lo..=hi));
+        }
+        let mut relations = vec![fact_node];
+        let mut arities = vec![self.fact_arity];
+        let mut edges = Vec::new();
+        // Choose k distinct dimensions deterministically via partial shuffle.
+        let mut order: Vec<usize> = (0..self.dims.len()).collect();
+        for i in 0..k {
+            let j = self.rng.gen_range(i..order.len());
+            order.swap(i, j);
+        }
+        for &d in order.iter().take(k) {
+            let (name, arity) = &self.dims[d];
+            relations.push(QueryNode::scan(name.clone()));
+            arities.push(*arity);
+            edges.push(JoinEdge {
+                left_rel: 0,
+                left_col: 0,
+                right_rel: relations.len() - 1,
+                right_col: 0,
+            });
+        }
+        JoinQuery {
+            relations,
+            arities,
+            edges,
+        }
+    }
+
+    /// Generates `n` join queries.
+    pub fn take(&mut self, n: usize) -> Vec<crate::optimizer::JoinQuery> {
+        (0..n).map(|_| self.next_query()).collect()
+    }
+}
+
+/// All subtree hashes of a workload, as a set — the input to Jaccard
+/// workload similarity.
+pub fn workload_subtree_set(queries: &[QueryNode]) -> std::collections::HashSet<u64> {
+    queries
+        .iter()
+        .flat_map(|q| q.subtree_hashes())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use lsbench_stats::jaccard::jaccard_similarity;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add(Table::generate("a", 1000, 4, 1));
+        cat.add(Table::generate("b", 500, 4, 2));
+        cat
+    }
+
+    fn profile(tables: Vec<&str>, cols: Vec<usize>, range: (i64, i64)) -> QueryProfile {
+        QueryProfile {
+            tables: tables.into_iter().map(String::from).collect(),
+            join_probability: 0.3,
+            filter_columns: cols,
+            literal_range: range,
+            filter_probability: 0.9,
+        }
+    }
+
+    #[test]
+    fn generates_valid_queries() {
+        let cat = catalog();
+        let mut g =
+            QueryGenerator::new(profile(vec!["a", "b"], vec![1, 2], (0, 500)), &cat, 3).unwrap();
+        for q in g.take(100) {
+            // Every generated query executes without error.
+            crate::exec::execute(&q, &cat).unwrap();
+            assert!(q.size() >= 2); // at least scan + count
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cat = catalog();
+        let p = profile(vec!["a"], vec![1], (0, 100));
+        let mut g1 = QueryGenerator::new(p.clone(), &cat, 9).unwrap();
+        let mut g2 = QueryGenerator::new(p, &cat, 9).unwrap();
+        assert_eq!(g1.take(50), g2.take(50));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let cat = catalog();
+        assert!(QueryGenerator::new(profile(vec!["nope"], vec![], (0, 1)), &cat, 1).is_err());
+        assert!(QueryGenerator::new(profile(vec!["a"], vec![99], (0, 1)), &cat, 1).is_err());
+        let mut p = profile(vec!["a"], vec![1], (0, 1));
+        p.join_probability = 2.0;
+        assert!(QueryGenerator::new(p, &cat, 1).is_err());
+        let mut p = profile(vec!["a"], vec![1], (5, 1));
+        assert!(p.validate().is_err());
+        p.literal_range = (1, 5);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn join_generator_produces_valid_queries() {
+        let mut cat = Catalog::new();
+        cat.add(Table::generate("fact", 2000, 3, 1));
+        cat.add(Table::generate("d1", 100, 2, 2));
+        cat.add(Table::generate("d2", 200, 2, 3));
+        let mut g = JoinQueryGenerator::new(
+            &cat,
+            "fact",
+            vec!["d1".into(), "d2".into()],
+            (0, 500),
+            7,
+        )
+        .unwrap();
+        let mut saw_multi = false;
+        for q in g.take(30) {
+            q.validate().unwrap();
+            assert!(q.relations.len() >= 2);
+            if q.relations.len() == 3 {
+                saw_multi = true;
+            }
+            // The produced query optimizes and executes.
+            let est = crate::card::HistogramEstimator::build(&cat).unwrap();
+            let plan = crate::optimizer::optimize_join_order(&q, &est).unwrap();
+            crate::exec::execute(&plan.plan, &cat).unwrap();
+        }
+        assert!(saw_multi, "never produced a 3-relation query");
+    }
+
+    #[test]
+    fn join_generator_validates_inputs() {
+        let mut cat = Catalog::new();
+        cat.add(Table::generate("fact", 100, 3, 1));
+        assert!(JoinQueryGenerator::new(&cat, "fact", vec![], (0, 1), 1).is_err());
+        assert!(
+            JoinQueryGenerator::new(&cat, "missing", vec!["fact".into()], (0, 1), 1).is_err()
+        );
+    }
+
+    #[test]
+    fn similar_profiles_high_jaccard() {
+        let cat = catalog();
+        let p = profile(vec!["a"], vec![1], (0, 100));
+        let w1 = QueryGenerator::new(p.clone(), &cat, 1).unwrap().take(200);
+        let w2 = QueryGenerator::new(p, &cat, 2).unwrap().take(200);
+        let sim = jaccard_similarity(&workload_subtree_set(&w1), &workload_subtree_set(&w2));
+        assert!(sim > 0.6, "sim = {sim}");
+    }
+
+    #[test]
+    fn different_profiles_low_jaccard() {
+        let cat = catalog();
+        let p1 = profile(vec!["a"], vec![1], (0, 100));
+        let p2 = profile(vec!["b"], vec![3], (10_000, 20_000));
+        let w1 = QueryGenerator::new(p1, &cat, 1).unwrap().take(200);
+        let w2 = QueryGenerator::new(p2, &cat, 1).unwrap().take(200);
+        let sim = jaccard_similarity(&workload_subtree_set(&w1), &workload_subtree_set(&w2));
+        assert!(sim < 0.1, "sim = {sim}");
+    }
+
+    #[test]
+    fn jaccard_orders_workload_distance() {
+        // Same table, shifted literal ranges: closer ranges → higher sim.
+        let cat = catalog();
+        let base = profile(vec!["a"], vec![1], (0, 100));
+        let near = profile(vec!["a"], vec![1], (50, 200));
+        let far = profile(vec!["a"], vec![2, 3], (100_000, 500_000));
+        let wb = QueryGenerator::new(base, &cat, 1).unwrap().take(300);
+        let wn = QueryGenerator::new(near, &cat, 1).unwrap().take(300);
+        let wf = QueryGenerator::new(far, &cat, 1).unwrap().take(300);
+        let sb = workload_subtree_set(&wb);
+        let sim_near = jaccard_similarity(&sb, &workload_subtree_set(&wn));
+        let sim_far = jaccard_similarity(&sb, &workload_subtree_set(&wf));
+        assert!(sim_near > sim_far, "near {sim_near} far {sim_far}");
+    }
+}

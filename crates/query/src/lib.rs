@@ -1,0 +1,78 @@
+//! A miniature relational query engine with traditional and learned
+//! components.
+//!
+//! §II of the paper names query optimization "an excellent candidate for
+//! learned approaches": learned cardinality estimation [25]–[29], learned
+//! optimizer steering (Bao [14]), and fully learned optimizers (Neo [15]).
+//! The benchmark must be able to drive such systems, and §V-D.1 measures
+//! workload similarity as "the Jaccard similarity between the sets of all
+//! subtrees of the query tree for all queries in the workload" — which
+//! requires an actual query-tree representation.
+//!
+//! This crate provides the minimal but real engine those metrics need:
+//!
+//! * [`table`] — columnar in-memory tables and a catalog.
+//! * [`plan`] — query trees (scan / filter / join / aggregate) with stable
+//!   subtree hashing for Jaccard workload similarity.
+//! * [`exec`] — a Volcano-style executor that also reports *true*
+//!   cardinalities per operator (the ground-truth labels §IV says learned
+//!   estimators must collect) and deterministic work counters.
+//! * [`card`] — cardinality estimation: an equi-depth-histogram baseline
+//!   with the independence assumption, and a feedback-driven learned
+//!   estimator that memorizes observed cardinalities.
+//! * [`optimizer`] — a dynamic-programming join-order optimizer
+//!   parameterized by the estimator.
+//! * [`bandit`] — a Bao-style ε-greedy plan steerer choosing among hint
+//!   sets using observed execution costs, improving online.
+//! * [`generator`] — parametric query-workload generation.
+
+#![warn(missing_docs)]
+
+pub mod bandit;
+pub mod card;
+pub mod exec;
+pub mod generator;
+pub mod optimizer;
+pub mod plan;
+pub mod table;
+
+pub use bandit::PlanSteerer;
+pub use card::{CardinalityEstimator, HistogramEstimator, LearnedEstimator};
+pub use exec::{execute, ExecResult};
+pub use generator::{JoinQueryGenerator, QueryGenerator};
+pub use optimizer::{optimize_join_order, JoinQuery};
+pub use plan::{CmpOp, Predicate, QueryNode};
+pub use table::{Catalog, Table};
+
+/// Errors produced by the query engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column index is out of range for its table.
+    UnknownColumn {
+        /// The table involved.
+        table: String,
+        /// The requested column index.
+        column: usize,
+    },
+    /// Query construction was invalid (e.g. join on mismatched arity).
+    InvalidQuery(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            QueryError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column} in table {table}")
+            }
+            QueryError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

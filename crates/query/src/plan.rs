@@ -1,0 +1,334 @@
+//! Query trees and stable subtree hashing.
+//!
+//! §V-D.1 of the paper: workload similarity "can be estimated, for example,
+//! using the Jaccard similarity between the sets of all subtrees of the
+//! query tree for all queries in the workload". [`QueryNode::subtree_hashes`]
+//! produces exactly those sets (as stable 64-bit structural hashes), which
+//! `lsbench-core` feeds to [`lsbench_stats::jaccard`].
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison operators for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator.
+    #[inline]
+    pub fn eval(&self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    fn tag(&self) -> u64 {
+        match self {
+            CmpOp::Eq => 1,
+            CmpOp::Lt => 2,
+            CmpOp::Le => 3,
+            CmpOp::Gt => 4,
+            CmpOp::Ge => 5,
+        }
+    }
+}
+
+/// A single-column comparison predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Column index within the operator's input schema.
+    pub column: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal right-hand side.
+    pub value: i64,
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a row.
+    #[inline]
+    pub fn eval(&self, row: &[i64]) -> bool {
+        self.op.eval(row[self.column], self.value)
+    }
+}
+
+/// A logical query tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryNode {
+    /// Full scan of a base table.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Filter rows by a predicate.
+    Filter {
+        /// The predicate to apply.
+        pred: Predicate,
+        /// Input operator.
+        input: Box<QueryNode>,
+    },
+    /// Equi-join two inputs on one column each. Output schema is the left
+    /// schema followed by the right schema.
+    Join {
+        /// Left input.
+        left: Box<QueryNode>,
+        /// Right input.
+        right: Box<QueryNode>,
+        /// Join column in the left schema.
+        left_col: usize,
+        /// Join column in the right schema.
+        right_col: usize,
+    },
+    /// Count the input rows (terminal aggregate).
+    Count {
+        /// Input operator.
+        input: Box<QueryNode>,
+    },
+}
+
+/// FNV-1a step.
+#[inline]
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+impl QueryNode {
+    /// Convenience: scan of `table`.
+    pub fn scan(table: impl Into<String>) -> QueryNode {
+        QueryNode::Scan {
+            table: table.into(),
+        }
+    }
+
+    /// Convenience: filter on top of `self`.
+    pub fn filter(self, column: usize, op: CmpOp, value: i64) -> QueryNode {
+        QueryNode::Filter {
+            pred: Predicate { column, op, value },
+            input: Box::new(self),
+        }
+    }
+
+    /// Convenience: join with `right`.
+    pub fn join(self, right: QueryNode, left_col: usize, right_col: usize) -> QueryNode {
+        QueryNode::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_col,
+            right_col,
+        }
+    }
+
+    /// Convenience: count on top of `self`.
+    pub fn count(self) -> QueryNode {
+        QueryNode::Count {
+            input: Box::new(self),
+        }
+    }
+
+    /// Stable structural hash of this node (including its subtree).
+    ///
+    /// Literal values are *bucketed* (by order of magnitude) rather than
+    /// hashed exactly, so two range queries with nearby constants share a
+    /// shape — matching the intent of workload similarity: the *shape* of
+    /// the workload, not its exact constants.
+    pub fn structural_hash(&self) -> u64 {
+        match self {
+            QueryNode::Scan { table } => {
+                let mut h = fnv(FNV_OFFSET, 0x5CAB);
+                for b in table.bytes() {
+                    h = fnv(h, b as u64);
+                }
+                h
+            }
+            QueryNode::Filter { pred, input } => {
+                let mut h = fnv(FNV_OFFSET, 0xF117);
+                h = fnv(h, pred.column as u64);
+                h = fnv(h, pred.op.tag());
+                h = fnv(h, magnitude_bucket(pred.value));
+                fnv(h, input.structural_hash())
+            }
+            QueryNode::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                let mut h = fnv(FNV_OFFSET, 0x301E);
+                h = fnv(h, *left_col as u64);
+                h = fnv(h, *right_col as u64);
+                h = fnv(h, left.structural_hash());
+                fnv(h, right.structural_hash())
+            }
+            QueryNode::Count { input } => {
+                fnv(fnv(FNV_OFFSET, 0xC0DE), input.structural_hash())
+            }
+        }
+    }
+
+    /// Hashes of *all* subtrees of this query, for Jaccard workload
+    /// similarity (§V-D.1).
+    pub fn subtree_hashes(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.collect_hashes(&mut out);
+        out
+    }
+
+    fn collect_hashes(&self, out: &mut Vec<u64>) {
+        out.push(self.structural_hash());
+        match self {
+            QueryNode::Scan { .. } => {}
+            QueryNode::Filter { input, .. } | QueryNode::Count { input } => {
+                input.collect_hashes(out);
+            }
+            QueryNode::Join { left, right, .. } => {
+                left.collect_hashes(out);
+                right.collect_hashes(out);
+            }
+        }
+    }
+
+    /// Number of operators in the tree.
+    pub fn size(&self) -> usize {
+        match self {
+            QueryNode::Scan { .. } => 1,
+            QueryNode::Filter { input, .. } | QueryNode::Count { input } => 1 + input.size(),
+            QueryNode::Join { left, right, .. } => 1 + left.size() + right.size(),
+        }
+    }
+
+    /// Names of all base tables referenced by the tree.
+    pub fn tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            QueryNode::Scan { table } => out.push(table),
+            QueryNode::Filter { input, .. } | QueryNode::Count { input } => {
+                input.collect_tables(out)
+            }
+            QueryNode::Join { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+}
+
+/// Buckets a literal by sign and order of magnitude.
+fn magnitude_bucket(v: i64) -> u64 {
+    let sign = if v < 0 { 1u64 } else { 0 };
+    let mag = v.unsigned_abs();
+    let bucket = 64 - mag.leading_zeros() as u64; // 0 for 0, else floor(log2)+1
+    sign * 100 + bucket
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> QueryNode {
+        QueryNode::scan("orders")
+            .filter(1, CmpOp::Lt, 100)
+            .join(QueryNode::scan("users"), 0, 0)
+            .count()
+    }
+
+    #[test]
+    fn cmp_ops() {
+        assert!(CmpOp::Eq.eval(1, 1));
+        assert!(CmpOp::Lt.eval(1, 2));
+        assert!(CmpOp::Le.eval(2, 2));
+        assert!(CmpOp::Gt.eval(3, 2));
+        assert!(CmpOp::Ge.eval(2, 2));
+        assert!(!CmpOp::Lt.eval(2, 2));
+    }
+
+    #[test]
+    fn predicate_eval() {
+        let p = Predicate {
+            column: 1,
+            op: CmpOp::Ge,
+            value: 5,
+        };
+        assert!(p.eval(&[0, 5]));
+        assert!(!p.eval(&[0, 4]));
+    }
+
+    #[test]
+    fn subtree_count_matches_size() {
+        let q = sample_query();
+        // count(join(filter(scan orders), scan users)) = 5 operators.
+        assert_eq!(q.size(), 5);
+        assert_eq!(q.subtree_hashes().len(), 5);
+    }
+
+    #[test]
+    fn hash_is_stable_and_structural() {
+        let a = sample_query();
+        let b = sample_query();
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        let different = QueryNode::scan("orders")
+            .filter(2, CmpOp::Lt, 100)
+            .join(QueryNode::scan("users"), 0, 0)
+            .count();
+        assert_ne!(a.structural_hash(), different.structural_hash());
+    }
+
+    #[test]
+    fn nearby_constants_share_shape() {
+        let a = QueryNode::scan("t").filter(0, CmpOp::Lt, 100);
+        let b = QueryNode::scan("t").filter(0, CmpOp::Lt, 120); // same 2^7 bucket
+        let c = QueryNode::scan("t").filter(0, CmpOp::Lt, 100_000);
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert_ne!(a.structural_hash(), c.structural_hash());
+    }
+
+    #[test]
+    fn join_order_distinguished() {
+        let ab = QueryNode::scan("a").join(QueryNode::scan("b"), 0, 0);
+        let ba = QueryNode::scan("b").join(QueryNode::scan("a"), 0, 0);
+        assert_ne!(ab.structural_hash(), ba.structural_hash());
+    }
+
+    #[test]
+    fn tables_collected_in_order() {
+        let q = sample_query();
+        assert_eq!(q.tables(), vec!["orders", "users"]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = sample_query();
+        let json = serde_json::to_string(&q).unwrap();
+        let back: QueryNode = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn magnitude_buckets() {
+        assert_eq!(magnitude_bucket(0), 0);
+        assert_eq!(magnitude_bucket(1), 1);
+        assert_eq!(magnitude_bucket(100), magnitude_bucket(127));
+        assert_ne!(magnitude_bucket(127), magnitude_bucket(128));
+        assert_ne!(magnitude_bucket(5), magnitude_bucket(-5));
+    }
+}

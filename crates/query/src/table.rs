@@ -1,0 +1,218 @@
+//! Columnar in-memory tables and the catalog.
+
+use crate::{QueryError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A columnar table of `i64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    column_names: Vec<String>,
+    /// Column-major storage: `columns[c][r]`.
+    columns: Vec<Vec<i64>>,
+}
+
+impl Table {
+    /// Creates a table from named columns; all columns must share a length.
+    pub fn new(
+        name: impl Into<String>,
+        column_names: Vec<String>,
+        columns: Vec<Vec<i64>>,
+    ) -> Result<Self> {
+        let name = name.into();
+        if column_names.len() != columns.len() {
+            return Err(QueryError::InvalidQuery(format!(
+                "table {name}: {} names for {} columns",
+                column_names.len(),
+                columns.len()
+            )));
+        }
+        if let Some(first) = columns.first() {
+            if columns.iter().any(|c| c.len() != first.len()) {
+                return Err(QueryError::InvalidQuery(format!(
+                    "table {name}: ragged columns"
+                )));
+            }
+        }
+        Ok(Table {
+            name,
+            column_names,
+            columns,
+        })
+    }
+
+    /// Generates a table with `rows` rows; column `c` is drawn from a
+    /// deterministic per-column distribution: column 0 is a dense key,
+    /// odd columns are zipf-ish skewed, even columns uniform.
+    pub fn generate(name: impl Into<String>, rows: usize, cols: usize, seed: u64) -> Self {
+        let name = name.into();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut columns = Vec::with_capacity(cols);
+        let mut column_names = Vec::with_capacity(cols);
+        for c in 0..cols {
+            column_names.push(format!("c{c}"));
+            let col: Vec<i64> = match c {
+                0 => (0..rows as i64).collect(),
+                _ if c % 2 == 1 => (0..rows)
+                    .map(|_| {
+                        // Skewed: squared uniform concentrates near zero.
+                        let u: f64 = rng.gen();
+                        (u * u * 1000.0) as i64
+                    })
+                    .collect(),
+                _ => (0..rows).map(|_| rng.gen_range(0..1000)).collect(),
+            };
+            columns.push(col);
+        }
+        Table {
+            name,
+            column_names,
+            columns,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.columns.first().map_or(0, |c| c.len())
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names.
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// Column `c`, if present.
+    pub fn column(&self, c: usize) -> Result<&[i64]> {
+        self.columns
+            .get(c)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| QueryError::UnknownColumn {
+                table: self.name.clone(),
+                column: c,
+            })
+    }
+
+    /// Materializes row `r` (test/debug helper).
+    pub fn row(&self, r: usize) -> Vec<i64> {
+        self.columns.iter().map(|c| c[r]).collect()
+    }
+}
+
+/// A named collection of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds (or replaces) a table.
+    pub fn add(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Fetches a table by name.
+    pub fn get(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all tables (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Table::new("t", vec!["a".into()], vec![vec![1, 2]]).is_ok());
+        assert!(Table::new("t", vec!["a".into()], vec![vec![1], vec![2]]).is_err());
+        assert!(Table::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec![vec![1, 2], vec![3]]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Table::new(
+            "t",
+            vec!["a".into(), "b".into()],
+            vec![vec![1, 2, 3], vec![4, 5, 6]],
+        )
+        .unwrap();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column_count(), 2);
+        assert_eq!(t.column(1).unwrap(), &[4, 5, 6]);
+        assert!(t.column(2).is_err());
+        assert_eq!(t.row(1), vec![2, 5]);
+    }
+
+    #[test]
+    fn generate_shapes() {
+        let t = Table::generate("g", 1000, 4, 7);
+        assert_eq!(t.row_count(), 1000);
+        assert_eq!(t.column_count(), 4);
+        // Column 0 is a dense key.
+        assert_eq!(t.column(0).unwrap()[999], 999);
+        // Odd columns are skewed toward zero.
+        let skewed = t.column(1).unwrap();
+        let small = skewed.iter().filter(|&&v| v < 250).count();
+        assert!(small > 400, "small = {small}");
+        // Even non-key columns are roughly uniform.
+        let uniform = t.column(2).unwrap();
+        let small_u = uniform.iter().filter(|&&v| v < 250).count();
+        assert!((small_u as i64 - 250).abs() < 80, "small_u = {small_u}");
+    }
+
+    #[test]
+    fn generate_deterministic() {
+        let a = Table::generate("a", 100, 3, 5);
+        let b = Table::generate("a", 100, 3, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn catalog_round_trip() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.add(Table::generate("orders", 10, 2, 1));
+        cat.add(Table::generate("users", 10, 2, 2));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.get("orders").unwrap().name(), "orders");
+        assert!(matches!(cat.get("nope"), Err(QueryError::UnknownTable(_))));
+    }
+}

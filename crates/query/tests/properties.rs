@@ -1,0 +1,157 @@
+//! Property tests for the query engine: executor correctness against a
+//! naive reference, estimator sanity, and subtree-hash invariants.
+
+use lsbench_query::card::{q_error, CardinalityEstimator, HistogramEstimator};
+use lsbench_query::exec::execute;
+use lsbench_query::plan::{CmpOp, QueryNode};
+use lsbench_query::table::{Catalog, Table};
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn small_catalog(rows_a: usize, rows_b: usize, seed: u64) -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(Table::generate("a", rows_a, 3, seed));
+    cat.add(Table::generate("b", rows_b, 3, seed + 1));
+    cat
+}
+
+/// Naive reference: filter by scanning rows.
+fn reference_filter_count(cat: &Catalog, table: &str, col: usize, op: CmpOp, v: i64) -> u64 {
+    let t = cat.get(table).unwrap();
+    (0..t.row_count())
+        .filter(|&r| op.eval(t.row(r)[col], v))
+        .count() as u64
+}
+
+/// Naive reference: nested-loop join count.
+fn reference_join_count(cat: &Catalog, lc: usize, rc: usize) -> u64 {
+    let a = cat.get("a").unwrap();
+    let b = cat.get("b").unwrap();
+    let mut count = 0u64;
+    for i in 0..a.row_count() {
+        for j in 0..b.row_count() {
+            if a.row(i)[lc] == b.row(j)[rc] {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn filter_matches_reference(
+        rows in 1usize..300,
+        seed in 0u64..50,
+        col in 0usize..3,
+        op in arb_op(),
+        v in -100i64..1100,
+    ) {
+        let cat = small_catalog(rows, 10, seed);
+        let q = QueryNode::scan("a").filter(col, op, v);
+        let got = execute(&q, &cat).unwrap().count;
+        let expected = reference_filter_count(&cat, "a", col, op, v);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_matches_reference(
+        rows_a in 1usize..80,
+        rows_b in 1usize..80,
+        seed in 0u64..30,
+        lc in 0usize..3,
+        rc in 0usize..3,
+    ) {
+        let cat = small_catalog(rows_a, rows_b, seed);
+        let q = QueryNode::scan("a").join(QueryNode::scan("b"), lc, rc);
+        let got = execute(&q, &cat).unwrap().count;
+        prop_assert_eq!(got, reference_join_count(&cat, lc, rc));
+    }
+
+    #[test]
+    fn count_equals_row_count(rows in 1usize..200, seed in 0u64..30, v in 0i64..1000) {
+        let cat = small_catalog(rows, 10, seed);
+        let q = QueryNode::scan("a").filter(1, CmpOp::Lt, v);
+        let materialized = execute(&q, &cat).unwrap();
+        let counted = execute(&q.clone().count(), &cat).unwrap();
+        prop_assert_eq!(materialized.count, counted.count);
+        prop_assert_eq!(materialized.rows.len() as u64, materialized.count);
+    }
+
+    #[test]
+    fn true_cardinalities_consistent(rows in 1usize..200, seed in 0u64..30, v in 0i64..1000) {
+        let scan = QueryNode::scan("a");
+        let filtered = scan.clone().filter(2, CmpOp::Ge, v);
+        let cat = small_catalog(rows, 10, seed);
+        let r = execute(&filtered, &cat).unwrap();
+        // Scan cardinality = table size; filter cardinality = result count;
+        // filter never exceeds scan.
+        let scan_card = r.true_cardinalities[&scan.structural_hash()];
+        let filter_card = r.true_cardinalities[&filtered.structural_hash()];
+        prop_assert_eq!(scan_card, rows as u64);
+        prop_assert_eq!(filter_card, r.count);
+        prop_assert!(filter_card <= scan_card);
+    }
+
+    #[test]
+    fn histogram_estimates_bounded(rows in 10usize..300, seed in 0u64..30, col in 1usize..3, op in arb_op(), v in -100i64..1100) {
+        let cat = small_catalog(rows, 10, seed);
+        let est = HistogramEstimator::build(&cat).unwrap();
+        let q = QueryNode::scan("a").filter(col, op, v);
+        let guess = est.estimate(&q);
+        // Estimates never exceed the table size or go negative.
+        prop_assert!(guess >= 0.0);
+        prop_assert!(guess <= rows as f64 + 1e-9);
+    }
+
+    #[test]
+    fn histogram_range_estimates_reasonable(rows in 200usize..500, seed in 0u64..20, v in 100i64..900) {
+        // On the uniform column, range estimates land within q-error 2.
+        let cat = small_catalog(rows, 10, seed);
+        let est = HistogramEstimator::build(&cat).unwrap();
+        let q = QueryNode::scan("a").filter(2, CmpOp::Lt, v);
+        let truth = execute(&q, &cat).unwrap().count as f64;
+        let guess = est.estimate(&q);
+        prop_assert!(q_error(guess, truth) < 2.5,
+            "q-error {} (guess {guess} truth {truth})", q_error(guess, truth));
+    }
+
+    #[test]
+    fn subtree_hashes_injective_enough(
+        t1 in "[a-c]{1,3}", t2 in "[a-c]{1,3}",
+        c1 in 0usize..4, c2 in 0usize..4,
+        v1 in 0i64..1_000_000, v2 in 0i64..1_000_000,
+    ) {
+        let q1 = QueryNode::scan(t1.clone()).filter(c1, CmpOp::Lt, v1);
+        let q2 = QueryNode::scan(t2.clone()).filter(c2, CmpOp::Lt, v2);
+        // Identical structure => identical hash.
+        let q1_copy = QueryNode::scan(t1.clone()).filter(c1, CmpOp::Lt, v1);
+        prop_assert_eq!(q1.structural_hash(), q1_copy.structural_hash());
+        // Different table or column => different hash.
+        if t1 != t2 || c1 != c2 {
+            prop_assert_ne!(q1.structural_hash(), q2.structural_hash());
+        }
+        let _ = v2;
+    }
+
+    #[test]
+    fn executor_work_monotone_in_input(rows in 10usize..200, seed in 0u64..20) {
+        let small = small_catalog(rows, 10, seed);
+        let large = small_catalog(rows * 4, 10, seed);
+        let q = QueryNode::scan("a").filter(1, CmpOp::Ge, 0).count();
+        let ws = execute(&q, &small).unwrap().work;
+        let wl = execute(&q, &large).unwrap().work;
+        prop_assert!(wl > ws, "work not monotone: {wl} <= {ws}");
+    }
+}

@@ -1,0 +1,359 @@
+//! Exact descriptive statistics over in-memory samples.
+//!
+//! The paper's specialization metric (Fig. 1a) reports *descriptive
+//! statistics* — box plots — of throughput per workload/data distribution
+//! instead of a single average. [`BoxPlot`] computes exactly those
+//! statistics (median, quartiles, whiskers at 1.5·IQR, and outliers), and
+//! [`Summary`] provides the supporting moments.
+
+use crate::{sorted_copy, Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Full-moment summary of a sample: count, mean, variance, skewness, kurtosis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (n-1 denominator); 0 for a single sample.
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Sample skewness (biased, moment-based); 0 when undefined.
+    pub skewness: f64,
+    /// Excess kurtosis (biased, moment-based); 0 when undefined.
+    pub kurtosis: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `data`.
+    ///
+    /// Returns [`StatsError::Empty`] for empty input and
+    /// [`StatsError::NanInput`] if any sample is NaN.
+    pub fn of(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        if data.iter().any(|v| v.is_nan()) {
+            return Err(StatsError::NanInput);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let mut m2 = 0.0;
+        let mut m3 = 0.0;
+        let mut m4 = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in data {
+            let d = v - mean;
+            m2 += d * d;
+            m3 += d * d * d;
+            m4 += d * d * d * d;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let variance = if data.len() > 1 { m2 / (n - 1.0) } else { 0.0 };
+        let pop_var = m2 / n;
+        let skewness = if pop_var > 0.0 {
+            (m3 / n) / pop_var.powf(1.5)
+        } else {
+            0.0
+        };
+        let kurtosis = if pop_var > 0.0 {
+            (m4 / n) / (pop_var * pop_var) - 3.0
+        } else {
+            0.0
+        };
+        Ok(Summary {
+            count: data.len(),
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min,
+            max,
+            skewness,
+            kurtosis,
+        })
+    }
+
+    /// Coefficient of variation (`std_dev / mean`); `None` when the mean is 0.
+    ///
+    /// The benchmark uses this as a one-number "throughput stability" score:
+    /// a learned system that overfits to one distribution typically shows a
+    /// large coefficient of variation across distributions.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std_dev / self.mean.abs())
+        }
+    }
+}
+
+/// Computes the `q`-quantile (`0.0 ..= 1.0`) of `data` using linear
+/// interpolation between closest ranks (type-7, the R/NumPy default).
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter("quantile must be in [0, 1]"));
+    }
+    let sorted = sorted_copy(data)?;
+    Ok(quantile_sorted(&sorted, q))
+}
+
+/// Quantile over data already sorted ascending; `q` must be in `[0, 1]`.
+///
+/// Callers computing many quantiles should sort once and use this.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+/// Median of `data` (0.5 quantile).
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Classic five-number summary: min, lower quartile, median, upper quartile, max.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumber {
+    /// Minimum sample.
+    pub min: f64,
+    /// First quartile (0.25 quantile).
+    pub q1: f64,
+    /// Median (0.5 quantile).
+    pub median: f64,
+    /// Third quartile (0.75 quantile).
+    pub q3: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl FiveNumber {
+    /// Computes the five-number summary of `data`.
+    pub fn of(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let sorted = sorted_copy(data)?;
+        Ok(FiveNumber {
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Interquartile range (`q3 - q1`).
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Box-plot statistics with Tukey 1.5·IQR whiskers and explicit outliers.
+///
+/// This is the exact representation Fig. 1a of the paper plots per
+/// workload/data distribution: "the box plots provide a good overview of the
+/// dispersion, skewness, and outliers in each case".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxPlot {
+    /// Five-number summary of the underlying sample.
+    pub five: FiveNumber,
+    /// Lowest sample still within `q1 - 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Highest sample still within `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Samples outside the whiskers, sorted ascending.
+    pub outliers: Vec<f64>,
+    /// Mean of the sample (often drawn as a diamond on box plots).
+    pub mean: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl BoxPlot {
+    /// Computes box-plot statistics of `data`.
+    pub fn of(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let sorted = sorted_copy(data)?;
+        let five = FiveNumber {
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        };
+        let iqr = five.iqr();
+        let lo_fence = five.q1 - 1.5 * iqr;
+        let hi_fence = five.q3 + 1.5 * iqr;
+        let mut whisker_lo = five.q1;
+        let mut whisker_hi = five.q3;
+        let mut outliers = Vec::new();
+        for &v in &sorted {
+            if v < lo_fence || v > hi_fence {
+                outliers.push(v);
+            } else {
+                if v < whisker_lo {
+                    whisker_lo = v;
+                }
+                if v > whisker_hi {
+                    whisker_hi = v;
+                }
+            }
+        }
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Ok(BoxPlot {
+            five,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+            mean,
+            count: sorted.len(),
+        })
+    }
+
+    /// Fraction of samples classified as outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        self.outliers.len() as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_close(s.mean, 3.0);
+        assert_close(s.variance, 2.5);
+        assert_close(s.min, 1.0);
+        assert_close(s.max, 5.0);
+        assert_close(s.skewness, 0.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_close(s.variance, 0.0);
+        assert_close(s.skewness, 0.0);
+        assert_close(s.kurtosis, 0.0);
+    }
+
+    #[test]
+    fn summary_empty_and_nan() {
+        assert_eq!(Summary::of(&[]), Err(StatsError::Empty));
+        assert_eq!(Summary::of(&[1.0, f64::NAN]), Err(StatsError::NanInput));
+    }
+
+    #[test]
+    fn summary_skew_sign() {
+        // Right-skewed data has positive skewness.
+        let s = Summary::of(&[1.0, 1.0, 1.0, 1.0, 10.0]).unwrap();
+        assert!(s.skewness > 0.0);
+        // Left-skewed data has negative skewness.
+        let s = Summary::of(&[-10.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(s.skewness < 0.0);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]).unwrap();
+        assert_close(s.coefficient_of_variation().unwrap(), 0.0);
+        let s = Summary::of(&[0.0, 0.0]).unwrap();
+        assert!(s.coefficient_of_variation().is_none());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_close(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_close(quantile(&data, 1.0).unwrap(), 4.0);
+        assert_close(quantile(&data, 0.5).unwrap(), 2.5);
+        assert_close(quantile(&data, 0.25).unwrap(), 1.75);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert!(matches!(
+            quantile(&[1.0], 1.5),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            quantile(&[1.0], -0.1),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let data = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_close(median(&data).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let f = FiveNumber::of(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert_close(f.min, 1.0);
+        assert_close(f.max, 8.0);
+        assert_close(f.median, 4.5);
+        assert_close(f.iqr(), f.q3 - f.q1);
+        assert!(f.q1 < f.median && f.median < f.q3);
+    }
+
+    #[test]
+    fn boxplot_no_outliers() {
+        let b = BoxPlot::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!(b.outliers.is_empty());
+        assert_close(b.whisker_lo, 1.0);
+        assert_close(b.whisker_hi, 5.0);
+        assert_close(b.outlier_fraction(), 0.0);
+    }
+
+    #[test]
+    fn boxplot_detects_outlier() {
+        let mut data: Vec<f64> = (1..=20).map(|v| v as f64).collect();
+        data.push(1000.0);
+        let b = BoxPlot::of(&data).unwrap();
+        assert_eq!(b.outliers, vec![1000.0]);
+        // Whisker must stop at the largest non-outlier.
+        assert_close(b.whisker_hi, 20.0);
+        assert!(b.outlier_fraction() > 0.0);
+    }
+
+    #[test]
+    fn boxplot_constant_data() {
+        let b = BoxPlot::of(&[7.0; 10]).unwrap();
+        assert!(b.outliers.is_empty());
+        assert_close(b.five.iqr(), 0.0);
+        assert_close(b.whisker_lo, 7.0);
+        assert_close(b.whisker_hi, 7.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The paper (§V-D.1) proposes the KS statistic as one way to quantify how
+//! far two *data distributions* are from each other — the Φ axis of
+//! Fig. 1a. The statistic `D` is the supremum distance between the two
+//! empirical CDFs, in `[0, 1]`, so it directly serves as a normalized
+//! distance.
+
+use crate::{sorted_copy, Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F1(x) - F2(x)|`, in `[0, 1]`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution approximation).
+    pub p_value: f64,
+    /// Sample sizes of the two inputs.
+    pub n1: usize,
+    /// Sample size of the second input.
+    pub n2: usize,
+}
+
+/// Computes the two-sample KS statistic `D` between `a` and `b`.
+///
+/// Runs in `O(n log n)` and is exact (no binning). Returns an error on
+/// empty inputs or NaNs.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let sa = sorted_copy(a)?;
+    let sb = sorted_copy(b)?;
+    let (n1, n2) = (sa.len() as f64, sb.len() as f64);
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1;
+        let f2 = j as f64 / n2;
+        d = d.max((f1 - f2).abs());
+    }
+    Ok(d)
+}
+
+/// Two-sample KS test with asymptotic p-value.
+///
+/// The p-value uses the Kolmogorov limiting distribution
+/// `Q(λ) = 2 Σ (-1)^{k-1} e^{-2 k² λ²}` with the effective sample size
+/// `n_e = n1·n2/(n1+n2)` and the Stephens small-sample correction.
+pub fn ks_test(a: &[f64], b: &[f64]) -> Result<KsResult> {
+    let d = ks_statistic(a, b)?;
+    let n1 = a.len();
+    let n2 = b.len();
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    Ok(KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        n1,
+        n2,
+    })
+}
+
+/// Kolmogorov distribution survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::distributions::Distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = ks_statistic(&a, &a).unwrap();
+        assert_eq!(d, 0.0);
+        let r = ks_test(&a, &a).unwrap();
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (100..150).map(|i| i as f64).collect();
+        let d = ks_statistic(&a, &b).unwrap();
+        assert_eq!(d, 1.0);
+        let r = ks_test(&a, &b).unwrap();
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // F1 steps at 1,2,3; F2 steps at 2,3,4. Max gap is 1/3.
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 4.0];
+        let d = ks_statistic(&a, &b).unwrap();
+        assert!((d - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1.0, 5.0, 9.0, 2.0];
+        let b = [3.0, 3.5, 8.0];
+        assert_eq!(
+            ks_statistic(&a, &b).unwrap(),
+            ks_statistic(&b, &a).unwrap()
+        );
+    }
+
+    #[test]
+    fn same_distribution_usually_accepted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = rand::distributions::Uniform::new(0.0, 1.0);
+        let a: Vec<f64> = (0..500).map(|_| dist.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..500).map(|_| dist.sample(&mut rng)).collect();
+        let r = ks_test(&a, &b).unwrap();
+        assert!(r.p_value > 0.01, "p = {}", r.p_value);
+        assert!(r.statistic < 0.15);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d1 = rand::distributions::Uniform::new(0.0, 1.0);
+        let d2 = rand::distributions::Uniform::new(0.5, 1.5);
+        let a: Vec<f64> = (0..500).map(|_| d1.sample(&mut rng)).collect();
+        let b: Vec<f64> = (0..500).map(|_| d2.sample(&mut rng)).collect();
+        let r = ks_test(&a, &b).unwrap();
+        assert!(r.p_value < 1e-6);
+        assert!((r.statistic - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(ks_statistic(&[], &[1.0]), Err(StatsError::Empty));
+        assert_eq!(ks_statistic(&[1.0], &[]), Err(StatsError::Empty));
+    }
+
+    #[test]
+    fn nan_input_errors() {
+        assert_eq!(
+            ks_statistic(&[f64::NAN], &[1.0]),
+            Err(StatsError::NanInput)
+        );
+    }
+
+    #[test]
+    fn statistic_in_unit_interval() {
+        let a = [0.0, 0.0, 1.0, 2.0];
+        let b = [0.5, 0.5, 0.5];
+        let d = ks_statistic(&a, &b).unwrap();
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let a = [1.0, 1.0, 1.0, 1.0];
+        let b = [1.0, 1.0, 2.0, 2.0];
+        let d = ks_statistic(&a, &b).unwrap();
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+}

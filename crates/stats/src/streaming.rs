@@ -1,0 +1,466 @@
+//! Single-pass (streaming) statistics.
+//!
+//! The benchmark driver observes millions of per-query latencies; retaining
+//! them all per phase would dominate memory. These estimators maintain
+//! summaries in O(1) space:
+//!
+//! * [`OnlineStats`] — Welford's algorithm for mean/variance (numerically
+//!   stable, mergeable across worker threads).
+//! * [`ReservoirSampler`] — uniform fixed-size sample of an unbounded stream
+//!   (Vitter's Algorithm R), used to feed exact quantile/box-plot code.
+//! * [`P2Quantile`] — the Jain/Chlamtac P² estimator for a single quantile
+//!   without storing samples, used for live SLA-threshold tracking.
+//! * [`Ema`] — exponential moving average, used to smooth instantaneous
+//!   throughput when detecting adaptation completion.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance accumulator.
+///
+/// Mergeable: two accumulators built on disjoint streams can be combined
+/// with [`OnlineStats::merge`] to obtain the statistics of the union.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count > 1 {
+            self.m2 / (self.count - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel update).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-capacity uniform reservoir sample (Algorithm R).
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler {
+    capacity: usize,
+    seen: u64,
+    sample: Vec<f64>,
+}
+
+impl ReservoirSampler {
+    /// Creates a sampler retaining at most `capacity` values.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero — a zero-size reservoir is meaningless.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        ReservoirSampler {
+            capacity,
+            seen: 0,
+            sample: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offers one value to the reservoir.
+    pub fn push<R: Rng>(&mut self, value: f64, rng: &mut R) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(value);
+        } else {
+            let idx = rng.gen_range(0..self.seen);
+            if (idx as usize) < self.capacity {
+                self.sample[idx as usize] = value;
+            }
+        }
+    }
+
+    /// The values currently retained (unordered).
+    pub fn sample(&self) -> &[f64] {
+        &self.sample
+    }
+
+    /// Total number of values offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// P² single-quantile estimator (Jain & Chlamtac, 1985).
+///
+/// Tracks one quantile of a stream using five markers, without storing
+/// samples. Accuracy is excellent for unimodal latency distributions, which
+/// is what the SLA calibration needs.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    count: usize,
+    /// First five observations, buffered until initialization.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(value);
+            if self.init.len() == 5 {
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("latencies are not NaN"));
+                for (h, v) in self.heights.iter_mut().zip(&self.init) {
+                    *h = *v;
+                }
+            }
+            return;
+        }
+        // Find cell k such that heights[k] <= value < heights[k+1].
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            (0..4)
+                .find(|&i| value < self.heights[i + 1])
+                .expect("value within marker range")
+        };
+        for pos in self.positions.iter_mut().skip(k + 1) {
+            *pos += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+        // Adjust interior markers with parabolic interpolation.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d_sign = d.signum();
+                let new_height = self.parabolic(i, d_sign);
+                let new_height = if self.heights[i - 1] < new_height
+                    && new_height < self.heights[i + 1]
+                {
+                    new_height
+                } else {
+                    self.linear(i, d_sign)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += d_sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate of the tracked quantile.
+    ///
+    /// With fewer than five observations, falls back to the exact quantile of
+    /// the buffered values; returns `None` when no value has been observed.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.init.len() < 5 {
+            let mut copy = self.init.clone();
+            copy.sort_by(|a, b| a.partial_cmp(b).expect("latencies are not NaN"));
+            return Some(crate::descriptive::quantile_sorted(&copy, self.q));
+        }
+        Some(self.heights[2])
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Exponential moving average with smoothing factor `alpha` in `(0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ema {
+    /// Creates an EMA with the given smoothing factor.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ema { alpha, value: None }
+    }
+
+    /// Adds one observation and returns the updated average.
+    pub fn push(&mut self, v: f64) -> f64 {
+        let next = match self.value {
+            None => v,
+            Some(prev) => prev + self.alpha * (v - prev),
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current average, if any observation has been made.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn online_matches_exact() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 5.0).collect();
+        let mut os = OnlineStats::new();
+        for &v in &data {
+            os.push(v);
+        }
+        let exact = Summary::of(&data).unwrap();
+        assert!((os.mean() - exact.mean).abs() < 1e-9);
+        assert!((os.variance() - exact.variance).abs() < 1e-9);
+        assert_eq!(os.count(), 100);
+        assert_eq!(os.min(), exact.min);
+        assert_eq!(os.max(), exact.max);
+    }
+
+    #[test]
+    fn online_merge_equals_combined() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (50..120).map(|i| (i as f64) * 1.5).collect();
+        let mut sa = OnlineStats::new();
+        let mut sb = OnlineStats::new();
+        for &v in &a {
+            sa.push(v);
+        }
+        for &v in &b {
+            sb.push(v);
+        }
+        let mut merged = sa;
+        merged.merge(&sb);
+        let mut all = a;
+        all.extend(b);
+        let exact = Summary::of(&all).unwrap();
+        assert!((merged.mean() - exact.mean).abs() < 1e-9);
+        assert!((merged.variance() - exact.variance).abs() < 1e-6);
+    }
+
+    #[test]
+    fn online_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn reservoir_keeps_capacity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut r = ReservoirSampler::new(10);
+        for i in 0..1000 {
+            r.push(i as f64, &mut rng);
+        }
+        assert_eq!(r.sample().len(), 10);
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn reservoir_small_stream_keeps_all() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut r = ReservoirSampler::new(100);
+        for i in 0..5 {
+            r.push(i as f64, &mut rng);
+        }
+        assert_eq!(r.sample(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Mean of a uniform sample over [0, 10000) should be near 5000.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut r = ReservoirSampler::new(500);
+        for i in 0..10_000 {
+            r.push(i as f64, &mut rng);
+        }
+        let mean = r.sample().iter().sum::<f64>() / r.sample().len() as f64;
+        assert!((mean - 5000.0).abs() < 600.0, "mean {mean} too far from 5000");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn reservoir_rejects_zero_capacity() {
+        let _ = ReservoirSampler::new(0);
+    }
+
+    #[test]
+    fn p2_tracks_median_of_uniform() {
+        let mut p2 = P2Quantile::new(0.5);
+        // Deterministic pseudo-shuffled uniform stream.
+        for i in 0..10_000u64 {
+            let v = ((i * 2654435761) % 10_000) as f64;
+            p2.push(v);
+        }
+        let est = p2.estimate().unwrap();
+        assert!(
+            (est - 5000.0).abs() < 300.0,
+            "median estimate {est} too far from 5000"
+        );
+    }
+
+    #[test]
+    fn p2_tracks_p99() {
+        let mut p2 = P2Quantile::new(0.99);
+        for i in 0..100_000u64 {
+            let v = ((i * 2654435761) % 1000) as f64;
+            p2.push(v);
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 990.0).abs() < 20.0, "p99 estimate {est} off");
+    }
+
+    #[test]
+    fn p2_few_samples_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert!(p2.estimate().is_none());
+        p2.push(3.0);
+        assert_eq!(p2.estimate(), Some(3.0));
+        p2.push(1.0);
+        p2.push(2.0);
+        assert_eq!(p2.estimate(), Some(2.0));
+        assert_eq!(p2.count(), 3);
+    }
+
+    #[test]
+    fn ema_converges() {
+        let mut ema = Ema::new(0.5);
+        assert!(ema.value().is_none());
+        for _ in 0..50 {
+            ema.push(10.0);
+        }
+        assert!((ema.value().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ema_first_value_is_identity() {
+        let mut ema = Ema::new(0.1);
+        assert_eq!(ema.push(42.0), 42.0);
+    }
+}

@@ -1,0 +1,442 @@
+//! Time series and cumulative-completion curves.
+//!
+//! Fig. 1b of the paper plots *cumulative queries completed over time*: the
+//! slope of the curve is the instantaneous throughput, and adaptability is
+//! summarized as the *area difference* between the system's curve and an
+//! ideal constant-throughput system (or between two systems). This module
+//! provides the curve representation and the area computations.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear time series of `(time, value)` points with
+/// non-decreasing time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Creates a series from points, validating time monotonicity.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Result<Self> {
+        for w in points.windows(2) {
+            if w[1].0 < w[0].0 {
+                return Err(StatsError::InvalidParameter(
+                    "time series must be sorted by time",
+                ));
+            }
+        }
+        if points.iter().any(|(t, v)| t.is_nan() || v.is_nan()) {
+            return Err(StatsError::NanInput);
+        }
+        Ok(TimeSeries { points })
+    }
+
+    /// Appends a point; `t` must not precede the last time.
+    pub fn push(&mut self, t: f64, v: f64) -> Result<()> {
+        if t.is_nan() || v.is_nan() {
+            return Err(StatsError::NanInput);
+        }
+        if let Some(&(last_t, _)) = self.points.last() {
+            if t < last_t {
+                return Err(StatsError::InvalidParameter(
+                    "time must be non-decreasing",
+                ));
+            }
+        }
+        self.points.push((t, v));
+        Ok(())
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Linear interpolation of the value at time `t`.
+    ///
+    /// Clamps to the first/last value outside the covered range.
+    pub fn value_at(&self, t: f64) -> Result<f64> {
+        if self.points.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let first = self.points[0];
+        let last = self.points[self.points.len() - 1];
+        if t <= first.0 {
+            return Ok(first.1);
+        }
+        if t >= last.0 {
+            return Ok(last.1);
+        }
+        // Binary search for the segment containing t.
+        let idx = self
+            .points
+            .partition_point(|&(pt, _)| pt <= t);
+        let (t0, v0) = self.points[idx - 1];
+        let (t1, v1) = self.points[idx];
+        if t1 == t0 {
+            return Ok(v1);
+        }
+        Ok(v0 + (v1 - v0) * (t - t0) / (t1 - t0))
+    }
+
+    /// Trapezoidal area under the curve over its full time span.
+    pub fn area(&self) -> Result<f64> {
+        if self.points.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            area += (t1 - t0) * (v0 + v1) / 2.0;
+        }
+        Ok(area)
+    }
+
+    /// Signed area between `self` and `other` over their overlapping span:
+    /// `∫ (self(t) - other(t)) dt`.
+    ///
+    /// This is the paper's *area difference* single-value adaptability score.
+    /// A positive result means `self` stays above `other` on balance.
+    pub fn area_difference(&self, other: &TimeSeries) -> Result<f64> {
+        if self.points.is_empty() || other.points.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let lo = self.points[0].0.max(other.points[0].0);
+        let hi = self.points[self.points.len() - 1]
+            .0
+            .min(other.points[other.points.len() - 1].0);
+        if hi <= lo {
+            return Ok(0.0);
+        }
+        // Merge the breakpoints of both series inside [lo, hi].
+        let mut ts: Vec<f64> = std::iter::once(lo)
+            .chain(
+                self.points
+                    .iter()
+                    .chain(other.points.iter())
+                    .map(|&(t, _)| t)
+                    .filter(|&t| t > lo && t < hi),
+            )
+            .chain(std::iter::once(hi))
+            .collect();
+        ts.sort_by(|a, b| a.partial_cmp(b).expect("times are not NaN"));
+        ts.dedup();
+        let mut area = 0.0;
+        let mut prev_t = ts[0];
+        let mut prev_d = self.value_at(prev_t)? - other.value_at(prev_t)?;
+        for &t in &ts[1..] {
+            let d = self.value_at(t)? - other.value_at(t)?;
+            area += (t - prev_t) * (prev_d + d) / 2.0;
+            prev_t = t;
+            prev_d = d;
+        }
+        Ok(area)
+    }
+
+    /// Average slope over the full span (`Δvalue / Δtime`).
+    pub fn mean_slope(&self) -> Result<f64> {
+        if self.points.len() < 2 {
+            return Err(StatsError::InsufficientSamples {
+                needed: 2,
+                got: self.points.len(),
+            });
+        }
+        let (t0, v0) = self.points[0];
+        let (t1, v1) = self.points[self.points.len() - 1];
+        if t1 == t0 {
+            return Err(StatsError::InvalidParameter("zero time span"));
+        }
+        Ok((v1 - v0) / (t1 - t0))
+    }
+}
+
+/// Cumulative-completion curve: completions counted against timestamps.
+///
+/// Built from raw completion timestamps; renders as a [`TimeSeries`]
+/// (`time → completed count`) and derives the Fig. 1b metrics.
+#[derive(Debug, Clone, Default)]
+pub struct CumulativeCurve {
+    /// Completion timestamps, required non-decreasing.
+    timestamps: Vec<f64>,
+}
+
+impl CumulativeCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        CumulativeCurve {
+            timestamps: Vec::new(),
+        }
+    }
+
+    /// Records a completion at time `t` (must be non-decreasing).
+    pub fn record(&mut self, t: f64) -> Result<()> {
+        if t.is_nan() {
+            return Err(StatsError::NanInput);
+        }
+        if let Some(&last) = self.timestamps.last() {
+            if t < last {
+                return Err(StatsError::InvalidParameter(
+                    "completion times must be non-decreasing",
+                ));
+            }
+        }
+        self.timestamps.push(t);
+        Ok(())
+    }
+
+    /// Builds a curve from timestamps (sorted internally).
+    pub fn from_timestamps(mut ts: Vec<f64>) -> Result<Self> {
+        if ts.iter().any(|t| t.is_nan()) {
+            return Err(StatsError::NanInput);
+        }
+        ts.sort_by(|a, b| a.partial_cmp(b).expect("checked for NaN"));
+        Ok(CumulativeCurve { timestamps: ts })
+    }
+
+    /// Total completions recorded.
+    pub fn total(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Completions at or before time `t`.
+    pub fn completed_by(&self, t: f64) -> usize {
+        self.timestamps.partition_point(|&x| x <= t)
+    }
+
+    /// Completions strictly before time `t`.
+    pub fn completed_before(&self, t: f64) -> usize {
+        self.timestamps.partition_point(|&x| x < t)
+    }
+
+    /// Converts to a step-accurate piecewise-linear [`TimeSeries`] starting
+    /// at `(start, 0)`.
+    pub fn to_series(&self, start: f64) -> TimeSeries {
+        let mut pts = Vec::with_capacity(self.timestamps.len() + 1);
+        pts.push((start, 0.0));
+        for (i, &t) in self.timestamps.iter().enumerate() {
+            pts.push((t.max(start), (i + 1) as f64));
+        }
+        TimeSeries { points: pts }
+    }
+
+    /// The paper's single-value adaptability score: area between this curve
+    /// and an *ideal* system completing the same total at constant
+    /// throughput over `[start, end]`.
+    ///
+    /// Negative values mean the system lagged the ideal (e.g. a slow start
+    /// while models train, as in Fig. 1b); zero means perfectly constant
+    /// throughput.
+    pub fn area_vs_ideal(&self, start: f64, end: f64) -> Result<f64> {
+        if self.timestamps.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        if end <= start {
+            return Err(StatsError::InvalidParameter("end must exceed start"));
+        }
+        let actual = self.to_series(start);
+        let ideal = TimeSeries {
+            points: vec![(start, 0.0), (end, self.total() as f64)],
+        };
+        actual.area_difference(&ideal)
+    }
+
+    /// Throughput (completions per unit time) within `[t0, t1)`.
+    pub fn throughput_in(&self, t0: f64, t1: f64) -> Result<f64> {
+        if t1 <= t0 {
+            return Err(StatsError::InvalidParameter("t1 must exceed t0"));
+        }
+        let count = self.completed_before(t1) - self.completed_before(t0);
+        Ok(count as f64 / (t1 - t0))
+    }
+
+    /// Per-interval completion counts over `[start, end)` with the given
+    /// interval width; the last interval may be shorter.
+    pub fn interval_counts(&self, start: f64, end: f64, width: f64) -> Result<Vec<usize>> {
+        if width <= 0.0 {
+            return Err(StatsError::InvalidParameter("width must be positive"));
+        }
+        if end <= start {
+            return Err(StatsError::InvalidParameter("end must exceed start"));
+        }
+        let n = ((end - start) / width).ceil() as usize;
+        let mut counts = vec![0usize; n];
+        for &t in &self.timestamps {
+            if t < start || t >= end {
+                continue;
+            }
+            let idx = (((t - start) / width) as usize).min(n - 1);
+            counts[idx] += 1;
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn series_validation() {
+        assert!(TimeSeries::from_points(vec![(0.0, 1.0), (1.0, 2.0)]).is_ok());
+        assert!(TimeSeries::from_points(vec![(1.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(TimeSeries::from_points(vec![(0.0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut s = TimeSeries::new();
+        s.push(0.0, 1.0).unwrap();
+        s.push(1.0, 2.0).unwrap();
+        assert!(s.push(0.5, 0.0).is_err());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = TimeSeries::from_points(vec![(0.0, 0.0), (10.0, 100.0)]).unwrap();
+        assert!(close(s.value_at(5.0).unwrap(), 50.0));
+        assert!(close(s.value_at(-1.0).unwrap(), 0.0)); // clamp low
+        assert!(close(s.value_at(20.0).unwrap(), 100.0)); // clamp high
+    }
+
+    #[test]
+    fn interpolation_duplicate_times() {
+        // A vertical step: t=1 maps to the later value.
+        let s = TimeSeries::from_points(vec![(0.0, 0.0), (1.0, 0.0), (1.0, 5.0), (2.0, 5.0)])
+            .unwrap();
+        assert!(close(s.value_at(1.0).unwrap(), 5.0));
+        assert!(close(s.value_at(0.5).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn area_triangle() {
+        let s = TimeSeries::from_points(vec![(0.0, 0.0), (2.0, 2.0)]).unwrap();
+        assert!(close(s.area().unwrap(), 2.0));
+    }
+
+    #[test]
+    fn area_difference_identical_is_zero() {
+        let s = TimeSeries::from_points(vec![(0.0, 0.0), (1.0, 3.0), (2.0, 4.0)]).unwrap();
+        assert!(close(s.area_difference(&s).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn area_difference_constant_offset() {
+        let a = TimeSeries::from_points(vec![(0.0, 2.0), (10.0, 2.0)]).unwrap();
+        let b = TimeSeries::from_points(vec![(0.0, 1.0), (10.0, 1.0)]).unwrap();
+        assert!(close(a.area_difference(&b).unwrap(), 10.0));
+        assert!(close(b.area_difference(&a).unwrap(), -10.0));
+    }
+
+    #[test]
+    fn area_difference_partial_overlap() {
+        let a = TimeSeries::from_points(vec![(0.0, 1.0), (10.0, 1.0)]).unwrap();
+        let b = TimeSeries::from_points(vec![(5.0, 0.0), (15.0, 0.0)]).unwrap();
+        // Overlap is [5, 10], difference is 1 throughout.
+        assert!(close(a.area_difference(&b).unwrap(), 5.0));
+    }
+
+    #[test]
+    fn area_difference_no_overlap() {
+        let a = TimeSeries::from_points(vec![(0.0, 1.0), (1.0, 1.0)]).unwrap();
+        let b = TimeSeries::from_points(vec![(5.0, 1.0), (6.0, 1.0)]).unwrap();
+        assert!(close(a.area_difference(&b).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn mean_slope() {
+        let s = TimeSeries::from_points(vec![(0.0, 0.0), (4.0, 8.0)]).unwrap();
+        assert!(close(s.mean_slope().unwrap(), 2.0));
+        let single = TimeSeries::from_points(vec![(0.0, 0.0)]).unwrap();
+        assert!(single.mean_slope().is_err());
+    }
+
+    #[test]
+    fn curve_counts() {
+        let c = CumulativeCurve::from_timestamps(vec![1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.completed_by(2.0), 3);
+        assert_eq!(c.completed_by(0.5), 0);
+        assert_eq!(c.completed_by(10.0), 4);
+    }
+
+    #[test]
+    fn curve_record_enforces_order() {
+        let mut c = CumulativeCurve::new();
+        c.record(1.0).unwrap();
+        assert!(c.record(0.5).is_err());
+    }
+
+    #[test]
+    fn constant_throughput_has_near_zero_area_vs_ideal() {
+        // One completion per unit time: matches the ideal closely.
+        let ts: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let c = CumulativeCurve::from_timestamps(ts).unwrap();
+        let area = c.area_vs_ideal(0.0, 100.0).unwrap();
+        // Discretization gives at most ~0.5 per step.
+        assert!(area.abs() < 100.0 * 0.51, "area = {area}");
+    }
+
+    #[test]
+    fn slow_start_has_negative_area() {
+        // All completions in the second half: lags the ideal.
+        let ts: Vec<f64> = (0..100).map(|i| 50.0 + i as f64 * 0.5).collect();
+        let c = CumulativeCurve::from_timestamps(ts).unwrap();
+        let area = c.area_vs_ideal(0.0, 100.0).unwrap();
+        assert!(area < -1000.0, "area = {area}");
+    }
+
+    #[test]
+    fn fast_start_has_positive_area() {
+        let ts: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let c = CumulativeCurve::from_timestamps(ts).unwrap();
+        let area = c.area_vs_ideal(0.0, 100.0).unwrap();
+        assert!(area > 1000.0, "area = {area}");
+    }
+
+    #[test]
+    fn throughput_in_window() {
+        let ts: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let c = CumulativeCurve::from_timestamps(ts).unwrap();
+        let tput = c.throughput_in(0.0, 5.0).unwrap();
+        assert!(close(tput, 1.0), "tput = {tput}");
+        assert!(c.throughput_in(5.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn interval_counts_conservation() {
+        let ts: Vec<f64> = (0..97).map(|i| i as f64 * 0.97).collect();
+        let c = CumulativeCurve::from_timestamps(ts.clone()).unwrap();
+        let counts = c.interval_counts(0.0, 100.0, 10.0).unwrap();
+        assert_eq!(counts.len(), 10);
+        assert_eq!(counts.iter().sum::<usize>(), 97);
+    }
+
+    #[test]
+    fn interval_counts_excludes_out_of_range() {
+        let c = CumulativeCurve::from_timestamps(vec![-5.0, 1.0, 99.0, 150.0]).unwrap();
+        let counts = c.interval_counts(0.0, 100.0, 50.0).unwrap();
+        assert_eq!(counts.iter().sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,442 @@
+//! Query-processing SUTs: traditional optimizer, learned cardinalities, and
+//! Bao-style bandit steering.
+//!
+//! These adapters exercise the §II query-optimization side of the paper:
+//!
+//! * [`TraditionalQuerySut`] — DP join ordering with histogram estimates;
+//!   no learning, no adaptation.
+//! * [`LearnedCardinalitySut`] — the same optimizer fed by a
+//!   [`LearnedEstimator`] that collects true cardinalities after every
+//!   execution. Label collection costs work (§IV), charged explicitly.
+//! * [`BanditQuerySut`] — a [`PlanSteerer`] choosing per query shape among
+//!   plan arms (estimator variants and a pessimistic heuristic), learning
+//!   from observed execution work — the Bao [14] loop.
+
+use crate::sut::{ExecOutcome, SutMetrics, SystemUnderTest};
+use crate::{Result, SutError};
+use lsbench_query::bandit::PlanSteerer;
+use lsbench_query::card::{CardinalityEstimator, HistogramEstimator, LearnedEstimator};
+use lsbench_query::exec::execute;
+use lsbench_query::optimizer::{optimize_join_order, JoinQuery};
+use lsbench_query::plan::QueryNode;
+use lsbench_query::table::Catalog;
+
+/// One operation for query SUTs: a multiway join query to plan and execute.
+#[derive(Debug, Clone)]
+pub struct QueryOp {
+    /// The join query specification.
+    pub query: JoinQuery,
+}
+
+impl QueryOp {
+    /// A stable shape hash of the query (order-independent over relations).
+    pub fn shape(&self) -> u64 {
+        let mut hashes: Vec<u64> = self
+            .query
+            .relations
+            .iter()
+            .map(|r| r.structural_hash())
+            .collect();
+        hashes.sort_unstable();
+        hashes
+            .iter()
+            .fold(0xCBF2_9CE4_8422_2325u64, |h, &v| {
+                (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+            })
+    }
+}
+
+/// Planning overhead charged per optimized query (work units).
+const PLAN_OVERHEAD: u64 = 50;
+
+/// Traditional query SUT: histogram statistics + DP join ordering.
+#[derive(Debug)]
+pub struct TraditionalQuerySut {
+    catalog: Catalog,
+    estimator: HistogramEstimator,
+    execution_work: u64,
+    stats_work: u64,
+}
+
+impl TraditionalQuerySut {
+    /// Builds statistics over `catalog`.
+    pub fn build(catalog: Catalog) -> Result<Self> {
+        let estimator = HistogramEstimator::build(&catalog)
+            .map_err(|e| SutError::Internal(format!("stats build failed: {e}")))?;
+        let stats_work = estimator.build_work;
+        Ok(TraditionalQuerySut {
+            catalog,
+            estimator,
+            execution_work: 0,
+            stats_work,
+        })
+    }
+}
+
+impl SystemUnderTest<QueryOp> for TraditionalQuerySut {
+    fn name(&self) -> String {
+        "traditional-optimizer".to_string()
+    }
+
+    fn train(&mut self, _budget: u64) -> u64 {
+        // Histogram construction is DBA-style statistics collection, not
+        // model training; it is charged as execution-side setup.
+        0
+    }
+
+    fn execute(&mut self, op: &QueryOp) -> Result<ExecOutcome> {
+        let plan = optimize_join_order(&op.query, &self.estimator)
+            .map_err(|e| SutError::Internal(format!("optimize failed: {e}")))?;
+        let result = execute(&plan.plan, &self.catalog)
+            .map_err(|e| SutError::Internal(format!("execute failed: {e}")))?;
+        let work = result.work + PLAN_OVERHEAD;
+        self.execution_work += work;
+        Ok(ExecOutcome::ok(work))
+    }
+
+    fn metrics(&self) -> SutMetrics {
+        SutMetrics {
+            size_bytes: self.stats_work as usize / 64, // histograms are small
+            training_work: 0,
+            execution_work: self.execution_work,
+            model_count: 0,
+            adaptations: 0,
+            label_collection_work: 0,
+        }
+    }
+}
+
+/// Learned-cardinality SUT: the optimizer runs on a feedback-trained
+/// estimator; every execution's true cardinalities are fed back.
+#[derive(Debug)]
+pub struct LearnedCardinalitySut {
+    catalog: Catalog,
+    estimator: LearnedEstimator,
+    execution_work: u64,
+    label_work: u64,
+    observations: u64,
+}
+
+impl LearnedCardinalitySut {
+    /// Builds the SUT (histogram fallback included).
+    pub fn build(catalog: Catalog) -> Result<Self> {
+        let hist = HistogramEstimator::build(&catalog)
+            .map_err(|e| SutError::Internal(format!("stats build failed: {e}")))?;
+        Ok(LearnedCardinalitySut {
+            catalog,
+            estimator: LearnedEstimator::new(hist),
+            execution_work: 0,
+            label_work: 0,
+            observations: 0,
+        })
+    }
+
+    /// Number of feedback labels consumed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+impl SystemUnderTest<QueryOp> for LearnedCardinalitySut {
+    fn name(&self) -> String {
+        "learned-cardinality".to_string()
+    }
+
+    fn train(&mut self, _budget: u64) -> u64 {
+        0 // trains online from execution feedback
+    }
+
+    fn execute(&mut self, op: &QueryOp) -> Result<ExecOutcome> {
+        let plan = optimize_join_order(&op.query, &self.estimator)
+            .map_err(|e| SutError::Internal(format!("optimize failed: {e}")))?;
+        let result = execute(&plan.plan, &self.catalog)
+            .map_err(|e| SutError::Internal(format!("execute failed: {e}")))?;
+        // Collect ground-truth labels (§IV): one work unit per recorded
+        // sub-plan cardinality.
+        let labels = result.true_cardinalities.len() as u64;
+        for (&h, &c) in &result.true_cardinalities {
+            self.estimator.observe(h, c);
+        }
+        self.observations += labels;
+        self.label_work += labels;
+        let work = result.work + PLAN_OVERHEAD + labels;
+        self.execution_work += work;
+        Ok(ExecOutcome::ok(work))
+    }
+
+    fn metrics(&self) -> SutMetrics {
+        SutMetrics {
+            size_bytes: self.estimator.shapes_known() * 16,
+            training_work: self.label_work,
+            execution_work: self.execution_work,
+            model_count: 1,
+            adaptations: self.observations,
+            label_collection_work: self.label_work,
+        }
+    }
+}
+
+/// Plan arms the bandit steers among.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanArm {
+    /// DP with histogram estimates.
+    Histogram,
+    /// DP with the learned estimator.
+    Learned,
+    /// No optimization: join in the textual relation order.
+    Naive,
+}
+
+const ARMS: [PlanArm; 3] = [PlanArm::Histogram, PlanArm::Learned, PlanArm::Naive];
+
+/// Bao-style SUT: per query shape, an ε-greedy bandit picks among plan
+/// arms; observed execution work is the (negative) reward.
+#[derive(Debug)]
+pub struct BanditQuerySut {
+    catalog: Catalog,
+    histogram: HistogramEstimator,
+    learned: LearnedEstimator,
+    steerer: PlanSteerer,
+    execution_work: u64,
+    label_work: u64,
+}
+
+impl BanditQuerySut {
+    /// Builds the SUT with exploration rate `epsilon`.
+    pub fn build(catalog: Catalog, epsilon: f64, seed: u64) -> Result<Self> {
+        let histogram = HistogramEstimator::build(&catalog)
+            .map_err(|e| SutError::Internal(format!("stats build failed: {e}")))?;
+        let fallback = HistogramEstimator::build(&catalog)
+            .map_err(|e| SutError::Internal(format!("stats build failed: {e}")))?;
+        Ok(BanditQuerySut {
+            catalog,
+            histogram,
+            learned: LearnedEstimator::new(fallback),
+            steerer: PlanSteerer::new(
+                vec!["histogram".into(), "learned".into(), "naive".into()],
+                epsilon,
+                seed,
+            ),
+            execution_work: 0,
+            label_work: 0,
+        })
+    }
+
+    /// Access to the bandit (for diagnostics in benches).
+    pub fn steerer(&self) -> &PlanSteerer {
+        &self.steerer
+    }
+
+    fn plan_with_arm(&self, arm: PlanArm, q: &JoinQuery) -> Result<QueryNode> {
+        let plan = match arm {
+            PlanArm::Histogram => optimize_join_order(q, &self.histogram),
+            PlanArm::Learned => optimize_join_order(q, &self.learned),
+            PlanArm::Naive => return naive_left_deep(q),
+        };
+        plan.map(|p| p.plan)
+            .map_err(|e| SutError::Internal(format!("optimize failed: {e}")))
+    }
+}
+
+/// Joins relations in input order (the unoptimized baseline arm).
+fn naive_left_deep(q: &JoinQuery) -> Result<QueryNode> {
+    q.validate()
+        .map_err(|e| SutError::Internal(format!("invalid query: {e}")))?;
+    let mut plan = q.relations[0].clone();
+    let mut joined: Vec<usize> = vec![0];
+    let mut remaining: Vec<usize> = (1..q.relations.len()).collect();
+    while !remaining.is_empty() {
+        // Pick the first remaining relation connected to the joined set.
+        let mut advanced = false;
+        for (pos, &r) in remaining.iter().enumerate() {
+            let mut offset = 0usize;
+            let mut conn: Option<(usize, usize)> = None;
+            for &jr in &joined {
+                for e in &q.edges {
+                    if e.left_rel == jr && e.right_rel == r {
+                        conn = Some((offset + e.left_col, e.right_col));
+                    } else if e.right_rel == jr && e.left_rel == r {
+                        conn = Some((offset + e.right_col, e.left_col));
+                    }
+                }
+                offset += q.arities[jr];
+            }
+            if let Some((lc, rc)) = conn {
+                plan = plan.join(q.relations[r].clone(), lc, rc);
+                joined.push(r);
+                remaining.remove(pos);
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return Err(SutError::Internal("disconnected join graph".to_string()));
+        }
+    }
+    Ok(plan)
+}
+
+impl SystemUnderTest<QueryOp> for BanditQuerySut {
+    fn name(&self) -> String {
+        "bandit-steered".to_string()
+    }
+
+    fn train(&mut self, _budget: u64) -> u64 {
+        0 // reinforcement-style online learning (§V-D.3 notes this case)
+    }
+
+    fn execute(&mut self, op: &QueryOp) -> Result<ExecOutcome> {
+        let shape = op.shape();
+        let arm_idx = self.steerer.choose(shape);
+        let arm = ARMS[arm_idx];
+        let plan = self.plan_with_arm(arm, &op.query)?;
+        let result = execute(&plan, &self.catalog)
+            .map_err(|e| SutError::Internal(format!("execute failed: {e}")))?;
+        // Feedback: reward the bandit, feed the learned estimator.
+        self.steerer.observe(shape, arm_idx, result.work as f64);
+        let labels = result.true_cardinalities.len() as u64;
+        for (&h, &c) in &result.true_cardinalities {
+            self.learned.observe(h, c);
+        }
+        self.label_work += labels;
+        let work = result.work + PLAN_OVERHEAD + labels;
+        self.execution_work += work;
+        Ok(ExecOutcome::ok(work))
+    }
+
+    fn metrics(&self) -> SutMetrics {
+        SutMetrics {
+            size_bytes: self.learned.shapes_known() * 16 + self.steerer.shapes_seen() * 24,
+            training_work: self.label_work,
+            execution_work: self.execution_work,
+            model_count: 1 + self.steerer.arm_count(),
+            adaptations: self.steerer.shapes_seen() as u64,
+            label_collection_work: self.label_work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsbench_query::generator::JoinQueryGenerator;
+    use lsbench_query::table::Table;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add(Table::generate("fact", 8000, 3, 1));
+        cat.add(Table::generate("d1", 400, 2, 2));
+        cat.add(Table::generate("d2", 100, 2, 3));
+        cat
+    }
+
+    fn gen_queries(cat: &Catalog, n: usize, seed: u64) -> Vec<QueryOp> {
+        let mut g = JoinQueryGenerator::new(
+            cat,
+            "fact",
+            vec!["d1".into(), "d2".into()],
+            (0, 800),
+            seed,
+        )
+        .unwrap();
+        g.take(n).into_iter().map(|query| QueryOp { query }).collect()
+    }
+
+    #[test]
+    fn traditional_executes_queries() {
+        let cat = catalog();
+        let mut sut = TraditionalQuerySut::build(cat.clone()).unwrap();
+        let ops = gen_queries(&cat, 20, 5);
+        for op in &ops {
+            let out = sut.execute(op).unwrap();
+            assert!(out.ok);
+            assert!(out.work > PLAN_OVERHEAD);
+        }
+        assert_eq!(sut.metrics().model_count, 0);
+        assert_eq!(sut.metrics().training_work, 0);
+    }
+
+    #[test]
+    fn learned_collects_labels() {
+        let cat = catalog();
+        let mut sut = LearnedCardinalitySut::build(cat.clone()).unwrap();
+        let ops = gen_queries(&cat, 20, 6);
+        for op in &ops {
+            sut.execute(op).unwrap();
+        }
+        assert!(sut.observations() > 0);
+        let m = sut.metrics();
+        assert!(m.label_collection_work > 0);
+        assert_eq!(m.label_collection_work, m.training_work);
+    }
+
+    #[test]
+    fn bandit_converges_to_cheap_arm() {
+        let cat = catalog();
+        let mut sut = BanditQuerySut::build(cat.clone(), 0.1, 7).unwrap();
+        // A single repeated query shape: after exploration, the bandit must
+        // prefer an optimizer arm over the naive arm if it is cheaper.
+        let ops = gen_queries(&cat, 1, 8);
+        let op = &ops[0];
+        for _ in 0..60 {
+            sut.execute(op).unwrap();
+        }
+        let shape = op.shape();
+        let best = sut.steerer().best_arm(shape).unwrap();
+        // Verify the chosen arm really is the cheapest by measuring each.
+        let mut costs = Vec::new();
+        for arm in ARMS {
+            let plan = sut.plan_with_arm(arm, &op.query).unwrap();
+            costs.push(execute(&plan, &cat).unwrap().work);
+        }
+        let cheapest = costs
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &c)| c)
+            .unwrap()
+            .0;
+        assert_eq!(
+            costs[best], costs[cheapest],
+            "bandit best {best} (cost {}) vs true cheapest {cheapest} (cost {}), all {costs:?}",
+            costs[best], costs[cheapest]
+        );
+    }
+
+    #[test]
+    fn naive_arm_matches_optimized_results() {
+        // All arms must return the same answer (same query semantics).
+        let cat = catalog();
+        let sut = BanditQuerySut::build(cat.clone(), 0.1, 9).unwrap();
+        for op in gen_queries(&cat, 10, 10) {
+            let mut counts = Vec::new();
+            for arm in ARMS {
+                let plan = sut.plan_with_arm(arm, &op.query).unwrap();
+                counts.push(execute(&plan, &cat).unwrap().count);
+            }
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "arms disagree: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_hash_ignores_filter_literal_noise() {
+        let cat = catalog();
+        let mut g1 = JoinQueryGenerator::new(
+            &cat,
+            "fact",
+            vec!["d1".into()],
+            (0, 800),
+            11,
+        )
+        .unwrap();
+        let q1 = QueryOp {
+            query: g1.next_query(),
+        };
+        let q1b = QueryOp {
+            query: q1.query.clone(),
+        };
+        assert_eq!(q1.shape(), q1b.shape());
+    }
+}

@@ -1,0 +1,119 @@
+//! The system-under-test interface.
+//!
+//! §IV of the paper: "A new benchmark should support execution with varying
+//! workload and data distributions without imposing architectural,
+//! configuration, or runtime constraints … agnostic to the differences
+//! across systems yet capture enough relevant metrics." The
+//! [`SystemUnderTest`] trait is that contract: the driver only needs to
+//! (1) optionally grant an offline training budget, (2) submit operations,
+//! (3) announce phase changes, (4) offer maintenance slots, and (5) read
+//! metrics. Whether the system is learned or traditional is invisible.
+
+use crate::Result;
+
+/// Outcome of executing one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Abstract work units spent (converted to time by the driver).
+    pub work: u64,
+    /// Whether the operation succeeded (e.g. hash index rejects scans).
+    pub ok: bool,
+}
+
+impl ExecOutcome {
+    /// A successful outcome with the given work.
+    pub fn ok(work: u64) -> Self {
+        ExecOutcome { work, ok: true }
+    }
+
+    /// A failed/unsupported outcome (work still accounted).
+    pub fn failed(work: u64) -> Self {
+        ExecOutcome { work, ok: false }
+    }
+}
+
+/// Metrics every SUT exposes for the cost and specialization reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SutMetrics {
+    /// Approximate memory footprint in bytes.
+    pub size_bytes: usize,
+    /// Cumulative training work (offline training + online retraining).
+    pub training_work: u64,
+    /// Cumulative execution work.
+    pub execution_work: u64,
+    /// Number of learned models currently live (0 for traditional systems).
+    pub model_count: usize,
+    /// Structural adaptations performed (retrains, splits, plan re-steers).
+    pub adaptations: u64,
+    /// Work spent collecting ground-truth training labels (§IV).
+    pub label_collection_work: u64,
+}
+
+/// A system the benchmark driver can exercise.
+///
+/// `Op` is the operation type: key-value [`lsbench_workload::Operation`]
+/// for storage SUTs, [`crate::query_sut::QueryOp`] for query SUTs.
+pub trait SystemUnderTest<Op> {
+    /// Display name (e.g. `"rmi+delta"`, `"btree"`).
+    fn name(&self) -> String;
+
+    /// Offline training with a work budget (§V-B: "setting the training
+    /// time and associated resource overhead"). Returns work actually
+    /// spent, which may be less than the budget. Traditional systems
+    /// return 0.
+    fn train(&mut self, budget: u64) -> u64;
+
+    /// Executes one operation.
+    fn execute(&mut self, op: &Op) -> Result<ExecOutcome>;
+
+    /// Notifies the SUT that the workload/data distribution changed
+    /// (systems may ignore this — learning when to adapt is part of what
+    /// the benchmark evaluates). Returns adaptation work performed now.
+    fn on_phase_change(&mut self, _new_phase: usize) -> u64 {
+        0
+    }
+
+    /// Periodic maintenance slot (background retraining); returns work.
+    fn maintenance(&mut self) -> u64 {
+        0
+    }
+
+    /// Current metrics.
+    fn metrics(&self) -> SutMetrics;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NoopSut;
+    impl SystemUnderTest<u64> for NoopSut {
+        fn name(&self) -> String {
+            "noop".to_string()
+        }
+        fn train(&mut self, _budget: u64) -> u64 {
+            0
+        }
+        fn execute(&mut self, _op: &u64) -> Result<ExecOutcome> {
+            Ok(ExecOutcome::ok(1))
+        }
+        fn metrics(&self) -> SutMetrics {
+            SutMetrics::default()
+        }
+    }
+
+    #[test]
+    fn defaults_are_noops() {
+        let mut s = NoopSut;
+        assert_eq!(s.on_phase_change(1), 0);
+        assert_eq!(s.maintenance(), 0);
+        assert_eq!(s.execute(&1).unwrap(), ExecOutcome::ok(1));
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        assert!(ExecOutcome::ok(5).ok);
+        assert!(!ExecOutcome::failed(5).ok);
+        assert_eq!(ExecOutcome::failed(5).work, 5);
+    }
+}

@@ -1,0 +1,331 @@
+//! Arrival processes and load modulation.
+//!
+//! §III-A lists "diurnal query patterns, temporary bursts in query load or
+//! concurrency" among the dynamics real deployments exhibit. This module
+//! models *when* operations arrive:
+//!
+//! * [`ArrivalProcess`] — closed-loop (next op issued on completion) or
+//!   open-loop Poisson arrivals at a target rate.
+//! * [`LoadModulation`] — a time-varying multiplier on the rate: constant,
+//!   diurnal sinusoid, or periodic bursts.
+//!
+//! Times are unitless "virtual seconds"; the driver decides how they map to
+//! wall-clock or simulated time.
+
+use crate::{Result, WorkloadError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How operations are issued over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Closed loop: the next operation is issued as soon as the previous one
+    /// completes (classic benchmark drivers). Inter-arrival gaps are zero.
+    ClosedLoop,
+    /// Open loop: operations arrive following a Poisson process with the
+    /// given base rate (ops per virtual second), regardless of completions.
+    Poisson {
+        /// Mean arrival rate in operations per virtual second.
+        rate: f64,
+    },
+    /// Open loop with deterministic, evenly spaced arrivals.
+    Uniform {
+        /// Arrival rate in operations per virtual second.
+        rate: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Validates the process parameters.
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            ArrivalProcess::ClosedLoop => Ok(()),
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Uniform { rate } => {
+                if rate > 0.0 && rate.is_finite() {
+                    Ok(())
+                } else {
+                    Err(WorkloadError::InvalidParameter(
+                        "arrival rate must be positive and finite".to_string(),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// A time-varying multiplier applied to the arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LoadModulation {
+    /// No modulation; the base rate applies throughout.
+    Constant,
+    /// Diurnal pattern: rate multiplied by
+    /// `1 + amplitude * sin(2π t / period)`, clamped at a small positive
+    /// floor. `amplitude` in `[0, 1)` keeps the rate positive.
+    Diurnal {
+        /// Cycle length in virtual seconds.
+        period: f64,
+        /// Relative swing of the rate, in `[0, 1)`.
+        amplitude: f64,
+    },
+    /// Periodic bursts: within each `period`, the first `burst_len` seconds
+    /// run at `multiplier ×` the base rate; the rest at the base rate.
+    Burst {
+        /// Cycle length in virtual seconds.
+        period: f64,
+        /// Burst duration at the start of each cycle.
+        burst_len: f64,
+        /// Rate multiplier during the burst (> 1 for a spike).
+        multiplier: f64,
+    },
+}
+
+impl LoadModulation {
+    /// Validates the modulation parameters.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |msg: &str| Err(WorkloadError::InvalidParameter(msg.to_string()));
+        match *self {
+            LoadModulation::Constant => Ok(()),
+            LoadModulation::Diurnal { period, amplitude } => {
+                if period <= 0.0 {
+                    bad("diurnal period must be positive")
+                } else if !(0.0..1.0).contains(&amplitude) {
+                    bad("diurnal amplitude must be in [0, 1)")
+                } else {
+                    Ok(())
+                }
+            }
+            LoadModulation::Burst {
+                period,
+                burst_len,
+                multiplier,
+            } => {
+                if period <= 0.0 || burst_len <= 0.0 || burst_len > period {
+                    bad("burst requires 0 < burst_len <= period")
+                } else if multiplier <= 0.0 {
+                    bad("burst multiplier must be positive")
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// The rate multiplier at virtual time `t`.
+    pub fn factor_at(&self, t: f64) -> f64 {
+        match *self {
+            LoadModulation::Constant => 1.0,
+            LoadModulation::Diurnal { period, amplitude } => {
+                let phase = 2.0 * std::f64::consts::PI * t / period;
+                (1.0 + amplitude * phase.sin()).max(1e-6)
+            }
+            LoadModulation::Burst {
+                period,
+                burst_len,
+                multiplier,
+            } => {
+                let within = t.rem_euclid(period);
+                if within < burst_len {
+                    multiplier
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// Generates arrival times for an [`ArrivalProcess`] under a
+/// [`LoadModulation`].
+#[derive(Debug, Clone)]
+pub struct ArrivalGenerator {
+    process: ArrivalProcess,
+    modulation: LoadModulation,
+    rng: StdRng,
+    now: f64,
+}
+
+impl ArrivalGenerator {
+    /// Creates a generator starting at virtual time zero.
+    pub fn new(process: ArrivalProcess, modulation: LoadModulation, seed: u64) -> Result<Self> {
+        process.validate()?;
+        modulation.validate()?;
+        Ok(ArrivalGenerator {
+            process,
+            modulation,
+            rng: StdRng::seed_from_u64(seed),
+            now: 0.0,
+        })
+    }
+
+    /// Current virtual time (time of the last generated arrival).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances to and returns the next arrival time.
+    ///
+    /// For [`ArrivalProcess::ClosedLoop`] this returns the current time
+    /// unchanged — the driver is responsible for advancing time by
+    /// completion latencies.
+    pub fn next_arrival(&mut self) -> f64 {
+        match self.process {
+            ArrivalProcess::ClosedLoop => self.now,
+            ArrivalProcess::Poisson { rate } => {
+                let eff_rate = rate * self.modulation.factor_at(self.now);
+                let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let gap = -u.ln() / eff_rate;
+                self.now += gap;
+                self.now
+            }
+            ArrivalProcess::Uniform { rate } => {
+                let eff_rate = rate * self.modulation.factor_at(self.now);
+                self.now += 1.0 / eff_rate;
+                self.now
+            }
+        }
+    }
+
+    /// Advances the clock (used by closed-loop drivers after completions).
+    pub fn advance(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.now += dt;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_approximate() {
+        let mut g = ArrivalGenerator::new(
+            ArrivalProcess::Poisson { rate: 100.0 },
+            LoadModulation::Constant,
+            1,
+        )
+        .unwrap();
+        let mut last = 0.0;
+        for _ in 0..10_000 {
+            last = g.next_arrival();
+        }
+        // 10k arrivals at rate 100 → ~100 virtual seconds.
+        assert!((last - 100.0).abs() < 10.0, "last = {last}");
+    }
+
+    #[test]
+    fn uniform_rate_exact() {
+        let mut g = ArrivalGenerator::new(
+            ArrivalProcess::Uniform { rate: 10.0 },
+            LoadModulation::Constant,
+            1,
+        )
+        .unwrap();
+        for i in 1..=100 {
+            let t = g.next_arrival();
+            assert!((t - i as f64 * 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn closed_loop_stays_put() {
+        let mut g =
+            ArrivalGenerator::new(ArrivalProcess::ClosedLoop, LoadModulation::Constant, 1)
+                .unwrap();
+        assert_eq!(g.next_arrival(), 0.0);
+        g.advance(2.5);
+        assert_eq!(g.next_arrival(), 2.5);
+    }
+
+    #[test]
+    fn diurnal_factor_oscillates() {
+        let m = LoadModulation::Diurnal {
+            period: 10.0,
+            amplitude: 0.5,
+        };
+        assert!((m.factor_at(0.0) - 1.0).abs() < 1e-9);
+        assert!((m.factor_at(2.5) - 1.5).abs() < 1e-9); // peak at quarter period
+        assert!((m.factor_at(7.5) - 0.5).abs() < 1e-9); // trough
+    }
+
+    #[test]
+    fn burst_factor_spikes() {
+        let m = LoadModulation::Burst {
+            period: 10.0,
+            burst_len: 2.0,
+            multiplier: 5.0,
+        };
+        assert_eq!(m.factor_at(1.0), 5.0);
+        assert_eq!(m.factor_at(5.0), 1.0);
+        assert_eq!(m.factor_at(11.0), 5.0); // repeats each period
+    }
+
+    #[test]
+    fn diurnal_poisson_generates_more_arrivals_at_peak() {
+        let mut g = ArrivalGenerator::new(
+            ArrivalProcess::Poisson { rate: 100.0 },
+            LoadModulation::Diurnal {
+                period: 100.0,
+                amplitude: 0.9,
+            },
+            2,
+        )
+        .unwrap();
+        let mut peak = 0usize; // t in [0, 50): sin positive
+        let mut trough = 0usize; // t in [50, 100): sin negative
+        loop {
+            let t = g.next_arrival();
+            if t >= 100.0 {
+                break;
+            }
+            if t < 50.0 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(peak > trough * 2, "peak={peak} trough={trough}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(ArrivalProcess::Poisson { rate: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Uniform { rate: -1.0 }.validate().is_err());
+        assert!(LoadModulation::Diurnal {
+            period: 0.0,
+            amplitude: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(LoadModulation::Diurnal {
+            period: 1.0,
+            amplitude: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(LoadModulation::Burst {
+            period: 1.0,
+            burst_len: 2.0,
+            multiplier: 2.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mk = || {
+            ArrivalGenerator::new(
+                ArrivalProcess::Poisson { rate: 50.0 },
+                LoadModulation::Constant,
+                7,
+            )
+            .unwrap()
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+}

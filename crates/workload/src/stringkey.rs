@@ -1,0 +1,178 @@
+//! Synthetic string-key generation: the email-address generator.
+//!
+//! §V-C of the paper gives a concrete example of replacing proprietary data
+//! with a synthetic stand-in: "a table column containing email addresses
+//! could be replaced by a synthetic email address generator that provides a
+//! similar data distribution". This module implements that generator: local
+//! parts drawn from a zipf-weighted name vocabulary (real mailboxes follow a
+//! heavy-tailed popularity curve) combined with a small skewed set of
+//! domains — reproducing the lexicographic clustering that makes string
+//! indexes interesting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// First-name vocabulary (popularity-ordered; zipf-weighted during sampling).
+const FIRST: &[&str] = &[
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
+    "sarah", "charles", "karen", "chris", "nancy", "daniel", "lisa", "matthew", "betty",
+    "anthony", "margaret", "mark", "sandra", "donald", "ashley", "steven", "kim", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle",
+];
+
+/// Last-name vocabulary.
+const LAST: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
+    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
+    "thomas", "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson", "white",
+    "harris", "sanchez", "clark", "ramirez", "lewis", "robinson",
+];
+
+/// Email domains with zipf-like popularity (first is most common).
+const DOMAINS: &[&str] = &[
+    "gmail.com", "yahoo.com", "hotmail.com", "outlook.com", "aol.com", "icloud.com",
+    "proton.me", "mail.com", "example.org", "fastmail.com",
+];
+
+/// Seeded generator of synthetic email addresses with realistic skew.
+#[derive(Debug, Clone)]
+pub struct EmailGenerator {
+    rng: StdRng,
+    /// Zipf exponent for vocabulary popularity.
+    theta: f64,
+}
+
+impl EmailGenerator {
+    /// Creates a generator with the default skew (`theta = 1.0`).
+    pub fn new(seed: u64) -> Self {
+        Self::with_skew(seed, 1.0)
+    }
+
+    /// Creates a generator with a custom zipf exponent over the vocabularies.
+    pub fn with_skew(seed: u64, theta: f64) -> Self {
+        EmailGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            theta: theta.max(0.01),
+        }
+    }
+
+    /// Draws a zipf-weighted index into a vocabulary of `n` items using the
+    /// inverse-CDF over precomputable weights (n is tiny, so linear scan).
+    fn zipf_index(&mut self, n: usize) -> usize {
+        let total: f64 = (1..=n).map(|r| 1.0 / (r as f64).powf(self.theta)).sum();
+        let mut u = self.rng.gen::<f64>() * total;
+        for r in 1..=n {
+            let w = 1.0 / (r as f64).powf(self.theta);
+            if u < w {
+                return r - 1;
+            }
+            u -= w;
+        }
+        n - 1
+    }
+
+    /// Generates the next email address.
+    pub fn next_email(&mut self) -> String {
+        let first = FIRST[self.zipf_index(FIRST.len())];
+        let last = LAST[self.zipf_index(LAST.len())];
+        let domain = DOMAINS[self.zipf_index(DOMAINS.len())];
+        // Several local-part formats, like real mailboxes.
+        match self.rng.gen_range(0..4u8) {
+            0 => format!("{first}.{last}@{domain}"),
+            1 => format!("{first}{last}@{domain}"),
+            2 => {
+                let n: u16 = self.rng.gen_range(1..100);
+                format!("{first}.{last}{n}@{domain}")
+            }
+            _ => {
+                let initial = &first[..1];
+                format!("{initial}{last}@{domain}"
+                )
+            }
+        }
+    }
+
+    /// Generates `n` addresses.
+    pub fn take(&mut self, n: usize) -> Vec<String> {
+        (0..n).map(|_| self.next_email()).collect()
+    }
+}
+
+/// Maps a string key to an order-preserving `u64` (first 8 bytes,
+/// big-endian), so string-keyed datasets can feed the integer-keyed indexes.
+///
+/// Ordering agrees with lexicographic order on the first eight bytes; longer
+/// shared prefixes collapse to the same value, which is acceptable for
+/// distribution-shape purposes.
+pub fn string_key_to_u64(s: &str) -> u64 {
+    let mut buf = [0u8; 8];
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    u64::from_be_bytes(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emails_are_well_formed() {
+        let mut g = EmailGenerator::new(1);
+        for email in g.take(500) {
+            assert!(email.contains('@'), "malformed: {email}");
+            let (local, domain) = email.split_once('@').unwrap();
+            assert!(!local.is_empty());
+            assert!(domain.contains('.'));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = EmailGenerator::new(9);
+        let mut b = EmailGenerator::new(9);
+        assert_eq!(a.take(50), b.take(50));
+        let mut c = EmailGenerator::new(10);
+        assert_ne!(a.take(50), c.take(50));
+    }
+
+    #[test]
+    fn popular_domain_dominates() {
+        let mut g = EmailGenerator::new(3);
+        let emails = g.take(2000);
+        let gmail = emails.iter().filter(|e| e.ends_with("gmail.com")).count();
+        let fastmail = emails
+            .iter()
+            .filter(|e| e.ends_with("fastmail.com"))
+            .count();
+        assert!(gmail > fastmail * 3, "gmail={gmail} fastmail={fastmail}");
+    }
+
+    #[test]
+    fn skew_parameter_flattens() {
+        // theta near 0 ~ uniform: top domain should be much less dominant.
+        let mut flat = EmailGenerator::with_skew(4, 0.01);
+        let emails = flat.take(2000);
+        let gmail = emails.iter().filter(|e| e.ends_with("gmail.com")).count();
+        assert!(gmail < 400, "gmail = {gmail}");
+    }
+
+    #[test]
+    fn string_to_u64_preserves_order() {
+        let mut g = EmailGenerator::new(5);
+        let mut emails = g.take(200);
+        emails.sort();
+        let keys: Vec<u64> = emails.iter().map(|e| string_key_to_u64(e)).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn string_to_u64_short_strings() {
+        assert_eq!(string_key_to_u64(""), 0);
+        assert!(string_key_to_u64("a") < string_key_to_u64("b"));
+        assert!(string_key_to_u64("a") < string_key_to_u64("aa"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for workload generation invariants.
+
+use lsbench_workload::dataset::Dataset;
+use lsbench_workload::keygen::{KeyDistribution, KeyGenerator};
+use lsbench_workload::ops::{OperationGenerator, OperationMix};
+use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
+use lsbench_workload::quality::score_dataset;
+use proptest::prelude::*;
+
+fn arb_distribution() -> impl Strategy<Value = KeyDistribution> {
+    prop_oneof![
+        Just(KeyDistribution::Uniform),
+        (0.2f64..2.5).prop_map(|theta| KeyDistribution::Zipf { theta }),
+        (0.0f64..=1.0, 0.01f64..0.5)
+            .prop_map(|(center, std_frac)| KeyDistribution::Normal { center, std_frac }),
+        (0.01f64..0.99, 0.0f64..=1.0).prop_map(|(hot_span, hot_fraction)| {
+            KeyDistribution::Hotspot {
+                hot_span,
+                hot_fraction,
+            }
+        }),
+        (1usize..8, 0.005f64..0.2).prop_map(|(clusters, cluster_std_frac)| {
+            KeyDistribution::Clustered {
+                clusters,
+                cluster_std_frac,
+            }
+        }),
+        (0.0f64..=0.5).prop_map(|noise_frac| KeyDistribution::SequentialNoise { noise_frac }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn keys_always_in_range(dist in arb_distribution(), seed in 0u64..1000,
+                            lo in 0u64..1000, span in 1u64..1_000_000) {
+        let hi = lo + span;
+        let mut g = KeyGenerator::new(dist, lo, hi, seed).unwrap();
+        for _ in 0..500 {
+            let k = g.next_key();
+            prop_assert!((lo..hi).contains(&k), "{k} not in [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn generation_deterministic(dist in arb_distribution(), seed in 0u64..1000) {
+        let mut a = KeyGenerator::new(dist.clone(), 0, 10_000, seed).unwrap();
+        let mut b = KeyGenerator::new(dist, 0, 10_000, seed).unwrap();
+        prop_assert_eq!(a.take(100), b.take(100));
+    }
+
+    #[test]
+    fn dataset_sorted_unique(dist in arb_distribution(), seed in 0u64..100, n in 1usize..2000) {
+        let d = Dataset::generate(dist, 0, 1_000_000, n, seed).unwrap();
+        for w in d.keys().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(d.len() <= n);
+    }
+
+    #[test]
+    fn dataset_grow_preserves_invariants(a in prop::collection::vec(0u64..10_000, 0..300),
+                                         b in prop::collection::vec(0u64..10_000, 0..300)) {
+        let mut da = Dataset::from_keys(a.clone());
+        let db = Dataset::from_keys(b.clone());
+        let added = da.grow(&db);
+        // Sorted unique result.
+        for w in da.keys().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Union semantics.
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied()
+            .collect::<std::collections::BTreeSet<u64>>().into_iter().collect();
+        prop_assert_eq!(da.keys(), union.as_slice());
+        prop_assert!(added <= db.len());
+    }
+
+    #[test]
+    fn op_stream_respects_phase_budget(ops_a in 1u64..200, ops_b in 1u64..200, seed in 0u64..50) {
+        let w = PhasedWorkload::new(
+            vec![
+                WorkloadPhase::new("a", KeyDistribution::Uniform, (0, 1000), OperationMix::ycsb_c(), ops_a),
+                WorkloadPhase::new("b", KeyDistribution::Uniform, (0, 1000), OperationMix::ycsb_a(), ops_b),
+            ],
+            vec![TransitionKind::Abrupt],
+            seed,
+        ).unwrap();
+        let labeled: Vec<_> = w.stream().unwrap().collect();
+        prop_assert_eq!(labeled.len() as u64, ops_a + ops_b);
+        prop_assert_eq!(labeled.iter().filter(|o| o.phase == 0).count() as u64, ops_a);
+        prop_assert_eq!(labeled.iter().filter(|o| o.phase == 1).count() as u64, ops_b);
+    }
+
+    #[test]
+    fn gradual_window_ops_all_labeled(window in 0.05f64..=1.0, seed in 0u64..50) {
+        let w = PhasedWorkload::new(
+            vec![
+                WorkloadPhase::new("a", KeyDistribution::Uniform, (0, 1000), OperationMix::ycsb_c(), 100),
+                WorkloadPhase::new("b", KeyDistribution::Uniform, (0, 1000), OperationMix::ycsb_c(), 100),
+            ],
+            vec![TransitionKind::Gradual { window }],
+            seed,
+        ).unwrap();
+        let labeled: Vec<_> = w.stream().unwrap().collect();
+        let window_ops = ((100.0 * window).max(1.0)) as usize;
+        for o in &labeled[100..100 + window_ops] {
+            prop_assert!(o.in_transition);
+            prop_assert!(o.drawn_from == 0 || o.drawn_from == 1);
+        }
+        for o in &labeled[100 + window_ops..] {
+            prop_assert!(!o.in_transition);
+            prop_assert_eq!(o.drawn_from, 1);
+        }
+    }
+
+    #[test]
+    fn quality_scores_bounded(dist in arb_distribution(), seed in 0u64..100) {
+        let keys = KeyGenerator::new(dist, 0, 1_000_000, seed).unwrap().sample_f64(2000);
+        let r = score_dataset(&keys);
+        for v in [r.skew_score, r.clustering_score, r.overall] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn mix_proportions_converge(read in 0.0f64..10.0, update in 0.0f64..10.0, seed in 0u64..50) {
+        prop_assume!(read + update > 0.1);
+        let mix = OperationMix { read, insert: 0.0, update, scan: 0.0, delete: 0.0, max_scan_len: 0 };
+        let kg = KeyGenerator::new(KeyDistribution::Uniform, 0, 1000, seed).unwrap();
+        let mut g = OperationGenerator::new(kg, mix, seed).unwrap();
+        let ops = g.take(4000);
+        let reads = ops.iter().filter(|o| !o.is_write()).count() as f64 / 4000.0;
+        let expected = read / (read + update);
+        prop_assert!((reads - expected).abs() < 0.05, "reads {reads} expected {expected}");
+    }
+}

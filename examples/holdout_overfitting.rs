@@ -1,0 +1,72 @@
+//! Out-of-sample evaluation (§V-A): hold-out distributions the system sees
+//! exactly once, and the overfitting gap they reveal.
+//!
+//! ```sh
+//! cargo run --release --example holdout_overfitting
+//! ```
+
+use lsbench::core::driver::{run_kv_scenario, DriverConfig};
+use lsbench::core::holdout::{run_holdout, HoldoutReport};
+use lsbench::core::scenario::Scenario;
+use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
+use lsbench::workload::keygen::KeyDistribution;
+use lsbench::workload::ops::OperationMix;
+use lsbench::workload::phases::{PhasedWorkload, WorkloadPhase};
+
+fn main() {
+    // Main run: the learned system trains and retrains on what it sees.
+    let mut scenario = Scenario::two_phase_shift(
+        "holdout-demo",
+        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        KeyDistribution::Zipf { theta: 1.1 },
+        100_000,
+        20_000,
+        91,
+    )
+    .expect("valid scenario");
+    // Hold-out: a distribution the system never trained for, one pass only.
+    scenario.holdout = Some(
+        PhasedWorkload::single(
+            WorkloadPhase::new(
+                "unseen-sparse-tail",
+                KeyDistribution::Normal {
+                    center: 0.95,
+                    std_frac: 0.01,
+                },
+                (0, 10_000_000),
+                OperationMix::ycsb_c(),
+                10_000,
+            ),
+            92,
+        )
+        .expect("valid workload"),
+    );
+    let data = scenario.dataset.build().expect("dataset builds");
+
+    println!("SUT            in-sample t/s   out-of-sample t/s   generalization ratio");
+    let mut rmi =
+        RmiSut::build("rmi", &data, RetrainPolicy::OnPhaseChange).expect("rmi builds");
+    let main = run_kv_scenario(&mut rmi, &scenario, DriverConfig::default()).expect("run");
+    let hold = run_holdout(&mut rmi, &scenario).expect("holdout run");
+    let report = HoldoutReport::new(&main, &hold).expect("report builds");
+    println!(
+        "{:<14} {:>12.0} {:>18.0} {:>17.3}",
+        report.sut_name,
+        report.in_sample_throughput,
+        report.out_of_sample_throughput,
+        report.generalization_ratio
+    );
+
+    let mut btree = BTreeSut::build(&data).expect("btree builds");
+    let main = run_kv_scenario(&mut btree, &scenario, DriverConfig::default()).expect("run");
+    let hold = run_holdout(&mut btree, &scenario).expect("holdout run");
+    let report = HoldoutReport::new(&main, &hold).expect("report builds");
+    println!(
+        "{:<14} {:>12.0} {:>18.0} {:>17.3}",
+        report.sut_name,
+        report.in_sample_throughput,
+        report.out_of_sample_throughput,
+        report.generalization_ratio
+    );
+    println!("\n(a ratio well below 1.0 = the system overfits what it saw; §V-A)");
+}

@@ -1,0 +1,84 @@
+//! Learned query optimization (§II): histogram-based DP optimizer vs.
+//! feedback-trained cardinalities vs. a Bao-style bandit steerer, on a
+//! star-schema join workload.
+//!
+//! ```sh
+//! cargo run --release --example query_steering
+//! ```
+
+use lsbench::core::driver::run_query_workload;
+use lsbench::core::metrics::phi::workload_phi;
+use lsbench::query::generator::JoinQueryGenerator;
+use lsbench::query::table::{Catalog, Table};
+use lsbench::sut::query_sut::{
+    BanditQuerySut, LearnedCardinalitySut, QueryOp, TraditionalQuerySut,
+};
+
+fn main() {
+    // A small star schema.
+    let mut cat = Catalog::new();
+    cat.add(Table::generate("fact", 20_000, 4, 1));
+    cat.add(Table::generate("dim_a", 200, 2, 2));
+    cat.add(Table::generate("dim_b", 4_000, 2, 3));
+
+    // Two query-workload phases with different shapes.
+    let mut g1 = JoinQueryGenerator::new(
+        &cat,
+        "fact",
+        vec!["dim_a".into(), "dim_b".into()],
+        (0, 150),
+        4,
+    )
+    .expect("valid generator");
+    let mut g2 = JoinQueryGenerator::new(&cat, "fact", vec!["dim_b".into()], (500, 900), 5)
+        .expect("valid generator");
+    let phase1: Vec<QueryOp> = g1.take(100).into_iter().map(|query| QueryOp { query }).collect();
+    let phase2: Vec<QueryOp> = g2.take(100).into_iter().map(|query| QueryOp { query }).collect();
+
+    let t1: Vec<_> = phase1.iter().flat_map(|q| q.query.relations.clone()).collect();
+    let t2: Vec<_> = phase2.iter().flat_map(|q| q.query.relations.clone()).collect();
+    println!(
+        "workload Φ between phases (1 − Jaccard over query subtrees): {:.3}\n",
+        workload_phi(&t1, &t2)
+    );
+    let phases = vec![
+        ("shape-A".to_string(), phase1),
+        ("shape-B".to_string(), phase2),
+    ];
+
+    println!("SUT                      mean ops/s   label-collection work");
+    let mut traditional = TraditionalQuerySut::build(cat.clone()).expect("builds");
+    let r = run_query_workload(&mut traditional, &phases, 1_000_000.0, u64::MAX)
+        .expect("run succeeds");
+    println!(
+        "{:<24} {:>10.2}   {:>12}",
+        r.sut_name,
+        r.mean_throughput(),
+        r.final_metrics.label_collection_work
+    );
+
+    let mut learned = LearnedCardinalitySut::build(cat.clone()).expect("builds");
+    let r = run_query_workload(&mut learned, &phases, 1_000_000.0, u64::MAX)
+        .expect("run succeeds");
+    println!(
+        "{:<24} {:>10.2}   {:>12}",
+        r.sut_name,
+        r.mean_throughput(),
+        r.final_metrics.label_collection_work
+    );
+
+    let mut bandit = BanditQuerySut::build(cat, 0.1, 6).expect("builds");
+    let r =
+        run_query_workload(&mut bandit, &phases, 1_000_000.0, u64::MAX).expect("run succeeds");
+    println!(
+        "{:<24} {:>10.2}   {:>12}",
+        r.sut_name,
+        r.mean_throughput(),
+        r.final_metrics.label_collection_work
+    );
+    println!(
+        "\nbandit exploration fraction: {:.3}, shapes seen: {}",
+        bandit.steerer().exploration_fraction(),
+        bandit.steerer().shapes_seen()
+    );
+}

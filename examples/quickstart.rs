@@ -1,0 +1,70 @@
+//! Quickstart: benchmark a learned index against a B+-tree on a workload
+//! that shifts its access distribution mid-run.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lsbench::core::driver::{run_kv_scenario, DriverConfig};
+use lsbench::core::metrics::adaptability::AdaptabilityReport;
+use lsbench::core::scenario::Scenario;
+use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
+use lsbench::workload::keygen::KeyDistribution;
+
+fn main() {
+    // 1. A scenario: 100k-key database, reads that shift abruptly from a
+    //    uniform access pattern to a highly concentrated one.
+    let scenario = Scenario::two_phase_shift(
+        "quickstart",
+        KeyDistribution::Uniform,
+        KeyDistribution::Normal {
+            center: 0.1,
+            std_frac: 0.02,
+        },
+        100_000, // dataset keys
+        30_000,  // operations per phase
+        42,      // seed — everything is deterministic
+    )
+    .expect("valid scenario");
+    let dataset = scenario.dataset.build().expect("dataset builds");
+
+    // 2. Two systems under test: a learned index (RMI behind a delta buffer
+    //    that retrains when 5% of the data is unmerged) and a B+-tree.
+    let mut rmi = RmiSut::build("rmi", &dataset, RetrainPolicy::DeltaFraction(0.05))
+        .expect("rmi builds");
+    let mut btree = BTreeSut::build(&dataset).expect("btree builds");
+
+    // 3. Run both through the same scenario on the virtual clock.
+    let rmi_run = run_kv_scenario(&mut rmi, &scenario, DriverConfig::default()).expect("run");
+    let btree_run =
+        run_kv_scenario(&mut btree, &scenario, DriverConfig::default()).expect("run");
+
+    // 4. Traditional metric: average throughput (the paper's Lesson 2 says
+    //    this is not enough — but it is where everyone starts).
+    println!("mean throughput:");
+    for run in [&rmi_run, &btree_run] {
+        println!(
+            "  {:<8} {:>10.0} ops/s  (training: {:.3}s)",
+            run.sut_name,
+            run.mean_throughput(),
+            run.train.seconds
+        );
+    }
+
+    // 5. New metric: adaptability (Fig. 1b) — who lags after the shift?
+    let rmi_rep = AdaptabilityReport::from_record(&rmi_run).expect("report");
+    let btree_rep = AdaptabilityReport::from_record(&btree_run).expect("report");
+    println!("\nadaptability (area vs ideal constant-throughput system):");
+    println!(
+        "  {:<8} {:+10.1}   recovery after shift: {:?}",
+        rmi_rep.sut_name, rmi_rep.area_vs_ideal, rmi_rep.recovery_times
+    );
+    println!(
+        "  {:<8} {:+10.1}   recovery after shift: {:?}",
+        btree_rep.sut_name, btree_rep.area_vs_ideal, btree_rep.recovery_times
+    );
+    println!(
+        "\ntwo-system area difference (rmi − btree): {:+.1} op·s",
+        rmi_rep.area_vs(&btree_rep).expect("comparable")
+    );
+}

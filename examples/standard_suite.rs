@@ -1,0 +1,47 @@
+//! The standard suite (§V-A "benchmark-as-a-service"): one call produces a
+//! complete, comparable result for a SUT across all five standard
+//! scenarios — the shape an official result submission would take.
+//!
+//! ```sh
+//! cargo run --release --example standard_suite
+//! ```
+
+use lsbench::core::suite::{render_comparison, run_suite, SuiteConfig};
+use lsbench::core::BenchError;
+use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
+
+fn main() {
+    let cfg = SuiteConfig {
+        dataset_size: 30_000,
+        ops_per_phase: 3_000,
+        seed: 7,
+        work_units_per_second: 1_000_000.0,
+    };
+
+    let rmi = run_suite(
+        |data| {
+            Ok(Box::new(
+                RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05))
+                    .map_err(|e| BenchError::Sut(e.to_string()))?,
+            ))
+        },
+        &cfg,
+    )
+    .expect("suite runs");
+    let btree = run_suite(
+        |data| {
+            Ok(Box::new(
+                BTreeSut::build(data).map_err(|e| BenchError::Sut(e.to_string()))?,
+            ))
+        },
+        &cfg,
+    )
+    .expect("suite runs");
+
+    println!("{}", render_comparison(&[rmi, btree]));
+    println!(
+        "(columns: classic mean throughput; Fig.1b normalized area; Fig.1c \
+         violation %\n and adjustment speed; Lesson-3 training seconds; failed \
+         ops; §V-A generalization)"
+    );
+}

@@ -1,0 +1,141 @@
+//! Full dynamic-scenario walkthrough: five SUTs, a three-phase workload
+//! with a gradual transition and an insert burst, and all four metric
+//! families (specialization, adaptability, SLA bands, cost).
+//!
+//! ```sh
+//! cargo run --release --example workload_shift
+//! ```
+
+use lsbench::core::driver::{run_kv_scenario, DriverConfig};
+use lsbench::core::metrics::adaptability::AdaptabilityReport;
+use lsbench::core::metrics::cost::CostReport;
+use lsbench::core::metrics::phi::{distribution_phis, DataPhiMethod};
+use lsbench::core::metrics::sla::{SlaPolicy, SlaReport};
+use lsbench::core::metrics::specialization::SpecializationReport;
+use lsbench::core::record::RunRecord;
+use lsbench::core::report::{render_adaptability, render_sla, render_specialization};
+use lsbench::core::scenario::{DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench::sut::cost::HardwareProfile;
+use lsbench::sut::kv::{AlexSut, BTreeSut, PgmSut, RetrainPolicy, RmiSut, SplineSut};
+use lsbench::sut::sut::SystemUnderTest;
+use lsbench::workload::keygen::KeyDistribution;
+use lsbench::workload::ops::{Operation, OperationMix};
+use lsbench::workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
+
+const KEY_RANGE: (u64, u64) = (0, 10_000_000);
+const PHASE_OPS: u64 = 20_000;
+
+fn scenario() -> Scenario {
+    let distributions = [
+        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        KeyDistribution::Zipf { theta: 1.1 },
+        KeyDistribution::Hotspot {
+            hot_span: 0.05,
+            hot_fraction: 0.9,
+        },
+    ];
+    let mixes = [
+        OperationMix::ycsb_c(),
+        OperationMix::ycsb_a(),
+        OperationMix::range_heavy(),
+    ];
+    let phases: Vec<WorkloadPhase> = distributions
+        .iter()
+        .zip(&mixes)
+        .map(|(d, m)| WorkloadPhase::new(d.name(), d.clone(), KEY_RANGE, m.clone(), PHASE_OPS))
+        .collect();
+    let workload = PhasedWorkload::new(
+        phases,
+        vec![
+            TransitionKind::Gradual { window: 0.3 },
+            TransitionKind::Abrupt,
+        ],
+        77,
+    )
+    .expect("valid workload");
+    Scenario {
+        name: "workload-shift".to_string(),
+        dataset: DatasetSpec {
+            distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            key_range: KEY_RANGE,
+            size: 150_000,
+            seed: 78,
+        },
+        workload,
+        train_budget: u64::MAX,
+        sla: SlaPolicy::FromBaselineP99 { multiplier: 3.0 },
+        work_units_per_second: 1_000_000.0,
+        maintenance_every: 256,
+        holdout: None,
+        arrival: None,
+        online_train: OnlineTrainMode::Foreground,
+    }
+}
+
+fn main() {
+    let s = scenario();
+    let data = s.dataset.build().expect("dataset builds");
+    let phis = distribution_phis(
+        &s.workload
+            .phases()
+            .iter()
+            .map(|p| p.distribution.clone())
+            .collect::<Vec<_>>(),
+        KEY_RANGE,
+        DataPhiMethod::KolmogorovSmirnov,
+        79,
+    )
+    .expect("phi computes");
+
+    // Run every SUT through the same scenario.
+    let mut records: Vec<RunRecord> = Vec::new();
+    let mut run = |sut: &mut dyn SystemUnderTest<Operation>| {
+        let r = run_kv_scenario(sut, &s, DriverConfig::default()).expect("run succeeds");
+        println!(
+            "{:<14} mean throughput {:>9.0} ops/s, failures {}, train {:.3}s",
+            r.sut_name,
+            r.mean_throughput(),
+            r.failures(),
+            r.train.seconds
+        );
+        records.push(r);
+    };
+    run(&mut BTreeSut::build(&data).expect("builds"));
+    run(&mut RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.05)).expect("builds"));
+    run(&mut PgmSut::build("pgm", &data, RetrainPolicy::DeltaFraction(0.05)).expect("builds"));
+    run(&mut SplineSut::build("spline", &data, RetrainPolicy::DeltaFraction(0.05)).expect("builds"));
+    run(&mut AlexSut::build(&data).expect("builds"));
+
+    // Specialization report for the learned index (Fig. 1a).
+    println!();
+    let rmi_record = &records[1];
+    let spec = SpecializationReport::from_record(rmi_record, &phis, 400, &[])
+        .expect("report builds");
+    println!("{}", render_specialization(&spec));
+
+    // Adaptability comparison (Fig. 1b).
+    let reports: Vec<AdaptabilityReport> = records
+        .iter()
+        .map(|r| AdaptabilityReport::from_record(r).expect("report builds"))
+        .collect();
+    println!(
+        "{}",
+        render_adaptability(&reports.iter().collect::<Vec<_>>())
+    );
+
+    // SLA bands for the learned index, calibrated from the B+-tree run
+    // (Fig. 1c).
+    let threshold = s.sla.resolve(Some(&records[0])).expect("resolvable");
+    let interval = rmi_record.exec_duration() / 40.0;
+    let sla = SlaReport::from_record(rmi_record, threshold, interval, 2_000)
+        .expect("report builds");
+    println!("{}", render_sla(&sla));
+
+    // Cost breakdown on CPU and GPU (Fig. 1d).
+    let cost = CostReport::from_record(
+        rmi_record,
+        &[HardwareProfile::cpu(), HardwareProfile::gpu()],
+    )
+    .expect("report builds");
+    println!("{}", lsbench::core::report::render_cost(&cost));
+}

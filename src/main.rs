@@ -1,0 +1,250 @@
+//! `lsbench` — command-line front end for the learned-systems benchmark.
+//!
+//! ```text
+//! lsbench suite [--size N] [--ops N] [--seed N] [--sut NAME]...
+//! lsbench quality --dist NAME [--param X]
+//! lsbench shift --sut NAME [--size N] [--ops N]
+//! lsbench list
+//! ```
+
+use lsbench::core::driver::{run_kv_scenario, DriverConfig};
+use lsbench::core::metrics::adaptability::AdaptabilityReport;
+use lsbench::core::report::{render_adaptability, to_json, write_artifact};
+use lsbench::core::scenario::Scenario;
+use lsbench::core::suite::{render_comparison, run_suite, SuiteConfig, SuiteResult};
+use lsbench::core::BenchError;
+use lsbench::sut::kv::{
+    AlexSut, BTreeSut, HashSut, PgmSut, RetrainPolicy, RmiSut, SortedArraySut, SplineSut,
+};
+use lsbench::sut::sut::SystemUnderTest;
+use lsbench::workload::dataset::Dataset;
+use lsbench::workload::keygen::{KeyDistribution, KeyGenerator};
+use lsbench::workload::ops::Operation;
+use lsbench::workload::quality::score_dataset;
+use std::process::ExitCode;
+
+const SUT_NAMES: &[&str] = &[
+    "btree",
+    "sorted-array",
+    "hash",
+    "alex",
+    "rmi",
+    "pgm",
+    "spline",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "lsbench — benchmark for learned data systems
+
+USAGE:
+  lsbench suite [--size N] [--ops N] [--seed N] [--sut NAME]...
+      Run the standard 5-scenario suite (default: all SUTs) and print the
+      cross-SUT comparison. Artifacts land in target/lsbench-results/.
+
+  lsbench shift --sut NAME [--size N] [--ops N] [--seed N]
+      Run the canonical two-phase distribution-shift scenario for one SUT
+      and print its adaptability report.
+
+  lsbench quality --dist NAME [--theta X]
+      Score a key distribution with the §V-C quality tool.
+      NAME: uniform | zipf | lognormal | hotspot | clustered | seq
+
+  lsbench list
+      List available SUTs and distributions.
+"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    parse_flag(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_sut(name: &str, data: &Dataset) -> lsbench::core::Result<Box<dyn SystemUnderTest<Operation>>> {
+    let err = |e: lsbench::sut::SutError| BenchError::Sut(e.to_string());
+    Ok(match name {
+        "btree" => Box::new(BTreeSut::build(data).map_err(err)?),
+        "sorted-array" => Box::new(SortedArraySut::build(data).map_err(err)?),
+        "hash" => Box::new(HashSut::build(data).map_err(err)?),
+        "alex" => Box::new(AlexSut::build(data).map_err(err)?),
+        "rmi" => Box::new(
+            RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?,
+        ),
+        "pgm" => Box::new(
+            PgmSut::build("pgm", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?,
+        ),
+        "spline" => Box::new(
+            SplineSut::build("spline", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?,
+        ),
+        other => {
+            return Err(BenchError::InvalidScenario(format!(
+                "unknown SUT '{other}' (see `lsbench list`)"
+            )))
+        }
+    })
+}
+
+fn cmd_suite(args: &[String]) -> ExitCode {
+    let cfg = SuiteConfig {
+        dataset_size: parse_num(args, "--size", 100_000),
+        ops_per_phase: parse_num(args, "--ops", 10_000),
+        seed: parse_num(args, "--seed", 0x5EED),
+        work_units_per_second: 1_000_000.0,
+    };
+    let chosen: Vec<String> = {
+        let mut names: Vec<String> = args
+            .windows(2)
+            .filter(|w| w[0] == "--sut")
+            .map(|w| w[1].clone())
+            .collect();
+        if names.is_empty() {
+            names = SUT_NAMES.iter().map(|s| s.to_string()).collect();
+        }
+        names
+    };
+    let mut results: Vec<SuiteResult> = Vec::new();
+    for name in &chosen {
+        eprint!("running {name} ... ");
+        let run = run_suite(|data| build_sut(name, data), &cfg);
+        match run {
+            Ok(r) => {
+                eprintln!("done");
+                results.push(r);
+            }
+            Err(e) => {
+                eprintln!("failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("{}", render_comparison(&results));
+    if let Ok(json) = to_json(&results) {
+        if let Ok(path) = write_artifact("cli_suite.json", &json) {
+            eprintln!("[saved {}]", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_shift(args: &[String]) -> ExitCode {
+    let Some(sut_name) = parse_flag(args, "--sut") else {
+        eprintln!("--sut NAME is required (see `lsbench list`)");
+        return ExitCode::from(2);
+    };
+    let scenario = match Scenario::two_phase_shift(
+        "cli-shift",
+        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        KeyDistribution::Normal {
+            center: 0.9,
+            std_frac: 0.03,
+        },
+        parse_num(args, "--size", 100_000),
+        parse_num(args, "--ops", 20_000),
+        parse_num(args, "--seed", 42),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let data = match scenario.dataset.build() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("dataset generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sut = match build_sut(&sut_name, &data) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_kv_scenario(sut.as_mut(), &scenario, DriverConfig::default()) {
+        Ok(record) => {
+            println!(
+                "{}: {:.0} ops/s mean, {} completed, {} failures, training {:.3}s",
+                record.sut_name,
+                record.mean_throughput(),
+                record.completed(),
+                record.failures(),
+                record.train.seconds
+            );
+            match AdaptabilityReport::from_record(&record) {
+                Ok(rep) => println!("{}", render_adaptability(&[&rep])),
+                Err(e) => eprintln!("metrics failed: {e}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_quality(args: &[String]) -> ExitCode {
+    let Some(dist_name) = parse_flag(args, "--dist") else {
+        eprintln!("--dist NAME is required (see `lsbench list`)");
+        return ExitCode::from(2);
+    };
+    let theta: f64 = parse_num(args, "--theta", 1.1);
+    let dist = match dist_name.as_str() {
+        "uniform" => KeyDistribution::Uniform,
+        "zipf" => KeyDistribution::Zipf { theta },
+        "lognormal" => KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        "hotspot" => KeyDistribution::Hotspot {
+            hot_span: 0.05,
+            hot_fraction: 0.95,
+        },
+        "clustered" => KeyDistribution::Clustered {
+            clusters: 4,
+            cluster_std_frac: 0.01,
+        },
+        "seq" => KeyDistribution::SequentialNoise { noise_frac: 0.01 },
+        other => {
+            eprintln!("unknown distribution '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    let keys = match KeyGenerator::new(dist, 0, 10_000_000, 7) {
+        Ok(mut g) => g.sample_f64(30_000),
+        Err(e) => {
+            eprintln!("invalid distribution: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let r = score_dataset(&keys);
+    println!(
+        "{dist_name}: skew {:.3}, clustering {:.3}, overall {:.3}",
+        r.skew_score, r.clustering_score, r.overall
+    );
+    println!("(higher = better benchmark material; uniform scores near 0)");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("shift") => cmd_shift(&args[1..]),
+        Some("quality") => cmd_quality(&args[1..]),
+        Some("list") => {
+            println!("SUTs: {}", SUT_NAMES.join(", "));
+            println!("distributions: uniform, zipf, lognormal, hotspot, clustered, seq");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

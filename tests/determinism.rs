@@ -1,0 +1,76 @@
+//! Reproducibility: identical seeds must give bit-identical benchmark
+//! results end-to-end; different seeds must actually differ. This is the
+//! property that makes results "comparable across many deployments" (§IV).
+
+use lsbench::core::driver::{run_kv_scenario, DriverConfig};
+use lsbench::core::metrics::adaptability::AdaptabilityReport;
+use lsbench::core::record::RunRecord;
+use lsbench::core::scenario::Scenario;
+use lsbench::sut::kv::{AlexSut, RetrainPolicy, RmiSut};
+use lsbench::workload::keygen::KeyDistribution;
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::two_phase_shift(
+        "determinism",
+        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        KeyDistribution::Zipf { theta: 1.2 },
+        20_000,
+        3_000,
+        seed,
+    )
+    .expect("valid scenario")
+}
+
+fn run_rmi(seed: u64) -> RunRecord {
+    let s = scenario(seed);
+    let data = s.dataset.build().unwrap();
+    let mut sut = RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.05)).unwrap();
+    run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap()
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let a = run_rmi(7);
+    let b = run_rmi(7);
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.exec_end, b.exec_end);
+    assert_eq!(a.train, b.train);
+    assert_eq!(a.phase_change_times, b.phase_change_times);
+    // Metrics derived from identical records are identical.
+    let ra = AdaptabilityReport::from_record(&a).unwrap();
+    let rb = AdaptabilityReport::from_record(&b).unwrap();
+    assert_eq!(ra.area_vs_ideal, rb.area_vs_ideal);
+    assert_eq!(ra.curve, rb.curve);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_rmi(7);
+    let b = run_rmi(8);
+    assert_ne!(a.ops, b.ops);
+}
+
+#[test]
+fn adaptive_structures_deterministic_too() {
+    // ALEX mutates internal structure during the run; determinism must
+    // survive splits and retrains.
+    let s = scenario(9);
+    let data = s.dataset.build().unwrap();
+    let run = || {
+        let mut sut = AlexSut::build(&data).unwrap();
+        run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.final_metrics.adaptations, b.final_metrics.adaptations);
+}
+
+#[test]
+fn json_round_trip_preserves_determinism() {
+    let a = run_rmi(11);
+    let json = serde_json::to_string(&a).unwrap();
+    let back: RunRecord = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.ops, a.ops);
+    assert_eq!(back.work_units_per_second, a.work_units_per_second);
+}

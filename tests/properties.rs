@@ -1,0 +1,120 @@
+//! Property tests over the full benchmark pipeline: whatever the scenario
+//! parameters, the driver and metrics must keep their invariants.
+
+use lsbench::core::driver::{run_kv_scenario, DriverConfig};
+use lsbench::core::metrics::adaptability::AdaptabilityReport;
+use lsbench::core::metrics::sla::SlaReport;
+use lsbench::core::scenario::Scenario;
+use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
+use lsbench::workload::keygen::KeyDistribution;
+use proptest::prelude::*;
+
+fn arb_distribution() -> impl Strategy<Value = KeyDistribution> {
+    prop_oneof![
+        Just(KeyDistribution::Uniform),
+        (0.5f64..1.8).prop_map(|theta| KeyDistribution::Zipf { theta }),
+        (0.05f64..0.95, 0.01f64..0.3)
+            .prop_map(|(center, std_frac)| KeyDistribution::Normal { center, std_frac }),
+        (0.01f64..0.5, 0.5f64..1.0).prop_map(|(hot_span, hot_fraction)| {
+            KeyDistribution::Hotspot {
+                hot_span,
+                hot_fraction,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn driver_invariants_hold_for_any_shift(
+        first in arb_distribution(),
+        second in arb_distribution(),
+        ops in 200u64..1500,
+        seed in 0u64..1000,
+    ) {
+        let s = Scenario::two_phase_shift("prop", first, second, 3_000, ops, seed).unwrap();
+        let data = s.dataset.build().unwrap();
+        let mut sut = RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.1)).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap();
+
+        // Completion count and ordering.
+        prop_assert_eq!(r.completed() as u64, 2 * ops);
+        for w in r.ops.windows(2) {
+            prop_assert!(w[0].t_end <= w[1].t_end);
+        }
+        // All latencies positive and bounded by the whole run.
+        let span = r.exec_end - r.exec_start;
+        for o in &r.ops {
+            prop_assert!(o.latency > 0.0 && o.latency <= span + 1e-9);
+            prop_assert!(o.t_end >= r.exec_start && o.t_end <= r.exec_end + 1e-9);
+        }
+        // Exactly two phases, both populated.
+        prop_assert_eq!(r.phase_latencies(0).len() as u64, ops);
+        prop_assert_eq!(r.phase_latencies(1).len() as u64, ops);
+        // Training is charged before execution.
+        prop_assert!(r.exec_start >= r.train.seconds - 1e-12);
+    }
+
+    #[test]
+    fn sla_bands_conserve_for_any_parameters(
+        ops in 200u64..1000,
+        seed in 0u64..500,
+        interval_div in 3.0f64..80.0,
+        threshold_us in 1.0f64..200.0,
+    ) {
+        let s = Scenario::two_phase_shift(
+            "prop-sla",
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipf { theta: 1.2 },
+            2_000,
+            ops,
+            seed,
+        )
+        .unwrap();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap();
+        let report = SlaReport::from_record(
+            &r,
+            threshold_us * 1e-6,
+            r.exec_duration() / interval_div,
+            100,
+        )
+        .unwrap();
+        let banded: usize = report.bands.iter().map(|b| b.total()).sum();
+        prop_assert_eq!(banded, r.completed());
+        prop_assert!((0.0..=1.0).contains(&report.violation_fraction));
+    }
+
+    #[test]
+    fn adaptability_curve_well_formed(
+        first in arb_distribution(),
+        ops in 300u64..1200,
+        seed in 0u64..500,
+    ) {
+        let s = Scenario::two_phase_shift(
+            "prop-adapt",
+            first,
+            KeyDistribution::Uniform,
+            2_000,
+            ops,
+            seed,
+        )
+        .unwrap();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap();
+        let rep = AdaptabilityReport::from_record(&r).unwrap();
+        // Monotone curve ending at the completion count.
+        for w in rep.curve.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        prop_assert!((rep.curve.last().unwrap().1 - r.completed() as f64).abs() < 1.0);
+        // Normalized area bounded by 1 in magnitude.
+        prop_assert!(rep.normalized_area.abs() <= 1.0);
+        // Self-comparison is zero.
+        prop_assert!(rep.area_vs(&rep).unwrap().abs() < 1e-9);
+    }
+}
