@@ -1,0 +1,198 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the benchmark-harness subset this workspace's `harness = false`
+//! bench targets use: [`black_box`], [`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion::benchmark_group`], `bench_function`/`bench_with_input`,
+//! `sample_size`, and [`Bencher::iter`]. Instead of criterion's statistical
+//! engine it times a fixed number of samples with `std::time::Instant` and
+//! prints median/min/max per-iteration wall time — enough to compare
+//! configurations, not to detect small regressions.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from the benchmarked parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One calibration pass to pick an iteration count that makes a
+        // sample span at least ~1ms, bounding timer-resolution error.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        self.iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_count,
+        };
+        body(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{}/{id}: median {median:?}/iter (min {:?}, max {:?}, {} samples x {} iters)",
+            self.name,
+            samples[0],
+            samples[samples.len() - 1],
+            samples.len(),
+            bencher.iters_per_sample,
+        );
+    }
+
+    /// Benchmarks `body` under `id`.
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        body: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), body);
+        self
+    }
+
+    /// Benchmarks `body` with an explicit input value.
+    pub fn bench_with_input<I: std::fmt::Display, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut body: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (printing happens eagerly; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_count: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        self.benchmark_group(id.to_string())
+            .bench_function("-", body);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-selftest");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

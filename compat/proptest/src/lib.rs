@@ -1,0 +1,724 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config(...)]`), `prop_assert*`
+//! / [`prop_assume!`], [`Strategy`] with `prop_map` and `boxed`,
+//! [`prop_oneof!`], [`any`], [`Just`], numeric range strategies, tuple
+//! strategies, and `prop::collection::{vec, btree_set, hash_set}`.
+//!
+//! Differences from real proptest: cases are drawn from an RNG seeded by the
+//! test's module path + name (fully deterministic across runs, no persisted
+//! regression files) and failures are reported without input shrinking — the
+//! failing case's values are printed as-is via the assertion message.
+
+use std::marker::PhantomData;
+
+pub use rand::Rng as _;
+
+/// Deterministic RNG handed to strategies by the [`proptest!`] runner.
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Seeds from a test identifier (stable across runs and platforms).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: cheap, stable, well-mixed enough to
+        // decorrelate per-test streams.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        use rand::SeedableRng;
+        TestRng(rand::rngs::StdRng::seed_from_u64(h))
+    }
+
+    /// The underlying PRNG.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        &mut self.0
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-block runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Executes one property test: draws cases until `config.cases` pass,
+/// honoring rejects, panicking on the first failure (no shrinking).
+pub fn run_proptest(
+    name: &str,
+    config: ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 4 * cases + 256,
+                    "{name}: too many rejected cases ({rejected}) — \
+                     prop_assume! condition is almost never satisfiable"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {} failed: {msg}", passed + 1)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- strategies
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases this strategy (needed by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::from_strategy(self)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).gen_value(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> BoxedStrategy<T> {
+    fn from_strategy<S: Strategy<Value = T> + 'static>(s: S) -> Self {
+        BoxedStrategy(Box::new(move |rng| s.gen_value(rng)))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.gen_value(rng))
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a whole-domain default strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+/// Whole-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T: Copy> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl<T: Copy> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+/// String literals act as regex-shaped generators, like real proptest's
+/// `s in "[a-z]{1,3}"`. Supported syntax: literal characters, `[a-z0-9_]`
+/// character classes with ranges, and the quantifiers `{n}`, `{m,n}`, `?`,
+/// `*`, `+` (the open-ended ones capped at 8 repeats).
+impl Strategy for str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        enum Elem {
+            Lit(char),
+            Class(Vec<char>),
+        }
+        let chars: Vec<char> = self.chars().collect();
+        let mut elems: Vec<(Elem, usize, usize)> = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let elem = if chars[i] == '[' {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range in pattern `{self}`");
+                        set.extend(lo..=hi);
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unclosed `[` in pattern `{self}`");
+                i += 1;
+                assert!(!set.is_empty(), "empty class in pattern `{self}`");
+                Elem::Class(set)
+            } else {
+                let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                    i += 1;
+                    chars[i]
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                Elem::Lit(c)
+            };
+            let (lo, hi) = match chars.get(i) {
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{self}`"));
+                    let body: String = chars[i + 1..i + close].iter().collect();
+                    i += close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad quantifier"),
+                            n.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            elems.push((elem, lo, hi));
+        }
+        let mut out = String::new();
+        for (elem, lo, hi) in &elems {
+            let n = rng.0.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                match elem {
+                    Elem::Lit(c) => out.push(*c),
+                    Elem::Class(set) => {
+                        let k = rng.0.gen_range(0..set.len());
+                        out.push(set[k]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Equal-weight union of type-erased strategies ([`prop_oneof!`]).
+#[doc(hidden)]
+pub fn union<T>(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+    let options = options.into_iter().map(|s| (1u32, s)).collect();
+    Union { options }
+}
+
+/// Weighted union of type-erased strategies.
+#[doc(hidden)]
+pub fn union_weighted<T>(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+    Union { options }
+}
+
+/// See [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let total: u32 = self.options.iter().map(|(w, _)| w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted option");
+        let mut pick = rng.0.gen_range(0..total);
+        for (w, s) in &self.options {
+            if pick < *w {
+                return s.gen_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!()
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Inclusive element-count bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(self.lo..=self.hi)
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet` of `size` distinct elements drawn from `elem`. Duplicates
+    /// are re-drawn a bounded number of times, so a small element domain may
+    /// yield fewer than `size` elements.
+    pub fn btree_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            let mut out = std::collections::BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < 16 * n + 64 {
+                out.insert(self.elem.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// `HashSet` analogue of [`btree_set`].
+    pub fn hash_set<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            let mut out = std::collections::HashSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < 16 * n + 64 {
+                out.insert(self.elem.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// -------------------------------------------------------------------- macros
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` drawing deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($config); $(
+            $(#[$meta])* fn $name($($pat in $strat),*) $body
+        )*);
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()); $(
+            $(#[$meta])* fn $name($($pat in $strat),*) $body
+        )*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest(
+                concat!(module_path!(), "::", stringify!($name)),
+                $config,
+                |__proptest_rng: &mut $crate::TestRng| {
+                    $(let $pat = $crate::Strategy::gen_value(&($strat), __proptest_rng);)*
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  both: {:?}",
+                format!($($fmt)+), l
+            )));
+        }
+    }};
+}
+
+/// Rejects (retries) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks uniformly (or by `weight => strategy` pairs) among strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// One-glob import surface matching `proptest::prelude::*`.
+pub mod prelude {
+    /// Lets `prop::collection::vec(...)` resolve after a prelude glob import.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u64..100, (a, b) in (0.0f64..1.0, -5i64..=5)) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+        }
+
+        #[test]
+        fn collections_obey_size(
+            v in prop::collection::vec(any::<u8>(), 3..10),
+            s in prop::collection::btree_set(0u64..1_000_000, 5..20),
+            h in prop::collection::hash_set(any::<u32>(), 4),
+        ) {
+            prop_assert!((3..10).contains(&v.len()));
+            prop_assert!((5..20).contains(&s.len()));
+            prop_assert_eq!(h.len(), 4);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(0u64),
+            (1u64..10).prop_map(|x| x * 100),
+        ]) {
+            prop_assert!(v == 0 || (100..1000).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = TestRng::from_name("abc");
+        let mut r2 = TestRng::from_name("abc");
+        let s = 0u64..1_000_000;
+        for _ in 0..100 {
+            assert_eq!(s.gen_value(&mut r1), s.gen_value(&mut r2));
+        }
+    }
+
+    use super::TestRng;
+}

@@ -1,0 +1,326 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only ever serializes through `serde_json`, so this shim
+//! collapses serde's zero-copy serializer architecture into a simple value
+//! tree: [`Serialize`] renders into a [`Value`], [`Deserialize`] reads back
+//! out of one. `#[derive(Serialize, Deserialize)]` comes from the sibling
+//! `serde_derive` shim and supports braced structs (with `#[serde(skip)]`)
+//! and enums with unit, newtype, tuple, and struct variants using serde's
+//! externally-tagged JSON encoding.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer (always < 0; non-negatives parse as [`Value::UInt`]).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved so output is deterministic.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object ([`Value::Null`] when absent, which lets
+    /// `Option` fields default to `None`).
+    pub fn get<'a>(entries: &'a [(String, Value)], key: &str) -> &'a Value {
+        entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or(&Value::Null)
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Renders `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// The value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Derive-macro helper: deserializes field `key` of an object.
+pub fn field<T: Deserialize>(entries: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    let v = Value::get(entries, key);
+    if matches!(v, Value::Null) && !entries.iter().any(|(k, _)| k == key) {
+        // Missing field: only types that accept Null (e.g. Option) succeed.
+        return T::from_value(&Value::Null).map_err(|_| DeError(format!("missing field `{key}`")));
+    }
+    T::from_value(v).map_err(|e| DeError(format!("field `{key}`: {e}")))
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::UInt(u) if u <= <$t>::MAX as u64 => Ok(u as $t),
+                    Value::Int(i) if i >= 0 => Ok(i as $t),
+                    _ => Err(DeError(format!(
+                        "expected {}, got {v:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::UInt(u) if u <= <$t>::MAX as u64 => Ok(u as $t),
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| DeError(format!("{i} out of range"))),
+                    _ => Err(DeError(format!(
+                        "expected {}, got {v:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    _ => Err(DeError(format!("expected float, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_ser_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$(stringify!($n)),+].len();
+                        if items.len() != expected {
+                            return Err(DeError(format!(
+                                "expected {expected}-tuple, got {} items", items.len()
+                            )));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    _ => Err(DeError(format!("expected array, got {v:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_ser_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn float_accepts_integral_encoding() {
+        // "20" parses as UInt; an f64 field must accept it.
+        assert_eq!(f64::from_value(&Value::UInt(20)), Ok(20.0));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2.5f64), (3, 4.5)];
+        assert_eq!(Vec::<(usize, f64)>::from_value(&v.to_value()), Ok(v));
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&o.to_value()), Ok(None));
+        assert_eq!(
+            Option::<u64>::from_value(&Some(9u64).to_value()),
+            Ok(Some(9))
+        );
+    }
+
+    #[test]
+    fn missing_field_is_null() {
+        let entries = vec![("a".to_string(), Value::UInt(1))];
+        assert_eq!(field::<Option<u64>>(&entries, "b"), Ok(None));
+        assert!(field::<u64>(&entries, "b").is_err());
+        assert_eq!(field::<u64>(&entries, "a"), Ok(1));
+    }
+}

@@ -1,0 +1,415 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Derives the value-tree `Serialize`/`Deserialize` traits of the sibling
+//! `serde` shim. Instead of `syn`/`quote` (unavailable offline) it walks the
+//! raw token stream — enough for the shapes this workspace derives on:
+//! non-generic braced/tuple/unit structs and enums with unit, newtype, tuple,
+//! and struct variants (externally-tagged encoding, matching real serde's
+//! JSON output). The only recognized field attribute is `#[serde(skip)]`,
+//! which omits the field on serialize and fills it with `Default::default()`
+//! on deserialize.
+
+use proc_macro::{Delimiter, Group, Spacing, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this many fields.
+    Tuple(usize),
+    /// Braced fields as `(name, skip)` pairs.
+    Named(Vec<(String, bool)>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// True for `#[serde(skip)]` (the bracket group's content is `serde(skip)`).
+fn attr_is_serde_skip(attr: &Group) -> bool {
+    let mut it = attr.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(args)) => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(ref id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Parses `{ a: T, #[serde(skip)] b: U, .. }` into `(name, skip)` pairs.
+/// Field types are skipped token-by-token with angle-bracket depth tracking
+/// (`<`/`>` are plain puncts, not groups, so `Vec<(A, B)>`-style commas would
+/// otherwise split a field).
+fn parse_named(g: &Group) -> Vec<(String, bool)> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut skip = false;
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(attr)) = toks.get(i + 1) {
+                skip |= attr_is_serde_skip(attr);
+            }
+            i += 2;
+        }
+        if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(pg)) if pg.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        i += 2; // field name and ':'
+        let mut angle = 0i32;
+        let mut arrow_pending = false;
+        while let Some(t) = toks.get(i) {
+            let mut next_arrow = false;
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    ',' if angle == 0 => break,
+                    '<' => angle += 1,
+                    '>' if !arrow_pending => angle -= 1,
+                    _ => {}
+                }
+                next_arrow = p.as_char() == '-' && p.spacing() == Spacing::Joint;
+            }
+            arrow_pending = next_arrow;
+            i += 1;
+        }
+        i += 1; // consume ','
+        out.push((name, skip));
+    }
+    out
+}
+
+/// Counts tuple-struct/variant fields: top-level commas at angle depth 0.
+fn count_tuple(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle = 0i32;
+    let mut arrow_pending = false;
+    for (idx, t) in toks.iter().enumerate() {
+        let mut next_arrow = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if angle == 0 && idx + 1 < toks.len() => fields += 1,
+                '<' => angle += 1,
+                '>' if !arrow_pending => angle -= 1,
+                _ => {}
+            }
+            next_arrow = p.as_char() == '-' && p.spacing() == Spacing::Joint;
+        }
+        arrow_pending = next_arrow;
+    }
+    fields
+}
+
+fn parse_variants(g: &Group) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named(vg))
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple(vg))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any `= discriminant` up to the separating comma.
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        out.push((name, fields));
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple(g))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("serde shim derive: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ------------------------------------------------------------------- codegen
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\n";
+
+fn named_to_entries(fields: &[(String, bool)], accessor: &dyn Fn(&str) -> String) -> String {
+    let mut s = String::from(
+        "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+    );
+    for (f, skip) in fields {
+        if *skip {
+            continue;
+        }
+        s.push_str(&format!(
+            "entries.push((\"{f}\".to_string(), ::serde::Serialize::to_value({})));\n",
+            accessor(f)
+        ));
+    }
+    s
+}
+
+fn tuple_values(n: usize, prefix: &str) -> String {
+    (0..n)
+        .map(|k| format!("::serde::Serialize::to_value({prefix}{k})"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => format!(
+                    "::serde::Value::Array(vec![{}])",
+                    (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                Fields::Named(fs) => format!(
+                    "{}::serde::Value::Object(entries)",
+                    named_to_entries(fs, &|f| format!("&self.{f}"))
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n")
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(f0))]),\n"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|k| format!("f{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            tuple_values(*n, "f")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs
+                            .iter()
+                            .filter(|(_, skip)| !skip)
+                            .map(|(f, _)| f.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let binds = if binds.is_empty() {
+                            "..".to_string()
+                        } else {
+                            format!("{binds}, ..")
+                        };
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{}\
+                             ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             ::serde::Value::Object(entries))])\n}}\n",
+                            named_to_entries(fs, &|f| f.to_string())
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_from_entries(name_path: &str, fields: &[(String, bool)], entries: &str) -> String {
+    let inits = fields
+        .iter()
+        .map(|(f, skip)| {
+            if *skip {
+                format!("{f}: ::std::default::Default::default()")
+            } else {
+                format!("{f}: ::serde::field({entries}, \"{f}\")?")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("Ok({name_path} {{ {inits} }})")
+}
+
+fn tuple_from_items(name_path: &str, n: usize, src: &str, ctx: &str) -> String {
+    let inits = (0..n)
+        .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "match {src} {{\n\
+         ::serde::Value::Array(items) if items.len() == {n} => Ok({name_path}({inits})),\n\
+         _ => Err(::serde::DeError::custom(\"expected {n}-element array for {ctx}\")),\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("Ok({name})"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => tuple_from_items(name, *n, "v", name),
+                Fields::Named(fs) => format!(
+                    "let entries = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?;\n{}",
+                    named_from_entries(name, fs, "entries")
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n")),
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => {},\n",
+                        tuple_from_items(
+                            &format!("{name}::{v}"),
+                            *n,
+                            "inner",
+                            &format!("variant {v}")
+                        )
+                    )),
+                    Fields::Named(fs) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => {{\nlet fe = inner.as_object().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected object for variant {v}\"))?;\n{}\n}}\n",
+                        named_from_entries(&format!("{name}::{v}"), fs, "fe")
+                    )),
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::DeError::custom(::std::format!(\
+                 \"unknown unit variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => Err(::serde::DeError::custom(::std::format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n\
+                 _ => Err(::serde::DeError::custom(\
+                 \"expected string or single-key object for {name}\")),\n}}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = gen_serialize(&parse_item(input));
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde shim derive: generated invalid code: {e:?}\n{code}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = gen_deserialize(&parse_item(input));
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde shim derive: generated invalid code: {e:?}\n{code}"))
+}

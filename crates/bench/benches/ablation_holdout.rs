@@ -32,7 +32,11 @@ fn scenario() -> Scenario {
         delete: 0.0,
         max_scan_len: 0,
     };
-    let in_sample = [KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+    let in_sample = [
+        KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
         KeyDistribution::Zipf { theta: 1.0 },
         KeyDistribution::Normal {
             center: 0.2,
@@ -41,14 +45,14 @@ fn scenario() -> Scenario {
         KeyDistribution::Hotspot {
             hot_span: 0.1,
             hot_fraction: 0.9,
-        }];
+        },
+    ];
     let phases: Vec<WorkloadPhase> = in_sample
         .iter()
         .map(|d| WorkloadPhase::new(d.name(), d.clone(), KEY_RANGE, mix.clone(), PHASE_OPS))
         .collect();
     let transitions = vec![TransitionKind::Abrupt; phases.len() - 1];
-    let workload =
-        PhasedWorkload::new(phases, transitions, 51).expect("static workload is valid");
+    let workload = PhasedWorkload::new(phases, transitions, 51).expect("static workload is valid");
 
     // Hold-out: unseen distributions, single pass, read-only.
     let holdout = PhasedWorkload::new(
@@ -82,7 +86,10 @@ fn scenario() -> Scenario {
     Scenario {
         name: "ablation-holdout".to_string(),
         dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            distribution: KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
             key_range: KEY_RANGE,
             size: DATASET_SIZE,
             seed: 54,

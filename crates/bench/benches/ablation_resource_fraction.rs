@@ -34,7 +34,10 @@ fn scenario(mode: OnlineTrainMode) -> Scenario {
         vec![
             WorkloadPhase::new(
                 "reads",
-                KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                KeyDistribution::LogNormal {
+                    mu: 0.0,
+                    sigma: 1.2,
+                },
                 KEY_RANGE,
                 OperationMix::ycsb_c(),
                 20_000,
@@ -67,7 +70,10 @@ fn scenario(mode: OnlineTrainMode) -> Scenario {
     Scenario {
         name: "ablation-resource-fraction".to_string(),
         dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            distribution: KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
             key_range: KEY_RANGE,
             size: DATASET_SIZE,
             seed: 92,
@@ -87,9 +93,18 @@ fn main() {
     println!("=== A3: online-training resource fraction (§V-B) ===\n");
     let modes = [
         ("foreground", OnlineTrainMode::Foreground),
-        ("background-10%", OnlineTrainMode::Background { fraction: 0.1 }),
-        ("background-30%", OnlineTrainMode::Background { fraction: 0.3 }),
-        ("background-70%", OnlineTrainMode::Background { fraction: 0.7 }),
+        (
+            "background-10%",
+            OnlineTrainMode::Background { fraction: 0.1 },
+        ),
+        (
+            "background-30%",
+            OnlineTrainMode::Background { fraction: 0.3 },
+        ),
+        (
+            "background-70%",
+            OnlineTrainMode::Background { fraction: 0.7 },
+        ),
     ];
     let mut fig = String::from(
         "mode             max-lat-ms  p99-lat-ms  viol%>1ms  mean-ops/s  duration-s\n",

@@ -36,7 +36,10 @@ fn scenario(kind: TransitionKind) -> Scenario {
         vec![
             WorkloadPhase::new(
                 "head-reads",
-                KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                KeyDistribution::LogNormal {
+                    mu: 0.0,
+                    sigma: 1.2,
+                },
                 KEY_RANGE,
                 OperationMix::ycsb_c(),
                 PHASE_OPS,
@@ -59,7 +62,10 @@ fn scenario(kind: TransitionKind) -> Scenario {
     Scenario {
         name: format!("ablation-transition-{kind:?}"),
         dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            distribution: KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
             key_range: KEY_RANGE,
             size: DATASET_SIZE,
             seed: 42,
@@ -82,24 +88,20 @@ fn main() {
         ("gradual-20%", TransitionKind::Gradual { window: 0.2 }),
         ("gradual-60%", TransitionKind::Gradual { window: 0.6 }),
     ];
-    let mut fig = String::from(
-        "transition     norm-area   recovery-s   retrains   adjust-speed-s\n",
-    );
+    let mut fig =
+        String::from("transition     norm-area   recovery-s   retrains   adjust-speed-s\n");
     for (name, kind) in kinds {
         let s = scenario(kind);
         let data = s.dataset.build().expect("dataset builds");
-        let mut sut =
-            RmiSut::build("rmi+retrain", &data, RetrainPolicy::DeltaFraction(0.02))
-                .expect("rmi builds");
+        let mut sut = RmiSut::build("rmi+retrain", &data, RetrainPolicy::DeltaFraction(0.02))
+            .expect("rmi builds");
         let record = run_kv_scenario(&mut sut, &s, DriverConfig::default()).expect("run");
         let adapt = AdaptabilityReport::from_record(&record).expect("report");
         // Fixed threshold derived from typical steady latency (~2x typical).
         let lats = record.all_latencies();
-        let threshold =
-            lsbench_stats::descriptive::quantile(&lats, 0.5).expect("non-empty") * 4.0;
+        let threshold = lsbench_stats::descriptive::quantile(&lats, 0.5).expect("non-empty") * 4.0;
         let interval = record.exec_duration() / 50.0;
-        let sla =
-            SlaReport::from_record(&record, threshold, interval, 12_000).expect("sla report");
+        let sla = SlaReport::from_record(&record, threshold, interval, 12_000).expect("sla report");
         let recovery = adapt
             .recovery_times
             .first()
@@ -112,11 +114,7 @@ fn main() {
             .unwrap_or(f64::NAN);
         fig.push_str(&format!(
             "{:<14} {:>9.4}   {:>9.3}   {:>8}   {:>12.4}\n",
-            name,
-            adapt.normalized_area,
-            recovery,
-            record.final_metrics.adaptations,
-            adjust
+            name, adapt.normalized_area, recovery, record.final_metrics.adaptations, adjust
         ));
     }
     emit("ablation_transitions.txt", &fig);

@@ -39,7 +39,10 @@ fn scenario() -> Scenario {
         vec![
             WorkloadPhase::new(
                 "reads-lognormal",
-                KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                KeyDistribution::LogNormal {
+                    mu: 0.0,
+                    sigma: 1.2,
+                },
                 KEY_RANGE,
                 read_mix.clone(),
                 PHASE_OPS,
@@ -72,7 +75,10 @@ fn scenario() -> Scenario {
     Scenario {
         name: "fig1b".to_string(),
         dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            distribution: KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
             key_range: KEY_RANGE,
             size: DATASET_SIZE,
             seed: 14,
@@ -96,8 +102,7 @@ fn main() {
     let mut rmi =
         RmiSut::build("rmi+retrain", &data, RetrainPolicy::DeltaFraction(0.05)).expect("rmi");
     let rmi_record = run_kv_scenario(&mut rmi, &s, DriverConfig::default()).expect("run");
-    let mut rmi_never =
-        RmiSut::build("rmi-no-retrain", &data, RetrainPolicy::Never).expect("rmi");
+    let mut rmi_never = RmiSut::build("rmi-no-retrain", &data, RetrainPolicy::Never).expect("rmi");
     let never_record = run_kv_scenario(&mut rmi_never, &s, DriverConfig::default()).expect("run");
     let mut btree = BTreeSut::build(&data).expect("btree");
     let btree_record = run_kv_scenario(&mut btree, &s, DriverConfig::default()).expect("run");

@@ -37,7 +37,10 @@ fn scenario() -> Scenario {
         vec![
             WorkloadPhase::new(
                 "steady-reads",
-                KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                KeyDistribution::LogNormal {
+                    mu: 0.0,
+                    sigma: 1.2,
+                },
                 KEY_RANGE,
                 OperationMix::ycsb_c(),
                 PHASE_OPS,
@@ -60,7 +63,10 @@ fn scenario() -> Scenario {
     Scenario {
         name: "fig1c".to_string(),
         dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            distribution: KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
             key_range: KEY_RANGE,
             size: DATASET_SIZE,
             seed: 18,
@@ -85,9 +91,7 @@ fn main() {
     let mut btree = BTreeSut::build(&data).expect("btree");
     let btree_record = run_kv_scenario(&mut btree, &s, DriverConfig::default()).expect("run");
     let threshold = s.sla.resolve(Some(&btree_record)).expect("resolvable");
-    println!(
-        "SLA threshold (2 × baseline p99): {threshold:.6} virtual seconds\n"
-    );
+    println!("SLA threshold (2 × baseline p99): {threshold:.6} virtual seconds\n");
 
     let mut rmi =
         RmiSut::build("rmi+retrain", &data, RetrainPolicy::DeltaFraction(0.005)).expect("rmi");

@@ -41,7 +41,10 @@ fn scenario() -> Scenario {
     let workload = PhasedWorkload::single(
         WorkloadPhase::new(
             "reads",
-            KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
             KEY_RANGE,
             OperationMix::ycsb_c(),
             OPS,
@@ -52,7 +55,10 @@ fn scenario() -> Scenario {
     Scenario {
         name: "fig1d".to_string(),
         dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            distribution: KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
             key_range: KEY_RANGE,
             size: DATASET_SIZE,
             seed: 22,
@@ -108,8 +114,10 @@ fn main() {
             record.mean_throughput()
         );
         // Project training work to production scale (see PRODUCTION_SCALE).
-        record.final_metrics.training_work =
-            record.final_metrics.training_work.saturating_mul(PRODUCTION_SCALE);
+        record.final_metrics.training_work = record
+            .final_metrics
+            .training_work
+            .saturating_mul(PRODUCTION_SCALE);
         runs.push(record);
     }
     println!();

@@ -1,0 +1,80 @@
+//! **Concurrency scaling**: the concurrent engine's throughput as lanes
+//! and worker threads grow.
+//!
+//! Two readings per point:
+//!
+//! * criterion's wall-clock time for the whole sharded run (does the
+//!   physical fan-out pay for itself?), and
+//! * the merged *virtual* mean throughput, emitted as a small table (does
+//!   the modeled parallelism scale as N lanes should?).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsbench_bench::emit;
+use lsbench_core::engine::{run_sharded_kv_scenario, shard_dataset, EngineConfig};
+use lsbench_core::scenario::Scenario;
+use lsbench_sut::kv::BTreeSut;
+use lsbench_sut::sut::SystemUnderTest;
+use lsbench_workload::dataset::Dataset;
+use lsbench_workload::keygen::KeyDistribution;
+use lsbench_workload::ops::Operation;
+
+const CONCURRENCY: [usize; 4] = [1, 2, 4, 8];
+
+fn scenario() -> Scenario {
+    Scenario::two_phase_shift(
+        "concurrency-scaling",
+        KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
+        KeyDistribution::Zipf { theta: 1.1 },
+        50_000,
+        5_000,
+        21,
+    )
+    .expect("valid scenario")
+}
+
+fn shard_suts(shards: &[Dataset]) -> Vec<Box<dyn SystemUnderTest<Operation> + Send>> {
+    shards
+        .iter()
+        .map(|d| {
+            Box::new(BTreeSut::build(d).expect("shard builds"))
+                as Box<dyn SystemUnderTest<Operation> + Send>
+        })
+        .collect()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let s = scenario();
+    let data = s.dataset.build().expect("dataset builds");
+    let mut group = c.benchmark_group("sharded_btree_scaling");
+    group.sample_size(10);
+    let mut table = String::from("threads  virtual-ops/s  speedup\n");
+    let mut base = 0.0f64;
+    for n in CONCURRENCY {
+        let (router, shards) = shard_dataset(&data, n).expect("shards");
+        let config = EngineConfig::with_concurrency(n);
+        let report = {
+            let mut suts = shard_suts(&shards);
+            run_sharded_kv_scenario(&mut suts, &router, &s, &config).expect("run")
+        };
+        let tput = report.record.mean_throughput();
+        if n == 1 {
+            base = tput;
+        }
+        table.push_str(&format!("{n:>7}  {tput:>13.0}  {:>7.2}\n", tput / base));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut suts = shard_suts(&shards);
+                let _ = n;
+                run_sharded_kv_scenario(&mut suts, &router, &s, &config).expect("run")
+            })
+        });
+    }
+    group.finish();
+    emit("fig_concurrency_scaling.txt", &table);
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

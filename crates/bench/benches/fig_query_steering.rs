@@ -20,9 +20,7 @@ use lsbench_core::record::RunRecord;
 use lsbench_core::report::render_adaptability;
 use lsbench_query::generator::JoinQueryGenerator;
 use lsbench_query::table::{Catalog, Table};
-use lsbench_sut::query_sut::{
-    BanditQuerySut, LearnedCardinalitySut, QueryOp, TraditionalQuerySut,
-};
+use lsbench_sut::query_sut::{BanditQuerySut, LearnedCardinalitySut, QueryOp, TraditionalQuerySut};
 use lsbench_sut::sut::SystemUnderTest;
 
 const QUERIES_PER_PHASE: usize = 250;

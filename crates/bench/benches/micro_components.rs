@@ -13,8 +13,8 @@ use lsbench_workload::ops::OperationMix;
 use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
 
 fn bench_metrics(c: &mut Criterion) {
-    let mut g = KeyGenerator::new(KeyDistribution::Uniform, 0, 1_000_000, 1)
-        .expect("valid generator");
+    let mut g =
+        KeyGenerator::new(KeyDistribution::Uniform, 0, 1_000_000, 1).expect("valid generator");
     let a = g.sample_f64(4096);
     let b = g.sample_f64(4096);
     let small_a: Vec<f64> = a.iter().take(256).copied().collect();
@@ -46,8 +46,8 @@ fn bench_generation(c: &mut Criterion) {
     let mut zipf = KeyGenerator::new(KeyDistribution::Zipf { theta: 0.99 }, 0, 10_000_000, 2)
         .expect("valid generator");
     group.bench_function("zipf_key", |b| b.iter(|| black_box(zipf.next_key())));
-    let mut uniform = KeyGenerator::new(KeyDistribution::Uniform, 0, 10_000_000, 3)
-        .expect("valid generator");
+    let mut uniform =
+        KeyGenerator::new(KeyDistribution::Uniform, 0, 10_000_000, 3).expect("valid generator");
     group.bench_function("uniform_key", |b| b.iter(|| black_box(uniform.next_key())));
 
     group.bench_function("phased_stream_10k_ops", |b| {

@@ -22,7 +22,10 @@ const PROBES: usize = 1024;
 
 fn dataset() -> Dataset {
     Dataset::generate(
-        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
         0,
         100_000_000,
         N,
@@ -34,7 +37,9 @@ fn dataset() -> Dataset {
 fn probe_keys(data: &Dataset) -> Vec<u64> {
     let mut g = KeyGenerator::new(KeyDistribution::Uniform, 0, data.len() as u64, 7)
         .expect("valid generator");
-    (0..PROBES).map(|_| data.keys()[g.next_key() as usize]).collect()
+    (0..PROBES)
+        .map(|_| data.keys()[g.next_key() as usize])
+        .collect()
 }
 
 fn bench_lookups(c: &mut Criterion) {

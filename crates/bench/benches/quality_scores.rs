@@ -42,7 +42,10 @@ fn main() {
     println!("=== Q1: dataset/workload quality scores (§V-C tool) ===\n");
     let distributions = vec![
         ("uniform", KeyDistribution::Uniform),
-        ("seq-noise(0.01)", KeyDistribution::SequentialNoise { noise_frac: 0.01 }),
+        (
+            "seq-noise(0.01)",
+            KeyDistribution::SequentialNoise { noise_frac: 0.01 },
+        ),
         ("zipf(0.8)", KeyDistribution::Zipf { theta: 0.8 }),
         ("zipf(1.3)", KeyDistribution::Zipf { theta: 1.3 }),
         (
@@ -54,7 +57,10 @@ fn main() {
         ),
         (
             "lognormal(0, 1.2)",
-            KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
         ),
         (
             "hotspot(5%/95%)",
@@ -87,10 +93,7 @@ fn main() {
 
     // Email keys (the paper's synthetic-substitution example).
     let emails = EmailGenerator::new(33).take(SAMPLES);
-    let email_keys: Vec<f64> = emails
-        .iter()
-        .map(|e| string_key_to_u64(e) as f64)
-        .collect();
+    let email_keys: Vec<f64> = emails.iter().map(|e| string_key_to_u64(e) as f64).collect();
     let r = score_dataset(&email_keys);
     fig.push_str(&format!(
         "  {:<20} {:>6.3}   {:>8.3}   {:>7.3}\n",
@@ -138,5 +141,8 @@ fn main() {
         .enumerate()
         .map(|(i, &(_, s))| (i as f64, s))
         .collect();
-    let _ = write_artifact("quality_scores.csv", &series_csv(("rank", "score"), &csv_rows));
+    let _ = write_artifact(
+        "quality_scores.csv",
+        &series_csv(("rank", "score"), &csv_rows),
+    );
 }

@@ -6,8 +6,8 @@
 //! result submission would consist of.
 
 use lsbench_bench::emit;
-use lsbench_core::suite::{render_comparison, run_suite, SuiteConfig, SuiteResult};
 use lsbench_core::report::{to_json, write_artifact};
+use lsbench_core::suite::{render_comparison, run_suite, SuiteConfig, SuiteResult};
 use lsbench_core::BenchError;
 use lsbench_sut::kv::{
     AlexSut, BTreeSut, HashSut, PgmSut, RetrainPolicy, RmiSut, SortedArraySut, SplineSut,
@@ -16,7 +16,7 @@ use lsbench_sut::sut::SystemUnderTest;
 use lsbench_workload::dataset::Dataset;
 use lsbench_workload::ops::Operation;
 
-type BoxSut = Box<dyn SystemUnderTest<Operation>>;
+type BoxSut = Box<dyn SystemUnderTest<Operation> + Send>;
 
 fn sut_err(e: impl std::fmt::Display) -> BenchError {
     BenchError::Sut(e.to_string())
@@ -28,6 +28,7 @@ fn main() {
         ops_per_phase: 10_000,
         seed: 0x5EED,
         work_units_per_second: 1_000_000.0,
+        threads: 1,
     };
     println!("=== Standard suite: 5 scenarios × 7 SUTs ===\n");
 

@@ -72,11 +72,7 @@ mod tests {
         let d = standard_dataset(10_000, 1);
         assert_eq!(d.len(), 10_000);
         // Log-normal: more than half the keys in the bottom 20% of the range.
-        let low = d
-            .keys()
-            .iter()
-            .filter(|&&k| k < KEY_RANGE.1 / 5)
-            .count();
+        let low = d.keys().iter().filter(|&&k| k < KEY_RANGE.1 / 5).count();
         assert!(low > 5_000, "low = {low}");
     }
 

@@ -25,11 +25,18 @@ use lsbench_workload::ops::Operation;
 pub struct DriverConfig {
     /// Cap on recorded operations (guards against runaway scenarios).
     pub max_ops: u64,
+    /// Logical concurrency. `1` selects this serial driver; larger values
+    /// route the run through the concurrent execution engine
+    /// ([`crate::engine`]), which executes that many independent lanes.
+    pub concurrency: usize,
 }
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        DriverConfig { max_ops: u64::MAX }
+        DriverConfig {
+            max_ops: u64::MAX,
+            concurrency: 1,
+        }
     }
 }
 
@@ -159,7 +166,7 @@ pub fn run_kv_scenario<S: SystemUnderTest<Operation> + ?Sized>(
 ///   remains, training gets `fraction` of the resources and the query runs
 ///   at `1 − fraction` speed; the backlog drains by `fraction ×` the shared
 ///   wall time. The dip is shallower but lasts longer.
-fn service_with_backlog(
+pub(crate) fn service_with_backlog(
     base_service: f64,
     backlog: &mut f64,
     mode: crate::scenario::OnlineTrainMode,
@@ -436,7 +443,11 @@ mod tests {
         let s = scenario();
         let data = s.dataset.build().unwrap();
         let mut sut = BTreeSut::build(&data).unwrap();
-        let r = run_kv_scenario(&mut sut, &s, DriverConfig { max_ops: 100 }).unwrap();
+        let cfg = DriverConfig {
+            max_ops: 100,
+            ..DriverConfig::default()
+        };
+        let r = run_kv_scenario(&mut sut, &s, cfg).unwrap();
         assert_eq!(r.completed(), 100);
     }
 
@@ -500,16 +511,14 @@ mod tests {
             s2.online_train = mode;
             let data = s2.dataset.build().unwrap();
             // Retrains only at phase boundaries (once, entering phase 3).
-            let mut sut =
-                RmiSut::build("rmi", &data, RetrainPolicy::OnPhaseChange).unwrap();
+            let mut sut = RmiSut::build("rmi", &data, RetrainPolicy::OnPhaseChange).unwrap();
             run_kv_scenario(&mut sut, &s2, DriverConfig::default()).unwrap()
         };
         let fg = run_with(OnlineTrainMode::Foreground);
         let bg = run_with(OnlineTrainMode::Background { fraction: 0.3 });
         assert!(fg.final_metrics.adaptations > 0, "no retrains happened");
-        let max_lat = |r: &crate::record::RunRecord| {
-            r.ops.iter().map(|o| o.latency).fold(0.0f64, f64::max)
-        };
+        let max_lat =
+            |r: &crate::record::RunRecord| r.ops.iter().map(|o| o.latency).fold(0.0f64, f64::max);
         // Foreground: one spike near the full retrain cost; background:
         // worst latency orders of magnitude smaller.
         assert!(
@@ -580,7 +589,11 @@ mod tests {
             seed: 4,
         });
         let mut sut = BTreeSut::build(&data).unwrap();
-        let r = run_kv_scenario(&mut sut, &s, DriverConfig { max_ops: 500 }).unwrap();
+        let cfg = DriverConfig {
+            max_ops: 500,
+            ..DriverConfig::default()
+        };
+        let r = run_kv_scenario(&mut sut, &s, cfg).unwrap();
         let service_bound = 200.0 / s.work_units_per_second;
         assert!(
             r.ops.iter().all(|o| o.latency <= service_bound),

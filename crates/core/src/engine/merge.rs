@@ -1,0 +1,160 @@
+//! Deterministic folding of per-lane results into one [`RunRecord`].
+//!
+//! The merged record has the exact shape the serial driver produces, so
+//! every downstream metric family — adaptability curves, SLA bands,
+//! specialization box plots — works on concurrent runs unchanged. All
+//! merge rules are commutative/associative (sorts with total orders, min
+//! per phase, sums), so the output is identical for any worker count and
+//! any lane-arrival order.
+
+use super::latency::LaneRecorder;
+use super::worker::LaneResult;
+use super::EngineReport;
+use crate::record::{RunRecord, TrainInfo};
+use crate::scenario::Scenario;
+use crate::Result;
+use lsbench_sut::sut::SutMetrics;
+use std::collections::BTreeMap;
+
+/// Sums SUT metric counters across shards (for shared mode the single
+/// SUT's metrics pass through unchanged).
+pub(crate) fn sum_metrics<I: IntoIterator<Item = SutMetrics>>(metrics: I) -> SutMetrics {
+    metrics
+        .into_iter()
+        .fold(SutMetrics::default(), |mut acc, m| {
+            acc.size_bytes += m.size_bytes;
+            acc.training_work += m.training_work;
+            acc.execution_work += m.execution_work;
+            acc.model_count += m.model_count;
+            acc.adaptations += m.adaptations;
+            acc.label_collection_work += m.label_collection_work;
+            acc
+        })
+}
+
+/// Run-level context the merge folds lane results into.
+pub(crate) struct MergeContext<'a> {
+    pub sut_name: String,
+    pub scenario: &'a Scenario,
+    pub train: TrainInfo,
+    pub exec_start: f64,
+    pub final_metrics: SutMetrics,
+    pub interval_width: f64,
+    pub threads: usize,
+    pub lanes: usize,
+}
+
+/// Folds lane results into an [`EngineReport`].
+pub(crate) fn merge_lanes(
+    mut lanes: Vec<LaneResult>,
+    ctx: MergeContext<'_>,
+) -> Result<EngineReport> {
+    let MergeContext {
+        sut_name,
+        scenario,
+        train,
+        exec_start,
+        final_metrics,
+        interval_width,
+        threads,
+        lanes: lane_count,
+    } = ctx;
+    // Deterministic fold order regardless of which worker finished first.
+    lanes.sort_by_key(|l| l.lane);
+
+    // Completion order across lanes: by virtual completion time, with
+    // (lane, global index) as a total-order tiebreaker for simultaneous
+    // completions.
+    let mut tagged: Vec<(usize, u64, crate::record::OpRecord)> = Vec::new();
+    for lane in &lanes {
+        tagged.extend(lane.ops.iter().map(|&(idx, rec)| (lane.lane, idx, rec)));
+    }
+    tagged.sort_by(|a, b| {
+        a.2.t_end
+            .total_cmp(&b.2.t_end)
+            .then(a.0.cmp(&b.0))
+            .then(a.1.cmp(&b.1))
+    });
+    let ops = tagged.into_iter().map(|(_, _, rec)| rec).collect();
+
+    // A phase becomes active when the first lane reaches it.
+    let mut first_seen: BTreeMap<usize, f64> = BTreeMap::new();
+    first_seen.insert(0, exec_start);
+    for lane in &lanes {
+        for &(phase, t) in &lane.phase_first {
+            first_seen
+                .entry(phase)
+                .and_modify(|cur| *cur = cur.min(t))
+                .or_insert(t);
+        }
+    }
+    let mut phase_change_times: Vec<(usize, f64)> = first_seen.into_iter().collect();
+    phase_change_times.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+
+    let exec_end = lanes
+        .iter()
+        .map(|l| l.final_clock)
+        .fold(exec_start, f64::max);
+
+    let mut recorder = LaneRecorder::new(exec_start, interval_width)?;
+    for lane in &lanes {
+        recorder.merge(&lane.recorder)?;
+    }
+
+    let record = RunRecord {
+        sut_name,
+        scenario_name: scenario.name.clone(),
+        phase_names: scenario
+            .workload
+            .phases()
+            .iter()
+            .map(|p| p.name.clone())
+            .collect(),
+        ops,
+        phase_change_times,
+        train,
+        exec_start,
+        exec_end,
+        final_metrics,
+        work_units_per_second: scenario.work_units_per_second,
+    };
+    Ok(EngineReport {
+        record,
+        latency: recorder.hist,
+        completions: recorder.counts,
+        threads,
+        lanes: lane_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_sum_fieldwise() {
+        let a = SutMetrics {
+            size_bytes: 10,
+            training_work: 1,
+            execution_work: 100,
+            model_count: 2,
+            adaptations: 3,
+            label_collection_work: 4,
+        };
+        let b = SutMetrics {
+            size_bytes: 20,
+            training_work: 2,
+            execution_work: 200,
+            model_count: 1,
+            adaptations: 5,
+            label_collection_work: 6,
+        };
+        let s = sum_metrics([a, b]);
+        assert_eq!(s.size_bytes, 30);
+        assert_eq!(s.training_work, 3);
+        assert_eq!(s.execution_work, 300);
+        assert_eq!(s.model_count, 3);
+        assert_eq!(s.adaptations, 8);
+        assert_eq!(s.label_collection_work, 10);
+    }
+}

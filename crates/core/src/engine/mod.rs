@@ -1,0 +1,828 @@
+//! The concurrent execution engine.
+//!
+//! The serial driver ([`crate::driver`]) runs one operation at a time on
+//! one virtual clock. This module executes the same scenarios with **N
+//! logical lanes** mapped onto **M worker threads**, in either of the two
+//! textbook load models:
+//!
+//! * **Closed loop** — each lane issues its next operation as soon as the
+//!   previous one completes; latency is pure service time.
+//! * **Open loop** — operations arrive on their own schedule, taken from
+//!   the scenario's [`ArrivalSpec`](crate::scenario::ArrivalSpec). The
+//!   engine pre-computes every operation's *intended* start time from the
+//!   seeded arrival process and measures latency as *completion −
+//!   intended start*. A lane that falls behind does not slow the arrival
+//!   schedule down, so queueing delay is fully charged to the operations
+//!   that queued — the measurement is **coordinated-omission-safe**.
+//!
+//! Lanes — not threads — determine results: every lane runs the serial
+//! driver's loop on its own virtual clock over its own operation
+//! subsequence, so a run with 4 lanes produces bit-identical merged
+//! output whether it used 1, 2, or 4 worker threads. Workers pull
+//! pre-partitioned operation [`Batch`](worker::Batch)es over crossbeam
+//! channels (lane → worker by `lane % threads`).
+//!
+//! Two sharing models are provided:
+//!
+//! * [`run_concurrent_kv_scenario`] — all lanes execute against **one
+//!   shared SUT** behind a mutex (lane index = stream index mod lanes).
+//!   The lock provides physical exclusion only; virtual time assumes the
+//!   lanes proceed in parallel. Deterministic for read-only workloads;
+//!   with writes, SUT-internal adaptation may depend on thread
+//!   interleaving.
+//! * [`run_sharded_kv_scenario`] — the key space is split at dataset-key
+//!   quantiles ([`shard_dataset`]) and each lane **owns one shard SUT**
+//!   (lane index = [`KeyRouter::route`]). Deterministic even with writes,
+//!   since each shard observes exactly its own key-ordered subsequence.
+//!
+//! The merged [`EngineReport`] contains a [`RunRecord`] of the exact
+//! shape the serial driver produces, so adaptability, SLA-band, and
+//! specialization metrics work on concurrent runs unchanged.
+
+mod latency;
+mod merge;
+mod shard;
+mod worker;
+
+pub use shard::{shard_dataset, KeyRouter};
+
+use crate::driver::DriverConfig;
+use crate::record::{RunRecord, TrainInfo};
+use crate::scenario::Scenario;
+use crate::{BenchError, Result};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lsbench_stats::{IntervalCounts, LatencyHistogram};
+use lsbench_sut::sut::SystemUnderTest;
+use lsbench_workload::arrival::ArrivalGenerator;
+use lsbench_workload::ops::Operation;
+use lsbench_workload::phases::LabeledOp;
+use merge::{merge_lanes, sum_metrics, MergeContext};
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use worker::{run_worker, Batch, LaneOp, LaneParams, LaneResult, WorkerSut};
+
+/// One lane's shard assignment handed to a worker.
+type ShardSlot<'a> = (usize, &'a mut Box<dyn SystemUnderTest<Operation> + Send>);
+
+/// Concurrent-engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Worker threads (physical parallelism; never affects results).
+    pub threads: usize,
+    /// Logical lanes (determines the partitioning and the results).
+    pub lanes: usize,
+    /// Cap on executed operations.
+    pub max_ops: u64,
+    /// Operations per channel batch.
+    pub batch_size: usize,
+    /// Width of the per-interval completion counters, in virtual seconds.
+    pub completion_interval: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            lanes: 1,
+            max_ops: u64::MAX,
+            batch_size: 1024,
+            completion_interval: 0.01,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// `n` threads driving `n` lanes — the common "scale both" shape the
+    /// CLI's `--threads` flag uses.
+    pub fn with_concurrency(n: usize) -> Self {
+        EngineConfig {
+            threads: n,
+            lanes: n,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Derives an engine configuration from the serial driver's knobs.
+    pub fn from_driver(config: &DriverConfig) -> Self {
+        EngineConfig {
+            max_ops: config.max_ops,
+            ..EngineConfig::with_concurrency(config.concurrency.max(1))
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.threads == 0 || self.lanes == 0 || self.batch_size == 0 {
+            return Err(BenchError::InvalidScenario(
+                "engine threads, lanes, and batch_size must be at least 1".to_string(),
+            ));
+        }
+        if !(self.completion_interval > 0.0 && self.completion_interval.is_finite()) {
+            return Err(BenchError::InvalidScenario(
+                "engine completion_interval must be positive and finite".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a concurrent run: the merged serial-shaped record plus the
+/// engine's own mergeable statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// Merged run record, same shape as the serial driver's.
+    pub record: RunRecord,
+    /// Log-bucketed latency histogram (nanoseconds of virtual time).
+    pub latency: LatencyHistogram,
+    /// Completions per fixed-width interval, anchored at `exec_start`.
+    pub completions: IntervalCounts,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Logical lanes used.
+    pub lanes: usize,
+}
+
+/// Pre-computes every operation's intended start time (absolute virtual
+/// seconds) from the scenario's seeded arrival process. Returns `None`
+/// for closed-loop scenarios.
+///
+/// Per-phase [`concurrency_burst`](lsbench_workload::phases::WorkloadPhase::concurrency_burst)
+/// factors divide the inter-arrival gaps while their phase is active, so a
+/// burst of 2.0 doubles the offered load for that stretch of the stream.
+pub(crate) fn intended_times(
+    scenario: &Scenario,
+    labeled: &[LabeledOp],
+    exec_start: f64,
+) -> Result<Option<Vec<f64>>> {
+    let Some(spec) = &scenario.arrival else {
+        return Ok(None);
+    };
+    let mut generator = ArrivalGenerator::new(spec.process, spec.modulation, spec.seed)
+        .map_err(|e| BenchError::Workload(e.to_string()))?;
+    let phases = scenario.workload.phases();
+    let mut raw_prev = 0.0f64;
+    let mut scaled = 0.0f64;
+    let mut out = Vec::with_capacity(labeled.len());
+    for op in labeled {
+        let raw = generator.next_arrival();
+        let gap = raw - raw_prev;
+        raw_prev = raw;
+        let burst = phases
+            .get(op.phase)
+            .map(|p| p.concurrency_burst)
+            .unwrap_or(1.0);
+        scaled += gap / burst;
+        out.push(exec_start + scaled);
+    }
+    Ok(Some(out))
+}
+
+/// Splits one lane's operations into channel batches, marking the last.
+fn make_batches(lane: usize, ops: Vec<LaneOp>, batch_size: usize) -> Vec<Batch> {
+    let mut batches: Vec<Batch> = Vec::with_capacity(ops.len().div_ceil(batch_size));
+    let mut current = Vec::with_capacity(batch_size.min(ops.len()));
+    for op in ops {
+        current.push(op);
+        if current.len() == batch_size {
+            batches.push(Batch {
+                lane,
+                ops: std::mem::take(&mut current),
+                last: false,
+            });
+        }
+    }
+    if !current.is_empty() {
+        batches.push(Batch {
+            lane,
+            ops: current,
+            last: true,
+        });
+    } else if let Some(last) = batches.last_mut() {
+        last.last = true;
+    }
+    batches
+}
+
+/// Streams the scenario workload, capped at `max_ops`.
+fn collect_stream(scenario: &Scenario, max_ops: u64) -> Result<Vec<LabeledOp>> {
+    let stream = scenario
+        .workload
+        .stream()
+        .map_err(|e| BenchError::Workload(e.to_string()))?;
+    let cap = scenario.workload.total_ops().min(max_ops) as usize;
+    Ok(stream.take(cap).collect())
+}
+
+/// Sends every lane's batches to its worker's channel, then hangs up.
+fn enqueue_lanes(
+    lane_ops: Vec<Vec<LaneOp>>,
+    senders: Vec<Sender<Batch>>,
+    batch_size: usize,
+) -> Result<()> {
+    let threads = senders.len();
+    for (lane, ops) in lane_ops.into_iter().enumerate() {
+        if ops.is_empty() {
+            continue;
+        }
+        let sender = &senders[lane % threads];
+        for batch in make_batches(lane, ops, batch_size) {
+            sender
+                .send(batch)
+                .map_err(|_| BenchError::Sut("engine worker hung up early".to_string()))?;
+        }
+    }
+    Ok(())
+}
+
+/// Joins worker handles, surfacing the first error or panic.
+fn join_workers(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<Vec<LaneResult>>>>,
+) -> Result<Vec<LaneResult>> {
+    let mut all = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(mut lanes)) => all.append(&mut lanes),
+            Ok(Err(e)) => return Err(e),
+            Err(_) => return Err(BenchError::Sut("engine worker panicked".to_string())),
+        }
+    }
+    Ok(all)
+}
+
+/// Runs a scenario with every lane executing against one **shared** SUT
+/// behind a mutex. Operations are dealt to lanes round-robin
+/// (`stream index mod lanes`).
+///
+/// The mutex provides physical mutual exclusion only; each lane keeps its
+/// own virtual clock, so the model is an N-way parallel server over
+/// shared state. Only the globally first operation of each phase
+/// announces the phase change. Results are deterministic for read-only
+/// workloads; use [`run_sharded_kv_scenario`] when writes must stay
+/// reproducible.
+pub fn run_concurrent_kv_scenario<S>(
+    sut: &mut S,
+    scenario: &Scenario,
+    config: &EngineConfig,
+) -> Result<EngineReport>
+where
+    S: SystemUnderTest<Operation> + Send + ?Sized,
+{
+    scenario.validate()?;
+    config.validate()?;
+    let rate = scenario.work_units_per_second;
+    let labeled = collect_stream(scenario, config.max_ops)?;
+
+    let sut_name = sut.name();
+    let train_work = sut.train(scenario.train_budget);
+    let exec_start = train_work as f64 / rate;
+    let train = TrainInfo {
+        work: train_work,
+        seconds: exec_start,
+    };
+
+    let intended = intended_times(scenario, &labeled, exec_start)?;
+    let lanes = config.lanes;
+    let mut lane_ops: Vec<Vec<LaneOp>> = vec![Vec::new(); lanes];
+    let mut current_phase = 0usize;
+    for (i, op) in labeled.iter().enumerate() {
+        let announce = op.phase != current_phase;
+        if announce {
+            current_phase = op.phase;
+        }
+        lane_ops[i % lanes].push(LaneOp {
+            labeled: *op,
+            idx: i as u64,
+            intended: intended.as_ref().map(|v| v[i]),
+            announce,
+        });
+    }
+
+    let threads = config.threads.min(lanes).max(1);
+    let params = LaneParams {
+        rate,
+        maintenance_every: scenario.maintenance_every,
+        online_train: scenario.online_train,
+        exec_start,
+        interval_width: config.completion_interval,
+    };
+    let mutex = Mutex::new(sut);
+    let mut senders: Vec<Sender<Batch>> = Vec::with_capacity(threads);
+    let mut receivers: Vec<Receiver<Batch>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    // `enqueue_lanes` consumes the senders, so workers see end-of-stream
+    // once every batch is queued.
+    enqueue_lanes(lane_ops, senders, config.batch_size)?;
+
+    let lane_results = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for rx in receivers {
+            let mutex_ref = &mutex;
+            handles
+                .push(scope.spawn(move || run_worker(rx, WorkerSut::Shared(mutex_ref), &params)));
+        }
+        join_workers(handles)
+    })?;
+
+    let final_metrics = mutex
+        .into_inner()
+        .map_err(|_| BenchError::Sut("shared SUT mutex poisoned".to_string()))?
+        .metrics();
+    merge_lanes(
+        lane_results,
+        MergeContext {
+            sut_name,
+            scenario,
+            train,
+            exec_start,
+            final_metrics,
+            interval_width: config.completion_interval,
+            threads,
+            lanes,
+        },
+    )
+}
+
+/// Runs a scenario over **key-range-sharded** SUTs: `suts[i]` owns shard
+/// `i` of the key space and is driven by lane `i`. The lane for every
+/// operation is `router.route(op)`, so the partition — and the merged
+/// result — is identical for any worker count, even with writes.
+///
+/// Shard SUTs train in parallel: total training work is the sum, but
+/// execution starts once the *slowest* shard finishes training. Each lane
+/// announces phase changes to its own shard. `suts` is borrowed mutably
+/// so callers can keep using the shards afterwards (e.g. for a hold-out
+/// pass); final metrics are the field-wise sum across shards.
+pub fn run_sharded_kv_scenario(
+    suts: &mut [Box<dyn SystemUnderTest<Operation> + Send>],
+    router: &KeyRouter,
+    scenario: &Scenario,
+    config: &EngineConfig,
+) -> Result<EngineReport> {
+    scenario.validate()?;
+    config.validate()?;
+    if suts.is_empty() {
+        return Err(BenchError::InvalidScenario(
+            "sharded run needs at least one SUT".to_string(),
+        ));
+    }
+    if suts.len() != router.shards() {
+        return Err(BenchError::InvalidScenario(format!(
+            "router splits {} ways but {} shard SUTs were given",
+            router.shards(),
+            suts.len()
+        )));
+    }
+    let rate = scenario.work_units_per_second;
+    let labeled = collect_stream(scenario, config.max_ops)?;
+
+    let sut_name = suts[0].name();
+    let mut train_work_total = 0u64;
+    let mut slowest_train = 0u64;
+    for sut in suts.iter_mut() {
+        let work = sut.train(scenario.train_budget);
+        train_work_total += work;
+        slowest_train = slowest_train.max(work);
+    }
+    let exec_start = slowest_train as f64 / rate;
+    let train = TrainInfo {
+        work: train_work_total,
+        seconds: exec_start,
+    };
+
+    let intended = intended_times(scenario, &labeled, exec_start)?;
+    let lanes = suts.len();
+    let mut lane_ops: Vec<Vec<LaneOp>> = vec![Vec::new(); lanes];
+    let mut lane_phase = vec![0usize; lanes];
+    for (i, op) in labeled.iter().enumerate() {
+        let lane = router.route(&op.op);
+        let announce = op.phase != lane_phase[lane];
+        if announce {
+            lane_phase[lane] = op.phase;
+        }
+        lane_ops[lane].push(LaneOp {
+            labeled: *op,
+            idx: i as u64,
+            intended: intended.as_ref().map(|v| v[i]),
+            announce,
+        });
+    }
+
+    let threads = config.threads.min(lanes).max(1);
+    let params = LaneParams {
+        rate,
+        maintenance_every: scenario.maintenance_every,
+        online_train: scenario.online_train,
+        exec_start,
+        interval_width: config.completion_interval,
+    };
+    let mut senders: Vec<Sender<Batch>> = Vec::with_capacity(threads);
+    let mut receivers: Vec<Receiver<Batch>> = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    enqueue_lanes(lane_ops, senders, config.batch_size)?;
+
+    let mut per_worker: Vec<Vec<ShardSlot<'_>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (lane, sut) in suts.iter_mut().enumerate() {
+        per_worker[lane % threads].push((lane, sut));
+    }
+
+    let lane_results = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (rx, worker_suts) in receivers.into_iter().zip(per_worker) {
+            handles.push(scope.spawn(move || {
+                let suts: WorkerSut<'_, '_, dyn SystemUnderTest<Operation> + Send> =
+                    WorkerSut::Sharded(worker_suts);
+                run_worker(rx, suts, &params)
+            }));
+        }
+        join_workers(handles)
+    })?;
+
+    let final_metrics = sum_metrics(suts.iter().map(|s| s.metrics()));
+    merge_lanes(
+        lane_results,
+        MergeContext {
+            sut_name,
+            scenario,
+            train,
+            exec_start,
+            final_metrics,
+            interval_width: config.completion_interval,
+            threads,
+            lanes,
+        },
+    )
+}
+
+/// Runs the scenario's hold-out workload once against already-run shard
+/// SUTs (single pass, no maintenance, no phase announcements — the same
+/// adaptation-free contract as [`crate::holdout::run_holdout`]).
+pub fn run_sharded_holdout(
+    suts: &mut [Box<dyn SystemUnderTest<Operation> + Send>],
+    router: &KeyRouter,
+    scenario: &Scenario,
+    config: &EngineConfig,
+) -> Result<EngineReport> {
+    let one_shot = crate::holdout::one_shot_scenario(scenario)?;
+    run_sharded_kv_scenario(suts, router, &one_shot, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_kv_scenario;
+    use crate::scenario::ArrivalSpec;
+    use lsbench_sut::kv::BTreeSut;
+    use lsbench_sut::sut::{ExecOutcome, SutMetrics};
+    use lsbench_sut::Result as SutResult;
+    use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
+    use lsbench_workload::dataset::Dataset;
+    use lsbench_workload::keygen::KeyDistribution;
+    use lsbench_workload::ops::OperationMix;
+    use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
+
+    fn shift_scenario() -> Scenario {
+        Scenario::two_phase_shift(
+            "engine-shift",
+            KeyDistribution::Uniform,
+            KeyDistribution::Normal {
+                center: 0.1,
+                std_frac: 0.02,
+            },
+            5_000,
+            2_000,
+            42,
+        )
+        .unwrap()
+    }
+
+    fn boxed_shards(datasets: &[Dataset]) -> Vec<Box<dyn SystemUnderTest<Operation> + Send>> {
+        datasets
+            .iter()
+            .map(|d| {
+                Box::new(BTreeSut::build(d).unwrap()) as Box<dyn SystemUnderTest<Operation> + Send>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes1_closed_loop_matches_serial_driver() {
+        let s = shift_scenario();
+        let data = s.dataset.build().unwrap();
+        let mut serial_sut = BTreeSut::build(&data).unwrap();
+        let serial = run_kv_scenario(&mut serial_sut, &s, DriverConfig::default()).unwrap();
+        let mut engine_sut = BTreeSut::build(&data).unwrap();
+        let report =
+            run_concurrent_kv_scenario(&mut engine_sut, &s, &EngineConfig::default()).unwrap();
+        // One lane, closed loop: the engine *is* the serial driver —
+        // bit-identical virtual timeline, not just statistically close.
+        assert_eq!(report.record.ops, serial.ops);
+        assert_eq!(report.record.phase_change_times, serial.phase_change_times);
+        assert_eq!(report.record.exec_start, serial.exec_start);
+        assert_eq!(report.record.exec_end, serial.exec_end);
+        assert_eq!(report.record.final_metrics, serial.final_metrics);
+        assert_eq!(report.latency.total(), serial.ops.len() as u64);
+        assert_eq!(report.completions.total(), serial.ops.len() as u64);
+    }
+
+    #[test]
+    fn shared_mode_is_thread_invariant_for_reads() {
+        let s = shift_scenario();
+        let data = s.dataset.build().unwrap();
+        let run = |threads: usize| {
+            let mut sut = BTreeSut::build(&data).unwrap();
+            let config = EngineConfig {
+                threads,
+                lanes: 4,
+                ..EngineConfig::default()
+            };
+            run_concurrent_kv_scenario(&mut sut, &s, &config).unwrap()
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        for other in [&two, &four] {
+            assert_eq!(one.record.ops, other.record.ops);
+            assert_eq!(
+                one.record.phase_change_times,
+                other.record.phase_change_times
+            );
+            assert_eq!(one.record.exec_end, other.record.exec_end);
+            assert_eq!(one.latency, other.latency);
+            assert_eq!(one.completions, other.completions);
+        }
+        assert_eq!(one.record.ops.len(), 4_000);
+    }
+
+    #[test]
+    fn sharded_lanes_raise_throughput() {
+        let s = shift_scenario();
+        let data = s.dataset.build().unwrap();
+        let mut serial_sut = BTreeSut::build(&data).unwrap();
+        let serial = run_kv_scenario(&mut serial_sut, &s, DriverConfig::default()).unwrap();
+        let (router, datasets) = shard_dataset(&data, 4).unwrap();
+        let mut suts = boxed_shards(&datasets);
+        let report =
+            run_sharded_kv_scenario(&mut suts, &router, &s, &EngineConfig::with_concurrency(4))
+                .unwrap();
+        assert_eq!(report.record.completed(), serial.completed());
+        // Four closed-loop lanes advance four clocks in parallel, so the
+        // merged run finishes far sooner than the serial one.
+        assert!(
+            report.record.mean_throughput() > 2.0 * serial.mean_throughput(),
+            "sharded {} vs serial {}",
+            report.record.mean_throughput(),
+            serial.mean_throughput()
+        );
+    }
+
+    #[test]
+    fn sharded_mode_is_thread_invariant_with_writes() {
+        let mut s = shift_scenario();
+        let key_range = (0u64, 10_000_000u64);
+        let write_mix = OperationMix {
+            read: 0.6,
+            insert: 0.3,
+            update: 0.1,
+            scan: 0.0,
+            delete: 0.0,
+            max_scan_len: 0,
+        };
+        s.workload = PhasedWorkload::new(
+            vec![
+                WorkloadPhase::new(
+                    "reads",
+                    KeyDistribution::Uniform,
+                    key_range,
+                    OperationMix::ycsb_c(),
+                    2_000,
+                ),
+                WorkloadPhase::new(
+                    "writes",
+                    KeyDistribution::Uniform,
+                    key_range,
+                    write_mix,
+                    2_000,
+                ),
+            ],
+            vec![TransitionKind::Abrupt],
+            42,
+        )
+        .unwrap();
+        let data = s.dataset.build().unwrap();
+        let (router, datasets) = shard_dataset(&data, 4).unwrap();
+        let run = |threads: usize| {
+            let mut suts = boxed_shards(&datasets);
+            let config = EngineConfig {
+                threads,
+                lanes: 4,
+                ..EngineConfig::default()
+            };
+            run_sharded_kv_scenario(&mut suts, &router, &s, &config).unwrap()
+        };
+        let one = run(1);
+        let two = run(2);
+        let four = run(4);
+        for other in [&two, &four] {
+            // Key-range routing fixes each shard's op subsequence, so even
+            // mutating workloads merge identically for any thread count.
+            assert_eq!(one.record.ops, other.record.ops);
+            assert_eq!(
+                one.record.phase_change_times,
+                other.record.phase_change_times
+            );
+            assert_eq!(one.record.exec_end, other.record.exec_end);
+            assert_eq!(one.record.final_metrics, other.record.final_metrics);
+            assert_eq!(one.latency, other.latency);
+            assert_eq!(one.completions, other.completions);
+        }
+        assert_eq!(one.record.completed(), 4_000);
+    }
+
+    /// A deliberately slow SUT: 200 work units per op = 5 000 ops/s
+    /// capacity at the default 1 M work-units/s rate.
+    struct SlowSut;
+    impl SystemUnderTest<Operation> for SlowSut {
+        fn name(&self) -> String {
+            "slow".to_string()
+        }
+        fn train(&mut self, _budget: u64) -> u64 {
+            0
+        }
+        fn execute(&mut self, _op: &Operation) -> SutResult<ExecOutcome> {
+            Ok(ExecOutcome::ok(200))
+        }
+        fn metrics(&self) -> SutMetrics {
+            SutMetrics::default()
+        }
+    }
+
+    #[test]
+    fn open_loop_overload_charges_queueing_delay() {
+        // 10k ops/s offered against a 5k ops/s server: the queue grows for
+        // the whole run. A coordinated-omission-prone driver would report
+        // flat per-op service times; measuring from *intended* start makes
+        // the linearly growing wait visible.
+        let mut s = shift_scenario();
+        s.arrival = Some(ArrivalSpec {
+            process: ArrivalProcess::Uniform { rate: 10_000.0 },
+            modulation: LoadModulation::Constant,
+            seed: 9,
+        });
+        let mut sut = SlowSut;
+        let report = run_concurrent_kv_scenario(&mut sut, &s, &EngineConfig::default()).unwrap();
+        let ops = &report.record.ops;
+        assert_eq!(ops.len(), 4_000);
+        let mean = |slice: &[crate::record::OpRecord]| {
+            slice.iter().map(|o| o.latency).sum::<f64>() / slice.len() as f64
+        };
+        let early = mean(&ops[..200]);
+        let late = mean(&ops[ops.len() - 200..]);
+        assert!(
+            late > 10.0 * early,
+            "queueing delay should grow: early {early} late {late}"
+        );
+        // Every op's latency is at least its 200-unit service time.
+        assert!(ops.iter().all(|o| o.latency >= 200.0 / 1e6));
+    }
+
+    #[test]
+    fn intended_times_track_poisson_rate() {
+        let mut s = shift_scenario();
+        let rate = 5_000.0;
+        s.arrival = Some(ArrivalSpec {
+            process: ArrivalProcess::Poisson { rate },
+            modulation: LoadModulation::Constant,
+            seed: 17,
+        });
+        let labeled = collect_stream(&s, u64::MAX).unwrap();
+        let times = intended_times(&s, &labeled, 0.5).unwrap().unwrap();
+        assert_eq!(times.len(), 4_000);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+        assert!(times[0] >= 0.5);
+        let span = times.last().unwrap() - 0.5;
+        let observed = times.len() as f64 / span;
+        assert!(
+            (observed - rate).abs() / rate < 0.1,
+            "observed rate {observed} vs {rate}"
+        );
+    }
+
+    #[test]
+    fn concurrency_burst_compresses_phase_arrivals() {
+        let mut s = shift_scenario();
+        let key_range = (0u64, 10_000_000u64);
+        let phase = |name: &str, ops| {
+            WorkloadPhase::new(
+                name,
+                KeyDistribution::Uniform,
+                key_range,
+                OperationMix::ycsb_c(),
+                ops,
+            )
+        };
+        s.workload = PhasedWorkload::new(
+            vec![
+                phase("steady", 2_000),
+                phase("burst", 2_000).with_concurrency_burst(2.0),
+            ],
+            vec![TransitionKind::Abrupt],
+            7,
+        )
+        .unwrap();
+        s.arrival = Some(ArrivalSpec {
+            process: ArrivalProcess::Uniform { rate: 1_000.0 },
+            modulation: LoadModulation::Constant,
+            seed: 7,
+        });
+        let labeled = collect_stream(&s, u64::MAX).unwrap();
+        let times = intended_times(&s, &labeled, 0.0).unwrap().unwrap();
+        let span0 = times[1_999] - times[0];
+        let span1 = times[3_999] - times[2_000];
+        // Burst 2.0 halves the inter-arrival gaps, doubling offered load.
+        let ratio = span0 / span1;
+        assert!((ratio - 2.0).abs() < 0.02, "span ratio {ratio}");
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_knobs() {
+        let s = shift_scenario();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        for bad in [
+            EngineConfig {
+                threads: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                lanes: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                batch_size: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                completion_interval: 0.0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                completion_interval: f64::NAN,
+                ..EngineConfig::default()
+            },
+        ] {
+            assert!(run_concurrent_kv_scenario(&mut sut, &s, &bad).is_err());
+        }
+        // Shard-count mismatch is rejected too.
+        let (router, datasets) = shard_dataset(&data, 3).unwrap();
+        let mut suts = boxed_shards(&datasets[..2]);
+        assert!(run_sharded_kv_scenario(&mut suts, &router, &s, &EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn max_ops_caps_the_stream() {
+        let s = shift_scenario();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let config = EngineConfig {
+            max_ops: 100,
+            ..EngineConfig::with_concurrency(2)
+        };
+        let report = run_concurrent_kv_scenario(&mut sut, &s, &config).unwrap();
+        assert_eq!(report.record.completed(), 100);
+    }
+
+    #[test]
+    fn sharded_holdout_runs_once_without_retraining() {
+        let mut s = shift_scenario();
+        s.holdout = Some(
+            PhasedWorkload::single(
+                WorkloadPhase::new(
+                    "holdout",
+                    KeyDistribution::Uniform,
+                    (0, 10_000_000),
+                    OperationMix::ycsb_c(),
+                    500,
+                ),
+                99,
+            )
+            .unwrap(),
+        );
+        let data = s.dataset.build().unwrap();
+        let (router, datasets) = shard_dataset(&data, 2).unwrap();
+        let mut suts = boxed_shards(&datasets);
+        let config = EngineConfig::with_concurrency(2);
+        let main = run_sharded_kv_scenario(&mut suts, &router, &s, &config).unwrap();
+        let hold = run_sharded_holdout(&mut suts, &router, &s, &config).unwrap();
+        assert_eq!(hold.record.completed(), 500);
+        assert_eq!(hold.record.train.work, 0, "hold-out must not retrain");
+        let report = crate::HoldoutReport::new(&main.record, &hold.record).unwrap();
+        assert!(report.generalization_ratio > 0.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Worker threads and per-lane execution state.
+//!
+//! The engine pre-partitions the operation stream into *lanes* (logical
+//! concurrency) and maps lanes onto *workers* (physical threads) by
+//! `lane % threads`. Workers pull [`Batch`]es over crossbeam channels and
+//! drive each lane through exactly the serial driver's loop — phase
+//! announcement, maintenance slot, arrival wait, execute, backlog-aware
+//! service — on the lane's own virtual clock. Because each lane's virtual
+//! timeline depends only on its operation subsequence (never on thread
+//! scheduling), results are reproducible for any worker count.
+
+use super::latency::LaneRecorder;
+use crate::driver::service_with_backlog;
+use crate::record::OpRecord;
+use crate::scenario::OnlineTrainMode;
+use crate::{BenchError, Result};
+use crossbeam::channel::Receiver;
+use lsbench_sut::sut::SystemUnderTest;
+use lsbench_workload::ops::Operation;
+use lsbench_workload::phases::LabeledOp;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One operation assigned to a lane.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneOp {
+    /// The labeled operation from the workload stream.
+    pub labeled: LabeledOp,
+    /// Global stream index (deterministic merge tiebreaker).
+    pub idx: u64,
+    /// Open loop: intended start time in absolute virtual seconds.
+    /// Coordinated-omission safety hinges on latency being measured from
+    /// this schedule, not from when the lane got around to the operation.
+    pub intended: Option<f64>,
+    /// Whether this operation announces its phase change to the SUT
+    /// (shared mode: only the globally first operation of a phase;
+    /// sharded mode: the first operation of the phase in each lane).
+    pub announce: bool,
+}
+
+/// A chunk of one lane's operations, pulled by a worker.
+#[derive(Debug)]
+pub(crate) struct Batch {
+    /// Lane the operations belong to.
+    pub lane: usize,
+    /// The operations, in lane order.
+    pub ops: Vec<LaneOp>,
+    /// True on the lane's final batch: the lane pays any remaining
+    /// adaptation backlog and freezes its clock.
+    pub last: bool,
+}
+
+/// Scenario-derived parameters every lane shares.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneParams {
+    /// Work units per virtual second.
+    pub rate: f64,
+    /// Offer a maintenance slot every this many lane-local operations.
+    pub maintenance_every: u64,
+    /// Online-training scheduling mode.
+    pub online_train: OnlineTrainMode,
+    /// Virtual time execution starts (training already paid).
+    pub exec_start: f64,
+    /// Completion-counter interval width.
+    pub interval_width: f64,
+}
+
+/// Everything one lane produced, returned to the coordinator at join.
+#[derive(Debug)]
+pub(crate) struct LaneResult {
+    /// Lane index.
+    pub lane: usize,
+    /// Completed operations as `(global index, record)`.
+    pub ops: Vec<(u64, OpRecord)>,
+    /// Virtual time this lane first saw each phase (phase 0 excluded; the
+    /// merge anchors it at `exec_start`).
+    pub phase_first: Vec<(usize, f64)>,
+    /// Lane clock after the final operation and backlog payment.
+    pub final_clock: f64,
+    /// Latency histogram + per-interval completion counts.
+    pub recorder: LaneRecorder,
+}
+
+/// How a worker reaches the system(s) under test.
+///
+/// `'env` is the scoped-thread borrow; `'sut` is the caller's SUT borrow
+/// (longer-lived — `Mutex` is invariant in its contents, so conflating the
+/// two would pin the mutex borrow for the whole caller).
+pub(crate) enum WorkerSut<'env, 'sut, S: ?Sized> {
+    /// One SUT shared by every lane behind a mutex (lock per operation).
+    Shared(&'env Mutex<&'sut mut S>),
+    /// Key-range sharding: this worker exclusively owns its lanes' shards.
+    Sharded(Vec<(usize, &'env mut Box<dyn SystemUnderTest<Operation> + Send>)>),
+}
+
+/// Per-lane virtual execution state, advanced one operation at a time in
+/// exactly the serial driver's order.
+struct LaneState {
+    clock: f64,
+    backlog: f64,
+    since_maintenance: u64,
+    current_phase: usize,
+    ops: Vec<(u64, OpRecord)>,
+    phase_first: Vec<(usize, f64)>,
+    recorder: LaneRecorder,
+}
+
+impl LaneState {
+    fn new(params: &LaneParams) -> Result<Self> {
+        Ok(LaneState {
+            clock: params.exec_start,
+            backlog: 0.0,
+            since_maintenance: 0,
+            current_phase: 0,
+            ops: Vec::new(),
+            phase_first: Vec::new(),
+            recorder: LaneRecorder::new(params.exec_start, params.interval_width)?,
+        })
+    }
+
+    fn step<T: SystemUnderTest<Operation> + ?Sized>(
+        &mut self,
+        sut: &mut T,
+        op: &LaneOp,
+        params: &LaneParams,
+    ) -> Result<()> {
+        let labeled = &op.labeled;
+        if labeled.phase != self.current_phase {
+            self.current_phase = labeled.phase;
+            self.phase_first.push((labeled.phase, self.clock));
+            if op.announce {
+                let adapt_work = sut.on_phase_change(labeled.phase);
+                self.backlog += adapt_work as f64 / params.rate;
+            }
+        }
+        self.since_maintenance += 1;
+        if self.since_maintenance >= params.maintenance_every {
+            self.since_maintenance = 0;
+            self.backlog += sut.maintenance() as f64 / params.rate;
+        }
+        // Open loop: idle until the intended start if the lane is ahead of
+        // schedule; if it is behind, the operation has been queueing and
+        // its wait will surface in the latency below.
+        if let Some(intended) = op.intended {
+            if intended > self.clock {
+                self.clock = intended;
+            }
+        }
+        let outcome = sut
+            .execute(&labeled.op)
+            .map_err(|e| BenchError::Sut(e.to_string()))?;
+        let service = service_with_backlog(
+            outcome.work as f64 / params.rate,
+            &mut self.backlog,
+            params.online_train,
+        );
+        self.clock += service;
+        // Closed loop: latency = service. Open loop: completion minus the
+        // *intended* start, so queueing delay is never omitted.
+        let latency = match op.intended {
+            Some(intended) => self.clock - intended,
+            None => service,
+        };
+        let record = OpRecord {
+            t_end: self.clock,
+            latency,
+            phase: labeled.phase as u16,
+            ok: outcome.ok,
+            in_transition: labeled.in_transition,
+        };
+        self.recorder.record(self.clock, latency)?;
+        self.ops.push((op.idx, record));
+        Ok(())
+    }
+
+    /// Pays any remaining adaptation backlog (conservation of adaptation
+    /// work, as in the serial driver) and returns the lane's result.
+    fn finish(mut self, lane: usize) -> LaneResult {
+        self.clock += self.backlog;
+        LaneResult {
+            lane,
+            ops: self.ops,
+            phase_first: self.phase_first,
+            final_clock: self.clock,
+            recorder: self.recorder,
+        }
+    }
+}
+
+/// One worker's main loop: drain batches until every sender hangs up,
+/// then return the finished lanes.
+pub(crate) fn run_worker<S>(
+    rx: Receiver<Batch>,
+    mut suts: WorkerSut<'_, '_, S>,
+    params: &LaneParams,
+) -> Result<Vec<LaneResult>>
+where
+    S: SystemUnderTest<Operation> + Send + ?Sized,
+{
+    let mut states: BTreeMap<usize, LaneState> = BTreeMap::new();
+    let mut done: Vec<LaneResult> = Vec::new();
+    for batch in rx.iter() {
+        let mut state = match states.remove(&batch.lane) {
+            Some(s) => s,
+            None => LaneState::new(params)?,
+        };
+        match &mut suts {
+            WorkerSut::Shared(mutex) => {
+                for op in &batch.ops {
+                    // Lock per operation: physical mutual exclusion on the
+                    // shared SUT without serializing whole batches.
+                    let mut guard = mutex
+                        .lock()
+                        .map_err(|_| BenchError::Sut("shared SUT mutex poisoned".to_string()))?;
+                    state.step(&mut **guard, op, params)?;
+                }
+            }
+            WorkerSut::Sharded(owned) => {
+                let sut = owned
+                    .iter_mut()
+                    .find(|(lane, _)| *lane == batch.lane)
+                    .map(|(_, sut)| sut)
+                    .ok_or_else(|| {
+                        BenchError::InvalidScenario(format!(
+                            "lane {} routed to a worker that does not own its shard",
+                            batch.lane
+                        ))
+                    })?;
+                for op in &batch.ops {
+                    state.step(sut.as_mut(), op, params)?;
+                }
+            }
+        }
+        if batch.last {
+            done.push(state.finish(batch.lane));
+        } else {
+            states.insert(batch.lane, state);
+        }
+    }
+    // Lanes whose final batch never arrived would silently truncate the
+    // run; that is a coordinator bug, not a data condition.
+    if !states.is_empty() {
+        return Err(BenchError::InvalidScenario(
+            "worker channel closed before all lanes finished".to_string(),
+        ));
+    }
+    Ok(done)
+}

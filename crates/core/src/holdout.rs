@@ -48,20 +48,16 @@ impl HoldoutReport {
     }
 }
 
-/// Runs the scenario's hold-out workload once (single pass, no phase
-/// notifications, no maintenance — the SUT gets no adaptation opportunity)
-/// and returns its record. Errors if the scenario has no hold-out.
-pub fn run_holdout<S: SystemUnderTest<Operation> + ?Sized>(
-    sut: &mut S,
-    scenario: &Scenario,
-) -> Result<RunRecord> {
+/// Builds the one-shot scenario around a scenario's hold-out workload:
+/// no training, effectively-disabled maintenance, no arrival schedule, no
+/// nested hold-out. Errors if the scenario has no hold-out. Shared by the
+/// serial [`run_holdout`] and the concurrent engine's sharded hold-out.
+pub(crate) fn one_shot_scenario(scenario: &Scenario) -> Result<Scenario> {
     let holdout = scenario
         .holdout
         .as_ref()
         .ok_or_else(|| BenchError::InvalidScenario("scenario has no hold-out".to_string()))?;
-    // Build a one-shot scenario around the hold-out workload with
-    // effectively-disabled maintenance and no training.
-    let one_shot = Scenario {
+    Ok(Scenario {
         name: format!("{}-holdout", scenario.name),
         dataset: scenario.dataset.clone(),
         workload: holdout.clone(),
@@ -72,7 +68,17 @@ pub fn run_holdout<S: SystemUnderTest<Operation> + ?Sized>(
         holdout: None,
         arrival: None,
         online_train: OnlineTrainMode::Foreground,
-    };
+    })
+}
+
+/// Runs the scenario's hold-out workload once (single pass, no phase
+/// notifications, no maintenance — the SUT gets no adaptation opportunity)
+/// and returns its record. Errors if the scenario has no hold-out.
+pub fn run_holdout<S: SystemUnderTest<Operation> + ?Sized>(
+    sut: &mut S,
+    scenario: &Scenario,
+) -> Result<RunRecord> {
+    let one_shot = one_shot_scenario(scenario)?;
     crate::driver::run_kv_scenario(sut, &one_shot, DriverConfig::default())
 }
 

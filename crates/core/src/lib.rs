@@ -17,12 +17,16 @@
 //!   and the Φ distribution-similarity axis ([`metrics::phi`]).
 //! * [`holdout`] — out-of-sample evaluation: hold-out phases executed once,
 //!   reported as an overfitting gap (§V-A).
+//! * [`engine`] — the concurrent execution engine: multi-worker open/
+//!   closed-loop execution with coordinated-omission-safe latency
+//!   recording and deterministic merging.
 //! * [`report`] — plain-text figures (ASCII), CSV series, and JSON
 //!   artifacts so results are comparable across deployments.
 
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod engine;
 pub mod holdout;
 pub mod metrics;
 pub mod record;
@@ -31,6 +35,10 @@ pub mod scenario;
 pub mod suite;
 
 pub use driver::{run_kv_scenario, run_kv_trace, run_query_workload, DriverConfig, ReplayConfig};
+pub use engine::{
+    run_concurrent_kv_scenario, run_sharded_holdout, run_sharded_kv_scenario, shard_dataset,
+    EngineConfig, EngineReport, KeyRouter,
+};
 pub use holdout::HoldoutReport;
 pub use metrics::adaptability::AdaptabilityReport;
 pub use metrics::cost::CostReport;

@@ -260,10 +260,7 @@ mod tests {
         let report = AdaptabilityReport::from_record(&r).unwrap();
         let (_, recovery) = report.recovery_times[0];
         // Transient lasts 100 s; recovery detection should fall near it.
-        assert!(
-            (90.0..=120.0).contains(&recovery),
-            "recovery = {recovery}"
-        );
+        assert!((90.0..=120.0).contains(&recovery), "recovery = {recovery}");
     }
 
     #[test]

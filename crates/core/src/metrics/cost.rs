@@ -190,8 +190,8 @@ mod tests {
     fn tradeoff_finds_crossover() {
         // Three learned runs: more training => more throughput.
         let runs = vec![
-            record(1_000_000_000, 1000, 0.0015), // ~667 ops/s
-            record(20_000_000_000, 1000, 0.0006), // ~1667 ops/s
+            record(1_000_000_000, 1000, 0.0015),   // ~667 ops/s
+            record(20_000_000_000, 1000, 0.0006),  // ~1667 ops/s
             record(400_000_000_000, 1000, 0.0003), // ~3333 ops/s
         ];
         let dba = DbaCostModel::default_model(1000.0); // max 2500

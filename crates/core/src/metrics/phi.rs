@@ -37,8 +37,8 @@ pub fn data_phi(baseline: &[f64], other: &[f64], method: DataPhiMethod) -> Resul
             ks_statistic(baseline, other).map_err(|e| BenchError::Metric(e.to_string()))
         }
         DataPhiMethod::MaximumMeanDiscrepancy => {
-            let m = mmd_rbf(baseline, other, None)
-                .map_err(|e| BenchError::Metric(e.to_string()))?;
+            let m =
+                mmd_rbf(baseline, other, None).map_err(|e| BenchError::Metric(e.to_string()))?;
             Ok(m.max(0.0).sqrt().min(1.0))
         }
     }
@@ -162,8 +162,8 @@ mod tests {
                 std_frac: 0.02,
             },
         ];
-        let ks = distribution_phis(&dists, (0, 100_000), DataPhiMethod::KolmogorovSmirnov, 2)
-            .unwrap();
+        let ks =
+            distribution_phis(&dists, (0, 100_000), DataPhiMethod::KolmogorovSmirnov, 2).unwrap();
         let mmd = distribution_phis(
             &dists,
             (0, 100_000),
@@ -221,9 +221,11 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(distribution_phis(&[], (0, 10), DataPhiMethod::KolmogorovSmirnov, 1)
-            .unwrap()
-            .is_empty());
+        assert!(
+            distribution_phis(&[], (0, 10), DataPhiMethod::KolmogorovSmirnov, 1)
+                .unwrap()
+                .is_empty()
+        );
         assert_eq!(workload_phi(&[], &[]), 0.0);
     }
 }

@@ -43,18 +43,17 @@ impl SlaPolicy {
                 if threshold > 0.0 {
                     Ok(threshold)
                 } else {
-                    Err(BenchError::Metric("SLA threshold must be positive".to_string()))
+                    Err(BenchError::Metric(
+                        "SLA threshold must be positive".to_string(),
+                    ))
                 }
             }
             SlaPolicy::FromBaselineP99 { multiplier } => {
                 let baseline = baseline.ok_or_else(|| {
-                    BenchError::Metric(
-                        "FromBaselineP99 requires a baseline run record".to_string(),
-                    )
+                    BenchError::Metric("FromBaselineP99 requires a baseline run record".to_string())
                 })?;
                 let lats = baseline.all_latencies();
-                let p99 =
-                    quantile(&lats, 0.99).map_err(|e| BenchError::Metric(e.to_string()))?;
+                let p99 = quantile(&lats, 0.99).map_err(|e| BenchError::Metric(e.to_string()))?;
                 Ok(p99 * multiplier)
             }
         }

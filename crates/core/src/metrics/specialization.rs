@@ -87,7 +87,11 @@ impl SpecializationReport {
     /// specialization, small values mean the system collapses on some
     /// distributions.
     pub fn worst_to_best_ratio(&self) -> Option<f64> {
-        let medians: Vec<f64> = self.entries.iter().map(|e| e.throughput.five.median).collect();
+        let medians: Vec<f64> = self
+            .entries
+            .iter()
+            .map(|e| e.throughput.five.median)
+            .collect();
         if medians.is_empty() {
             return None;
         }
@@ -140,8 +144,7 @@ mod tests {
     #[test]
     fn report_builds_and_sorts_by_phi() {
         let r = record_with_speeds(&[100.0, 50.0, 200.0]);
-        let report =
-            SpecializationReport::from_record(&r, &[0.0, 0.9, 0.4], 10, &[]).unwrap();
+        let report = SpecializationReport::from_record(&r, &[0.0, 0.9, 0.4], 10, &[]).unwrap();
         assert_eq!(report.entries.len(), 3);
         // Sorted by phi: p0 (0.0), p2 (0.4), p1 (0.9).
         assert_eq!(report.entries[0].phase, "p0");

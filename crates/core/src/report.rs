@@ -87,7 +87,11 @@ pub fn render_adaptability(reports: &[&AdaptabilityReport]) -> String {
         let mut line = String::from("    ");
         for i in 0..32 {
             let idx = i * (r.curve.len() - 1) / 31;
-            let frac = if total > 0.0 { r.curve[idx].1 / total } else { 0.0 };
+            let frac = if total > 0.0 {
+                r.curve[idx].1 / total
+            } else {
+                0.0
+            };
             let glyph = match (frac * 8.0) as usize {
                 0 => ' ',
                 1 => '▁',
@@ -194,9 +198,9 @@ pub fn render_tradeoff(t: &TrainingTradeoff) -> String {
         Some(c) => out.push_str(&format!(
             "  training cost to outperform the tuned traditional system: ${c:.6}\n"
         )),
-        None => out.push_str(
-            "  the learned system never outperforms the tuned traditional system\n",
-        ),
+        None => {
+            out.push_str("  the learned system never outperforms the tuned traditional system\n")
+        }
     }
     out
 }

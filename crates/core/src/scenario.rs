@@ -215,9 +215,7 @@ impl Scenario {
         let key_range = (0u64, 10_000_000u64);
         let phases: Vec<WorkloadPhase> = distributions
             .iter()
-            .map(|d| {
-                WorkloadPhase::new(d.name(), d.clone(), key_range, mix.clone(), ops_per_phase)
-            })
+            .map(|d| WorkloadPhase::new(d.name(), d.clone(), key_range, mix.clone(), ops_per_phase))
             .collect();
         let transitions = vec![TransitionKind::Abrupt; phases.len() - 1];
         let workload = PhasedWorkload::new(phases, transitions, seed)
@@ -312,14 +310,8 @@ mod tests {
         s.maintenance_every = 10;
         s.dataset.size = 0;
         assert!(s.validate().is_err());
-        assert!(Scenario::specialization_sweep(
-            "x",
-            vec![],
-            10,
-            10,
-            OperationMix::ycsb_c(),
-            1
-        )
-        .is_err());
+        assert!(
+            Scenario::specialization_sweep("x", vec![], 10, 10, OperationMix::ycsb_c(), 1).is_err()
+        );
     }
 }

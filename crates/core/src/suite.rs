@@ -11,6 +11,7 @@
 //! §V-D.2 recommends).
 
 use crate::driver::{run_kv_scenario, DriverConfig};
+use crate::engine::{run_sharded_holdout, run_sharded_kv_scenario, shard_dataset, EngineConfig};
 use crate::holdout::{run_holdout, HoldoutReport};
 use crate::metrics::adaptability::AdaptabilityReport;
 use crate::metrics::sla::{SlaPolicy, SlaReport};
@@ -37,6 +38,10 @@ pub struct SuiteConfig {
     pub seed: u64,
     /// Virtual work units per second.
     pub work_units_per_second: f64,
+    /// Concurrency: `1` runs the serial driver; larger values split each
+    /// scenario's key space into that many shards and run them through the
+    /// concurrent engine ([`crate::engine`]) on as many worker threads.
+    pub threads: usize,
 }
 
 impl Default for SuiteConfig {
@@ -46,6 +51,7 @@ impl Default for SuiteConfig {
             ops_per_phase: 10_000,
             seed: 0x5EED,
             work_units_per_second: 1_000_000.0,
+            threads: 1,
         }
     }
 }
@@ -54,7 +60,10 @@ const KEY_RANGE: (u64, u64) = (0, 10_000_000);
 
 fn base_dataset(cfg: &SuiteConfig, salt: u64) -> DatasetSpec {
     DatasetSpec {
-        distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        distribution: KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
         key_range: KEY_RANGE,
         size: cfg.dataset_size,
         seed: cfg.seed ^ salt,
@@ -74,7 +83,12 @@ pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
     // S1: specialization sweep over four read distributions + hold-out.
     let s1_workload = PhasedWorkload::new(
         vec![
-            phase("uniform", KeyDistribution::Uniform, OperationMix::ycsb_c(), ops),
+            phase(
+                "uniform",
+                KeyDistribution::Uniform,
+                OperationMix::ycsb_c(),
+                ops,
+            ),
             phase(
                 "zipf",
                 KeyDistribution::Zipf { theta: 1.1 },
@@ -138,7 +152,10 @@ pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
             vec![
                 phase(
                     "head",
-                    KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                    KeyDistribution::LogNormal {
+                        mu: 0.0,
+                        sigma: 1.2,
+                    },
                     OperationMix::ycsb_c(),
                     ops,
                 ),
@@ -173,7 +190,10 @@ pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
             vec![
                 phase(
                     "reads",
-                    KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                    KeyDistribution::LogNormal {
+                        mu: 0.0,
+                        sigma: 1.2,
+                    },
                     OperationMix::ycsb_c(),
                     ops,
                 ),
@@ -246,7 +266,10 @@ pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
         workload: PhasedWorkload::single(
             phase(
                 "steady-reads",
-                KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                KeyDistribution::LogNormal {
+                    mu: 0.0,
+                    sigma: 1.2,
+                },
                 OperationMix::ycsb_c(),
                 ops * 2,
             ),
@@ -317,33 +340,75 @@ const ADJUSTMENT_N: usize = 2_000;
 /// standard suite.
 ///
 /// For every scenario a B+-tree baseline is run first to calibrate the SLA
-/// threshold, so violation fractions are comparable across SUTs.
+/// threshold, so violation fractions are comparable across SUTs. With
+/// [`SuiteConfig::threads`] greater than one, both the baseline and the
+/// SUT run key-range-sharded through the concurrent engine (one SUT
+/// instance per shard, built by the same factory), and the SLA threshold
+/// is calibrated against the equally-sharded baseline so the comparison
+/// stays apples-to-apples.
 pub fn run_suite<F>(mut factory: F, cfg: &SuiteConfig) -> Result<SuiteResult>
 where
-    F: FnMut(&Dataset) -> Result<Box<dyn SystemUnderTest<Operation>>>,
+    F: FnMut(&Dataset) -> Result<Box<dyn SystemUnderTest<Operation> + Send>>,
 {
+    if cfg.threads == 0 {
+        return Err(BenchError::InvalidScenario(
+            "suite threads must be at least 1".to_string(),
+        ));
+    }
     let scenarios = standard_scenarios(cfg)?;
     let mut summaries = Vec::with_capacity(scenarios.len());
     let mut sut_name = String::new();
     for scenario in &scenarios {
         let data = scenario.dataset.build()?;
-        // Baseline for SLA calibration.
-        let mut baseline = BTreeSut::build(&data).map_err(|e| BenchError::Sut(e.to_string()))?;
-        let baseline_record = run_kv_scenario(&mut baseline, scenario, DriverConfig::default())?;
-        let threshold = scenario.sla.resolve(Some(&baseline_record))?;
-
-        let mut sut = factory(&data)?;
-        let record = run_kv_scenario(sut.as_mut(), scenario, DriverConfig::default())?;
-        sut_name = record.sut_name.clone();
-        let generalization = if scenario.holdout.is_some() {
-            let hold = run_holdout(sut.as_mut(), scenario)?;
-            Some(HoldoutReport::new(&record, &hold)?.generalization_ratio)
+        let (record, threshold, generalization) = if cfg.threads == 1 {
+            // Serial path: one SUT, one clock.
+            let mut baseline =
+                BTreeSut::build(&data).map_err(|e| BenchError::Sut(e.to_string()))?;
+            let baseline_record =
+                run_kv_scenario(&mut baseline, scenario, DriverConfig::default())?;
+            let threshold = scenario.sla.resolve(Some(&baseline_record))?;
+            let mut sut = factory(&data)?;
+            let record = run_kv_scenario(sut.as_mut(), scenario, DriverConfig::default())?;
+            let generalization = if scenario.holdout.is_some() {
+                let hold = run_holdout(sut.as_mut(), scenario)?;
+                Some(HoldoutReport::new(&record, &hold)?.generalization_ratio)
+            } else {
+                None
+            };
+            (record, threshold, generalization)
         } else {
-            None
+            // Concurrent path: key-range shards on the engine.
+            let engine_cfg = EngineConfig::with_concurrency(cfg.threads);
+            let (router, shards) = shard_dataset(&data, cfg.threads)?;
+            let mut baseline: Vec<Box<dyn SystemUnderTest<Operation> + Send>> = shards
+                .iter()
+                .map(|d| {
+                    BTreeSut::build(d)
+                        .map(|s| Box::new(s) as Box<dyn SystemUnderTest<Operation> + Send>)
+                        .map_err(|e| BenchError::Sut(e.to_string()))
+                })
+                .collect::<Result<_>>()?;
+            let baseline_report =
+                run_sharded_kv_scenario(&mut baseline, &router, scenario, &engine_cfg)?;
+            let threshold = scenario.sla.resolve(Some(&baseline_report.record))?;
+            let mut suts: Vec<Box<dyn SystemUnderTest<Operation> + Send>> =
+                shards.iter().map(&mut factory).collect::<Result<_>>()?;
+            let report = run_sharded_kv_scenario(&mut suts, &router, scenario, &engine_cfg)?;
+            let generalization = if scenario.holdout.is_some() {
+                let hold = run_sharded_holdout(&mut suts, &router, scenario, &engine_cfg)?;
+                Some(HoldoutReport::new(&report.record, &hold.record)?.generalization_ratio)
+            } else {
+                None
+            };
+            (report.record, threshold, generalization)
         };
+        sut_name = record.sut_name.clone();
         summaries.push(summarize(&record, threshold, generalization)?);
     }
-    Ok(SuiteResult { sut_name, summaries })
+    Ok(SuiteResult {
+        sut_name,
+        summaries,
+    })
 }
 
 fn summarize(
@@ -383,7 +448,9 @@ pub fn render_comparison(results: &[SuiteResult]) -> String {
             "  SUT                 ops/s    norm-area  viol%   adjust-s  train-s  fail  general\n",
         );
         for r in results {
-            let Some(s) = r.summaries.get(i) else { continue };
+            let Some(s) = r.summaries.get(i) else {
+                continue;
+            };
             out.push_str(&format!(
                 "  {:<18} {:>8.0} {:>11.4} {:>6.2} {:>10.4} {:>8.3} {:>5} {:>8}\n",
                 r.sut_name,
@@ -414,6 +481,7 @@ mod tests {
             ops_per_phase: 600,
             seed: 1,
             work_units_per_second: 1_000_000.0,
+            threads: 1,
         }
     }
 
@@ -469,6 +537,46 @@ mod tests {
         let json = serde_json::to_string(&rmi).unwrap();
         let back: SuiteResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rmi);
+    }
+
+    #[test]
+    fn concurrent_suite_matches_schema_and_scales() {
+        let serial = tiny();
+        let sharded = SuiteConfig {
+            threads: 4,
+            ..serial
+        };
+        let factory = |data: &Dataset| {
+            Ok(
+                Box::new(BTreeSut::build(data).map_err(|e| crate::BenchError::Sut(e.to_string()))?)
+                    as Box<dyn SystemUnderTest<Operation> + Send>,
+            )
+        };
+        let one = run_suite(factory, &serial).unwrap();
+        let four = run_suite(factory, &sharded).unwrap();
+        // Identical result schema: same scenarios, same metric families.
+        assert_eq!(one.summaries.len(), four.summaries.len());
+        for (a, b) in one.summaries.iter().zip(&four.summaries) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.generalization.is_some(), b.generalization.is_some());
+        }
+        // Read-heavy closed-loop scenarios gain aggregate throughput from
+        // the extra lanes (S2 is pure reads).
+        assert!(
+            four.summaries[1].mean_throughput > one.summaries[1].mean_throughput,
+            "threads=4 {} vs threads=1 {}",
+            four.summaries[1].mean_throughput,
+            one.summaries[1].mean_throughput
+        );
+        // Degenerate thread count is rejected.
+        assert!(run_suite(
+            factory,
+            &SuiteConfig {
+                threads: 0,
+                ..serial
+            }
+        )
+        .is_err());
     }
 
     #[test]

@@ -155,7 +155,11 @@ impl GappedLeaf {
                         match key.cmp(&kj) {
                             Ordering::Equal => return Ok(j),
                             Ordering::Greater => {
-                                return Err(if first_gt - j > 1 { first_gt - 1 } else { first_gt });
+                                return Err(if first_gt - j > 1 {
+                                    first_gt - 1
+                                } else {
+                                    first_gt
+                                });
                             }
                             Ordering::Less => first_gt = j,
                         }

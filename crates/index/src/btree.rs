@@ -339,9 +339,10 @@ impl BPlusTree {
         match left {
             _ if matches!(self.nodes[left], Node::Leaf { .. }) => {
                 let (k, v) = match &mut self.nodes[left] {
-                    Node::Leaf { keys, values, .. } => {
-                        (keys.pop().expect("donor non-empty"), values.pop().expect("donor non-empty"))
-                    }
+                    Node::Leaf { keys, values, .. } => (
+                        keys.pop().expect("donor non-empty"),
+                        values.pop().expect("donor non-empty"),
+                    ),
                     _ => unreachable!(),
                 };
                 if let Node::Leaf { keys, values, .. } = &mut self.nodes[right] {
@@ -568,9 +569,7 @@ impl Index for BPlusTree {
     fn get(&self, key: u64) -> Option<u64> {
         let leaf = self.find_leaf(key);
         match &self.nodes[leaf] {
-            Node::Leaf { keys, values, .. } => {
-                keys.binary_search(&key).ok().map(|idx| values[idx])
-            }
+            Node::Leaf { keys, values, .. } => keys.binary_search(&key).ok().map(|idx| values[idx]),
             _ => unreachable!("find_leaf returned non-leaf"),
         }
     }

@@ -225,10 +225,7 @@ impl LearnedCache {
     /// Panics if `capacity` is zero or `half_life_accesses` is not positive.
     pub fn with_half_life(capacity: usize, half_life_accesses: f64) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        assert!(
-            half_life_accesses > 0.0,
-            "half life must be positive"
-        );
+        assert!(half_life_accesses > 0.0, "half life must be positive");
         LearnedCache {
             capacity,
             entries: HashMap::with_capacity(capacity),
@@ -259,11 +256,8 @@ impl LearnedCache {
         }
         let mut candidates: Vec<(u64, f64)> = Vec::with_capacity(SAMPLE);
         let salt = self.tick.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let mut sampled: Vec<(u64, u64)> = self
-            .entries
-            .keys()
-            .map(|&k| (mix(k ^ salt), k))
-            .collect();
+        let mut sampled: Vec<(u64, u64)> =
+            self.entries.keys().map(|&k| (mix(k ^ salt), k)).collect();
         sampled.sort_unstable();
         for &(_, k) in sampled.iter().take(SAMPLE) {
             let (score, last) = self.entries[&k];

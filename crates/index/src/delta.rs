@@ -192,7 +192,9 @@ impl<I: Index + BulkLoad> Index for DeltaIndex<I> {
         // approximation and top up from the base directly if short.
         if out.len() < limit {
             if let Some(&(last, _)) = out.last() {
-                let more = self.base.range(last + 1, limit - out.len() + self.tombstones.len())?;
+                let more = self
+                    .base
+                    .range(last + 1, limit - out.len() + self.tombstones.len())?;
                 for (k, v) in more {
                     if out.len() >= limit {
                         break;

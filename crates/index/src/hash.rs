@@ -163,10 +163,7 @@ mod tests {
     #[test]
     fn range_unsupported() {
         let idx = HashIndex::bulk_load(&[(1, 10)]).unwrap();
-        assert!(matches!(
-            idx.range(0, 10),
-            Err(IndexError::Unsupported(_))
-        ));
+        assert!(matches!(idx.range(0, 10), Err(IndexError::Unsupported(_))));
     }
 
     #[test]

@@ -32,8 +32,8 @@
 #![warn(missing_docs)]
 
 pub mod alex;
-pub mod cache;
 pub mod btree;
+pub mod cache;
 pub mod delta;
 pub mod hash;
 pub mod learned_sort;
@@ -44,8 +44,8 @@ pub mod sorted_array;
 pub mod spline;
 
 pub use alex::AlexIndex;
-pub use cache::{KeyCache, LearnedCache, LruCache};
 pub use btree::BPlusTree;
+pub use cache::{KeyCache, LearnedCache, LruCache};
 pub use delta::DeltaIndex;
 pub use hash::HashIndex;
 pub use pgm::PgmIndex;
@@ -68,7 +68,10 @@ impl std::fmt::Display for IndexError {
         match self {
             IndexError::Unsupported(op) => write!(f, "operation not supported: {op}"),
             IndexError::UnsortedInput => {
-                write!(f, "bulk-load input must be sorted by key without duplicates")
+                write!(
+                    f,
+                    "bulk-load input must be sorted by key without duplicates"
+                )
             }
         }
     }

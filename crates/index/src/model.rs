@@ -36,7 +36,10 @@ impl LinearModel {
     /// data). Returns [`LinearModel::ZERO`] for empty input and a constant
     /// model for a single key or all-equal keys.
     pub fn fit(keys: &[u64]) -> LinearModel {
-        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "fit requires sorted keys");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "fit requires sorted keys"
+        );
         let n = keys.len();
         if n == 0 {
             return LinearModel::ZERO;

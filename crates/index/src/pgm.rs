@@ -92,8 +92,7 @@ impl PgmIndex {
         let slack = self.epsilon as usize + 2;
         let lo = approx.saturating_sub(slack);
         let hi = (approx + slack + 1).min(level.len());
-        let idx = (lo + level[lo..hi].partition_point(|s| s.first_key <= key))
-            .saturating_sub(1);
+        let idx = (lo + level[lo..hi].partition_point(|s| s.first_key <= key)).saturating_sub(1);
         let valid = (level[idx].first_key <= key || idx == 0)
             && (idx + 1 == level.len() || level[idx + 1].first_key > key);
         if valid {

@@ -314,9 +314,7 @@ mod tests {
     fn skewed_keys_still_correct() {
         // Exponentially spaced keys defeat a single linear model; leaves must
         // compensate via error bounds.
-        let pairs: Vec<(u64, u64)> = (0..40u32)
-            .map(|i| (1u64 << i, i as u64))
-            .collect();
+        let pairs: Vec<(u64, u64)> = (0..40u32).map(|i| (1u64 << i, i as u64)).collect();
         let idx = Rmi::build(
             &pairs,
             RmiConfig {
@@ -389,10 +387,7 @@ mod tests {
     #[test]
     fn read_only_mutations_rejected() {
         let mut idx = Rmi::bulk_load(&[(1, 10)]).unwrap();
-        assert!(matches!(
-            idx.insert(2, 20),
-            Err(IndexError::Unsupported(_))
-        ));
+        assert!(matches!(idx.insert(2, 20), Err(IndexError::Unsupported(_))));
         assert!(matches!(idx.delete(1), Err(IndexError::Unsupported(_))));
     }
 

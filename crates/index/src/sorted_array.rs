@@ -192,10 +192,7 @@ mod tests {
     #[test]
     fn frozen_rejects_mutation() {
         let mut idx = FrozenArray::bulk_load(&[(1, 10)]).unwrap();
-        assert!(matches!(
-            idx.insert(2, 20),
-            Err(IndexError::Unsupported(_))
-        ));
+        assert!(matches!(idx.insert(2, 20), Err(IndexError::Unsupported(_))));
         assert!(matches!(idx.delete(1), Err(IndexError::Unsupported(_))));
         assert_eq!(idx.get(1), Some(10));
     }

@@ -179,9 +179,10 @@ impl RadixSpline {
         // may exceed `key`, so step one left for the segment start.
         let lo = begin.saturating_sub(1);
         let hi = (end + 1).min(self.spline.len());
-        let seg = lo + self.spline[lo..hi]
-            .partition_point(|sp| sp.key <= key)
-            .saturating_sub(1);
+        let seg = lo
+            + self.spline[lo..hi]
+                .partition_point(|sp| sp.key <= key)
+                .saturating_sub(1);
         let a = self.spline[seg];
         let b = self.spline[(seg + 1).min(self.spline.len() - 1)];
         let pred = if b.key > a.key {
@@ -265,8 +266,7 @@ impl Index for RadixSpline {
         // Radix hop + binary search among this prefix's spline points +
         // error-window search.
         let prefix = ((key >> self.shift) as usize).min(self.radix.len() - 2);
-        let candidates =
-            (self.radix[prefix + 1].saturating_sub(self.radix[prefix])) as u64;
+        let candidates = (self.radix[prefix + 1].saturating_sub(self.radix[prefix])) as u64;
         1 + crate::bsearch_cost(candidates) + crate::bsearch_cost(self.max_error as u64)
     }
 }

@@ -24,7 +24,12 @@ fn arb_pairs() -> impl Strategy<Value = Vec<(u64, u64)>> {
 fn check_against_model<I: Index>(idx: &I, model: &BTreeMap<u64, u64>, probes: &[u64]) {
     assert_eq!(idx.len(), model.len(), "{} len", idx.name());
     for &k in probes {
-        assert_eq!(idx.get(k), model.get(&k).copied(), "{} get({k})", idx.name());
+        assert_eq!(
+            idx.get(k),
+            model.get(&k).copied(),
+            "{} get({k})",
+            idx.name()
+        );
     }
     for (&k, &v) in model.iter().take(50) {
         assert_eq!(idx.get(k), Some(v), "{} get(existing {k})", idx.name());

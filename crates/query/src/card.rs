@@ -221,7 +221,10 @@ impl CardinalityEstimator for LearnedEstimator {
 
     fn observe(&mut self, subtree_hash: u64, true_card: u64) {
         self.observations += 1;
-        let entry = self.observed.entry(subtree_hash).or_insert(true_card as f64);
+        let entry = self
+            .observed
+            .entry(subtree_hash)
+            .or_insert(true_card as f64);
         *entry += OBS_ALPHA * (true_card as f64 - *entry);
     }
 
@@ -268,10 +271,7 @@ mod tests {
         let q = QueryNode::scan("facts").filter(2, CmpOp::Lt, 250);
         let guess = est.estimate(&q);
         let truth = execute(&q, &cat).unwrap().count as f64;
-        assert!(
-            q_error(guess, truth) < 1.3,
-            "guess {guess} truth {truth}"
-        );
+        assert!(q_error(guess, truth) < 1.3, "guess {guess} truth {truth}");
     }
 
     #[test]
@@ -282,10 +282,7 @@ mod tests {
         let q = QueryNode::scan("facts").filter(1, CmpOp::Lt, 100);
         let guess = est.estimate(&q);
         let truth = execute(&q, &cat).unwrap().count as f64;
-        assert!(
-            q_error(guess, truth) < 1.5,
-            "guess {guess} truth {truth}"
-        );
+        assert!(q_error(guess, truth) < 1.5, "guess {guess} truth {truth}");
     }
 
     #[test]
@@ -364,10 +361,7 @@ mod tests {
         let q = QueryNode::scan("facts").join(QueryNode::scan("dims"), 0, 0);
         let truth = execute(&q, &cat).unwrap().count as f64;
         let guess = est.estimate(&q);
-        assert!(
-            q_error(guess, truth) < 3.0,
-            "guess {guess} truth {truth}"
-        );
+        assert!(q_error(guess, truth) < 3.0, "guess {guess} truth {truth}");
     }
 
     #[test]

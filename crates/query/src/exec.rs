@@ -105,8 +105,7 @@ fn run(
                     for &bi in matches {
                         let build_row = &build[bi];
                         // Output schema: left columns then right columns.
-                        let mut joined =
-                            Vec::with_capacity(build_row.len() + probe_row.len());
+                        let mut joined = Vec::with_capacity(build_row.len() + probe_row.len());
                         if build_is_left {
                             joined.extend_from_slice(build_row);
                             joined.extend_from_slice(probe_row);
@@ -129,11 +128,9 @@ fn run(
     };
     let card = match node {
         // Count's "cardinality" is its counted input, more useful as a label.
-        QueryNode::Count { .. } => rows
-            .first()
-            .and_then(|r| r.first())
-            .copied()
-            .unwrap_or(0) as u64,
+        QueryNode::Count { .. } => {
+            rows.first().and_then(|r| r.first()).copied().unwrap_or(0) as u64
+        }
         _ => rows.len() as u64,
     };
     cards.insert(node.structural_hash(), card);
@@ -220,9 +217,7 @@ mod tests {
 
     #[test]
     fn count_terminal() {
-        let q = QueryNode::scan("orders")
-            .filter(1, CmpOp::Ge, 200)
-            .count();
+        let q = QueryNode::scan("orders").filter(1, CmpOp::Ge, 200).count();
         let r = execute(&q, &catalog()).unwrap();
         assert_eq!(r.count, 3);
         assert!(r.rows.is_empty());

@@ -87,8 +87,8 @@ impl QueryGenerator {
         if !self.profile.filter_columns.is_empty()
             && self.rng.gen::<f64>() < self.profile.filter_probability
         {
-            let col =
-                self.profile.filter_columns[self.rng.gen_range(0..self.profile.filter_columns.len())];
+            let col = self.profile.filter_columns
+                [self.rng.gen_range(0..self.profile.filter_columns.len())];
             let op = match self.rng.gen_range(0..4u8) {
                 0 => CmpOp::Lt,
                 1 => CmpOp::Le,
@@ -100,8 +100,7 @@ impl QueryGenerator {
             q = q.filter(col, op, value);
         }
         if self.profile.tables.len() > 1 && self.rng.gen::<f64>() < self.profile.join_probability {
-            let other =
-                &self.profile.tables[self.rng.gen_range(0..self.profile.tables.len())];
+            let other = &self.profile.tables[self.rng.gen_range(0..self.profile.tables.len())];
             if other != t {
                 // Key-key join on column 0 (generated tables use c0 as key).
                 q = q.join(QueryNode::scan(other.clone()), 0, 0);
@@ -207,10 +206,7 @@ impl JoinQueryGenerator {
 /// All subtree hashes of a workload, as a set — the input to Jaccard
 /// workload similarity.
 pub fn workload_subtree_set(queries: &[QueryNode]) -> std::collections::HashSet<u64> {
-    queries
-        .iter()
-        .flat_map(|q| q.subtree_hashes())
-        .collect()
+    queries.iter().flat_map(|q| q.subtree_hashes()).collect()
 }
 
 #[cfg(test)]
@@ -277,14 +273,9 @@ mod tests {
         cat.add(Table::generate("fact", 2000, 3, 1));
         cat.add(Table::generate("d1", 100, 2, 2));
         cat.add(Table::generate("d2", 200, 2, 3));
-        let mut g = JoinQueryGenerator::new(
-            &cat,
-            "fact",
-            vec!["d1".into(), "d2".into()],
-            (0, 500),
-            7,
-        )
-        .unwrap();
+        let mut g =
+            JoinQueryGenerator::new(&cat, "fact", vec!["d1".into(), "d2".into()], (0, 500), 7)
+                .unwrap();
         let mut saw_multi = false;
         for q in g.take(30) {
             q.validate().unwrap();
@@ -305,9 +296,7 @@ mod tests {
         let mut cat = Catalog::new();
         cat.add(Table::generate("fact", 100, 3, 1));
         assert!(JoinQueryGenerator::new(&cat, "fact", vec![], (0, 1), 1).is_err());
-        assert!(
-            JoinQueryGenerator::new(&cat, "missing", vec!["fact".into()], (0, 1), 1).is_err()
-        );
+        assert!(JoinQueryGenerator::new(&cat, "missing", vec!["fact".into()], (0, 1), 1).is_err());
     }
 
     #[test]

@@ -58,8 +58,7 @@ impl JoinQuery {
                     "edge references relation out of range: {e:?}"
                 )));
             }
-            if e.left_col >= self.arities[e.left_rel] || e.right_col >= self.arities[e.right_rel]
-            {
+            if e.left_col >= self.arities[e.left_rel] || e.right_col >= self.arities[e.right_rel] {
                 return Err(QueryError::InvalidQuery(format!(
                     "edge references column out of range: {e:?}"
                 )));
@@ -75,7 +74,10 @@ impl JoinQuery {
             parent[x]
         }
         for e in &self.edges {
-            let (a, b) = (find(&mut parent, e.left_rel), find(&mut parent, e.right_rel));
+            let (a, b) = (
+                find(&mut parent, e.left_rel),
+                find(&mut parent, e.right_rel),
+            );
             parent[a] = b;
         }
         let root = find(&mut parent, 0);
@@ -186,12 +188,7 @@ pub fn optimize_join_order(
 /// Finds an edge connecting relation `r` to subset `s`, returning the join
 /// column as an absolute position in the subset plan's output schema plus
 /// the column in `r`.
-fn connecting_edge(
-    query: &JoinQuery,
-    s: u32,
-    r: usize,
-    order: &[usize],
-) -> Option<(usize, usize)> {
+fn connecting_edge(query: &JoinQuery, s: u32, r: usize, order: &[usize]) -> Option<(usize, usize)> {
     // Offsets of each relation within the left-deep plan's schema.
     let mut offsets = HashMap::new();
     let mut acc = 0usize;
@@ -304,12 +301,8 @@ mod tests {
         let best = optimize_join_order(&star_query(), &est).unwrap();
         // Enumerate all left-deep orders manually and confirm none beats it.
         let q = star_query();
-        let orders: Vec<Vec<usize>> = vec![
-            vec![0, 1, 2],
-            vec![0, 2, 1],
-            vec![1, 0, 2],
-            vec![2, 0, 1],
-        ];
+        let orders: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2], vec![2, 0, 1]];
         for order in orders {
             let cost = cost_of_order(&q, &est, &order);
             assert!(
@@ -322,11 +315,7 @@ mod tests {
 
     /// Manual cost computation for a specific left-deep order (panics on
     /// disconnected steps, fine for the orders used in tests).
-    fn cost_of_order(
-        q: &JoinQuery,
-        est: &dyn CardinalityEstimator,
-        order: &[usize],
-    ) -> f64 {
+    fn cost_of_order(q: &JoinQuery, est: &dyn CardinalityEstimator, order: &[usize]) -> f64 {
         let mut plan = q.relations[order[0]].clone();
         let mut cost = est.estimate(&plan);
         let mut done = vec![order[0]];
@@ -374,8 +363,7 @@ mod tests {
             truth.count
         );
         assert!(
-            (hist_guess - truth.count as f64).abs()
-                > (learned_guess - truth.count as f64).abs(),
+            (hist_guess - truth.count as f64).abs() > (learned_guess - truth.count as f64).abs(),
             "histogram should be worse: hist {hist_guess} truth {}",
             truth.count
         );

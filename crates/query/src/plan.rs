@@ -175,9 +175,7 @@ impl QueryNode {
                 h = fnv(h, left.structural_hash());
                 fnv(h, right.structural_hash())
             }
-            QueryNode::Count { input } => {
-                fnv(fnv(FNV_OFFSET, 0xC0DE), input.structural_hash())
-            }
+            QueryNode::Count { input } => fnv(fnv(FNV_OFFSET, 0xC0DE), input.structural_hash()),
         }
     }
 

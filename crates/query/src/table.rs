@@ -158,12 +158,7 @@ mod tests {
     fn construction_validates() {
         assert!(Table::new("t", vec!["a".into()], vec![vec![1, 2]]).is_ok());
         assert!(Table::new("t", vec!["a".into()], vec![vec![1], vec![2]]).is_err());
-        assert!(Table::new(
-            "t",
-            vec!["a".into(), "b".into()],
-            vec![vec![1, 2], vec![3]]
-        )
-        .is_err());
+        assert!(Table::new("t", vec!["a".into(), "b".into()], vec![vec![1, 2], vec![3]]).is_err());
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl EquiWidthHistogram {
         let lo = sorted[0];
         // Widen slightly so the max value falls inside the last bucket.
         let hi = sorted[sorted.len() - 1];
-        let hi = if hi > lo { hi * (1.0 + 1e-12) + 1e-300 } else { lo + 1.0 };
+        let hi = if hi > lo {
+            hi * (1.0 + 1e-12) + 1e-300
+        } else {
+            lo + 1.0
+        };
         let mut h = Self::new(lo, hi, buckets)?;
         for &v in data {
             h.add(v);
@@ -99,7 +103,11 @@ impl EquiWidthHistogram {
         }
         if x >= self.hi {
             return (self.total - self.overflow) as f64 / self.total as f64
-                + if x > self.hi { self.overflow as f64 / self.total as f64 } else { 0.0 };
+                + if x > self.hi {
+                    self.overflow as f64 / self.total as f64
+                } else {
+                    0.0
+                };
         }
         let width = (self.hi - self.lo) / self.counts.len() as f64;
         let pos = (x - self.lo) / width;
@@ -429,7 +437,9 @@ mod tests {
     #[test]
     fn entropy_uniform_vs_skewed() {
         let uniform: Vec<f64> = (0..1024).map(|i| i as f64).collect();
-        let skewed: Vec<f64> = (0..1024).map(|i| if i < 1000 { 1.0 } else { i as f64 }).collect();
+        let skewed: Vec<f64> = (0..1024)
+            .map(|i| if i < 1000 { 1.0 } else { i as f64 })
+            .collect();
         let hu = EquiWidthHistogram::from_data(&uniform, 16).unwrap();
         let hs = EquiWidthHistogram::from_data(&skewed, 16).unwrap();
         assert!(hu.entropy_bits() > hs.entropy_bits());

@@ -128,10 +128,7 @@ mod tests {
     fn symmetric() {
         let a = [1.0, 5.0, 9.0, 2.0];
         let b = [3.0, 3.5, 8.0];
-        assert_eq!(
-            ks_statistic(&a, &b).unwrap(),
-            ks_statistic(&b, &a).unwrap()
-        );
+        assert_eq!(ks_statistic(&a, &b).unwrap(), ks_statistic(&b, &a).unwrap());
     }
 
     #[test]
@@ -165,10 +162,7 @@ mod tests {
 
     #[test]
     fn nan_input_errors() {
-        assert_eq!(
-            ks_statistic(&[f64::NAN], &[1.0]),
-            Err(StatsError::NanInput)
-        );
+        assert_eq!(ks_statistic(&[f64::NAN], &[1.0]), Err(StatsError::NanInput));
     }
 
     #[test]

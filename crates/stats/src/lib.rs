@@ -40,7 +40,7 @@ pub use jaccard::{jaccard_distance, jaccard_similarity};
 pub use ks::{ks_statistic, ks_test, KsResult};
 pub use mmd::{median_heuristic_bandwidth, mmd_rbf};
 pub use streaming::{Ema, OnlineStats, P2Quantile, ReservoirSampler};
-pub use timeseries::{CumulativeCurve, TimeSeries};
+pub use timeseries::{CumulativeCurve, IntervalCounts, TimeSeries};
 
 /// Errors produced by statistical routines.
 #[derive(Debug, Clone, PartialEq, Eq)]

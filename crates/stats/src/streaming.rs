@@ -98,8 +98,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -232,13 +232,12 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let d_sign = d.signum();
                 let new_height = self.parabolic(i, d_sign);
-                let new_height = if self.heights[i - 1] < new_height
-                    && new_height < self.heights[i + 1]
-                {
-                    new_height
-                } else {
-                    self.linear(i, d_sign)
-                };
+                let new_height =
+                    if self.heights[i - 1] < new_height && new_height < self.heights[i + 1] {
+                        new_height
+                    } else {
+                        self.linear(i, d_sign)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += d_sign;
             }
@@ -401,7 +400,10 @@ mod tests {
             r.push(i as f64, &mut rng);
         }
         let mean = r.sample().iter().sum::<f64>() / r.sample().len() as f64;
-        assert!((mean - 5000.0).abs() < 600.0, "mean {mean} too far from 5000");
+        assert!(
+            (mean - 5000.0).abs() < 600.0,
+            "mean {mean} too far from 5000"
+        );
     }
 
     #[test]

@@ -44,9 +44,7 @@ impl TimeSeries {
         }
         if let Some(&(last_t, _)) = self.points.last() {
             if t < last_t {
-                return Err(StatsError::InvalidParameter(
-                    "time must be non-decreasing",
-                ));
+                return Err(StatsError::InvalidParameter("time must be non-decreasing"));
             }
         }
         self.points.push((t, v));
@@ -84,9 +82,7 @@ impl TimeSeries {
             return Ok(last.1);
         }
         // Binary search for the segment containing t.
-        let idx = self
-            .points
-            .partition_point(|&(pt, _)| pt <= t);
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
         let (t0, v0) = self.points[idx - 1];
         let (t1, v1) = self.points[idx];
         if t1 == t0 {
@@ -288,6 +284,93 @@ impl CumulativeCurve {
     }
 }
 
+/// Mergeable fixed-width per-interval completion counters.
+///
+/// Unlike [`CumulativeCurve::interval_counts`], which needs the full run
+/// span up front, this accumulates counts online into fixed-width buckets
+/// anchored at `origin`, and two recorders with the same geometry merge by
+/// element-wise addition. This is what lets concurrent driver lanes record
+/// completions independently and still produce one deterministic
+/// throughput-over-time series regardless of worker count or merge order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalCounts {
+    origin: f64,
+    width: f64,
+    counts: Vec<u64>,
+}
+
+impl IntervalCounts {
+    /// Creates an empty recorder with buckets of `width` starting at `origin`.
+    pub fn new(origin: f64, width: f64) -> Result<Self> {
+        if origin.is_nan() || width.is_nan() {
+            return Err(StatsError::NanInput);
+        }
+        if !(width > 0.0 && width.is_finite()) {
+            return Err(StatsError::InvalidParameter("width must be positive"));
+        }
+        Ok(IntervalCounts {
+            origin,
+            width,
+            counts: Vec::new(),
+        })
+    }
+
+    /// Records one completion at time `t` (must be `>= origin`).
+    pub fn record(&mut self, t: f64) -> Result<()> {
+        if t.is_nan() {
+            return Err(StatsError::NanInput);
+        }
+        if t < self.origin {
+            return Err(StatsError::InvalidParameter(
+                "completion precedes the recorder origin",
+            ));
+        }
+        let idx = ((t - self.origin) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        Ok(())
+    }
+
+    /// Bucket start time.
+    pub fn origin(&self) -> f64 {
+        self.origin
+    }
+
+    /// Bucket width in seconds.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Per-bucket counts; bucket `i` covers
+    /// `[origin + i·width, origin + (i+1)·width)`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total completions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another recorder with identical origin and width.
+    pub fn merge(&mut self, other: &IntervalCounts) -> Result<()> {
+        if self.origin != other.origin || self.width != other.width {
+            return Err(StatsError::InvalidParameter(
+                "cannot merge interval counts with different geometry",
+            ));
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,8 +406,8 @@ mod tests {
     #[test]
     fn interpolation_duplicate_times() {
         // A vertical step: t=1 maps to the later value.
-        let s = TimeSeries::from_points(vec![(0.0, 0.0), (1.0, 0.0), (1.0, 5.0), (2.0, 5.0)])
-            .unwrap();
+        let s =
+            TimeSeries::from_points(vec![(0.0, 0.0), (1.0, 0.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
         assert!(close(s.value_at(1.0).unwrap(), 5.0));
         assert!(close(s.value_at(0.5).unwrap(), 0.0));
     }
@@ -438,5 +521,48 @@ mod tests {
         let c = CumulativeCurve::from_timestamps(vec![-5.0, 1.0, 99.0, 150.0]).unwrap();
         let counts = c.interval_counts(0.0, 100.0, 50.0).unwrap();
         assert_eq!(counts.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn interval_recorder_buckets_and_totals() {
+        let mut ic = IntervalCounts::new(1.0, 0.5).unwrap();
+        for t in [1.0, 1.2, 1.5, 2.4, 2.6] {
+            ic.record(t).unwrap();
+        }
+        assert_eq!(ic.counts(), &[2, 1, 1, 1]);
+        assert_eq!(ic.total(), 5);
+        assert!(ic.record(0.9).is_err());
+        assert!(ic.record(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn interval_recorder_rejects_bad_geometry() {
+        assert!(IntervalCounts::new(0.0, 0.0).is_err());
+        assert!(IntervalCounts::new(0.0, -1.0).is_err());
+        assert!(IntervalCounts::new(f64::NAN, 1.0).is_err());
+        assert!(IntervalCounts::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn interval_recorder_merge_is_order_independent() {
+        let record_all = |times: &[f64]| {
+            let mut ic = IntervalCounts::new(0.0, 1.0).unwrap();
+            for &t in times {
+                ic.record(t).unwrap();
+            }
+            ic
+        };
+        let a = record_all(&[0.1, 3.7]);
+        let b = record_all(&[1.1, 1.9, 8.2]);
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 5);
+        assert_eq!(ab.counts()[1], 2);
+        // Geometry mismatch is rejected.
+        let mut other = IntervalCounts::new(0.5, 1.0).unwrap();
+        assert!(other.merge(&a).is_err());
     }
 }

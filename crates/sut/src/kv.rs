@@ -654,6 +654,20 @@ mod tests {
     }
 
     #[test]
+    fn kv_suts_are_send_and_sync() {
+        // Compile-time contract for the concurrent engine: every KV SUT
+        // must be shareable across worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BTreeSut>();
+        assert_send_sync::<SortedArraySut>();
+        assert_send_sync::<HashSut>();
+        assert_send_sync::<AlexSut>();
+        assert_send_sync::<RmiSut>();
+        assert_send_sync::<PgmSut>();
+        assert_send_sync::<SplineSut>();
+    }
+
+    #[test]
     fn scan_work_scales_with_length() {
         let data = dataset(10_000);
         let mut btree = BTreeSut::build(&data).unwrap();

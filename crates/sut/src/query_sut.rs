@@ -38,11 +38,9 @@ impl QueryOp {
             .map(|r| r.structural_hash())
             .collect();
         hashes.sort_unstable();
-        hashes
-            .iter()
-            .fold(0xCBF2_9CE4_8422_2325u64, |h, &v| {
-                (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
-            })
+        hashes.iter().fold(0xCBF2_9CE4_8422_2325u64, |h, &v| {
+            (h ^ v).wrapping_mul(0x0000_0100_0000_01B3)
+        })
     }
 }
 
@@ -331,15 +329,13 @@ mod tests {
     }
 
     fn gen_queries(cat: &Catalog, n: usize, seed: u64) -> Vec<QueryOp> {
-        let mut g = JoinQueryGenerator::new(
-            cat,
-            "fact",
-            vec!["d1".into(), "d2".into()],
-            (0, 800),
-            seed,
-        )
-        .unwrap();
-        g.take(n).into_iter().map(|query| QueryOp { query }).collect()
+        let mut g =
+            JoinQueryGenerator::new(cat, "fact", vec!["d1".into(), "d2".into()], (0, 800), seed)
+                .unwrap();
+        g.take(n)
+            .into_iter()
+            .map(|query| QueryOp { query })
+            .collect()
     }
 
     #[test]
@@ -389,12 +385,7 @@ mod tests {
             let plan = sut.plan_with_arm(arm, &op.query).unwrap();
             costs.push(execute(&plan, &cat).unwrap().work);
         }
-        let cheapest = costs
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &c)| c)
-            .unwrap()
-            .0;
+        let cheapest = costs.iter().enumerate().min_by_key(|&(_, &c)| c).unwrap().0;
         assert_eq!(
             costs[best], costs[cheapest],
             "bandit best {best} (cost {}) vs true cheapest {cheapest} (cost {}), all {costs:?}",
@@ -423,14 +414,8 @@ mod tests {
     #[test]
     fn shape_hash_ignores_filter_literal_noise() {
         let cat = catalog();
-        let mut g1 = JoinQueryGenerator::new(
-            &cat,
-            "fact",
-            vec!["d1".into()],
-            (0, 800),
-            11,
-        )
-        .unwrap();
+        let mut g1 =
+            JoinQueryGenerator::new(&cat, "fact", vec!["d1".into()], (0, 800), 11).unwrap();
         let q1 = QueryOp {
             query: g1.next_query(),
         };

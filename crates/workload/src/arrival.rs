@@ -230,8 +230,7 @@ mod tests {
     #[test]
     fn closed_loop_stays_put() {
         let mut g =
-            ArrivalGenerator::new(ArrivalProcess::ClosedLoop, LoadModulation::Constant, 1)
-                .unwrap();
+            ArrivalGenerator::new(ArrivalProcess::ClosedLoop, LoadModulation::Constant, 1).unwrap();
         assert_eq!(g.next_arrival(), 0.0);
         g.advance(2.5);
         assert_eq!(g.next_arrival(), 2.5);

@@ -204,8 +204,8 @@ mod tests {
     #[test]
     fn skewed_generation_terminates() {
         // zipf(2.0) concentrates on few keys; the draw bound must kick in.
-        let d = Dataset::generate(KeyDistribution::Zipf { theta: 2.0 }, 0, 10_000, 5_000, 1)
-            .unwrap();
+        let d =
+            Dataset::generate(KeyDistribution::Zipf { theta: 2.0 }, 0, 10_000, 5_000, 1).unwrap();
         assert!(!d.is_empty());
     }
 
@@ -283,11 +283,7 @@ mod tests {
             )
             .unwrap();
         // Nearly all drifted keys should sit near 10% of the range.
-        let near = drifted
-            .keys()
-            .iter()
-            .filter(|&&k| k < 200_000)
-            .count();
+        let near = drifted.keys().iter().filter(|&&k| k < 200_000).count();
         assert!(
             near as f64 / drifted.len() as f64 > 0.95,
             "near = {near}/{}",

@@ -169,7 +169,13 @@ impl ZipfSampler {
         let hx0 = Self::h(1.5, theta) - 1.0;
         let hn = Self::h(n + 0.5, theta);
         let s = 2.0 - Self::h_inv(Self::h(2.5, theta) - (2.0f64).powf(-theta), theta);
-        ZipfSampler { n, theta, hx0, hn, s }
+        ZipfSampler {
+            n,
+            theta,
+            hx0,
+            hn,
+            s,
+        }
     }
 
     /// `H(x) = (x^(1-theta) - 1) / (1 - theta)`, or `ln(x)` when theta == 1.
@@ -195,9 +201,7 @@ impl ZipfSampler {
             let u = self.hx0 + rng.gen::<f64>() * (self.hn - self.hx0);
             let x = Self::h_inv(u, self.theta);
             let k = (x + 0.5).floor().clamp(1.0, self.n);
-            if k - x <= self.s
-                || u >= Self::h(k + 0.5, self.theta) - k.powf(-self.theta)
-            {
+            if k - x <= self.s || u >= Self::h(k + 0.5, self.theta) - k.powf(-self.theta) {
                 return k as u64;
             }
         }
@@ -360,7 +364,10 @@ mod tests {
                 center: 0.5,
                 std_frac: 0.1,
             },
-            KeyDistribution::LogNormal { mu: 0.0, sigma: 1.0 },
+            KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
             KeyDistribution::Hotspot {
                 hot_span: 0.1,
                 hot_fraction: 0.9,

@@ -30,10 +30,16 @@ pub struct WorkloadPhase {
     pub mix: OperationMix,
     /// Number of operations in this phase.
     pub ops: u64,
+    /// Open-loop concurrency multiplier for this phase: the concurrent
+    /// driver divides inter-arrival gaps by this factor, so a value of 2.0
+    /// doubles the offered load while the phase is active (a *concurrency
+    /// burst*). Closed-loop runs ignore it. Must be positive and finite;
+    /// defaults to 1.0 (no burst).
+    pub concurrency_burst: f64,
 }
 
 impl WorkloadPhase {
-    /// Convenience constructor.
+    /// Convenience constructor (no concurrency burst).
     pub fn new(
         name: impl Into<String>,
         distribution: KeyDistribution,
@@ -47,7 +53,14 @@ impl WorkloadPhase {
             key_range,
             mix,
             ops,
+            concurrency_burst: 1.0,
         }
+    }
+
+    /// Sets the open-loop concurrency multiplier for this phase.
+    pub fn with_concurrency_burst(mut self, factor: f64) -> Self {
+        self.concurrency_burst = factor;
+        self
     }
 }
 
@@ -137,6 +150,12 @@ impl PhasedWorkload {
             if p.ops == 0 {
                 return Err(crate::WorkloadError::InvalidParameter(format!(
                     "phase '{}' has zero ops",
+                    p.name
+                )));
+            }
+            if !(p.concurrency_burst > 0.0 && p.concurrency_burst.is_finite()) {
+                return Err(crate::WorkloadError::InvalidParameter(format!(
+                    "phase '{}' concurrency_burst must be positive and finite",
                     p.name
                 )));
             }
@@ -337,7 +356,9 @@ mod tests {
         let late_old = ops[1400..1500].iter().filter(|o| o.drawn_from == 0).count();
         assert!(early_old > late_old, "early={early_old} late={late_old}");
         // After the window everything is from the new phase.
-        assert!(ops[1500..].iter().all(|o| o.drawn_from == 1 && !o.in_transition));
+        assert!(ops[1500..]
+            .iter()
+            .all(|o| o.drawn_from == 1 && !o.in_transition));
     }
 
     #[test]
@@ -425,15 +446,22 @@ mod tests {
         )
         .unwrap();
         let ops: Vec<LabeledOp> = w.stream().unwrap().collect();
-        let low_a = ops[..2000]
-            .iter()
-            .filter(|o| o.op.key() < 10_000)
-            .count();
-        let low_b = ops[2000..]
-            .iter()
-            .filter(|o| o.op.key() < 10_000)
-            .count();
+        let low_a = ops[..2000].iter().filter(|o| o.op.key() < 10_000).count();
+        let low_b = ops[2000..].iter().filter(|o| o.op.key() < 10_000).count();
         assert!(low_a < 400, "low_a = {low_a}"); // ~10% of uniform
         assert!(low_b > 1800, "low_b = {low_b}"); // nearly all of normal(0.05)
+    }
+
+    #[test]
+    fn concurrency_burst_defaults_and_validates() {
+        let p = phase("p", KeyDistribution::Uniform, 10);
+        assert_eq!(p.concurrency_burst, 1.0);
+        let burst = p.clone().with_concurrency_burst(2.5);
+        assert_eq!(burst.concurrency_burst, 2.5);
+        assert!(PhasedWorkload::single(burst, 1).is_ok());
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let w = PhasedWorkload::single(p.clone().with_concurrency_burst(bad), 1);
+            assert!(w.is_err(), "burst {bad} accepted");
+        }
     }
 }

@@ -191,7 +191,9 @@ mod tests {
     #[test]
     fn bursty_load_scores_high_variation() {
         let keys = sample(KeyDistribution::Uniform, 5000);
-        let loads: Vec<usize> = (0..20).map(|i| if i % 5 == 0 { 1000 } else { 10 }).collect();
+        let loads: Vec<usize> = (0..20)
+            .map(|i| if i % 5 == 0 { 1000 } else { 10 })
+            .collect();
         let report = score_workload(&keys, &loads);
         assert!(
             report.load_variation_score > 0.5,

@@ -14,25 +14,94 @@ use rand::{Rng, SeedableRng};
 
 /// First-name vocabulary (popularity-ordered; zipf-weighted during sampling).
 const FIRST: &[&str] = &[
-    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
-    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
-    "sarah", "charles", "karen", "chris", "nancy", "daniel", "lisa", "matthew", "betty",
-    "anthony", "margaret", "mark", "sandra", "donald", "ashley", "steven", "kim", "paul",
-    "emily", "andrew", "donna", "joshua", "michelle",
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "chris",
+    "nancy",
+    "daniel",
+    "lisa",
+    "matthew",
+    "betty",
+    "anthony",
+    "margaret",
+    "mark",
+    "sandra",
+    "donald",
+    "ashley",
+    "steven",
+    "kim",
+    "paul",
+    "emily",
+    "andrew",
+    "donna",
+    "joshua",
+    "michelle",
 ];
 
 /// Last-name vocabulary.
 const LAST: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
-    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
-    "thomas", "taylor", "moore", "jackson", "martin", "lee", "perez", "thompson", "white",
-    "harris", "sanchez", "clark", "ramirez", "lewis", "robinson",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
 ];
 
 /// Email domains with zipf-like popularity (first is most common).
 const DOMAINS: &[&str] = &[
-    "gmail.com", "yahoo.com", "hotmail.com", "outlook.com", "aol.com", "icloud.com",
-    "proton.me", "mail.com", "example.org", "fastmail.com",
+    "gmail.com",
+    "yahoo.com",
+    "hotmail.com",
+    "outlook.com",
+    "aol.com",
+    "icloud.com",
+    "proton.me",
+    "mail.com",
+    "example.org",
+    "fastmail.com",
 ];
 
 /// Seeded generator of synthetic email addresses with realistic skew.
@@ -87,8 +156,7 @@ impl EmailGenerator {
             }
             _ => {
                 let initial = &first[..1];
-                format!("{initial}{last}@{domain}"
-                )
+                format!("{initial}{last}@{domain}")
             }
         }
     }

@@ -43,13 +43,7 @@ impl Trace {
     /// Records a whole [`PhasedWorkload`] into a trace (closed-loop: arrival
     /// times are all zero).
     pub fn record(workload: &PhasedWorkload) -> Result<Self> {
-        let mut trace = Trace::new(
-            workload
-                .phases()
-                .iter()
-                .map(|p| p.name.clone())
-                .collect(),
-        );
+        let mut trace = Trace::new(workload.phases().iter().map(|p| p.name.clone()).collect());
         for LabeledOp { op, phase, .. } in workload.stream()? {
             trace.push(TraceEntry {
                 op,

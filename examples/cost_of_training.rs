@@ -22,7 +22,10 @@ fn main() {
     let scenario = Scenario {
         name: "cost-of-training".to_string(),
         dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            distribution: KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
             key_range,
             size: 150_000,
             seed: 81,
@@ -30,7 +33,10 @@ fn main() {
         workload: PhasedWorkload::single(
             WorkloadPhase::new(
                 "reads",
-                KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+                KeyDistribution::LogNormal {
+                    mu: 0.0,
+                    sigma: 1.2,
+                },
                 key_range,
                 OperationMix::ycsb_c(),
                 20_000,
@@ -51,8 +57,8 @@ fn main() {
 
     // The traditional baseline anchors the DBA step function.
     let mut btree = BTreeSut::build(&data).expect("builds");
-    let baseline = run_kv_scenario(&mut btree, &scenario, DriverConfig::default())
-        .expect("run succeeds");
+    let baseline =
+        run_kv_scenario(&mut btree, &scenario, DriverConfig::default()).expect("run succeeds");
     let dba = DbaCostModel::default_model(baseline.mean_throughput());
 
     // Train the learned index at five budgets and measure each.
@@ -71,8 +77,8 @@ fn main() {
             rmi,
             RetrainPolicy::Never,
         );
-        let mut record = run_kv_scenario(&mut sut, &scenario, DriverConfig::default())
-            .expect("run succeeds");
+        let mut record =
+            run_kv_scenario(&mut sut, &scenario, DriverConfig::default()).expect("run succeeds");
         // Project laptop-scale training work to a production-scale
         // deployment (10⁶×) so the dollar axis is meaningful.
         record.final_metrics.training_work =

@@ -17,7 +17,10 @@ fn main() {
     // Main run: the learned system trains and retrains on what it sees.
     let mut scenario = Scenario::two_phase_shift(
         "holdout-demo",
-        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
         KeyDistribution::Zipf { theta: 1.1 },
         100_000,
         20_000,
@@ -44,8 +47,7 @@ fn main() {
     let data = scenario.dataset.build().expect("dataset builds");
 
     println!("SUT            in-sample t/s   out-of-sample t/s   generalization ratio");
-    let mut rmi =
-        RmiSut::build("rmi", &data, RetrainPolicy::OnPhaseChange).expect("rmi builds");
+    let mut rmi = RmiSut::build("rmi", &data, RetrainPolicy::OnPhaseChange).expect("rmi builds");
     let main = run_kv_scenario(&mut rmi, &scenario, DriverConfig::default()).expect("run");
     let hold = run_holdout(&mut rmi, &scenario).expect("holdout run");
     let report = HoldoutReport::new(&main, &hold).expect("report builds");

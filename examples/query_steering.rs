@@ -32,11 +32,25 @@ fn main() {
     .expect("valid generator");
     let mut g2 = JoinQueryGenerator::new(&cat, "fact", vec!["dim_b".into()], (500, 900), 5)
         .expect("valid generator");
-    let phase1: Vec<QueryOp> = g1.take(100).into_iter().map(|query| QueryOp { query }).collect();
-    let phase2: Vec<QueryOp> = g2.take(100).into_iter().map(|query| QueryOp { query }).collect();
+    let phase1: Vec<QueryOp> = g1
+        .take(100)
+        .into_iter()
+        .map(|query| QueryOp { query })
+        .collect();
+    let phase2: Vec<QueryOp> = g2
+        .take(100)
+        .into_iter()
+        .map(|query| QueryOp { query })
+        .collect();
 
-    let t1: Vec<_> = phase1.iter().flat_map(|q| q.query.relations.clone()).collect();
-    let t2: Vec<_> = phase2.iter().flat_map(|q| q.query.relations.clone()).collect();
+    let t1: Vec<_> = phase1
+        .iter()
+        .flat_map(|q| q.query.relations.clone())
+        .collect();
+    let t2: Vec<_> = phase2
+        .iter()
+        .flat_map(|q| q.query.relations.clone())
+        .collect();
     println!(
         "workload Φ between phases (1 − Jaccard over query subtrees): {:.3}\n",
         workload_phi(&t1, &t2)
@@ -48,8 +62,8 @@ fn main() {
 
     println!("SUT                      mean ops/s   label-collection work");
     let mut traditional = TraditionalQuerySut::build(cat.clone()).expect("builds");
-    let r = run_query_workload(&mut traditional, &phases, 1_000_000.0, u64::MAX)
-        .expect("run succeeds");
+    let r =
+        run_query_workload(&mut traditional, &phases, 1_000_000.0, u64::MAX).expect("run succeeds");
     println!(
         "{:<24} {:>10.2}   {:>12}",
         r.sut_name,
@@ -58,8 +72,7 @@ fn main() {
     );
 
     let mut learned = LearnedCardinalitySut::build(cat.clone()).expect("builds");
-    let r = run_query_workload(&mut learned, &phases, 1_000_000.0, u64::MAX)
-        .expect("run succeeds");
+    let r = run_query_workload(&mut learned, &phases, 1_000_000.0, u64::MAX).expect("run succeeds");
     println!(
         "{:<24} {:>10.2}   {:>12}",
         r.sut_name,
@@ -68,8 +81,7 @@ fn main() {
     );
 
     let mut bandit = BanditQuerySut::build(cat, 0.1, 6).expect("builds");
-    let r =
-        run_query_workload(&mut bandit, &phases, 1_000_000.0, u64::MAX).expect("run succeeds");
+    let r = run_query_workload(&mut bandit, &phases, 1_000_000.0, u64::MAX).expect("run succeeds");
     println!(
         "{:<24} {:>10.2}   {:>12}",
         r.sut_name,

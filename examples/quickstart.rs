@@ -30,14 +30,13 @@ fn main() {
 
     // 2. Two systems under test: a learned index (RMI behind a delta buffer
     //    that retrains when 5% of the data is unmerged) and a B+-tree.
-    let mut rmi = RmiSut::build("rmi", &dataset, RetrainPolicy::DeltaFraction(0.05))
-        .expect("rmi builds");
+    let mut rmi =
+        RmiSut::build("rmi", &dataset, RetrainPolicy::DeltaFraction(0.05)).expect("rmi builds");
     let mut btree = BTreeSut::build(&dataset).expect("btree builds");
 
     // 3. Run both through the same scenario on the virtual clock.
     let rmi_run = run_kv_scenario(&mut rmi, &scenario, DriverConfig::default()).expect("run");
-    let btree_run =
-        run_kv_scenario(&mut btree, &scenario, DriverConfig::default()).expect("run");
+    let btree_run = run_kv_scenario(&mut btree, &scenario, DriverConfig::default()).expect("run");
 
     // 4. Traditional metric: average throughput (the paper's Lesson 2 says
     //    this is not enough — but it is where everyone starts).

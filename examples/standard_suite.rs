@@ -16,6 +16,7 @@ fn main() {
         ops_per_phase: 3_000,
         seed: 7,
         work_units_per_second: 1_000_000.0,
+        threads: 1,
     };
 
     let rmi = run_suite(

@@ -27,7 +27,10 @@ const PHASE_OPS: u64 = 20_000;
 
 fn scenario() -> Scenario {
     let distributions = [
-        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
         KeyDistribution::Zipf { theta: 1.1 },
         KeyDistribution::Hotspot {
             hot_span: 0.05,
@@ -56,7 +59,10 @@ fn scenario() -> Scenario {
     Scenario {
         name: "workload-shift".to_string(),
         dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+            distribution: KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
             key_range: KEY_RANGE,
             size: 150_000,
             seed: 78,
@@ -103,14 +109,16 @@ fn main() {
     run(&mut BTreeSut::build(&data).expect("builds"));
     run(&mut RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.05)).expect("builds"));
     run(&mut PgmSut::build("pgm", &data, RetrainPolicy::DeltaFraction(0.05)).expect("builds"));
-    run(&mut SplineSut::build("spline", &data, RetrainPolicy::DeltaFraction(0.05)).expect("builds"));
+    run(
+        &mut SplineSut::build("spline", &data, RetrainPolicy::DeltaFraction(0.05)).expect("builds"),
+    );
     run(&mut AlexSut::build(&data).expect("builds"));
 
     // Specialization report for the learned index (Fig. 1a).
     println!();
     let rmi_record = &records[1];
-    let spec = SpecializationReport::from_record(rmi_record, &phis, 400, &[])
-        .expect("report builds");
+    let spec =
+        SpecializationReport::from_record(rmi_record, &phis, 400, &[]).expect("report builds");
     println!("{}", render_specialization(&spec));
 
     // Adaptability comparison (Fig. 1b).
@@ -127,8 +135,8 @@ fn main() {
     // (Fig. 1c).
     let threshold = s.sla.resolve(Some(&records[0])).expect("resolvable");
     let interval = rmi_record.exec_duration() / 40.0;
-    let sla = SlaReport::from_record(rmi_record, threshold, interval, 2_000)
-        .expect("report builds");
+    let sla =
+        SlaReport::from_record(rmi_record, threshold, interval, 2_000).expect("report builds");
     println!("{}", render_sla(&sla));
 
     // Cost breakdown on CPU and GPU (Fig. 1d).

@@ -1,13 +1,14 @@
 //! `lsbench` — command-line front end for the learned-systems benchmark.
 //!
 //! ```text
-//! lsbench suite [--size N] [--ops N] [--seed N] [--sut NAME]...
+//! lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]...
 //! lsbench quality --dist NAME [--param X]
-//! lsbench shift --sut NAME [--size N] [--ops N]
+//! lsbench shift --sut NAME [--size N] [--ops N] [--threads N]
 //! lsbench list
 //! ```
 
 use lsbench::core::driver::{run_kv_scenario, DriverConfig};
+use lsbench::core::engine::{run_sharded_kv_scenario, shard_dataset, EngineConfig};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
 use lsbench::core::report::{render_adaptability, to_json, write_artifact};
 use lsbench::core::scenario::Scenario;
@@ -38,13 +39,16 @@ fn usage() -> ExitCode {
         "lsbench — benchmark for learned data systems
 
 USAGE:
-  lsbench suite [--size N] [--ops N] [--seed N] [--sut NAME]...
+  lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]...
       Run the standard 5-scenario suite (default: all SUTs) and print the
       cross-SUT comparison. Artifacts land in target/lsbench-results/.
+      --threads N > 1 key-range-shards every scenario across N worker
+      threads on the concurrent engine.
 
-  lsbench shift --sut NAME [--size N] [--ops N] [--seed N]
+  lsbench shift --sut NAME [--size N] [--ops N] [--seed N] [--threads N]
       Run the canonical two-phase distribution-shift scenario for one SUT
-      and print its adaptability report.
+      and print its adaptability report. --threads N > 1 runs it sharded
+      on the concurrent engine and also prints merged latency quantiles.
 
   lsbench quality --dist NAME [--theta X]
       Score a key distribution with the §V-C quality tool.
@@ -69,19 +73,22 @@ fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T
         .unwrap_or(default)
 }
 
-fn build_sut(name: &str, data: &Dataset) -> lsbench::core::Result<Box<dyn SystemUnderTest<Operation>>> {
+fn build_sut(
+    name: &str,
+    data: &Dataset,
+) -> lsbench::core::Result<Box<dyn SystemUnderTest<Operation> + Send>> {
     let err = |e: lsbench::sut::SutError| BenchError::Sut(e.to_string());
     Ok(match name {
         "btree" => Box::new(BTreeSut::build(data).map_err(err)?),
         "sorted-array" => Box::new(SortedArraySut::build(data).map_err(err)?),
         "hash" => Box::new(HashSut::build(data).map_err(err)?),
         "alex" => Box::new(AlexSut::build(data).map_err(err)?),
-        "rmi" => Box::new(
-            RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?,
-        ),
-        "pgm" => Box::new(
-            PgmSut::build("pgm", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?,
-        ),
+        "rmi" => {
+            Box::new(RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?)
+        }
+        "pgm" => {
+            Box::new(PgmSut::build("pgm", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?)
+        }
         "spline" => Box::new(
             SplineSut::build("spline", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?,
         ),
@@ -99,6 +106,7 @@ fn cmd_suite(args: &[String]) -> ExitCode {
         ops_per_phase: parse_num(args, "--ops", 10_000),
         seed: parse_num(args, "--seed", 0x5EED),
         work_units_per_second: 1_000_000.0,
+        threads: parse_num(args, "--threads", 1),
     };
     let chosen: Vec<String> = {
         let mut names: Vec<String> = args
@@ -142,7 +150,10 @@ fn cmd_shift(args: &[String]) -> ExitCode {
     };
     let scenario = match Scenario::two_phase_shift(
         "cli-shift",
-        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
         KeyDistribution::Normal {
             center: 0.9,
             std_frac: 0.03,
@@ -164,34 +175,72 @@ fn cmd_shift(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut sut = match build_sut(&sut_name, &data) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    let threads: usize = parse_num(args, "--threads", 1);
+    let record = if threads <= 1 {
+        let mut sut = match build_sut(&sut_name, &data) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match run_kv_scenario(sut.as_mut(), &scenario, DriverConfig::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let sharded = shard_dataset(&data, threads).and_then(|(router, shards)| {
+            let mut suts = shards
+                .iter()
+                .map(|d| build_sut(&sut_name, d))
+                .collect::<lsbench::core::Result<Vec<_>>>()?;
+            run_sharded_kv_scenario(
+                &mut suts,
+                &router,
+                &scenario,
+                &EngineConfig::with_concurrency(threads),
+            )
+        });
+        match sharded {
+            Ok(report) => {
+                let q = |p: f64| {
+                    report
+                        .latency
+                        .quantile(p)
+                        .map(|ns| ns as f64 / 1e9)
+                        .unwrap_or(f64::NAN)
+                };
+                println!(
+                    "[engine] {} threads, {} lanes, p50 {:.6}s p99 {:.6}s (virtual)",
+                    report.threads,
+                    report.lanes,
+                    q(0.50),
+                    q(0.99)
+                );
+                report.record
+            }
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    match run_kv_scenario(sut.as_mut(), &scenario, DriverConfig::default()) {
-        Ok(record) => {
-            println!(
-                "{}: {:.0} ops/s mean, {} completed, {} failures, training {:.3}s",
-                record.sut_name,
-                record.mean_throughput(),
-                record.completed(),
-                record.failures(),
-                record.train.seconds
-            );
-            match AdaptabilityReport::from_record(&record) {
-                Ok(rep) => println!("{}", render_adaptability(&[&rep])),
-                Err(e) => eprintln!("metrics failed: {e}"),
-            }
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("run failed: {e}");
-            ExitCode::FAILURE
-        }
+    println!(
+        "{}: {:.0} ops/s mean, {} completed, {} failures, training {:.3}s",
+        record.sut_name,
+        record.mean_throughput(),
+        record.completed(),
+        record.failures(),
+        record.train.seconds
+    );
+    match AdaptabilityReport::from_record(&record) {
+        Ok(rep) => println!("{}", render_adaptability(&[&rep])),
+        Err(e) => eprintln!("metrics failed: {e}"),
     }
+    ExitCode::SUCCESS
 }
 
 fn cmd_quality(args: &[String]) -> ExitCode {
@@ -203,7 +252,10 @@ fn cmd_quality(args: &[String]) -> ExitCode {
     let dist = match dist_name.as_str() {
         "uniform" => KeyDistribution::Uniform,
         "zipf" => KeyDistribution::Zipf { theta },
-        "lognormal" => KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        "lognormal" => KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
         "hotspot" => KeyDistribution::Hotspot {
             hot_span: 0.05,
             hot_fraction: 0.95,

@@ -3,6 +3,7 @@
 //! property that makes results "comparable across many deployments" (§IV).
 
 use lsbench::core::driver::{run_kv_scenario, DriverConfig};
+use lsbench::core::engine::{run_sharded_kv_scenario, shard_dataset, EngineConfig};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
 use lsbench::core::record::RunRecord;
 use lsbench::core::scenario::Scenario;
@@ -12,7 +13,10 @@ use lsbench::workload::keygen::KeyDistribution;
 fn scenario(seed: u64) -> Scenario {
     Scenario::two_phase_shift(
         "determinism",
-        KeyDistribution::LogNormal { mu: 0.0, sigma: 1.2 },
+        KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
         KeyDistribution::Zipf { theta: 1.2 },
         20_000,
         3_000,
@@ -64,6 +68,55 @@ fn adaptive_structures_deterministic_too() {
     let b = run();
     assert_eq!(a.ops, b.ops);
     assert_eq!(a.final_metrics.adaptations, b.final_metrics.adaptations);
+}
+
+#[test]
+fn concurrent_engine_is_worker_count_invariant() {
+    // The engine's contract: lanes determine results, threads never do.
+    // Four key-range shards of adaptive (retraining) SUTs must merge to
+    // bit-identical records, histograms, and interval counts whether one,
+    // two, or four workers executed them — and metric reports derived from
+    // the merged record must match in turn.
+    use lsbench::sut::sut::SystemUnderTest;
+    use lsbench::workload::ops::Operation;
+    let s = scenario(13);
+    let data = s.dataset.build().unwrap();
+    let (router, shards) = shard_dataset(&data, 4).unwrap();
+    let run = |threads: usize| {
+        let mut suts: Vec<Box<dyn SystemUnderTest<Operation> + Send>> = shards
+            .iter()
+            .map(|d| {
+                Box::new(RmiSut::build("rmi", d, RetrainPolicy::DeltaFraction(0.05)).unwrap())
+                    as Box<dyn SystemUnderTest<Operation> + Send>
+            })
+            .collect();
+        let config = EngineConfig {
+            threads,
+            lanes: 4,
+            ..EngineConfig::default()
+        };
+        run_sharded_kv_scenario(&mut suts, &router, &s, &config).unwrap()
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    let base = AdaptabilityReport::from_record(&one.record).unwrap();
+    for other in [&two, &four] {
+        assert_eq!(one.record.ops, other.record.ops);
+        assert_eq!(
+            one.record.phase_change_times,
+            other.record.phase_change_times
+        );
+        assert_eq!(one.record.exec_start, other.record.exec_start);
+        assert_eq!(one.record.exec_end, other.record.exec_end);
+        assert_eq!(one.record.train, other.record.train);
+        assert_eq!(one.record.final_metrics, other.record.final_metrics);
+        assert_eq!(one.latency, other.latency);
+        assert_eq!(one.completions, other.completions);
+        let rep = AdaptabilityReport::from_record(&other.record).unwrap();
+        assert_eq!(base.area_vs_ideal, rep.area_vs_ideal);
+        assert_eq!(base.curve, rep.curve);
+    }
 }
 
 #[test]

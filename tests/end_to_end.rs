@@ -2,6 +2,7 @@
 //! complete metric pipeline, and report serialization.
 
 use lsbench::core::driver::{run_kv_scenario, run_query_workload, DriverConfig};
+use lsbench::core::engine::{run_concurrent_kv_scenario, EngineConfig};
 use lsbench::core::holdout::{run_holdout, HoldoutReport};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
 use lsbench::core::metrics::cost::CostReport;
@@ -37,25 +38,49 @@ fn small_scenario() -> Scenario {
     .expect("valid scenario")
 }
 
+fn all_kv_suts(
+    data: &lsbench::workload::dataset::Dataset,
+) -> Vec<Box<dyn SystemUnderTest<Operation> + Send>> {
+    vec![
+        Box::new(BTreeSut::build(data).unwrap()),
+        Box::new(SortedArraySut::build(data).unwrap()),
+        Box::new(HashSut::build(data).unwrap()),
+        Box::new(AlexSut::build(data).unwrap()),
+        Box::new(RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05)).unwrap()),
+        Box::new(PgmSut::build("pgm", data, RetrainPolicy::OnPhaseChange).unwrap()),
+        Box::new(SplineSut::build("spline", data, RetrainPolicy::Never).unwrap()),
+    ]
+}
+
 #[test]
 fn every_kv_sut_completes_a_scenario() {
     let s = small_scenario();
     let data = s.dataset.build().expect("builds");
-    let mut suts: Vec<Box<dyn SystemUnderTest<Operation>>> = vec![
-        Box::new(BTreeSut::build(&data).unwrap()),
-        Box::new(SortedArraySut::build(&data).unwrap()),
-        Box::new(HashSut::build(&data).unwrap()),
-        Box::new(AlexSut::build(&data).unwrap()),
-        Box::new(RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.05)).unwrap()),
-        Box::new(PgmSut::build("pgm", &data, RetrainPolicy::OnPhaseChange).unwrap()),
-        Box::new(SplineSut::build("spline", &data, RetrainPolicy::Never).unwrap()),
-    ];
-    for sut in &mut suts {
+    for sut in &mut all_kv_suts(&data) {
         let r = run_kv_scenario(sut.as_mut(), &s, DriverConfig::default()).unwrap();
         assert_eq!(r.completed(), 4_000, "{}", r.sut_name);
         assert!(r.exec_end > r.exec_start, "{}", r.sut_name);
         assert!(r.mean_throughput() > 0.0, "{}", r.sut_name);
         // All ops recorded with monotone time.
+        for w in r.ops.windows(2) {
+            assert!(w[0].t_end <= w[1].t_end);
+        }
+    }
+}
+
+#[test]
+fn every_kv_sut_completes_on_the_concurrent_engine() {
+    let s = small_scenario();
+    let data = s.dataset.build().expect("builds");
+    for sut in &mut all_kv_suts(&data) {
+        let report =
+            run_concurrent_kv_scenario(sut.as_mut(), &s, &EngineConfig::with_concurrency(4))
+                .unwrap();
+        let r = &report.record;
+        assert_eq!(r.completed(), 4_000, "{}", r.sut_name);
+        assert_eq!(report.latency.total(), 4_000, "{}", r.sut_name);
+        assert_eq!(report.completions.total(), 4_000, "{}", r.sut_name);
+        assert!(r.exec_end > r.exec_start, "{}", r.sut_name);
         for w in r.ops.windows(2) {
             assert!(w[0].t_end <= w[1].t_end);
         }
@@ -102,11 +127,8 @@ fn full_metric_pipeline_from_one_run() {
     assert_eq!(total, record.completed());
 
     // Fig. 1d.
-    let cost = CostReport::from_record(
-        &record,
-        &[HardwareProfile::cpu(), HardwareProfile::gpu()],
-    )
-    .unwrap();
+    let cost = CostReport::from_record(&record, &[HardwareProfile::cpu(), HardwareProfile::gpu()])
+        .unwrap();
     assert_eq!(cost.breakdowns.len(), 2);
     assert!(cost.breakdowns[0].training.dollars >= 0.0);
 
@@ -158,9 +180,12 @@ fn query_suts_complete_a_workload() {
     let mut cat = Catalog::new();
     cat.add(Table::generate("fact", 5_000, 3, 1));
     cat.add(Table::generate("dim", 200, 2, 2));
-    let mut g =
-        JoinQueryGenerator::new(&cat, "fact", vec!["dim".into()], (0, 500), 3).unwrap();
-    let ops: Vec<QueryOp> = g.take(30).into_iter().map(|query| QueryOp { query }).collect();
+    let mut g = JoinQueryGenerator::new(&cat, "fact", vec!["dim".into()], (0, 500), 3).unwrap();
+    let ops: Vec<QueryOp> = g
+        .take(30)
+        .into_iter()
+        .map(|query| QueryOp { query })
+        .collect();
     let phases = vec![("p0".to_string(), ops)];
 
     let mut suts: Vec<Box<dyn SystemUnderTest<QueryOp>>> = vec![

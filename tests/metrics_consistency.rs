@@ -39,13 +39,8 @@ fn run_pair() -> (RunRecord, RunRecord) {
 fn sla_bands_conserve_completions() {
     let (rmi, _) = run_pair();
     for interval_div in [7.0, 23.0, 50.0] {
-        let report = SlaReport::from_record(
-            &rmi,
-            0.0001,
-            rmi.exec_duration() / interval_div,
-            100,
-        )
-        .unwrap();
+        let report =
+            SlaReport::from_record(&rmi, 0.0001, rmi.exec_duration() / interval_div, 100).unwrap();
         let banded: usize = report.bands.iter().map(|b| b.total()).sum();
         assert_eq!(banded, rmi.completed(), "interval_div = {interval_div}");
         let colored: usize = report
@@ -57,8 +52,7 @@ fn sla_bands_conserve_completions() {
         // Violation fraction consistent with band sums.
         let violated: usize = report.bands.iter().map(|b| b.violated).sum();
         assert!(
-            (report.violation_fraction - violated as f64 / rmi.completed() as f64).abs()
-                < 1e-12
+            (report.violation_fraction - violated as f64 / rmi.completed() as f64).abs() < 1e-12
         );
     }
 }
@@ -109,7 +103,11 @@ fn cost_scales_with_hardware_consistently() {
     )
     .unwrap();
     // Same work, faster hardware: seconds strictly decrease.
-    let secs: Vec<f64> = report.breakdowns.iter().map(|b| b.training.seconds).collect();
+    let secs: Vec<f64> = report
+        .breakdowns
+        .iter()
+        .map(|b| b.training.seconds)
+        .collect();
     assert!(secs[0] > secs[1] && secs[1] > secs[2], "{secs:?}");
     // Dollars = seconds × rate, so ratios must match profile rates.
     let cpu = &report.breakdowns[0];
