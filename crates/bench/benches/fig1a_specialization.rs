@@ -16,7 +16,8 @@ use lsbench_core::metrics::phi::{distribution_phis, DataPhiMethod};
 use lsbench_core::metrics::specialization::SpecializationReport;
 use lsbench_core::report::{render_specialization, series_csv, to_json, write_artifact};
 use lsbench_core::scenario::Scenario;
-use lsbench_sut::kv::{AlexSut, BTreeSut, RetrainPolicy, RmiSut};
+use lsbench_core::sut_registry::SutRegistry;
+use lsbench_sut::kv::{RetrainPolicy, RmiSut};
 use lsbench_sut::sut::SystemUnderTest;
 use lsbench_workload::ops::{Operation, OperationMix};
 
@@ -42,7 +43,11 @@ fn scenario() -> Scenario {
     s
 }
 
-fn run_one<S: SystemUnderTest<Operation>>(sut: &mut S, s: &Scenario, phis: &[f64]) -> String {
+fn run_one<S: SystemUnderTest<Operation> + ?Sized>(
+    sut: &mut S,
+    s: &Scenario,
+    phis: &[f64],
+) -> String {
     let record = run_kv_scenario(sut, s, DriverConfig::default()).expect("run succeeds");
     let report = SpecializationReport::from_record(&record, phis, OPS_PER_WINDOW, &[])
         .expect("report builds");
@@ -75,12 +80,16 @@ fn main() {
     .expect("phi computation succeeds");
 
     println!("=== F1a: specialization (throughput box plots per distribution, Φ-sorted) ===\n");
+    // The RMI is frozen (RetrainPolicy::Never) so the figure shows pure
+    // specialization, not adaptation — the registry's default retrains, so
+    // this SUT stays hand-built.
     let mut rmi = RmiSut::build("rmi", &data, RetrainPolicy::Never).expect("rmi builds");
     emit("fig1a_rmi.txt", &run_one(&mut rmi, &s, &phis));
 
-    let mut btree = BTreeSut::build(&data).expect("btree builds");
-    emit("fig1a_btree.txt", &run_one(&mut btree, &s, &phis));
+    let registry = SutRegistry::default();
+    let mut btree = registry.build("btree", &data).expect("btree builds");
+    emit("fig1a_btree.txt", &run_one(&mut *btree, &s, &phis));
 
-    let mut alex = AlexSut::build(&data).expect("alex builds");
-    emit("fig1a_alex.txt", &run_one(&mut alex, &s, &phis));
+    let mut alex = registry.build("alex", &data).expect("alex builds");
+    emit("fig1a_alex.txt", &run_one(&mut *alex, &s, &phis));
 }

@@ -11,12 +11,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lsbench_bench::emit;
 use lsbench_core::engine::{run_sharded_kv_scenario, shard_dataset, EngineConfig};
+use lsbench_core::runner::BoxedKvSut;
 use lsbench_core::scenario::Scenario;
-use lsbench_sut::kv::BTreeSut;
-use lsbench_sut::sut::SystemUnderTest;
+use lsbench_core::sut_registry::SutRegistry;
 use lsbench_workload::dataset::Dataset;
 use lsbench_workload::keygen::KeyDistribution;
-use lsbench_workload::ops::Operation;
 
 const CONCURRENCY: [usize; 4] = [1, 2, 4, 8];
 
@@ -35,17 +34,15 @@ fn scenario() -> Scenario {
     .expect("valid scenario")
 }
 
-fn shard_suts(shards: &[Dataset]) -> Vec<Box<dyn SystemUnderTest<Operation> + Send>> {
+fn shard_suts(registry: &SutRegistry, shards: &[Dataset]) -> Vec<BoxedKvSut> {
     shards
         .iter()
-        .map(|d| {
-            Box::new(BTreeSut::build(d).expect("shard builds"))
-                as Box<dyn SystemUnderTest<Operation> + Send>
-        })
+        .map(|d| registry.build("btree", d).expect("shard builds"))
         .collect()
 }
 
 fn bench_scaling(c: &mut Criterion) {
+    let registry = SutRegistry::default();
     let s = scenario();
     let data = s.dataset.build().expect("dataset builds");
     let mut group = c.benchmark_group("sharded_btree_scaling");
@@ -56,7 +53,7 @@ fn bench_scaling(c: &mut Criterion) {
         let (router, shards) = shard_dataset(&data, n).expect("shards");
         let config = EngineConfig::with_concurrency(n);
         let report = {
-            let mut suts = shard_suts(&shards);
+            let mut suts = shard_suts(&registry, &shards);
             run_sharded_kv_scenario(&mut suts, &router, &s, &config).expect("run")
         };
         let tput = report.record.mean_throughput();
@@ -66,7 +63,7 @@ fn bench_scaling(c: &mut Criterion) {
         table.push_str(&format!("{n:>7}  {tput:>13.0}  {:>7.2}\n", tput / base));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
-                let mut suts = shard_suts(&shards);
+                let mut suts = shard_suts(&registry, &shards);
                 let _ = n;
                 run_sharded_kv_scenario(&mut suts, &router, &s, &config).expect("run")
             })

@@ -1,26 +1,16 @@
-//! **Suite — the "official result"**: every KV SUT through the standard
-//! five-scenario suite, with per-scenario SLA calibration from the B+-tree
-//! baseline and the S1 hold-out pass.
+//! **Suite — the "official result"**: every registered KV SUT through the
+//! standard five-scenario suite, with per-scenario SLA calibration from
+//! the B+-tree baseline and the S1 hold-out pass.
 //!
 //! This is the §V-A "benchmark-as-a-service" artifact: one table that a
-//! result submission would consist of.
+//! result submission would consist of. The SUT roster comes from
+//! [`SutRegistry`] — the same names `lsbench list` prints — so this bench
+//! stays in lockstep with the CLI.
 
 use lsbench_bench::emit;
 use lsbench_core::report::{to_json, write_artifact};
 use lsbench_core::suite::{render_comparison, run_suite, SuiteConfig, SuiteResult};
-use lsbench_core::BenchError;
-use lsbench_sut::kv::{
-    AlexSut, BTreeSut, HashSut, PgmSut, RetrainPolicy, RmiSut, SortedArraySut, SplineSut,
-};
-use lsbench_sut::sut::SystemUnderTest;
-use lsbench_workload::dataset::Dataset;
-use lsbench_workload::ops::Operation;
-
-type BoxSut = Box<dyn SystemUnderTest<Operation> + Send>;
-
-fn sut_err(e: impl std::fmt::Display) -> BenchError {
-    BenchError::Sut(e.to_string())
-}
+use lsbench_core::sut_registry::SutRegistry;
 
 fn main() {
     let cfg = SuiteConfig {
@@ -30,61 +20,17 @@ fn main() {
         work_units_per_second: 1_000_000.0,
         threads: 1,
     };
-    println!("=== Standard suite: 5 scenarios × 7 SUTs ===\n");
-
-    type Factory = Box<dyn FnMut(&Dataset) -> lsbench_core::Result<BoxSut>>;
-    let factories: Vec<(&str, Factory)> = vec![
-        (
-            "btree",
-            Box::new(|d: &Dataset| Ok(Box::new(BTreeSut::build(d).map_err(sut_err)?) as BoxSut)),
-        ),
-        (
-            "sorted-array",
-            Box::new(|d: &Dataset| {
-                Ok(Box::new(SortedArraySut::build(d).map_err(sut_err)?) as BoxSut)
-            }),
-        ),
-        (
-            "hash",
-            Box::new(|d: &Dataset| Ok(Box::new(HashSut::build(d).map_err(sut_err)?) as BoxSut)),
-        ),
-        (
-            "alex",
-            Box::new(|d: &Dataset| Ok(Box::new(AlexSut::build(d).map_err(sut_err)?) as BoxSut)),
-        ),
-        (
-            "rmi+retrain",
-            Box::new(|d: &Dataset| {
-                Ok(Box::new(
-                    RmiSut::build("rmi+retrain", d, RetrainPolicy::DeltaFraction(0.05))
-                        .map_err(sut_err)?,
-                ) as BoxSut)
-            }),
-        ),
-        (
-            "pgm+retrain",
-            Box::new(|d: &Dataset| {
-                Ok(Box::new(
-                    PgmSut::build("pgm+retrain", d, RetrainPolicy::DeltaFraction(0.05))
-                        .map_err(sut_err)?,
-                ) as BoxSut)
-            }),
-        ),
-        (
-            "spline+retrain",
-            Box::new(|d: &Dataset| {
-                Ok(Box::new(
-                    SplineSut::build("spline+retrain", d, RetrainPolicy::DeltaFraction(0.05))
-                        .map_err(sut_err)?,
-                ) as BoxSut)
-            }),
-        ),
-    ];
+    let registry = SutRegistry::default();
+    println!(
+        "=== Standard suite: 5 scenarios × {} SUTs ===\n",
+        registry.names().len()
+    );
 
     let mut results: Vec<SuiteResult> = Vec::new();
-    for (name, mut factory) in factories {
+    for name in registry.names() {
         print!("running {name} ... ");
-        let result = run_suite(&mut factory, &cfg).expect("suite run succeeds");
+        let factory = registry.factory(name).expect("registered");
+        let result = run_suite(factory, &cfg).expect("suite run succeeds");
         println!("done");
         results.push(result);
     }

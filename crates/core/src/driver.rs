@@ -11,6 +11,7 @@
 //! is exactly how adaptation cost becomes visible in the Fig. 1b/1c
 //! curves.
 
+use crate::obs::RunObserver;
 use crate::record::{OpRecord, RunRecord, TrainInfo};
 use crate::scenario::Scenario;
 use crate::{BenchError, Result};
@@ -49,6 +50,22 @@ pub fn run_kv_scenario<S: SystemUnderTest<Operation> + ?Sized>(
     scenario: &Scenario,
     config: DriverConfig,
 ) -> Result<RunRecord> {
+    run_kv_scenario_observed(sut, scenario, config, &mut RunObserver::disabled())
+}
+
+/// [`run_kv_scenario`] with observability: the observer receives run events
+/// (on the virtual clock), hot-path counters, and latency samples.
+///
+/// Observation never advances or reads the clock as a side effect, so the
+/// returned [`RunRecord`] is bit-identical whether the observer is active,
+/// tracing, or [`RunObserver::disabled`] (enforced by
+/// `tests/observability.rs`).
+pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
+    sut: &mut S,
+    scenario: &Scenario,
+    config: DriverConfig,
+    obs: &mut RunObserver,
+) -> Result<RunRecord> {
     scenario.validate()?;
     let stream = scenario
         .workload
@@ -58,6 +75,7 @@ pub fn run_kv_scenario<S: SystemUnderTest<Operation> + ?Sized>(
     let mut clock = SimClock::new();
 
     // Training phase (Lesson 3: first-class result).
+    obs.train_start(0.0, scenario.train_budget);
     let train_work = sut.train(scenario.train_budget);
     clock.advance(train_work as f64 / rate);
     let train = TrainInfo {
@@ -65,6 +83,9 @@ pub fn run_kv_scenario<S: SystemUnderTest<Operation> + ?Sized>(
         seconds: clock.now(),
     };
     let exec_start = clock.now();
+    obs.train_end(exec_start, train_work);
+    // Phase-0 anchor, mirroring `phase_change_times[0]`.
+    obs.root.phase_change(exec_start, 0);
 
     let mut ops = Vec::with_capacity(scenario.workload.total_ops().min(1 << 22) as usize);
     let mut phase_change_times = vec![(0usize, exec_start)];
@@ -94,14 +115,20 @@ pub fn run_kv_scenario<S: SystemUnderTest<Operation> + ?Sized>(
         if labeled.phase != current_phase {
             current_phase = labeled.phase;
             phase_change_times.push((current_phase, clock.now()));
+            obs.root.phase_change(clock.now(), current_phase);
             let adapt_work = sut.on_phase_change(current_phase);
             backlog += adapt_work as f64 / rate;
+            obs.root
+                .retrain_burst(clock.now(), current_phase, adapt_work);
+            obs.root.backlog(clock.now(), backlog);
         }
         since_maintenance += 1;
         if since_maintenance >= scenario.maintenance_every {
             since_maintenance = 0;
             let maint_work = sut.maintenance();
             backlog += maint_work as f64 / rate;
+            obs.root.maintenance(clock.now(), maint_work);
+            obs.root.backlog(clock.now(), backlog);
         }
         // In open loop the server may idle until the next arrival.
         let arrival_t = arrivals.as_mut().map(|g| {
@@ -125,6 +152,8 @@ pub fn run_kv_scenario<S: SystemUnderTest<Operation> + ?Sized>(
             Some(a) => clock.now() - a,
             None => service,
         };
+        obs.root
+            .op_done(clock.now(), clock.now() - exec_start, latency, outcome.ok);
         ops.push(OpRecord {
             t_end: clock.now(),
             latency,
@@ -137,6 +166,7 @@ pub fn run_kv_scenario<S: SystemUnderTest<Operation> + ?Sized>(
     // Any undrained background-training backlog must still be paid before
     // the run can be declared finished (conservation of adaptation work).
     clock.advance(backlog);
+    obs.run_end(clock.now(), ops.len() as u64);
 
     Ok(RunRecord {
         sut_name: sut.name(),
@@ -225,7 +255,8 @@ impl Default for ReplayConfig {
     }
 }
 
-/// Replays a recorded [`Trace`] against a SUT.
+/// Replays a recorded [`Trace`](lsbench_workload::trace::Trace) against a
+/// SUT.
 ///
 /// This is the mechanism behind §V-A's requirement that hold-out workloads
 /// be presented to every system *identically and exactly once*: a trace is

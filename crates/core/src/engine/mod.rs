@@ -19,7 +19,7 @@
 //! driver's loop on its own virtual clock over its own operation
 //! subsequence, so a run with 4 lanes produces bit-identical merged
 //! output whether it used 1, 2, or 4 worker threads. Workers pull
-//! pre-partitioned operation [`Batch`](worker::Batch)es over crossbeam
+//! pre-partitioned operation `Batch`es over crossbeam
 //! channels (lane → worker by `lane % threads`).
 //!
 //! Two sharing models are provided:
@@ -39,7 +39,7 @@
 //! shape the serial driver produces, so adaptability, SLA-band, and
 //! specialization metrics work on concurrent runs unchanged.
 
-mod latency;
+pub(crate) mod latency;
 mod merge;
 mod shard;
 mod worker;
@@ -47,6 +47,7 @@ mod worker;
 pub use shard::{shard_dataset, KeyRouter};
 
 use crate::driver::DriverConfig;
+use crate::obs::{LaneObs, RunObserver};
 use crate::record::{RunRecord, TrainInfo};
 use crate::scenario::Scenario;
 use crate::{BenchError, Result};
@@ -266,18 +267,38 @@ pub fn run_concurrent_kv_scenario<S>(
 where
     S: SystemUnderTest<Operation> + Send + ?Sized,
 {
+    run_concurrent_kv_scenario_observed(sut, scenario, config, &mut RunObserver::disabled())
+}
+
+/// [`run_concurrent_kv_scenario`] with observability: lanes accumulate
+/// events and counters locally (on their own virtual clocks) and the
+/// observer absorbs them at join, so the merged trace is deterministic for
+/// any worker-thread count. The returned [`EngineReport`] is bit-identical
+/// whether the observer is active or [`RunObserver::disabled`].
+pub fn run_concurrent_kv_scenario_observed<S>(
+    sut: &mut S,
+    scenario: &Scenario,
+    config: &EngineConfig,
+    obs: &mut RunObserver,
+) -> Result<EngineReport>
+where
+    S: SystemUnderTest<Operation> + Send + ?Sized,
+{
     scenario.validate()?;
     config.validate()?;
     let rate = scenario.work_units_per_second;
     let labeled = collect_stream(scenario, config.max_ops)?;
 
     let sut_name = sut.name();
+    obs.train_start(0.0, scenario.train_budget);
     let train_work = sut.train(scenario.train_budget);
     let exec_start = train_work as f64 / rate;
     let train = TrainInfo {
         work: train_work,
         seconds: exec_start,
     };
+    obs.train_end(exec_start, train_work);
+    obs.root.phase_change(exec_start, 0);
 
     let intended = intended_times(scenario, &labeled, exec_start)?;
     let lanes = config.lanes;
@@ -303,6 +324,8 @@ where
         online_train: scenario.online_train,
         exec_start,
         interval_width: config.completion_interval,
+        obs_cfg: *obs.config(),
+        obs_active: obs.is_active(),
     };
     let mutex = Mutex::new(sut);
     let mut senders: Vec<Sender<Batch>> = Vec::with_capacity(threads);
@@ -330,8 +353,8 @@ where
         .into_inner()
         .map_err(|_| BenchError::Sut("shared SUT mutex poisoned".to_string()))?
         .metrics();
-    merge_lanes(
-        lane_results,
+    let report = merge_lanes(
+        absorb_lane_obs(lane_results, obs),
         MergeContext {
             sut_name,
             scenario,
@@ -342,7 +365,30 @@ where
             threads,
             lanes,
         },
-    )
+    )?;
+    finish_engine_obs(obs, &report);
+    Ok(report)
+}
+
+/// Moves each lane's observability state into the run observer, leaving
+/// the lane results themselves ready for merging.
+fn absorb_lane_obs(mut lane_results: Vec<LaneResult>, obs: &mut RunObserver) -> Vec<LaneResult> {
+    if obs.is_active() {
+        let lane_obs = lane_results
+            .iter_mut()
+            .map(|l| std::mem::replace(&mut l.obs, LaneObs::inert()))
+            .collect();
+        obs.absorb(lane_obs);
+    }
+    lane_results
+}
+
+/// Coordinator-side events once the merge is done: the merge itself and
+/// the end of the run, both stamped at the merged `exec_end`.
+fn finish_engine_obs(obs: &mut RunObserver, report: &EngineReport) {
+    let end = report.record.exec_end;
+    obs.shard_merge(end, report.lanes, report.threads);
+    obs.run_end(end, report.record.ops.len() as u64);
 }
 
 /// Runs a scenario over **key-range-sharded** SUTs: `suts[i]` owns shard
@@ -360,6 +406,18 @@ pub fn run_sharded_kv_scenario(
     router: &KeyRouter,
     scenario: &Scenario,
     config: &EngineConfig,
+) -> Result<EngineReport> {
+    run_sharded_kv_scenario_observed(suts, router, scenario, config, &mut RunObserver::disabled())
+}
+
+/// [`run_sharded_kv_scenario`] with observability; see
+/// [`run_concurrent_kv_scenario_observed`] for the guarantees.
+pub fn run_sharded_kv_scenario_observed(
+    suts: &mut [Box<dyn SystemUnderTest<Operation> + Send>],
+    router: &KeyRouter,
+    scenario: &Scenario,
+    config: &EngineConfig,
+    obs: &mut RunObserver,
 ) -> Result<EngineReport> {
     scenario.validate()?;
     config.validate()?;
@@ -379,6 +437,7 @@ pub fn run_sharded_kv_scenario(
     let labeled = collect_stream(scenario, config.max_ops)?;
 
     let sut_name = suts[0].name();
+    obs.train_start(0.0, scenario.train_budget);
     let mut train_work_total = 0u64;
     let mut slowest_train = 0u64;
     for sut in suts.iter_mut() {
@@ -391,6 +450,8 @@ pub fn run_sharded_kv_scenario(
         work: train_work_total,
         seconds: exec_start,
     };
+    obs.train_end(exec_start, train_work_total);
+    obs.root.phase_change(exec_start, 0);
 
     let intended = intended_times(scenario, &labeled, exec_start)?;
     let lanes = suts.len();
@@ -417,6 +478,8 @@ pub fn run_sharded_kv_scenario(
         online_train: scenario.online_train,
         exec_start,
         interval_width: config.completion_interval,
+        obs_cfg: *obs.config(),
+        obs_active: obs.is_active(),
     };
     let mut senders: Vec<Sender<Batch>> = Vec::with_capacity(threads);
     let mut receivers: Vec<Receiver<Batch>> = Vec::with_capacity(threads);
@@ -445,8 +508,8 @@ pub fn run_sharded_kv_scenario(
     })?;
 
     let final_metrics = sum_metrics(suts.iter().map(|s| s.metrics()));
-    merge_lanes(
-        lane_results,
+    let report = merge_lanes(
+        absorb_lane_obs(lane_results, obs),
         MergeContext {
             sut_name,
             scenario,
@@ -457,7 +520,9 @@ pub fn run_sharded_kv_scenario(
             threads,
             lanes,
         },
-    )
+    )?;
+    finish_engine_obs(obs, &report);
+    Ok(report)
 }
 
 /// Runs the scenario's hold-out workload once against already-run shard

@@ -11,6 +11,7 @@
 
 use super::latency::LaneRecorder;
 use crate::driver::service_with_backlog;
+use crate::obs::{LaneObs, ObsConfig};
 use crate::record::OpRecord;
 use crate::scenario::OnlineTrainMode;
 use crate::{BenchError, Result};
@@ -63,6 +64,10 @@ pub(crate) struct LaneParams {
     pub exec_start: f64,
     /// Completion-counter interval width.
     pub interval_width: f64,
+    /// Observability configuration shared by every lane.
+    pub obs_cfg: ObsConfig,
+    /// Whether lanes observe at all (false = fully inert hooks).
+    pub obs_active: bool,
 }
 
 /// Everything one lane produced, returned to the coordinator at join.
@@ -79,6 +84,8 @@ pub(crate) struct LaneResult {
     pub final_clock: f64,
     /// Latency histogram + per-interval completion counts.
     pub recorder: LaneRecorder,
+    /// The lane's observability state (events, counters, histogram).
+    pub obs: LaneObs,
 }
 
 /// How a worker reaches the system(s) under test.
@@ -103,10 +110,11 @@ struct LaneState {
     ops: Vec<(u64, OpRecord)>,
     phase_first: Vec<(usize, f64)>,
     recorder: LaneRecorder,
+    obs: LaneObs,
 }
 
 impl LaneState {
-    fn new(params: &LaneParams) -> Result<Self> {
+    fn new(params: &LaneParams, lane: usize) -> Result<Self> {
         Ok(LaneState {
             clock: params.exec_start,
             backlog: 0.0,
@@ -115,6 +123,7 @@ impl LaneState {
             ops: Vec::new(),
             phase_first: Vec::new(),
             recorder: LaneRecorder::new(params.exec_start, params.interval_width)?,
+            obs: LaneObs::for_lane(lane, params.obs_cfg, params.obs_active),
         })
     }
 
@@ -128,15 +137,22 @@ impl LaneState {
         if labeled.phase != self.current_phase {
             self.current_phase = labeled.phase;
             self.phase_first.push((labeled.phase, self.clock));
+            self.obs.phase_change(self.clock, labeled.phase);
             if op.announce {
                 let adapt_work = sut.on_phase_change(labeled.phase);
                 self.backlog += adapt_work as f64 / params.rate;
+                self.obs
+                    .retrain_burst(self.clock, labeled.phase, adapt_work);
+                self.obs.backlog(self.clock, self.backlog);
             }
         }
         self.since_maintenance += 1;
         if self.since_maintenance >= params.maintenance_every {
             self.since_maintenance = 0;
-            self.backlog += sut.maintenance() as f64 / params.rate;
+            let maint_work = sut.maintenance();
+            self.backlog += maint_work as f64 / params.rate;
+            self.obs.maintenance(self.clock, maint_work);
+            self.obs.backlog(self.clock, self.backlog);
         }
         // Open loop: idle until the intended start if the lane is ahead of
         // schedule; if it is behind, the operation has been queueing and
@@ -169,6 +185,12 @@ impl LaneState {
             in_transition: labeled.in_transition,
         };
         self.recorder.record(self.clock, latency)?;
+        self.obs.op_done(
+            self.clock,
+            self.clock - params.exec_start,
+            latency,
+            outcome.ok,
+        );
         self.ops.push((op.idx, record));
         Ok(())
     }
@@ -183,6 +205,7 @@ impl LaneState {
             phase_first: self.phase_first,
             final_clock: self.clock,
             recorder: self.recorder,
+            obs: self.obs,
         }
     }
 }
@@ -202,7 +225,7 @@ where
     for batch in rx.iter() {
         let mut state = match states.remove(&batch.lane) {
             Some(s) => s,
-            None => LaneState::new(params)?,
+            None => LaneState::new(params, batch.lane)?,
         };
         match &mut suts {
             WorkerSut::Shared(mutex) => {

@@ -20,6 +20,14 @@
 //! * [`engine`] — the concurrent execution engine: multi-worker open/
 //!   closed-loop execution with coordinated-omission-safe latency
 //!   recording and deterministic merging.
+//! * [`obs`] — structured observability: deterministic run-event tracing
+//!   on the virtual clock, a mergeable metrics registry, and wall-clock
+//!   profiling spans; zero-cost when disabled.
+//! * [`runner`] — the unified [`Runner`] facade: one entry point that
+//!   routes serial, shared-SUT concurrent, sharded, and hold-out runs
+//!   from a single [`RunOptions`] configuration.
+//! * [`sut_registry`] — name → constructor registry so CLIs, suites, and
+//!   benches resolve systems under test uniformly.
 //! * [`report`] — plain-text figures (ASCII), CSV series, and JSON
 //!   artifacts so results are comparable across deployments.
 
@@ -29,24 +37,36 @@ pub mod driver;
 pub mod engine;
 pub mod holdout;
 pub mod metrics;
+pub mod obs;
 pub mod record;
 pub mod report;
+pub mod runner;
 pub mod scenario;
 pub mod suite;
+pub mod sut_registry;
 
-pub use driver::{run_kv_scenario, run_kv_trace, run_query_workload, DriverConfig, ReplayConfig};
+pub use driver::{
+    run_kv_scenario, run_kv_scenario_observed, run_kv_trace, run_query_workload, DriverConfig,
+    ReplayConfig,
+};
 pub use engine::{
-    run_concurrent_kv_scenario, run_sharded_holdout, run_sharded_kv_scenario, shard_dataset,
-    EngineConfig, EngineReport, KeyRouter,
+    run_concurrent_kv_scenario, run_concurrent_kv_scenario_observed, run_sharded_holdout,
+    run_sharded_kv_scenario, run_sharded_kv_scenario_observed, shard_dataset, EngineConfig,
+    EngineReport, KeyRouter,
 };
 pub use holdout::HoldoutReport;
 pub use metrics::adaptability::AdaptabilityReport;
 pub use metrics::cost::CostReport;
 pub use metrics::sla::{SlaPolicy, SlaReport};
 pub use metrics::specialization::SpecializationReport;
+pub use obs::{MetricsRegistry, ObsConfig, RunEvent, RunObserver, TraceEvent, TraceLog};
 pub use record::{OpRecord, RunRecord};
-pub use scenario::Scenario;
-pub use suite::{run_suite, standard_scenarios, SuiteConfig, SuiteResult};
+pub use runner::{BoxedKvSut, EngineStats, RunOptions, RunOutcome, Runner};
+pub use scenario::{Scenario, ScenarioBuilder};
+pub use suite::{
+    run_suite, run_suite_observed, standard_scenarios, SuiteConfig, SuiteObservation, SuiteResult,
+};
+pub use sut_registry::SutRegistry;
 
 /// Errors produced by the benchmark framework.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,229 @@
+//! Metrics registry: named counters, gauges, and per-interval histograms.
+//!
+//! Workers (and the serial driver) accumulate into plain local structs on
+//! the hot path — a handful of integer adds, no map lookups — and the
+//! registry is materialised once at run end by [`merge`](MetricsRegistry::merge)-ing
+//! per-lane contributions. Everything is keyed by `BTreeMap`, so iteration
+//! order (and therefore serialized output) is deterministic.
+
+use crate::Result;
+use lsbench_stats::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default interval width (virtual seconds) for [`IntervalHistogram`] slices.
+pub const DEFAULT_INTERVAL_WIDTH: f64 = 0.05;
+
+/// Hard cap on per-interval slices; later intervals collapse into the last
+/// slice so a pathological scenario cannot allocate without bound.
+pub const MAX_INTERVAL_SLICES: usize = 512;
+
+/// A latency histogram sliced into fixed-width virtual-time intervals.
+///
+/// `total` aggregates every recorded sample; `slices[i]` holds the samples
+/// whose completion time fell in `[i * width, (i + 1) * width)` (relative to
+/// the run's execution start). Interval `MAX_INTERVAL_SLICES - 1` absorbs
+/// everything beyond the cap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalHistogram {
+    /// Width of each interval in virtual seconds.
+    pub width: f64,
+    /// All samples, regardless of interval.
+    pub total: LatencyHistogram,
+    /// Per-interval histograms, lazily grown up to [`MAX_INTERVAL_SLICES`].
+    pub slices: Vec<LatencyHistogram>,
+}
+
+impl IntervalHistogram {
+    /// Creates an empty interval histogram with the given slice width.
+    pub fn new(width: f64) -> Self {
+        IntervalHistogram {
+            width: if width > 0.0 {
+                width
+            } else {
+                DEFAULT_INTERVAL_WIDTH
+            },
+            total: LatencyHistogram::new(),
+            slices: Vec::new(),
+        }
+    }
+
+    /// Records a latency (nanoseconds) completed at `t` seconds after
+    /// execution start.
+    pub fn record(&mut self, t_rel: f64, latency_ns: u64) {
+        self.total.record(latency_ns);
+        let idx = if t_rel <= 0.0 {
+            0
+        } else {
+            ((t_rel / self.width) as usize).min(MAX_INTERVAL_SLICES - 1)
+        };
+        if self.slices.len() <= idx {
+            self.slices.resize_with(idx + 1, LatencyHistogram::new);
+        }
+        self.slices[idx].record(latency_ns);
+    }
+
+    /// Merges another interval histogram (same width required) into `self`.
+    pub fn merge(&mut self, other: &IntervalHistogram) -> Result<()> {
+        if (self.width - other.width).abs() > f64::EPSILON * self.width.max(other.width) {
+            return Err(crate::BenchError::Metric(format!(
+                "cannot merge interval histograms with widths {} and {}",
+                self.width, other.width
+            )));
+        }
+        self.total
+            .merge(&other.total)
+            .map_err(|e| crate::BenchError::Metric(e.to_string()))?;
+        if self.slices.len() < other.slices.len() {
+            self.slices
+                .resize_with(other.slices.len(), LatencyHistogram::new);
+        }
+        for (mine, theirs) in self.slices.iter_mut().zip(other.slices.iter()) {
+            mine.merge(theirs)
+                .map_err(|e| crate::BenchError::Metric(e.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic registry of named counters, gauges, and histograms.
+///
+/// Counters sum on merge, gauges keep the maximum (they record high-water
+/// marks), histograms merge bucket-wise. Exposed per scenario in
+/// [`ScenarioSummary::metrics`](crate::suite::ScenarioSummary::metrics).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    /// Monotonic event counts (sum on merge).
+    pub counters: BTreeMap<String, u64>,
+    /// High-water-mark readings (max on merge).
+    pub gauges: BTreeMap<String, f64>,
+    /// Named per-interval latency histograms (bucket-wise merge).
+    pub histograms: BTreeMap<String, IntervalHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Raises gauge `name` to `value` if larger (high-water-mark semantics).
+    pub fn gauge_max(&mut self, name: &str, value: f64) {
+        let g = self
+            .gauges
+            .entry(name.to_string())
+            .or_insert(f64::NEG_INFINITY);
+        if value > *g {
+            *g = value;
+        }
+    }
+
+    /// Records a latency sample into histogram `name`.
+    pub fn record(&mut self, name: &str, width: f64, t_rel: f64, latency_ns: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| IntervalHistogram::new(width))
+            .record(t_rel, latency_ns);
+    }
+
+    /// Reads counter `name`, defaulting to zero.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Merges another registry into `self` (counters sum, gauges max,
+    /// histograms merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<()> {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_max(k, *v);
+        }
+        for (k, v) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(v)?,
+                None => {
+                    self.histograms.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_gauges_max_on_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc("ops", 3);
+        a.gauge_max("backlog", 0.5);
+        let mut b = MetricsRegistry::new();
+        b.inc("ops", 4);
+        b.inc("fails", 1);
+        b.gauge_max("backlog", 0.25);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counter("ops"), 7);
+        assert_eq!(a.counter("fails"), 1);
+        assert_eq!(a.counter("missing"), 0);
+        assert_eq!(a.gauge("backlog"), Some(0.5));
+    }
+
+    #[test]
+    fn interval_histogram_slices_by_time() {
+        let mut h = IntervalHistogram::new(1.0);
+        h.record(0.5, 100);
+        h.record(1.5, 200);
+        h.record(1.9, 300);
+        assert_eq!(h.total.total(), 3);
+        assert_eq!(h.slices.len(), 2);
+        assert_eq!(h.slices[0].total(), 1);
+        assert_eq!(h.slices[1].total(), 2);
+
+        let mut other = IntervalHistogram::new(1.0);
+        other.record(2.5, 400);
+        h.merge(&other).unwrap();
+        assert_eq!(h.total.total(), 4);
+        assert_eq!(h.slices.len(), 3);
+        assert!(h.merge(&IntervalHistogram::new(2.0)).is_err());
+    }
+
+    #[test]
+    fn interval_overflow_collapses_into_last_slice() {
+        let mut h = IntervalHistogram::new(0.001);
+        h.record(1e9, 42);
+        assert_eq!(h.slices.len(), MAX_INTERVAL_SLICES);
+        assert_eq!(h.slices[MAX_INTERVAL_SLICES - 1].total(), 1);
+    }
+
+    #[test]
+    fn registry_serializes_deterministically() {
+        let mut r = MetricsRegistry::new();
+        r.inc("z", 1);
+        r.inc("a", 2);
+        r.record("lat", 1.0, 0.1, 50);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MetricsRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // BTreeMap keys serialize sorted.
+        assert!(json.find("\"a\"").unwrap() < json.find("\"z\"").unwrap());
+    }
+}

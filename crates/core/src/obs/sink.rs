@@ -1,0 +1,164 @@
+//! Event sinks: where a finished trace goes.
+//!
+//! Lanes buffer events in memory during the run (anything else would
+//! entangle observation with worker scheduling); once the merged,
+//! time-ordered [`TraceLog`] exists it can be replayed into any
+//! [`EventSink`] — a bounded ring buffer for tests, or a JSON-lines
+//! artifact writer for `target/lsbench-results/`.
+
+use super::event::{TraceEvent, TraceLog};
+use crate::report::write_artifact;
+use crate::Result;
+use std::collections::VecDeque;
+
+/// A consumer of trace events.
+pub trait EventSink {
+    /// Accepts one event (in `(t, lane, seq)` order when replayed from a
+    /// merged [`TraceLog`]).
+    fn emit(&mut self, event: &TraceEvent);
+    /// Finishes the sink (e.g. writes an artifact). Default: no-op.
+    fn flush(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl TraceLog {
+    /// Replays the merged trace into a sink, then flushes it.
+    pub fn replay_into(&self, sink: &mut dyn EventSink) -> Result<()> {
+        for e in &self.events {
+            sink.emit(e);
+        }
+        sink.flush()
+    }
+}
+
+/// A bounded in-memory sink keeping the most recent `capacity` events.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    /// Events evicted after the buffer filled.
+    pub dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(*event);
+    }
+}
+
+/// A sink that renders events as JSON lines and writes them to
+/// `target/lsbench-results/<file>` on flush.
+pub struct JsonlSink {
+    file: String,
+    tags: Vec<(String, String)>,
+    log: TraceLog,
+    /// Path of the written artifact, set by [`EventSink::flush`].
+    pub written: Option<std::path::PathBuf>,
+}
+
+impl JsonlSink {
+    /// Creates a sink that will write `target/lsbench-results/<file>`,
+    /// tagging every line with the given context fields.
+    pub fn new(file: impl Into<String>, tags: &[(&str, &str)]) -> Self {
+        JsonlSink {
+            file: file.into(),
+            tags: tags
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            log: TraceLog::default(),
+            written: None,
+        }
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        self.log.events.push(*event);
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        let tags: Vec<(&str, &str)> = self
+            .tags
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let body = self.log.to_jsonl_tagged(&tags)?;
+        let path = write_artifact(&self.file, &body)?;
+        self.written = Some(path);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::event::RunEvent;
+    use super::*;
+
+    fn log3() -> TraceLog {
+        TraceLog {
+            events: (0..3)
+                .map(|i| TraceEvent {
+                    t: i as f64,
+                    lane: None,
+                    seq: i,
+                    event: RunEvent::PhaseChange { phase: i as usize },
+                })
+                .collect(),
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let mut sink = RingBufferSink::new(2);
+        log3().replay_into(&mut sink).unwrap();
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped, 1);
+        let ts: Vec<f64> = sink.events().map(|e| e.t).collect();
+        assert_eq!(ts, vec![1.0, 2.0]);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_artifact() {
+        let mut sink = JsonlSink::new("obs_sink_test.jsonl", &[("sut", "t")]);
+        log3().replay_into(&mut sink).unwrap();
+        let path = sink.written.clone().expect("artifact written");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 3);
+        assert!(body.contains("\"sut\":\"t\""));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,457 @@
+//! The unified run facade.
+//!
+//! Historically each execution mode had its own entry point —
+//! [`run_kv_scenario`](crate::driver::run_kv_scenario) for serial runs,
+//! [`run_concurrent_kv_scenario`](crate::engine::run_concurrent_kv_scenario)
+//! for shared-SUT concurrency,
+//! [`run_sharded_kv_scenario`](crate::engine::run_sharded_kv_scenario) for
+//! key-range sharding, and [`run_holdout`](crate::holdout::run_holdout)
+//! for the out-of-sample pass — and every caller chose a code path by
+//! hand. [`Runner`] collapses them: describe *what* to run with
+//! [`RunOptions`] (concurrency, operation cap, hold-out, observability)
+//! and the runner picks the path:
+//!
+//! ```text
+//! Runner::new(&mut sut).config(opts).run(&scenario)?          // one SUT
+//! Runner::from_factory(|data| build(data)).run(&scenario)?    // per-shard SUTs
+//! ```
+//!
+//! * `concurrency == 1` → the serial driver.
+//! * `concurrency > 1` with a single SUT → the concurrent engine in
+//!   shared-mutex mode.
+//! * `concurrency > 1` with a factory → the dataset is key-range-sharded
+//!   and each lane owns one factory-built shard.
+//!
+//! Every path reports through the same [`RunOutcome`]: the merged
+//! [`RunRecord`], optional engine statistics, optional hold-out
+//! comparison, and whatever the observability layer collected.
+
+use crate::driver::{run_kv_scenario_observed, DriverConfig};
+use crate::engine::{
+    run_concurrent_kv_scenario_observed, run_sharded_kv_scenario_observed, shard_dataset,
+    EngineConfig, EngineReport,
+};
+use crate::holdout::{one_shot_scenario, HoldoutReport};
+use crate::obs::{MetricsRegistry, ObsConfig, RunObserver, SpanNode, TraceLog};
+use crate::record::RunRecord;
+use crate::scenario::Scenario;
+use crate::{BenchError, Result};
+use lsbench_stats::{IntervalCounts, LatencyHistogram};
+use lsbench_sut::sut::SystemUnderTest;
+use lsbench_workload::dataset::Dataset;
+use lsbench_workload::ops::Operation;
+
+/// A boxed key-value system under test, as produced by SUT factories and
+/// the [`SutRegistry`](crate::sut_registry::SutRegistry).
+pub type BoxedKvSut = Box<dyn SystemUnderTest<Operation> + Send>;
+
+/// How a run executes, independent of the scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Logical concurrency (lanes). `1` = serial driver; `> 1` = the
+    /// concurrent engine (shared-mutex with a single SUT, key-range
+    /// sharded with a factory).
+    pub concurrency: usize,
+    /// Worker threads for concurrent runs; `None` = one per lane. Never
+    /// affects results, only wall-clock speed.
+    pub threads: Option<usize>,
+    /// Cap on executed operations.
+    pub max_ops: u64,
+    /// Operations per engine channel batch.
+    pub batch_size: usize,
+    /// Engine completion-counter interval width (virtual seconds).
+    pub completion_interval: f64,
+    /// Also run the scenario's hold-out workload once after the main run
+    /// and report the generalization ratio (§V-A).
+    pub holdout: bool,
+    /// What to observe (see [`ObsConfig`]); `ObsConfig::default()` collects
+    /// metrics only, [`ObsConfig::traced`] adds the event trace and spans.
+    pub obs: ObsConfig,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        let engine = EngineConfig::default();
+        RunOptions {
+            concurrency: 1,
+            threads: None,
+            max_ops: u64::MAX,
+            batch_size: engine.batch_size,
+            completion_interval: engine.completion_interval,
+            holdout: false,
+            obs: ObsConfig::default(),
+        }
+    }
+}
+
+impl RunOptions {
+    /// Serial options with `n` logical lanes when `n > 1`.
+    pub fn with_concurrency(n: usize) -> Self {
+        RunOptions {
+            concurrency: n,
+            ..RunOptions::default()
+        }
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            threads: self.threads.unwrap_or(self.concurrency).max(1),
+            lanes: self.concurrency,
+            max_ops: self.max_ops,
+            batch_size: self.batch_size,
+            completion_interval: self.completion_interval,
+        }
+    }
+
+    fn driver_config(&self) -> DriverConfig {
+        DriverConfig {
+            max_ops: self.max_ops,
+            concurrency: 1,
+        }
+    }
+}
+
+/// Concurrent-engine statistics carried through [`RunOutcome`] when the
+/// run went through the engine.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Merged log-bucketed latency histogram (nanoseconds, virtual).
+    pub latency: LatencyHistogram,
+    /// Completions per fixed-width interval.
+    pub completions: IntervalCounts,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Logical lanes used.
+    pub lanes: usize,
+}
+
+impl EngineStats {
+    fn from_report(report: &EngineReport) -> Self {
+        EngineStats {
+            latency: report.latency.clone(),
+            completions: report.completions.clone(),
+            threads: report.threads,
+            lanes: report.lanes,
+        }
+    }
+}
+
+/// Everything one [`Runner::run`] produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The merged run record (same shape for every execution path).
+    pub record: RunRecord,
+    /// Engine statistics when the run used the concurrent engine.
+    pub engine: Option<EngineStats>,
+    /// Hold-out record and generalization comparison when
+    /// [`RunOptions::holdout`] was set.
+    pub holdout: Option<(RunRecord, HoldoutReport)>,
+    /// Deterministic event trace when [`ObsConfig::trace`] was on.
+    pub trace: Option<TraceLog>,
+    /// Counters, gauges, and latency histograms from the run.
+    pub metrics: MetricsRegistry,
+    /// Wall-clock profiling spans when [`ObsConfig::spans`] was on.
+    pub spans: Vec<SpanNode>,
+}
+
+/// A boxed per-shard SUT constructor, as held by [`Runner::from_factory`].
+type SutFactory<'a> = Box<dyn FnMut(&Dataset) -> Result<BoxedKvSut> + 'a>;
+
+/// The system(s) under test a [`Runner`] drives.
+enum RunnerSut<'a> {
+    /// One caller-built SUT, already loaded with the scenario's dataset.
+    Single(&'a mut (dyn SystemUnderTest<Operation> + Send)),
+    /// A constructor invoked per shard (or once, when serial) with the
+    /// freshly built dataset.
+    Factory(SutFactory<'a>),
+}
+
+/// The unified run facade. See the [module docs](self) for routing rules.
+pub struct Runner<'a> {
+    sut: RunnerSut<'a>,
+    opts: RunOptions,
+}
+
+impl<'a> Runner<'a> {
+    /// A runner over one caller-built SUT (already loaded with the
+    /// scenario's dataset). With `concurrency > 1` the engine shares it
+    /// across lanes behind a mutex.
+    pub fn new(sut: &'a mut (dyn SystemUnderTest<Operation> + Send)) -> Self {
+        Runner {
+            sut: RunnerSut::Single(sut),
+            opts: RunOptions::default(),
+        }
+    }
+
+    /// A runner that builds its SUT(s) from the scenario's dataset: once
+    /// when serial, once per key-range shard when `concurrency > 1`.
+    pub fn from_factory<F>(factory: F) -> Self
+    where
+        F: FnMut(&Dataset) -> Result<BoxedKvSut> + 'a,
+    {
+        Runner {
+            sut: RunnerSut::Factory(Box::new(factory)),
+            opts: RunOptions::default(),
+        }
+    }
+
+    /// Sets the run options (builder style).
+    pub fn config(mut self, opts: RunOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Runs the scenario, routing to the serial driver, the shared-SUT
+    /// engine, or the sharded engine based on the options and how the
+    /// runner was constructed.
+    pub fn run(&mut self, scenario: &Scenario) -> Result<RunOutcome> {
+        if self.opts.concurrency == 0 {
+            return Err(BenchError::InvalidScenario(
+                "RunOptions.concurrency must be at least 1".to_string(),
+            ));
+        }
+        let opts = self.opts;
+        let mut obs = RunObserver::new(opts.obs);
+        let (record, engine, holdout) = match (&mut self.sut, opts.concurrency) {
+            (RunnerSut::Single(sut), 1) => {
+                let span = obs.spans.enter("run");
+                let record =
+                    run_kv_scenario_observed(*sut, scenario, opts.driver_config(), &mut obs)?;
+                obs.spans.exit(span);
+                let holdout = run_serial_holdout(&mut obs, *sut, scenario, opts, &record)?;
+                (record, None, holdout)
+            }
+            (RunnerSut::Single(sut), _) => {
+                let span = obs.spans.enter("run");
+                let report = run_concurrent_kv_scenario_observed(
+                    *sut,
+                    scenario,
+                    &opts.engine_config(),
+                    &mut obs,
+                )?;
+                obs.spans.exit(span);
+                let holdout = run_serial_holdout(&mut obs, *sut, scenario, opts, &report.record)?;
+                let stats = EngineStats::from_report(&report);
+                (report.record, Some(stats), holdout)
+            }
+            (RunnerSut::Factory(factory), 1) => {
+                let span = obs.spans.enter("bulk-load");
+                let data = scenario.dataset.build()?;
+                let mut sut = factory(&data)?;
+                obs.spans.exit(span);
+                let span = obs.spans.enter("run");
+                let record = run_kv_scenario_observed(
+                    sut.as_mut(),
+                    scenario,
+                    opts.driver_config(),
+                    &mut obs,
+                )?;
+                obs.spans.exit(span);
+                let holdout = run_serial_holdout(&mut obs, sut.as_mut(), scenario, opts, &record)?;
+                (record, None, holdout)
+            }
+            (RunnerSut::Factory(factory), lanes) => {
+                let span = obs.spans.enter("bulk-load");
+                let data = scenario.dataset.build()?;
+                let (router, shards) = shard_dataset(&data, lanes)?;
+                let mut suts = shards.iter().map(factory).collect::<Result<Vec<_>>>()?;
+                obs.spans.exit(span);
+                let config = opts.engine_config();
+                let span = obs.spans.enter("run");
+                let report = run_sharded_kv_scenario_observed(
+                    &mut suts, &router, scenario, &config, &mut obs,
+                )?;
+                obs.spans.exit(span);
+                let holdout = if opts.holdout {
+                    let span = obs.spans.enter("holdout");
+                    let one_shot = one_shot_scenario(scenario)?;
+                    let hold = run_sharded_kv_scenario_observed(
+                        &mut suts,
+                        &router,
+                        &one_shot,
+                        &config,
+                        &mut RunObserver::disabled(),
+                    )?;
+                    obs.spans.exit(span);
+                    let cmp = HoldoutReport::new(&report.record, &hold.record)?;
+                    Some((hold.record, cmp))
+                } else {
+                    None
+                };
+                let stats = EngineStats::from_report(&report);
+                (report.record, Some(stats), holdout)
+            }
+        };
+        let report = obs.finish()?;
+        Ok(RunOutcome {
+            record,
+            engine,
+            holdout,
+            trace: report.trace,
+            metrics: report.metrics,
+            spans: report.spans,
+        })
+    }
+}
+
+/// Shared serial hold-out pass: runs the one-shot scenario on the same SUT
+/// (no adaptation opportunity), with observation disabled so the main
+/// run's trace stays a trace of the main run.
+fn run_serial_holdout(
+    obs: &mut RunObserver,
+    sut: &mut (dyn SystemUnderTest<Operation> + Send),
+    scenario: &Scenario,
+    opts: RunOptions,
+    main: &RunRecord,
+) -> Result<Option<(RunRecord, HoldoutReport)>> {
+    if !opts.holdout {
+        return Ok(None);
+    }
+    let span = obs.spans.enter("holdout");
+    let one_shot = one_shot_scenario(scenario)?;
+    let hold = run_kv_scenario_observed(
+        sut,
+        &one_shot,
+        DriverConfig::default(),
+        &mut RunObserver::disabled(),
+    )?;
+    obs.spans.exit(span);
+    let cmp = HoldoutReport::new(main, &hold)?;
+    Ok(Some((hold, cmp)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_kv_scenario;
+    use crate::engine::run_sharded_kv_scenario;
+    use lsbench_sut::kv::BTreeSut;
+    use lsbench_workload::keygen::KeyDistribution;
+    use lsbench_workload::ops::OperationMix;
+    use lsbench_workload::phases::{PhasedWorkload, WorkloadPhase};
+
+    fn scenario() -> Scenario {
+        Scenario::two_phase_shift(
+            "runner-shift",
+            KeyDistribution::Uniform,
+            KeyDistribution::Normal {
+                center: 0.1,
+                std_frac: 0.02,
+            },
+            5_000,
+            1_000,
+            42,
+        )
+        .unwrap()
+    }
+
+    fn factory(data: &Dataset) -> Result<BoxedKvSut> {
+        Ok(Box::new(
+            BTreeSut::build(data).map_err(|e| BenchError::Sut(e.to_string()))?,
+        ))
+    }
+
+    #[test]
+    fn serial_runner_matches_direct_driver_call() {
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let mut direct_sut = BTreeSut::build(&data).unwrap();
+        let direct = run_kv_scenario(&mut direct_sut, &s, DriverConfig::default()).unwrap();
+        let mut runner_sut = BTreeSut::build(&data).unwrap();
+        let outcome = Runner::new(&mut runner_sut).run(&s).unwrap();
+        assert_eq!(outcome.record.ops, direct.ops);
+        assert_eq!(outcome.record.exec_end, direct.exec_end);
+        assert!(outcome.engine.is_none());
+        assert!(outcome.trace.is_none());
+        // Default observation still collects metrics.
+        assert_eq!(
+            outcome.metrics.counter("ops_completed"),
+            direct.completed() as u64
+        );
+    }
+
+    #[test]
+    fn factory_concurrency_matches_direct_sharded_call() {
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let (router, shards) = shard_dataset(&data, 4).unwrap();
+        let mut suts: Vec<BoxedKvSut> = shards.iter().map(|d| factory(d).unwrap()).collect();
+        let direct =
+            run_sharded_kv_scenario(&mut suts, &router, &s, &EngineConfig::with_concurrency(4))
+                .unwrap();
+        let outcome = Runner::from_factory(factory)
+            .config(RunOptions::with_concurrency(4))
+            .run(&s)
+            .unwrap();
+        assert_eq!(outcome.record.ops, direct.record.ops);
+        let stats = outcome.engine.expect("engine stats for concurrent run");
+        assert_eq!(stats.lanes, 4);
+        assert_eq!(stats.latency, direct.latency);
+    }
+
+    #[test]
+    fn shared_concurrency_uses_engine() {
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let outcome = Runner::new(&mut sut)
+            .config(RunOptions::with_concurrency(2))
+            .run(&s)
+            .unwrap();
+        assert_eq!(outcome.engine.as_ref().unwrap().lanes, 2);
+        assert_eq!(outcome.record.completed(), 2_000);
+    }
+
+    #[test]
+    fn holdout_option_reports_generalization() {
+        let mut s = scenario();
+        s.holdout = Some(
+            PhasedWorkload::single(
+                WorkloadPhase::new(
+                    "holdout",
+                    KeyDistribution::Uniform,
+                    (0, 10_000_000),
+                    OperationMix::ycsb_c(),
+                    500,
+                ),
+                99,
+            )
+            .unwrap(),
+        );
+        let opts = RunOptions {
+            holdout: true,
+            ..RunOptions::default()
+        };
+        let outcome = Runner::from_factory(factory).config(opts).run(&s).unwrap();
+        let (hold, cmp) = outcome.holdout.expect("hold-out requested");
+        assert_eq!(hold.completed(), 500);
+        assert!(cmp.generalization_ratio > 0.0);
+        // Hold-out ops don't pollute the main run's metrics.
+        assert_eq!(outcome.metrics.counter("ops_completed"), 2_000);
+    }
+
+    #[test]
+    fn traced_run_produces_trace_and_spans() {
+        let s = scenario();
+        let opts = RunOptions {
+            obs: ObsConfig::traced(),
+            ..RunOptions::default()
+        };
+        let outcome = Runner::from_factory(factory).config(opts).run(&s).unwrap();
+        let trace = outcome.trace.expect("trace requested");
+        assert_eq!(trace.count_kind("run_end"), 1);
+        assert_eq!(trace.phase_boundaries(), outcome.record.phase_change_times);
+        let names: Vec<&str> = outcome.spans.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, ["bulk-load", "run"]);
+    }
+
+    #[test]
+    fn zero_concurrency_rejected() {
+        let s = scenario();
+        let opts = RunOptions {
+            concurrency: 0,
+            ..RunOptions::default()
+        };
+        assert!(Runner::from_factory(factory).config(opts).run(&s).is_err());
+    }
+}

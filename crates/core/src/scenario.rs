@@ -81,6 +81,16 @@ impl DatasetSpec {
 }
 
 /// A complete benchmark scenario.
+///
+/// Prefer constructing scenarios through [`Scenario::builder`] (or the
+/// ready-made [`Scenario::two_phase_shift`] /
+/// [`Scenario::specialization_sweep`] presets): the builder fills in the
+/// standard defaults and validates on [`ScenarioBuilder::build`], so an
+/// inconsistent scenario fails at construction instead of mid-run. The
+/// fields stay public for inspection and targeted tweaks of a built
+/// scenario, but populating the struct literally is a deprecated pattern —
+/// it silently compiles with nonsense (zero rates, empty datasets) that
+/// the builder rejects.
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Scenario name for reports.
@@ -107,6 +117,13 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// Starts a [`ScenarioBuilder`] with the standard defaults (YCSB-C
+    /// friendly rates, unlimited training budget, calibrated SLA). Dataset
+    /// and workload must be supplied before [`ScenarioBuilder::build`].
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder::new(name)
+    }
+
     /// Validates the scenario.
     pub fn validate(&self) -> Result<()> {
         if self.work_units_per_second <= 0.0 {
@@ -240,6 +257,162 @@ impl Scenario {
     }
 }
 
+/// Builder for [`Scenario`] with validate-on-build.
+///
+/// Defaults mirror the [`Scenario::two_phase_shift`] preset: unlimited
+/// offline training budget, SLA calibrated at 4× the baseline p99, one
+/// million work units per second, a maintenance slot every 64 operations,
+/// closed-loop arrivals, and foreground online training. Only the dataset
+/// and the workload are mandatory.
+///
+/// ```
+/// # use lsbench_core::scenario::{DatasetSpec, Scenario};
+/// # use lsbench_workload::keygen::KeyDistribution;
+/// # use lsbench_workload::ops::OperationMix;
+/// # use lsbench_workload::phases::{PhasedWorkload, WorkloadPhase};
+/// let workload = PhasedWorkload::single(
+///     WorkloadPhase::new("steady", KeyDistribution::Uniform, (0, 1_000_000),
+///                        OperationMix::ycsb_c(), 1_000),
+///     7,
+/// ).unwrap();
+/// let scenario = Scenario::builder("example")
+///     .dataset(KeyDistribution::Uniform, (0, 1_000_000), 10_000, 7)
+///     .workload(workload)
+///     .train_budget(50_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!(scenario.name, "example");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    dataset: Option<DatasetSpec>,
+    workload: Option<PhasedWorkload>,
+    train_budget: u64,
+    sla: SlaPolicy,
+    work_units_per_second: f64,
+    maintenance_every: u64,
+    holdout: Option<PhasedWorkload>,
+    arrival: Option<ArrivalSpec>,
+    online_train: OnlineTrainMode,
+}
+
+impl ScenarioBuilder {
+    /// A builder with the standard defaults; equivalent to
+    /// [`Scenario::builder`].
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioBuilder {
+            name: name.into(),
+            dataset: None,
+            workload: None,
+            train_budget: u64::MAX,
+            sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
+            work_units_per_second: 1_000_000.0,
+            maintenance_every: 64,
+            holdout: None,
+            arrival: None,
+            online_train: OnlineTrainMode::Foreground,
+        }
+    }
+
+    /// Sets the initial dataset (required) from its parts.
+    pub fn dataset(
+        mut self,
+        distribution: KeyDistribution,
+        key_range: (u64, u64),
+        size: usize,
+        seed: u64,
+    ) -> Self {
+        self.dataset = Some(DatasetSpec {
+            distribution,
+            key_range,
+            size,
+            seed,
+        });
+        self
+    }
+
+    /// Sets the initial dataset (required) from a prepared spec.
+    pub fn dataset_spec(mut self, spec: DatasetSpec) -> Self {
+        self.dataset = Some(spec);
+        self
+    }
+
+    /// Sets the phased execution workload (required).
+    pub fn workload(mut self, workload: PhasedWorkload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the offline training budget in work units (0 = skip training;
+    /// default unlimited).
+    pub fn train_budget(mut self, budget: u64) -> Self {
+        self.train_budget = budget;
+        self
+    }
+
+    /// Sets the SLA policy (default: 4× the calibrated baseline p99).
+    pub fn sla(mut self, sla: SlaPolicy) -> Self {
+        self.sla = sla;
+        self
+    }
+
+    /// Sets the virtual work rate in work units per second (default 10⁶).
+    pub fn work_units_per_second(mut self, rate: f64) -> Self {
+        self.work_units_per_second = rate;
+        self
+    }
+
+    /// Offers the SUT a maintenance slot every `n` operations (default 64).
+    pub fn maintenance_every(mut self, n: u64) -> Self {
+        self.maintenance_every = n;
+        self
+    }
+
+    /// Adds a hold-out workload executed once after the main run (§V-A).
+    pub fn holdout(mut self, workload: PhasedWorkload) -> Self {
+        self.holdout = Some(workload);
+        self
+    }
+
+    /// Switches to open-loop arrivals (default: closed loop).
+    pub fn arrival(mut self, arrival: ArrivalSpec) -> Self {
+        self.arrival = Some(arrival);
+        self
+    }
+
+    /// Sets how online retraining work is scheduled (default: foreground).
+    pub fn online_train(mut self, mode: OnlineTrainMode) -> Self {
+        self.online_train = mode;
+        self
+    }
+
+    /// Assembles and validates the scenario. Errors if the dataset or
+    /// workload is missing, or if any field fails [`Scenario::validate`].
+    pub fn build(self) -> Result<Scenario> {
+        let dataset = self.dataset.ok_or_else(|| {
+            BenchError::InvalidScenario(format!("scenario '{}' has no dataset", self.name))
+        })?;
+        let workload = self.workload.ok_or_else(|| {
+            BenchError::InvalidScenario(format!("scenario '{}' has no workload", self.name))
+        })?;
+        let scenario = Scenario {
+            name: self.name,
+            dataset,
+            workload,
+            train_budget: self.train_budget,
+            sla: self.sla,
+            work_units_per_second: self.work_units_per_second,
+            maintenance_every: self.maintenance_every,
+            holdout: self.holdout,
+            arrival: self.arrival,
+            online_train: self.online_train,
+        };
+        scenario.validate()?;
+        Ok(scenario)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +462,46 @@ mod tests {
         .unwrap();
         s.validate().unwrap();
         assert_eq!(s.workload.phases().len(), 3);
+    }
+
+    #[test]
+    fn builder_applies_defaults_and_validates() {
+        let workload = PhasedWorkload::single(
+            WorkloadPhase::new(
+                "steady",
+                KeyDistribution::Uniform,
+                (0, 1_000_000),
+                OperationMix::ycsb_c(),
+                500,
+            ),
+            3,
+        )
+        .unwrap();
+        let s = Scenario::builder("built")
+            .dataset(KeyDistribution::Uniform, (0, 1_000_000), 1_000, 3)
+            .workload(workload.clone())
+            .build()
+            .unwrap();
+        assert_eq!(s.maintenance_every, 64);
+        assert_eq!(s.work_units_per_second, 1_000_000.0);
+        assert!(s.arrival.is_none());
+
+        // Missing pieces fail at build, not mid-run.
+        assert!(Scenario::builder("no-dataset")
+            .workload(workload.clone())
+            .build()
+            .is_err());
+        assert!(Scenario::builder("no-workload")
+            .dataset(KeyDistribution::Uniform, (0, 1_000), 10, 1)
+            .build()
+            .is_err());
+        // Invalid settings are rejected by validate-on-build.
+        assert!(Scenario::builder("bad-rate")
+            .dataset(KeyDistribution::Uniform, (0, 1_000), 10, 1)
+            .workload(workload)
+            .work_units_per_second(0.0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -10,20 +10,18 @@
 //! threshold calibrated per scenario from a B+-tree baseline run (as
 //! §V-D.2 recommends).
 
-use crate::driver::{run_kv_scenario, DriverConfig};
-use crate::engine::{run_sharded_holdout, run_sharded_kv_scenario, shard_dataset, EngineConfig};
-use crate::holdout::{run_holdout, HoldoutReport};
 use crate::metrics::adaptability::AdaptabilityReport;
 use crate::metrics::sla::{SlaPolicy, SlaReport};
+use crate::obs::{MetricsRegistry, ObsConfig, SpanNode, TraceLog};
 use crate::record::RunRecord;
+use crate::runner::{BoxedKvSut, RunOptions, Runner};
 use crate::scenario::{ArrivalSpec, DatasetSpec, OnlineTrainMode, Scenario};
 use crate::{BenchError, Result};
 use lsbench_sut::kv::BTreeSut;
-use lsbench_sut::sut::SystemUnderTest;
 use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
 use lsbench_workload::dataset::Dataset;
 use lsbench_workload::keygen::KeyDistribution;
-use lsbench_workload::ops::{Operation, OperationMix};
+use lsbench_workload::ops::OperationMix;
 use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
 use serde::{Deserialize, Serialize};
 
@@ -320,6 +318,10 @@ pub struct ScenarioSummary {
     pub failures: usize,
     /// Out-of-sample generalization ratio, when the scenario has a hold-out.
     pub generalization: Option<f64>,
+    /// Observability metrics collected during the run (counters, gauges,
+    /// per-interval latency histograms). Deterministic: metrics ride the
+    /// virtual clock, so repeated runs produce identical registries.
+    pub metrics: MetricsRegistry,
 }
 
 /// A complete suite result for one SUT.
@@ -336,6 +338,19 @@ const SLA_INTERVALS: f64 = 40.0;
 /// N for the adjustment-speed metric inside the suite.
 const ADJUSTMENT_N: usize = 2_000;
 
+/// Observation artifacts from one suite run, beyond the summaries: the
+/// per-scenario event traces and wall-clock span trees requested via the
+/// [`ObsConfig`] handed to [`run_suite_observed`]. Both vectors pair each
+/// artifact with its scenario name and are empty when the corresponding
+/// feature was off.
+#[derive(Debug, Default)]
+pub struct SuiteObservation {
+    /// `(scenario name, trace)` per scenario, when tracing was on.
+    pub traces: Vec<(String, TraceLog)>,
+    /// `(scenario name, span tree)` per scenario, when spans were on.
+    pub spans: Vec<(String, Vec<SpanNode>)>,
+}
+
 /// Runs one SUT (built fresh per scenario by `factory`) through the
 /// standard suite.
 ///
@@ -346,9 +361,26 @@ const ADJUSTMENT_N: usize = 2_000;
 /// instance per shard, built by the same factory), and the SLA threshold
 /// is calibrated against the equally-sharded baseline so the comparison
 /// stays apples-to-apples.
-pub fn run_suite<F>(mut factory: F, cfg: &SuiteConfig) -> Result<SuiteResult>
+///
+/// Equivalent to [`run_suite_observed`] with the default (metrics-only)
+/// observability configuration, discarding the observation artifacts.
+pub fn run_suite<F>(factory: F, cfg: &SuiteConfig) -> Result<SuiteResult>
 where
-    F: FnMut(&Dataset) -> Result<Box<dyn SystemUnderTest<Operation> + Send>>,
+    F: FnMut(&Dataset) -> Result<BoxedKvSut>,
+{
+    run_suite_observed(factory, cfg, ObsConfig::default()).map(|(result, _)| result)
+}
+
+/// [`run_suite`] with explicit observability: `obs` applies to every
+/// scenario's main run (baseline calibration runs stay metrics-only), and
+/// the collected traces and spans come back in [`SuiteObservation`].
+pub fn run_suite_observed<F>(
+    mut factory: F,
+    cfg: &SuiteConfig,
+    obs: ObsConfig,
+) -> Result<(SuiteResult, SuiteObservation)>
+where
+    F: FnMut(&Dataset) -> Result<BoxedKvSut>,
 {
     if cfg.threads == 0 {
         return Err(BenchError::InvalidScenario(
@@ -357,64 +389,63 @@ where
     }
     let scenarios = standard_scenarios(cfg)?;
     let mut summaries = Vec::with_capacity(scenarios.len());
+    let mut observation = SuiteObservation::default();
     let mut sut_name = String::new();
     for scenario in &scenarios {
-        let data = scenario.dataset.build()?;
-        let (record, threshold, generalization) = if cfg.threads == 1 {
-            // Serial path: one SUT, one clock.
-            let mut baseline =
-                BTreeSut::build(&data).map_err(|e| BenchError::Sut(e.to_string()))?;
-            let baseline_record =
-                run_kv_scenario(&mut baseline, scenario, DriverConfig::default())?;
-            let threshold = scenario.sla.resolve(Some(&baseline_record))?;
-            let mut sut = factory(&data)?;
-            let record = run_kv_scenario(sut.as_mut(), scenario, DriverConfig::default())?;
-            let generalization = if scenario.holdout.is_some() {
-                let hold = run_holdout(sut.as_mut(), scenario)?;
-                Some(HoldoutReport::new(&record, &hold)?.generalization_ratio)
-            } else {
-                None
-            };
-            (record, threshold, generalization)
-        } else {
-            // Concurrent path: key-range shards on the engine.
-            let engine_cfg = EngineConfig::with_concurrency(cfg.threads);
-            let (router, shards) = shard_dataset(&data, cfg.threads)?;
-            let mut baseline: Vec<Box<dyn SystemUnderTest<Operation> + Send>> = shards
-                .iter()
-                .map(|d| {
-                    BTreeSut::build(d)
-                        .map(|s| Box::new(s) as Box<dyn SystemUnderTest<Operation> + Send>)
-                        .map_err(|e| BenchError::Sut(e.to_string()))
-                })
-                .collect::<Result<_>>()?;
-            let baseline_report =
-                run_sharded_kv_scenario(&mut baseline, &router, scenario, &engine_cfg)?;
-            let threshold = scenario.sla.resolve(Some(&baseline_report.record))?;
-            let mut suts: Vec<Box<dyn SystemUnderTest<Operation> + Send>> =
-                shards.iter().map(&mut factory).collect::<Result<_>>()?;
-            let report = run_sharded_kv_scenario(&mut suts, &router, scenario, &engine_cfg)?;
-            let generalization = if scenario.holdout.is_some() {
-                let hold = run_sharded_holdout(&mut suts, &router, scenario, &engine_cfg)?;
-                Some(HoldoutReport::new(&report.record, &hold.record)?.generalization_ratio)
-            } else {
-                None
-            };
-            (report.record, threshold, generalization)
+        // Baseline calibration run: same execution shape (serial or
+        // sharded), no hold-out, metrics-only observation.
+        let baseline = Runner::from_factory(|data: &Dataset| {
+            BTreeSut::build(data)
+                .map(|s| Box::new(s) as BoxedKvSut)
+                .map_err(|e| BenchError::Sut(e.to_string()))
+        })
+        .config(RunOptions::with_concurrency(cfg.threads))
+        .run(scenario)?;
+        let threshold = scenario.sla.resolve(Some(&baseline.record))?;
+
+        let opts = RunOptions {
+            concurrency: cfg.threads,
+            holdout: scenario.holdout.is_some(),
+            obs,
+            ..RunOptions::default()
         };
-        sut_name = record.sut_name.clone();
-        summaries.push(summarize(&record, threshold, generalization)?);
+        let outcome = Runner::from_factory(&mut factory)
+            .config(opts)
+            .run(scenario)?;
+        let generalization = outcome
+            .holdout
+            .as_ref()
+            .map(|(_, cmp)| cmp.generalization_ratio);
+        if let Some(trace) = outcome.trace {
+            observation.traces.push((scenario.name.clone(), trace));
+        }
+        if !outcome.spans.is_empty() {
+            observation
+                .spans
+                .push((scenario.name.clone(), outcome.spans));
+        }
+        sut_name = outcome.record.sut_name.clone();
+        summaries.push(summarize(
+            &outcome.record,
+            threshold,
+            generalization,
+            outcome.metrics,
+        )?);
     }
-    Ok(SuiteResult {
-        sut_name,
-        summaries,
-    })
+    Ok((
+        SuiteResult {
+            sut_name,
+            summaries,
+        },
+        observation,
+    ))
 }
 
 fn summarize(
     record: &RunRecord,
     threshold: f64,
     generalization: Option<f64>,
+    metrics: MetricsRegistry,
 ) -> Result<ScenarioSummary> {
     let adapt = AdaptabilityReport::from_record(record)?;
     let interval = (record.exec_duration() / SLA_INTERVALS).max(f64::MIN_POSITIVE);
@@ -433,6 +464,7 @@ fn summarize(
         train_seconds: record.train.seconds,
         failures: record.failures(),
         generalization,
+        metrics,
     })
 }
 
@@ -549,7 +581,7 @@ mod tests {
         let factory = |data: &Dataset| {
             Ok(
                 Box::new(BTreeSut::build(data).map_err(|e| crate::BenchError::Sut(e.to_string()))?)
-                    as Box<dyn SystemUnderTest<Operation> + Send>,
+                    as BoxedKvSut,
             )
         };
         let one = run_suite(factory, &serial).unwrap();
@@ -577,6 +609,29 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn observed_suite_collects_metrics_and_traces() {
+        let cfg = tiny();
+        let factory = |data: &Dataset| {
+            Ok(
+                Box::new(BTreeSut::build(data).map_err(|e| crate::BenchError::Sut(e.to_string()))?)
+                    as BoxedKvSut,
+            )
+        };
+        let (result, observation) = run_suite_observed(factory, &cfg, ObsConfig::traced()).unwrap();
+        assert_eq!(observation.traces.len(), result.summaries.len());
+        assert_eq!(observation.spans.len(), result.summaries.len());
+        for (summary, (name, trace)) in result.summaries.iter().zip(&observation.traces) {
+            assert_eq!(&summary.scenario, name);
+            assert!(summary.metrics.counter("ops_completed") > 0);
+            assert_eq!(trace.count_kind("run_end"), 1);
+        }
+        // Tracing never alters results: summaries (metrics included) match
+        // an untraced suite run exactly.
+        let untraced = run_suite(factory, &cfg).unwrap();
+        assert_eq!(untraced, result);
     }
 
     #[test]

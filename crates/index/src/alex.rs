@@ -1,4 +1,4 @@
-//! An updatable, adaptive learned index in the spirit of ALEX [33].
+//! An updatable, adaptive learned index in the spirit of ALEX \[33].
 //!
 //! ALEX ("An updatable adaptive learned index", Ding et al., SIGMOD 2020)
 //! keeps data in *gapped arrays*: model-predicted placement leaves gaps so

@@ -1,7 +1,7 @@
 //! A from-scratch B+-tree with linked leaves.
 //!
 //! This is the *traditional* baseline of the benchmark: the structure the
-//! learned-index papers ([8], [33]–[35]) compare against. It supports bulk
+//! learned-index papers (\[8], \[33]–\[35]) compare against. It supports bulk
 //! loading, point lookups, range scans over a linked leaf chain, inserts
 //! with node splits, and deletes with borrow/merge rebalancing.
 //!

@@ -1,6 +1,6 @@
 //! Learned sort: CDF-model bucketing plus a touch-up pass.
 //!
-//! §II of the paper cites learned sorting [31] as a query-execution use of
+//! §II of the paper cites learned sorting \[31] as a query-execution use of
 //! models: "a cumulative distribution function (CDF) model allows fast
 //! sorting by placing the data records in roughly sorted order and then
 //! running a quick touch-up pass to get the final correct order". This

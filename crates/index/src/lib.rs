@@ -15,15 +15,15 @@
 //!   array, the no-model lower bound on space.
 //!
 //! Learned:
-//! * [`rmi::Rmi`] — a two-level Recursive Model Index (Kraska et al. [8]).
+//! * [`rmi::Rmi`] — a two-level Recursive Model Index (Kraska et al. \[8]).
 //! * [`pgm::PgmIndex`] — an ε-bounded piecewise-geometric-model index.
 //! * [`spline::RadixSpline`] — a radix-table-accelerated spline index.
 //! * [`alex::AlexIndex`] — an updatable, adaptive gapped-array learned
-//!   index in the spirit of ALEX [33].
+//!   index in the spirit of ALEX \[33].
 //! * [`delta::DeltaIndex`] — an updatable wrapper that pairs any read-only
 //!   learned index with a delta buffer and explicit retraining, the
 //!   mechanism the benchmark's adaptability metrics exercise.
-//! * [`learned_sort::learned_sort`] — the CDF-model sort of [31], included
+//! * [`learned_sort::learned_sort`] — the CDF-model sort of \[31], included
 //!   as the §II "query execution" example.
 //!
 //! Every structure reports its memory footprint and the *work units* spent

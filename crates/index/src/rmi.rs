@@ -1,6 +1,6 @@
 //! Two-level Recursive Model Index (RMI).
 //!
-//! The flagship learned index of Kraska et al. [8]: "models … arranged in a
+//! The flagship learned index of Kraska et al. \[8]: "models … arranged in a
 //! tree, with the prediction of a model being used to pick a more
 //! specialized model recursively until the leaf model makes a final
 //! prediction" (§II). This implementation uses a linear root model routing

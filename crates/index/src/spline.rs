@@ -1,6 +1,6 @@
 //! RadixSpline: a spline-based learned index with a radix lookup table.
 //!
-//! Following Kipf et al. (one of the SOSD baselines [34]), the index keeps a
+//! Following Kipf et al. (one of the SOSD baselines \[34]), the index keeps a
 //! sequence of *spline points* over the key→position CDF such that linear
 //! interpolation between consecutive points errs by at most `max_error`
 //! positions, plus a radix table over the top `radix_bits` of the key that

@@ -1,6 +1,6 @@
 //! Bao-style plan steering with an ε-greedy bandit.
 //!
-//! Bao [14] "learn[s] to steer query optimizers": instead of replacing the
+//! Bao \[14] "learn\[s] to steer query optimizers": instead of replacing the
 //! optimizer it chooses among *hint sets* (optimizer configurations) per
 //! query, learning from observed runtimes. [`PlanSteerer`] implements the
 //! same loop with an ε-greedy contextual bandit keyed by query shape: the

@@ -1,6 +1,6 @@
 //! Cardinality estimation: histogram baseline vs. feedback-driven learned.
 //!
-//! The paper's §II lists learned cardinality estimation [25]–[29] as a core
+//! The paper's §II lists learned cardinality estimation \[25]–\[29] as a core
 //! learned component, and §IV highlights the cost of "collecting the real
 //! cardinalities to build a regression model". We implement both sides of
 //! the comparison:
@@ -174,7 +174,7 @@ const OBS_ALPHA: f64 = 0.5;
 /// Learned estimator: memorizes observed cardinalities per query shape.
 ///
 /// This is the simplest member of the query-driven learned-estimator family
-/// (cf. [36]): exact recall on seen shapes, graceful fallback to the
+/// (cf. \[36]): exact recall on seen shapes, graceful fallback to the
 /// histogram baseline on unseen ones. The benchmark's out-of-sample
 /// (hold-out) metric exists precisely to expose the gap between those two
 /// regimes.

@@ -115,7 +115,7 @@ impl QueryGenerator {
     }
 }
 
-/// Generates multiway [`JoinQuery`] instances over a star schema, for the
+/// Generates multiway [`JoinQuery`](crate::optimizer::JoinQuery) instances over a star schema, for the
 /// optimizer SUTs (a fact table joined to a varying subset of dimensions,
 /// each relation optionally filtered).
 #[derive(Debug)]

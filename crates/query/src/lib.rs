@@ -2,8 +2,8 @@
 //! components.
 //!
 //! §II of the paper names query optimization "an excellent candidate for
-//! learned approaches": learned cardinality estimation [25]–[29], learned
-//! optimizer steering (Bao [14]), and fully learned optimizers (Neo [15]).
+//! learned approaches": learned cardinality estimation \[25]–\[29], learned
+//! optimizer steering (Bao \[14]), and fully learned optimizers (Neo \[15]).
 //! The benchmark must be able to drive such systems, and §V-D.1 measures
 //! workload similarity as "the Jaccard similarity between the sets of all
 //! subtrees of the query tree for all queries in the workload" — which

@@ -10,7 +10,7 @@
 //!   execution. Label collection costs work (§IV), charged explicitly.
 //! * [`BanditQuerySut`] — a [`PlanSteerer`] choosing per query shape among
 //!   plan arms (estimator variants and a pessimistic heuristic), learning
-//!   from observed execution work — the Bao [14] loop.
+//!   from observed execution work — the Bao \[14\] loop.
 
 use crate::sut::{ExecOutcome, SutMetrics, SystemUnderTest};
 use crate::{Result, SutError};

@@ -18,7 +18,7 @@
 //!   between (distribution, mix) pairs, the heart of a dynamic scenario.
 //! * [`trace`] — recording and replaying generated operation streams.
 //! * [`quality`] — the dataset/workload quality-scoring tool of §V-C, which
-//!   "attribute[s] low marks to uniform data distributions and workloads
+//!   "attribute\[s] low marks to uniform data distributions and workloads
 //!   while favoring datasets exhibiting skew or varying query load".
 //!
 //! All generators are seeded and deterministic: the same configuration and

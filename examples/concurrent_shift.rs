@@ -6,17 +6,14 @@
 //! cargo run --release --example concurrent_shift
 //! ```
 
-use lsbench::core::driver::{run_kv_scenario, DriverConfig};
-use lsbench::core::engine::{
-    run_concurrent_kv_scenario, run_sharded_kv_scenario, shard_dataset, EngineConfig,
-};
+use lsbench::core::engine::{run_concurrent_kv_scenario, EngineConfig};
+use lsbench::core::runner::{BoxedKvSut, RunOptions, Runner};
 use lsbench::core::scenario::{ArrivalSpec, Scenario};
+use lsbench::core::BenchError;
 use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
-use lsbench::sut::sut::SystemUnderTest;
 use lsbench::workload::arrival::{ArrivalProcess, LoadModulation};
 use lsbench::workload::dataset::Dataset;
 use lsbench::workload::keygen::KeyDistribution;
-use lsbench::workload::ops::Operation;
 
 const THREADS: usize = 4;
 
@@ -38,49 +35,43 @@ fn scenario() -> Scenario {
     .expect("valid scenario")
 }
 
-fn shard_suts(shards: &[Dataset]) -> Vec<Box<dyn SystemUnderTest<Operation> + Send>> {
-    shards
-        .iter()
-        .map(|d| {
-            Box::new(
-                RmiSut::build("rmi", d, RetrainPolicy::DeltaFraction(0.05)).expect("shard builds"),
-            ) as Box<dyn SystemUnderTest<Operation> + Send>
-        })
-        .collect()
+fn rmi_factory(data: &Dataset) -> Result<BoxedKvSut, BenchError> {
+    Ok(Box::new(
+        RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05))
+            .map_err(|e| BenchError::Sut(e.to_string()))?,
+    ))
 }
 
 fn main() {
     let s = scenario();
     let data = s.dataset.build().expect("dataset builds");
 
-    // Serial baseline: one SUT, one virtual clock.
-    let mut serial_sut =
-        RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.05)).expect("builds");
-    let serial = run_kv_scenario(&mut serial_sut, &s, DriverConfig::default()).expect("runs");
+    // Serial baseline: one SUT, one virtual clock. The Runner routes
+    // concurrency 1 to the serial driver.
+    let serial = Runner::from_factory(rmi_factory)
+        .run(&s)
+        .expect("runs")
+        .record;
     println!(
         "serial      : {:>10.0} ops/s  ({} ops)",
         serial.mean_throughput(),
         serial.completed()
     );
 
-    // Sharded: the key space splits at dataset quantiles, each shard SUT
-    // is driven by its own lane, and per-lane results merge into a record
-    // of the exact serial shape.
-    let (router, shards) = shard_dataset(&data, THREADS).expect("shards");
-    let mut suts = shard_suts(&shards);
-    let report = run_sharded_kv_scenario(
-        &mut suts,
-        &router,
-        &s,
-        &EngineConfig::with_concurrency(THREADS),
-    )
-    .expect("runs");
+    // Sharded: with concurrency > 1 the Runner splits the key space at
+    // dataset quantiles, builds one factory SUT per shard, drives each
+    // shard on its own lane, and merges per-lane results into a record of
+    // the exact serial shape.
+    let sharded = Runner::from_factory(rmi_factory)
+        .config(RunOptions::with_concurrency(THREADS))
+        .run(&s)
+        .expect("runs");
     println!(
         "{} shards    : {:>10.0} ops/s  ({} ops, {:.2}x)",
-        report.lanes,
-        report.record.mean_throughput(),
-        report.record.completed(),
-        report.record.mean_throughput() / serial.mean_throughput()
+        sharded.engine.expect("engine stats").lanes,
+        sharded.record.mean_throughput(),
+        sharded.record.completed(),
+        sharded.record.mean_throughput() / serial.mean_throughput()
     );
 
     // Open-loop overload on a shared B-tree: arrivals keep their own

@@ -8,8 +8,9 @@
 
 use lsbench::core::driver::{run_kv_scenario, DriverConfig};
 use lsbench::core::metrics::cost::TrainingTradeoff;
+use lsbench::core::metrics::sla::SlaPolicy;
 use lsbench::core::report::render_tradeoff;
-use lsbench::core::scenario::{DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench::core::scenario::Scenario;
 use lsbench::index::rmi::{Rmi, RmiConfig};
 use lsbench::sut::cost::{DbaCostModel, HardwareProfile};
 use lsbench::sut::kv::{BTreeSut, LearnedKvSut, RetrainPolicy};
@@ -19,39 +20,29 @@ use lsbench::workload::phases::{PhasedWorkload, WorkloadPhase};
 
 fn main() {
     let key_range = (0u64, 10_000_000u64);
-    let scenario = Scenario {
-        name: "cost-of-training".to_string(),
-        dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal {
-                mu: 0.0,
-                sigma: 1.2,
-            },
-            key_range,
-            size: 150_000,
-            seed: 81,
-        },
-        workload: PhasedWorkload::single(
-            WorkloadPhase::new(
-                "reads",
-                KeyDistribution::LogNormal {
-                    mu: 0.0,
-                    sigma: 1.2,
-                },
-                key_range,
-                OperationMix::ycsb_c(),
-                20_000,
-            ),
-            82,
-        )
-        .expect("valid workload"),
-        train_budget: u64::MAX,
-        sla: lsbench::core::metrics::sla::SlaPolicy::Fixed { threshold: 1.0 },
-        work_units_per_second: 1_000_000.0,
-        maintenance_every: u64::MAX,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
+    let lognormal = KeyDistribution::LogNormal {
+        mu: 0.0,
+        sigma: 1.2,
     };
+    let scenario = Scenario::builder("cost-of-training")
+        .dataset(lognormal.clone(), key_range, 150_000, 81)
+        .workload(
+            PhasedWorkload::single(
+                WorkloadPhase::new(
+                    "reads",
+                    lognormal,
+                    key_range,
+                    OperationMix::ycsb_c(),
+                    20_000,
+                ),
+                82,
+            )
+            .expect("valid workload"),
+        )
+        .sla(SlaPolicy::Fixed { threshold: 1.0 })
+        .maintenance_every(u64::MAX)
+        .build()
+        .expect("valid scenario");
     let data = scenario.dataset.build().expect("dataset builds");
     let pairs: Vec<(u64, u64)> = data.pairs().collect();
 

@@ -5,10 +5,11 @@
 //! cargo run --release --example holdout_overfitting
 //! ```
 
-use lsbench::core::driver::{run_kv_scenario, DriverConfig};
-use lsbench::core::holdout::{run_holdout, HoldoutReport};
+use lsbench::core::runner::{BoxedKvSut, RunOptions, Runner};
 use lsbench::core::scenario::Scenario;
+use lsbench::core::BenchError;
 use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
+use lsbench::workload::dataset::Dataset;
 use lsbench::workload::keygen::KeyDistribution;
 use lsbench::workload::ops::OperationMix;
 use lsbench::workload::phases::{PhasedWorkload, WorkloadPhase};
@@ -44,31 +45,41 @@ fn main() {
         )
         .expect("valid workload"),
     );
-    let data = scenario.dataset.build().expect("dataset builds");
+    // RunOptions.holdout = true makes the Runner execute the hold-out
+    // workload once after the main run and report the comparison.
+    let opts = RunOptions {
+        holdout: true,
+        ..RunOptions::default()
+    };
 
     println!("SUT            in-sample t/s   out-of-sample t/s   generalization ratio");
-    let mut rmi = RmiSut::build("rmi", &data, RetrainPolicy::OnPhaseChange).expect("rmi builds");
-    let main = run_kv_scenario(&mut rmi, &scenario, DriverConfig::default()).expect("run");
-    let hold = run_holdout(&mut rmi, &scenario).expect("holdout run");
-    let report = HoldoutReport::new(&main, &hold).expect("report builds");
-    println!(
-        "{:<14} {:>12.0} {:>18.0} {:>17.3}",
-        report.sut_name,
-        report.in_sample_throughput,
-        report.out_of_sample_throughput,
-        report.generalization_ratio
-    );
-
-    let mut btree = BTreeSut::build(&data).expect("btree builds");
-    let main = run_kv_scenario(&mut btree, &scenario, DriverConfig::default()).expect("run");
-    let hold = run_holdout(&mut btree, &scenario).expect("holdout run");
-    let report = HoldoutReport::new(&main, &hold).expect("report builds");
-    println!(
-        "{:<14} {:>12.0} {:>18.0} {:>17.3}",
-        report.sut_name,
-        report.in_sample_throughput,
-        report.out_of_sample_throughput,
-        report.generalization_ratio
-    );
+    type Factory = fn(&Dataset) -> Result<BoxedKvSut, BenchError>;
+    let factories: [Factory; 2] = [
+        |data| {
+            Ok(Box::new(
+                RmiSut::build("rmi", data, RetrainPolicy::OnPhaseChange)
+                    .map_err(|e| BenchError::Sut(e.to_string()))?,
+            ))
+        },
+        |data| {
+            Ok(Box::new(
+                BTreeSut::build(data).map_err(|e| BenchError::Sut(e.to_string()))?,
+            ))
+        },
+    ];
+    for factory in factories {
+        let outcome = Runner::from_factory(factory)
+            .config(opts)
+            .run(&scenario)
+            .expect("run");
+        let (_, report) = outcome.holdout.expect("hold-out requested");
+        println!(
+            "{:<14} {:>12.0} {:>18.0} {:>17.3}",
+            report.sut_name,
+            report.in_sample_throughput,
+            report.out_of_sample_throughput,
+            report.generalization_ratio
+        );
+    }
     println!("\n(a ratio well below 1.0 = the system overfits what it saw; §V-A)");
 }

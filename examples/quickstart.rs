@@ -5,10 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use lsbench::core::driver::{run_kv_scenario, DriverConfig};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
+use lsbench::core::runner::Runner;
 use lsbench::core::scenario::Scenario;
-use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
+use lsbench::core::sut_registry::SutRegistry;
 use lsbench::workload::keygen::KeyDistribution;
 
 fn main() {
@@ -26,17 +26,22 @@ fn main() {
         42,      // seed — everything is deterministic
     )
     .expect("valid scenario");
-    let dataset = scenario.dataset.build().expect("dataset builds");
 
-    // 2. Two systems under test: a learned index (RMI behind a delta buffer
-    //    that retrains when 5% of the data is unmerged) and a B+-tree.
-    let mut rmi =
-        RmiSut::build("rmi", &dataset, RetrainPolicy::DeltaFraction(0.05)).expect("rmi builds");
-    let mut btree = BTreeSut::build(&dataset).expect("btree builds");
+    // 2. Two systems under test, resolved by name from the registry: a
+    //    learned index (RMI behind a delta buffer that retrains when 5% of
+    //    the data is unmerged) and a B+-tree.
+    let registry = SutRegistry::default();
 
-    // 3. Run both through the same scenario on the virtual clock.
-    let rmi_run = run_kv_scenario(&mut rmi, &scenario, DriverConfig::default()).expect("run");
-    let btree_run = run_kv_scenario(&mut btree, &scenario, DriverConfig::default()).expect("run");
+    // 3. Run both through the same scenario on the virtual clock. The
+    //    Runner builds each SUT from the scenario's dataset and drives it.
+    let rmi_run = Runner::from_factory(registry.factory("rmi").expect("registered"))
+        .run(&scenario)
+        .expect("run")
+        .record;
+    let btree_run = Runner::from_factory(registry.factory("btree").expect("registered"))
+        .run(&scenario)
+        .expect("run")
+        .record;
 
     // 4. Traditional metric: average throughput (the paper's Lesson 2 says
     //    this is not enough — but it is where everyone starts).

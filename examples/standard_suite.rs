@@ -7,8 +7,7 @@
 //! ```
 
 use lsbench::core::suite::{render_comparison, run_suite, SuiteConfig};
-use lsbench::core::BenchError;
-use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
+use lsbench::core::sut_registry::SutRegistry;
 
 fn main() {
     let cfg = SuiteConfig {
@@ -19,25 +18,11 @@ fn main() {
         threads: 1,
     };
 
-    let rmi = run_suite(
-        |data| {
-            Ok(Box::new(
-                RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05))
-                    .map_err(|e| BenchError::Sut(e.to_string()))?,
-            ))
-        },
-        &cfg,
-    )
-    .expect("suite runs");
-    let btree = run_suite(
-        |data| {
-            Ok(Box::new(
-                BTreeSut::build(data).map_err(|e| BenchError::Sut(e.to_string()))?,
-            ))
-        },
-        &cfg,
-    )
-    .expect("suite runs");
+    // SUTs come from the registry — the same names `lsbench list` prints.
+    let registry = SutRegistry::default();
+    let rmi = run_suite(registry.factory("rmi").expect("registered"), &cfg).expect("suite runs");
+    let btree =
+        run_suite(registry.factory("btree").expect("registered"), &cfg).expect("suite runs");
 
     println!("{}", render_comparison(&[rmi, btree]));
     println!(

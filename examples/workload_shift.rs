@@ -14,7 +14,7 @@ use lsbench::core::metrics::sla::{SlaPolicy, SlaReport};
 use lsbench::core::metrics::specialization::SpecializationReport;
 use lsbench::core::record::RunRecord;
 use lsbench::core::report::{render_adaptability, render_sla, render_specialization};
-use lsbench::core::scenario::{DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench::core::scenario::Scenario;
 use lsbench::sut::cost::HardwareProfile;
 use lsbench::sut::kv::{AlexSut, BTreeSut, PgmSut, RetrainPolicy, RmiSut, SplineSut};
 use lsbench::sut::sut::SystemUnderTest;
@@ -56,26 +56,21 @@ fn scenario() -> Scenario {
         77,
     )
     .expect("valid workload");
-    Scenario {
-        name: "workload-shift".to_string(),
-        dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal {
+    Scenario::builder("workload-shift")
+        .dataset(
+            KeyDistribution::LogNormal {
                 mu: 0.0,
                 sigma: 1.2,
             },
-            key_range: KEY_RANGE,
-            size: 150_000,
-            seed: 78,
-        },
-        workload,
-        train_budget: u64::MAX,
-        sla: SlaPolicy::FromBaselineP99 { multiplier: 3.0 },
-        work_units_per_second: 1_000_000.0,
-        maintenance_every: 256,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    }
+            KEY_RANGE,
+            150_000,
+            78,
+        )
+        .workload(workload)
+        .sla(SlaPolicy::FromBaselineP99 { multiplier: 3.0 })
+        .maintenance_every(256)
+        .build()
+        .expect("valid scenario")
 }
 
 fn main() {

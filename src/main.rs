@@ -1,61 +1,52 @@
 //! `lsbench` — command-line front end for the learned-systems benchmark.
 //!
 //! ```text
-//! lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]...
+//! lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]... [--trace]
 //! lsbench quality --dist NAME [--param X]
-//! lsbench shift --sut NAME [--size N] [--ops N] [--threads N]
+//! lsbench shift --sut NAME [--size N] [--ops N] [--threads N] [--trace]
 //! lsbench list
 //! ```
+//!
+//! SUT names are resolved through [`SutRegistry`]; `lsbench list` prints
+//! the registry. `--trace` turns on the observability layer: runs emit a
+//! deterministic virtual-clock event trace (written to
+//! `target/lsbench-results/trace.jsonl`) and print a wall-clock span tree.
 
-use lsbench::core::driver::{run_kv_scenario, DriverConfig};
-use lsbench::core::engine::{run_sharded_kv_scenario, shard_dataset, EngineConfig};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
+use lsbench::core::obs::{render_spans, ObsConfig};
 use lsbench::core::report::{render_adaptability, to_json, write_artifact};
+use lsbench::core::runner::{RunOptions, Runner};
 use lsbench::core::scenario::Scenario;
-use lsbench::core::suite::{render_comparison, run_suite, SuiteConfig, SuiteResult};
-use lsbench::core::BenchError;
-use lsbench::sut::kv::{
-    AlexSut, BTreeSut, HashSut, PgmSut, RetrainPolicy, RmiSut, SortedArraySut, SplineSut,
-};
-use lsbench::sut::sut::SystemUnderTest;
-use lsbench::workload::dataset::Dataset;
+use lsbench::core::suite::{render_comparison, run_suite_observed, SuiteConfig, SuiteResult};
+use lsbench::core::sut_registry::SutRegistry;
 use lsbench::workload::keygen::{KeyDistribution, KeyGenerator};
-use lsbench::workload::ops::Operation;
 use lsbench::workload::quality::score_dataset;
 use std::process::ExitCode;
-
-const SUT_NAMES: &[&str] = &[
-    "btree",
-    "sorted-array",
-    "hash",
-    "alex",
-    "rmi",
-    "pgm",
-    "spline",
-];
 
 fn usage() -> ExitCode {
     eprintln!(
         "lsbench — benchmark for learned data systems
 
 USAGE:
-  lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]...
+  lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]... [--trace]
       Run the standard 5-scenario suite (default: all SUTs) and print the
       cross-SUT comparison. Artifacts land in target/lsbench-results/.
       --threads N > 1 key-range-shards every scenario across N worker
-      threads on the concurrent engine.
+      threads on the concurrent engine. --trace records the virtual-clock
+      event trace (trace.jsonl) and prints per-scenario span trees.
 
-  lsbench shift --sut NAME [--size N] [--ops N] [--seed N] [--threads N]
+  lsbench shift --sut NAME [--size N] [--ops N] [--seed N] [--threads N] [--trace]
       Run the canonical two-phase distribution-shift scenario for one SUT
       and print its adaptability report. --threads N > 1 runs it sharded
       on the concurrent engine and also prints merged latency quantiles.
+      --trace writes shift_trace.jsonl and prints the span tree.
 
   lsbench quality --dist NAME [--theta X]
       Score a key distribution with the §V-C quality tool.
       NAME: uniform | zipf | lognormal | hotspot | clustered | seq
 
   lsbench list
-      List available SUTs and distributions.
+      List registered SUTs and distributions.
 "
     );
     ExitCode::from(2)
@@ -73,34 +64,20 @@ fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T
         .unwrap_or(default)
 }
 
-fn build_sut(
-    name: &str,
-    data: &Dataset,
-) -> lsbench::core::Result<Box<dyn SystemUnderTest<Operation> + Send>> {
-    let err = |e: lsbench::sut::SutError| BenchError::Sut(e.to_string());
-    Ok(match name {
-        "btree" => Box::new(BTreeSut::build(data).map_err(err)?),
-        "sorted-array" => Box::new(SortedArraySut::build(data).map_err(err)?),
-        "hash" => Box::new(HashSut::build(data).map_err(err)?),
-        "alex" => Box::new(AlexSut::build(data).map_err(err)?),
-        "rmi" => {
-            Box::new(RmiSut::build("rmi", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?)
-        }
-        "pgm" => {
-            Box::new(PgmSut::build("pgm", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?)
-        }
-        "spline" => Box::new(
-            SplineSut::build("spline", data, RetrainPolicy::DeltaFraction(0.05)).map_err(err)?,
-        ),
-        other => {
-            return Err(BenchError::InvalidScenario(format!(
-                "unknown SUT '{other}' (see `lsbench list`)"
-            )))
-        }
-    })
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn obs_config(args: &[String]) -> ObsConfig {
+    if has_flag(args, "--trace") {
+        ObsConfig::traced()
+    } else {
+        ObsConfig::default()
+    }
 }
 
 fn cmd_suite(args: &[String]) -> ExitCode {
+    let registry = SutRegistry::default();
     let cfg = SuiteConfig {
         dataset_size: parse_num(args, "--size", 100_000),
         ops_per_phase: parse_num(args, "--ops", 10_000),
@@ -115,18 +92,36 @@ fn cmd_suite(args: &[String]) -> ExitCode {
             .map(|w| w[1].clone())
             .collect();
         if names.is_empty() {
-            names = SUT_NAMES.iter().map(|s| s.to_string()).collect();
+            names = registry.names().iter().map(|s| s.to_string()).collect();
         }
         names
     };
+    let obs = obs_config(args);
     let mut results: Vec<SuiteResult> = Vec::new();
+    let mut trace_lines = String::new();
     for name in &chosen {
+        let factory = match registry.factory(name) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
         eprint!("running {name} ... ");
-        let run = run_suite(|data| build_sut(name, data), &cfg);
-        match run {
-            Ok(r) => {
+        match run_suite_observed(factory, &cfg, obs) {
+            Ok((result, observation)) => {
                 eprintln!("done");
-                results.push(r);
+                for (scenario, trace) in &observation.traces {
+                    match trace.to_jsonl_tagged(&[("sut", name), ("scenario", scenario)]) {
+                        Ok(lines) => trace_lines.push_str(&lines),
+                        Err(e) => eprintln!("trace render failed: {e}"),
+                    }
+                }
+                for (scenario, spans) in &observation.spans {
+                    println!("[spans] {name} / {scenario}");
+                    print!("{}", render_spans(spans));
+                }
+                results.push(result);
             }
             Err(e) => {
                 eprintln!("failed: {e}");
@@ -140,13 +135,27 @@ fn cmd_suite(args: &[String]) -> ExitCode {
             eprintln!("[saved {}]", path.display());
         }
     }
+    if !trace_lines.is_empty() {
+        match write_artifact("trace.jsonl", &trace_lines) {
+            Ok(path) => eprintln!("[saved {}]", path.display()),
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn cmd_shift(args: &[String]) -> ExitCode {
+    let registry = SutRegistry::default();
     let Some(sut_name) = parse_flag(args, "--sut") else {
         eprintln!("--sut NAME is required (see `lsbench list`)");
         return ExitCode::from(2);
+    };
+    let factory = match registry.factory(&sut_name) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
     };
     let scenario = match Scenario::two_phase_shift(
         "cli-shift",
@@ -168,66 +177,35 @@ fn cmd_shift(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let data = match scenario.dataset.build() {
-        Ok(d) => d,
+    let opts = RunOptions {
+        concurrency: parse_num(args, "--threads", 1),
+        obs: obs_config(args),
+        ..RunOptions::default()
+    };
+    let outcome = match Runner::from_factory(factory).config(opts).run(&scenario) {
+        Ok(o) => o,
         Err(e) => {
-            eprintln!("dataset generation failed: {e}");
+            eprintln!("run failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let threads: usize = parse_num(args, "--threads", 1);
-    let record = if threads <= 1 {
-        let mut sut = match build_sut(&sut_name, &data) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
+    if let Some(stats) = &outcome.engine {
+        let q = |p: f64| {
+            stats
+                .latency
+                .quantile(p)
+                .map(|ns| ns as f64 / 1e9)
+                .unwrap_or(f64::NAN)
         };
-        match run_kv_scenario(sut.as_mut(), &scenario, DriverConfig::default()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("run failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        let sharded = shard_dataset(&data, threads).and_then(|(router, shards)| {
-            let mut suts = shards
-                .iter()
-                .map(|d| build_sut(&sut_name, d))
-                .collect::<lsbench::core::Result<Vec<_>>>()?;
-            run_sharded_kv_scenario(
-                &mut suts,
-                &router,
-                &scenario,
-                &EngineConfig::with_concurrency(threads),
-            )
-        });
-        match sharded {
-            Ok(report) => {
-                let q = |p: f64| {
-                    report
-                        .latency
-                        .quantile(p)
-                        .map(|ns| ns as f64 / 1e9)
-                        .unwrap_or(f64::NAN)
-                };
-                println!(
-                    "[engine] {} threads, {} lanes, p50 {:.6}s p99 {:.6}s (virtual)",
-                    report.threads,
-                    report.lanes,
-                    q(0.50),
-                    q(0.99)
-                );
-                report.record
-            }
-            Err(e) => {
-                eprintln!("run failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    };
+        println!(
+            "[engine] {} threads, {} lanes, p50 {:.6}s p99 {:.6}s (virtual)",
+            stats.threads,
+            stats.lanes,
+            q(0.50),
+            q(0.99)
+        );
+    }
+    let record = &outcome.record;
     println!(
         "{}: {:.0} ops/s mean, {} completed, {} failures, training {:.3}s",
         record.sut_name,
@@ -236,9 +214,25 @@ fn cmd_shift(args: &[String]) -> ExitCode {
         record.failures(),
         record.train.seconds
     );
-    match AdaptabilityReport::from_record(&record) {
+    match AdaptabilityReport::from_record(record) {
         Ok(rep) => println!("{}", render_adaptability(&[&rep])),
         Err(e) => eprintln!("metrics failed: {e}"),
+    }
+    if !outcome.spans.is_empty() {
+        println!("[spans] {sut_name} / {}", scenario.name);
+        print!("{}", render_spans(&outcome.spans));
+    }
+    if let Some(trace) = &outcome.trace {
+        match trace
+            .to_jsonl_tagged(&[
+                ("sut", sut_name.as_str()),
+                ("scenario", scenario.name.as_str()),
+            ])
+            .and_then(|lines| write_artifact("shift_trace.jsonl", &lines))
+        {
+            Ok(path) => eprintln!("[saved {}]", path.display()),
+            Err(e) => eprintln!("trace write failed: {e}"),
+        }
     }
     ExitCode::SUCCESS
 }
@@ -286,17 +280,23 @@ fn cmd_quality(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_list() -> ExitCode {
+    let registry = SutRegistry::default();
+    println!("SUTs:");
+    for (name, description) in registry.descriptions() {
+        println!("  {name:<14} {description}");
+    }
+    println!("distributions: uniform, zipf, lognormal, hotspot, clustered, seq");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("suite") => cmd_suite(&args[1..]),
         Some("shift") => cmd_shift(&args[1..]),
         Some("quality") => cmd_quality(&args[1..]),
-        Some("list") => {
-            println!("SUTs: {}", SUT_NAMES.join(", "));
-            println!("distributions: uniform, zipf, lognormal, hotspot, clustered, seq");
-            ExitCode::SUCCESS
-        }
+        Some("list") => cmd_list(),
         _ => usage(),
     }
 }
