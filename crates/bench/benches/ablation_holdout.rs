@@ -12,7 +12,7 @@
 use lsbench_bench::{emit, KEY_RANGE};
 use lsbench_core::driver::{run_kv_scenario, DriverConfig};
 use lsbench_core::holdout::{run_holdout, HoldoutReport};
-use lsbench_core::scenario::{DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench_core::scenario::Scenario;
 use lsbench_sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
 use lsbench_workload::keygen::KeyDistribution;
 use lsbench_workload::ops::OperationMix;
@@ -83,26 +83,22 @@ fn scenario() -> Scenario {
     )
     .expect("static workload is valid");
 
-    Scenario {
-        name: "ablation-holdout".to_string(),
-        dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal {
+    Scenario::builder("ablation-holdout")
+        .dataset(
+            KeyDistribution::LogNormal {
                 mu: 0.0,
                 sigma: 1.2,
             },
-            key_range: KEY_RANGE,
-            size: DATASET_SIZE,
-            seed: 54,
-        },
-        workload,
-        train_budget: u64::MAX,
-        sla: lsbench_core::metrics::sla::SlaPolicy::Fixed { threshold: 1.0 },
-        work_units_per_second: 1_000_000.0,
-        maintenance_every: 256,
-        holdout: Some(holdout),
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    }
+            KEY_RANGE,
+            DATASET_SIZE,
+            54,
+        )
+        .workload(workload)
+        .sla(lsbench_core::metrics::sla::SlaPolicy::Fixed { threshold: 1.0 })
+        .maintenance_every(256)
+        .holdout(holdout)
+        .build()
+        .expect("static scenario is valid")
 }
 
 fn main() {

@@ -14,7 +14,7 @@ use lsbench_bench::{emit, KEY_RANGE};
 use lsbench_core::driver::{run_kv_scenario, DriverConfig};
 use lsbench_core::metrics::adaptability::AdaptabilityReport;
 use lsbench_core::metrics::sla::SlaReport;
-use lsbench_core::scenario::{DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench_core::scenario::Scenario;
 use lsbench_sut::kv::{RetrainPolicy, RmiSut};
 use lsbench_workload::keygen::KeyDistribution;
 use lsbench_workload::ops::OperationMix;
@@ -59,26 +59,21 @@ fn scenario(kind: TransitionKind) -> Scenario {
         41,
     )
     .expect("static workload is valid");
-    Scenario {
-        name: format!("ablation-transition-{kind:?}"),
-        dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal {
+    Scenario::builder(format!("ablation-transition-{kind:?}"))
+        .dataset(
+            KeyDistribution::LogNormal {
                 mu: 0.0,
                 sigma: 1.2,
             },
-            key_range: KEY_RANGE,
-            size: DATASET_SIZE,
-            seed: 42,
-        },
-        workload,
-        train_budget: u64::MAX,
-        sla: lsbench_core::metrics::sla::SlaPolicy::Fixed { threshold: 1.0 },
-        work_units_per_second: 1_000_000.0,
-        maintenance_every: 256,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    }
+            KEY_RANGE,
+            DATASET_SIZE,
+            42,
+        )
+        .workload(workload)
+        .sla(lsbench_core::metrics::sla::SlaPolicy::Fixed { threshold: 1.0 })
+        .maintenance_every(256)
+        .build()
+        .expect("static scenario is valid")
 }
 
 fn main() {

@@ -16,7 +16,7 @@ use lsbench_bench::{emit, KEY_RANGE};
 use lsbench_core::driver::{run_kv_scenario, DriverConfig};
 use lsbench_core::metrics::adaptability::AdaptabilityReport;
 use lsbench_core::report::{render_adaptability, series_csv, to_json, write_artifact};
-use lsbench_core::scenario::{DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench_core::scenario::Scenario;
 use lsbench_sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
 use lsbench_workload::keygen::KeyDistribution;
 use lsbench_workload::ops::OperationMix;
@@ -72,26 +72,20 @@ fn scenario() -> Scenario {
         13,
     )
     .expect("static workload is valid");
-    Scenario {
-        name: "fig1b".to_string(),
-        dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal {
+    Scenario::builder("fig1b")
+        .dataset(
+            KeyDistribution::LogNormal {
                 mu: 0.0,
                 sigma: 1.2,
             },
-            key_range: KEY_RANGE,
-            size: DATASET_SIZE,
-            seed: 14,
-        },
-        workload,
-        train_budget: u64::MAX,
-        sla: lsbench_core::metrics::sla::SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
-        work_units_per_second: 1_000_000.0,
-        maintenance_every: 256,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    }
+            KEY_RANGE,
+            DATASET_SIZE,
+            14,
+        )
+        .workload(workload)
+        .maintenance_every(256)
+        .build()
+        .expect("static scenario is valid")
 }
 
 fn main() {

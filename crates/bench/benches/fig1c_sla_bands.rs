@@ -14,7 +14,7 @@ use lsbench_bench::{emit, KEY_RANGE};
 use lsbench_core::driver::{run_kv_scenario, DriverConfig};
 use lsbench_core::metrics::sla::{SlaPolicy, SlaReport};
 use lsbench_core::report::{render_sla, to_json, write_artifact};
-use lsbench_core::scenario::{DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench_core::scenario::Scenario;
 use lsbench_sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
 use lsbench_workload::keygen::KeyDistribution;
 use lsbench_workload::ops::OperationMix;
@@ -60,26 +60,21 @@ fn scenario() -> Scenario {
         17,
     )
     .expect("static workload is valid");
-    Scenario {
-        name: "fig1c".to_string(),
-        dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal {
+    Scenario::builder("fig1c")
+        .dataset(
+            KeyDistribution::LogNormal {
                 mu: 0.0,
                 sigma: 1.2,
             },
-            key_range: KEY_RANGE,
-            size: DATASET_SIZE,
-            seed: 18,
-        },
-        workload,
-        train_budget: u64::MAX,
-        sla: SlaPolicy::FromBaselineP99 { multiplier: 2.0 },
-        work_units_per_second: 1_000_000.0,
-        maintenance_every: 256,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    }
+            KEY_RANGE,
+            DATASET_SIZE,
+            18,
+        )
+        .workload(workload)
+        .sla(SlaPolicy::FromBaselineP99 { multiplier: 2.0 })
+        .maintenance_every(256)
+        .build()
+        .expect("static scenario is valid")
 }
 
 fn main() {

@@ -16,7 +16,7 @@ use lsbench_core::driver::{run_kv_scenario, DriverConfig};
 use lsbench_core::metrics::cost::{CostReport, TrainingTradeoff};
 use lsbench_core::record::RunRecord;
 use lsbench_core::report::{render_cost, render_tradeoff, to_json, write_artifact};
-use lsbench_core::scenario::{DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench_core::scenario::Scenario;
 use lsbench_index::rmi::{Rmi, RmiConfig};
 use lsbench_sut::cost::{DbaCostModel, HardwareProfile};
 use lsbench_sut::kv::{BTreeSut, LearnedKvSut, RetrainPolicy};
@@ -52,26 +52,21 @@ fn scenario() -> Scenario {
         21,
     )
     .expect("static workload is valid");
-    Scenario {
-        name: "fig1d".to_string(),
-        dataset: DatasetSpec {
-            distribution: KeyDistribution::LogNormal {
+    Scenario::builder("fig1d")
+        .dataset(
+            KeyDistribution::LogNormal {
                 mu: 0.0,
                 sigma: 1.2,
             },
-            key_range: KEY_RANGE,
-            size: DATASET_SIZE,
-            seed: 22,
-        },
-        workload,
-        train_budget: u64::MAX,
-        sla: lsbench_core::metrics::sla::SlaPolicy::Fixed { threshold: 1.0 },
-        work_units_per_second: 1_000_000.0,
-        maintenance_every: u64::MAX,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    }
+            KEY_RANGE,
+            DATASET_SIZE,
+            22,
+        )
+        .workload(workload)
+        .sla(lsbench_core::metrics::sla::SlaPolicy::Fixed { threshold: 1.0 })
+        .maintenance_every(u64::MAX)
+        .build()
+        .expect("static scenario is valid")
 }
 
 fn main() {

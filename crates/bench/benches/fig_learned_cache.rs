@@ -13,7 +13,7 @@
 use lsbench_bench::{emit, KEY_RANGE};
 use lsbench_core::driver::{run_kv_scenario, DriverConfig};
 use lsbench_core::metrics::adaptability::AdaptabilityReport;
-use lsbench_core::scenario::{DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench_core::scenario::Scenario;
 use lsbench_index::cache::{KeyCache, LearnedCache, LruCache};
 use lsbench_sut::kv::{BTreeSut, CachedSut};
 use lsbench_workload::keygen::KeyDistribution;
@@ -48,23 +48,13 @@ fn scenario() -> Scenario {
         101,
     )
     .expect("static workload is valid");
-    Scenario {
-        name: "learned-cache".to_string(),
-        dataset: DatasetSpec {
-            distribution: KeyDistribution::Uniform,
-            key_range: KEY_RANGE,
-            size: DATASET_SIZE,
-            seed: 102,
-        },
-        workload,
-        train_budget: u64::MAX,
-        sla: lsbench_core::metrics::sla::SlaPolicy::Fixed { threshold: 1.0 },
-        work_units_per_second: 1_000_000.0,
-        maintenance_every: u64::MAX,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    }
+    Scenario::builder("learned-cache")
+        .dataset(KeyDistribution::Uniform, KEY_RANGE, DATASET_SIZE, 102)
+        .workload(workload)
+        .sla(lsbench_core::metrics::sla::SlaPolicy::Fixed { threshold: 1.0 })
+        .maintenance_every(u64::MAX)
+        .build()
+        .expect("static scenario is valid")
 }
 
 fn run_cached<C: KeyCache + 'static>(

@@ -57,18 +57,15 @@ pub(crate) fn one_shot_scenario(scenario: &Scenario) -> Result<Scenario> {
         .holdout
         .as_ref()
         .ok_or_else(|| BenchError::InvalidScenario("scenario has no hold-out".to_string()))?;
-    Ok(Scenario {
-        name: format!("{}-holdout", scenario.name),
-        dataset: scenario.dataset.clone(),
-        workload: holdout.clone(),
-        train_budget: 0,
-        sla: scenario.sla,
-        work_units_per_second: scenario.work_units_per_second,
-        maintenance_every: u64::MAX,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    })
+    Scenario::builder(format!("{}-holdout", scenario.name))
+        .dataset_spec(scenario.dataset.clone())
+        .workload(holdout.clone())
+        .train_budget(0)
+        .sla(scenario.sla)
+        .work_units_per_second(scenario.work_units_per_second)
+        .maintenance_every(u64::MAX)
+        .online_train(OnlineTrainMode::Foreground)
+        .build()
 }
 
 /// Runs the scenario's hold-out workload once (single pass, no phase

@@ -26,6 +26,10 @@
 //! * [`runner`] — the unified [`Runner`] facade: one entry point that
 //!   routes serial, shared-SUT concurrent, sharded, and hold-out runs
 //!   from a single [`RunOptions`] configuration.
+//! * [`spec`] — the declarative scenario subsystem: a line-oriented spec
+//!   language with positioned errors, parse-time drift composers, a
+//!   canonical renderer, and the [`spec::ScenarioRegistry`] resolving
+//!   built-in and file-based scenarios uniformly.
 //! * [`sut_registry`] — name → constructor registry so CLIs, suites, and
 //!   benches resolve systems under test uniformly.
 //! * [`report`] — plain-text figures (ASCII), CSV series, and JSON
@@ -42,6 +46,7 @@ pub mod record;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod spec;
 pub mod suite;
 pub mod sut_registry;
 
@@ -63,6 +68,7 @@ pub use obs::{MetricsRegistry, ObsConfig, RunEvent, RunObserver, TraceEvent, Tra
 pub use record::{OpRecord, RunRecord};
 pub use runner::{BoxedKvSut, EngineStats, RunOptions, RunOutcome, Runner};
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use spec::{parse_scenario, render_scenario, ScenarioRegistry, SpecError};
 pub use suite::{
     run_suite, run_suite_observed, standard_scenarios, SuiteConfig, SuiteObservation, SuiteResult,
 };

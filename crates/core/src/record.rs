@@ -36,7 +36,7 @@ pub struct TrainInfo {
 }
 
 /// A complete run record for one SUT on one scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunRecord {
     /// SUT display name.
     pub sut_name: String,

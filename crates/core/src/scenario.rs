@@ -90,8 +90,10 @@ impl DatasetSpec {
 /// fields stay public for inspection and targeted tweaks of a built
 /// scenario, but populating the struct literally is a deprecated pattern —
 /// it silently compiles with nonsense (zero rates, empty datasets) that
-/// the builder rejects.
-#[derive(Debug, Clone)]
+/// the builder rejects. The deprecated [`raw`](Scenario::raw) marker field
+/// makes the compiler say so: a struct literal has to name it and earns a
+/// deprecation warning, while builder-made scenarios never touch it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Scenario name for reports.
     pub name: String,
@@ -114,6 +116,15 @@ pub struct Scenario {
     pub arrival: Option<ArrivalSpec>,
     /// How online retraining work is scheduled against queries.
     pub online_train: OnlineTrainMode,
+    /// Deprecation marker for raw struct-literal construction: a literal
+    /// must name this field (`raw: ()`), which trips the deprecation lint
+    /// and points at [`Scenario::builder`]. Carries no data.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct scenarios with `Scenario::builder(..)` (validates on build) or a \
+                `scenarios/*.spec` file instead of a raw struct literal"
+    )]
+    pub raw: (),
 }
 
 impl Scenario {
@@ -195,23 +206,10 @@ impl Scenario {
             seed,
         )
         .map_err(|e| BenchError::Workload(e.to_string()))?;
-        Ok(Scenario {
-            name: name.into(),
-            dataset: DatasetSpec {
-                distribution: first,
-                key_range,
-                size: dataset_size,
-                seed: seed ^ 0xDA7A,
-            },
-            workload,
-            train_budget: u64::MAX,
-            sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
-            work_units_per_second: 1_000_000.0,
-            maintenance_every: 64,
-            holdout: None,
-            arrival: None,
-            online_train: OnlineTrainMode::Foreground,
-        })
+        Scenario::builder(name)
+            .dataset(first, key_range, dataset_size, seed ^ 0xDA7A)
+            .workload(workload)
+            .build()
     }
 
     /// A multi-distribution specialization scenario: one phase per given
@@ -237,23 +235,15 @@ impl Scenario {
         let transitions = vec![TransitionKind::Abrupt; phases.len() - 1];
         let workload = PhasedWorkload::new(phases, transitions, seed)
             .map_err(|e| BenchError::Workload(e.to_string()))?;
-        Ok(Scenario {
-            name: name.into(),
-            dataset: DatasetSpec {
-                distribution: KeyDistribution::Uniform,
+        Scenario::builder(name)
+            .dataset(
+                KeyDistribution::Uniform,
                 key_range,
-                size: dataset_size,
-                seed: seed ^ 0xDA7A,
-            },
-            workload,
-            train_budget: u64::MAX,
-            sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
-            work_units_per_second: 1_000_000.0,
-            maintenance_every: 64,
-            holdout: None,
-            arrival: None,
-            online_train: OnlineTrainMode::Foreground,
-        })
+                dataset_size,
+                seed ^ 0xDA7A,
+            )
+            .workload(workload)
+            .build()
     }
 }
 
@@ -389,6 +379,7 @@ impl ScenarioBuilder {
 
     /// Assembles and validates the scenario. Errors if the dataset or
     /// workload is missing, or if any field fails [`Scenario::validate`].
+    #[allow(deprecated)] // the builder is the one sanctioned literal constructor
     pub fn build(self) -> Result<Scenario> {
         let dataset = self.dataset.ok_or_else(|| {
             BenchError::InvalidScenario(format!("scenario '{}' has no dataset", self.name))
@@ -407,6 +398,7 @@ impl ScenarioBuilder {
             holdout: self.holdout,
             arrival: self.arrival,
             online_train: self.online_train,
+            raw: (),
         };
         scenario.validate()?;
         Ok(scenario)

@@ -1,0 +1,478 @@
+//! Drift composers: high-level phase generators that expand to concrete
+//! phase lists.
+//!
+//! NeurBench-style parameterized drift: instead of hand-writing N phases,
+//! a spec states the *shape* of the drift (`diurnal`, `burst`,
+//! `gradual_shift`, `growing_skew`) and the composer unrolls it into
+//! [`WorkloadPhase`]s joined by [`TransitionKind`]s. Expansion happens at
+//! parse time and is pure arithmetic over a virtual clock (step midpoints),
+//! so a composed scenario is indistinguishable from one whose phases were
+//! written out by hand — the run-time driver never knows composers exist.
+//! See DESIGN.md ("Parse-time composer expansion") for why.
+//!
+//! Composers return plain `String` reasons on invalid parameters; the
+//! parser attaches the source position to produce a
+//! [`SpecError`](super::SpecError).
+
+use lsbench_workload::keygen::KeyDistribution;
+use lsbench_workload::ops::OperationMix;
+use lsbench_workload::phases::{TransitionKind, WorkloadPhase};
+
+/// An expanded composer: the concrete phases and the transitions *between*
+/// them (`transitions.len() == phases.len() - 1`).
+pub type Expansion = (Vec<WorkloadPhase>, Vec<TransitionKind>);
+
+/// Linear interpolation position of step `i` among `steps` (0 at the first
+/// step, 1 at the last; 0 for a single step).
+fn lerp_t(i: u64, steps: u64) -> f64 {
+    if steps <= 1 {
+        0.0
+    } else {
+        i as f64 / (steps - 1) as f64
+    }
+}
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Internal transitions for a composer: abrupt by default, or gradual with
+/// the given `smooth` window.
+fn internal_transitions(count: usize, smooth: Option<f64>) -> Vec<TransitionKind> {
+    let kind = match smooth {
+        Some(window) => TransitionKind::Gradual { window },
+        None => TransitionKind::Abrupt,
+    };
+    vec![kind; count]
+}
+
+fn check_steps(steps: u64, min: u64) -> Result<(), String> {
+    if steps < min {
+        Err(format!("needs at least {min} steps, got {steps}"))
+    } else if steps > 100_000 {
+        Err(format!("{steps} steps is unreasonably many (max 100000)"))
+    } else {
+        Ok(())
+    }
+}
+
+fn check_ops(ops_per_step: u64) -> Result<(), String> {
+    if ops_per_step == 0 {
+        Err("ops_per_step must be positive".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+/// `diurnal { period, amplitude }`: a day/night load cycle.
+///
+/// Expands to `steps` phases over one shared distribution whose open-loop
+/// [`concurrency_burst`](WorkloadPhase::concurrency_burst) follows a
+/// sinusoid sampled at each step's virtual midpoint:
+/// `1 + amplitude · sin(2π · (i + 0.5) / period)`. With `amplitude < 1`
+/// the factor stays positive, so every expanded phase validates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalComposer {
+    /// Phase-name prefix (phases are `{name}-0`, `{name}-1`, …).
+    pub name: String,
+    /// Number of phases to expand to.
+    pub steps: u64,
+    /// Operations per expanded phase.
+    pub ops_per_step: u64,
+    /// Cycle length in steps (one full sinusoid per `period` steps).
+    pub period: f64,
+    /// Relative swing of the load factor, in `[0, 1)`.
+    pub amplitude: f64,
+    /// Key distribution shared by every step.
+    pub distribution: KeyDistribution,
+    /// Key range shared by every step.
+    pub key_range: (u64, u64),
+    /// Operation mix shared by every step.
+    pub mix: OperationMix,
+}
+
+impl DiurnalComposer {
+    /// Expands the composer. See the type-level docs for the schedule.
+    pub fn expand(&self) -> Result<Expansion, String> {
+        check_steps(self.steps, 1)?;
+        check_ops(self.ops_per_step)?;
+        if !(self.period > 0.0 && self.period.is_finite()) {
+            return Err("period must be positive and finite".to_string());
+        }
+        if !(0.0..1.0).contains(&self.amplitude) {
+            return Err("amplitude must be in [0, 1)".to_string());
+        }
+        let phases = (0..self.steps)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / self.period;
+                let factor = 1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t).sin();
+                WorkloadPhase::new(
+                    format!("{}-{i}", self.name),
+                    self.distribution.clone(),
+                    self.key_range,
+                    self.mix.clone(),
+                    self.ops_per_step,
+                )
+                .with_concurrency_burst(factor)
+            })
+            .collect::<Vec<_>>();
+        let transitions = internal_transitions(phases.len() - 1, None);
+        Ok((phases, transitions))
+    }
+}
+
+/// `burst { at, factor, width }`: a flash crowd.
+///
+/// Expands to `steps` phases; the `width` phases starting at step `at`
+/// carry `concurrency_burst = factor`, the rest run at 1.0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstComposer {
+    /// Phase-name prefix.
+    pub name: String,
+    /// Number of phases to expand to.
+    pub steps: u64,
+    /// Operations per expanded phase.
+    pub ops_per_step: u64,
+    /// First step of the burst (0-based).
+    pub at: u64,
+    /// Burst duration in steps.
+    pub width: u64,
+    /// Load multiplier during the burst.
+    pub factor: f64,
+    /// Key distribution shared by every step.
+    pub distribution: KeyDistribution,
+    /// Key range shared by every step.
+    pub key_range: (u64, u64),
+    /// Operation mix shared by every step.
+    pub mix: OperationMix,
+}
+
+impl BurstComposer {
+    /// Expands the composer. See the type-level docs for the schedule.
+    pub fn expand(&self) -> Result<Expansion, String> {
+        check_steps(self.steps, 1)?;
+        check_ops(self.ops_per_step)?;
+        if self.width == 0 {
+            return Err("width must be at least 1 step".to_string());
+        }
+        if self
+            .at
+            .checked_add(self.width)
+            .is_none_or(|e| e > self.steps)
+        {
+            return Err(format!(
+                "burst [{}, {}) runs past the last step ({})",
+                self.at,
+                self.at.saturating_add(self.width),
+                self.steps
+            ));
+        }
+        if !(self.factor > 0.0 && self.factor.is_finite()) {
+            return Err("factor must be positive and finite".to_string());
+        }
+        let phases = (0..self.steps)
+            .map(|i| {
+                let in_burst = i >= self.at && i < self.at + self.width;
+                WorkloadPhase::new(
+                    format!("{}-{i}", self.name),
+                    self.distribution.clone(),
+                    self.key_range,
+                    self.mix.clone(),
+                    self.ops_per_step,
+                )
+                .with_concurrency_burst(if in_burst { self.factor } else { 1.0 })
+            })
+            .collect::<Vec<_>>();
+        let transitions = internal_transitions(phases.len() - 1, None);
+        Ok((phases, transitions))
+    }
+}
+
+/// Interpolates two same-shape distributions at `t ∈ [0, 1]`.
+///
+/// Every numeric parameter is lerped; the integer `clusters` parameter is
+/// lerped and rounded. Mismatched shapes are an error — a jump between
+/// shapes is what `transition = "gradual"` on an explicit phase is for.
+pub fn interpolate_distribution(
+    from: &KeyDistribution,
+    to: &KeyDistribution,
+    t: f64,
+) -> Result<KeyDistribution, String> {
+    use KeyDistribution as D;
+    match (from, to) {
+        (D::Uniform, D::Uniform) => Ok(D::Uniform),
+        (D::Zipf { theta: a }, D::Zipf { theta: b }) => Ok(D::Zipf {
+            theta: lerp(*a, *b, t),
+        }),
+        (
+            D::Normal {
+                center: c1,
+                std_frac: s1,
+            },
+            D::Normal {
+                center: c2,
+                std_frac: s2,
+            },
+        ) => Ok(D::Normal {
+            center: lerp(*c1, *c2, t),
+            std_frac: lerp(*s1, *s2, t),
+        }),
+        (D::LogNormal { mu: m1, sigma: s1 }, D::LogNormal { mu: m2, sigma: s2 }) => {
+            Ok(D::LogNormal {
+                mu: lerp(*m1, *m2, t),
+                sigma: lerp(*s1, *s2, t),
+            })
+        }
+        (
+            D::Hotspot {
+                hot_span: h1,
+                hot_fraction: f1,
+            },
+            D::Hotspot {
+                hot_span: h2,
+                hot_fraction: f2,
+            },
+        ) => Ok(D::Hotspot {
+            hot_span: lerp(*h1, *h2, t),
+            hot_fraction: lerp(*f1, *f2, t),
+        }),
+        (
+            D::Clustered {
+                clusters: c1,
+                cluster_std_frac: s1,
+            },
+            D::Clustered {
+                clusters: c2,
+                cluster_std_frac: s2,
+            },
+        ) => Ok(D::Clustered {
+            clusters: lerp(*c1 as f64, *c2 as f64, t).round().max(1.0) as usize,
+            cluster_std_frac: lerp(*s1, *s2, t),
+        }),
+        (D::SequentialNoise { noise_frac: n1 }, D::SequentialNoise { noise_frac: n2 }) => {
+            Ok(D::SequentialNoise {
+                noise_frac: lerp(*n1, *n2, t),
+            })
+        }
+        _ => Err(format!(
+            "cannot interpolate '{}' into '{}' (shapes must match; use an explicit phase with \
+             transition = \"gradual\" for cross-shape drift)",
+            from.canonical_name(),
+            to.canonical_name()
+        )),
+    }
+}
+
+/// `gradual_shift { from, to, steps }`: piecewise drift between two
+/// same-shape distributions.
+///
+/// Expands to `steps` phases whose distribution parameters are linearly
+/// interpolated from `from` (step 0) to `to` (last step). Joins between
+/// steps are abrupt by default — many small abrupt steps approximate a
+/// continuous drift — or gradual with the `smooth` window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradualShiftComposer {
+    /// Phase-name prefix.
+    pub name: String,
+    /// Number of phases to expand to (at least 2).
+    pub steps: u64,
+    /// Operations per expanded phase.
+    pub ops_per_step: u64,
+    /// Starting distribution.
+    pub from: KeyDistribution,
+    /// Final distribution (same shape as `from`).
+    pub to: KeyDistribution,
+    /// Gradual window for the joins between steps (`None` = abrupt).
+    pub smooth: Option<f64>,
+    /// Key range shared by every step.
+    pub key_range: (u64, u64),
+    /// Operation mix shared by every step.
+    pub mix: OperationMix,
+}
+
+impl GradualShiftComposer {
+    /// Expands the composer. See the type-level docs for the schedule.
+    pub fn expand(&self) -> Result<Expansion, String> {
+        check_steps(self.steps, 2)?;
+        check_ops(self.ops_per_step)?;
+        let phases = (0..self.steps)
+            .map(|i| {
+                let d = interpolate_distribution(&self.from, &self.to, lerp_t(i, self.steps))?;
+                Ok(WorkloadPhase::new(
+                    format!("{}-{i}", self.name),
+                    d,
+                    self.key_range,
+                    self.mix.clone(),
+                    self.ops_per_step,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let transitions = internal_transitions(phases.len() - 1, self.smooth);
+        Ok((phases, transitions))
+    }
+}
+
+/// `growing_skew { start_theta, end_theta }`: access skew that tightens
+/// (or relaxes) over time.
+///
+/// Expands to `steps` zipfian phases with `theta` linearly interpolated —
+/// the canonical "a hot set emerges" drift for learned structures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowingSkewComposer {
+    /// Phase-name prefix.
+    pub name: String,
+    /// Number of phases to expand to (at least 2).
+    pub steps: u64,
+    /// Operations per expanded phase.
+    pub ops_per_step: u64,
+    /// Zipf theta of the first step.
+    pub start_theta: f64,
+    /// Zipf theta of the last step.
+    pub end_theta: f64,
+    /// Gradual window for the joins between steps (`None` = abrupt).
+    pub smooth: Option<f64>,
+    /// Key range shared by every step.
+    pub key_range: (u64, u64),
+    /// Operation mix shared by every step.
+    pub mix: OperationMix,
+}
+
+impl GrowingSkewComposer {
+    /// Expands the composer. See the type-level docs for the schedule.
+    pub fn expand(&self) -> Result<Expansion, String> {
+        check_steps(self.steps, 2)?;
+        check_ops(self.ops_per_step)?;
+        for (label, theta) in [
+            ("start_theta", self.start_theta),
+            ("end_theta", self.end_theta),
+        ] {
+            if !(theta > 0.0 && theta.is_finite()) {
+                return Err(format!("{label} must be positive and finite"));
+            }
+        }
+        let phases = (0..self.steps)
+            .map(|i| {
+                let theta = lerp(self.start_theta, self.end_theta, lerp_t(i, self.steps));
+                WorkloadPhase::new(
+                    format!("{}-{i}", self.name),
+                    KeyDistribution::Zipf { theta },
+                    self.key_range,
+                    self.mix.clone(),
+                    self.ops_per_step,
+                )
+            })
+            .collect::<Vec<_>>();
+        let transitions = internal_transitions(phases.len() - 1, self.smooth);
+        Ok((phases, transitions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RANGE: (u64, u64) = (0, 1_000_000);
+
+    #[test]
+    fn diurnal_cycle_is_sinusoidal_and_positive() {
+        let c = DiurnalComposer {
+            name: "day".to_string(),
+            steps: 12,
+            ops_per_step: 100,
+            period: 12.0,
+            amplitude: 0.9,
+            distribution: KeyDistribution::Uniform,
+            key_range: RANGE,
+            mix: OperationMix::ycsb_c(),
+        };
+        let (phases, transitions) = c.expand().unwrap();
+        assert_eq!(phases.len(), 12);
+        assert_eq!(transitions.len(), 11);
+        assert!(phases.iter().all(|p| p.concurrency_burst > 0.0));
+        // First half of the cycle is above baseline, second half below.
+        assert!(phases[2].concurrency_burst > 1.5);
+        assert!(phases[8].concurrency_burst < 0.5);
+        // Deterministic: same inputs, same expansion.
+        assert_eq!(c.expand().unwrap(), (phases, transitions));
+    }
+
+    #[test]
+    fn burst_window_carries_factor() {
+        let c = BurstComposer {
+            name: "crowd".to_string(),
+            steps: 6,
+            ops_per_step: 50,
+            at: 2,
+            width: 2,
+            factor: 8.0,
+            distribution: KeyDistribution::Zipf { theta: 0.99 },
+            key_range: RANGE,
+            mix: OperationMix::ycsb_b(),
+        };
+        let (phases, _) = c.expand().unwrap();
+        let factors: Vec<f64> = phases.iter().map(|p| p.concurrency_burst).collect();
+        assert_eq!(factors, [1.0, 1.0, 8.0, 8.0, 1.0, 1.0]);
+        // Out-of-range burst rejected.
+        let bad = BurstComposer { at: 5, ..c };
+        assert!(bad.expand().is_err());
+    }
+
+    #[test]
+    fn gradual_shift_interpolates_and_rejects_shape_jumps() {
+        let c = GradualShiftComposer {
+            name: "drift".to_string(),
+            steps: 5,
+            ops_per_step: 10,
+            from: KeyDistribution::Normal {
+                center: 0.1,
+                std_frac: 0.05,
+            },
+            to: KeyDistribution::Normal {
+                center: 0.9,
+                std_frac: 0.01,
+            },
+            smooth: Some(0.5),
+            key_range: RANGE,
+            mix: OperationMix::ycsb_c(),
+        };
+        let (phases, transitions) = c.expand().unwrap();
+        let KeyDistribution::Normal { center, .. } = phases[2].distribution else {
+            panic!("shape preserved");
+        };
+        assert_eq!(center, 0.5);
+        assert!(transitions
+            .iter()
+            .all(|t| *t == TransitionKind::Gradual { window: 0.5 }));
+        let bad = GradualShiftComposer {
+            to: KeyDistribution::Uniform,
+            ..c
+        };
+        assert!(bad.expand().unwrap_err().contains("cannot interpolate"));
+    }
+
+    #[test]
+    fn growing_skew_hits_both_endpoints() {
+        let c = GrowingSkewComposer {
+            name: "skew".to_string(),
+            steps: 9,
+            ops_per_step: 10,
+            start_theta: 0.6,
+            end_theta: 1.4,
+            smooth: None,
+            key_range: RANGE,
+            mix: OperationMix::ycsb_c(),
+        };
+        let (phases, transitions) = c.expand().unwrap();
+        let thetas: Vec<f64> = phases
+            .iter()
+            .map(|p| match p.distribution {
+                KeyDistribution::Zipf { theta } => theta,
+                _ => panic!("all phases zipf"),
+            })
+            .collect();
+        assert_eq!(thetas[0], 0.6);
+        assert_eq!(thetas[8], 1.4);
+        assert!(thetas.windows(2).all(|w| w[0] < w[1]));
+        assert!(transitions.iter().all(|t| *t == TransitionKind::Abrupt));
+    }
+}

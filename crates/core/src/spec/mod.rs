@@ -1,0 +1,76 @@
+//! The declarative scenario subsystem: spec language, drift composers,
+//! and the scenario registry.
+//!
+//! The paper's Lesson 1 makes *dynamic scenarios* the core input of a
+//! learned-systems benchmark — yet a scenario that only exists as a Rust
+//! value can't be added without recompiling. This module makes scenarios
+//! data: a small line-oriented TOML-subset (see the README's "Scenario
+//! files" section for the grammar) compiles to the same validated
+//! [`Scenario`](crate::scenario::Scenario) the builder produces, so a
+//! scenario loaded from a file is *bit-identical* in behavior to the same
+//! scenario constructed in code.
+//!
+//! Four layers:
+//!
+//! * [`parse`] — the parser + schema. Every rejection is a positioned
+//!   [`SpecError`] (`line`, `field`, `reason`); malformed input never
+//!   panics.
+//! * [`compose`] — *drift composers*: high-level phase generators
+//!   (`diurnal`, `burst`, `gradual_shift`, `growing_skew`) that expand
+//!   into concrete phase lists at parse time, deterministically (virtual
+//!   clock arithmetic + the spec seed — see DESIGN.md).
+//! * [`render`] — the canonical renderer: [`render_scenario`] emits spec
+//!   text that parses back to an equal scenario (`parse ∘ render = id`),
+//!   which is how the built-in suite ships as `scenarios/*.spec`.
+//! * [`registry`] — [`ScenarioRegistry`]: name → scenario resolution
+//!   mirroring [`SutRegistry`](crate::sut_registry::SutRegistry), with
+//!   uniform fallback to spec files on disk.
+
+pub mod compose;
+pub mod parse;
+pub mod registry;
+pub mod render;
+
+pub use compose::{BurstComposer, DiurnalComposer, GradualShiftComposer, GrowingSkewComposer};
+pub use parse::parse_scenario;
+pub use registry::ScenarioRegistry;
+pub use render::render_scenario;
+
+/// A positioned scenario-spec error: which line, which field, and why.
+///
+/// `line` is 1-based; `0` marks a whole-file condition (e.g. an empty
+/// spec). `field` names the offending key, section, or composer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based source line of the offending token (0 = whole file).
+    pub line: usize,
+    /// The key, section header, or composer the error is about.
+    pub field: String,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl SpecError {
+    /// Convenience constructor.
+    pub fn new(line: usize, field: impl Into<String>, reason: impl Into<String>) -> Self {
+        SpecError {
+            line,
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}: {}", self.line, self.field, self.reason)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<SpecError> for crate::BenchError {
+    fn from(e: SpecError) -> Self {
+        crate::BenchError::InvalidScenario(format!("spec error: {e}"))
+    }
+}

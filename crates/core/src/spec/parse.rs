@@ -1,0 +1,1082 @@
+//! The scenario-spec parser and schema.
+//!
+//! The input language is a line-oriented TOML subset (see the README's
+//! "Scenario files" section for the full grammar): top-level `key = value`
+//! pairs, `[section]` headers for singletons (`[dataset]`, `[run]`,
+//! `[sla]`, `[arrival]`), and `[[block]]` headers for the ordered phase
+//! chain (`[[phase]]`, `[[holdout]]`, and the composer blocks
+//! `[[diurnal]]`, `[[burst]]`, `[[gradual_shift]]`, `[[growing_skew]]`).
+//! Values are integers (decimal or `0x` hex), floats, `"strings"`,
+//! booleans, and two-element integer arrays (`key_range = [lo, hi]`).
+//!
+//! The parser is hand-rolled — no external dependency — and compiles
+//! straight to a validated [`Scenario`] through [`Scenario::builder`].
+//! Every rejection is a positioned [`SpecError`]; malformed input must
+//! never panic (property-tested in `tests/scenario_spec.rs`).
+
+use super::compose::{
+    BurstComposer, DiurnalComposer, Expansion, GradualShiftComposer, GrowingSkewComposer,
+};
+use super::SpecError;
+use crate::metrics::sla::SlaPolicy;
+use crate::scenario::{ArrivalSpec, DatasetSpec, OnlineTrainMode, Scenario};
+use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
+use lsbench_workload::keygen::{KeyDistribution, CANONICAL_DISTRIBUTIONS};
+use lsbench_workload::ops::OperationMix;
+use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
+
+type SResult<T> = Result<T, SpecError>;
+
+/// A zero-argument constructor for a preset [`OperationMix`].
+pub type MixPreset = fn() -> OperationMix;
+
+/// Operation-mix presets by spec name — `mix = "ycsb-c"` etc.
+pub const MIX_PRESETS: &[(&str, MixPreset)] = &[
+    ("ycsb-a", OperationMix::ycsb_a),
+    ("ycsb-b", OperationMix::ycsb_b),
+    ("ycsb-c", OperationMix::ycsb_c),
+    ("ycsb-d", OperationMix::ycsb_d),
+    ("ycsb-e", OperationMix::ycsb_e),
+    ("range-heavy", OperationMix::range_heavy),
+];
+
+// ---------------------------------------------------------------------------
+// Lexing: lines → sections of key/value entries.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Range(u64, u64),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bool(_) => "boolean",
+            Value::Range(..) => "range array",
+        }
+    }
+}
+
+struct Section {
+    /// Header name without brackets; `""` for the implicit root section.
+    header: String,
+    line: usize,
+    entries: Vec<(String, Value, usize)>,
+}
+
+/// Strips a trailing comment (a `#` outside of double quotes).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_u64_token(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else if tok.chars().all(|c| c.is_ascii_digit()) && !tok.is_empty() {
+        tok.parse().ok()
+    } else {
+        None
+    }
+}
+
+fn parse_value(raw: &str, key: &str, line: usize) -> SResult<Value> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(SpecError::new(line, key, "missing value after '='"));
+    }
+    if let Some(rest) = raw.strip_prefix('"') {
+        return match rest.strip_suffix('"') {
+            Some(inner) if !inner.contains('"') => Ok(Value::Str(inner.to_string())),
+            _ => Err(SpecError::new(
+                line,
+                key,
+                "unterminated or malformed string",
+            )),
+        };
+    }
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(rest) = raw.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err(SpecError::new(
+                line,
+                key,
+                "unterminated array (missing ']')",
+            ));
+        };
+        let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+        let ints: Option<Vec<u64>> = parts.iter().map(|p| parse_u64_token(p)).collect();
+        return match ints.as_deref() {
+            Some([lo, hi]) => Ok(Value::Range(*lo, *hi)),
+            _ => Err(SpecError::new(
+                line,
+                key,
+                "arrays must hold exactly two non-negative integers: [lo, hi]",
+            )),
+        };
+    }
+    if let Some(v) = parse_u64_token(raw) {
+        return Ok(Value::Int(v));
+    }
+    if let Ok(v) = raw.parse::<f64>() {
+        if v.is_finite() {
+            return Ok(Value::Float(v));
+        }
+        return Err(SpecError::new(
+            line,
+            key,
+            "non-finite numbers are not allowed",
+        ));
+    }
+    Err(SpecError::new(
+        line,
+        key,
+        format!("unrecognized value '{raw}' (expected number, \"string\", boolean, or [lo, hi])"),
+    ))
+}
+
+const SINGLE_SECTIONS: &[&str] = &["dataset", "run", "sla", "arrival"];
+const MULTI_SECTIONS: &[&str] = &[
+    "phase",
+    "holdout",
+    "diurnal",
+    "burst",
+    "gradual_shift",
+    "growing_skew",
+];
+
+fn lex(text: &str) -> SResult<Vec<Section>> {
+    let mut sections = vec![Section {
+        header: String::new(),
+        line: 1,
+        entries: Vec::new(),
+    }];
+    for (i, raw_line) in text.lines().enumerate() {
+        let line = i + 1;
+        let content = strip_comment(raw_line).trim();
+        if content.is_empty() {
+            continue;
+        }
+        if let Some(rest) = content.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return Err(SpecError::new(line, content, "malformed [[...]] header"));
+            };
+            let name = name.trim();
+            if !MULTI_SECTIONS.contains(&name) {
+                let hint = if SINGLE_SECTIONS.contains(&name) {
+                    format!(" ('{name}' is a singleton: write [{name}])")
+                } else {
+                    format!(" (known blocks: {})", MULTI_SECTIONS.join(", "))
+                };
+                return Err(SpecError::new(
+                    line,
+                    name,
+                    format!("unknown block [[{name}]]{hint}"),
+                ));
+            }
+            sections.push(Section {
+                header: name.to_string(),
+                line,
+                entries: Vec::new(),
+            });
+        } else if let Some(rest) = content.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(SpecError::new(line, content, "malformed [...] header"));
+            };
+            let name = name.trim();
+            if !SINGLE_SECTIONS.contains(&name) {
+                let hint = if MULTI_SECTIONS.contains(&name) {
+                    format!(" ('{name}' repeats: write [[{name}]])")
+                } else {
+                    format!(" (known sections: {})", SINGLE_SECTIONS.join(", "))
+                };
+                return Err(SpecError::new(
+                    line,
+                    name,
+                    format!("unknown section [{name}]{hint}"),
+                ));
+            }
+            if sections.iter().any(|s| s.header == name) {
+                return Err(SpecError::new(
+                    line,
+                    name,
+                    format!("duplicate section [{name}]"),
+                ));
+            }
+            sections.push(Section {
+                header: name.to_string(),
+                line,
+                entries: Vec::new(),
+            });
+        } else if let Some(eq) = content.find('=') {
+            let key = content[..eq].trim();
+            if !is_ident(key) {
+                return Err(SpecError::new(
+                    line,
+                    key,
+                    "keys must be identifiers ([A-Za-z_][A-Za-z0-9_]*)",
+                ));
+            }
+            let value = parse_value(&content[eq + 1..], key, line)?;
+            let section = sections.last_mut().expect("root section always present");
+            if section.entries.iter().any(|(k, _, _)| k == key) {
+                return Err(SpecError::new(
+                    line,
+                    key,
+                    format!("duplicate key '{key}' in this section"),
+                ));
+            }
+            section.entries.push((key.to_string(), value, line));
+        } else {
+            return Err(SpecError::new(
+                line,
+                content,
+                "expected 'key = value', a [section] header, or a comment",
+            ));
+        }
+    }
+    Ok(sections)
+}
+
+// ---------------------------------------------------------------------------
+// Field access with consumption tracking.
+// ---------------------------------------------------------------------------
+
+/// A section's fields with take-semantics: every access consumes the key,
+/// and [`Fields::finish`] turns anything left over into a positioned
+/// "unknown key" error — the schema is closed by construction.
+struct Fields {
+    section: String,
+    line: usize,
+    entries: Vec<Option<(String, Value, usize)>>,
+}
+
+impl Fields {
+    fn new(section: Section) -> Self {
+        let display = if section.header.is_empty() {
+            "top level".to_string()
+        } else {
+            format!("[{}]", section.header)
+        };
+        Fields {
+            section: display,
+            line: section.line,
+            entries: section.entries.into_iter().map(Some).collect(),
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Option<(Value, usize)> {
+        for slot in &mut self.entries {
+            if slot.as_ref().is_some_and(|(k, _, _)| k == key) {
+                let (_, v, l) = slot.take().expect("checked above");
+                return Some((v, l));
+            }
+        }
+        None
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|s| s.as_ref().is_some_and(|(k, _, _)| k == key))
+    }
+
+    fn missing(&self, key: &str) -> SpecError {
+        SpecError::new(
+            self.line,
+            key,
+            format!("missing required key in {}", self.section),
+        )
+    }
+
+    fn req_u64(&mut self, key: &str) -> SResult<u64> {
+        self.opt_u64(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    fn opt_u64(&mut self, key: &str) -> SResult<Option<u64>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((Value::Int(v), _)) => Ok(Some(v)),
+            Some((other, line)) => Err(SpecError::new(
+                line,
+                key,
+                format!("expected a non-negative integer, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn req_f64(&mut self, key: &str) -> SResult<(f64, usize)> {
+        self.opt_f64(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    fn opt_f64(&mut self, key: &str) -> SResult<Option<(f64, usize)>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((Value::Float(v), line)) => Ok(Some((v, line))),
+            Some((Value::Int(v), line)) => Ok(Some((v as f64, line))),
+            Some((other, line)) => Err(SpecError::new(
+                line,
+                key,
+                format!("expected a number, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn req_str(&mut self, key: &str) -> SResult<(String, usize)> {
+        self.opt_str(key)?.ok_or_else(|| self.missing(key))
+    }
+
+    fn opt_str(&mut self, key: &str) -> SResult<Option<(String, usize)>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((Value::Str(v), line)) => Ok(Some((v, line))),
+            Some((other, line)) => Err(SpecError::new(
+                line,
+                key,
+                format!("expected a \"string\", got {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn opt_range(&mut self, key: &str) -> SResult<Option<((u64, u64), usize)>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((Value::Range(lo, hi), line)) => {
+                if lo >= hi {
+                    Err(SpecError::new(line, key, "range needs lo < hi"))
+                } else {
+                    Ok(Some(((lo, hi), line)))
+                }
+            }
+            Some((other, line)) => Err(SpecError::new(
+                line,
+                key,
+                format!("expected [lo, hi], got {}", other.type_name()),
+            )),
+        }
+    }
+
+    /// Errors on the first unconsumed key — closes the schema.
+    fn finish(self) -> SResult<()> {
+        if let Some((key, _, line)) = self.entries.into_iter().flatten().next() {
+            return Err(SpecError::new(
+                line,
+                &key,
+                format!("unknown key '{key}' in {}", self.section),
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema pieces.
+// ---------------------------------------------------------------------------
+
+/// Parses a distribution from `f`: the shape name under `name_key` plus its
+/// parameters under `{prefix}{param}` keys (prefixes serve
+/// `[[gradual_shift]]`'s `from_*`/`to_*` pairs).
+fn take_distribution(f: &mut Fields, name_key: &str, prefix: &str) -> SResult<KeyDistribution> {
+    let (name, line) = f.req_str(name_key)?;
+    let k = |p: &str| format!("{prefix}{p}");
+    let dist = match name.as_str() {
+        "uniform" => KeyDistribution::Uniform,
+        "zipf" => KeyDistribution::Zipf {
+            theta: f.req_f64(&k("theta"))?.0,
+        },
+        "normal" => KeyDistribution::Normal {
+            center: f.req_f64(&k("center"))?.0,
+            std_frac: f.req_f64(&k("std_frac"))?.0,
+        },
+        "lognormal" => KeyDistribution::LogNormal {
+            mu: f.req_f64(&k("mu"))?.0,
+            sigma: f.req_f64(&k("sigma"))?.0,
+        },
+        "hotspot" => KeyDistribution::Hotspot {
+            hot_span: f.req_f64(&k("hot_span"))?.0,
+            hot_fraction: f.req_f64(&k("hot_fraction"))?.0,
+        },
+        "clustered" => KeyDistribution::Clustered {
+            clusters: f.req_u64(&k("clusters"))? as usize,
+            cluster_std_frac: f.req_f64(&k("cluster_std_frac"))?.0,
+        },
+        "seq" => KeyDistribution::SequentialNoise {
+            noise_frac: f.req_f64(&k("noise_frac"))?.0,
+        },
+        other => {
+            let known: Vec<&str> = CANONICAL_DISTRIBUTIONS.iter().map(|(n, _)| *n).collect();
+            return Err(SpecError::new(
+                line,
+                name_key,
+                format!(
+                    "unknown distribution '{other}' (known: {})",
+                    known.join(", ")
+                ),
+            ));
+        }
+    };
+    dist.validate()
+        .map_err(|e| SpecError::new(line, name_key, e.to_string()))?;
+    Ok(dist)
+}
+
+/// Parses an operation mix: `mix = "<preset>"` or explicit weight keys.
+fn take_mix(f: &mut Fields) -> SResult<OperationMix> {
+    const WEIGHT_KEYS: &[&str] = &["read", "insert", "update", "scan", "delete", "max_scan_len"];
+    if let Some((value, line)) = f.take("mix") {
+        let Value::Str(name) = value else {
+            return Err(SpecError::new(
+                line,
+                "mix",
+                format!("expected a preset \"string\", got {}", value.type_name()),
+            ));
+        };
+        if let Some(conflict) = WEIGHT_KEYS.iter().find(|k| f.has(k)) {
+            return Err(SpecError::new(
+                line,
+                "mix",
+                format!("cannot combine the '{conflict}' weight key with a mix preset"),
+            ));
+        }
+        let Some((_, preset)) = MIX_PRESETS.iter().find(|(n, _)| *n == name) else {
+            let known: Vec<&str> = MIX_PRESETS.iter().map(|(n, _)| *n).collect();
+            return Err(SpecError::new(
+                line,
+                "mix",
+                format!("unknown mix preset '{name}' (known: {})", known.join(", ")),
+            ));
+        };
+        return Ok(preset());
+    }
+    let mut any = false;
+    let mut weight = |f: &mut Fields, key: &str| -> SResult<f64> {
+        match f.opt_f64(key)? {
+            Some((v, _)) => {
+                any = true;
+                Ok(v)
+            }
+            None => Ok(0.0),
+        }
+    };
+    let mix = OperationMix {
+        read: weight(f, "read")?,
+        insert: weight(f, "insert")?,
+        update: weight(f, "update")?,
+        scan: weight(f, "scan")?,
+        delete: weight(f, "delete")?,
+        max_scan_len: f.opt_u64("max_scan_len")?.unwrap_or(0) as u32,
+    };
+    if !any {
+        return Err(SpecError::new(
+            f.line,
+            "mix",
+            format!(
+                "{} needs an operation mix: a preset (mix = \"ycsb-c\") or weight keys",
+                f.section
+            ),
+        ));
+    }
+    mix.validate()
+        .map_err(|e| SpecError::new(f.line, "mix", e.to_string()))?;
+    Ok(mix)
+}
+
+/// Parses the optional `transition` (+ `window`) pair describing how the
+/// previous phase hands over to this block.
+fn take_transition(f: &mut Fields) -> SResult<Option<(TransitionKind, usize)>> {
+    let Some((value, line)) = f.take("transition") else {
+        if let Some((_, wline)) = f.take("window") {
+            return Err(SpecError::new(
+                wline,
+                "window",
+                "'window' requires transition = \"gradual\"",
+            ));
+        }
+        return Ok(None);
+    };
+    let Value::Str(kind) = value else {
+        return Err(SpecError::new(
+            line,
+            "transition",
+            format!(
+                "expected \"abrupt\" or \"gradual\", got {}",
+                value.type_name()
+            ),
+        ));
+    };
+    match kind.as_str() {
+        "abrupt" => {
+            if let Some((_, wline)) = f.take("window") {
+                return Err(SpecError::new(
+                    wline,
+                    "window",
+                    "'window' only applies to transition = \"gradual\"",
+                ));
+            }
+            Ok(Some((TransitionKind::Abrupt, line)))
+        }
+        "gradual" => {
+            let (window, wline) = f.req_f64("window").map_err(|_| {
+                SpecError::new(line, "window", "gradual transitions need a 'window'")
+            })?;
+            if !(window > 0.0 && window <= 1.0) {
+                return Err(SpecError::new(wline, "window", "window must be in (0, 1]"));
+            }
+            Ok(Some((TransitionKind::Gradual { window }, line)))
+        }
+        other => Err(SpecError::new(
+            line,
+            "transition",
+            format!("unknown transition '{other}' (expected \"abrupt\" or \"gradual\")"),
+        )),
+    }
+}
+
+fn take_key_range(f: &mut Fields, default_range: Option<(u64, u64)>) -> SResult<(u64, u64)> {
+    match f.opt_range("key_range")? {
+        Some((range, _)) => Ok(range),
+        None => default_range.ok_or_else(|| {
+            SpecError::new(
+                f.line,
+                "key_range",
+                format!(
+                    "{} needs a key_range (no [dataset] default available)",
+                    f.section
+                ),
+            )
+        }),
+    }
+}
+
+/// Compiles a `[[phase]]` / `[[holdout]]` block.
+fn compile_phase(
+    mut f: Fields,
+    default_range: Option<(u64, u64)>,
+) -> SResult<(WorkloadPhase, Option<(TransitionKind, usize)>)> {
+    let transition = take_transition(&mut f)?;
+    let dist = take_distribution(&mut f, "distribution", "")?;
+    let key_range = take_key_range(&mut f, default_range)?;
+    let mix = take_mix(&mut f)?;
+    let ops = f.req_u64("ops")?;
+    if ops == 0 {
+        return Err(SpecError::new(
+            f.line,
+            "ops",
+            "phase needs at least one operation",
+        ));
+    }
+    let name = match f.opt_str("name")? {
+        Some((n, _)) => n,
+        None => dist.canonical_name().to_string(),
+    };
+    let mut phase = WorkloadPhase::new(name, dist, key_range, mix, ops);
+    if let Some((burst, line)) = f.opt_f64("concurrency_burst")? {
+        if !(burst > 0.0 && burst.is_finite()) {
+            return Err(SpecError::new(
+                line,
+                "concurrency_burst",
+                "must be positive and finite",
+            ));
+        }
+        phase = phase.with_concurrency_burst(burst);
+    }
+    f.finish()?;
+    Ok((phase, transition))
+}
+
+/// Shared keys of every composer block.
+struct ComposerCommon {
+    name: String,
+    steps: u64,
+    ops_per_step: u64,
+    key_range: (u64, u64),
+    mix: OperationMix,
+    join: Option<(TransitionKind, usize)>,
+}
+
+fn take_composer_common(
+    f: &mut Fields,
+    default_name: &str,
+    default_range: Option<(u64, u64)>,
+) -> SResult<ComposerCommon> {
+    let join = take_transition(f)?;
+    Ok(ComposerCommon {
+        name: match f.opt_str("name")? {
+            Some((n, _)) => n,
+            None => default_name.to_string(),
+        },
+        steps: f.req_u64("steps")?,
+        ops_per_step: f.req_u64("ops_per_step")?,
+        key_range: take_key_range(f, default_range)?,
+        mix: take_mix(f)?,
+        join,
+    })
+}
+
+fn opt_smooth(f: &mut Fields) -> SResult<Option<f64>> {
+    match f.opt_f64("smooth")? {
+        None => Ok(None),
+        Some((v, line)) => {
+            if v > 0.0 && v <= 1.0 {
+                Ok(Some(v))
+            } else {
+                Err(SpecError::new(
+                    line,
+                    "smooth",
+                    "smooth window must be in (0, 1]",
+                ))
+            }
+        }
+    }
+}
+
+/// Compiles one composer block to its expansion.
+fn compile_composer(
+    mut f: Fields,
+    kind: &str,
+    default_range: Option<(u64, u64)>,
+) -> SResult<(Expansion, Option<(TransitionKind, usize)>)> {
+    let line = f.line;
+    let common = take_composer_common(&mut f, kind, default_range)?;
+    let join = common.join;
+    let expansion = match kind {
+        "diurnal" => DiurnalComposer {
+            name: common.name,
+            steps: common.steps,
+            ops_per_step: common.ops_per_step,
+            period: f.req_f64("period")?.0,
+            amplitude: f.req_f64("amplitude")?.0,
+            distribution: take_distribution(&mut f, "distribution", "")?,
+            key_range: common.key_range,
+            mix: common.mix,
+        }
+        .expand(),
+        "burst" => BurstComposer {
+            name: common.name,
+            steps: common.steps,
+            ops_per_step: common.ops_per_step,
+            at: f.req_u64("at")?,
+            width: f.req_u64("width")?,
+            factor: f.req_f64("factor")?.0,
+            distribution: take_distribution(&mut f, "distribution", "")?,
+            key_range: common.key_range,
+            mix: common.mix,
+        }
+        .expand(),
+        "gradual_shift" => GradualShiftComposer {
+            name: common.name,
+            steps: common.steps,
+            ops_per_step: common.ops_per_step,
+            from: take_distribution(&mut f, "from", "from_")?,
+            to: take_distribution(&mut f, "to", "to_")?,
+            smooth: opt_smooth(&mut f)?,
+            key_range: common.key_range,
+            mix: common.mix,
+        }
+        .expand(),
+        "growing_skew" => GrowingSkewComposer {
+            name: common.name,
+            steps: common.steps,
+            ops_per_step: common.ops_per_step,
+            start_theta: f.req_f64("start_theta")?.0,
+            end_theta: f.req_f64("end_theta")?.0,
+            smooth: opt_smooth(&mut f)?,
+            key_range: common.key_range,
+            mix: common.mix,
+        }
+        .expand(),
+        other => unreachable!("lexer admits only known composer blocks, got {other}"),
+    };
+    f.finish()?;
+    let expansion = expansion.map_err(|reason| SpecError::new(line, kind, reason))?;
+    Ok((expansion, join))
+}
+
+// ---------------------------------------------------------------------------
+// Singleton sections.
+// ---------------------------------------------------------------------------
+
+fn compile_dataset(mut f: Fields) -> SResult<DatasetSpec> {
+    let distribution = take_distribution(&mut f, "distribution", "")?;
+    let Some((key_range, _)) = f.opt_range("key_range")? else {
+        return Err(f.missing("key_range"));
+    };
+    let size = f.req_u64("size")?;
+    if size == 0 {
+        return Err(SpecError::new(
+            f.line,
+            "size",
+            "dataset size must be positive",
+        ));
+    }
+    let seed = f.req_u64("seed")?;
+    f.finish()?;
+    Ok(DatasetSpec {
+        distribution,
+        key_range,
+        size: size as usize,
+        seed,
+    })
+}
+
+fn compile_sla(mut f: Fields) -> SResult<SlaPolicy> {
+    let (policy, line) = f.req_str("policy")?;
+    let sla = match policy.as_str() {
+        "baseline-p99" => SlaPolicy::FromBaselineP99 {
+            multiplier: f.opt_f64("multiplier")?.map(|(v, _)| v).unwrap_or(4.0),
+        },
+        "fixed" => {
+            let (threshold, tline) = f.req_f64("threshold")?;
+            if threshold <= 0.0 {
+                return Err(SpecError::new(tline, "threshold", "must be positive"));
+            }
+            SlaPolicy::Fixed { threshold }
+        }
+        other => {
+            return Err(SpecError::new(
+                line,
+                "policy",
+                format!("unknown SLA policy '{other}' (expected \"baseline-p99\" or \"fixed\")"),
+            ))
+        }
+    };
+    f.finish()?;
+    Ok(sla)
+}
+
+fn compile_arrival(mut f: Fields) -> SResult<ArrivalSpec> {
+    let (process_name, pline) = f.req_str("process")?;
+    let (rate, rline) = f.req_f64("rate")?;
+    let process = match process_name.as_str() {
+        "poisson" => ArrivalProcess::Poisson { rate },
+        "uniform" => ArrivalProcess::Uniform { rate },
+        "closed-loop" => {
+            return Err(SpecError::new(
+                pline,
+                "process",
+                "closed loop is the default — omit the [arrival] section entirely",
+            ))
+        }
+        other => {
+            return Err(SpecError::new(
+                pline,
+                "process",
+                format!("unknown arrival process '{other}' (expected \"poisson\" or \"uniform\")"),
+            ))
+        }
+    };
+    process
+        .validate()
+        .map_err(|e| SpecError::new(rline, "rate", e.to_string()))?;
+    let (mod_name, mline) = f.req_str("modulation")?;
+    let modulation = match mod_name.as_str() {
+        "constant" => LoadModulation::Constant,
+        "diurnal" => LoadModulation::Diurnal {
+            period: f.req_f64("period")?.0,
+            amplitude: f.req_f64("amplitude")?.0,
+        },
+        "burst" => LoadModulation::Burst {
+            period: f.req_f64("period")?.0,
+            burst_len: f.req_f64("burst_len")?.0,
+            multiplier: f.req_f64("multiplier")?.0,
+        },
+        other => {
+            return Err(SpecError::new(
+                mline,
+                "modulation",
+                format!(
+                "unknown modulation '{other}' (expected \"constant\", \"diurnal\", or \"burst\")"
+            ),
+            ))
+        }
+    };
+    modulation
+        .validate()
+        .map_err(|e| SpecError::new(mline, "modulation", e.to_string()))?;
+    let seed = f.req_u64("seed")?;
+    f.finish()?;
+    Ok(ArrivalSpec {
+        process,
+        modulation,
+        seed,
+    })
+}
+
+/// Everything `[run]` can set, with builder defaults for whatever is
+/// absent.
+struct RunSettings {
+    train_budget: Option<u64>,
+    work_units_per_second: Option<f64>,
+    maintenance_every: Option<u64>,
+    online_train: Option<OnlineTrainMode>,
+    holdout_seed: Option<u64>,
+}
+
+fn compile_run(mut f: Fields) -> SResult<RunSettings> {
+    let train_budget = match f.take("train_budget") {
+        None => None,
+        Some((Value::Int(v), _)) => Some(v),
+        Some((Value::Str(s), line)) => {
+            if s == "unlimited" {
+                Some(u64::MAX)
+            } else {
+                return Err(SpecError::new(
+                    line,
+                    "train_budget",
+                    format!("expected an integer or \"unlimited\", got \"{s}\""),
+                ));
+            }
+        }
+        Some((other, line)) => {
+            return Err(SpecError::new(
+                line,
+                "train_budget",
+                format!(
+                    "expected an integer or \"unlimited\", got {}",
+                    other.type_name()
+                ),
+            ))
+        }
+    };
+    let online_train = match f.opt_str("online_train")? {
+        None => {
+            if let Some((_, line)) = f.take("train_fraction") {
+                return Err(SpecError::new(
+                    line,
+                    "train_fraction",
+                    "'train_fraction' requires online_train = \"background\"",
+                ));
+            }
+            None
+        }
+        Some((mode, line)) => match mode.as_str() {
+            "foreground" => {
+                if let Some((_, fline)) = f.take("train_fraction") {
+                    return Err(SpecError::new(
+                        fline,
+                        "train_fraction",
+                        "'train_fraction' only applies to online_train = \"background\"",
+                    ));
+                }
+                Some(OnlineTrainMode::Foreground)
+            }
+            "background" => {
+                let (fraction, fline) = f.req_f64("train_fraction")?;
+                if !(0.0 < fraction && fraction < 1.0) {
+                    return Err(SpecError::new(fline, "train_fraction", "must be in (0, 1)"));
+                }
+                Some(OnlineTrainMode::Background { fraction })
+            }
+            other => {
+                return Err(SpecError::new(
+                    line,
+                    "online_train",
+                    format!("unknown mode '{other}' (expected \"foreground\" or \"background\")"),
+                ))
+            }
+        },
+    };
+    let settings = RunSettings {
+        train_budget,
+        work_units_per_second: f.opt_f64("work_units_per_second")?.map(|(v, _)| v),
+        maintenance_every: f.opt_u64("maintenance_every")?,
+        online_train,
+        holdout_seed: f.opt_u64("holdout_seed")?,
+    };
+    f.finish()?;
+    Ok(settings)
+}
+
+// ---------------------------------------------------------------------------
+// The phase chain and top-level assembly.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Chain {
+    phases: Vec<WorkloadPhase>,
+    transitions: Vec<TransitionKind>,
+}
+
+impl Chain {
+    fn push(
+        &mut self,
+        (phases, internal): Expansion,
+        join: Option<(TransitionKind, usize)>,
+    ) -> SResult<()> {
+        if self.phases.is_empty() {
+            if let Some((_, line)) = join {
+                return Err(SpecError::new(
+                    line,
+                    "transition",
+                    "the first block of a workload cannot have a transition",
+                ));
+            }
+        } else {
+            self.transitions
+                .push(join.map(|(t, _)| t).unwrap_or(TransitionKind::Abrupt));
+        }
+        self.phases.extend(phases);
+        self.transitions.extend(internal);
+        Ok(())
+    }
+
+    fn into_workload(self, seed: u64, what: &str) -> SResult<PhasedWorkload> {
+        PhasedWorkload::new(self.phases, self.transitions, seed)
+            .map_err(|e| SpecError::new(0, what, e.to_string()))
+    }
+}
+
+/// Parses spec text into a validated [`Scenario`].
+///
+/// The single public entry point of the parser layer; file handling lives
+/// in [`ScenarioRegistry`](super::ScenarioRegistry).
+pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
+    let sections = lex(text)?;
+    let mut root: Option<Fields> = None;
+    let mut dataset: Option<DatasetSpec> = None;
+    let mut sla: Option<SlaPolicy> = None;
+    let mut arrival: Option<ArrivalSpec> = None;
+    let mut run: Option<RunSettings> = None;
+    let mut main_chain = Chain::default();
+    let mut holdout_chain = Chain::default();
+    let mut first_holdout_line: Option<usize> = None;
+
+    // The dataset's key range is the default for phases; [dataset] nearly
+    // always precedes the phase chain, so resolve it in a first pass.
+    let default_range = sections
+        .iter()
+        .find(|s| s.header == "dataset")
+        .and_then(|s| {
+            s.entries
+                .iter()
+                .find_map(|(k, v, _)| match (k.as_str(), v) {
+                    ("key_range", Value::Range(lo, hi)) => Some((*lo, *hi)),
+                    _ => None,
+                })
+        });
+
+    for section in sections {
+        match section.header.as_str() {
+            "" => root = Some(Fields::new(section)),
+            "dataset" => dataset = Some(compile_dataset(Fields::new(section))?),
+            "sla" => sla = Some(compile_sla(Fields::new(section))?),
+            "arrival" => arrival = Some(compile_arrival(Fields::new(section))?),
+            "run" => run = Some(compile_run(Fields::new(section))?),
+            "phase" => {
+                let (phase, join) = compile_phase(Fields::new(section), default_range)?;
+                main_chain.push((vec![phase], vec![]), join)?;
+            }
+            "holdout" => {
+                first_holdout_line.get_or_insert(section.line);
+                let (phase, join) = compile_phase(Fields::new(section), default_range)?;
+                holdout_chain.push((vec![phase], vec![]), join)?;
+            }
+            kind @ ("diurnal" | "burst" | "gradual_shift" | "growing_skew") => {
+                let kind = kind.to_string();
+                let (expansion, join) =
+                    compile_composer(Fields::new(section), &kind, default_range)?;
+                main_chain.push(expansion, join)?;
+            }
+            other => unreachable!("lexer admits only known sections, got {other}"),
+        }
+    }
+
+    let mut root = root.expect("root section always present");
+    let (name, _) = root.req_str("name")?;
+    let seed = root.req_u64("seed")?;
+    root.finish()?;
+
+    let Some(dataset) = dataset else {
+        return Err(SpecError::new(
+            0,
+            "dataset",
+            "missing required [dataset] section",
+        ));
+    };
+    if main_chain.phases.is_empty() {
+        return Err(SpecError::new(
+            0,
+            "phase",
+            "spec defines no workload ([[phase]] or composer blocks)",
+        ));
+    }
+    let workload = main_chain.into_workload(seed, "workload")?;
+
+    let run = run.unwrap_or(RunSettings {
+        train_budget: None,
+        work_units_per_second: None,
+        maintenance_every: None,
+        online_train: None,
+        holdout_seed: None,
+    });
+
+    let mut builder = Scenario::builder(name)
+        .dataset_spec(dataset)
+        .workload(workload);
+    if !holdout_chain.phases.is_empty() {
+        let line = first_holdout_line.unwrap_or(0);
+        let Some(holdout_seed) = run.holdout_seed else {
+            return Err(SpecError::new(
+                line,
+                "holdout_seed",
+                "[[holdout]] blocks need 'holdout_seed' in [run]",
+            ));
+        };
+        builder = builder.holdout(holdout_chain.into_workload(holdout_seed, "holdout")?);
+    } else if run.holdout_seed.is_some() {
+        return Err(SpecError::new(
+            0,
+            "holdout_seed",
+            "'holdout_seed' set but the spec has no [[holdout]] blocks",
+        ));
+    }
+    if let Some(v) = run.train_budget {
+        builder = builder.train_budget(v);
+    }
+    if let Some(v) = run.work_units_per_second {
+        builder = builder.work_units_per_second(v);
+    }
+    if let Some(v) = run.maintenance_every {
+        builder = builder.maintenance_every(v);
+    }
+    if let Some(v) = run.online_train {
+        builder = builder.online_train(v);
+    }
+    if let Some(v) = sla {
+        builder = builder.sla(v);
+    }
+    if let Some(v) = arrival {
+        builder = builder.arrival(v);
+    }
+    builder
+        .build()
+        .map_err(|e| SpecError::new(0, "scenario", e.to_string()))
+}

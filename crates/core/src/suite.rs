@@ -11,11 +11,11 @@
 //! §V-D.2 recommends).
 
 use crate::metrics::adaptability::AdaptabilityReport;
-use crate::metrics::sla::{SlaPolicy, SlaReport};
+use crate::metrics::sla::SlaReport;
 use crate::obs::{MetricsRegistry, ObsConfig, SpanNode, TraceLog};
 use crate::record::RunRecord;
 use crate::runner::{BoxedKvSut, RunOptions, Runner};
-use crate::scenario::{ArrivalSpec, DatasetSpec, OnlineTrainMode, Scenario};
+use crate::scenario::{ArrivalSpec, DatasetSpec, Scenario};
 use crate::{BenchError, Result};
 use lsbench_sut::kv::BTreeSut;
 use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
@@ -72,14 +72,23 @@ fn phase(name: &str, d: KeyDistribution, mix: OperationMix, ops: u64) -> Workloa
     WorkloadPhase::new(name, d, KEY_RANGE, mix, ops)
 }
 
-/// Builds the five standard scenarios.
-pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
-    let wrap = |e: lsbench_workload::WorkloadError| BenchError::Workload(e.to_string());
-    let ops = cfg.ops_per_phase;
-    let mut scenarios = Vec::with_capacity(5);
+fn wrap(e: lsbench_workload::WorkloadError) -> BenchError {
+    BenchError::Workload(e.to_string())
+}
 
-    // S1: specialization sweep over four read distributions + hold-out.
-    let s1_workload = PhasedWorkload::new(
+/// Shared suite defaults on top of [`Scenario::builder`]: the per-config
+/// work rate and the suite's maintenance cadence.
+fn suite_builder(name: &str, cfg: &SuiteConfig, salt: u64) -> crate::scenario::ScenarioBuilder {
+    Scenario::builder(name)
+        .dataset_spec(base_dataset(cfg, salt))
+        .work_units_per_second(cfg.work_units_per_second)
+        .maintenance_every(256)
+}
+
+/// S1: specialization sweep over four read distributions + hold-out.
+pub fn s1_specialization(cfg: &SuiteConfig) -> Result<Scenario> {
+    let ops = cfg.ops_per_phase;
+    let workload = PhasedWorkload::new(
         vec![
             phase(
                 "uniform",
@@ -116,7 +125,7 @@ pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
         cfg.seed ^ 0x51,
     )
     .map_err(wrap)?;
-    let s1_holdout = PhasedWorkload::single(
+    let holdout = PhasedWorkload::single(
         phase(
             "holdout-tail",
             KeyDistribution::Normal {
@@ -129,158 +138,131 @@ pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
         cfg.seed ^ 0x52,
     )
     .map_err(wrap)?;
-    scenarios.push(Scenario {
-        name: "S1-specialization".to_string(),
-        dataset: base_dataset(cfg, 0x11),
-        workload: s1_workload,
-        train_budget: u64::MAX,
-        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
-        work_units_per_second: cfg.work_units_per_second,
-        maintenance_every: 256,
-        holdout: Some(s1_holdout),
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    });
+    suite_builder("S1-specialization", cfg, 0x11)
+        .workload(workload)
+        .holdout(holdout)
+        .build()
+}
 
-    // S2: abrupt distribution shift (reads).
-    scenarios.push(Scenario {
-        name: "S2-abrupt-shift".to_string(),
-        dataset: base_dataset(cfg, 0x22),
-        workload: PhasedWorkload::new(
-            vec![
-                phase(
-                    "head",
-                    KeyDistribution::LogNormal {
-                        mu: 0.0,
-                        sigma: 1.2,
-                    },
-                    OperationMix::ycsb_c(),
-                    ops,
-                ),
-                phase(
-                    "tail",
-                    KeyDistribution::Normal {
-                        center: 0.9,
-                        std_frac: 0.03,
-                    },
-                    OperationMix::ycsb_c(),
-                    ops,
-                ),
-            ],
-            vec![TransitionKind::Abrupt],
-            cfg.seed ^ 0x53,
-        )
-        .map_err(wrap)?,
-        train_budget: u64::MAX,
-        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
-        work_units_per_second: cfg.work_units_per_second,
-        maintenance_every: 256,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    });
-
-    // S3: gradual shift into a write-heavy phase (adaptation pressure).
-    scenarios.push(Scenario {
-        name: "S3-gradual-writes".to_string(),
-        dataset: base_dataset(cfg, 0x33),
-        workload: PhasedWorkload::new(
-            vec![
-                phase(
-                    "reads",
-                    KeyDistribution::LogNormal {
-                        mu: 0.0,
-                        sigma: 1.2,
-                    },
-                    OperationMix::ycsb_c(),
-                    ops,
-                ),
-                phase(
-                    "mixed-writes",
-                    KeyDistribution::Normal {
-                        center: 0.85,
-                        std_frac: 0.04,
-                    },
-                    OperationMix {
-                        read: 0.5,
-                        insert: 0.5,
-                        update: 0.0,
-                        scan: 0.0,
-                        delete: 0.0,
-                        max_scan_len: 0,
-                    },
-                    ops,
-                ),
-            ],
-            vec![TransitionKind::Gradual { window: 0.3 }],
-            cfg.seed ^ 0x54,
-        )
-        .map_err(wrap)?,
-        train_budget: u64::MAX,
-        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
-        work_units_per_second: cfg.work_units_per_second,
-        maintenance_every: 256,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    });
-
-    // S4: scan-bearing mixed workload (YCSB-E flavour).
-    scenarios.push(Scenario {
-        name: "S4-scans".to_string(),
-        dataset: base_dataset(cfg, 0x44),
-        workload: PhasedWorkload::new(
-            vec![
-                phase(
-                    "points",
-                    KeyDistribution::Zipf { theta: 0.99 },
-                    OperationMix::ycsb_b(),
-                    ops,
-                ),
-                phase(
-                    "scans",
-                    KeyDistribution::Zipf { theta: 0.99 },
-                    OperationMix::ycsb_e(),
-                    ops,
-                ),
-            ],
-            vec![TransitionKind::Abrupt],
-            cfg.seed ^ 0x55,
-        )
-        .map_err(wrap)?,
-        train_budget: u64::MAX,
-        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
-        work_units_per_second: cfg.work_units_per_second,
-        maintenance_every: 256,
-        holdout: None,
-        arrival: None,
-        online_train: OnlineTrainMode::Foreground,
-    });
-
-    // S5: bursty open-loop load (diurnal + burst dynamics of §III-A).
-    scenarios.push(Scenario {
-        name: "S5-bursty-load".to_string(),
-        dataset: base_dataset(cfg, 0x66),
-        workload: PhasedWorkload::single(
+/// S2: abrupt distribution shift (reads).
+pub fn s2_abrupt_shift(cfg: &SuiteConfig) -> Result<Scenario> {
+    let ops = cfg.ops_per_phase;
+    let workload = PhasedWorkload::new(
+        vec![
             phase(
-                "steady-reads",
+                "head",
                 KeyDistribution::LogNormal {
                     mu: 0.0,
                     sigma: 1.2,
                 },
                 OperationMix::ycsb_c(),
-                ops * 2,
+                ops,
             ),
-            cfg.seed ^ 0x56,
-        )
-        .map_err(wrap)?,
-        train_budget: u64::MAX,
-        sla: SlaPolicy::FromBaselineP99 { multiplier: 4.0 },
-        work_units_per_second: cfg.work_units_per_second,
-        maintenance_every: 256,
-        holdout: None,
-        online_train: OnlineTrainMode::Foreground,
-        arrival: Some(ArrivalSpec {
+            phase(
+                "tail",
+                KeyDistribution::Normal {
+                    center: 0.9,
+                    std_frac: 0.03,
+                },
+                OperationMix::ycsb_c(),
+                ops,
+            ),
+        ],
+        vec![TransitionKind::Abrupt],
+        cfg.seed ^ 0x53,
+    )
+    .map_err(wrap)?;
+    suite_builder("S2-abrupt-shift", cfg, 0x22)
+        .workload(workload)
+        .build()
+}
+
+/// S3: gradual shift into a write-heavy phase (adaptation pressure).
+pub fn s3_gradual_writes(cfg: &SuiteConfig) -> Result<Scenario> {
+    let ops = cfg.ops_per_phase;
+    let workload = PhasedWorkload::new(
+        vec![
+            phase(
+                "reads",
+                KeyDistribution::LogNormal {
+                    mu: 0.0,
+                    sigma: 1.2,
+                },
+                OperationMix::ycsb_c(),
+                ops,
+            ),
+            phase(
+                "mixed-writes",
+                KeyDistribution::Normal {
+                    center: 0.85,
+                    std_frac: 0.04,
+                },
+                OperationMix {
+                    read: 0.5,
+                    insert: 0.5,
+                    update: 0.0,
+                    scan: 0.0,
+                    delete: 0.0,
+                    max_scan_len: 0,
+                },
+                ops,
+            ),
+        ],
+        vec![TransitionKind::Gradual { window: 0.3 }],
+        cfg.seed ^ 0x54,
+    )
+    .map_err(wrap)?;
+    suite_builder("S3-gradual-writes", cfg, 0x33)
+        .workload(workload)
+        .build()
+}
+
+/// S4: scan-bearing mixed workload (YCSB-E flavour).
+pub fn s4_scans(cfg: &SuiteConfig) -> Result<Scenario> {
+    let ops = cfg.ops_per_phase;
+    let workload = PhasedWorkload::new(
+        vec![
+            phase(
+                "points",
+                KeyDistribution::Zipf { theta: 0.99 },
+                OperationMix::ycsb_b(),
+                ops,
+            ),
+            phase(
+                "scans",
+                KeyDistribution::Zipf { theta: 0.99 },
+                OperationMix::ycsb_e(),
+                ops,
+            ),
+        ],
+        vec![TransitionKind::Abrupt],
+        cfg.seed ^ 0x55,
+    )
+    .map_err(wrap)?;
+    suite_builder("S4-scans", cfg, 0x44)
+        .workload(workload)
+        .build()
+}
+
+/// S5: bursty open-loop load (diurnal + burst dynamics of §III-A).
+pub fn s5_bursty_load(cfg: &SuiteConfig) -> Result<Scenario> {
+    let ops = cfg.ops_per_phase;
+    let workload = PhasedWorkload::single(
+        phase(
+            "steady-reads",
+            KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            },
+            OperationMix::ycsb_c(),
+            ops * 2,
+        ),
+        cfg.seed ^ 0x56,
+    )
+    .map_err(wrap)?;
+    suite_builder("S5-bursty-load", cfg, 0x66)
+        .workload(workload)
+        .arrival(ArrivalSpec {
             process: ArrivalProcess::Poisson {
                 // ~60% of the slowest SUT's service rate, so the baseline
                 // keeps up at steady state but every system queues during
@@ -293,10 +275,48 @@ pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
                 multiplier: 4.0,
             },
             seed: cfg.seed ^ 0x57,
-        }),
-    });
+        })
+        .build()
+}
 
-    Ok(scenarios)
+/// A built-in scenario generator: builds a [`Scenario`] at the given
+/// [`SuiteConfig`] scale.
+pub type ScenarioGen = fn(&SuiteConfig) -> Result<Scenario>;
+
+/// The standard scenario builders with their registry names and one-line
+/// descriptions, in suite order. [`standard_scenarios`] and the
+/// [`ScenarioRegistry`](crate::spec::ScenarioRegistry) both derive from
+/// this table, so the suite and name resolution can never drift apart.
+pub const STANDARD_SCENARIOS: &[(&str, &str, ScenarioGen)] = &[
+    (
+        "S1-specialization",
+        "specialization sweep over four read distributions + hold-out",
+        s1_specialization,
+    ),
+    (
+        "S2-abrupt-shift",
+        "abrupt distribution shift (reads)",
+        s2_abrupt_shift,
+    ),
+    (
+        "S3-gradual-writes",
+        "gradual shift into a write-heavy phase",
+        s3_gradual_writes,
+    ),
+    ("S4-scans", "scan-bearing mixed workload (YCSB-E)", s4_scans),
+    (
+        "S5-bursty-load",
+        "bursty open-loop load (Poisson + burst modulation)",
+        s5_bursty_load,
+    ),
+];
+
+/// Builds the five standard scenarios.
+pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
+    STANDARD_SCENARIOS
+        .iter()
+        .map(|(_, _, build)| build(cfg))
+        .collect()
 }
 
 /// One scenario's condensed results within a suite run.
@@ -375,23 +395,49 @@ where
 /// scenario's main run (baseline calibration runs stay metrics-only), and
 /// the collected traces and spans come back in [`SuiteObservation`].
 pub fn run_suite_observed<F>(
-    mut factory: F,
+    factory: F,
     cfg: &SuiteConfig,
     obs: ObsConfig,
 ) -> Result<(SuiteResult, SuiteObservation)>
 where
     F: FnMut(&Dataset) -> Result<BoxedKvSut>,
 {
-    if cfg.threads == 0 {
+    let scenarios = standard_scenarios(cfg)?;
+    run_scenarios_observed(factory, &scenarios, cfg.threads, obs)
+}
+
+/// Runs one SUT through an arbitrary scenario list — the suite pipeline
+/// (per-scenario B+-tree SLA calibration, identical execution shape,
+/// [`ScenarioSummary`] per scenario) applied to scenarios from any source:
+/// the built-in suite, a [`ScenarioRegistry`](crate::spec::ScenarioRegistry)
+/// resolution, or parsed `scenarios/*.spec` files.
+pub fn run_scenarios<F>(factory: F, scenarios: &[Scenario], threads: usize) -> Result<SuiteResult>
+where
+    F: FnMut(&Dataset) -> Result<BoxedKvSut>,
+{
+    run_scenarios_observed(factory, scenarios, threads, ObsConfig::default()).map(|(r, _)| r)
+}
+
+/// [`run_scenarios`] with explicit observability (see
+/// [`run_suite_observed`] for the semantics of `obs`).
+pub fn run_scenarios_observed<F>(
+    mut factory: F,
+    scenarios: &[Scenario],
+    threads: usize,
+    obs: ObsConfig,
+) -> Result<(SuiteResult, SuiteObservation)>
+where
+    F: FnMut(&Dataset) -> Result<BoxedKvSut>,
+{
+    if threads == 0 {
         return Err(BenchError::InvalidScenario(
             "suite threads must be at least 1".to_string(),
         ));
     }
-    let scenarios = standard_scenarios(cfg)?;
     let mut summaries = Vec::with_capacity(scenarios.len());
     let mut observation = SuiteObservation::default();
     let mut sut_name = String::new();
-    for scenario in &scenarios {
+    for scenario in scenarios {
         // Baseline calibration run: same execution shape (serial or
         // sharded), no hold-out, metrics-only observation.
         let baseline = Runner::from_factory(|data: &Dataset| {
@@ -399,12 +445,12 @@ where
                 .map(|s| Box::new(s) as BoxedKvSut)
                 .map_err(|e| BenchError::Sut(e.to_string()))
         })
-        .config(RunOptions::with_concurrency(cfg.threads))
+        .config(RunOptions::with_concurrency(threads))
         .run(scenario)?;
         let threshold = scenario.sla.resolve(Some(&baseline.record))?;
 
         let opts = RunOptions {
-            concurrency: cfg.threads,
+            concurrency: threads,
             holdout: scenario.holdout.is_some(),
             obs,
             ..RunOptions::default()

@@ -11,6 +11,27 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Canonical distribution identifiers with one-line summaries — the single
+/// source of truth for everything that maps names to distributions: the
+/// `lsbench list` and `lsbench quality` commands and the scenario spec
+/// language all derive their accepted names from this table, so adding a
+/// variant here is the only step needed to surface it everywhere.
+pub const CANONICAL_DISTRIBUTIONS: &[(&str, &str)] = &[
+    ("uniform", "uniform over the key range"),
+    ("zipf", "zipfian popularity (theta)"),
+    ("normal", "truncated normal (center, std_frac)"),
+    ("lognormal", "log-normal, heavy right tail (mu, sigma)"),
+    (
+        "hotspot",
+        "hot span absorbing most accesses (hot_span, hot_fraction)",
+    ),
+    (
+        "clustered",
+        "equally spaced Gaussian bumps (clusters, cluster_std_frac)",
+    ),
+    ("seq", "sequential with bounded noise (noise_frac)"),
+];
+
 /// Shape of a key distribution, independent of the key range.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum KeyDistribution {
@@ -84,6 +105,48 @@ impl KeyDistribution {
             KeyDistribution::SequentialNoise { noise_frac } => {
                 format!("seq-noise({noise_frac})")
             }
+        }
+    }
+
+    /// The canonical identifier from [`CANONICAL_DISTRIBUTIONS`] for this
+    /// distribution's shape (parameters stripped).
+    pub fn canonical_name(&self) -> &'static str {
+        match self {
+            KeyDistribution::Uniform => "uniform",
+            KeyDistribution::Zipf { .. } => "zipf",
+            KeyDistribution::Normal { .. } => "normal",
+            KeyDistribution::LogNormal { .. } => "lognormal",
+            KeyDistribution::Hotspot { .. } => "hotspot",
+            KeyDistribution::Clustered { .. } => "clustered",
+            KeyDistribution::SequentialNoise { .. } => "seq",
+        }
+    }
+
+    /// A default-parameterized distribution for a canonical identifier, or
+    /// `None` for unknown names. Covers every entry of
+    /// [`CANONICAL_DISTRIBUTIONS`].
+    pub fn from_canonical(name: &str) -> Option<KeyDistribution> {
+        match name {
+            "uniform" => Some(KeyDistribution::Uniform),
+            "zipf" => Some(KeyDistribution::Zipf { theta: 0.99 }),
+            "normal" => Some(KeyDistribution::Normal {
+                center: 0.5,
+                std_frac: 0.1,
+            }),
+            "lognormal" => Some(KeyDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.2,
+            }),
+            "hotspot" => Some(KeyDistribution::Hotspot {
+                hot_span: 0.05,
+                hot_fraction: 0.95,
+            }),
+            "clustered" => Some(KeyDistribution::Clustered {
+                clusters: 4,
+                cluster_std_frac: 0.01,
+            }),
+            "seq" => Some(KeyDistribution::SequentialNoise { noise_frac: 0.01 }),
+            _ => None,
         }
     }
 
@@ -353,6 +416,21 @@ mod tests {
 
     fn fresh(dist: KeyDistribution) -> KeyGenerator {
         KeyGenerator::new(dist, 0, 1_000_000, 42).unwrap()
+    }
+
+    #[test]
+    fn canonical_table_round_trips() {
+        // Every canonical name resolves to a valid default distribution
+        // whose canonical_name maps back — the CLI and spec language rely
+        // on this closure property.
+        for (name, summary) in CANONICAL_DISTRIBUTIONS {
+            let dist = KeyDistribution::from_canonical(name)
+                .unwrap_or_else(|| panic!("'{name}' resolves"));
+            dist.validate().unwrap();
+            assert_eq!(dist.canonical_name(), *name);
+            assert!(!summary.is_empty());
+        }
+        assert_eq!(KeyDistribution::from_canonical("no-such"), None);
     }
 
     #[test]

@@ -112,7 +112,7 @@ pub struct LabeledOp {
 }
 
 /// A full multi-phase workload specification plus generation state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhasedWorkload {
     phases: Vec<WorkloadPhase>,
     /// `transitions[i]` joins phase `i` to phase `i + 1`.
@@ -183,6 +183,11 @@ impl PhasedWorkload {
     /// The transitions between consecutive phases.
     pub fn transitions(&self) -> &[TransitionKind] {
         &self.transitions
+    }
+
+    /// The generation seed every phase generator derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Total operations across all phases.

@@ -2,27 +2,43 @@
 //! complete, comparable result for a SUT across all five standard
 //! scenarios — the shape an official result submission would take.
 //!
+//! The scenarios load from the shipped `scenarios/s*.spec` files — the
+//! same definitions `lsbench scenarios` lists by name — so the suite a
+//! result submission ran is fully described by data, not code.
+//!
 //! ```sh
 //! cargo run --release --example standard_suite
 //! ```
 
-use lsbench::core::suite::{render_comparison, run_suite, SuiteConfig};
+use lsbench::core::scenario::Scenario;
+use lsbench::core::spec::ScenarioRegistry;
+use lsbench::core::suite::{render_comparison, run_scenarios};
 use lsbench::core::sut_registry::SutRegistry;
 
+const SUITE_FILES: [&str; 5] = [
+    "scenarios/s1-specialization.spec",
+    "scenarios/s2-abrupt-shift.spec",
+    "scenarios/s3-gradual-writes.spec",
+    "scenarios/s4-scans.spec",
+    "scenarios/s5-bursty-load.spec",
+];
+
 fn main() {
-    let cfg = SuiteConfig {
-        dataset_size: 30_000,
-        ops_per_phase: 3_000,
-        seed: 7,
-        work_units_per_second: 1_000_000.0,
-        threads: 1,
-    };
+    let scenarios: Vec<Scenario> = SUITE_FILES
+        .iter()
+        .map(|f| ScenarioRegistry::load_file(f).unwrap_or_else(|e| panic!("{f}:{e}")))
+        .collect();
 
     // SUTs come from the registry — the same names `lsbench list` prints.
     let registry = SutRegistry::default();
-    let rmi = run_suite(registry.factory("rmi").expect("registered"), &cfg).expect("suite runs");
-    let btree =
-        run_suite(registry.factory("btree").expect("registered"), &cfg).expect("suite runs");
+    let rmi = run_scenarios(registry.factory("rmi").expect("registered"), &scenarios, 1)
+        .expect("suite runs");
+    let btree = run_scenarios(
+        registry.factory("btree").expect("registered"),
+        &scenarios,
+        1,
+    )
+    .expect("suite runs");
 
     println!("{}", render_comparison(&[rmi, btree]));
     println!(

@@ -2,6 +2,10 @@
 //! with a gradual transition and an insert burst, and all four metric
 //! families (specialization, adaptability, SLA bands, cost).
 //!
+//! The scenario itself is data, not code: it loads from
+//! `scenarios/workload_shift.spec` through the spec parser, so editing
+//! that file reshapes this whole example without recompiling.
+//!
 //! ```sh
 //! cargo run --release --example workload_shift
 //! ```
@@ -10,67 +14,21 @@ use lsbench::core::driver::{run_kv_scenario, DriverConfig};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
 use lsbench::core::metrics::cost::CostReport;
 use lsbench::core::metrics::phi::{distribution_phis, DataPhiMethod};
-use lsbench::core::metrics::sla::{SlaPolicy, SlaReport};
+use lsbench::core::metrics::sla::SlaReport;
 use lsbench::core::metrics::specialization::SpecializationReport;
 use lsbench::core::record::RunRecord;
 use lsbench::core::report::{render_adaptability, render_sla, render_specialization};
 use lsbench::core::scenario::Scenario;
+use lsbench::core::spec::ScenarioRegistry;
 use lsbench::sut::cost::HardwareProfile;
 use lsbench::sut::kv::{AlexSut, BTreeSut, PgmSut, RetrainPolicy, RmiSut, SplineSut};
 use lsbench::sut::sut::SystemUnderTest;
-use lsbench::workload::keygen::KeyDistribution;
-use lsbench::workload::ops::{Operation, OperationMix};
-use lsbench::workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
+use lsbench::workload::ops::Operation;
 
-const KEY_RANGE: (u64, u64) = (0, 10_000_000);
-const PHASE_OPS: u64 = 20_000;
+const SPEC_FILE: &str = "scenarios/workload_shift.spec";
 
 fn scenario() -> Scenario {
-    let distributions = [
-        KeyDistribution::LogNormal {
-            mu: 0.0,
-            sigma: 1.2,
-        },
-        KeyDistribution::Zipf { theta: 1.1 },
-        KeyDistribution::Hotspot {
-            hot_span: 0.05,
-            hot_fraction: 0.9,
-        },
-    ];
-    let mixes = [
-        OperationMix::ycsb_c(),
-        OperationMix::ycsb_a(),
-        OperationMix::range_heavy(),
-    ];
-    let phases: Vec<WorkloadPhase> = distributions
-        .iter()
-        .zip(&mixes)
-        .map(|(d, m)| WorkloadPhase::new(d.name(), d.clone(), KEY_RANGE, m.clone(), PHASE_OPS))
-        .collect();
-    let workload = PhasedWorkload::new(
-        phases,
-        vec![
-            TransitionKind::Gradual { window: 0.3 },
-            TransitionKind::Abrupt,
-        ],
-        77,
-    )
-    .expect("valid workload");
-    Scenario::builder("workload-shift")
-        .dataset(
-            KeyDistribution::LogNormal {
-                mu: 0.0,
-                sigma: 1.2,
-            },
-            KEY_RANGE,
-            150_000,
-            78,
-        )
-        .workload(workload)
-        .sla(SlaPolicy::FromBaselineP99 { multiplier: 3.0 })
-        .maintenance_every(256)
-        .build()
-        .expect("valid scenario")
+    ScenarioRegistry::load_file(SPEC_FILE).unwrap_or_else(|e| panic!("{SPEC_FILE}:{e}"))
 }
 
 fn main() {
@@ -82,7 +40,7 @@ fn main() {
             .iter()
             .map(|p| p.distribution.clone())
             .collect::<Vec<_>>(),
-        KEY_RANGE,
+        s.dataset.key_range,
         DataPhiMethod::KolmogorovSmirnov,
         79,
     )

@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]... [--trace]
-//! lsbench quality --dist NAME [--param X]
+//! lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--trace]
 //! lsbench shift --sut NAME [--size N] [--ops N] [--threads N] [--trace]
-//! lsbench list
+//! lsbench quality --dist NAME [--param X]
+//! lsbench scenarios | validate FILE|DIR... | export NAME | list
 //! ```
 //!
-//! SUT names are resolved through [`SutRegistry`]; `lsbench list` prints
-//! the registry. `--trace` turns on the observability layer: runs emit a
-//! deterministic virtual-clock event trace (written to
+//! SUT names are resolved through [`SutRegistry`]; scenario names and
+//! `scenarios/*.spec` files are resolved through [`ScenarioRegistry`].
+//! `--trace` turns on the observability layer: runs emit a deterministic
+//! virtual-clock event trace (written to
 //! `target/lsbench-results/trace.jsonl`) and print a wall-clock span tree.
 
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
@@ -17,10 +19,12 @@ use lsbench::core::obs::{render_spans, ObsConfig};
 use lsbench::core::report::{render_adaptability, to_json, write_artifact};
 use lsbench::core::runner::{RunOptions, Runner};
 use lsbench::core::scenario::Scenario;
+use lsbench::core::spec::{render_scenario, ScenarioRegistry};
 use lsbench::core::suite::{render_comparison, run_suite_observed, SuiteConfig, SuiteResult};
 use lsbench::core::sut_registry::SutRegistry;
-use lsbench::workload::keygen::{KeyDistribution, KeyGenerator};
+use lsbench::workload::keygen::{KeyDistribution, KeyGenerator, CANONICAL_DISTRIBUTIONS};
 use lsbench::workload::quality::score_dataset;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -35,6 +39,12 @@ USAGE:
       threads on the concurrent engine. --trace records the virtual-clock
       event trace (trace.jsonl) and prints per-scenario span trees.
 
+  lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--trace]
+              [--size N] [--ops N] [--seed N]
+      Run one scenario — a built-in name (see `lsbench scenarios`) or a
+      .spec file — for one SUT. --size/--ops/--seed rescale built-in
+      scenarios; spec files always run exactly as written.
+
   lsbench shift --sut NAME [--size N] [--ops N] [--seed N] [--threads N] [--trace]
       Run the canonical two-phase distribution-shift scenario for one SUT
       and print its adaptability report. --threads N > 1 runs it sharded
@@ -43,7 +53,19 @@ USAGE:
 
   lsbench quality --dist NAME [--theta X]
       Score a key distribution with the §V-C quality tool.
-      NAME: uniform | zipf | lognormal | hotspot | clustered | seq
+      NAME: see `lsbench list`
+
+  lsbench scenarios
+      List built-in scenarios (resolvable by name in `lsbench run`).
+
+  lsbench validate FILE|DIR...
+      Parse and validate scenario spec files, printing positioned
+      errors (file:line: field: reason). Directories are scanned for
+      *.spec. Exits non-zero if any file is invalid.
+
+  lsbench export NAME [--size N] [--ops N] [--seed N]
+      Print a built-in scenario as canonical spec text (the format
+      shipped in scenarios/).
 
   lsbench list
       List registered SUTs and distributions.
@@ -189,6 +211,19 @@ fn cmd_shift(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    report_outcome(&outcome, &sut_name, &scenario, "shift_trace.jsonl");
+    ExitCode::SUCCESS
+}
+
+/// Prints the standard single-run summary: engine stats, record counters,
+/// the adaptability report when the scenario has enough phases for one,
+/// span trees, and the event trace artifact.
+fn report_outcome(
+    outcome: &lsbench::core::runner::RunOutcome,
+    sut_name: &str,
+    scenario: &Scenario,
+    trace_file: &str,
+) {
     if let Some(stats) = &outcome.engine {
         let q = |p: f64| {
             stats
@@ -214,9 +249,8 @@ fn cmd_shift(args: &[String]) -> ExitCode {
         record.failures(),
         record.train.seconds
     );
-    match AdaptabilityReport::from_record(record) {
-        Ok(rep) => println!("{}", render_adaptability(&[&rep])),
-        Err(e) => eprintln!("metrics failed: {e}"),
+    if let Ok(rep) = AdaptabilityReport::from_record(record) {
+        println!("{}", render_adaptability(&[&rep]));
     }
     if !outcome.spans.is_empty() {
         println!("[spans] {sut_name} / {}", scenario.name);
@@ -224,17 +258,160 @@ fn cmd_shift(args: &[String]) -> ExitCode {
     }
     if let Some(trace) = &outcome.trace {
         match trace
-            .to_jsonl_tagged(&[
-                ("sut", sut_name.as_str()),
-                ("scenario", scenario.name.as_str()),
-            ])
-            .and_then(|lines| write_artifact("shift_trace.jsonl", &lines))
+            .to_jsonl_tagged(&[("sut", sut_name), ("scenario", scenario.name.as_str())])
+            .and_then(|lines| write_artifact(trace_file, &lines))
         {
             Ok(path) => eprintln!("[saved {}]", path.display()),
             Err(e) => eprintln!("trace write failed: {e}"),
         }
     }
+}
+
+/// The scenario registry at the scale given by `--size`/`--ops`/`--seed`
+/// (defaults match the standard suite).
+fn scenario_registry(args: &[String]) -> ScenarioRegistry {
+    let default = SuiteConfig::default();
+    ScenarioRegistry::with_config(SuiteConfig {
+        dataset_size: parse_num(args, "--size", default.dataset_size),
+        ops_per_phase: parse_num(args, "--ops", default.ops_per_phase),
+        seed: parse_num(args, "--seed", default.seed),
+        ..default
+    })
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(scenario_arg) = parse_flag(args, "--scenario") else {
+        eprintln!("--scenario NAME|FILE is required (see `lsbench scenarios`)");
+        return ExitCode::from(2);
+    };
+    let Some(sut_name) = parse_flag(args, "--sut") else {
+        eprintln!("--sut NAME is required (see `lsbench list`)");
+        return ExitCode::from(2);
+    };
+    let scenario = match scenario_registry(args).resolve(&scenario_arg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let registry = SutRegistry::default();
+    let factory = match registry.factory(&sut_name) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = RunOptions {
+        concurrency: parse_num(args, "--threads", 1),
+        obs: obs_config(args),
+        ..RunOptions::default()
+    };
+    eprintln!(
+        "running {} on {} ({} phases, {} ops) ...",
+        scenario.name,
+        sut_name,
+        scenario.workload.phases().len(),
+        scenario.workload.total_ops()
+    );
+    let outcome = match Runner::from_factory(factory).config(opts).run(&scenario) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
     ExitCode::SUCCESS
+}
+
+fn cmd_scenarios() -> ExitCode {
+    let registry = ScenarioRegistry::default();
+    println!("built-in scenarios (run with `lsbench run --scenario NAME`):");
+    for (name, description) in registry.descriptions() {
+        println!("  {name:<18} {description}");
+    }
+    println!("spec files: `lsbench run --scenario path/to/file.spec` (see scenarios/)");
+    ExitCode::SUCCESS
+}
+
+/// Collects spec files from a path argument: a file is taken as-is, a
+/// directory contributes its `*.spec` entries sorted by name.
+fn collect_specs(arg: &str, out: &mut Vec<String>) -> Result<(), String> {
+    let path = Path::new(arg);
+    if path.is_dir() {
+        let entries = std::fs::read_dir(path).map_err(|e| format!("cannot read {arg}: {e}"))?;
+        let mut found: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "spec"))
+            .map(|p| p.display().to_string())
+            .collect();
+        if found.is_empty() {
+            return Err(format!("no .spec files in {arg}"));
+        }
+        found.sort();
+        out.extend(found);
+        Ok(())
+    } else if path.is_file() {
+        out.push(arg.to_string());
+        Ok(())
+    } else {
+        Err(format!("no such file or directory: {arg}"))
+    }
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("usage: lsbench validate FILE|DIR...");
+        return ExitCode::from(2);
+    }
+    let mut files = Vec::new();
+    for arg in args {
+        if let Err(e) = collect_specs(arg, &mut files) {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    let mut failures = 0usize;
+    for file in &files {
+        match ScenarioRegistry::load_file(file) {
+            Ok(s) => println!(
+                "{file}: OK ({}, {} phases, {} ops)",
+                s.name,
+                s.workload.phases().len(),
+                s.workload.total_ops()
+            ),
+            Err(e) => {
+                println!("{file}:{e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} file(s) invalid", files.len());
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_export(args: &[String]) -> ExitCode {
+    let Some(name) = args.iter().find(|a| !a.starts_with("--")).cloned() else {
+        eprintln!("usage: lsbench export NAME [--size N] [--ops N] [--seed N]");
+        return ExitCode::from(2);
+    };
+    match scenario_registry(args).get(&name) {
+        Ok(s) => {
+            print!("{}", render_scenario(&s));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn cmd_quality(args: &[String]) -> ExitCode {
@@ -243,24 +420,11 @@ fn cmd_quality(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     let theta: f64 = parse_num(args, "--theta", 1.1);
-    let dist = match dist_name.as_str() {
-        "uniform" => KeyDistribution::Uniform,
-        "zipf" => KeyDistribution::Zipf { theta },
-        "lognormal" => KeyDistribution::LogNormal {
-            mu: 0.0,
-            sigma: 1.2,
-        },
-        "hotspot" => KeyDistribution::Hotspot {
-            hot_span: 0.05,
-            hot_fraction: 0.95,
-        },
-        "clustered" => KeyDistribution::Clustered {
-            clusters: 4,
-            cluster_std_frac: 0.01,
-        },
-        "seq" => KeyDistribution::SequentialNoise { noise_frac: 0.01 },
-        other => {
-            eprintln!("unknown distribution '{other}'");
+    let dist = match KeyDistribution::from_canonical(&dist_name) {
+        Some(KeyDistribution::Zipf { .. }) => KeyDistribution::Zipf { theta },
+        Some(d) => d,
+        None => {
+            eprintln!("unknown distribution '{dist_name}' (see `lsbench list`)");
             return ExitCode::from(2);
         }
     };
@@ -286,7 +450,10 @@ fn cmd_list() -> ExitCode {
     for (name, description) in registry.descriptions() {
         println!("  {name:<14} {description}");
     }
-    println!("distributions: uniform, zipf, lognormal, hotspot, clustered, seq");
+    println!("distributions:");
+    for (name, description) in CANONICAL_DISTRIBUTIONS {
+        println!("  {name:<14} {description}");
+    }
     ExitCode::SUCCESS
 }
 
@@ -294,8 +461,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(|s| s.as_str()) {
         Some("suite") => cmd_suite(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
         Some("shift") => cmd_shift(&args[1..]),
         Some("quality") => cmd_quality(&args[1..]),
+        Some("scenarios") => cmd_scenarios(),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
         Some("list") => cmd_list(),
         _ => usage(),
     }
