@@ -11,6 +11,7 @@
 //! is exactly how adaptation cost becomes visible in the Fig. 1b/1c
 //! curves.
 
+use crate::faults::{execute_faulted, FaultOpCtx, FaultSession, FaultStats};
 use crate::obs::RunObserver;
 use crate::record::{OpRecord, RunRecord, TrainInfo};
 use crate::scenario::Scenario;
@@ -107,6 +108,11 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
         ),
         None => None,
     };
+    // `None` keeps the exact unfaulted code path below (zero-cost
+    // passthrough); `Some` routes every operation through the
+    // fault/timeout/retry layer.
+    let fault_session = FaultSession::from_scenario(scenario);
+    let mut fault_stats = FaultStats::default();
 
     for labeled in stream {
         if ops.len() as u64 >= config.max_ops {
@@ -138,27 +144,66 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
             }
             t
         });
-        let outcome = sut
-            .execute(&labeled.op)
-            .map_err(|e| BenchError::Sut(e.to_string()))?;
-        let service = service_with_backlog(
-            outcome.work as f64 / rate,
-            &mut backlog,
-            scenario.online_train,
-        );
-        clock.advance(service);
-        // Closed loop: latency = service. Open loop: queueing included.
-        let latency = match arrival_t {
-            Some(a) => clock.now() - a,
-            None => service,
+        let (latency, ok) = match &fault_session {
+            None => {
+                let outcome = sut
+                    .execute(&labeled.op)
+                    .map_err(|e| BenchError::Sut(e.to_string()))?;
+                let service = service_with_backlog(
+                    outcome.work as f64 / rate,
+                    &mut backlog,
+                    scenario.online_train,
+                );
+                clock.advance(service);
+                // Closed loop: latency = service. Open loop: queueing
+                // included.
+                let latency = match arrival_t {
+                    Some(a) => clock.now() - a,
+                    None => service,
+                };
+                (latency, outcome.ok)
+            }
+            Some(session) => {
+                let fr = execute_faulted(
+                    sut,
+                    &labeled.op,
+                    FaultOpCtx {
+                        phase: labeled.phase,
+                        idx: ops.len() as u64,
+                        rate,
+                        mode: scenario.online_train,
+                    },
+                    session,
+                    &mut backlog,
+                )?;
+                // The server stays busy for the full service time of every
+                // attempt, but the client observes timed-out attempts only
+                // up to the timeout.
+                clock.advance(fr.service);
+                let latency = match arrival_t {
+                    Some(a) => clock.now() - a - (fr.service - fr.observed),
+                    None => fr.observed,
+                };
+                for kind in &fr.injected {
+                    obs.root.fault_injected(clock.now(), *kind);
+                }
+                for attempt in 0..fr.retries {
+                    obs.root.query_retried(clock.now(), attempt + 1);
+                }
+                for _ in 0..fr.timeouts {
+                    obs.root.query_timed_out(clock.now(), latency);
+                }
+                fr.fold_into(&mut fault_stats);
+                (latency, fr.ok)
+            }
         };
         obs.root
-            .op_done(clock.now(), clock.now() - exec_start, latency, outcome.ok);
+            .op_done(clock.now(), clock.now() - exec_start, latency, ok);
         ops.push(OpRecord {
             t_end: clock.now(),
             latency,
             phase: labeled.phase as u16,
-            ok: outcome.ok,
+            ok,
             in_transition: labeled.in_transition,
         });
     }
@@ -184,6 +229,7 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
         exec_end: clock.now(),
         final_metrics: sut.metrics(),
         work_units_per_second: rate,
+        faults: fault_stats,
     })
 }
 
@@ -340,6 +386,7 @@ pub fn run_kv_trace<S: SystemUnderTest<Operation> + ?Sized>(
         exec_end: clock.now(),
         final_metrics: sut.metrics(),
         work_units_per_second: rate,
+        faults: FaultStats::default(),
     })
 }
 
@@ -401,6 +448,7 @@ pub fn run_query_workload<S: SystemUnderTest<QueryOp> + ?Sized>(
         exec_end: clock.now(),
         final_metrics: sut.metrics(),
         work_units_per_second: rate,
+        faults: FaultStats::default(),
     })
 }
 

@@ -10,6 +10,7 @@
 use super::latency::LaneRecorder;
 use super::worker::LaneResult;
 use super::EngineReport;
+use crate::faults::FaultStats;
 use crate::record::{RunRecord, TrainInfo};
 use crate::scenario::Scenario;
 use crate::Result;
@@ -101,6 +102,11 @@ pub(crate) fn merge_lanes(
         recorder.merge(&lane.recorder)?;
     }
 
+    let mut faults = FaultStats::default();
+    for lane in &lanes {
+        faults.merge(&lane.faults);
+    }
+
     let record = RunRecord {
         sut_name,
         scenario_name: scenario.name.clone(),
@@ -117,6 +123,7 @@ pub(crate) fn merge_lanes(
         exec_end,
         final_metrics,
         work_units_per_second: scenario.work_units_per_second,
+        faults,
     };
     Ok(EngineReport {
         record,

@@ -47,6 +47,7 @@ mod worker;
 pub use shard::{shard_dataset, KeyRouter};
 
 use crate::driver::DriverConfig;
+use crate::faults::FaultSession;
 use crate::obs::{LaneObs, RunObserver};
 use crate::record::{RunRecord, TrainInfo};
 use crate::scenario::Scenario;
@@ -327,6 +328,7 @@ where
         obs_cfg: *obs.config(),
         obs_active: obs.is_active(),
     };
+    let fault_session = FaultSession::from_scenario(scenario);
     let mutex = Mutex::new(sut);
     let mut senders: Vec<Sender<Batch>> = Vec::with_capacity(threads);
     let mut receivers: Vec<Receiver<Batch>> = Vec::with_capacity(threads);
@@ -343,8 +345,10 @@ where
         let mut handles = Vec::with_capacity(threads);
         for rx in receivers {
             let mutex_ref = &mutex;
-            handles
-                .push(scope.spawn(move || run_worker(rx, WorkerSut::Shared(mutex_ref), &params)));
+            let session = fault_session.as_ref();
+            handles.push(
+                scope.spawn(move || run_worker(rx, WorkerSut::Shared(mutex_ref), &params, session)),
+            );
         }
         join_workers(handles)
     })?;
@@ -490,6 +494,7 @@ pub fn run_sharded_kv_scenario_observed(
     }
     enqueue_lanes(lane_ops, senders, config.batch_size)?;
 
+    let fault_session = FaultSession::from_scenario(scenario);
     let mut per_worker: Vec<Vec<ShardSlot<'_>>> = (0..threads).map(|_| Vec::new()).collect();
     for (lane, sut) in suts.iter_mut().enumerate() {
         per_worker[lane % threads].push((lane, sut));
@@ -498,10 +503,11 @@ pub fn run_sharded_kv_scenario_observed(
     let lane_results = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for (rx, worker_suts) in receivers.into_iter().zip(per_worker) {
+            let session = fault_session.as_ref();
             handles.push(scope.spawn(move || {
                 let suts: WorkerSut<'_, '_, dyn SystemUnderTest<Operation> + Send> =
                     WorkerSut::Sharded(worker_suts);
-                run_worker(rx, suts, &params)
+                run_worker(rx, suts, &params, session)
             }));
         }
         join_workers(handles)

@@ -11,6 +11,7 @@
 
 use super::latency::LaneRecorder;
 use crate::driver::service_with_backlog;
+use crate::faults::{execute_faulted, FaultOpCtx, FaultSession, FaultStats};
 use crate::obs::{LaneObs, ObsConfig};
 use crate::record::OpRecord;
 use crate::scenario::OnlineTrainMode;
@@ -86,6 +87,8 @@ pub(crate) struct LaneResult {
     pub recorder: LaneRecorder,
     /// The lane's observability state (events, counters, histogram).
     pub obs: LaneObs,
+    /// Fault-injection accounting for this lane's operations.
+    pub faults: FaultStats,
 }
 
 /// How a worker reaches the system(s) under test.
@@ -111,6 +114,7 @@ struct LaneState {
     phase_first: Vec<(usize, f64)>,
     recorder: LaneRecorder,
     obs: LaneObs,
+    faults: FaultStats,
 }
 
 impl LaneState {
@@ -124,6 +128,7 @@ impl LaneState {
             phase_first: Vec::new(),
             recorder: LaneRecorder::new(params.exec_start, params.interval_width)?,
             obs: LaneObs::for_lane(lane, params.obs_cfg, params.obs_active),
+            faults: FaultStats::default(),
         })
     }
 
@@ -132,6 +137,7 @@ impl LaneState {
         sut: &mut T,
         op: &LaneOp,
         params: &LaneParams,
+        session: Option<&FaultSession>,
     ) -> Result<()> {
         let labeled = &op.labeled;
         if labeled.phase != self.current_phase {
@@ -162,35 +168,71 @@ impl LaneState {
                 self.clock = intended;
             }
         }
-        let outcome = sut
-            .execute(&labeled.op)
-            .map_err(|e| BenchError::Sut(e.to_string()))?;
-        let service = service_with_backlog(
-            outcome.work as f64 / params.rate,
-            &mut self.backlog,
-            params.online_train,
-        );
-        self.clock += service;
-        // Closed loop: latency = service. Open loop: completion minus the
-        // *intended* start, so queueing delay is never omitted.
-        let latency = match op.intended {
-            Some(intended) => self.clock - intended,
-            None => service,
+        let (latency, ok) = match session {
+            None => {
+                let outcome = sut
+                    .execute(&labeled.op)
+                    .map_err(|e| BenchError::Sut(e.to_string()))?;
+                let service = service_with_backlog(
+                    outcome.work as f64 / params.rate,
+                    &mut self.backlog,
+                    params.online_train,
+                );
+                self.clock += service;
+                // Closed loop: latency = service. Open loop: completion
+                // minus the *intended* start, so queueing delay is never
+                // omitted.
+                let latency = match op.intended {
+                    Some(intended) => self.clock - intended,
+                    None => service,
+                };
+                (latency, outcome.ok)
+            }
+            Some(session) => {
+                // Every decision in here is a pure function of the plan
+                // seed and `op.idx`, so lanes stay thread-invariant.
+                let fr = execute_faulted(
+                    sut,
+                    &labeled.op,
+                    FaultOpCtx {
+                        phase: labeled.phase,
+                        idx: op.idx,
+                        rate: params.rate,
+                        mode: params.online_train,
+                    },
+                    session,
+                    &mut self.backlog,
+                )?;
+                self.clock += fr.service;
+                // The lane stays busy for the full service; the client
+                // observes timed-out attempts only up to the timeout.
+                let latency = match op.intended {
+                    Some(intended) => self.clock - intended - (fr.service - fr.observed),
+                    None => fr.observed,
+                };
+                for kind in &fr.injected {
+                    self.obs.fault_injected(self.clock, *kind);
+                }
+                for attempt in 0..fr.retries {
+                    self.obs.query_retried(self.clock, attempt + 1);
+                }
+                for _ in 0..fr.timeouts {
+                    self.obs.query_timed_out(self.clock, latency);
+                }
+                fr.fold_into(&mut self.faults);
+                (latency, fr.ok)
+            }
         };
         let record = OpRecord {
             t_end: self.clock,
             latency,
             phase: labeled.phase as u16,
-            ok: outcome.ok,
+            ok,
             in_transition: labeled.in_transition,
         };
         self.recorder.record(self.clock, latency)?;
-        self.obs.op_done(
-            self.clock,
-            self.clock - params.exec_start,
-            latency,
-            outcome.ok,
-        );
+        self.obs
+            .op_done(self.clock, self.clock - params.exec_start, latency, ok);
         self.ops.push((op.idx, record));
         Ok(())
     }
@@ -206,6 +248,7 @@ impl LaneState {
             final_clock: self.clock,
             recorder: self.recorder,
             obs: self.obs,
+            faults: self.faults,
         }
     }
 }
@@ -216,6 +259,7 @@ pub(crate) fn run_worker<S>(
     rx: Receiver<Batch>,
     mut suts: WorkerSut<'_, '_, S>,
     params: &LaneParams,
+    faults: Option<&FaultSession>,
 ) -> Result<Vec<LaneResult>>
 where
     S: SystemUnderTest<Operation> + Send + ?Sized,
@@ -235,7 +279,7 @@ where
                     let mut guard = mutex
                         .lock()
                         .map_err(|_| BenchError::Sut("shared SUT mutex poisoned".to_string()))?;
-                    state.step(&mut **guard, op, params)?;
+                    state.step(&mut **guard, op, params, faults)?;
                 }
             }
             WorkerSut::Sharded(owned) => {
@@ -250,7 +294,7 @@ where
                         ))
                     })?;
                 for op in &batch.ops {
-                    state.step(sut.as_mut(), op, params)?;
+                    state.step(sut.as_mut(), op, params, faults)?;
                 }
             }
         }

@@ -50,8 +50,10 @@ impl HoldoutReport {
 
 /// Builds the one-shot scenario around a scenario's hold-out workload:
 /// no training, effectively-disabled maintenance, no arrival schedule, no
-/// nested hold-out. Errors if the scenario has no hold-out. Shared by the
-/// serial [`run_holdout`] and the concurrent engine's sharded hold-out.
+/// nested hold-out, and no fault plan (the builder defaults to `None`, so
+/// hold-out passes always measure the unperturbed system). Errors if the
+/// scenario has no hold-out. Shared by the serial [`run_holdout`] and the
+/// concurrent engine's sharded hold-out.
 pub(crate) fn one_shot_scenario(scenario: &Scenario) -> Result<Scenario> {
     let holdout = scenario
         .holdout

@@ -23,6 +23,10 @@
 //! * [`obs`] — structured observability: deterministic run-event tracing
 //!   on the virtual clock, a mergeable metrics registry, and wall-clock
 //!   profiling spans; zero-cost when disabled.
+//! * [`faults`] — deterministic fault injection: transient errors, latency
+//!   spikes, stalls, and crash-restarts driven by a seeded [`FaultPlan`]
+//!   plus a virtual-time timeout/retry/backoff policy, bit-identical
+//!   across worker counts.
 //! * [`runner`] — the unified [`Runner`] facade: one entry point that
 //!   routes serial, shared-SUT concurrent, sharded, and hold-out runs
 //!   from a single [`RunOptions`] configuration.
@@ -39,6 +43,7 @@
 
 pub mod driver;
 pub mod engine;
+pub mod faults;
 pub mod holdout;
 pub mod metrics;
 pub mod obs;
@@ -59,6 +64,7 @@ pub use engine::{
     run_sharded_kv_scenario, run_sharded_kv_scenario_observed, shard_dataset, EngineConfig,
     EngineReport, KeyRouter,
 };
+pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultStats, RetryPolicy};
 pub use holdout::HoldoutReport;
 pub use metrics::adaptability::AdaptabilityReport;
 pub use metrics::cost::CostReport;
@@ -68,7 +74,7 @@ pub use obs::{MetricsRegistry, ObsConfig, RunEvent, RunObserver, TraceEvent, Tra
 pub use record::{OpRecord, RunRecord};
 pub use runner::{BoxedKvSut, EngineStats, RunOptions, RunOutcome, Runner};
 pub use scenario::{Scenario, ScenarioBuilder};
-pub use spec::{parse_scenario, render_scenario, ScenarioRegistry, SpecError};
+pub use spec::{parse_fault_plan, parse_scenario, render_scenario, ScenarioRegistry, SpecError};
 pub use suite::{
     run_suite, run_suite_observed, standard_scenarios, SuiteConfig, SuiteObservation, SuiteResult,
 };

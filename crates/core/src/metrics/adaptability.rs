@@ -213,6 +213,7 @@ mod tests {
             exec_end: t,
             final_metrics: SutMetrics::default(),
             work_units_per_second: 1.0,
+            faults: crate::faults::FaultStats::default(),
         }
     }
 

@@ -157,6 +157,7 @@ mod tests {
                 label_collection_work: training_work / 10,
             },
             work_units_per_second: 1.0,
+            faults: crate::faults::FaultStats::default(),
         }
     }
 

@@ -142,14 +142,19 @@ impl SlaReport {
         let mut violated_total = 0usize;
         for op in &record.ops {
             let idx = (((op.t_end - start) / interval) as usize).min(n_intervals - 1);
-            if op.latency <= threshold {
+            // A failed or timed-out query cannot satisfy the SLA no matter
+            // how fast it came back: only successful, within-threshold
+            // completions count as `within`.
+            if op.ok && op.latency <= threshold {
                 bands[idx].within += 1;
             } else {
                 bands[idx].violated += 1;
                 violated_total += 1;
             }
             let c = &mut color_bands[idx];
-            if op.latency <= 0.5 * threshold {
+            if !op.ok {
+                c.red += 1;
+            } else if op.latency <= 0.5 * threshold {
                 c.green += 1;
             } else if op.latency <= threshold {
                 c.yellow += 1;
@@ -233,7 +238,26 @@ mod tests {
             exec_end: t,
             final_metrics: SutMetrics::default(),
             work_units_per_second: 1.0,
+            faults: crate::faults::FaultStats::default(),
         }
+    }
+
+    #[test]
+    fn failed_ops_violate_the_sla_regardless_of_latency() {
+        let mut r = spike_record();
+        // Fail five fast ops: fast enough for green, but failed queries
+        // must land in the red band and count as violations.
+        for op in r.ops.iter_mut().take(5) {
+            op.ok = false;
+        }
+        let report = SlaReport::from_record(&r, 0.1, 1.0, 50).unwrap();
+        let within: usize = report.bands.iter().map(|b| b.within).sum();
+        let violated: usize = report.bands.iter().map(|b| b.violated).sum();
+        assert_eq!(within, 220 - 20 - 5);
+        assert_eq!(violated, 25);
+        let red: usize = report.color_bands.iter().map(|c| c.red).sum();
+        assert_eq!(red, 25, "failed ops are red, not green");
+        assert!((report.violation_fraction - 25.0 / 220.0).abs() < 1e-12);
     }
 
     #[test]

@@ -54,6 +54,22 @@ pub enum RunEvent {
         /// The violating latency in virtual seconds.
         latency: f64,
     },
+    /// The fault layer injected a fault into a completing operation.
+    FaultInjected {
+        /// What was injected.
+        fault: crate::faults::FaultKind,
+    },
+    /// The retry policy re-issued a query after a transient failure or
+    /// timeout.
+    QueryRetried {
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// A query attempt was abandoned at the per-query timeout.
+    QueryTimedOut {
+        /// Client-observed latency of the abandoned operation.
+        latency: f64,
+    },
     /// The concurrent engine merged per-lane results into one record.
     ShardMerge {
         /// Logical lanes merged.
@@ -79,6 +95,9 @@ impl RunEvent {
             RunEvent::MaintenanceSlot { .. } => "maintenance_slot",
             RunEvent::BacklogHighWater { .. } => "backlog_high_water",
             RunEvent::SlaViolation { .. } => "sla_violation",
+            RunEvent::FaultInjected { .. } => "fault_injected",
+            RunEvent::QueryRetried { .. } => "query_retried",
+            RunEvent::QueryTimedOut { .. } => "query_timed_out",
             RunEvent::ShardMerge { .. } => "shard_merge",
             RunEvent::RunEnd { .. } => "run_end",
         }

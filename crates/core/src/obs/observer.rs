@@ -83,6 +83,9 @@ struct CoreCounters {
     retrain_bursts: u64,
     retrain_work: u64,
     sla_violations: u64,
+    faults_injected: u64,
+    query_retries: u64,
+    query_timeouts: u64,
 }
 
 /// Per-emitter observation state: one per engine lane, plus one owned by
@@ -204,7 +207,9 @@ impl LaneObs {
             self.counters.failed += 1;
         }
         if let Some(thr) = self.cfg.sla_threshold {
-            if latency > thr {
+            // A failed (or timed-out) operation violates the SLA no matter
+            // how fast it failed — mirrors SlaReport's attribution.
+            if latency > thr || !ok {
                 self.counters.sla_violations += 1;
                 self.push(t_end, RunEvent::SlaViolation { latency });
             }
@@ -212,6 +217,39 @@ impl LaneObs {
         if let Some(hist) = self.latency.as_mut() {
             hist.record(t_rel, latency_to_ns(latency));
         }
+    }
+
+    /// The fault layer injected `fault` into the operation completing at
+    /// `t`.
+    #[inline]
+    pub fn fault_injected(&mut self, t: f64, fault: crate::faults::FaultKind) {
+        if !self.active {
+            return;
+        }
+        self.counters.faults_injected += 1;
+        self.push(t, RunEvent::FaultInjected { fault });
+    }
+
+    /// The retry policy issued retry number `attempt` (1-based) for the
+    /// operation completing at `t`.
+    #[inline]
+    pub fn query_retried(&mut self, t: f64, attempt: u32) {
+        if !self.active {
+            return;
+        }
+        self.counters.query_retries += 1;
+        self.push(t, RunEvent::QueryRetried { attempt });
+    }
+
+    /// A query attempt was abandoned at the per-query timeout; the
+    /// operation completed at `t` with client-observed `latency`.
+    #[inline]
+    pub fn query_timed_out(&mut self, t: f64, latency: f64) {
+        if !self.active {
+            return;
+        }
+        self.counters.query_timeouts += 1;
+        self.push(t, RunEvent::QueryTimedOut { latency });
     }
 
     /// The adaptation backlog stands at `seconds`; emits a high-water event
@@ -238,6 +276,9 @@ impl LaneObs {
             ("retrain_bursts", c.retrain_bursts),
             ("retrain_work_units", c.retrain_work),
             ("sla_violations", c.sla_violations),
+            ("faults_injected", c.faults_injected),
+            ("query_retries", c.query_retries),
+            ("query_timeouts", c.query_timeouts),
         ] {
             if v > 0 {
                 reg.inc(name, v);
@@ -447,8 +488,8 @@ mod tests {
         let mut l0 = obs.lane_obs(0);
         let mut l1 = obs.lane_obs(1);
         l0.op_done(1.0, 1.0, 0.05, true);
-        l0.op_done(1.1, 1.1, 0.2, true); // SLA violation
-        l1.op_done(1.2, 1.2, 0.01, false);
+        l0.op_done(1.1, 1.1, 0.2, true); // SLA violation: over threshold
+        l1.op_done(1.2, 1.2, 0.01, false); // SLA violation: failed op
         l0.maintenance(1.3, 0);
         l1.maintenance(1.4, 7);
         l0.retrain_burst(1.5, 1, 3);
@@ -459,7 +500,7 @@ mod tests {
         let m = &report.metrics;
         assert_eq!(m.counter("ops_completed"), 2);
         assert_eq!(m.counter("ops_failed"), 1);
-        assert_eq!(m.counter("sla_violations"), 1);
+        assert_eq!(m.counter("sla_violations"), 2);
         assert_eq!(m.counter("maintenance_slots"), 2);
         assert_eq!(m.counter("maintenance_work_units"), 7);
         assert_eq!(m.counter("retrain_bursts"), 1);
@@ -469,6 +510,24 @@ mod tests {
         assert_eq!(lat.total.total(), 3);
         // No trace requested.
         assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn fault_hooks_count_and_trace() {
+        use crate::faults::FaultKind;
+        let mut obs = RunObserver::new(ObsConfig::traced());
+        obs.root.fault_injected(1.0, FaultKind::Error);
+        obs.root.fault_injected(1.0, FaultKind::Crash);
+        obs.root.query_retried(1.0, 1);
+        obs.root.query_timed_out(1.1, 0.5);
+        let report = obs.finish().unwrap();
+        assert_eq!(report.metrics.counter("faults_injected"), 2);
+        assert_eq!(report.metrics.counter("query_retries"), 1);
+        assert_eq!(report.metrics.counter("query_timeouts"), 1);
+        let t = report.trace.unwrap();
+        assert_eq!(t.count_kind("fault_injected"), 2);
+        assert_eq!(t.count_kind("query_retried"), 1);
+        assert_eq!(t.count_kind("query_timed_out"), 1);
     }
 
     #[test]

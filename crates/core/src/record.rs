@@ -7,6 +7,7 @@
 //! the benchmark report distributions, transitions, and bands instead of a
 //! single average (Lesson 2).
 
+use crate::faults::FaultStats;
 use lsbench_stats::timeseries::CumulativeCurve;
 use lsbench_sut::sut::SutMetrics;
 use serde::{Deserialize, Serialize};
@@ -59,6 +60,8 @@ pub struct RunRecord {
     pub final_metrics: SutMetrics,
     /// Work-to-time conversion rate used (work units per second).
     pub work_units_per_second: f64,
+    /// Fault-injection accounting (all zero for unfaulted runs).
+    pub faults: FaultStats,
 }
 
 impl RunRecord {
@@ -178,6 +181,7 @@ mod tests {
             exec_end: 20.0,
             final_metrics: SutMetrics::default(),
             work_units_per_second: 1000.0,
+            faults: FaultStats::default(),
         }
     }
 

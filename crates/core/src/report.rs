@@ -322,6 +322,59 @@ mod tests {
         assert!(s.contains("adjustment speed"));
     }
 
+    /// Golden pin of the `lsbench run` figure output: the exact bytes of
+    /// the Fig. 1b and Fig. 1c renders for a fixed synthetic report. Any
+    /// formatting change — spacing, glyph choice, precision — must be a
+    /// deliberate edit to these strings, because downstream tooling greps
+    /// this output.
+    #[test]
+    fn run_report_output_is_pinned() {
+        let adapt = AdaptabilityReport {
+            sut_name: "rmi".to_string(),
+            curve: (0..=32)
+                .map(|i| (i as f64 * 0.25, (i * i) as f64))
+                .collect(),
+            area_vs_ideal: -12.5,
+            normalized_area: -0.0625,
+            recovery_times: vec![(1, 3.25)],
+            phase_throughput: vec![100.0, 200.0],
+        };
+        assert_eq!(
+            render_adaptability(&[&adapt]),
+            "Fig.1b  Cumulative queries over time\n\
+             \x20 rmi                      area-vs-ideal=-12.5 (normalized -0.0625)\n\
+             \x20               ▁▁▁▁▂▂▂▂▃▃▃▄▄▄▅▅▆▆▇█\n\
+             \x20   recovery after phase 1 change: 3.250s\n"
+        );
+
+        let sla = SlaReport {
+            sut_name: "rmi".to_string(),
+            threshold: 0.01,
+            interval: 1.0,
+            bands: vec![
+                Band {
+                    within: 50,
+                    violated: 0,
+                },
+                Band {
+                    within: 20,
+                    violated: 30,
+                },
+            ],
+            color_bands: vec![ColorBand::default(); 2],
+            violation_fraction: 0.3,
+            adjustment_speed: vec![(1, 0.5)],
+            adjustment_n: 100,
+        };
+        assert_eq!(
+            render_sla(&sla),
+            "Fig.1c  SLA bands — rmi (threshold 0.0100s, interval 1.0s, violations 30.00%)\n\
+             \x20 t=0.0    |████████████████████████████████████████| 0/50 over\n\
+             \x20 t=1.0    |████████████████▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒▒| 30/50 over\n\
+             \x20 adjustment speed after phase 1 (Σ over-SLA of first 100 ops): 0.5000s\n"
+        );
+    }
+
     #[test]
     fn json_round_trips() {
         let j = to_json(&spec_report()).unwrap();

@@ -12,6 +12,7 @@
 //! * optional **hold-out phases** executed exactly once for out-of-sample
 //!   measurement (§V-A).
 
+use crate::faults::FaultPlan;
 use crate::metrics::sla::SlaPolicy;
 use crate::{BenchError, Result};
 use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
@@ -116,6 +117,10 @@ pub struct Scenario {
     pub arrival: Option<ArrivalSpec>,
     /// How online retraining work is scheduled against queries.
     pub online_train: OnlineTrainMode,
+    /// Optional deterministic fault-injection plan (`[[fault]]` spec
+    /// blocks or the `--faults` CLI flag). `None` = unfaulted run taking
+    /// the exact unperturbed code path.
+    pub faults: Option<FaultPlan>,
     /// Deprecation marker for raw struct-literal construction: a literal
     /// must name this field (`raw: ()`), which trips the deprecation lint
     /// and points at [`Scenario::builder`]. Carries no data.
@@ -169,6 +174,10 @@ impl Scenario {
                     "closed loop is expressed by arrival = None".to_string(),
                 ));
             }
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate(self.workload.phases())
+                .map_err(BenchError::InvalidScenario)?;
         }
         Ok(())
     }
@@ -285,6 +294,7 @@ pub struct ScenarioBuilder {
     holdout: Option<PhasedWorkload>,
     arrival: Option<ArrivalSpec>,
     online_train: OnlineTrainMode,
+    faults: Option<FaultPlan>,
 }
 
 impl ScenarioBuilder {
@@ -302,6 +312,7 @@ impl ScenarioBuilder {
             holdout: None,
             arrival: None,
             online_train: OnlineTrainMode::Foreground,
+            faults: None,
         }
     }
 
@@ -377,6 +388,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a deterministic fault-injection plan (default: none). The
+    /// plan is validated against the workload's phases on build.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Assembles and validates the scenario. Errors if the dataset or
     /// workload is missing, or if any field fails [`Scenario::validate`].
     #[allow(deprecated)] // the builder is the one sanctioned literal constructor
@@ -398,6 +416,7 @@ impl ScenarioBuilder {
             holdout: self.holdout,
             arrival: self.arrival,
             online_train: self.online_train,
+            faults: self.faults,
             raw: (),
         };
         scenario.validate()?;
@@ -494,6 +513,40 @@ mod tests {
             .work_units_per_second(0.0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn fault_plans_are_validated() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let mut s = Scenario::two_phase_shift(
+            "faulted",
+            KeyDistribution::Uniform,
+            KeyDistribution::Uniform,
+            100,
+            10,
+            1,
+        )
+        .unwrap();
+        s.faults = Some(FaultPlan {
+            seed: 1,
+            policy: Default::default(),
+            faults: vec![FaultSpec::TransientErrors {
+                phase: None,
+                rate: 0.1,
+            }],
+        });
+        s.validate().unwrap();
+        s.faults = Some(FaultPlan {
+            seed: 1,
+            policy: Default::default(),
+            faults: vec![FaultSpec::Stall {
+                phase: 0,
+                from_op: 5,
+                ops: 10,
+                duration: 0.1,
+            }],
+        });
+        assert!(s.validate().is_err(), "stall window crosses phase boundary");
     }
 
     #[test]

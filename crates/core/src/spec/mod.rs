@@ -32,7 +32,7 @@ pub mod registry;
 pub mod render;
 
 pub use compose::{BurstComposer, DiurnalComposer, GradualShiftComposer, GrowingSkewComposer};
-pub use parse::parse_scenario;
+pub use parse::{parse_fault_plan, parse_scenario};
 pub use registry::ScenarioRegistry;
 pub use render::render_scenario;
 

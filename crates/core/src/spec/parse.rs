@@ -4,8 +4,9 @@
 //! "Scenario files" section for the full grammar): top-level `key = value`
 //! pairs, `[section]` headers for singletons (`[dataset]`, `[run]`,
 //! `[sla]`, `[arrival]`), and `[[block]]` headers for the ordered phase
-//! chain (`[[phase]]`, `[[holdout]]`, and the composer blocks
-//! `[[diurnal]]`, `[[burst]]`, `[[gradual_shift]]`, `[[growing_skew]]`).
+//! chain (`[[phase]]`, `[[holdout]]`, the composer blocks
+//! `[[diurnal]]`, `[[burst]]`, `[[gradual_shift]]`, `[[growing_skew]]`,
+//! and fault-injection `[[fault]]` blocks).
 //! Values are integers (decimal or `0x` hex), floats, `"strings"`,
 //! booleans, and two-element integer arrays (`key_range = [lo, hi]`).
 //!
@@ -18,6 +19,7 @@ use super::compose::{
     BurstComposer, DiurnalComposer, Expansion, GradualShiftComposer, GrowingSkewComposer,
 };
 use super::SpecError;
+use crate::faults::{FaultPlan, FaultSpec, RetryPolicy};
 use crate::metrics::sla::SlaPolicy;
 use crate::scenario::{ArrivalSpec, DatasetSpec, OnlineTrainMode, Scenario};
 use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
@@ -171,6 +173,7 @@ const MULTI_SECTIONS: &[&str] = &[
     "burst",
     "gradual_shift",
     "growing_skew",
+    "fault",
 ];
 
 fn lex(text: &str) -> SResult<Vec<Section>> {
@@ -720,6 +723,197 @@ fn compile_composer(
     Ok((expansion, join))
 }
 
+/// Like [`Fields::opt_u64`] but keeps the key's source line, for errors
+/// that must point at the exact offending token.
+fn take_u64_at(f: &mut Fields, key: &str) -> SResult<Option<(u64, usize)>> {
+    match f.take(key) {
+        None => Ok(None),
+        Some((Value::Int(v), line)) => Ok(Some((v, line))),
+        Some((other, line)) => Err(SpecError::new(
+            line,
+            key,
+            format!("expected a non-negative integer, got {}", other.type_name()),
+        )),
+    }
+}
+
+/// Compiles one `[[fault]]` block. Returns the fault plus the source line
+/// of every positionable key, so the window checks that need the fully
+/// assembled phase list ([`FaultSpec::check`]) can still reject at the
+/// exact line and field.
+fn compile_fault(mut f: Fields) -> SResult<(FaultSpec, Vec<(&'static str, usize)>)> {
+    let (kind, kline) = f.req_str("kind")?;
+    let mut lines: Vec<(&'static str, usize)> = vec![("kind", kline)];
+    let spec = match kind.as_str() {
+        "errors" => {
+            let phase = match take_u64_at(&mut f, "phase")? {
+                Some((v, line)) => {
+                    lines.push(("phase", line));
+                    Some(v as usize)
+                }
+                None => None,
+            };
+            let (rate, rline) = f.req_f64("rate")?;
+            lines.push(("rate", rline));
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(SpecError::new(
+                    rline,
+                    "rate",
+                    format!("error rate {rate} must be within [0, 1]"),
+                ));
+            }
+            FaultSpec::TransientErrors { phase, rate }
+        }
+        "latency" => {
+            let phase = match take_u64_at(&mut f, "phase")? {
+                Some((v, line)) => {
+                    lines.push(("phase", line));
+                    Some(v as usize)
+                }
+                None => None,
+            };
+            let add_work = match take_u64_at(&mut f, "add_work")? {
+                Some((v, line)) => {
+                    lines.push(("add_work", line));
+                    v
+                }
+                None => 0,
+            };
+            let factor = match f.opt_f64("factor")? {
+                Some((v, line)) => {
+                    lines.push(("factor", line));
+                    if !(v.is_finite() && v >= 0.0) {
+                        return Err(SpecError::new(
+                            line,
+                            "factor",
+                            "latency factor must be finite and non-negative",
+                        ));
+                    }
+                    v
+                }
+                None => 1.0,
+            };
+            FaultSpec::LatencySpike {
+                phase,
+                add_work,
+                factor,
+            }
+        }
+        "stall" => {
+            let Some((phase, pline)) = take_u64_at(&mut f, "phase")? else {
+                return Err(f.missing("phase"));
+            };
+            lines.push(("phase", pline));
+            let Some((from_op, fline)) = take_u64_at(&mut f, "from_op")? else {
+                return Err(f.missing("from_op"));
+            };
+            lines.push(("from_op", fline));
+            let Some((ops, oline)) = take_u64_at(&mut f, "ops")? else {
+                return Err(f.missing("ops"));
+            };
+            lines.push(("ops", oline));
+            let (duration, dline) = f.req_f64("duration")?;
+            lines.push(("duration", dline));
+            if !(duration.is_finite() && duration > 0.0) {
+                return Err(SpecError::new(
+                    dline,
+                    "duration",
+                    "stall duration must be positive and finite",
+                ));
+            }
+            FaultSpec::Stall {
+                phase: phase as usize,
+                from_op,
+                ops,
+                duration,
+            }
+        }
+        "crash" => {
+            let Some((phase, pline)) = take_u64_at(&mut f, "phase")? else {
+                return Err(f.missing("phase"));
+            };
+            lines.push(("phase", pline));
+            let Some((at_op, aline)) = take_u64_at(&mut f, "at_op")? else {
+                return Err(f.missing("at_op"));
+            };
+            lines.push(("at_op", aline));
+            FaultSpec::Crash {
+                phase: phase as usize,
+                at_op,
+            }
+        }
+        other => {
+            return Err(SpecError::new(
+                kline,
+                "kind",
+                format!(
+                    "unknown fault kind '{other}' (expected \"errors\", \"latency\", \"stall\", or \"crash\")"
+                ),
+            ))
+        }
+    };
+    f.finish()?;
+    Ok((spec, lines))
+}
+
+/// The optional retry-policy keys in declaration order:
+/// `(timeout, max_retries, backoff_base, backoff_multiplier)`.
+type PolicyParts = (Option<f64>, Option<u32>, Option<f64>, Option<f64>);
+
+/// Parses the retry-policy keys shared by `[run]` and standalone
+/// fault-plan files: `timeout`, `max_retries`, `backoff_base`,
+/// `backoff_multiplier` — each optional, each validated at its own line.
+fn take_fault_policy(f: &mut Fields) -> SResult<PolicyParts> {
+    let timeout = match f.opt_f64("timeout")? {
+        None => None,
+        Some((v, line)) => {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SpecError::new(
+                    line,
+                    "timeout",
+                    "per-query timeout must be positive and finite",
+                ));
+            }
+            Some(v)
+        }
+    };
+    let max_retries = match f.take("max_retries") {
+        None => None,
+        Some((Value::Int(v), line)) => {
+            if v > u32::MAX as u64 {
+                return Err(SpecError::new(
+                    line,
+                    "max_retries",
+                    "retry budget does not fit in 32 bits",
+                ));
+            }
+            Some(v as u32)
+        }
+        Some((other, line)) => {
+            return Err(SpecError::new(
+                line,
+                "max_retries",
+                format!("expected a non-negative integer, got {}", other.type_name()),
+            ))
+        }
+    };
+    let backoff = |f: &mut Fields, key: &'static str| -> SResult<Option<f64>> {
+        match f.opt_f64(key)? {
+            None => Ok(None),
+            Some((v, line)) => {
+                if !(v.is_finite() && v >= 0.0) {
+                    Err(SpecError::new(line, key, "must be non-negative and finite"))
+                } else {
+                    Ok(Some(v))
+                }
+            }
+        }
+    };
+    let backoff_base = backoff(f, "backoff_base")?;
+    let backoff_multiplier = backoff(f, "backoff_multiplier")?;
+    Ok((timeout, max_retries, backoff_base, backoff_multiplier))
+}
+
 // ---------------------------------------------------------------------------
 // Singleton sections.
 // ---------------------------------------------------------------------------
@@ -838,6 +1032,35 @@ struct RunSettings {
     maintenance_every: Option<u64>,
     online_train: Option<OnlineTrainMode>,
     holdout_seed: Option<u64>,
+    fault_seed: Option<u64>,
+    timeout: Option<f64>,
+    max_retries: Option<u32>,
+    backoff_base: Option<f64>,
+    backoff_multiplier: Option<f64>,
+}
+
+impl RunSettings {
+    /// Whether any fault-policy key appeared. Policy keys alone (no
+    /// `[[fault]]` blocks) still attach a plan — a timeout/retry policy
+    /// without injected faults is a valid robustness configuration.
+    fn has_fault_policy(&self) -> bool {
+        self.fault_seed.is_some()
+            || self.timeout.is_some()
+            || self.max_retries.is_some()
+            || self.backoff_base.is_some()
+            || self.backoff_multiplier.is_some()
+    }
+
+    /// Builds the retry policy from whatever keys were present.
+    fn retry_policy(&self) -> RetryPolicy {
+        let d = RetryPolicy::default();
+        RetryPolicy {
+            timeout: self.timeout,
+            max_retries: self.max_retries.unwrap_or(d.max_retries),
+            backoff_base: self.backoff_base.unwrap_or(d.backoff_base),
+            backoff_multiplier: self.backoff_multiplier.unwrap_or(d.backoff_multiplier),
+        }
+    }
 }
 
 fn compile_run(mut f: Fields) -> SResult<RunSettings> {
@@ -904,12 +1127,18 @@ fn compile_run(mut f: Fields) -> SResult<RunSettings> {
             }
         },
     };
+    let (timeout, max_retries, backoff_base, backoff_multiplier) = take_fault_policy(&mut f)?;
     let settings = RunSettings {
         train_budget,
         work_units_per_second: f.opt_f64("work_units_per_second")?.map(|(v, _)| v),
         maintenance_every: f.opt_u64("maintenance_every")?,
         online_train,
         holdout_seed: f.opt_u64("holdout_seed")?,
+        fault_seed: f.opt_u64("fault_seed")?,
+        timeout,
+        max_retries,
+        backoff_base,
+        backoff_multiplier,
     };
     f.finish()?;
     Ok(settings)
@@ -968,6 +1197,8 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
     let mut main_chain = Chain::default();
     let mut holdout_chain = Chain::default();
     let mut first_holdout_line: Option<usize> = None;
+    type FaultLines = Vec<(&'static str, usize)>;
+    let mut fault_blocks: Vec<(FaultSpec, FaultLines, usize)> = Vec::new();
 
     // The dataset's key range is the default for phases; [dataset] nearly
     // always precedes the phase chain, so resolve it in a first pass.
@@ -998,6 +1229,11 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
                 first_holdout_line.get_or_insert(section.line);
                 let (phase, join) = compile_phase(Fields::new(section), default_range)?;
                 holdout_chain.push((vec![phase], vec![]), join)?;
+            }
+            "fault" => {
+                let block_line = section.line;
+                let (spec, lines) = compile_fault(Fields::new(section))?;
+                fault_blocks.push((spec, lines, block_line));
             }
             kind @ ("diurnal" | "burst" | "gradual_shift" | "growing_skew") => {
                 let kind = kind.to_string();
@@ -1036,7 +1272,37 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
         maintenance_every: None,
         online_train: None,
         holdout_seed: None,
+        fault_seed: None,
+        timeout: None,
+        max_retries: None,
+        backoff_base: None,
+        backoff_multiplier: None,
     });
+
+    // Fault windows are validated against the assembled phase list; an
+    // out-of-range window is rejected at the exact line of the offending
+    // key, not at the end of the file.
+    let fault_plan = if !fault_blocks.is_empty() || run.has_fault_policy() {
+        let mut faults = Vec::with_capacity(fault_blocks.len());
+        for (spec, lines, block_line) in fault_blocks {
+            if let Err((field, reason)) = spec.check(workload.phases()) {
+                let line = lines
+                    .iter()
+                    .find(|(k, _)| *k == field)
+                    .map(|&(_, l)| l)
+                    .unwrap_or(block_line);
+                return Err(SpecError::new(line, field, reason));
+            }
+            faults.push(spec);
+        }
+        Some(FaultPlan {
+            seed: run.fault_seed.unwrap_or(seed),
+            policy: run.retry_policy(),
+            faults,
+        })
+    } else {
+        None
+    };
 
     let mut builder = Scenario::builder(name)
         .dataset_spec(dataset)
@@ -1076,7 +1342,56 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
     if let Some(v) = arrival {
         builder = builder.arrival(v);
     }
+    if let Some(plan) = fault_plan {
+        builder = builder.faults(plan);
+    }
     builder
         .build()
         .map_err(|e| SpecError::new(0, "scenario", e.to_string()))
+}
+
+/// Parses a standalone fault-plan file: root-level `seed` (default 0)
+/// plus the policy keys `timeout`, `max_retries`, `backoff_base`,
+/// `backoff_multiplier`, and any number of `[[fault]]` blocks. Scenario
+/// sections are rejected — a plan file describes *only* the perturbation,
+/// so one plan composes with any scenario (`--faults FILE` on the CLI).
+/// Phase-window validation happens when the plan attaches to a concrete
+/// scenario ([`FaultPlan::validate`] via `Scenario::validate`).
+pub fn parse_fault_plan(text: &str) -> Result<FaultPlan, SpecError> {
+    let sections = lex(text)?;
+    let mut root: Option<Fields> = None;
+    let mut faults = Vec::new();
+    for section in sections {
+        match section.header.as_str() {
+            "" => root = Some(Fields::new(section)),
+            "fault" => {
+                let (spec, _) = compile_fault(Fields::new(section))?;
+                faults.push(spec);
+            }
+            other => {
+                return Err(SpecError::new(
+                    section.line,
+                    other,
+                    format!(
+                    "a fault-plan file allows only root keys and [[fault]] blocks, not '{other}'"
+                ),
+                ))
+            }
+        }
+    }
+    let mut root = root.expect("root section always present");
+    let seed = root.opt_u64("seed")?.unwrap_or(0);
+    let (timeout, max_retries, backoff_base, backoff_multiplier) = take_fault_policy(&mut root)?;
+    root.finish()?;
+    let d = RetryPolicy::default();
+    Ok(FaultPlan {
+        seed,
+        policy: RetryPolicy {
+            timeout,
+            max_retries: max_retries.unwrap_or(d.max_retries),
+            backoff_base: backoff_base.unwrap_or(d.backoff_base),
+            backoff_multiplier: backoff_multiplier.unwrap_or(d.backoff_multiplier),
+        },
+        faults,
+    })
 }

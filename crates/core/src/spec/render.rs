@@ -13,6 +13,7 @@
 //! shows the concrete phase list a composer produced.
 
 use super::parse::MIX_PRESETS;
+use crate::faults::FaultSpec;
 use crate::metrics::sla::SlaPolicy;
 use crate::scenario::{OnlineTrainMode, Scenario};
 use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
@@ -173,6 +174,21 @@ pub fn render_scenario(s: &Scenario) -> String {
     if let Some(holdout) = &s.holdout {
         let _ = writeln!(out, "holdout_seed = {}", holdout.seed());
     }
+    // Fault keys only when a plan is attached, so fault-free scenarios
+    // render byte-identically to before faults existed.
+    if let Some(plan) = &s.faults {
+        let _ = writeln!(out, "fault_seed = {}", plan.seed);
+        if let Some(t) = plan.policy.timeout {
+            let _ = writeln!(out, "timeout = {}", f(t));
+        }
+        let _ = writeln!(out, "max_retries = {}", plan.policy.max_retries);
+        let _ = writeln!(out, "backoff_base = {}", f(plan.policy.backoff_base));
+        let _ = writeln!(
+            out,
+            "backoff_multiplier = {}",
+            f(plan.policy.backoff_multiplier)
+        );
+    }
 
     if let Some(arrival) = &s.arrival {
         let _ = writeln!(out, "\n[arrival]");
@@ -224,6 +240,47 @@ pub fn render_scenario(s: &Scenario) -> String {
         for (i, phase) in holdout.phases().iter().enumerate() {
             let transition = (i > 0).then(|| holdout.transitions()[i - 1]);
             push_phase(&mut out, "holdout", phase, transition);
+        }
+    }
+
+    if let Some(plan) = &s.faults {
+        for fault in &plan.faults {
+            let _ = writeln!(out, "\n[[fault]]");
+            let _ = writeln!(out, "kind = \"{}\"", fault.kind());
+            match fault {
+                FaultSpec::TransientErrors { phase, rate } => {
+                    if let Some(p) = phase {
+                        let _ = writeln!(out, "phase = {p}");
+                    }
+                    let _ = writeln!(out, "rate = {}", f(*rate));
+                }
+                FaultSpec::LatencySpike {
+                    phase,
+                    add_work,
+                    factor,
+                } => {
+                    if let Some(p) = phase {
+                        let _ = writeln!(out, "phase = {p}");
+                    }
+                    let _ = writeln!(out, "add_work = {add_work}");
+                    let _ = writeln!(out, "factor = {}", f(*factor));
+                }
+                FaultSpec::Stall {
+                    phase,
+                    from_op,
+                    ops,
+                    duration,
+                } => {
+                    let _ = writeln!(out, "phase = {phase}");
+                    let _ = writeln!(out, "from_op = {from_op}");
+                    let _ = writeln!(out, "ops = {ops}");
+                    let _ = writeln!(out, "duration = {}", f(*duration));
+                }
+                FaultSpec::Crash { phase, at_op } => {
+                    let _ = writeln!(out, "phase = {phase}");
+                    let _ = writeln!(out, "at_op = {at_op}");
+                }
+            }
         }
     }
 

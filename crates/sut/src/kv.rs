@@ -162,6 +162,13 @@ impl<I: Index + BulkLoad> SystemUnderTest<Operation> for LearnedKvSut<I> {
         0
     }
 
+    fn crash(&mut self) -> u64 {
+        // Crash-restart: the keys survive (base + delta are durable) but
+        // the learned models are volatile and lost. Recovery is a full
+        // retrain, forced regardless of the retrain policy.
+        self.retrain_now()
+    }
+
     fn metrics(&self) -> SutMetrics {
         let stats = self.index.stats();
         SutMetrics {
@@ -417,6 +424,10 @@ where
         self.inner.maintenance()
     }
 
+    fn crash(&mut self) -> u64 {
+        self.inner.crash()
+    }
+
     fn metrics(&self) -> SutMetrics {
         let mut m = self.inner.metrics();
         m.size_bytes += self.cache.len() * 32;
@@ -651,6 +662,25 @@ mod tests {
         // The update invalidated the cached key: next read misses.
         let after = cached.execute(&Operation::Read { key }).unwrap();
         assert!(after.work > 2, "read after write must miss the cache");
+    }
+
+    #[test]
+    fn crash_forces_model_rebuild() {
+        let data = dataset(2000);
+        let mut rmi = RmiSut::build("rmi", &data, RetrainPolicy::Never).unwrap();
+        rmi.train(u64::MAX);
+        let recovery = rmi.crash();
+        assert!(recovery > 0, "crash recovery rebuilds the learned models");
+        assert_eq!(rmi.metrics().adaptations, 1);
+        // Reads still work after the crash-restart.
+        let out = rmi
+            .execute(&Operation::Read {
+                key: data.keys()[0],
+            })
+            .unwrap();
+        assert!(out.ok);
+        // Traditional systems have no volatile learned state.
+        assert_eq!(BTreeSut::build(&data).unwrap().crash(), 0);
     }
 
     #[test]

@@ -78,6 +78,16 @@ pub trait SystemUnderTest<Op> {
         0
     }
 
+    /// Fault-injection hook: simulate a crash-restart that drops the
+    /// system's *volatile learned state* (models, caches) while the
+    /// underlying data survives. Returns the recovery work needed to
+    /// rebuild that state, which the driver charges to the backlog like a
+    /// retrain burst. Traditional systems have nothing to rebuild and keep
+    /// the default of 0.
+    fn crash(&mut self) -> u64 {
+        0
+    }
+
     /// Current metrics.
     fn metrics(&self) -> SutMetrics;
 }
@@ -107,6 +117,7 @@ mod tests {
         let mut s = NoopSut;
         assert_eq!(s.on_phase_change(1), 0);
         assert_eq!(s.maintenance(), 0);
+        assert_eq!(s.crash(), 0);
         assert_eq!(s.execute(&1).unwrap(), ExecOutcome::ok(1));
     }
 

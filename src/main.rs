@@ -1,26 +1,31 @@
 //! `lsbench` — command-line front end for the learned-systems benchmark.
 //!
 //! ```text
-//! lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]... [--trace]
-//! lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--trace]
+//! lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]... [--faults P] [--trace]
+//! lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--faults P] [--trace]
 //! lsbench shift --sut NAME [--size N] [--ops N] [--threads N] [--trace]
 //! lsbench quality --dist NAME [--param X]
 //! lsbench scenarios | validate FILE|DIR... | export NAME | list
 //! ```
 //!
 //! SUT names are resolved through [`SutRegistry`]; scenario names and
-//! `scenarios/*.spec` files are resolved through [`ScenarioRegistry`].
-//! `--trace` turns on the observability layer: runs emit a deterministic
-//! virtual-clock event trace (written to
+//! `scenarios/*.spec` files are resolved through [`ScenarioRegistry`];
+//! `--faults` takes a built-in chaos-plan name or a fault-plan file and
+//! attaches it to the scenario(s) (deterministic fault injection — see
+//! [`lsbench::core::faults`]). `--trace` turns on the observability
+//! layer: runs emit a deterministic virtual-clock event trace (written to
 //! `target/lsbench-results/trace.jsonl`) and print a wall-clock span tree.
 
+use lsbench::core::faults::{resolve_fault_plan, FaultPlan};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
 use lsbench::core::obs::{render_spans, ObsConfig};
 use lsbench::core::report::{render_adaptability, to_json, write_artifact};
 use lsbench::core::runner::{RunOptions, Runner};
 use lsbench::core::scenario::Scenario;
 use lsbench::core::spec::{render_scenario, ScenarioRegistry};
-use lsbench::core::suite::{render_comparison, run_suite_observed, SuiteConfig, SuiteResult};
+use lsbench::core::suite::{
+    render_comparison, run_scenarios_observed, standard_scenarios, SuiteConfig, SuiteResult,
+};
 use lsbench::core::sut_registry::SutRegistry;
 use lsbench::workload::keygen::{KeyDistribution, KeyGenerator, CANONICAL_DISTRIBUTIONS};
 use lsbench::workload::quality::score_dataset;
@@ -32,18 +37,23 @@ fn usage() -> ExitCode {
         "lsbench — benchmark for learned data systems
 
 USAGE:
-  lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]... [--trace]
+  lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]...
+                [--faults NAME|FILE] [--trace]
       Run the standard 5-scenario suite (default: all SUTs) and print the
       cross-SUT comparison. Artifacts land in target/lsbench-results/.
       --threads N > 1 key-range-shards every scenario across N worker
-      threads on the concurrent engine. --trace records the virtual-clock
-      event trace (trace.jsonl) and prints per-scenario span trees.
+      threads on the concurrent engine. --faults attaches a deterministic
+      fault plan (chaos-errors, chaos-latency, chaos-timeouts, or a plan
+      file) to every scenario. --trace records the virtual-clock event
+      trace (trace.jsonl) and prints per-scenario span trees.
 
   lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--trace]
-              [--size N] [--ops N] [--seed N]
+              [--size N] [--ops N] [--seed N] [--faults NAME|FILE]
       Run one scenario — a built-in name (see `lsbench scenarios`) or a
       .spec file — for one SUT. --size/--ops/--seed rescale built-in
-      scenarios; spec files always run exactly as written.
+      scenarios; spec files always run exactly as written. --faults
+      attaches a deterministic fault plan on top of whatever [[fault]]
+      blocks the spec itself carries (the flag wins).
 
   lsbench shift --sut NAME [--size N] [--ops N] [--seed N] [--threads N] [--trace]
       Run the canonical two-phase distribution-shift scenario for one SUT
@@ -98,6 +108,32 @@ fn obs_config(args: &[String]) -> ObsConfig {
     }
 }
 
+/// Resolves `--faults NAME|FILE` to a plan, or `None` when the flag is
+/// absent. `Err` means the argument was present but did not resolve.
+fn fault_plan_arg(args: &[String]) -> Result<Option<FaultPlan>, ExitCode> {
+    let Some(arg) = parse_flag(args, "--faults") else {
+        return Ok(None);
+    };
+    match resolve_fault_plan(&arg) {
+        Ok(plan) => Ok(Some(plan)),
+        Err(e) => {
+            eprintln!("{e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+/// Attaches a fault plan to a scenario and re-validates (a plan can name
+/// phases or op windows the scenario does not have).
+fn attach_faults(scenario: &mut Scenario, plan: &FaultPlan) -> Result<(), ExitCode> {
+    scenario.faults = Some(plan.clone());
+    if let Err(e) = scenario.validate() {
+        eprintln!("fault plan does not fit scenario '{}': {e}", scenario.name);
+        return Err(ExitCode::from(2));
+    }
+    Ok(())
+}
+
 fn cmd_suite(args: &[String]) -> ExitCode {
     let registry = SutRegistry::default();
     let cfg = SuiteConfig {
@@ -119,6 +155,26 @@ fn cmd_suite(args: &[String]) -> ExitCode {
         names
     };
     let obs = obs_config(args);
+    let fault_plan = match fault_plan_arg(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let scenarios = match standard_scenarios(&cfg) {
+        Ok(mut scenarios) => {
+            if let Some(plan) = &fault_plan {
+                for scenario in &mut scenarios {
+                    if let Err(code) = attach_faults(scenario, plan) {
+                        return code;
+                    }
+                }
+            }
+            scenarios
+        }
+        Err(e) => {
+            eprintln!("cannot build suite scenarios: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut results: Vec<SuiteResult> = Vec::new();
     let mut trace_lines = String::new();
     for name in &chosen {
@@ -130,7 +186,7 @@ fn cmd_suite(args: &[String]) -> ExitCode {
             }
         };
         eprint!("running {name} ... ");
-        match run_suite_observed(factory, &cfg, obs) {
+        match run_scenarios_observed(factory, &scenarios, cfg.threads, obs) {
             Ok((result, observation)) => {
                 eprintln!("done");
                 for (scenario, trace) in &observation.traces {
@@ -249,6 +305,13 @@ fn report_outcome(
         record.failures(),
         record.train.seconds
     );
+    let faults = &record.faults;
+    if faults.injected + faults.retries + faults.timeouts + faults.crashes > 0 {
+        println!(
+            "[faults] injected {}, retries {}, timeouts {}, crashes {}",
+            faults.injected, faults.retries, faults.timeouts, faults.crashes
+        );
+    }
     if let Ok(rep) = AdaptabilityReport::from_record(record) {
         println!("{}", render_adaptability(&[&rep]));
     }
@@ -288,13 +351,22 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("--sut NAME is required (see `lsbench list`)");
         return ExitCode::from(2);
     };
-    let scenario = match scenario_registry(args).resolve(&scenario_arg) {
+    let mut scenario = match scenario_registry(args).resolve(&scenario_arg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+    match fault_plan_arg(args) {
+        Ok(Some(plan)) => {
+            if let Err(code) = attach_faults(&mut scenario, &plan) {
+                return code;
+            }
+        }
+        Ok(None) => {}
+        Err(code) => return code,
+    }
     let registry = SutRegistry::default();
     let factory = match registry.factory(&sut_name) {
         Ok(f) => f,

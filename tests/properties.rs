@@ -3,10 +3,12 @@
 
 use lsbench::core::driver::{run_kv_scenario, DriverConfig};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
+use lsbench::core::metrics::phi::{data_phi, kv_workload_phi, DataPhiMethod};
 use lsbench::core::metrics::sla::SlaReport;
 use lsbench::core::scenario::Scenario;
 use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
 use lsbench::workload::keygen::KeyDistribution;
+use lsbench::workload::ops::Operation;
 use proptest::prelude::*;
 
 fn arb_distribution() -> impl Strategy<Value = KeyDistribution> {
@@ -117,4 +119,112 @@ proptest! {
         // Self-comparison is zero.
         prop_assert!(rep.area_vs(&rep).unwrap().abs() < 1e-9);
     }
+
+    /// Adaptability comparison is a signed difference: identical curves
+    /// give exactly zero, and swapping the operands flips the sign.
+    #[test]
+    fn adaptability_area_is_zero_at_identity_and_antisymmetric(
+        first in arb_distribution(),
+        ops in 300u64..1000,
+        seed in 0u64..500,
+    ) {
+        let s = Scenario::two_phase_shift(
+            "prop-area",
+            first,
+            KeyDistribution::Zipf { theta: 1.2 },
+            2_000,
+            ops,
+            seed,
+        )
+        .unwrap();
+        let data = s.dataset.build().unwrap();
+        let mut btree = BTreeSut::build(&data).unwrap();
+        let mut rmi = RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.1)).unwrap();
+        let ra = AdaptabilityReport::from_record(
+            &run_kv_scenario(&mut btree, &s, DriverConfig::default()).unwrap(),
+        )
+        .unwrap();
+        let rb = AdaptabilityReport::from_record(
+            &run_kv_scenario(&mut rmi, &s, DriverConfig::default()).unwrap(),
+        )
+        .unwrap();
+        // Identity: a curve compared with a bit-identical clone is 0.
+        prop_assert_eq!(ra.area_vs(&ra.clone()).unwrap(), 0.0);
+        // Antisymmetry: area(a, b) = -area(b, a).
+        let ab = ra.area_vs(&rb).unwrap();
+        let ba = rb.area_vs(&ra).unwrap();
+        prop_assert!(
+            (ab + ba).abs() < 1e-9,
+            "area_vs must be sign-symmetric: {} vs {}",
+            ab,
+            ba
+        );
+    }
+
+    /// Φ stays a distance: in [0, 1] for arbitrary same-range samples,
+    /// whatever the method.
+    #[test]
+    fn phi_is_bounded_for_arbitrary_samples(
+        a in proptest::collection::vec(0.0f64..1.0, 50..300),
+        b in proptest::collection::vec(0.0f64..1.0, 50..300),
+    ) {
+        for method in [
+            DataPhiMethod::KolmogorovSmirnov,
+            DataPhiMethod::MaximumMeanDiscrepancy,
+        ] {
+            let phi = data_phi(&a, &b, method).unwrap();
+            prop_assert!((0.0..=1.0).contains(&phi), "{method:?}: {phi}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Φ extremes: 0 at identity, 1 (or saturating) at disjoint support —
+// the anchors that make the Fig. 1a X-axis meaningful.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn phi_is_zero_at_identity_and_one_at_disjoint_support() {
+    let near: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+    let far: Vec<f64> = (0..500).map(|i| 1000.0 + i as f64 / 500.0).collect();
+
+    // Identity: a sample compared with itself.
+    assert_eq!(
+        data_phi(&near, &near, DataPhiMethod::KolmogorovSmirnov).unwrap(),
+        0.0
+    );
+    let mmd_self = data_phi(&near, &near, DataPhiMethod::MaximumMeanDiscrepancy).unwrap();
+    assert!(mmd_self < 1e-6, "MMD at identity: {mmd_self}");
+
+    // Disjoint support: KS is exactly 1; MMD approaches its structural
+    // maximum (the median-bandwidth RBF kernel keeps within-sample
+    // similarity below 1, so the distance tops out near √(2·(1−k̄)) ≈ 0.89
+    // rather than the clamp).
+    assert_eq!(
+        data_phi(&near, &far, DataPhiMethod::KolmogorovSmirnov).unwrap(),
+        1.0
+    );
+    let mmd_far = data_phi(&near, &far, DataPhiMethod::MaximumMeanDiscrepancy).unwrap();
+    assert!(mmd_far > 0.85, "MMD at disjoint support: {mmd_far}");
+    assert!(
+        mmd_far > 100.0 * mmd_self,
+        "disjoint MMD must dwarf identity MMD: {mmd_far} vs {mmd_self}"
+    );
+}
+
+#[test]
+fn kv_workload_phi_hits_both_extremes() {
+    // Jaccard leg: identical workloads are at distance 0...
+    let reads: Vec<Operation> = (0..200).map(|k| Operation::Read { key: k }).collect();
+    assert_eq!(kv_workload_phi(&reads, &reads).unwrap(), 0.0);
+
+    // ...and workloads sharing no operation kind and no key range are at
+    // distance 1 (mix Jaccard 0 and KS statistic 1).
+    let writes: Vec<Operation> = (0..200)
+        .map(|k| Operation::Insert {
+            key: 1_000_000 + k,
+            value: k,
+        })
+        .collect();
+    assert_eq!(kv_workload_phi(&reads, &writes).unwrap(), 1.0);
 }

@@ -3,6 +3,7 @@
 //! run-level round-trip fidelity guarantee, and `parse ∘ render = id`
 //! property tests over builder-generated scenarios.
 
+use lsbench::core::faults::{FaultPlan, FaultSpec, RetryPolicy};
 use lsbench::core::metrics::sla::SlaPolicy;
 use lsbench::core::runner::{RunOptions, Runner};
 use lsbench::core::scenario::{ArrivalSpec, OnlineTrainMode, Scenario};
@@ -72,6 +73,27 @@ const BAD_FIXTURES: &[(&str, &str, usize, &str, &str)] = &[
         "gradual_shift",
         "cannot interpolate",
     ),
+    (
+        "fault_unknown_key",
+        include_str!("spec_fixtures/bad/fault_unknown_key.spec"),
+        23,
+        "probability",
+        "unknown key",
+    ),
+    (
+        "fault_bad_rate",
+        include_str!("spec_fixtures/bad/fault_bad_rate.spec"),
+        21,
+        "rate",
+        "must be within [0, 1]",
+    ),
+    (
+        "fault_stall_overlap",
+        include_str!("spec_fixtures/bad/fault_stall_overlap.spec"),
+        24,
+        "ops",
+        "overlapping phase boundary",
+    ),
 ];
 
 #[test]
@@ -120,6 +142,9 @@ fn shipped_exemplars_parse_and_validate() {
         "scenarios/flash_crowd.spec",
         "scenarios/growing_skew.spec",
         "scenarios/workload_shift.spec",
+        "scenarios/chaos_errors.spec",
+        "scenarios/chaos_stall.spec",
+        "scenarios/chaos_crash.spec",
     ] {
         let s = ScenarioRegistry::load_file(file).unwrap_or_else(|e| panic!("{file}:{e}"));
         s.validate().unwrap_or_else(|e| panic!("{file}: {e}"));
@@ -376,6 +401,36 @@ fn arb_arrival() -> impl Strategy<Value = Option<ArrivalSpec>> {
     ]
 }
 
+/// Raw material for an optional fault plan: `(seed, timeout, retries,
+/// backoff base, backoff multiplier)` plus `(error rate, latency factor,
+/// add_work, stall position fraction, crash position fraction)`. The
+/// position fractions are resolved against phase 0's op count inside
+/// `arb_scenario`, so every generated window is valid by construction.
+type FaultParts = ((u64, Option<f64>, u32, f64, f64), (f64, f64, u64, f64, f64));
+
+fn arb_fault_parts() -> impl Strategy<Value = Option<FaultParts>> {
+    prop_oneof![
+        Just(None),
+        (
+            (
+                0u64..10_000,
+                prop_oneof![Just(None), (1e-4f64..1e-1).prop_map(Some)],
+                0u32..4,
+                1e-4f64..1e-2,
+                1.0f64..3.0,
+            ),
+            (
+                0.0f64..1.0,
+                0.5f64..4.0,
+                0u64..1_000,
+                0.0f64..1.0,
+                0.0f64..1.0,
+            ),
+        )
+            .prop_map(Some),
+    ]
+}
+
 /// A phase with everything the spec grammar can express on it.
 fn arb_phase() -> impl Strategy<Value = (WorkloadPhase, TransitionKind)> {
     (
@@ -416,14 +471,16 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                     (0.05f64..0.95).prop_map(|fraction| OnlineTrainMode::Background { fraction }),
                 ],
                 prop_oneof![Just(None), vec(arb_phase(), 1..3).prop_map(Some)],
+                arb_fault_parts(),
             ),
         ),
     )
         .prop_map(
             |(
                 (name, phase_list, seed, data_dist, data_size),
-                ((sla, arrival, train_budget, wups), (maintenance, online, holdout)),
+                ((sla, arrival, train_budget, wups), (maintenance, online, holdout, fault_parts)),
             )| {
+                let ops0 = phase_list[0].0.ops;
                 let workload = |list: Vec<(WorkloadPhase, TransitionKind)>, seed: u64| {
                     let transitions = list.iter().skip(1).map(|(_, t)| *t).collect();
                     let phases = list.into_iter().map(|(p, _)| p).collect();
@@ -442,6 +499,40 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 }
                 if let Some(a) = arrival {
                     builder = builder.arrival(a);
+                }
+                if let Some((
+                    (fseed, timeout, max_retries, backoff_base, backoff_multiplier),
+                    (rate, factor, add_work, stall_frac, crash_frac),
+                )) = fault_parts
+                {
+                    // Windows computed so they always fit inside phase 0.
+                    let window = (ops0 / 2).max(1);
+                    let from_op = ((ops0 - window) as f64 * stall_frac) as u64;
+                    let at_op = ((ops0 - 1) as f64 * crash_frac) as u64;
+                    builder = builder.faults(FaultPlan {
+                        seed: fseed,
+                        policy: RetryPolicy {
+                            timeout,
+                            max_retries,
+                            backoff_base,
+                            backoff_multiplier,
+                        },
+                        faults: vec![
+                            FaultSpec::TransientErrors { phase: None, rate },
+                            FaultSpec::LatencySpike {
+                                phase: None,
+                                add_work,
+                                factor,
+                            },
+                            FaultSpec::Stall {
+                                phase: 0,
+                                from_op,
+                                ops: window,
+                                duration: 0.25,
+                            },
+                            FaultSpec::Crash { phase: 0, at_op },
+                        ],
+                    });
                 }
                 builder.build().expect("generated scenario is valid")
             },
