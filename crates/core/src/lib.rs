@@ -38,6 +38,10 @@
 //!   benches resolve systems under test uniformly.
 //! * [`report`] — plain-text figures (ASCII), CSV series, and JSON
 //!   artifacts so results are comparable across deployments.
+//! * [`results`] — the longitudinal layer: a content-addressed,
+//!   schema-versioned results store ([`results::store`]), the head-to-head
+//!   paired-comparison engine ([`mod@results::compare`]), and the CI
+//!   regression gate ([`results::regress`]).
 
 #![warn(missing_docs)]
 
@@ -49,6 +53,7 @@ pub mod metrics;
 pub mod obs;
 pub mod record;
 pub mod report;
+pub mod results;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
@@ -72,6 +77,11 @@ pub use metrics::sla::{SlaPolicy, SlaReport};
 pub use metrics::specialization::SpecializationReport;
 pub use obs::{MetricsRegistry, ObsConfig, RunEvent, RunObserver, TraceEvent, TraceLog};
 pub use record::{OpRecord, RunRecord};
+pub use results::{
+    compare, evaluate_regression, parse_regression_policy, render_comparison_report,
+    render_regression, write_bench_summary, ComparisonReport, RegressionPolicy, RegressionReport,
+    ResultStore, RunArtifact, RunManifest, StoreError, SuiteArtifact,
+};
 pub use runner::{BoxedKvSut, EngineStats, RunOptions, RunOutcome, Runner};
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use spec::{parse_fault_plan, parse_scenario, render_scenario, ScenarioRegistry, SpecError};
@@ -93,6 +103,9 @@ pub enum BenchError {
     Metric(String),
     /// Result serialization failed.
     Serialization(String),
+    /// The results store refused an operation (schema drift, digest
+    /// mismatch, or an unresolvable artifact reference).
+    Store(String),
 }
 
 impl std::fmt::Display for BenchError {
@@ -103,6 +116,7 @@ impl std::fmt::Display for BenchError {
             BenchError::Sut(m) => write!(f, "SUT error: {m}"),
             BenchError::Metric(m) => write!(f, "metric error: {m}"),
             BenchError::Serialization(m) => write!(f, "serialization error: {m}"),
+            BenchError::Store(m) => write!(f, "results store error: {m}"),
         }
     }
 }

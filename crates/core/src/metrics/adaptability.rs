@@ -126,6 +126,26 @@ impl AdaptabilityReport {
     }
 }
 
+/// The paired Fig. 1b metric straight from two run records: signed area
+/// between the candidate's and the baseline's *full-resolution* cumulative
+/// curves over their overlapping span (positive = candidate completed more
+/// work earlier).
+///
+/// Unlike [`AdaptabilityReport::area_vs`], which compares the downsampled
+/// plotting curves, this works on every completion timestamp, so the value
+/// is a pure function of the two records — a record saved to the results
+/// store ([`crate::results`]) and reloaded reproduces it bit-identically.
+/// Exactly antisymmetric: swapping the arguments negates the result.
+pub fn paired_area_difference(baseline: &RunRecord, candidate: &RunRecord) -> Result<f64> {
+    if baseline.ops.is_empty() || candidate.ops.is_empty() {
+        return Err(BenchError::Metric("empty run record".to_string()));
+    }
+    let b = baseline.cumulative_curve().to_series(baseline.exec_start);
+    let c = candidate.cumulative_curve().to_series(candidate.exec_start);
+    c.area_difference(&b)
+        .map_err(|e| BenchError::Metric(e.to_string()))
+}
+
 /// Steady-state throughput of a phase: measured over its second half (the
 /// first half may include the adaptation transient).
 fn phase_steady_throughput(record: &RunRecord, phase: usize) -> f64 {
@@ -251,6 +271,22 @@ mod tests {
         assert!(fast.area_vs(&slow).unwrap() > 0.0);
         assert!(slow.area_vs(&fast).unwrap() < 0.0);
         assert!(fast.area_vs(&fast).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn paired_area_matches_sign_and_antisymmetry() {
+        let fast = two_speed_record(0.1, 500, 0.1, 500);
+        let slow = two_speed_record(0.5, 500, 0.5, 500);
+        // Candidate faster than baseline: positive.
+        let ahead = paired_area_difference(&slow, &fast).unwrap();
+        assert!(ahead > 0.0, "ahead = {ahead}");
+        // Exact antisymmetry and exact zero at identity.
+        assert_eq!(paired_area_difference(&fast, &slow).unwrap(), -ahead);
+        assert_eq!(paired_area_difference(&fast, &fast).unwrap(), 0.0);
+        // Empty records are rejected, not silently zeroed.
+        let mut empty = two_speed_record(0.1, 5, 0.1, 5);
+        empty.ops.clear();
+        assert!(paired_area_difference(&empty, &fast).is_err());
     }
 
     #[test]

@@ -73,6 +73,22 @@ impl CostReport {
     }
 }
 
+/// Dollars per completed query on the given hardware: (training +
+/// execution dollars) / completions — the unit the head-to-head comparison
+/// ([`crate::results::compare()`]) takes ratios of. `None` when the record
+/// completed nothing. Requires the record's `final_metrics` to have
+/// survived serialization, which is why those counters are no longer
+/// `#[serde(skip)]`.
+pub fn cost_per_query(record: &RunRecord, hw: &HardwareProfile) -> Option<f64> {
+    if record.ops.is_empty() {
+        return None;
+    }
+    let m = &record.final_metrics;
+    let dollars =
+        training_cost(m.training_work, hw).dollars + training_cost(m.execution_work, hw).dollars;
+    Some(dollars / record.ops.len() as f64)
+}
+
 /// The Fig. 1d learned-vs-DBA comparison: a throughput-vs-training-cost
 /// curve for the learned system against the DBA step function.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -179,6 +195,20 @@ mod tests {
         assert!(report.cost_per_performance.unwrap() > 0.0);
         // Label collection is a tenth of training work.
         assert!((cpu.label_collection.seconds * 10.0 - cpu.training.seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_per_query_tracks_work_counters() {
+        let r = record(1_000_000_000, 1000, 0.001);
+        let cpq = cost_per_query(&r, &HardwareProfile::cpu()).unwrap();
+        assert!(cpq > 0.0);
+        // Ten times the training work costs strictly more per query.
+        let r10 = record(10_000_000_000, 1000, 0.001);
+        assert!(cost_per_query(&r10, &HardwareProfile::cpu()).unwrap() > cpq);
+        // Empty record: no queries to divide by.
+        let mut empty = record(1, 1, 0.1);
+        empty.ops.clear();
+        assert_eq!(cost_per_query(&empty, &HardwareProfile::cpu()), None);
     }
 
     #[test]

@@ -196,6 +196,34 @@ impl SlaReport {
     }
 }
 
+/// Paired Fig. 1c evaluation: resolves `policy` against the *baseline*
+/// record (the paper's calibration recommendation — "the SLA threshold
+/// should ideally be determined based on a baseline system's query latency
+/// statistics") and evaluates **both** records against that one threshold,
+/// so the two reports are directly comparable. Each record is banded over
+/// its own execution span split into `intervals` equal windows.
+///
+/// Returns `(baseline_report, candidate_report)`.
+pub fn paired_sla_reports(
+    baseline: &RunRecord,
+    candidate: &RunRecord,
+    policy: &SlaPolicy,
+    intervals: f64,
+    adjustment_n: usize,
+) -> Result<(SlaReport, SlaReport)> {
+    if intervals < 1.0 {
+        return Err(BenchError::Metric(
+            "interval count must be at least 1".to_string(),
+        ));
+    }
+    let threshold = policy.resolve(Some(baseline))?;
+    let report = |record: &RunRecord| {
+        let interval = (record.exec_duration() / intervals).max(f64::MIN_POSITIVE);
+        SlaReport::from_record(record, threshold, interval, adjustment_n)
+    };
+    Ok((report(baseline)?, report(candidate)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +358,35 @@ mod tests {
         assert!(SlaPolicy::FromBaselineP99 { multiplier: 2.0 }
             .resolve(None)
             .is_err());
+    }
+
+    #[test]
+    fn paired_reports_share_the_baseline_calibrated_threshold() {
+        let baseline = spike_record();
+        let mut candidate = spike_record();
+        candidate.sut_name = "cand".to_string();
+        // Calibrated from the baseline: p99 = 0.5 → threshold 1.0 applies
+        // to both sides, whatever the candidate's own latencies are.
+        let (b, c) = paired_sla_reports(
+            &baseline,
+            &candidate,
+            &SlaPolicy::FromBaselineP99 { multiplier: 2.0 },
+            10.0,
+            50,
+        )
+        .unwrap();
+        assert_eq!(b.threshold, c.threshold);
+        assert!((b.threshold - 1.0).abs() < 1e-9, "got {}", b.threshold);
+        assert_eq!(b.sut_name, "spike");
+        assert_eq!(c.sut_name, "cand");
+        assert!(paired_sla_reports(
+            &baseline,
+            &candidate,
+            &SlaPolicy::Fixed { threshold: 0.1 },
+            0.5,
+            50
+        )
+        .is_err());
     }
 
     #[test]

@@ -105,6 +105,94 @@ impl SpecializationReport {
     }
 }
 
+/// Deltas between two box plots, stat by stat (candidate − baseline) —
+/// the Fig. 1a paired view: distribution shape differences, not means.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxStatDelta {
+    /// Median delta.
+    pub median: f64,
+    /// First-quartile delta.
+    pub q1: f64,
+    /// Third-quartile delta.
+    pub q3: f64,
+    /// Lower-whisker delta.
+    pub whisker_lo: f64,
+    /// Upper-whisker delta.
+    pub whisker_hi: f64,
+}
+
+impl BoxStatDelta {
+    /// Candidate minus baseline, stat by stat.
+    pub fn between(baseline: &BoxPlot, candidate: &BoxPlot) -> Self {
+        BoxStatDelta {
+            median: candidate.five.median - baseline.five.median,
+            q1: candidate.five.q1 - baseline.five.q1,
+            q3: candidate.five.q3 - baseline.five.q3,
+            whisker_lo: candidate.whisker_lo - baseline.whisker_lo,
+            whisker_hi: candidate.whisker_hi - baseline.whisker_hi,
+        }
+    }
+
+    /// True when every stat delta is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.median == 0.0
+            && self.q1 == 0.0
+            && self.q3 == 0.0
+            && self.whisker_lo == 0.0
+            && self.whisker_hi == 0.0
+    }
+}
+
+/// One phase's head-to-head throughput comparison: both systems' windowed-
+/// throughput box plots plus their stat-wise delta.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseBoxDelta {
+    /// Phase name (matched by name across the two records).
+    pub phase: String,
+    /// Baseline throughput box plot (ops/sec).
+    pub baseline: BoxPlot,
+    /// Candidate throughput box plot (ops/sec).
+    pub candidate: BoxPlot,
+    /// Candidate − baseline, stat by stat.
+    pub delta: BoxStatDelta,
+}
+
+/// The paired Fig. 1a metric: per-phase windowed-throughput box-plot
+/// deltas between two records. Phases are matched by *name* in the
+/// baseline's order; phases missing from the candidate, or with too few
+/// completions on either side to fill one window, are skipped.
+pub fn paired_phase_deltas(
+    baseline: &RunRecord,
+    candidate: &RunRecord,
+    ops_per_window: usize,
+) -> Result<Vec<PhaseBoxDelta>> {
+    if ops_per_window < 2 {
+        return Err(BenchError::Metric(
+            "ops_per_window must be at least 2".to_string(),
+        ));
+    }
+    let mut out = Vec::new();
+    for (bi, name) in baseline.phase_names.iter().enumerate() {
+        let Some(ci) = candidate.phase_names.iter().position(|n| n == name) else {
+            continue;
+        };
+        let b_samples = baseline.phase_throughput_samples(bi, ops_per_window);
+        let c_samples = candidate.phase_throughput_samples(ci, ops_per_window);
+        if b_samples.is_empty() || c_samples.is_empty() {
+            continue;
+        }
+        let b = BoxPlot::of(&b_samples).map_err(|e| BenchError::Metric(e.to_string()))?;
+        let c = BoxPlot::of(&c_samples).map_err(|e| BenchError::Metric(e.to_string()))?;
+        out.push(PhaseBoxDelta {
+            phase: name.clone(),
+            delta: BoxStatDelta::between(&b, &c),
+            baseline: b,
+            candidate: c,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +258,24 @@ mod tests {
         let report = SpecializationReport::from_record(&r, &[0.0, 0.5], 10, &[]).unwrap();
         let ratio = report.worst_to_best_ratio().unwrap();
         assert!((ratio - 0.5).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn paired_deltas_match_phases_by_name() {
+        let slow = record_with_speeds(&[100.0, 50.0]);
+        let fast = record_with_speeds(&[200.0, 150.0]);
+        let deltas = paired_phase_deltas(&slow, &fast, 10).unwrap();
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].phase, "p0");
+        // The candidate is faster in both phases: positive median deltas.
+        assert!(deltas.iter().all(|d| d.delta.median > 0.0));
+        // Identity comparison: every stat delta exactly zero.
+        let same = paired_phase_deltas(&slow, &slow, 10).unwrap();
+        assert!(same.iter().all(|d| d.delta.is_zero()));
+        // Phases absent on one side are skipped, not errors.
+        let three = record_with_speeds(&[100.0, 50.0, 25.0]);
+        assert_eq!(paired_phase_deltas(&three, &slow, 10).unwrap().len(), 2);
+        assert!(paired_phase_deltas(&slow, &fast, 1).is_err());
     }
 
     #[test]

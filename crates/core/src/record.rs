@@ -56,7 +56,6 @@ pub struct RunRecord {
     /// Virtual time when execution finished.
     pub exec_end: f64,
     /// SUT metric counters at the end of the run.
-    #[serde(skip)]
     pub final_metrics: SutMetrics,
     /// Work-to-time conversion rate used (work units per second).
     pub work_units_per_second: f64,
@@ -220,6 +219,29 @@ mod tests {
         let c = r.cumulative_curve();
         assert_eq!(c.total(), 60);
         assert_eq!(c.completed_by(10.0), 10);
+    }
+
+    /// A saved record must round-trip *completely*: `final_metrics` used
+    /// to be `#[serde(skip)]`, which silently zeroed the cost counters of
+    /// any archived run. Equality here pins the lossless contract the
+    /// results store depends on.
+    #[test]
+    fn serde_round_trips_the_complete_record() {
+        let mut r = synthetic();
+        r.final_metrics = SutMetrics {
+            size_bytes: 4096,
+            training_work: 1234,
+            execution_work: 98765,
+            model_count: 3,
+            adaptations: 7,
+            label_collection_work: 111,
+        };
+        r.faults.injected = 5;
+        r.faults.retries = 2;
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.final_metrics, r.final_metrics);
     }
 
     #[test]

@@ -216,7 +216,7 @@ pub fn series_csv(header: (&str, &str), points: &[(f64, f64)]) -> String {
 
 /// Locates the workspace root: the topmost ancestor of the running
 /// package's manifest dir (or the cwd) that contains a `Cargo.toml`.
-fn workspace_root() -> std::path::PathBuf {
+pub(crate) fn workspace_root() -> std::path::PathBuf {
     let start = std::env::var_os("CARGO_MANIFEST_DIR")
         .map(std::path::PathBuf::from)
         .or_else(|| std::env::current_dir().ok())
@@ -232,16 +232,27 @@ fn workspace_root() -> std::path::PathBuf {
     root
 }
 
-/// Writes an artifact under `<workspace>/target/lsbench-results/`, creating
-/// the directory if needed. Returns the path written.
-pub fn write_artifact(name: &str, contents: &str) -> Result<std::path::PathBuf> {
-    let dir = workspace_root().join("target").join("lsbench-results");
-    std::fs::create_dir_all(&dir)
+/// Writes `contents` to `dir/name`, creating `dir` if needed — the single
+/// write path shared by [`write_artifact`] and the results store
+/// ([`crate::results`]), so every artifact lands the same way.
+pub(crate) fn write_artifact_to(
+    dir: &std::path::Path,
+    name: &str,
+    contents: &str,
+) -> Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)
         .map_err(|e| BenchError::Serialization(format!("mkdir failed: {e}")))?;
     let path = dir.join(name);
     std::fs::write(&path, contents)
         .map_err(|e| BenchError::Serialization(format!("write failed: {e}")))?;
     Ok(path)
+}
+
+/// Writes an artifact under `<workspace>/target/lsbench-results/`, creating
+/// the directory if needed. Returns the path written.
+pub fn write_artifact(name: &str, contents: &str) -> Result<std::path::PathBuf> {
+    let dir = workspace_root().join("target").join("lsbench-results");
+    write_artifact_to(&dir, name, contents)
 }
 
 #[cfg(test)]

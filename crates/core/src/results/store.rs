@@ -1,0 +1,613 @@
+//! The content-addressed, schema-versioned results store.
+//!
+//! A saved run is a [`RunArtifact`]: a schema version, a reproduction
+//! [`RunManifest`], the manifest's stable digest, and the complete
+//! [`RunRecord`]. Artifacts are JSON files under a store directory
+//! (default `<workspace>/.lsbench/results/`) whose names embed the
+//! manifest digest, so the same run configuration always lands in the
+//! same file and two stores can be merged by copying files.
+//!
+//! Loading is strict by design: an artifact without a `schema_version`, or
+//! with the wrong one, is refused with [`StoreError::Schema`]; an artifact
+//! whose stored digest does not match its manifest is refused with
+//! [`StoreError::ManifestMismatch`]. There is no best-effort parsing — a
+//! benchmark result that cannot be trusted end-to-end is worse than no
+//! result.
+
+use super::SCHEMA_VERSION;
+use crate::record::RunRecord;
+use crate::report::{workspace_root, write_artifact_to};
+use crate::scenario::Scenario;
+use crate::spec::render_scenario;
+use crate::suite::SuiteResult;
+use crate::BenchError;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Errors from the results store. Schema and digest drift get their own
+/// variants so callers (and CI) can tell "this artifact is from another
+/// era" apart from plain I/O trouble.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Filesystem operation failed.
+    Io(String),
+    /// The file is not valid artifact JSON.
+    Parse(String),
+    /// The artifact is unversioned or carries a different schema version.
+    Schema {
+        /// Version found in the file (`None` = no `schema_version` field).
+        found: Option<u32>,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The stored digest does not match the digest recomputed from the
+    /// stored manifest: the artifact was edited or corrupted after save.
+    ManifestMismatch {
+        /// Digest recorded in the artifact.
+        stored: String,
+        /// Digest recomputed from the manifest as loaded.
+        computed: String,
+    },
+    /// No stored artifact matches the query.
+    NotFound(String),
+    /// More than one stored artifact matches the query.
+    Ambiguous {
+        /// The query that matched more than once.
+        query: String,
+        /// File names of all matches.
+        matches: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "store I/O error: {m}"),
+            StoreError::Parse(m) => write!(f, "artifact parse error: {m}"),
+            StoreError::Schema { found, expected } => match found {
+                Some(v) => write!(
+                    f,
+                    "artifact schema version {v} (this build reads {expected}); refusing to parse"
+                ),
+                None => write!(
+                    f,
+                    "artifact has no schema_version field (this build reads {expected}); \
+                     refusing unversioned artifacts"
+                ),
+            },
+            StoreError::ManifestMismatch { stored, computed } => write!(
+                f,
+                "manifest digest mismatch: artifact says {stored} but its manifest hashes to \
+                 {computed}; the artifact was modified after it was saved"
+            ),
+            StoreError::NotFound(q) => write!(f, "no stored artifact matches '{q}'"),
+            StoreError::Ambiguous { query, matches } => write!(
+                f,
+                "'{query}' matches {} artifacts: {}",
+                matches.len(),
+                matches.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<StoreError> for BenchError {
+    fn from(e: StoreError) -> Self {
+        BenchError::Store(e.to_string())
+    }
+}
+
+/// Everything needed to reproduce the run an artifact records: the SUT and
+/// scenario names, the *rendered canonical spec text* of the scenario
+/// (dataset seed, phases, transitions, arrival process, SLA policy, and
+/// any attached fault plan all included — `parse ∘ render = id`), the
+/// worker count, and the crate version that produced the record.
+///
+/// The manifest is what gets content-addressed: [`RunManifest::digest`] is
+/// a stable hash over its canonical JSON encoding, and the artifact file
+/// name embeds it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// SUT name as resolved by the registry.
+    pub sut: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Canonical spec text of the scenario ([`render_scenario`]), seeds
+    /// and fault plan included.
+    pub spec: String,
+    /// Worker count the run used (1 = serial driver).
+    pub concurrency: usize,
+    /// `lsbench-core` version that wrote the artifact.
+    pub crate_version: String,
+}
+
+impl RunManifest {
+    /// Builds the manifest for a run of `scenario` (faults attached and
+    /// all) by `sut` at `concurrency` workers, stamped with this crate's
+    /// version.
+    pub fn for_run(scenario: &Scenario, sut: &str, concurrency: usize) -> Self {
+        RunManifest {
+            sut: sut.to_string(),
+            scenario: scenario.name.clone(),
+            spec: render_scenario(scenario),
+            concurrency,
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+
+    /// Stable content digest: FNV-1a (64-bit) over the manifest's compact
+    /// canonical JSON, in fixed-width hex. Field order is the struct
+    /// declaration order and the JSON writer is deterministic, so equal
+    /// manifests always hash equal — across runs, platforms, and worker
+    /// counts.
+    pub fn digest(&self) -> String {
+        let canonical = serde_json::to_string(self).expect("manifest serialization is total");
+        format!("{:016x}", fnv1a64(canonical.as_bytes()))
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable — exactly what a
+/// content-addressed file name needs (collision resistance against
+/// *accidents*, not adversaries).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A saved run: schema version, manifest digest, manifest, and the
+/// complete run record. This is the unit the store saves and loads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunArtifact {
+    /// Schema version ([`SCHEMA_VERSION`]) — checked before anything else
+    /// on load.
+    pub schema_version: u32,
+    /// [`RunManifest::digest`] at save time — revalidated on load.
+    pub digest: String,
+    /// The reproduction manifest.
+    pub manifest: RunManifest,
+    /// The complete run record (lossless: `final_metrics` included).
+    pub record: RunRecord,
+}
+
+impl RunArtifact {
+    /// Packages a manifest and record into a versioned, digested artifact.
+    pub fn new(manifest: RunManifest, record: RunRecord) -> Self {
+        RunArtifact {
+            schema_version: SCHEMA_VERSION,
+            digest: manifest.digest(),
+            manifest,
+            record,
+        }
+    }
+
+    /// The file name this artifact stores under:
+    /// `<scenario>-<sut>-t<workers>-<digest>.json` (slugged), so listings
+    /// read well while the digest keeps the name content-addressed.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}-t{}-{}.json",
+            slug(&self.manifest.scenario),
+            slug(&self.manifest.sut),
+            self.manifest.concurrency,
+            self.digest
+        )
+    }
+
+    /// Pretty JSON encoding (trailing newline included).
+    pub fn to_json(&self) -> Result<String, StoreError> {
+        serde_json::to_string_pretty(self)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| StoreError::Parse(e.to_string()))
+    }
+
+    /// Strict decode: checks `schema_version` *before* interpreting the
+    /// rest, then revalidates the stored digest against the manifest.
+    pub fn from_json(text: &str) -> Result<Self, StoreError> {
+        check_schema_version(text)?;
+        let artifact: RunArtifact =
+            serde_json::from_str(text).map_err(|e| StoreError::Parse(e.to_string()))?;
+        let computed = artifact.manifest.digest();
+        if computed != artifact.digest {
+            return Err(StoreError::ManifestMismatch {
+                stored: artifact.digest,
+                computed,
+            });
+        }
+        Ok(artifact)
+    }
+}
+
+/// The versioned envelope for `lsbench suite` JSON output: the same
+/// `schema_version` discipline as [`RunArtifact`], wrapped around the
+/// cross-SUT [`SuiteResult`] list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteArtifact {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// One result per SUT, in run order.
+    pub results: Vec<SuiteResult>,
+}
+
+impl SuiteArtifact {
+    /// Wraps suite results in the versioned envelope.
+    pub fn new(results: Vec<SuiteResult>) -> Self {
+        SuiteArtifact {
+            schema_version: SCHEMA_VERSION,
+            results,
+        }
+    }
+
+    /// Strict decode: refuses unversioned or version-drifted suite JSON.
+    pub fn from_json(text: &str) -> Result<Self, StoreError> {
+        check_schema_version(text)?;
+        serde_json::from_str(text).map_err(|e| StoreError::Parse(e.to_string()))
+    }
+}
+
+/// Reads the `schema_version` field of a JSON object without interpreting
+/// anything else, so version drift is reported as such rather than as a
+/// confusing field-level parse error.
+fn check_schema_version(text: &str) -> Result<(), StoreError> {
+    let value: serde::Value =
+        serde_json::from_str(text).map_err(|e| StoreError::Parse(e.to_string()))?;
+    let entries = value
+        .as_object()
+        .ok_or_else(|| StoreError::Parse("artifact is not a JSON object".to_string()))?;
+    let found = match serde::Value::get(entries, "schema_version") {
+        serde::Value::UInt(v) if *v <= u32::MAX as u64 => Some(*v as u32),
+        serde::Value::Null => None,
+        other => {
+            return Err(StoreError::Parse(format!(
+                "schema_version must be an integer, got {other:?}"
+            )))
+        }
+    };
+    match found {
+        Some(v) if v == SCHEMA_VERSION => Ok(()),
+        other => Err(StoreError::Schema {
+            found: other,
+            expected: SCHEMA_VERSION,
+        }),
+    }
+}
+
+/// Lowercases and maps every non-alphanumeric run to a single `-` so SUT
+/// and scenario names are safe in file names.
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut dash = true; // suppress a leading dash
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            dash = false;
+        } else if !dash {
+            out.push('-');
+            dash = true;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    if out.is_empty() {
+        out.push('x');
+    }
+    out
+}
+
+/// One row of [`ResultStore::list`]: enough to identify an artifact
+/// without holding its full record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreEntry {
+    /// Full path of the artifact file.
+    pub path: PathBuf,
+    /// File name (the stable identity within a store).
+    pub file: String,
+    /// Manifest digest.
+    pub digest: String,
+    /// SUT name from the manifest.
+    pub sut: String,
+    /// Scenario name from the manifest.
+    pub scenario: String,
+    /// Worker count from the manifest.
+    pub concurrency: usize,
+    /// Completed operations in the stored record.
+    pub completed: usize,
+}
+
+/// A directory of [`RunArtifact`] files with save/load/list/find.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        Ok(ResultStore { dir })
+    }
+
+    /// The default store location: `<workspace>/.lsbench/results/`.
+    pub fn default_dir() -> PathBuf {
+        workspace_root().join(".lsbench").join("results")
+    }
+
+    /// Opens the default store ([`ResultStore::default_dir`]).
+    pub fn open_default() -> Result<Self, StoreError> {
+        Self::open(Self::default_dir())
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Saves an artifact under its content-addressed file name, routed
+    /// through the same write path as every other lsbench artifact.
+    /// Saving the same manifest again overwrites the same file.
+    pub fn save(&self, artifact: &RunArtifact) -> Result<PathBuf, StoreError> {
+        let json = artifact.to_json()?;
+        write_artifact_to(&self.dir, &artifact.file_name(), &json)
+            .map_err(|e| StoreError::Io(e.to_string()))
+    }
+
+    /// Loads and strictly validates the artifact at `path` (any path, not
+    /// necessarily inside a store).
+    pub fn load_path(path: &Path) -> Result<RunArtifact, StoreError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| StoreError::Io(format!("cannot read {}: {e}", path.display())))?;
+        RunArtifact::from_json(&text).map_err(|e| annotate_with_path(e, path))
+    }
+
+    /// Loads an artifact by identifier: an existing file path, a digest
+    /// (or unique digest prefix), or a unique substring of the entry's
+    /// `sut`/`scenario`/file name.
+    pub fn load(&self, id: &str) -> Result<RunArtifact, StoreError> {
+        let as_path = Path::new(id);
+        if as_path.is_file() {
+            return Self::load_path(as_path);
+        }
+        let entry = self.find(id)?;
+        Self::load_path(&entry.path)
+    }
+
+    /// Lists every artifact in the store, sorted by file name. Strict like
+    /// everything else here: one invalid artifact fails the listing with
+    /// an error naming the file, because a store with unreadable entries
+    /// should be repaired, not skimmed.
+    pub fn list(&self) -> Result<Vec<StoreEntry>, StoreError> {
+        let read = std::fs::read_dir(&self.dir)
+            .map_err(|e| StoreError::Io(format!("cannot read {}: {e}", self.dir.display())))?;
+        let mut paths: Vec<PathBuf> = read
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        let mut out = Vec::with_capacity(paths.len());
+        for path in paths {
+            let artifact = Self::load_path(&path)?;
+            out.push(StoreEntry {
+                file: path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default(),
+                digest: artifact.digest,
+                sut: artifact.manifest.sut,
+                scenario: artifact.manifest.scenario,
+                concurrency: artifact.manifest.concurrency,
+                completed: artifact.record.ops.len(),
+                path,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Finds the unique entry matching `query`: first by digest prefix,
+    /// then by substring over `sut`, `scenario`, and file name. Zero
+    /// matches is [`StoreError::NotFound`]; several are
+    /// [`StoreError::Ambiguous`] with the candidates listed.
+    pub fn find(&self, query: &str) -> Result<StoreEntry, StoreError> {
+        let entries = self.list()?;
+        let by_digest: Vec<&StoreEntry> = entries
+            .iter()
+            .filter(|e| !query.is_empty() && e.digest.starts_with(query))
+            .collect();
+        let matches: Vec<&StoreEntry> = if by_digest.is_empty() {
+            entries
+                .iter()
+                .filter(|e| {
+                    e.sut.contains(query) || e.scenario.contains(query) || e.file.contains(query)
+                })
+                .collect()
+        } else {
+            by_digest
+        };
+        match matches.as_slice() {
+            [] => Err(StoreError::NotFound(query.to_string())),
+            [one] => Ok((*one).clone()),
+            many => Err(StoreError::Ambiguous {
+                query: query.to_string(),
+                matches: many.iter().map(|e| e.file.clone()).collect(),
+            }),
+        }
+    }
+}
+
+/// Prefixes schema/digest/parse errors with the offending file path.
+fn annotate_with_path(e: StoreError, path: &Path) -> StoreError {
+    match e {
+        StoreError::Parse(m) => StoreError::Parse(format!("{}: {m}", path.display())),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultStats;
+    use crate::record::{OpRecord, TrainInfo};
+    use lsbench_sut::sut::SutMetrics;
+
+    fn tiny_record(sut: &str) -> RunRecord {
+        RunRecord {
+            sut_name: sut.to_string(),
+            scenario_name: "store-test".to_string(),
+            phase_names: vec!["p0".to_string()],
+            ops: vec![OpRecord {
+                t_end: 0.5,
+                latency: 0.5,
+                phase: 0,
+                ok: true,
+                in_transition: false,
+            }],
+            phase_change_times: vec![(0, 0.0)],
+            train: TrainInfo::default(),
+            exec_start: 0.0,
+            exec_end: 0.5,
+            final_metrics: SutMetrics::default(),
+            work_units_per_second: 1.0,
+            faults: FaultStats::default(),
+        }
+    }
+
+    fn manifest(sut: &str) -> RunManifest {
+        RunManifest {
+            sut: sut.to_string(),
+            scenario: "store-test".to_string(),
+            spec: "name = \"store-test\"\n".to_string(),
+            concurrency: 1,
+            crate_version: "0.0.0-test".to_string(),
+        }
+    }
+
+    fn temp_store(tag: &str) -> (ResultStore, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("lsbench-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (ResultStore::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let m = manifest("a");
+        assert_eq!(m.digest(), m.clone().digest());
+        assert_eq!(m.digest().len(), 16);
+        let mut other = manifest("a");
+        other.concurrency = 4;
+        assert_ne!(m.digest(), other.digest());
+    }
+
+    #[test]
+    fn save_load_round_trips_and_is_idempotent() {
+        let (store, dir) = temp_store("roundtrip");
+        let artifact = RunArtifact::new(manifest("btree"), tiny_record("btree"));
+        let p1 = store.save(&artifact).unwrap();
+        let p2 = store.save(&artifact).unwrap();
+        assert_eq!(p1, p2, "same manifest → same file");
+        let back = store.load(&artifact.digest).unwrap();
+        assert_eq!(back, artifact);
+        // Also loadable by digest prefix, substring, and path.
+        assert_eq!(store.load(&artifact.digest[..6]).unwrap(), artifact);
+        assert_eq!(store.load("btree").unwrap(), artifact);
+        assert_eq!(store.load(p1.to_str().unwrap()).unwrap(), artifact);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn list_and_find_disambiguate() {
+        let (store, dir) = temp_store("find");
+        let a = RunArtifact::new(manifest("btree"), tiny_record("btree"));
+        let b = RunArtifact::new(manifest("rmi"), tiny_record("rmi"));
+        store.save(&a).unwrap();
+        store.save(&b).unwrap();
+        let entries = store.list().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.scenario == "store-test"));
+        assert_eq!(store.find("rmi").unwrap().sut, "rmi");
+        assert!(matches!(
+            store.find("store-test"),
+            Err(StoreError::Ambiguous { .. })
+        ));
+        assert!(matches!(
+            store.find("nonexistent"),
+            Err(StoreError::NotFound(_))
+        ));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unversioned_artifacts_are_refused() {
+        let artifact = RunArtifact::new(manifest("x"), tiny_record("x"));
+        let json = artifact.to_json().unwrap();
+        let stripped = json.replacen("\"schema_version\": 1,\n", "", 1);
+        assert_ne!(json, stripped, "fixture must actually strip the field");
+        match RunArtifact::from_json(&stripped) {
+            Err(StoreError::Schema {
+                found: None,
+                expected,
+            }) => {
+                assert_eq!(expected, SCHEMA_VERSION)
+            }
+            other => panic!("expected unversioned refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_drift_is_refused() {
+        let artifact = RunArtifact::new(manifest("x"), tiny_record("x"));
+        let json = artifact.to_json().unwrap().replacen(
+            "\"schema_version\": 1",
+            "\"schema_version\": 999",
+            1,
+        );
+        assert!(matches!(
+            RunArtifact::from_json(&json),
+            Err(StoreError::Schema {
+                found: Some(999),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn manifest_tampering_is_refused() {
+        let artifact = RunArtifact::new(manifest("x"), tiny_record("x"));
+        let json =
+            artifact
+                .to_json()
+                .unwrap()
+                .replacen("\"sut\": \"x\"", "\"sut\": \"tampered\"", 1);
+        assert!(matches!(
+            RunArtifact::from_json(&json),
+            Err(StoreError::ManifestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn suite_envelope_round_trips_and_is_strict() {
+        let result = SuiteResult {
+            sut_name: "btree".to_string(),
+            summaries: vec![],
+        };
+        let envelope = SuiteArtifact::new(vec![result]);
+        let json = serde_json::to_string_pretty(&envelope).unwrap();
+        let back = SuiteArtifact::from_json(&json).unwrap();
+        assert_eq!(back, envelope);
+        assert!(matches!(
+            SuiteArtifact::from_json("{\"results\": []}"),
+            Err(StoreError::Schema { found: None, .. })
+        ));
+    }
+}

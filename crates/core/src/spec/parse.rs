@@ -27,7 +27,7 @@ use lsbench_workload::keygen::{KeyDistribution, CANONICAL_DISTRIBUTIONS};
 use lsbench_workload::ops::OperationMix;
 use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
 
-type SResult<T> = Result<T, SpecError>;
+pub(crate) type SResult<T> = Result<T, SpecError>;
 
 /// A zero-argument constructor for a preset [`OperationMix`].
 pub type MixPreset = fn() -> OperationMix;
@@ -67,10 +67,10 @@ impl Value {
     }
 }
 
-struct Section {
+pub(crate) struct Section {
     /// Header name without brackets; `""` for the implicit root section.
-    header: String,
-    line: usize,
+    pub(crate) header: String,
+    pub(crate) line: usize,
     entries: Vec<(String, Value, usize)>,
 }
 
@@ -176,7 +176,7 @@ const MULTI_SECTIONS: &[&str] = &[
     "fault",
 ];
 
-fn lex(text: &str) -> SResult<Vec<Section>> {
+pub(crate) fn lex(text: &str) -> SResult<Vec<Section>> {
     let mut sections = vec![Section {
         header: String::new(),
         line: 1,
@@ -276,14 +276,14 @@ fn lex(text: &str) -> SResult<Vec<Section>> {
 /// A section's fields with take-semantics: every access consumes the key,
 /// and [`Fields::finish`] turns anything left over into a positioned
 /// "unknown key" error — the schema is closed by construction.
-struct Fields {
+pub(crate) struct Fields {
     section: String,
     line: usize,
     entries: Vec<Option<(String, Value, usize)>>,
 }
 
 impl Fields {
-    fn new(section: Section) -> Self {
+    pub(crate) fn new(section: Section) -> Self {
         let display = if section.header.is_empty() {
             "top level".to_string()
         } else {
@@ -324,7 +324,7 @@ impl Fields {
         self.opt_u64(key)?.ok_or_else(|| self.missing(key))
     }
 
-    fn opt_u64(&mut self, key: &str) -> SResult<Option<u64>> {
+    pub(crate) fn opt_u64(&mut self, key: &str) -> SResult<Option<u64>> {
         match self.take(key) {
             None => Ok(None),
             Some((Value::Int(v), _)) => Ok(Some(v)),
@@ -340,7 +340,7 @@ impl Fields {
         self.opt_f64(key)?.ok_or_else(|| self.missing(key))
     }
 
-    fn opt_f64(&mut self, key: &str) -> SResult<Option<(f64, usize)>> {
+    pub(crate) fn opt_f64(&mut self, key: &str) -> SResult<Option<(f64, usize)>> {
         match self.take(key) {
             None => Ok(None),
             Some((Value::Float(v), line)) => Ok(Some((v, line))),
@@ -388,7 +388,7 @@ impl Fields {
     }
 
     /// Errors on the first unconsumed key — closes the schema.
-    fn finish(self) -> SResult<()> {
+    pub(crate) fn finish(self) -> SResult<()> {
         if let Some((key, _, line)) = self.entries.into_iter().flatten().next() {
             return Err(SpecError::new(
                 line,

@@ -369,6 +369,10 @@ pub struct SuiteObservation {
     pub traces: Vec<(String, TraceLog)>,
     /// `(scenario name, span tree)` per scenario, when spans were on.
     pub spans: Vec<(String, Vec<SpanNode>)>,
+    /// `(scenario name, complete run record)` per scenario — always
+    /// populated, so suite runs can be archived into the results store
+    /// (`lsbench suite --save`) without re-running anything.
+    pub records: Vec<(String, RunRecord)>,
 }
 
 /// Runs one SUT (built fresh per scenario by `factory`) through the
@@ -477,6 +481,9 @@ where
             generalization,
             outcome.metrics,
         )?);
+        observation
+            .records
+            .push((scenario.name.clone(), outcome.record));
     }
     Ok((
         SuiteResult {

@@ -10,6 +10,7 @@
 //! metrics. Whether the system is learned or traditional is invisible.
 
 use crate::Result;
+use serde::{Deserialize, Serialize};
 
 /// Outcome of executing one operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +34,11 @@ impl ExecOutcome {
 }
 
 /// Metrics every SUT exposes for the cost and specialization reports.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// Serializable so a saved run-record artifact round-trips the *complete*
+/// record — cost reports recomputed from a reloaded artifact must match
+/// the live run exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SutMetrics {
     /// Approximate memory footprint in bytes.
     pub size_bytes: usize,

@@ -5,6 +5,10 @@
 //! lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--faults P] [--trace]
 //! lsbench shift --sut NAME [--size N] [--ops N] [--threads N] [--trace]
 //! lsbench quality --dist NAME [--param X]
+//! lsbench archive run --scenario NAME|FILE --sut NAME [--threads N] [--store DIR]
+//! lsbench archive list|show [ID] [--store DIR]
+//! lsbench compare BASELINE CANDIDATE [--store DIR] [--json]
+//! lsbench regress --baseline ID --candidate ID --policy FILE [--store DIR]
 //! lsbench scenarios | validate FILE|DIR... | export NAME | list
 //! ```
 //!
@@ -15,11 +19,23 @@
 //! [`lsbench::core::faults`]). `--trace` turns on the observability
 //! layer: runs emit a deterministic virtual-clock event trace (written to
 //! `target/lsbench-results/trace.jsonl`) and print a wall-clock span tree.
+//!
+//! The `archive`/`compare`/`regress` family is the longitudinal layer
+//! ([`lsbench::core::results`]): `archive run` executes a scenario and
+//! saves the complete run record as a schema-versioned, content-addressed
+//! artifact under `.lsbench/results/`; `compare` computes the paper's
+//! paired metrics (Fig. 1a–1d) head-to-head between two saved runs; and
+//! `regress` gates a candidate against a baseline under a policy file,
+//! exiting non-zero on violation and emitting `BENCH_summary.json`.
 
 use lsbench::core::faults::{resolve_fault_plan, FaultPlan};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
 use lsbench::core::obs::{render_spans, ObsConfig};
 use lsbench::core::report::{render_adaptability, to_json, write_artifact};
+use lsbench::core::results::{
+    compare, evaluate_regression, parse_regression_policy, render_comparison_report,
+    render_regression, write_bench_summary, ResultStore, RunArtifact, RunManifest, SuiteArtifact,
+};
 use lsbench::core::runner::{RunOptions, Runner};
 use lsbench::core::scenario::Scenario;
 use lsbench::core::spec::{render_scenario, ScenarioRegistry};
@@ -38,14 +54,16 @@ fn usage() -> ExitCode {
 
 USAGE:
   lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]...
-                [--faults NAME|FILE] [--trace]
+                [--faults NAME|FILE] [--trace] [--save] [--store DIR]
       Run the standard 5-scenario suite (default: all SUTs) and print the
       cross-SUT comparison. Artifacts land in target/lsbench-results/.
       --threads N > 1 key-range-shards every scenario across N worker
       threads on the concurrent engine. --faults attaches a deterministic
       fault plan (chaos-errors, chaos-latency, chaos-timeouts, or a plan
       file) to every scenario. --trace records the virtual-clock event
-      trace (trace.jsonl) and prints per-scenario span trees.
+      trace (trace.jsonl) and prints per-scenario span trees. --save
+      archives every run record into the results store for later
+      `lsbench compare` / `lsbench regress`.
 
   lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--trace]
               [--size N] [--ops N] [--seed N] [--faults NAME|FILE]
@@ -64,6 +82,32 @@ USAGE:
   lsbench quality --dist NAME [--theta X]
       Score a key distribution with the §V-C quality tool.
       NAME: see `lsbench list`
+
+  lsbench archive run --scenario NAME|FILE --sut NAME [--threads N]
+                      [--size N] [--ops N] [--seed N] [--faults NAME|FILE]
+                      [--store DIR]
+      Run one scenario and save the complete run record as a
+      schema-versioned, content-addressed artifact (default store:
+      .lsbench/results/ at the workspace root).
+
+  lsbench archive list [--store DIR]
+      List stored artifacts (digest, SUT, scenario, workers, ops).
+
+  lsbench archive show ID [--store DIR]
+      Print one artifact's manifest and record summary. ID is a file
+      path, a digest (prefix), or a unique substring of the file name.
+
+  lsbench compare BASELINE CANDIDATE [--store DIR] [--json]
+      Head-to-head comparison of two saved runs: Fig. 1b adaptability
+      area difference, per-phase Fig. 1a box-stat deltas, Fig. 1c SLA
+      deltas (threshold calibrated from BASELINE), fault accounting, and
+      Fig. 1d cost-per-query ratio. --json emits the serialized report.
+
+  lsbench regress --baseline ID --candidate ID --policy FILE
+                  [--store DIR] [--json]
+      Gate the candidate against the baseline under a regression policy
+      (spec-style file; see policies/default.policy). Writes
+      BENCH_summary.json and exits non-zero on any policy violation.
 
   lsbench scenarios
       List built-in scenarios (resolvable by name in `lsbench run`).
@@ -175,6 +219,14 @@ fn cmd_suite(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let store = if has_flag(args, "--save") {
+        match open_store(args) {
+            Ok(s) => Some(s),
+            Err(code) => return code,
+        }
+    } else {
+        None
+    };
     let mut results: Vec<SuiteResult> = Vec::new();
     let mut trace_lines = String::new();
     for name in &chosen {
@@ -199,6 +251,23 @@ fn cmd_suite(args: &[String]) -> ExitCode {
                     println!("[spans] {name} / {scenario}");
                     print!("{}", render_spans(spans));
                 }
+                if let Some(store) = &store {
+                    for (scenario_name, record) in &observation.records {
+                        let Some(scenario) = scenarios.iter().find(|s| &s.name == scenario_name)
+                        else {
+                            continue;
+                        };
+                        let manifest = RunManifest::for_run(scenario, name, cfg.threads);
+                        let artifact = RunArtifact::new(manifest, record.clone());
+                        match store.save(&artifact) {
+                            Ok(path) => eprintln!("[archived {}]", path.display()),
+                            Err(e) => {
+                                eprintln!("archive failed: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                }
                 results.push(result);
             }
             Err(e) => {
@@ -208,7 +277,7 @@ fn cmd_suite(args: &[String]) -> ExitCode {
         }
     }
     println!("{}", render_comparison(&results));
-    if let Ok(json) = to_json(&results) {
+    if let Ok(json) = to_json(&SuiteArtifact::new(results.clone())) {
         if let Ok(path) = write_artifact("cli_suite.json", &json) {
             eprintln!("[saved {}]", path.display());
         }
@@ -398,6 +467,318 @@ fn cmd_run(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Opens the results store named by `--store DIR`, or the default
+/// workspace store when the flag is absent.
+fn open_store(args: &[String]) -> Result<ResultStore, ExitCode> {
+    let opened = match parse_flag(args, "--store") {
+        Some(dir) => ResultStore::open(dir),
+        None => ResultStore::open_default(),
+    };
+    opened.map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Positional (non-flag) arguments, skipping the values of value-taking
+/// flags so `compare A B --store DIR` sees exactly `[A, B]`.
+fn positional_args(args: &[String]) -> Vec<String> {
+    const VALUE_FLAGS: &[&str] = &[
+        "--store",
+        "--policy",
+        "--baseline",
+        "--candidate",
+        "--scenario",
+        "--sut",
+        "--threads",
+        "--size",
+        "--ops",
+        "--seed",
+        "--faults",
+    ];
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if VALUE_FLAGS.contains(&args[i].as_str()) {
+            i += 2;
+        } else if args[i].starts_with("--") {
+            i += 1;
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn cmd_archive(args: &[String]) -> ExitCode {
+    match args.first().map(|s| s.as_str()) {
+        Some("run") => cmd_archive_run(&args[1..]),
+        Some("list") => cmd_archive_list(&args[1..]),
+        Some("show") => cmd_archive_show(&args[1..]),
+        _ => {
+            eprintln!("usage: lsbench archive run|list|show ... (see `lsbench` for details)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `lsbench archive run`: exactly `lsbench run`, plus saving the record
+/// (with its reproduction manifest) into the results store.
+fn cmd_archive_run(args: &[String]) -> ExitCode {
+    let Some(scenario_arg) = parse_flag(args, "--scenario") else {
+        eprintln!("--scenario NAME|FILE is required (see `lsbench scenarios`)");
+        return ExitCode::from(2);
+    };
+    let Some(sut_name) = parse_flag(args, "--sut") else {
+        eprintln!("--sut NAME is required (see `lsbench list`)");
+        return ExitCode::from(2);
+    };
+    let store = match open_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut scenario = match scenario_registry(args).resolve(&scenario_arg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match fault_plan_arg(args) {
+        Ok(Some(plan)) => {
+            if let Err(code) = attach_faults(&mut scenario, &plan) {
+                return code;
+            }
+        }
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    let registry = SutRegistry::default();
+    let factory = match registry.factory(&sut_name) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let threads: usize = parse_num(args, "--threads", 1);
+    let opts = RunOptions {
+        concurrency: threads,
+        obs: obs_config(args),
+        ..RunOptions::default()
+    };
+    eprintln!(
+        "running {} on {sut_name} ({} phases, {} ops) ...",
+        scenario.name,
+        scenario.workload.phases().len(),
+        scenario.workload.total_ops()
+    );
+    let outcome = match Runner::from_factory(factory).config(opts).run(&scenario) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
+    let manifest = RunManifest::for_run(&scenario, &sut_name, threads);
+    let artifact = RunArtifact::new(manifest, outcome.record);
+    match store.save(&artifact) {
+        Ok(path) => {
+            println!("archived {} (digest {})", path.display(), artifact.digest);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("archive failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_archive_list(args: &[String]) -> ExitCode {
+    let store = match open_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match store.list() {
+        Ok(entries) => {
+            if entries.is_empty() {
+                println!("(no artifacts in {})", store.dir().display());
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "{:<16} {:<14} {:<22} {:>7} {:>9}",
+                "digest", "sut", "scenario", "workers", "ops"
+            );
+            for e in &entries {
+                println!(
+                    "{:<16} {:<14} {:<22} {:>7} {:>9}",
+                    e.digest, e.sut, e.scenario, e.concurrency, e.completed
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_archive_show(args: &[String]) -> ExitCode {
+    let Some(id) = positional_args(args).into_iter().next() else {
+        eprintln!("usage: lsbench archive show ID [--store DIR]");
+        return ExitCode::from(2);
+    };
+    let store = match open_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match store.load(&id) {
+        Ok(a) => {
+            let m = &a.manifest;
+            println!("digest:        {}", a.digest);
+            println!("schema:        v{}", a.schema_version);
+            println!("sut:           {}", m.sut);
+            println!("scenario:      {}", m.scenario);
+            println!("workers:       {}", m.concurrency);
+            println!("crate version: {}", m.crate_version);
+            let r = &a.record;
+            println!(
+                "record:        {} completed, {} failures, {:.0} ops/s mean, train {:.3}s",
+                r.completed(),
+                r.failures(),
+                r.mean_throughput(),
+                r.train.seconds
+            );
+            println!("--- rendered spec ---");
+            print!("{}", m.spec);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let ids = positional_args(args);
+    let [baseline_id, candidate_id] = ids.as_slice() else {
+        eprintln!("usage: lsbench compare BASELINE CANDIDATE [--store DIR] [--json]");
+        return ExitCode::from(2);
+    };
+    let store = match open_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let load = |id: &str| {
+        store.load(id).map_err(|e| {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        })
+    };
+    let (baseline, candidate) = match (load(baseline_id), load(candidate_id)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    match compare(&baseline.record, &candidate.record) {
+        Ok(report) => {
+            if has_flag(args, "--json") {
+                match to_json(&report) {
+                    Ok(json) => println!("{json}"),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                print!("{}", render_comparison_report(&report));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("comparison failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_regress(args: &[String]) -> ExitCode {
+    let Some(baseline_id) = parse_flag(args, "--baseline") else {
+        eprintln!("--baseline ID is required");
+        return ExitCode::from(2);
+    };
+    let Some(candidate_id) = parse_flag(args, "--candidate") else {
+        eprintln!("--candidate ID is required");
+        return ExitCode::from(2);
+    };
+    let Some(policy_file) = parse_flag(args, "--policy") else {
+        eprintln!("--policy FILE is required (see policies/default.policy)");
+        return ExitCode::from(2);
+    };
+    let policy_text = match std::fs::read_to_string(&policy_file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {policy_file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let policy = match parse_regression_policy(&policy_text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{policy_file}:{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let store = match open_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let load = |id: &str| {
+        store.load(id).map_err(|e| {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        })
+    };
+    let (baseline, candidate) = match (load(&baseline_id), load(&candidate_id)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let comparison = match compare(&baseline.record, &candidate.record) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("comparison failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let verdict = evaluate_regression(&comparison, &policy);
+    if has_flag(args, "--json") {
+        match to_json(&verdict) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", render_regression(&verdict));
+    }
+    match write_bench_summary(&verdict) {
+        Ok(path) => eprintln!("[saved {}]", path.display()),
+        Err(e) => {
+            eprintln!("summary write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if verdict.passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_scenarios() -> ExitCode {
     let registry = ScenarioRegistry::default();
     println!("built-in scenarios (run with `lsbench run --scenario NAME`):");
@@ -536,6 +917,9 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("shift") => cmd_shift(&args[1..]),
         Some("quality") => cmd_quality(&args[1..]),
+        Some("archive") => cmd_archive(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("regress") => cmd_regress(&args[1..]),
         Some("scenarios") => cmd_scenarios(),
         Some("validate") => cmd_validate(&args[1..]),
         Some("export") => cmd_export(&args[1..]),

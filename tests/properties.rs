@@ -5,6 +5,7 @@ use lsbench::core::driver::{run_kv_scenario, DriverConfig};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
 use lsbench::core::metrics::phi::{data_phi, kv_workload_phi, DataPhiMethod};
 use lsbench::core::metrics::sla::SlaReport;
+use lsbench::core::results::compare as results_compare;
 use lsbench::core::scenario::Scenario;
 use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
 use lsbench::workload::keygen::KeyDistribution;
@@ -159,6 +160,87 @@ proptest! {
             ab,
             ba
         );
+    }
+
+    /// The head-to-head comparison at identity: comparing any record with
+    /// itself yields *exactly* zero everywhere — the area difference is
+    /// the literal f64 0.0, every scalar and box-stat delta is zero, every
+    /// fault delta is zero, and the cost ratio is exactly 1.
+    #[test]
+    fn compare_with_self_is_all_zero(
+        first in arb_distribution(),
+        ops in 300u64..1000,
+        seed in 0u64..500,
+    ) {
+        let s = Scenario::two_phase_shift(
+            "prop-cmp-id",
+            first,
+            KeyDistribution::Zipf { theta: 1.2 },
+            2_000,
+            ops,
+            seed,
+        )
+        .unwrap();
+        let data = s.dataset.build().unwrap();
+        let mut sut = RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.1)).unwrap();
+        let r = run_kv_scenario(&mut sut, &s, DriverConfig::default()).unwrap();
+        let cmp = results_compare(&r, &r).unwrap();
+        prop_assert_eq!(cmp.area_difference, 0.0);
+        prop_assert_eq!(cmp.throughput.delta, 0.0);
+        prop_assert_eq!(cmp.p50_latency.delta, 0.0);
+        prop_assert_eq!(cmp.p99_latency.delta, 0.0);
+        prop_assert_eq!(cmp.sla.violation_fraction.delta, 0.0);
+        prop_assert_eq!(cmp.sla.worst_adjustment.delta, 0.0);
+        prop_assert!(cmp.phases.iter().all(|p| p.delta.is_zero()));
+        prop_assert!(cmp.faults.is_zero());
+        if let Some(ratio) = cmp.cost.ratio {
+            prop_assert_eq!(ratio, 1.0);
+        }
+    }
+
+    /// Swapping the comparison operands negates every *signed* delta
+    /// exactly (bitwise, not within epsilon). The SLA section and the
+    /// cost ratio are the documented exceptions: the SLA threshold is
+    /// calibrated from whichever record is the baseline, and cost is a
+    /// ratio, so neither is antisymmetric by construction.
+    #[test]
+    fn compare_signed_deltas_negate_under_swap(
+        first in arb_distribution(),
+        ops in 300u64..1000,
+        seed in 0u64..500,
+    ) {
+        let s = Scenario::two_phase_shift(
+            "prop-cmp-anti",
+            first,
+            KeyDistribution::Zipf { theta: 1.2 },
+            2_000,
+            ops,
+            seed,
+        )
+        .unwrap();
+        let data = s.dataset.build().unwrap();
+        let mut btree = BTreeSut::build(&data).unwrap();
+        let mut rmi = RmiSut::build("rmi", &data, RetrainPolicy::DeltaFraction(0.1)).unwrap();
+        let ra = run_kv_scenario(&mut btree, &s, DriverConfig::default()).unwrap();
+        let rb = run_kv_scenario(&mut rmi, &s, DriverConfig::default()).unwrap();
+        let ab = results_compare(&ra, &rb).unwrap();
+        let ba = results_compare(&rb, &ra).unwrap();
+        prop_assert_eq!(ab.area_difference, -ba.area_difference);
+        prop_assert_eq!(ab.throughput.delta, -ba.throughput.delta);
+        prop_assert_eq!(ab.p50_latency.delta, -ba.p50_latency.delta);
+        prop_assert_eq!(ab.p99_latency.delta, -ba.p99_latency.delta);
+        prop_assert_eq!(ab.phases.len(), ba.phases.len());
+        for (x, y) in ab.phases.iter().zip(&ba.phases) {
+            prop_assert_eq!(&x.phase, &y.phase);
+            prop_assert_eq!(x.delta.median, -y.delta.median);
+            prop_assert_eq!(x.delta.q1, -y.delta.q1);
+            prop_assert_eq!(x.delta.q3, -y.delta.q3);
+            prop_assert_eq!(x.delta.whisker_lo, -y.delta.whisker_lo);
+            prop_assert_eq!(x.delta.whisker_hi, -y.delta.whisker_hi);
+        }
+        prop_assert_eq!(ab.faults.injected, -ba.faults.injected);
+        prop_assert_eq!(ab.faults.retries, -ba.faults.retries);
+        prop_assert_eq!(ab.faults.failed_ops, -ba.faults.failed_ops);
     }
 
     /// Φ stays a distance: in [0, 1] for arbitrary same-range samples,
