@@ -12,13 +12,13 @@
 //! curves.
 
 use crate::faults::{execute_faulted, FaultOpCtx, FaultSession, FaultStats};
-use crate::obs::RunObserver;
+use crate::obs::{LaneObs, RunObserver};
 use crate::record::{OpRecord, RunRecord, TrainInfo};
 use crate::scenario::Scenario;
 use crate::{BenchError, Result};
 use lsbench_sut::clock::{Clock, SimClock};
 use lsbench_sut::query_sut::QueryOp;
-use lsbench_sut::sut::SystemUnderTest;
+use lsbench_sut::sut::{SystemUnderTest, TransportStats};
 use lsbench_workload::arrival::ArrivalGenerator;
 use lsbench_workload::ops::Operation;
 
@@ -31,6 +31,12 @@ pub struct DriverConfig {
     /// route the run through the concurrent execution engine
     /// ([`crate::engine`]), which executes that many independent lanes.
     pub concurrency: usize,
+    /// Operations dispatched per [`SystemUnderTest::execute_many`] call in
+    /// the serial hot loop. Batches never span a phase boundary, a
+    /// maintenance slot, or the `max_ops` cap, so the record is
+    /// bit-identical for any batch size; larger batches amortize dispatch
+    /// cost (one wire frame instead of one per op on a remote SUT).
+    pub dispatch_batch: usize,
 }
 
 impl Default for DriverConfig {
@@ -38,6 +44,7 @@ impl Default for DriverConfig {
         DriverConfig {
             max_ops: u64::MAX,
             concurrency: 1,
+            dispatch_batch: 64,
         }
     }
 }
@@ -114,7 +121,12 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
     let fault_session = FaultSession::from_scenario(scenario);
     let mut fault_stats = FaultStats::default();
 
-    for labeled in stream {
+    let mut stream = stream.peekable();
+    // Reused dispatch-batch buffers for the unfaulted execute_many path.
+    let mut batch: Vec<lsbench_workload::phases::LabeledOp> = Vec::new();
+    let mut batch_ops: Vec<Operation> = Vec::new();
+
+    while let Some(labeled) = stream.next() {
         if ops.len() as u64 >= config.max_ops {
             break;
         }
@@ -136,34 +148,84 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
             obs.root.maintenance(clock.now(), maint_work);
             obs.root.backlog(clock.now(), backlog);
         }
-        // In open loop the server may idle until the next arrival.
-        let arrival_t = arrivals.as_mut().map(|g| {
-            let t = exec_start + g.next_arrival();
-            if t > clock.now() {
-                clock.advance(t - clock.now());
-            }
-            t
-        });
-        let (latency, ok) = match &fault_session {
+        match &fault_session {
             None => {
-                let outcome = sut
-                    .execute(&labeled.op)
-                    .map_err(|e| BenchError::Sut(e.to_string()))?;
-                let service = service_with_backlog(
-                    outcome.work as f64 / rate,
-                    &mut backlog,
-                    scenario.online_train,
+                // Gather a dispatch batch: successor ops that stay in this
+                // phase and would hit neither a maintenance slot nor the
+                // max_ops cap. Batches therefore never reorder the SUT's
+                // prelude calls, and since execution never reads the
+                // clock, the record is bit-identical to op-at-a-time
+                // dispatch for any `dispatch_batch`.
+                batch.clear();
+                batch.push(labeled);
+                let limit = config.dispatch_batch.max(1);
+                while batch.len() < limit
+                    && ops.len() as u64 + (batch.len() as u64) < config.max_ops
+                    && since_maintenance + 1 < scenario.maintenance_every
+                {
+                    match stream.peek() {
+                        Some(next) if next.phase == current_phase => {
+                            since_maintenance += 1;
+                            batch.push(stream.next().expect("peeked"));
+                        }
+                        _ => break,
+                    }
+                }
+                batch_ops.clear();
+                batch_ops.extend(batch.iter().map(|l| l.op));
+                let before = sut.transport_stats();
+                let outcomes = sut.execute_many(&batch_ops);
+                fold_transport_delta(
+                    before,
+                    sut.transport_stats(),
+                    &mut fault_stats,
+                    &mut obs.root,
+                    clock.now(),
                 );
-                clock.advance(service);
-                // Closed loop: latency = service. Open loop: queueing
-                // included.
-                let latency = match arrival_t {
-                    Some(a) => clock.now() - a,
-                    None => service,
-                };
-                (latency, outcome.ok)
+                for (labeled, outcome) in batch.iter().zip(outcomes) {
+                    let outcome = outcome.map_err(|e| BenchError::Sut(e.to_string()))?;
+                    // In open loop the server may idle until the next
+                    // arrival.
+                    let arrival_t = arrivals.as_mut().map(|g| {
+                        let t = exec_start + g.next_arrival();
+                        if t > clock.now() {
+                            clock.advance(t - clock.now());
+                        }
+                        t
+                    });
+                    let service = service_with_backlog(
+                        outcome.work as f64 / rate,
+                        &mut backlog,
+                        scenario.online_train,
+                    );
+                    clock.advance(service);
+                    // Closed loop: latency = service. Open loop: queueing
+                    // included.
+                    let latency = match arrival_t {
+                        Some(a) => clock.now() - a,
+                        None => service,
+                    };
+                    obs.root
+                        .op_done(clock.now(), clock.now() - exec_start, latency, outcome.ok);
+                    ops.push(OpRecord {
+                        t_end: clock.now(),
+                        latency,
+                        phase: labeled.phase as u16,
+                        ok: outcome.ok,
+                        in_transition: labeled.in_transition,
+                    });
+                }
             }
             Some(session) => {
+                // In open loop the server may idle until the next arrival.
+                let arrival_t = arrivals.as_mut().map(|g| {
+                    let t = exec_start + g.next_arrival();
+                    if t > clock.now() {
+                        clock.advance(t - clock.now());
+                    }
+                    t
+                });
+                let before = sut.transport_stats();
                 let fr = execute_faulted(
                     sut,
                     &labeled.op,
@@ -176,6 +238,13 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
                     session,
                     &mut backlog,
                 )?;
+                fold_transport_delta(
+                    before,
+                    sut.transport_stats(),
+                    &mut fault_stats,
+                    &mut obs.root,
+                    clock.now(),
+                );
                 // The server stays busy for the full service time of every
                 // attempt, but the client observes timed-out attempts only
                 // up to the timeout.
@@ -194,18 +263,17 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
                     obs.root.query_timed_out(clock.now(), latency);
                 }
                 fr.fold_into(&mut fault_stats);
-                (latency, fr.ok)
+                obs.root
+                    .op_done(clock.now(), clock.now() - exec_start, latency, fr.ok);
+                ops.push(OpRecord {
+                    t_end: clock.now(),
+                    latency,
+                    phase: labeled.phase as u16,
+                    ok: fr.ok,
+                    in_transition: labeled.in_transition,
+                });
             }
-        };
-        obs.root
-            .op_done(clock.now(), clock.now() - exec_start, latency, ok);
-        ops.push(OpRecord {
-            t_end: clock.now(),
-            latency,
-            phase: labeled.phase as u16,
-            ok,
-            in_transition: labeled.in_transition,
-        });
+        }
     }
 
     // Any undrained background-training backlog must still be paid before
@@ -231,6 +299,33 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
         work_units_per_second: rate,
         faults: fault_stats,
     })
+}
+
+/// Folds a [`TransportStats`] delta (a remote SUT's socket-deadline
+/// expiries and reconnect-resends accumulated during one dispatch) into
+/// the run's fault ledger and observability stream — the **same**
+/// [`FaultStats`] fields and event kinds a PR-4 injected timeout
+/// produces, so real network failures and chaos-injected ones share one
+/// ledger (pinned by `tests/remote_conformance.rs`).
+pub(crate) fn fold_transport_delta(
+    before: TransportStats,
+    after: TransportStats,
+    stats: &mut FaultStats,
+    obs: &mut LaneObs,
+    now: f64,
+) {
+    let retries = after.retries.saturating_sub(before.retries);
+    let timeouts = after.timeouts.saturating_sub(before.timeouts);
+    stats.retries += retries;
+    stats.timeouts += timeouts;
+    for attempt in 0..retries {
+        obs.query_retried(now, attempt as u32 + 1);
+    }
+    for _ in 0..timeouts {
+        // A wall-clock deadline has no virtual latency; record the event
+        // at the current virtual time with zero observed latency.
+        obs.query_timed_out(now, 0.0);
+    }
 }
 
 /// Computes one operation's service time given pending adaptation backlog

@@ -10,7 +10,7 @@
 //! scheduling), results are reproducible for any worker count.
 
 use super::latency::LaneRecorder;
-use crate::driver::service_with_backlog;
+use crate::driver::{fold_transport_delta, service_with_backlog};
 use crate::faults::{execute_faulted, FaultOpCtx, FaultSession, FaultStats};
 use crate::obs::{LaneObs, ObsConfig};
 use crate::record::OpRecord;
@@ -170,9 +170,17 @@ impl LaneState {
         }
         let (latency, ok) = match session {
             None => {
+                let before = sut.transport_stats();
                 let outcome = sut
                     .execute(&labeled.op)
                     .map_err(|e| BenchError::Sut(e.to_string()))?;
+                fold_transport_delta(
+                    before,
+                    sut.transport_stats(),
+                    &mut self.faults,
+                    &mut self.obs,
+                    self.clock,
+                );
                 let service = service_with_backlog(
                     outcome.work as f64 / params.rate,
                     &mut self.backlog,
@@ -191,6 +199,7 @@ impl LaneState {
             Some(session) => {
                 // Every decision in here is a pure function of the plan
                 // seed and `op.idx`, so lanes stay thread-invariant.
+                let before = sut.transport_stats();
                 let fr = execute_faulted(
                     sut,
                     &labeled.op,
@@ -203,6 +212,13 @@ impl LaneState {
                     session,
                     &mut self.backlog,
                 )?;
+                fold_transport_delta(
+                    before,
+                    sut.transport_stats(),
+                    &mut self.faults,
+                    &mut self.obs,
+                    self.clock,
+                );
                 self.clock += fr.service;
                 // The lane stays busy for the full service; the client
                 // observes timed-out attempts only up to the timeout.

@@ -42,6 +42,10 @@
 //!   schema-versioned results store ([`results::store`]), the head-to-head
 //!   paired-comparison engine ([`mod@results::compare`]), and the CI
 //!   regression gate ([`results::regress`]).
+//! * [`wire`] — out-of-process SUTs: a versioned length-prefixed frame
+//!   protocol over TCP, the `lsbench serve` server loop hosting any
+//!   registered SUT, and the [`wire::RemoteSut`] pipelined client-pool
+//!   adapter — with the in-process mode as the conformance oracle.
 
 #![warn(missing_docs)]
 
@@ -59,6 +63,7 @@ pub mod scenario;
 pub mod spec;
 pub mod suite;
 pub mod sut_registry;
+pub mod wire;
 
 pub use driver::{
     run_kv_scenario, run_kv_scenario_observed, run_kv_trace, run_query_workload, DriverConfig,
@@ -80,7 +85,7 @@ pub use record::{OpRecord, RunRecord};
 pub use results::{
     compare, evaluate_regression, parse_regression_policy, render_comparison_report,
     render_regression, write_bench_summary, ComparisonReport, RegressionPolicy, RegressionReport,
-    ResultStore, RunArtifact, RunManifest, StoreError, SuiteArtifact,
+    ResultStore, RunArtifact, RunManifest, StoreError, SuiteArtifact, Transport,
 };
 pub use runner::{BoxedKvSut, EngineStats, RunOptions, RunOutcome, Runner};
 pub use scenario::{Scenario, ScenarioBuilder};
@@ -89,6 +94,7 @@ pub use suite::{
     run_suite, run_suite_observed, standard_scenarios, SuiteConfig, SuiteObservation, SuiteResult,
 };
 pub use sut_registry::SutRegistry;
+pub use wire::{RemoteOptions, RemoteSut, ServerHandle, WireError, WireServer, PROTOCOL_VERSION};
 
 /// Errors produced by the benchmark framework.
 #[derive(Debug, Clone, PartialEq)]

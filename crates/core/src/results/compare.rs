@@ -409,11 +409,61 @@ pub fn render_comparison_report(r: &ComparisonReport) -> String {
     out
 }
 
+/// Renders the transport header `lsbench compare` prints above the
+/// report when manifests are available: which process (or endpoint) each
+/// side ran in, with an explicit warning when a remote run is being
+/// paired against a local baseline — that comparison is legitimate (the
+/// records are conformant by construction) but must never be silent.
+pub fn render_transport_header(
+    baseline: &crate::results::store::RunManifest,
+    candidate: &crate::results::store::RunManifest,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "transport: baseline '{}' ran {}; candidate '{}' ran {}\n",
+        baseline.sut, baseline.transport, candidate.sut, candidate.transport
+    ));
+    if baseline.transport != candidate.transport {
+        out.push_str(
+            "  WARNING: transports differ — remote runs share the local virtual clock but \
+             cross a process boundary; fault/timeout accounting may include real network \
+             effects\n",
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::record::{OpRecord, RunRecord, TrainInfo};
     use lsbench_sut::sut::SutMetrics;
+
+    #[test]
+    fn transport_header_warns_on_mixed_transports() {
+        use crate::results::store::{RunManifest, Transport};
+        let manifest = |sut: &str, transport: Transport| RunManifest {
+            sut: sut.to_string(),
+            scenario: "s".to_string(),
+            spec: String::new(),
+            concurrency: 1,
+            crate_version: "0".to_string(),
+            transport,
+        };
+        let local = manifest("btree", Transport::Local);
+        let remote = manifest(
+            "btree",
+            Transport::Remote {
+                endpoint: "127.0.0.1:7070".to_string(),
+            },
+        );
+        let same = render_transport_header(&local, &local);
+        assert!(same.contains("ran local"));
+        assert!(!same.contains("WARNING"));
+        let mixed = render_transport_header(&local, &remote);
+        assert!(mixed.contains("remote(127.0.0.1:7070)"));
+        assert!(mixed.contains("WARNING"));
+    }
 
     /// Two-phase record: `n` ops per phase at the given per-phase speeds.
     fn two_phase(sut: &str, n: usize, speeds: [f64; 2], work: u64) -> RunRecord {

@@ -33,18 +33,23 @@ pub mod regress;
 pub mod store;
 
 pub use compare::{
-    compare, render_comparison_report, ComparisonReport, CostComparison, FaultDeltas, ScalarDelta,
-    SlaComparison,
+    compare, render_comparison_report, render_transport_header, ComparisonReport, CostComparison,
+    FaultDeltas, ScalarDelta, SlaComparison,
 };
 pub use regress::{
     evaluate_regression, parse_regression_policy, render_regression, write_bench_summary,
     PolicyViolation, RegressionPolicy, RegressionReport,
 };
-pub use store::{ResultStore, RunArtifact, RunManifest, StoreEntry, StoreError, SuiteArtifact};
+pub use store::{
+    ResultStore, RunArtifact, RunManifest, StoreEntry, StoreError, SuiteArtifact, Transport,
+};
 
 /// Version of every serialized artifact schema in this module
 /// ([`RunArtifact`], [`SuiteArtifact`], [`ComparisonReport`],
 /// [`RegressionReport`]). Any change to the serialized shape of these
 /// types — a field added, removed, renamed, or retyped — must bump this,
 /// which the byte-exact golden fixture test enforces.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 = PR-5 initial archive; v2 = `RunManifest` gains the
+/// `transport` field (local vs. remote endpoint).
+pub const SCHEMA_VERSION: u32 = 2;

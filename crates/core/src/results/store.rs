@@ -99,6 +99,32 @@ impl From<StoreError> for BenchError {
     }
 }
 
+/// Where the run's SUT executed: in this process (the determinism
+/// oracle) or behind a `lsbench serve` endpoint. Recorded in the
+/// manifest so `lsbench compare` can never silently pair a remote run
+/// against a local baseline — the transport surfaces in the report
+/// header and in listings.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transport {
+    /// In-process SUT on the virtual clock.
+    #[default]
+    Local,
+    /// Out-of-process SUT over the wire protocol.
+    Remote {
+        /// The `host:port` the run connected to.
+        endpoint: String,
+    },
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Local => write!(f, "local"),
+            Transport::Remote { endpoint } => write!(f, "remote({endpoint})"),
+        }
+    }
+}
+
 /// Everything needed to reproduce the run an artifact records: the SUT and
 /// scenario names, the *rendered canonical spec text* of the scenario
 /// (dataset seed, phases, transitions, arrival process, SLA policy, and
@@ -121,12 +147,15 @@ pub struct RunManifest {
     pub concurrency: usize,
     /// `lsbench-core` version that wrote the artifact.
     pub crate_version: String,
+    /// Where the SUT executed (local process vs. remote endpoint).
+    pub transport: Transport,
 }
 
 impl RunManifest {
     /// Builds the manifest for a run of `scenario` (faults attached and
     /// all) by `sut` at `concurrency` workers, stamped with this crate's
-    /// version.
+    /// version. Transport defaults to [`Transport::Local`]; remote runs
+    /// chain [`RunManifest::with_transport`].
     pub fn for_run(scenario: &Scenario, sut: &str, concurrency: usize) -> Self {
         RunManifest {
             sut: sut.to_string(),
@@ -134,7 +163,14 @@ impl RunManifest {
             spec: render_scenario(scenario),
             concurrency,
             crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            transport: Transport::Local,
         }
+    }
+
+    /// Stamps the transport the run used.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Stable content digest: FNV-1a (64-bit) over the manifest's compact
@@ -321,6 +357,8 @@ pub struct StoreEntry {
     pub concurrency: usize,
     /// Completed operations in the stored record.
     pub completed: usize,
+    /// Where the SUT executed.
+    pub transport: Transport,
 }
 
 /// A directory of [`RunArtifact`] files with save/load/list/find.
@@ -408,6 +446,7 @@ impl ResultStore {
                 scenario: artifact.manifest.scenario,
                 concurrency: artifact.manifest.concurrency,
                 completed: artifact.record.ops.len(),
+                transport: artifact.manifest.transport,
                 path,
             });
         }
@@ -489,6 +528,7 @@ mod tests {
             spec: "name = \"store-test\"\n".to_string(),
             concurrency: 1,
             crate_version: "0.0.0-test".to_string(),
+            transport: Transport::Local,
         }
     }
 
@@ -548,10 +588,33 @@ mod tests {
     }
 
     #[test]
+    fn transport_is_recorded_listed_and_content_addressed() {
+        let (store, dir) = temp_store("transport");
+        let remote = manifest("btree").with_transport(Transport::Remote {
+            endpoint: "127.0.0.1:9999".to_string(),
+        });
+        let artifact = RunArtifact::new(remote.clone(), tiny_record("btree"));
+        store.save(&artifact).unwrap();
+        let entries = store.list().unwrap();
+        assert_eq!(
+            entries[0].transport,
+            Transport::Remote {
+                endpoint: "127.0.0.1:9999".to_string()
+            }
+        );
+        assert_eq!(entries[0].transport.to_string(), "remote(127.0.0.1:9999)");
+        assert_eq!(Transport::default().to_string(), "local");
+        // The transport participates in the content address: a remote run
+        // can never collide with its local twin.
+        assert_ne!(manifest("btree").digest(), remote.digest());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
     fn unversioned_artifacts_are_refused() {
         let artifact = RunArtifact::new(manifest("x"), tiny_record("x"));
         let json = artifact.to_json().unwrap();
-        let stripped = json.replacen("\"schema_version\": 1,\n", "", 1);
+        let stripped = json.replacen("\"schema_version\": 2,\n", "", 1);
         assert_ne!(json, stripped, "fixture must actually strip the field");
         match RunArtifact::from_json(&stripped) {
             Err(StoreError::Schema {
@@ -568,7 +631,7 @@ mod tests {
     fn version_drift_is_refused() {
         let artifact = RunArtifact::new(manifest("x"), tiny_record("x"));
         let json = artifact.to_json().unwrap().replacen(
-            "\"schema_version\": 1",
+            "\"schema_version\": 2",
             "\"schema_version\": 999",
             1,
         );

@@ -107,6 +107,7 @@ impl RunOptions {
         DriverConfig {
             max_ops: self.max_ops,
             concurrency: 1,
+            ..DriverConfig::default()
         }
     }
 }

@@ -1,0 +1,428 @@
+//! `RemoteSut` — the driver-side adapter for an out-of-process SUT.
+//!
+//! Implements [`SystemUnderTest`] over a pool of TCP connections speaking
+//! the frame protocol. Batches submitted through
+//! [`SystemUnderTest::execute_many`] are split into chunk frames and kept
+//! in flight up to a pipelining window; all chunks of one call travel on
+//! **one** connection so the (stateful) server applies them in order,
+//! while successive calls round-robin across the pool.
+//!
+//! **Timeout accounting.** The socket read deadline and the
+//! retry/backoff schedule come from the same PR-4
+//! [`RetryPolicy`](crate::faults::RetryPolicy) type the fault injector
+//! uses — with `timeout` read as *wall* seconds here, since a real
+//! network has no virtual clock. Every expired deadline bumps
+//! `timeouts`, every reconnect-and-resend bumps `retries`, and the
+//! driver folds those [`TransportStats`] deltas into the run's
+//! [`FaultStats`](crate::faults::FaultStats) — one ledger for injected
+//! and real failures (pinned by `tests/remote_conformance.rs`).
+//! Semantics under retry are at-least-once: the server may have executed
+//! a chunk whose response the deadline discarded. Conformance runs
+//! therefore use no socket timeout; deadlines are for production runs
+//! against flaky SUTs, where the record flags the affected ops as failed.
+
+use super::frame::{write_frame, FrameReader};
+use super::proto::{
+    decode_response, encode_request, ExecReply, Request, RequestFrame, Response, PROTOCOL_VERSION,
+};
+use super::{WireError, WireResult};
+use crate::faults::RetryPolicy;
+use crate::{BenchError, Result};
+use lsbench_sut::sut::{ExecOutcome, SutMetrics, SystemUnderTest, TransportStats};
+use lsbench_sut::SutError;
+use lsbench_workload::ops::Operation;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteOptions {
+    /// Connections in the pool. Successive `execute_many` calls
+    /// round-robin across them; one call never spans connections.
+    pub connections: usize,
+    /// Operations per chunk frame (an oversized driver batch is split).
+    pub batch: usize,
+    /// Chunk frames kept in flight per call before reading responses.
+    pub pipeline: usize,
+    /// Socket deadline and reconnect-retry schedule. `timeout` is wall
+    /// seconds (applied as the socket read deadline on execute traffic);
+    /// `None` waits forever — the right choice for conformance runs.
+    pub retry: RetryPolicy,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            connections: 2,
+            batch: 64,
+            pipeline: 4,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One pooled connection, already past the handshake.
+struct Conn {
+    /// Raw handle for deadline control; reader/writer hold clones.
+    stream: TcpStream,
+    reader: FrameReader<BufReader<TcpStream>>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl Conn {
+    /// Connects and runs the version handshake; returns the connection
+    /// plus the hosted SUT's name from `HelloOk`.
+    fn open(endpoint: &str) -> WireResult<(Conn, String)> {
+        let stream = TcpStream::connect(endpoint).map_err(|e| WireError::Io {
+            context: format!("connecting to {endpoint}: {e}"),
+        })?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone().map_err(|e| WireError::Io {
+            context: format!("cloning connection: {e}"),
+        })?;
+        let write_half = stream.try_clone().map_err(|e| WireError::Io {
+            context: format!("cloning connection: {e}"),
+        })?;
+        let mut conn = Conn {
+            stream,
+            reader: FrameReader::new(BufReader::new(read_half)),
+            writer: BufWriter::new(write_half),
+            next_id: 0,
+        };
+        let hello = Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: "lsbench-remote-sut".to_string(),
+        };
+        match conn.round_trip(hello)? {
+            Response::HelloOk { version, sut } if version == PROTOCOL_VERSION => Ok((conn, sut)),
+            Response::HelloOk { version, .. } | Response::VersionMismatch { server: version } => {
+                Err(WireError::VersionMismatch {
+                    ours: PROTOCOL_VERSION,
+                    theirs: version,
+                })
+            }
+            other => Err(WireError::Protocol {
+                frame: 0,
+                reason: format!("unexpected handshake response: {other:?}"),
+            }),
+        }
+    }
+
+    /// Queues one request (no flush); returns its id.
+    fn send(&mut self, req: Request) -> WireResult<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &encode_request(&RequestFrame { id, req }))?;
+        Ok(id)
+    }
+
+    fn flush(&mut self) -> WireResult<()> {
+        self.writer.flush().map_err(|e| WireError::Io {
+            context: format!("flushing requests: {e}"),
+        })
+    }
+
+    /// Reads the response for request `id`; pipelined responses arrive in
+    /// request order, so any other id is a protocol violation.
+    fn read_response(&mut self, id: u64) -> WireResult<Response> {
+        let ordinal = self.reader.frame_ordinal();
+        let payload = self.reader.read_frame()?.ok_or(WireError::Truncated {
+            frame: ordinal,
+            offset: self.reader.byte_offset(),
+            expected: 4,
+            got: 0,
+        })?;
+        let offset = self.reader.byte_offset() - payload.len() as u64;
+        let frame = decode_response(&payload, ordinal, offset)?;
+        if frame.id != id {
+            return Err(WireError::Protocol {
+                frame: ordinal,
+                reason: format!("response id {} does not match request id {id}", frame.id),
+            });
+        }
+        match frame.resp {
+            Response::Error { reason } => Err(WireError::Remote { reason }),
+            resp => Ok(resp),
+        }
+    }
+
+    fn round_trip(&mut self, req: Request) -> WireResult<Response> {
+        let id = self.send(req)?;
+        self.flush()?;
+        self.read_response(id)
+    }
+
+    /// Sets (or clears) the socket read deadline.
+    fn set_deadline(&mut self, deadline: Option<Duration>) {
+        let _ = self.stream.set_read_timeout(deadline);
+    }
+}
+
+/// Pool state behind the adapter's `RefCell` (needed because the trait
+/// reads metrics through `&self`).
+struct Inner {
+    endpoint: String,
+    opts: RemoteOptions,
+    conns: Vec<Conn>,
+    next_conn: usize,
+    stats: TransportStats,
+    /// First fatal wire error; once set, every operation fails fast.
+    dead: Option<String>,
+}
+
+impl Inner {
+    /// Replaces connection `idx` after a transport failure. The server's
+    /// SUT state lives outside the connection, so a reconnect resumes
+    /// against the same state.
+    fn reconnect(&mut self, idx: usize) -> WireResult<()> {
+        let (conn, _) = Conn::open(&self.endpoint)?;
+        self.conns[idx] = conn;
+        Ok(())
+    }
+
+    /// One control round trip (no socket deadline — control requests may
+    /// legitimately take long, e.g. a server-side dataset build on Load).
+    fn control(&mut self, req: Request) -> WireResult<Response> {
+        if let Some(reason) = &self.dead {
+            return Err(WireError::Remote {
+                reason: reason.clone(),
+            });
+        }
+        self.conns[0].set_deadline(None);
+        self.conns[0].round_trip(req)
+    }
+
+    /// Control round trip expecting `Response::Work`; transport failures
+    /// mark the pool dead and report zero work (the next `execute`
+    /// surfaces the error fatally).
+    fn work(&mut self, req: Request) -> u64 {
+        match self.control(req) {
+            Ok(Response::Work { work }) => work,
+            Ok(other) => {
+                self.dead = Some(format!("unexpected response: {other:?}"));
+                0
+            }
+            Err(e) => {
+                self.dead = Some(e.to_string());
+                0
+            }
+        }
+    }
+
+    /// The pipelined batch path. See the module docs for the retry and
+    /// at-least-once semantics.
+    fn execute_many(&mut self, ops: &[Operation]) -> Vec<lsbench_sut::Result<ExecOutcome>> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
+        if let Some(reason) = self.dead.clone() {
+            return ops
+                .iter()
+                .map(|_| Err(SutError::Internal(reason.clone())))
+                .collect();
+        }
+        let idx = self.next_conn % self.conns.len();
+        self.next_conn = self.next_conn.wrapping_add(1);
+        let chunks: Vec<&[Operation]> = ops.chunks(self.opts.batch.max(1)).collect();
+        let pipeline = self.opts.pipeline.max(1);
+        let deadline = self.opts.retry.timeout.map(Duration::from_secs_f64);
+        self.conns[idx].set_deadline(deadline);
+
+        let mut results: Vec<lsbench_sut::Result<ExecOutcome>> = Vec::with_capacity(ops.len());
+        let mut pending: VecDeque<u64> = VecDeque::new();
+        let mut next_send = 0usize;
+        let mut next_read = 0usize;
+        // Reconnect attempts already spent on the chunk at `next_read`.
+        let mut attempts = 0u32;
+        while next_read < chunks.len() {
+            // Fill the in-flight window, then wait for the oldest chunk.
+            let step: WireResult<Response> = (|| {
+                while next_send < chunks.len() && next_send - next_read < pipeline {
+                    let req = Request::ExecuteMany {
+                        ops: chunks[next_send].to_vec(),
+                    };
+                    pending.push_back(self.conns[idx].send(req)?);
+                    next_send += 1;
+                }
+                self.conns[idx].flush()?;
+                let id = *pending.front().expect("window is non-empty");
+                self.conns[idx].read_response(id)
+            })();
+            match step {
+                Ok(Response::ExecMany { results: replies })
+                    if replies.len() == chunks[next_read].len() =>
+                {
+                    results.extend(replies.into_iter().map(ExecReply::into_result));
+                    pending.pop_front();
+                    next_read += 1;
+                    attempts = 0;
+                }
+                Ok(other) => {
+                    let reason = format!("unexpected execute response: {other:?}");
+                    self.dead = Some(reason.clone());
+                    break;
+                }
+                Err(WireError::Timeout { .. }) => {
+                    self.stats.timeouts += 1;
+                    let policy = self.opts.retry;
+                    let give_up = attempts >= policy.max_retries;
+                    if give_up {
+                        // Out of retries: flag this chunk's ops as failed
+                        // and move on (at-least-once; see module docs).
+                        results
+                            .extend(chunks[next_read].iter().map(|_| Ok(ExecOutcome::failed(0))));
+                        next_read += 1;
+                        attempts = 0;
+                    } else {
+                        attempts += 1;
+                        self.stats.retries += 1;
+                        let backoff = policy.backoff_base
+                            * policy.backoff_multiplier.powi(attempts as i32 - 1);
+                        if backoff > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(backoff));
+                        }
+                    }
+                    // The old connection may still deliver stale frames;
+                    // resynchronize on a fresh one and re-send everything
+                    // not yet acknowledged.
+                    pending.clear();
+                    next_send = next_read;
+                    if let Err(e) = self.reconnect(idx) {
+                        self.dead = Some(e.to_string());
+                        break;
+                    }
+                    self.conns[idx].set_deadline(deadline);
+                }
+                Err(e) => {
+                    self.dead = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if let Some(reason) = &self.dead {
+            while results.len() < ops.len() {
+                results.push(Err(SutError::Internal(reason.clone())));
+            }
+        }
+        self.conns[idx].set_deadline(None);
+        results
+    }
+}
+
+/// An out-of-process SUT reached over the wire protocol. Construct with
+/// [`RemoteSut::connect`], then [`RemoteSut::load`] a scenario before
+/// handing it to the [`Runner`](crate::runner::Runner).
+pub struct RemoteSut {
+    /// Display name reported by the server's `LoadOk` (before `load`, the
+    /// hosted SUT's registry name from the handshake).
+    name: String,
+    inner: RefCell<Inner>,
+}
+
+impl RemoteSut {
+    /// Connects the pool and runs the handshake on every connection.
+    pub fn connect(endpoint: &str, opts: RemoteOptions) -> Result<RemoteSut> {
+        let count = opts.connections.max(1);
+        let mut conns = Vec::with_capacity(count);
+        let mut name = String::new();
+        for _ in 0..count {
+            let (conn, sut) = Conn::open(endpoint).map_err(|e| BenchError::Sut(e.to_string()))?;
+            conns.push(conn);
+            name = sut;
+        }
+        Ok(RemoteSut {
+            name,
+            inner: RefCell::new(Inner {
+                endpoint: endpoint.to_string(),
+                opts,
+                conns,
+                next_conn: 0,
+                stats: TransportStats::default(),
+                dead: None,
+            }),
+        })
+    }
+
+    /// Sends the rendered scenario spec; the server parses it, builds the
+    /// dataset, and constructs its hosted SUT over it. Idempotent.
+    pub fn load(&mut self, spec: &str) -> Result<()> {
+        let resp = self
+            .inner
+            .get_mut()
+            .control(Request::Load {
+                spec: spec.to_string(),
+            })
+            .map_err(|e| BenchError::Sut(e.to_string()))?;
+        match resp {
+            Response::LoadOk { sut } => {
+                self.name = sut;
+                Ok(())
+            }
+            other => Err(BenchError::Sut(format!(
+                "unexpected Load response: {other:?}"
+            ))),
+        }
+    }
+
+    /// The endpoint this adapter is connected to.
+    pub fn endpoint(&self) -> String {
+        self.inner.borrow().endpoint.clone()
+    }
+}
+
+impl SystemUnderTest<Operation> for RemoteSut {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn train(&mut self, budget: u64) -> u64 {
+        self.inner.get_mut().work(Request::Train { budget })
+    }
+
+    fn execute(&mut self, op: &Operation) -> lsbench_sut::Result<ExecOutcome> {
+        self.execute_many(std::slice::from_ref(op))
+            .pop()
+            .expect("one op in, one result out")
+    }
+
+    fn execute_many(&mut self, ops: &[Operation]) -> Vec<lsbench_sut::Result<ExecOutcome>> {
+        self.inner.get_mut().execute_many(ops)
+    }
+
+    fn on_phase_change(&mut self, new_phase: usize) -> u64 {
+        self.inner
+            .get_mut()
+            .work(Request::PhaseChange { phase: new_phase })
+    }
+
+    fn maintenance(&mut self) -> u64 {
+        self.inner.get_mut().work(Request::Maintenance)
+    }
+
+    fn crash(&mut self) -> u64 {
+        self.inner.get_mut().work(Request::Crash)
+    }
+
+    fn metrics(&self) -> SutMetrics {
+        let mut inner = self.inner.borrow_mut();
+        match inner.control(Request::Metrics) {
+            Ok(Response::Metrics { metrics }) => metrics,
+            Ok(other) => {
+                inner.dead = Some(format!("unexpected response: {other:?}"));
+                SutMetrics::default()
+            }
+            Err(e) => {
+                inner.dead = Some(e.to_string());
+                SutMetrics::default()
+            }
+        }
+    }
+
+    fn transport_stats(&self) -> TransportStats {
+        self.inner.borrow().stats
+    }
+}

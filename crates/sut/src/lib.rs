@@ -28,7 +28,7 @@ pub use kv::{
     SortedArraySut, SplineSut,
 };
 pub use query_sut::{BanditQuerySut, LearnedCardinalitySut, QueryOp, TraditionalQuerySut};
-pub use sut::{ExecOutcome, SutMetrics, SystemUnderTest};
+pub use sut::{ExecOutcome, SutMetrics, SystemUnderTest, TransportStats};
 
 /// Errors produced by SUT adapters.
 #[derive(Debug, Clone, PartialEq)]

@@ -13,7 +13,10 @@ use crate::Result;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of executing one operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable so remote SUTs can return outcomes over the wire protocol
+/// unchanged — the driver never learns whether an outcome crossed a socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecOutcome {
     /// Abstract work units spent (converted to time by the driver).
     pub work: u64,
@@ -54,6 +57,19 @@ pub struct SutMetrics {
     pub label_collection_work: u64,
 }
 
+/// Transport-level failure counters a SUT adapter accumulates outside the
+/// driver's fault plan — real socket deadlines and reconnect-retries on a
+/// remote SUT. The driver folds deltas of these into the run's
+/// [`FaultStats`]-equivalent ledger so a wall-clock network timeout and a
+/// chaos-injected one are indistinguishable in the record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Operations re-sent after a transport failure.
+    pub retries: u64,
+    /// Socket deadlines that expired while waiting for a response.
+    pub timeouts: u64,
+}
+
 /// A system the benchmark driver can exercise.
 ///
 /// `Op` is the operation type: key-value [`lsbench_workload::Operation`]
@@ -70,6 +86,16 @@ pub trait SystemUnderTest<Op> {
 
     /// Executes one operation.
     fn execute(&mut self, op: &Op) -> Result<ExecOutcome>;
+
+    /// Executes a batch of operations, one result per op, in order.
+    ///
+    /// The default loops over [`execute`](Self::execute); adapters with real
+    /// dispatch cost (a remote SUT sending frames over a socket) override
+    /// this to amortize it. The serial driver routes its hot loop through
+    /// here, so overriding is sufficient — no driver changes needed.
+    fn execute_many(&mut self, ops: &[Op]) -> Vec<Result<ExecOutcome>> {
+        ops.iter().map(|op| self.execute(op)).collect()
+    }
 
     /// Notifies the SUT that the workload/data distribution changed
     /// (systems may ignore this — learning when to adapt is part of what
@@ -95,6 +121,14 @@ pub trait SystemUnderTest<Op> {
 
     /// Current metrics.
     fn metrics(&self) -> SutMetrics;
+
+    /// Cumulative transport-level failure counters. In-process SUTs have no
+    /// transport and keep the all-zero default; remote adapters report their
+    /// socket timeout/retry tallies here so the driver can fold the deltas
+    /// into the shared fault ledger.
+    fn transport_stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +158,18 @@ mod tests {
         assert_eq!(s.maintenance(), 0);
         assert_eq!(s.crash(), 0);
         assert_eq!(s.execute(&1).unwrap(), ExecOutcome::ok(1));
+        assert_eq!(s.transport_stats(), TransportStats::default());
+    }
+
+    #[test]
+    fn execute_many_default_matches_execute_loop() {
+        let mut s = NoopSut;
+        let ops = [1u64, 2, 3];
+        let batch = s.execute_many(&ops);
+        assert_eq!(batch.len(), 3);
+        for r in batch {
+            assert_eq!(r.unwrap(), ExecOutcome::ok(1));
+        }
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! ```text
 //! lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]... [--faults P] [--trace]
 //! lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--faults P] [--trace]
+//! lsbench run --scenario NAME|FILE --remote HOST:PORT [--threads N] [--faults P]
+//! lsbench serve --sut NAME --port P [--host H]
 //! lsbench shift --sut NAME [--size N] [--ops N] [--threads N] [--trace]
 //! lsbench quality --dist NAME [--param X]
 //! lsbench archive run --scenario NAME|FILE --sut NAME [--threads N] [--store DIR]
@@ -20,6 +22,13 @@
 //! layer: runs emit a deterministic virtual-clock event trace (written to
 //! `target/lsbench-results/trace.jsonl`) and print a wall-clock span tree.
 //!
+//! `lsbench serve` hosts a registered SUT out-of-process behind the
+//! length-prefixed wire protocol ([`lsbench::core::wire`]); `--remote
+//! HOST:PORT` on `run` / `archive run` drives such a server through the
+//! pipelined [`RemoteSut`] client pool instead of an in-process SUT. The
+//! in-process mode stays the conformance oracle: the same scenario run
+//! remotely and locally must produce identical records.
+//!
 //! The `archive`/`compare`/`regress` family is the longitudinal layer
 //! ([`lsbench::core::results`]): `archive run` executes a scenario and
 //! saves the complete run record as a schema-versioned, content-addressed
@@ -34,15 +43,18 @@ use lsbench::core::obs::{render_spans, ObsConfig};
 use lsbench::core::report::{render_adaptability, to_json, write_artifact};
 use lsbench::core::results::{
     compare, evaluate_regression, parse_regression_policy, render_comparison_report,
-    render_regression, write_bench_summary, ResultStore, RunArtifact, RunManifest, SuiteArtifact,
+    render_regression, render_transport_header, write_bench_summary, ResultStore, RunArtifact,
+    RunManifest, SuiteArtifact, Transport,
 };
-use lsbench::core::runner::{RunOptions, Runner};
+use lsbench::core::runner::{RunOptions, RunOutcome, Runner};
 use lsbench::core::scenario::Scenario;
 use lsbench::core::spec::{render_scenario, ScenarioRegistry};
 use lsbench::core::suite::{
     render_comparison, run_scenarios_observed, standard_scenarios, SuiteConfig, SuiteResult,
 };
 use lsbench::core::sut_registry::SutRegistry;
+use lsbench::core::wire::{RemoteOptions, RemoteSut, WireServer, PROTOCOL_VERSION};
+use lsbench::sut::sut::SystemUnderTest;
 use lsbench::workload::keygen::{KeyDistribution, KeyGenerator, CANONICAL_DISTRIBUTIONS};
 use lsbench::workload::quality::score_dataset;
 use std::path::Path;
@@ -67,11 +79,21 @@ USAGE:
 
   lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--trace]
               [--size N] [--ops N] [--seed N] [--faults NAME|FILE]
+              [--remote HOST:PORT]
       Run one scenario — a built-in name (see `lsbench scenarios`) or a
       .spec file — for one SUT. --size/--ops/--seed rescale built-in
       scenarios; spec files always run exactly as written. --faults
       attaches a deterministic fault plan on top of whatever [[fault]]
-      blocks the spec itself carries (the flag wins).
+      blocks the spec itself carries (the flag wins). --remote drives a
+      `lsbench serve` server over the wire protocol instead of an
+      in-process SUT (the server chooses the SUT; --sut is ignored).
+
+  lsbench serve --sut NAME --port P [--host H]
+      Host a registered SUT out-of-process: listen on H:P (default host
+      127.0.0.1; port 0 picks a free port) and serve the full SUT surface
+      over the versioned length-prefixed wire protocol. Clients ship the
+      scenario spec in the Load request, so one server handles any
+      scenario. Runs until killed.
 
   lsbench shift --sut NAME [--size N] [--ops N] [--seed N] [--threads N] [--trace]
       Run the canonical two-phase distribution-shift scenario for one SUT
@@ -85,13 +107,17 @@ USAGE:
 
   lsbench archive run --scenario NAME|FILE --sut NAME [--threads N]
                       [--size N] [--ops N] [--seed N] [--faults NAME|FILE]
-                      [--store DIR]
+                      [--store DIR] [--remote HOST:PORT]
       Run one scenario and save the complete run record as a
       schema-versioned, content-addressed artifact (default store:
-      .lsbench/results/ at the workspace root).
+      .lsbench/results/ at the workspace root). With --remote the run
+      executes against a `lsbench serve` server and the manifest records
+      the remote transport, so `lsbench compare` can surface
+      remote-vs-local pairings.
 
   lsbench archive list [--store DIR]
-      List stored artifacts (digest, SUT, scenario, workers, ops).
+      List stored artifacts (digest, SUT, scenario, workers, transport,
+      ops).
 
   lsbench archive show ID [--store DIR]
       Print one artifact's manifest and record summary. ID is a file
@@ -416,10 +442,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("--scenario NAME|FILE is required (see `lsbench scenarios`)");
         return ExitCode::from(2);
     };
-    let Some(sut_name) = parse_flag(args, "--sut") else {
-        eprintln!("--sut NAME is required (see `lsbench list`)");
+    let remote = parse_flag(args, "--remote");
+    let sut_arg = parse_flag(args, "--sut");
+    if remote.is_none() && sut_arg.is_none() {
+        eprintln!("--sut NAME is required unless --remote HOST:PORT is given (see `lsbench list`)");
         return ExitCode::from(2);
-    };
+    }
     let mut scenario = match scenario_registry(args).resolve(&scenario_arg) {
         Ok(s) => s,
         Err(e) => {
@@ -436,6 +464,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
         Ok(None) => {}
         Err(code) => return code,
     }
+    let opts = RunOptions {
+        concurrency: parse_num(args, "--threads", 1),
+        obs: obs_config(args),
+        ..RunOptions::default()
+    };
+    if let Some(endpoint) = remote {
+        let (outcome, sut_name) = match run_remote(&scenario, &endpoint, opts) {
+            Ok(v) => v,
+            Err(code) => return code,
+        };
+        report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
+        return ExitCode::SUCCESS;
+    }
+    let sut_name = sut_arg.expect("checked above");
     let registry = SutRegistry::default();
     let factory = match registry.factory(&sut_name) {
         Ok(f) => f,
@@ -443,11 +485,6 @@ fn cmd_run(args: &[String]) -> ExitCode {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
-    };
-    let opts = RunOptions {
-        concurrency: parse_num(args, "--threads", 1),
-        obs: obs_config(args),
-        ..RunOptions::default()
     };
     eprintln!(
         "running {} on {} ({} phases, {} ops) ...",
@@ -465,6 +502,80 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
     ExitCode::SUCCESS
+}
+
+/// Runs a scenario against a `lsbench serve` endpoint: connects the
+/// pipelined client pool, ships the canonical rendered spec in the Load
+/// request (the server builds the dataset and its configured SUT), and
+/// drives the run through the same [`Runner`] as an in-process SUT.
+/// Returns the outcome plus the server-reported SUT name.
+fn run_remote(
+    scenario: &Scenario,
+    endpoint: &str,
+    opts: RunOptions,
+) -> Result<(RunOutcome, String), ExitCode> {
+    let mut remote = RemoteSut::connect(endpoint, RemoteOptions::default()).map_err(|e| {
+        eprintln!("cannot connect to {endpoint}: {e}");
+        ExitCode::from(2)
+    })?;
+    eprintln!(
+        "running {} remotely on '{}' at {endpoint} (protocol v{PROTOCOL_VERSION}, {} phases, {} ops) ...",
+        scenario.name,
+        remote.name(),
+        scenario.workload.phases().len(),
+        scenario.workload.total_ops()
+    );
+    remote.load(&render_scenario(scenario)).map_err(|e| {
+        eprintln!("remote load failed: {e}");
+        ExitCode::FAILURE
+    })?;
+    let outcome = Runner::new(&mut remote)
+        .config(opts)
+        .run(scenario)
+        .map_err(|e| {
+            eprintln!("remote run failed: {e}");
+            ExitCode::FAILURE
+        })?;
+    let sut_name = remote.name().to_string();
+    Ok((outcome, sut_name))
+}
+
+/// `lsbench serve`: host a registered SUT behind the wire protocol until
+/// the process is killed.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let Some(sut_name) = parse_flag(args, "--sut") else {
+        eprintln!("--sut NAME is required (see `lsbench list`)");
+        return ExitCode::from(2);
+    };
+    let Some(port) = parse_flag(args, "--port") else {
+        eprintln!("--port P is required (0 picks a free port)");
+        return ExitCode::from(2);
+    };
+    let host = parse_flag(args, "--host").unwrap_or_else(|| "127.0.0.1".to_string());
+    let server = match WireServer::bind(format!("{host}:{port}"), SutRegistry::default(), &sut_name)
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            println!("lsbench serve: hosting '{sut_name}' on {addr} (protocol v{PROTOCOL_VERSION})")
+        }
+        Err(e) => {
+            eprintln!("cannot resolve listen address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Opens the results store named by `--store DIR`, or the default
@@ -495,6 +606,9 @@ fn positional_args(args: &[String]) -> Vec<String> {
         "--ops",
         "--seed",
         "--faults",
+        "--remote",
+        "--port",
+        "--host",
     ];
     let mut out = Vec::new();
     let mut i = 0;
@@ -530,10 +644,12 @@ fn cmd_archive_run(args: &[String]) -> ExitCode {
         eprintln!("--scenario NAME|FILE is required (see `lsbench scenarios`)");
         return ExitCode::from(2);
     };
-    let Some(sut_name) = parse_flag(args, "--sut") else {
-        eprintln!("--sut NAME is required (see `lsbench list`)");
+    let remote = parse_flag(args, "--remote");
+    let sut_arg = parse_flag(args, "--sut");
+    if remote.is_none() && sut_arg.is_none() {
+        eprintln!("--sut NAME is required unless --remote HOST:PORT is given (see `lsbench list`)");
         return ExitCode::from(2);
-    };
+    }
     let store = match open_store(args) {
         Ok(s) => s,
         Err(code) => return code,
@@ -554,35 +670,45 @@ fn cmd_archive_run(args: &[String]) -> ExitCode {
         Ok(None) => {}
         Err(code) => return code,
     }
-    let registry = SutRegistry::default();
-    let factory = match registry.factory(&sut_name) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-    };
     let threads: usize = parse_num(args, "--threads", 1);
     let opts = RunOptions {
         concurrency: threads,
         obs: obs_config(args),
         ..RunOptions::default()
     };
-    eprintln!(
-        "running {} on {sut_name} ({} phases, {} ops) ...",
-        scenario.name,
-        scenario.workload.phases().len(),
-        scenario.workload.total_ops()
-    );
-    let outcome = match Runner::from_factory(factory).config(opts).run(&scenario) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("run failed: {e}");
-            return ExitCode::FAILURE;
-        }
+    let (outcome, sut_name, transport) = if let Some(endpoint) = remote {
+        let (outcome, sut_name) = match run_remote(&scenario, &endpoint, opts) {
+            Ok(v) => v,
+            Err(code) => return code,
+        };
+        (outcome, sut_name, Transport::Remote { endpoint })
+    } else {
+        let sut_name = sut_arg.expect("checked above");
+        let registry = SutRegistry::default();
+        let factory = match registry.factory(&sut_name) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        eprintln!(
+            "running {} on {sut_name} ({} phases, {} ops) ...",
+            scenario.name,
+            scenario.workload.phases().len(),
+            scenario.workload.total_ops()
+        );
+        let outcome = match Runner::from_factory(factory).config(opts).run(&scenario) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        (outcome, sut_name, Transport::Local)
     };
     report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
-    let manifest = RunManifest::for_run(&scenario, &sut_name, threads);
+    let manifest = RunManifest::for_run(&scenario, &sut_name, threads).with_transport(transport);
     let artifact = RunArtifact::new(manifest, outcome.record);
     match store.save(&artifact) {
         Ok(path) => {
@@ -608,13 +734,18 @@ fn cmd_archive_list(args: &[String]) -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             println!(
-                "{:<16} {:<14} {:<22} {:>7} {:>9}",
-                "digest", "sut", "scenario", "workers", "ops"
+                "{:<16} {:<14} {:<22} {:>7} {:<24} {:>9}",
+                "digest", "sut", "scenario", "workers", "transport", "ops"
             );
             for e in &entries {
                 println!(
-                    "{:<16} {:<14} {:<22} {:>7} {:>9}",
-                    e.digest, e.sut, e.scenario, e.concurrency, e.completed
+                    "{:<16} {:<14} {:<22} {:>7} {:<24} {:>9}",
+                    e.digest,
+                    e.sut,
+                    e.scenario,
+                    e.concurrency,
+                    e.transport.to_string(),
+                    e.completed
                 );
             }
             ExitCode::SUCCESS
@@ -643,6 +774,7 @@ fn cmd_archive_show(args: &[String]) -> ExitCode {
             println!("sut:           {}", m.sut);
             println!("scenario:      {}", m.scenario);
             println!("workers:       {}", m.concurrency);
+            println!("transport:     {}", m.transport);
             println!("crate version: {}", m.crate_version);
             let r = &a.record;
             println!(
@@ -685,7 +817,9 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     };
     match compare(&baseline.record, &candidate.record) {
         Ok(report) => {
+            let transport_header = render_transport_header(&baseline.manifest, &candidate.manifest);
             if has_flag(args, "--json") {
+                eprint!("{transport_header}");
                 match to_json(&report) {
                     Ok(json) => println!("{json}"),
                     Err(e) => {
@@ -694,6 +828,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
                     }
                 }
             } else {
+                print!("{transport_header}");
                 print!("{}", render_comparison_report(&report));
             }
             ExitCode::SUCCESS
@@ -915,6 +1050,7 @@ fn main() -> ExitCode {
     match args.first().map(|s| s.as_str()) {
         Some("suite") => cmd_suite(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("shift") => cmd_shift(&args[1..]),
         Some("quality") => cmd_quality(&args[1..]),
         Some("archive") => cmd_archive(&args[1..]),

@@ -7,7 +7,7 @@ use lsbench::core::faults::FaultStats;
 use lsbench::core::record::{OpRecord, RunRecord};
 use lsbench::core::results::{
     compare, ComparisonReport, ResultStore, RunArtifact, RunManifest, StoreError, SuiteArtifact,
-    SCHEMA_VERSION,
+    Transport, SCHEMA_VERSION,
 };
 use lsbench::core::runner::{RunOptions, Runner};
 use lsbench::core::scenario::Scenario;
@@ -98,6 +98,9 @@ fn golden_artifact() -> RunArtifact {
         spec: "name = \"golden\"\n".to_string(),
         concurrency: 1,
         crate_version: "0.1.0-fixture".to_string(),
+        transport: Transport::Remote {
+            endpoint: "127.0.0.1:7070".to_string(),
+        },
     };
     let record = RunRecord {
         sut_name: "btree".to_string(),
@@ -149,10 +152,10 @@ fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("fixtures")
-        .join("run_artifact_v1.json")
+        .join("run_artifact_v2.json")
 }
 
-/// Byte-exact golden pin of the `RunArtifact` v1 JSON schema. If this
+/// Byte-exact golden pin of the `RunArtifact` v2 JSON schema. If this
 /// fails, the serialized shape changed: bump
 /// [`lsbench::core::results::SCHEMA_VERSION`], regenerate the fixture with
 /// `cargo test regenerate_golden_artifact_fixture -- --ignored`, and
@@ -162,7 +165,7 @@ fn fixture_path() -> PathBuf {
 fn run_artifact_json_schema_is_pinned_byte_exact() {
     let artifact = golden_artifact();
     let expected = std::fs::read_to_string(fixture_path())
-        .expect("tests/fixtures/run_artifact_v1.json exists (see regenerate test)");
+        .expect("tests/fixtures/run_artifact_v2.json exists (see regenerate test)");
     let actual = artifact.to_json().expect("serializes");
     assert_eq!(
         actual, expected,
@@ -193,7 +196,7 @@ fn store_refuses_unversioned_and_drifted_artifacts() {
     let json = std::fs::read_to_string(&path).unwrap();
 
     // Strip the version field → refused as unversioned.
-    let unversioned = json.replacen("  \"schema_version\": 1,\n", "", 1);
+    let unversioned = json.replacen("  \"schema_version\": 2,\n", "", 1);
     assert_ne!(unversioned, json);
     std::fs::write(&path, &unversioned).unwrap();
     match store.load(&artifact.digest) {
@@ -204,12 +207,13 @@ fn store_refuses_unversioned_and_drifted_artifacts() {
         other => panic!("expected unversioned refusal, got {other:?}"),
     }
 
-    // Future version → refused with the found version reported.
-    let future = json.replacen("\"schema_version\": 1", "\"schema_version\": 2", 1);
-    std::fs::write(&path, &future).unwrap();
+    // Version drift (old v1 readers-era artifacts) → refused with the
+    // found version reported.
+    let drifted = json.replacen("\"schema_version\": 2", "\"schema_version\": 1", 1);
+    std::fs::write(&path, &drifted).unwrap();
     assert!(matches!(
         store.load(&artifact.digest),
-        Err(StoreError::Schema { found: Some(2), .. })
+        Err(StoreError::Schema { found: Some(1), .. })
     ));
 
     // Tampered manifest → digest mismatch.
