@@ -27,10 +27,12 @@ use lsbench_workload::ops::Operation;
 pub struct DriverConfig {
     /// Cap on recorded operations (guards against runaway scenarios).
     pub max_ops: u64,
-    /// Logical concurrency. `1` selects this serial driver; larger values
-    /// route the run through the concurrent execution engine
-    /// ([`crate::engine`]), which executes that many independent lanes.
-    pub concurrency: usize,
+    /// Requested execution mode. The serial driver itself always runs
+    /// serially; this field is routing metadata consumed by
+    /// [`EngineConfig::from_driver`](crate::engine::EngineConfig::from_driver)
+    /// when a caller hands a driver config to the concurrent engine
+    /// ([`crate::engine`]).
+    pub mode: crate::runner::ExecutionMode,
     /// Operations dispatched per [`SystemUnderTest::execute_many`] call in
     /// the serial hot loop. Batches never span a phase boundary, a
     /// maintenance slot, or the `max_ops` cap, so the record is
@@ -43,7 +45,7 @@ impl Default for DriverConfig {
     fn default() -> Self {
         DriverConfig {
             max_ops: u64::MAX,
-            concurrency: 1,
+            mode: crate::runner::ExecutionMode::Serial,
             dispatch_batch: 64,
         }
     }

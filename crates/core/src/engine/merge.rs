@@ -45,10 +45,26 @@ pub(crate) struct MergeContext<'a> {
     pub lanes: usize,
 }
 
-/// Folds lane results into an [`EngineReport`].
-pub(crate) fn merge_lanes(
+/// Folds lane results into an [`EngineReport`]. Completion ties break on
+/// `(lane, global index)`: lanes are stable identities here (one lane =
+/// one op stream), so the tiebreaker is worker-count-invariant.
+pub(crate) fn merge_lanes(lanes: Vec<LaneResult>, ctx: MergeContext<'_>) -> Result<EngineReport> {
+    merge_results(lanes, ctx, false)
+}
+
+/// Folds per-*worker* results from the open-loop scheduler
+/// ([`super::sched`]) into an [`EngineReport`]. Here `lane` is a worker
+/// index — it changes with the thread count — so completion ties must
+/// break on the global op index alone (globally unique, so still a total
+/// order, and invariant across worker counts).
+pub(crate) fn merge_clients(lanes: Vec<LaneResult>, ctx: MergeContext<'_>) -> Result<EngineReport> {
+    merge_results(lanes, ctx, true)
+}
+
+fn merge_results(
     mut lanes: Vec<LaneResult>,
     ctx: MergeContext<'_>,
+    by_global_idx: bool,
 ) -> Result<EngineReport> {
     let MergeContext {
         sut_name,
@@ -70,12 +86,16 @@ pub(crate) fn merge_lanes(
     for lane in &lanes {
         tagged.extend(lane.ops.iter().map(|&(idx, rec)| (lane.lane, idx, rec)));
     }
-    tagged.sort_by(|a, b| {
-        a.2.t_end
-            .total_cmp(&b.2.t_end)
-            .then(a.0.cmp(&b.0))
-            .then(a.1.cmp(&b.1))
-    });
+    if by_global_idx {
+        tagged.sort_by(|a, b| a.2.t_end.total_cmp(&b.2.t_end).then(a.1.cmp(&b.1)));
+    } else {
+        tagged.sort_by(|a, b| {
+            a.2.t_end
+                .total_cmp(&b.2.t_end)
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
+    }
     let ops = tagged.into_iter().map(|(_, _, rec)| rec).collect();
 
     // A phase becomes active when the first lane reaches it.

@@ -41,15 +41,18 @@
 
 pub(crate) mod latency;
 mod merge;
+pub mod sched;
 mod shard;
 mod worker;
 
+pub use sched::{run_open_loop_kv_scenario, run_open_loop_kv_scenario_observed};
 pub use shard::{shard_dataset, KeyRouter};
 
 use crate::driver::DriverConfig;
 use crate::faults::FaultSession;
 use crate::obs::{LaneObs, RunObserver};
 use crate::record::{RunRecord, TrainInfo};
+use crate::runner::ExecutionMode;
 use crate::scenario::Scenario;
 use crate::{BenchError, Result};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -106,9 +109,18 @@ impl EngineConfig {
 
     /// Derives an engine configuration from the serial driver's knobs.
     pub fn from_driver(config: &DriverConfig) -> Self {
+        let (threads, lanes) = match config.mode {
+            ExecutionMode::Serial => (1, 1),
+            ExecutionMode::SharedLock { workers } | ExecutionMode::Sharded { workers } => {
+                (workers.max(1), workers.max(1))
+            }
+            ExecutionMode::OpenLoop { clients, workers } => (workers.max(1), clients.max(1)),
+        };
         EngineConfig {
+            threads,
+            lanes,
             max_ops: config.max_ops,
-            ..EngineConfig::with_concurrency(config.concurrency.max(1))
+            ..EngineConfig::default()
         }
     }
 

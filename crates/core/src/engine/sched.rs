@@ -1,0 +1,476 @@
+//! Event-heap scheduler: millions of open-loop clients on a worker pool.
+//!
+//! The classic engine modes pin lanes 1:1 to pre-partitioned op streams,
+//! so "concurrency" tops out at a few workers. This module models the
+//! population the north star actually asks about — *millions of
+//! simulated open-loop clients* — by decoupling clients from threads:
+//!
+//! * The global op stream is dealt round-robin to `clients` virtual
+//!   clients (`stream index mod clients`), and every op gets an
+//!   *intended* start time drawn from the scenario's seeded arrival
+//!   process — computed exactly as the serial driver computes it
+//!   (`exec_start + generator.next_arrival()`), so a one-client run is
+//!   bit-identical to the serial driver. (Per-phase `concurrency_burst`
+//!   factors are ignored here, as they are in the serial driver: the
+//!   arrival process *is* the offered load.)
+//! * Clients are assigned to workers by `client mod workers`. Each
+//!   worker drives its clients through a binary **event heap** keyed on
+//!   `(virtual deadline, client id)`: pop the next-due client, execute
+//!   one op via the same `step_op` the lane workers use, push the
+//!   client back with its next op's deadline. Per-client state is four
+//!   scalars (`ClientState`) and all result sinks are per-worker
+//!   (`LaneSinks`), so bookkeeping is O(1) per event and memory is
+//!   O(clients + ops), never O(clients × histogram).
+//! * Events are popped in batches of [`EngineConfig::batch_size`] so the
+//!   shared-SUT mutex is taken once per batch instead of once per op.
+//!
+//! Determinism survives the multiplexing because every op's outcome is a
+//! function of *its client's* state only — the heap decides *when a
+//! worker gets around to* an op, never what the op computes — and every
+//! sink merges order-insensitively: op records re-sort on
+//! `(completion time, global index)`, phase first-seen times min-fold,
+//! histograms and counters add. Records are therefore bit-identical at
+//! any worker count (the same contract, and the same read-only caveat on
+//! a shared SUT, as [`run_concurrent_kv_scenario`]).
+//!
+//! [`run_concurrent_kv_scenario`]: super::run_concurrent_kv_scenario
+
+use super::merge::{merge_clients, MergeContext};
+use super::worker::{step_op, ClientState, LaneOp, LaneParams, LaneResult, LaneSinks};
+use super::{absorb_lane_obs, collect_stream, finish_engine_obs, EngineConfig, EngineReport};
+use crate::faults::FaultSession;
+use crate::obs::RunObserver;
+use crate::record::TrainInfo;
+use crate::scenario::Scenario;
+use crate::{BenchError, Result};
+use lsbench_workload::arrival::ArrivalGenerator;
+use lsbench_workload::ops::Operation;
+use lsbench_workload::phases::LabeledOp;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+
+use lsbench_sut::sut::SystemUnderTest;
+
+/// One pending client event: the client's next op and when it is due.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    /// Virtual time the op will start: `max(client clock, intended)`.
+    deadline: f64,
+    /// Owning client (deterministic tiebreaker for equal deadlines).
+    client: usize,
+    /// Global stream index of the client's next op.
+    next: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the *earliest*
+        // deadline on top.
+        other
+            .deadline
+            .total_cmp(&self.deadline)
+            .then(other.client.cmp(&self.client))
+    }
+}
+
+/// The shared, read-only view of the pre-computed op stream.
+#[derive(Clone, Copy)]
+struct SchedStream<'a> {
+    labeled: &'a [LabeledOp],
+    intended: &'a [f64],
+    announce: &'a [bool],
+}
+
+/// Runs a scenario as `config.lanes` simulated open-loop clients
+/// multiplexed onto `config.threads` workers against one shared SUT.
+/// Requires an arrival process ([`Scenario::arrival`]); see the
+/// [module docs](self) for the determinism contract.
+pub fn run_open_loop_kv_scenario<S>(
+    sut: &mut S,
+    scenario: &Scenario,
+    config: &EngineConfig,
+) -> Result<EngineReport>
+where
+    S: SystemUnderTest<Operation> + Send + ?Sized,
+{
+    run_open_loop_kv_scenario_observed(sut, scenario, config, &mut RunObserver::disabled())
+}
+
+/// [`run_open_loop_kv_scenario`] with observability. Metrics, counters,
+/// and histograms are worker-count-invariant; the *event trace* is not
+/// (trace events interleave per worker), so trace-level comparisons
+/// should pin one worker.
+pub fn run_open_loop_kv_scenario_observed<S>(
+    sut: &mut S,
+    scenario: &Scenario,
+    config: &EngineConfig,
+    obs: &mut RunObserver,
+) -> Result<EngineReport>
+where
+    S: SystemUnderTest<Operation> + Send + ?Sized,
+{
+    scenario.validate()?;
+    config.validate()?;
+    let Some(spec) = scenario.arrival else {
+        return Err(BenchError::InvalidScenario(
+            "open-loop execution requires an [arrival] section: without an arrival \
+             process an open loop is just a closed loop"
+                .to_string(),
+        ));
+    };
+    let rate = scenario.work_units_per_second;
+    let labeled = collect_stream(scenario, config.max_ops)?;
+
+    let sut_name = sut.name();
+    obs.train_start(0.0, scenario.train_budget);
+    let train_work = sut.train(scenario.train_budget);
+    let exec_start = train_work as f64 / rate;
+    let train = TrainInfo {
+        work: train_work,
+        seconds: exec_start,
+    };
+    obs.train_end(exec_start, train_work);
+    obs.root.phase_change(exec_start, 0);
+
+    // Intended start times, computed exactly as the serial driver does
+    // (`exec_start + next_arrival()`): bit-for-bit the serial schedule.
+    let mut generator = ArrivalGenerator::new(spec.process, spec.modulation, spec.seed)
+        .map_err(|e| BenchError::Workload(e.to_string()))?;
+    let intended: Vec<f64> = labeled
+        .iter()
+        .map(|_| exec_start + generator.next_arrival())
+        .collect();
+    // Only the globally first op of each phase announces the change to
+    // the shared SUT (same rule as shared-lanes mode).
+    let mut announce = vec![false; labeled.len()];
+    let mut current_phase = 0usize;
+    for (i, op) in labeled.iter().enumerate() {
+        if op.phase != current_phase {
+            current_phase = op.phase;
+            announce[i] = true;
+        }
+    }
+
+    let clients = config.lanes;
+    let threads = config.threads.min(clients).max(1);
+    let params = LaneParams {
+        rate,
+        maintenance_every: scenario.maintenance_every,
+        online_train: scenario.online_train,
+        exec_start,
+        interval_width: config.completion_interval,
+        obs_cfg: *obs.config(),
+        obs_active: obs.is_active(),
+    };
+    let fault_session = FaultSession::from_scenario(scenario);
+    let mutex = Mutex::new(sut);
+    let stream = SchedStream {
+        labeled: &labeled,
+        intended: &intended,
+        announce: &announce,
+    };
+
+    let worker_results = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let mutex_ref = &mutex;
+            let params_ref = &params;
+            let session = fault_session.as_ref();
+            let batch_size = config.batch_size;
+            handles.push(scope.spawn(move || {
+                run_sched_worker(
+                    worker, threads, clients, stream, mutex_ref, params_ref, session, batch_size,
+                )
+            }));
+        }
+        let mut all = Vec::with_capacity(threads);
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(result)) => all.push(result),
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Err(BenchError::Sut("scheduler worker panicked".to_string())),
+            }
+        }
+        Ok(all)
+    })?;
+
+    let final_metrics = mutex
+        .into_inner()
+        .map_err(|_| BenchError::Sut("shared SUT mutex poisoned".to_string()))?
+        .metrics();
+    let report = merge_clients(
+        absorb_lane_obs(worker_results, obs),
+        MergeContext {
+            sut_name,
+            scenario,
+            train,
+            exec_start,
+            final_metrics,
+            interval_width: config.completion_interval,
+            threads,
+            lanes: clients,
+        },
+    )?;
+    finish_engine_obs(obs, &report);
+    Ok(report)
+}
+
+/// One scheduler worker: owns every client with `client % threads ==
+/// worker`, drives them in event-heap order, and returns one
+/// [`LaneResult`] whose `lane` is the worker index (so the observer
+/// absorption path is shared with the lane engine).
+#[allow(clippy::too_many_arguments)]
+fn run_sched_worker<S>(
+    worker: usize,
+    threads: usize,
+    clients: usize,
+    stream: SchedStream<'_>,
+    mutex: &Mutex<&mut S>,
+    params: &LaneParams,
+    session: Option<&FaultSession>,
+    batch_size: usize,
+) -> Result<LaneResult>
+where
+    S: SystemUnderTest<Operation> + Send + ?Sized,
+{
+    let total = stream.labeled.len();
+    // Client `c` owns global indices c, c + clients, c + 2·clients, …
+    // Local slot for client `c` on this worker: (c - worker) / threads.
+    let owned = if worker < clients {
+        (clients - worker - 1) / threads + 1
+    } else {
+        0
+    };
+    let mut states: Vec<ClientState> = vec![ClientState::new(params.exec_start); owned];
+    let mut sinks = LaneSinks::new(params, worker)?;
+    let mut final_clock = params.exec_start;
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::with_capacity(owned.min(total));
+    let mut client = worker;
+    while client < clients && client < total {
+        heap.push(Event {
+            deadline: stream.intended[client],
+            client,
+            next: client,
+        });
+        client += threads;
+    }
+
+    let mut batch: Vec<Event> = Vec::with_capacity(batch_size);
+    while !heap.is_empty() {
+        batch.clear();
+        while batch.len() < batch_size {
+            match heap.pop() {
+                Some(event) => batch.push(event),
+                None => break,
+            }
+        }
+        // One lock per batch, not per op: the scheduler's throughput
+        // lever. Virtual results cannot tell the difference because each
+        // event only touches its own client's clock.
+        let mut guard = mutex
+            .lock()
+            .map_err(|_| BenchError::Sut("shared SUT mutex poisoned".to_string()))?;
+        for event in &batch {
+            let slot = (event.client - worker) / threads;
+            let op = LaneOp {
+                labeled: stream.labeled[event.next],
+                idx: event.next as u64,
+                intended: Some(stream.intended[event.next]),
+                announce: stream.announce[event.next],
+            };
+            step_op(
+                &mut states[slot],
+                &mut sinks,
+                &mut **guard,
+                &op,
+                params,
+                session,
+            )?;
+            let next = event.next + clients;
+            if next < total {
+                heap.push(Event {
+                    deadline: stream.intended[next].max(states[slot].clock),
+                    client: event.client,
+                    next,
+                });
+            } else {
+                // The client's last op: pay any remaining adaptation
+                // backlog (conservation of adaptation work).
+                final_clock = final_clock.max(states[slot].finish());
+            }
+        }
+    }
+
+    Ok(LaneResult {
+        lane: worker,
+        ops: sinks.ops,
+        phase_first: sinks.phase_first,
+        final_clock,
+        recorder: sinks.recorder,
+        obs: sinks.obs,
+        faults: sinks.faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_kv_scenario, DriverConfig};
+    use crate::scenario::ArrivalSpec;
+    use lsbench_sut::kv::BTreeSut;
+    use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
+    use lsbench_workload::keygen::KeyDistribution;
+
+    fn open_loop_scenario(rate: f64) -> Scenario {
+        let mut s = Scenario::two_phase_shift(
+            "sched-shift",
+            KeyDistribution::Uniform,
+            KeyDistribution::Normal {
+                center: 0.1,
+                std_frac: 0.02,
+            },
+            5_000,
+            2_000,
+            42,
+        )
+        .unwrap();
+        s.arrival = Some(ArrivalSpec {
+            process: ArrivalProcess::Poisson { rate },
+            modulation: LoadModulation::Constant,
+            seed: 7,
+        });
+        s
+    }
+
+    fn config(clients: usize, threads: usize) -> EngineConfig {
+        EngineConfig {
+            threads,
+            lanes: clients,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_client_is_bit_identical_to_serial_driver() {
+        let s = open_loop_scenario(50_000.0);
+        let data = s.dataset.build().unwrap();
+        let mut serial_sut = BTreeSut::build(&data).unwrap();
+        let serial = run_kv_scenario(&mut serial_sut, &s, DriverConfig::default()).unwrap();
+        let mut sched_sut = BTreeSut::build(&data).unwrap();
+        let report = run_open_loop_kv_scenario(&mut sched_sut, &s, &config(1, 1)).unwrap();
+        assert_eq!(report.record.ops, serial.ops);
+        assert_eq!(report.record.phase_change_times, serial.phase_change_times);
+        assert_eq!(report.record.exec_end, serial.exec_end);
+        assert_eq!(report.record.final_metrics, serial.final_metrics);
+    }
+
+    #[test]
+    fn records_are_worker_count_invariant() {
+        let s = open_loop_scenario(80_000.0);
+        let data = s.dataset.build().unwrap();
+        let mut baseline = None;
+        for threads in [1, 2, 4] {
+            let mut sut = BTreeSut::build(&data).unwrap();
+            let report = run_open_loop_kv_scenario(&mut sut, &s, &config(500, threads)).unwrap();
+            assert_eq!(report.threads, threads.min(500));
+            assert_eq!(report.lanes, 500);
+            match &baseline {
+                None => baseline = Some(report),
+                Some(first) => {
+                    assert_eq!(report.record.ops, first.record.ops, "threads={threads}");
+                    assert_eq!(
+                        report.record.phase_change_times,
+                        first.record.phase_change_times
+                    );
+                    assert_eq!(report.record.exec_end, first.record.exec_end);
+                    assert_eq!(report.latency, first.latency);
+                    assert_eq!(report.completions, first.completions);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_size_never_changes_results() {
+        let s = open_loop_scenario(80_000.0);
+        let data = s.dataset.build().unwrap();
+        let mut small_sut = BTreeSut::build(&data).unwrap();
+        let small = run_open_loop_kv_scenario(
+            &mut small_sut,
+            &s,
+            &EngineConfig {
+                batch_size: 1,
+                ..config(64, 4)
+            },
+        )
+        .unwrap();
+        let mut big_sut = BTreeSut::build(&data).unwrap();
+        let big = run_open_loop_kv_scenario(&mut big_sut, &s, &config(64, 4)).unwrap();
+        assert_eq!(small.record.ops, big.record.ops);
+        assert_eq!(small.record.exec_end, big.record.exec_end);
+    }
+
+    #[test]
+    fn more_clients_than_ops_is_fine() {
+        let s = open_loop_scenario(50_000.0);
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let report = run_open_loop_kv_scenario(&mut sut, &s, &config(10_000, 4)).unwrap();
+        // Two phases of 2 000 ops each; clients beyond the op count simply
+        // never fire.
+        assert_eq!(report.record.ops.len(), 4_000);
+        assert_eq!(report.lanes, 10_000);
+    }
+
+    #[test]
+    fn closed_loop_scenario_is_rejected() {
+        let s = Scenario::two_phase_shift(
+            "sched-closed",
+            KeyDistribution::Uniform,
+            KeyDistribution::Uniform,
+            2_000,
+            200,
+            42,
+        )
+        .unwrap();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        let err = run_open_loop_kv_scenario(&mut sut, &s, &config(8, 2)).unwrap_err();
+        assert!(err.to_string().contains("arrival"));
+    }
+
+    #[test]
+    fn overload_charges_queueing_delay() {
+        // Arrivals far faster than the SUT can serve: open-loop latency
+        // must include queueing, so the p99 dwarfs the underloaded run's.
+        let fast = open_loop_scenario(1_000_000_000.0);
+        let slow = open_loop_scenario(1_000.0);
+        let data = fast.dataset.build().unwrap();
+        let mut overloaded = BTreeSut::build(&data).unwrap();
+        let over = run_open_loop_kv_scenario(&mut overloaded, &fast, &config(4, 2)).unwrap();
+        let mut relaxed = BTreeSut::build(&data).unwrap();
+        let under = run_open_loop_kv_scenario(&mut relaxed, &slow, &config(4, 2)).unwrap();
+        let over_p99 = over.latency.quantile(0.99).unwrap();
+        let under_p99 = under.latency.quantile(0.99).unwrap();
+        assert!(
+            over_p99 > under_p99,
+            "overload p99 {over_p99}ns should exceed underload p99 {under_p99}ns"
+        );
+    }
+}

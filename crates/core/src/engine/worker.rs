@@ -103,32 +103,210 @@ pub(crate) enum WorkerSut<'env, 'sut, S: ?Sized> {
     Sharded(Vec<(usize, &'env mut Box<dyn SystemUnderTest<Operation> + Send>)>),
 }
 
-/// Per-lane virtual execution state, advanced one operation at a time in
-/// exactly the serial driver's order.
-struct LaneState {
-    clock: f64,
-    backlog: f64,
-    since_maintenance: u64,
-    current_phase: usize,
-    ops: Vec<(u64, OpRecord)>,
-    phase_first: Vec<(usize, f64)>,
-    recorder: LaneRecorder,
-    obs: LaneObs,
-    faults: FaultStats,
+/// One simulated client's virtual execution state: four scalars, so the
+/// open-loop scheduler ([`super::sched`]) can hold millions of them. The
+/// classic lane model is a client that owns a whole op stream.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClientState {
+    /// The client's virtual clock (starts at `exec_start`).
+    pub clock: f64,
+    /// Outstanding adaptation work, in virtual seconds.
+    pub backlog: f64,
+    /// Client-local operations since the last maintenance slot.
+    pub since_maintenance: u64,
+    /// Last phase this client saw (phase changes fire on transition).
+    pub current_phase: usize,
 }
 
-impl LaneState {
-    fn new(params: &LaneParams, lane: usize) -> Result<Self> {
-        Ok(LaneState {
-            clock: params.exec_start,
+impl ClientState {
+    pub(crate) fn new(exec_start: f64) -> Self {
+        ClientState {
+            clock: exec_start,
             backlog: 0.0,
             since_maintenance: 0,
             current_phase: 0,
+        }
+    }
+
+    /// Pays any remaining adaptation backlog (conservation of adaptation
+    /// work, as in the serial driver) and returns the final clock.
+    pub(crate) fn finish(&mut self) -> f64 {
+        self.clock += self.backlog;
+        self.clock
+    }
+}
+
+/// Per-worker result sinks shared by every client the worker executes:
+/// op records, phase first-seen times, the mergeable latency recorder,
+/// observability state, and fault accounting. All of them merge
+/// order-insensitively, so sinks are per-*worker* while clocks are
+/// per-*client* — O(1) bookkeeping per event regardless of population.
+#[derive(Debug)]
+pub(crate) struct LaneSinks {
+    /// Completed operations as `(global index, record)`.
+    pub ops: Vec<(u64, OpRecord)>,
+    /// Virtual time a client first saw each phase (min-folded at merge).
+    pub phase_first: Vec<(usize, f64)>,
+    /// Latency histogram + per-interval completion counts.
+    pub recorder: LaneRecorder,
+    /// Observability state (events, counters, histogram).
+    pub obs: LaneObs,
+    /// Fault-injection accounting.
+    pub faults: FaultStats,
+}
+
+impl LaneSinks {
+    pub(crate) fn new(params: &LaneParams, lane: usize) -> Result<Self> {
+        Ok(LaneSinks {
             ops: Vec::new(),
             phase_first: Vec::new(),
             recorder: LaneRecorder::new(params.exec_start, params.interval_width)?,
             obs: LaneObs::for_lane(lane, params.obs_cfg, params.obs_active),
             faults: FaultStats::default(),
+        })
+    }
+}
+
+/// Executes one operation for one client — exactly the serial driver's
+/// loop: phase announcement, maintenance slot, arrival wait, execute,
+/// backlog-aware service, coordinated-omission-safe latency. Shared by
+/// the lane workers below and the open-loop scheduler.
+pub(crate) fn step_op<T: SystemUnderTest<Operation> + ?Sized>(
+    client: &mut ClientState,
+    sinks: &mut LaneSinks,
+    sut: &mut T,
+    op: &LaneOp,
+    params: &LaneParams,
+    session: Option<&FaultSession>,
+) -> Result<()> {
+    let labeled = &op.labeled;
+    if labeled.phase != client.current_phase {
+        client.current_phase = labeled.phase;
+        sinks.phase_first.push((labeled.phase, client.clock));
+        sinks.obs.phase_change(client.clock, labeled.phase);
+        if op.announce {
+            let adapt_work = sut.on_phase_change(labeled.phase);
+            client.backlog += adapt_work as f64 / params.rate;
+            sinks
+                .obs
+                .retrain_burst(client.clock, labeled.phase, adapt_work);
+            sinks.obs.backlog(client.clock, client.backlog);
+        }
+    }
+    client.since_maintenance += 1;
+    if client.since_maintenance >= params.maintenance_every {
+        client.since_maintenance = 0;
+        let maint_work = sut.maintenance();
+        client.backlog += maint_work as f64 / params.rate;
+        sinks.obs.maintenance(client.clock, maint_work);
+        sinks.obs.backlog(client.clock, client.backlog);
+    }
+    // Open loop: idle until the intended start if the client is ahead of
+    // schedule; if it is behind, the operation has been queueing and its
+    // wait will surface in the latency below.
+    if let Some(intended) = op.intended {
+        if intended > client.clock {
+            client.clock = intended;
+        }
+    }
+    let (latency, ok) = match session {
+        None => {
+            let before = sut.transport_stats();
+            let outcome = sut
+                .execute(&labeled.op)
+                .map_err(|e| BenchError::Sut(e.to_string()))?;
+            fold_transport_delta(
+                before,
+                sut.transport_stats(),
+                &mut sinks.faults,
+                &mut sinks.obs,
+                client.clock,
+            );
+            let service = service_with_backlog(
+                outcome.work as f64 / params.rate,
+                &mut client.backlog,
+                params.online_train,
+            );
+            client.clock += service;
+            // Closed loop: latency = service. Open loop: completion minus
+            // the *intended* start, so queueing delay is never omitted.
+            let latency = match op.intended {
+                Some(intended) => client.clock - intended,
+                None => service,
+            };
+            (latency, outcome.ok)
+        }
+        Some(session) => {
+            // Every decision in here is a pure function of the plan seed
+            // and `op.idx`, so clients stay thread-invariant.
+            let before = sut.transport_stats();
+            let fr = execute_faulted(
+                sut,
+                &labeled.op,
+                FaultOpCtx {
+                    phase: labeled.phase,
+                    idx: op.idx,
+                    rate: params.rate,
+                    mode: params.online_train,
+                },
+                session,
+                &mut client.backlog,
+            )?;
+            fold_transport_delta(
+                before,
+                sut.transport_stats(),
+                &mut sinks.faults,
+                &mut sinks.obs,
+                client.clock,
+            );
+            client.clock += fr.service;
+            // The client stays busy for the full service; it observes
+            // timed-out attempts only up to the timeout.
+            let latency = match op.intended {
+                Some(intended) => client.clock - intended - (fr.service - fr.observed),
+                None => fr.observed,
+            };
+            for kind in &fr.injected {
+                sinks.obs.fault_injected(client.clock, *kind);
+            }
+            for attempt in 0..fr.retries {
+                sinks.obs.query_retried(client.clock, attempt + 1);
+            }
+            for _ in 0..fr.timeouts {
+                sinks.obs.query_timed_out(client.clock, latency);
+            }
+            fr.fold_into(&mut sinks.faults);
+            (latency, fr.ok)
+        }
+    };
+    let record = OpRecord {
+        t_end: client.clock,
+        latency,
+        phase: labeled.phase as u16,
+        ok,
+        in_transition: labeled.in_transition,
+    };
+    sinks.recorder.record(client.clock, latency)?;
+    sinks
+        .obs
+        .op_done(client.clock, client.clock - params.exec_start, latency, ok);
+    sinks.ops.push((op.idx, record));
+    Ok(())
+}
+
+/// Per-lane virtual execution state, advanced one operation at a time in
+/// exactly the serial driver's order: one [`ClientState`] owning the
+/// lane's whole stream, plus the lane's own sinks.
+struct LaneState {
+    client: ClientState,
+    sinks: LaneSinks,
+}
+
+impl LaneState {
+    fn new(params: &LaneParams, lane: usize) -> Result<Self> {
+        Ok(LaneState {
+            client: ClientState::new(params.exec_start),
+            sinks: LaneSinks::new(params, lane)?,
         })
     }
 
@@ -139,132 +317,20 @@ impl LaneState {
         params: &LaneParams,
         session: Option<&FaultSession>,
     ) -> Result<()> {
-        let labeled = &op.labeled;
-        if labeled.phase != self.current_phase {
-            self.current_phase = labeled.phase;
-            self.phase_first.push((labeled.phase, self.clock));
-            self.obs.phase_change(self.clock, labeled.phase);
-            if op.announce {
-                let adapt_work = sut.on_phase_change(labeled.phase);
-                self.backlog += adapt_work as f64 / params.rate;
-                self.obs
-                    .retrain_burst(self.clock, labeled.phase, adapt_work);
-                self.obs.backlog(self.clock, self.backlog);
-            }
-        }
-        self.since_maintenance += 1;
-        if self.since_maintenance >= params.maintenance_every {
-            self.since_maintenance = 0;
-            let maint_work = sut.maintenance();
-            self.backlog += maint_work as f64 / params.rate;
-            self.obs.maintenance(self.clock, maint_work);
-            self.obs.backlog(self.clock, self.backlog);
-        }
-        // Open loop: idle until the intended start if the lane is ahead of
-        // schedule; if it is behind, the operation has been queueing and
-        // its wait will surface in the latency below.
-        if let Some(intended) = op.intended {
-            if intended > self.clock {
-                self.clock = intended;
-            }
-        }
-        let (latency, ok) = match session {
-            None => {
-                let before = sut.transport_stats();
-                let outcome = sut
-                    .execute(&labeled.op)
-                    .map_err(|e| BenchError::Sut(e.to_string()))?;
-                fold_transport_delta(
-                    before,
-                    sut.transport_stats(),
-                    &mut self.faults,
-                    &mut self.obs,
-                    self.clock,
-                );
-                let service = service_with_backlog(
-                    outcome.work as f64 / params.rate,
-                    &mut self.backlog,
-                    params.online_train,
-                );
-                self.clock += service;
-                // Closed loop: latency = service. Open loop: completion
-                // minus the *intended* start, so queueing delay is never
-                // omitted.
-                let latency = match op.intended {
-                    Some(intended) => self.clock - intended,
-                    None => service,
-                };
-                (latency, outcome.ok)
-            }
-            Some(session) => {
-                // Every decision in here is a pure function of the plan
-                // seed and `op.idx`, so lanes stay thread-invariant.
-                let before = sut.transport_stats();
-                let fr = execute_faulted(
-                    sut,
-                    &labeled.op,
-                    FaultOpCtx {
-                        phase: labeled.phase,
-                        idx: op.idx,
-                        rate: params.rate,
-                        mode: params.online_train,
-                    },
-                    session,
-                    &mut self.backlog,
-                )?;
-                fold_transport_delta(
-                    before,
-                    sut.transport_stats(),
-                    &mut self.faults,
-                    &mut self.obs,
-                    self.clock,
-                );
-                self.clock += fr.service;
-                // The lane stays busy for the full service; the client
-                // observes timed-out attempts only up to the timeout.
-                let latency = match op.intended {
-                    Some(intended) => self.clock - intended - (fr.service - fr.observed),
-                    None => fr.observed,
-                };
-                for kind in &fr.injected {
-                    self.obs.fault_injected(self.clock, *kind);
-                }
-                for attempt in 0..fr.retries {
-                    self.obs.query_retried(self.clock, attempt + 1);
-                }
-                for _ in 0..fr.timeouts {
-                    self.obs.query_timed_out(self.clock, latency);
-                }
-                fr.fold_into(&mut self.faults);
-                (latency, fr.ok)
-            }
-        };
-        let record = OpRecord {
-            t_end: self.clock,
-            latency,
-            phase: labeled.phase as u16,
-            ok,
-            in_transition: labeled.in_transition,
-        };
-        self.recorder.record(self.clock, latency)?;
-        self.obs
-            .op_done(self.clock, self.clock - params.exec_start, latency, ok);
-        self.ops.push((op.idx, record));
-        Ok(())
+        step_op(&mut self.client, &mut self.sinks, sut, op, params, session)
     }
 
-    /// Pays any remaining adaptation backlog (conservation of adaptation
-    /// work, as in the serial driver) and returns the lane's result.
+    /// Pays any remaining adaptation backlog and returns the lane's result.
     fn finish(mut self, lane: usize) -> LaneResult {
-        self.clock += self.backlog;
+        let final_clock = self.client.finish();
         LaneResult {
             lane,
-            ops: self.ops,
-            phase_first: self.phase_first,
-            final_clock: self.clock,
-            recorder: self.recorder,
-            obs: self.obs,
-            faults: self.faults,
+            ops: self.sinks.ops,
+            phase_first: self.sinks.phase_first,
+            final_clock,
+            recorder: self.sinks.recorder,
+            obs: self.sinks.obs,
+            faults: self.sinks.faults,
         }
     }
 }

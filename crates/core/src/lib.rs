@@ -19,7 +19,12 @@
 //!   reported as an overfitting gap (§V-A).
 //! * [`engine`] — the concurrent execution engine: multi-worker open/
 //!   closed-loop execution with coordinated-omission-safe latency
-//!   recording and deterministic merging.
+//!   recording, deterministic merging, and the event-heap scheduler
+//!   ([`engine::sched`]) multiplexing massive open-loop client
+//!   populations onto the worker pool.
+//! * [`capacity`] — the SLA capacity search: a binary-search load driver
+//!   that brackets the maximum sustainable arrival rate under a latency
+//!   SLA and emits a throughput–latency knee curve per SUT.
 //! * [`obs`] — structured observability: deterministic run-event tracing
 //!   on the virtual clock, a mergeable metrics registry, and wall-clock
 //!   profiling spans; zero-cost when disabled.
@@ -28,8 +33,9 @@
 //!   plus a virtual-time timeout/retry/backoff policy, bit-identical
 //!   across worker counts.
 //! * [`runner`] — the unified [`Runner`] facade: one entry point that
-//!   routes serial, shared-SUT concurrent, sharded, and hold-out runs
-//!   from a single [`RunOptions`] configuration.
+//!   routes serial, shared-SUT concurrent, sharded, open-loop, and
+//!   hold-out runs from a single [`RunOptions`] configuration via the
+//!   explicit [`ExecutionMode`] enum.
 //! * [`spec`] — the declarative scenario subsystem: a line-oriented spec
 //!   language with positioned errors, parse-time drift composers, a
 //!   canonical renderer, and the [`spec::ScenarioRegistry`] resolving
@@ -49,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod driver;
 pub mod engine;
 pub mod faults;
@@ -65,14 +72,15 @@ pub mod suite;
 pub mod sut_registry;
 pub mod wire;
 
+pub use capacity::{capacity_search, CapacityConfig, CapacityPoint, CapacityReport, SlaTarget};
 pub use driver::{
     run_kv_scenario, run_kv_scenario_observed, run_kv_trace, run_query_workload, DriverConfig,
     ReplayConfig,
 };
 pub use engine::{
-    run_concurrent_kv_scenario, run_concurrent_kv_scenario_observed, run_sharded_holdout,
-    run_sharded_kv_scenario, run_sharded_kv_scenario_observed, shard_dataset, EngineConfig,
-    EngineReport, KeyRouter,
+    run_concurrent_kv_scenario, run_concurrent_kv_scenario_observed, run_open_loop_kv_scenario,
+    run_open_loop_kv_scenario_observed, run_sharded_holdout, run_sharded_kv_scenario,
+    run_sharded_kv_scenario_observed, shard_dataset, EngineConfig, EngineReport, KeyRouter,
 };
 pub use faults::{FaultKind, FaultPlan, FaultSpec, FaultStats, RetryPolicy};
 pub use holdout::HoldoutReport;
@@ -87,8 +95,9 @@ pub use results::{
     render_regression, write_bench_summary, ComparisonReport, RegressionPolicy, RegressionReport,
     ResultStore, RunArtifact, RunManifest, StoreError, SuiteArtifact, Transport,
 };
-pub use runner::{BoxedKvSut, EngineStats, RunOptions, RunOutcome, Runner};
-pub use scenario::{Scenario, ScenarioBuilder};
+pub use results::{CapacityArtifact, CapacityManifest};
+pub use runner::{BoxedKvSut, EngineStats, ExecutionMode, RunOptions, RunOutcome, Runner};
+pub use scenario::{ModePreference, OpenLoopSpec, Scenario, ScenarioBuilder};
 pub use spec::{parse_fault_plan, parse_scenario, render_scenario, ScenarioRegistry, SpecError};
 pub use suite::{
     run_suite, run_suite_observed, standard_scenarios, SuiteConfig, SuiteObservation, SuiteResult,

@@ -41,7 +41,8 @@ pub use regress::{
     PolicyViolation, RegressionPolicy, RegressionReport,
 };
 pub use store::{
-    ResultStore, RunArtifact, RunManifest, StoreEntry, StoreError, SuiteArtifact, Transport,
+    CapacityArtifact, CapacityManifest, ResultStore, RunArtifact, RunManifest, StoreEntry,
+    StoreError, SuiteArtifact, Transport,
 };
 
 /// Version of every serialized artifact schema in this module
@@ -51,5 +52,8 @@ pub use store::{
 /// which the byte-exact golden fixture test enforces.
 ///
 /// History: v1 = PR-5 initial archive; v2 = `RunManifest` gains the
-/// `transport` field (local vs. remote endpoint).
-pub const SCHEMA_VERSION: u32 = 2;
+/// `transport` field (local vs. remote endpoint); v3 = `RunArtifact`
+/// gains the optional `engine` stats block
+/// ([`EngineStats`](crate::runner::EngineStats)) and the store learns
+/// capacity artifacts ([`CapacityArtifact`] under `capacity/`).
+pub const SCHEMA_VERSION: u32 = 3;

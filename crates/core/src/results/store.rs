@@ -15,8 +15,10 @@
 //! result.
 
 use super::SCHEMA_VERSION;
+use crate::capacity::CapacityReport;
 use crate::record::RunRecord;
 use crate::report::{workspace_root, write_artifact_to};
+use crate::runner::EngineStats;
 use crate::scenario::Scenario;
 use crate::spec::render_scenario;
 use crate::suite::SuiteResult;
@@ -209,17 +211,32 @@ pub struct RunArtifact {
     pub manifest: RunManifest,
     /// The complete run record (lossless: `final_metrics` included).
     pub record: RunRecord,
+    /// Engine statistics (merged latency histogram, completion intervals,
+    /// thread/lane counts) when the run went through the concurrent
+    /// engine; `None` for serial-driver runs. New in schema v3.
+    pub engine: Option<EngineStats>,
 }
 
 impl RunArtifact {
     /// Packages a manifest and record into a versioned, digested artifact.
+    /// Engine stats start absent; chain [`RunArtifact::with_engine`] for
+    /// engine-path runs.
     pub fn new(manifest: RunManifest, record: RunRecord) -> Self {
         RunArtifact {
             schema_version: SCHEMA_VERSION,
             digest: manifest.digest(),
             manifest,
             record,
+            engine: None,
         }
+    }
+
+    /// Stamps the engine statistics of the run that produced the record.
+    /// The digest stays manifest-only, so stamping stats never changes
+    /// which file the artifact stores under.
+    pub fn with_engine(mut self, engine: Option<EngineStats>) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// The file name this artifact stores under:
@@ -250,6 +267,136 @@ impl RunArtifact {
     pub fn from_json(text: &str) -> Result<Self, StoreError> {
         check_schema_version(text)?;
         let artifact: RunArtifact =
+            serde_json::from_str(text).map_err(|e| StoreError::Parse(e.to_string()))?;
+        let computed = artifact.manifest.digest();
+        if computed != artifact.digest {
+            return Err(StoreError::ManifestMismatch {
+                stored: artifact.digest,
+                computed,
+            });
+        }
+        Ok(artifact)
+    }
+}
+
+/// Everything needed to reproduce a capacity search: the SUT and scenario
+/// names, the rendered canonical spec text of the *base* scenario (before
+/// per-probe arrival-rate substitution), the SLA target string as given on
+/// the command line, the open-loop client/worker counts, the crate
+/// version, and the transport. Content-addressed exactly like
+/// [`RunManifest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CapacityManifest {
+    /// SUT name as resolved by the registry.
+    pub sut: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Canonical spec text of the base scenario ([`render_scenario`]).
+    pub spec: String,
+    /// The SLA target as given (`pNN:MS`, e.g. `p99:5`).
+    pub sla: String,
+    /// Simulated open-loop clients per probe.
+    pub clients: usize,
+    /// Worker threads per probe.
+    pub workers: usize,
+    /// `lsbench-core` version that wrote the artifact.
+    pub crate_version: String,
+    /// Where the SUT executed (local process vs. remote endpoint).
+    pub transport: Transport,
+}
+
+impl CapacityManifest {
+    /// Builds the manifest for a capacity search of `scenario` by `sut`
+    /// under `sla`, stamped with this crate's version. Transport defaults
+    /// to [`Transport::Local`]; chain [`CapacityManifest::with_transport`]
+    /// for remote searches.
+    pub fn for_search(
+        scenario: &Scenario,
+        sut: &str,
+        sla: &str,
+        clients: usize,
+        workers: usize,
+    ) -> Self {
+        CapacityManifest {
+            sut: sut.to_string(),
+            scenario: scenario.name.clone(),
+            spec: render_scenario(scenario),
+            sla: sla.to_string(),
+            clients,
+            workers,
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            transport: Transport::Local,
+        }
+    }
+
+    /// Stamps the transport the search used.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Stable content digest, same construction as [`RunManifest::digest`].
+    pub fn digest(&self) -> String {
+        let canonical = serde_json::to_string(self).expect("manifest serialization is total");
+        format!("{:016x}", fnv1a64(canonical.as_bytes()))
+    }
+}
+
+/// A saved capacity search: schema version, manifest digest, manifest,
+/// and the full [`CapacityReport`] (every probe point plus the knee).
+/// Stored under the `capacity/` subdirectory of a results store so run
+/// and capacity artifacts never shadow each other in listings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityArtifact {
+    /// Schema version ([`SCHEMA_VERSION`]) — checked before anything else
+    /// on load.
+    pub schema_version: u32,
+    /// [`CapacityManifest::digest`] at save time — revalidated on load.
+    pub digest: String,
+    /// The reproduction manifest.
+    pub manifest: CapacityManifest,
+    /// The search result: probe points and the SLA knee.
+    pub report: CapacityReport,
+}
+
+impl CapacityArtifact {
+    /// Packages a manifest and report into a versioned, digested artifact.
+    pub fn new(manifest: CapacityManifest, report: CapacityReport) -> Self {
+        CapacityArtifact {
+            schema_version: SCHEMA_VERSION,
+            digest: manifest.digest(),
+            manifest,
+            report,
+        }
+    }
+
+    /// The file name this artifact stores under (inside `capacity/`):
+    /// `<scenario>-<sut>-<sla>-<digest>.json` (slugged).
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}-{}-{}.json",
+            slug(&self.manifest.scenario),
+            slug(&self.manifest.sut),
+            slug(&self.manifest.sla),
+            self.digest
+        )
+    }
+
+    /// Pretty JSON encoding (trailing newline included).
+    pub fn to_json(&self) -> Result<String, StoreError> {
+        serde_json::to_string_pretty(self)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| StoreError::Parse(e.to_string()))
+    }
+
+    /// Strict decode: checks `schema_version` *before* interpreting the
+    /// rest, then revalidates the stored digest against the manifest.
+    pub fn from_json(text: &str) -> Result<Self, StoreError> {
+        check_schema_version(text)?;
+        let artifact: CapacityArtifact =
             serde_json::from_str(text).map_err(|e| StoreError::Parse(e.to_string()))?;
         let computed = artifact.manifest.digest();
         if computed != artifact.digest {
@@ -453,6 +600,50 @@ impl ResultStore {
         Ok(out)
     }
 
+    /// The capacity subdirectory of this store. [`ResultStore::list`]
+    /// only looks at files directly in the store directory, so capacity
+    /// artifacts never appear in (or break) run listings.
+    pub fn capacity_dir(&self) -> PathBuf {
+        self.dir.join("capacity")
+    }
+
+    /// Saves a capacity artifact under its content-addressed file name in
+    /// the `capacity/` subdirectory. Saving the same manifest again
+    /// overwrites the same file.
+    pub fn save_capacity(&self, artifact: &CapacityArtifact) -> Result<PathBuf, StoreError> {
+        let dir = self.capacity_dir();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        let json = artifact.to_json()?;
+        write_artifact_to(&dir, &artifact.file_name(), &json)
+            .map_err(|e| StoreError::Io(e.to_string()))
+    }
+
+    /// Loads and strictly validates the capacity artifact at `path`.
+    pub fn load_capacity_path(path: &Path) -> Result<CapacityArtifact, StoreError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| StoreError::Io(format!("cannot read {}: {e}", path.display())))?;
+        CapacityArtifact::from_json(&text).map_err(|e| annotate_with_path(e, path))
+    }
+
+    /// Lists every capacity artifact file in the store, sorted by name.
+    /// An empty (or absent) `capacity/` directory lists as empty.
+    pub fn list_capacity(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let dir = self.capacity_dir();
+        if !dir.is_dir() {
+            return Ok(Vec::new());
+        }
+        let read = std::fs::read_dir(&dir)
+            .map_err(|e| StoreError::Io(format!("cannot read {}: {e}", dir.display())))?;
+        let mut paths: Vec<PathBuf> = read
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        Ok(paths)
+    }
+
     /// Finds the unique entry matching `query`: first by digest prefix,
     /// then by substring over `sut`, `scenario`, and file name. Zero
     /// matches is [`StoreError::NotFound`]; several are
@@ -614,7 +805,7 @@ mod tests {
     fn unversioned_artifacts_are_refused() {
         let artifact = RunArtifact::new(manifest("x"), tiny_record("x"));
         let json = artifact.to_json().unwrap();
-        let stripped = json.replacen("\"schema_version\": 2,\n", "", 1);
+        let stripped = json.replacen("\"schema_version\": 3,\n", "", 1);
         assert_ne!(json, stripped, "fixture must actually strip the field");
         match RunArtifact::from_json(&stripped) {
             Err(StoreError::Schema {
@@ -631,7 +822,7 @@ mod tests {
     fn version_drift_is_refused() {
         let artifact = RunArtifact::new(manifest("x"), tiny_record("x"));
         let json = artifact.to_json().unwrap().replacen(
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"schema_version\": 999",
             1,
         );
@@ -656,6 +847,82 @@ mod tests {
             RunArtifact::from_json(&json),
             Err(StoreError::ManifestMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn capacity_artifacts_round_trip_in_their_own_subdirectory() {
+        use crate::capacity::{CapacityPoint, CapacityReport, SlaTarget};
+        let (store, dir) = temp_store("capacity");
+        let manifest = CapacityManifest {
+            sut: "btree".to_string(),
+            scenario: "store-test".to_string(),
+            spec: "name = \"store-test\"\n".to_string(),
+            sla: "p99:5".to_string(),
+            clients: 1000,
+            workers: 4,
+            crate_version: "0.0.0-test".to_string(),
+            transport: Transport::Local,
+        };
+        let report = CapacityReport {
+            sla: SlaTarget {
+                quantile: 0.99,
+                threshold_seconds: 0.005,
+            },
+            points: vec![CapacityPoint {
+                rate: 100.0,
+                latency_seconds: 0.001,
+                throughput: 99.0,
+                completed: 1000,
+                met: true,
+            }],
+            knee_rate: 100.0,
+            saturated: false,
+        };
+        let artifact = CapacityArtifact::new(manifest.clone(), report);
+        let p1 = store.save_capacity(&artifact).unwrap();
+        let p2 = store.save_capacity(&artifact).unwrap();
+        assert_eq!(p1, p2, "same manifest → same file");
+        assert!(p1.starts_with(store.capacity_dir()));
+        let back = ResultStore::load_capacity_path(&p1).unwrap();
+        assert_eq!(back, artifact);
+        assert_eq!(store.list_capacity().unwrap(), vec![p1]);
+        // Capacity artifacts never leak into the run listing, and run
+        // listings never fail because a capacity artifact exists.
+        assert!(store.list().unwrap().is_empty());
+        // Tampering with the manifest is refused just like run artifacts.
+        let tampered =
+            artifact
+                .to_json()
+                .unwrap()
+                .replacen("\"sla\": \"p99:5\"", "\"sla\": \"p50:5\"", 1);
+        assert!(matches!(
+            CapacityArtifact::from_json(&tampered),
+            Err(StoreError::ManifestMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn engine_stats_are_stamped_without_changing_the_digest() {
+        use crate::runner::EngineStats;
+        use lsbench_stats::{IntervalCounts, LatencyHistogram};
+        let plain = RunArtifact::new(manifest("btree"), tiny_record("btree"));
+        let mut latency = LatencyHistogram::new();
+        latency.record(500_000_000);
+        let stamped = RunArtifact::new(manifest("btree"), tiny_record("btree")).with_engine(Some(
+            EngineStats {
+                latency,
+                completions: IntervalCounts::new(0.0, 0.5).unwrap(),
+                threads: 4,
+                lanes: 1000,
+            },
+        ));
+        assert_eq!(plain.digest, stamped.digest, "digest is manifest-only");
+        assert_eq!(plain.file_name(), stamped.file_name());
+        assert!(plain.engine.is_none());
+        let json = stamped.to_json().unwrap();
+        let back = RunArtifact::from_json(&json).unwrap();
+        assert_eq!(back, stamped, "engine stats survive the store losslessly");
     }
 
     #[test]

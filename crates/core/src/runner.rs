@@ -5,22 +5,31 @@
 //! [`run_concurrent_kv_scenario`](crate::engine::run_concurrent_kv_scenario)
 //! for shared-SUT concurrency,
 //! [`run_sharded_kv_scenario`](crate::engine::run_sharded_kv_scenario) for
-//! key-range sharding, and [`run_holdout`](crate::holdout::run_holdout)
-//! for the out-of-sample pass — and every caller chose a code path by
-//! hand. [`Runner`] collapses them: describe *what* to run with
-//! [`RunOptions`] (concurrency, operation cap, hold-out, observability)
-//! and the runner picks the path:
+//! key-range sharding,
+//! [`run_open_loop_kv_scenario`](crate::engine::run_open_loop_kv_scenario)
+//! for multiplexed open-loop client populations, and
+//! [`run_holdout`](crate::holdout::run_holdout) for the out-of-sample pass
+//! — and every caller chose a code path by hand. [`Runner`] collapses
+//! them: describe *what* to run with [`RunOptions`] (an explicit
+//! [`ExecutionMode`], operation cap, hold-out, observability) and the
+//! runner picks the path:
 //!
 //! ```text
 //! Runner::new(&mut sut).config(opts).run(&scenario)?          // one SUT
 //! Runner::from_factory(|data| build(data)).run(&scenario)?    // per-shard SUTs
 //! ```
 //!
-//! * `concurrency == 1` → the serial driver.
-//! * `concurrency > 1` with a single SUT → the concurrent engine in
-//!   shared-mutex mode.
-//! * `concurrency > 1` with a factory → the dataset is key-range-sharded
-//!   and each lane owns one factory-built shard.
+//! * [`ExecutionMode::Serial`] → the serial driver.
+//! * [`ExecutionMode::SharedLock`] → the concurrent engine in shared-mutex
+//!   mode (a factory builds one SUT from the full dataset first).
+//! * [`ExecutionMode::Sharded`] → the dataset is key-range-sharded and each
+//!   lane owns one factory-built shard. With a single borrowed SUT there is
+//!   nothing to shard, so this degrades to shared-mutex mode (the historic
+//!   `with_concurrency` behavior).
+//! * [`ExecutionMode::OpenLoop`] → the event-heap scheduler multiplexes
+//!   `clients` simulated open-loop clients onto `workers` threads
+//!   ([`crate::engine::sched`]); the scenario must carry an
+//!   [`ArrivalSpec`](crate::scenario::ArrivalSpec).
 //!
 //! Every path reports through the same [`RunOutcome`]: the merged
 //! [`RunRecord`], optional engine statistics, optional hold-out
@@ -28,8 +37,8 @@
 
 use crate::driver::{run_kv_scenario_observed, DriverConfig};
 use crate::engine::{
-    run_concurrent_kv_scenario_observed, run_sharded_kv_scenario_observed, shard_dataset,
-    EngineConfig, EngineReport,
+    run_concurrent_kv_scenario_observed, run_open_loop_kv_scenario_observed,
+    run_sharded_kv_scenario_observed, shard_dataset, EngineConfig, EngineReport,
 };
 use crate::holdout::{one_shot_scenario, HoldoutReport};
 use crate::obs::{MetricsRegistry, ObsConfig, RunObserver, SpanNode, TraceLog};
@@ -40,24 +49,93 @@ use lsbench_stats::{IntervalCounts, LatencyHistogram};
 use lsbench_sut::sut::SystemUnderTest;
 use lsbench_workload::dataset::Dataset;
 use lsbench_workload::ops::Operation;
+use serde::{Deserialize, Serialize};
 
 /// A boxed key-value system under test, as produced by SUT factories and
 /// the [`SutRegistry`](crate::sut_registry::SutRegistry).
 pub type BoxedKvSut = Box<dyn SystemUnderTest<Operation> + Send>;
 
+/// How a run executes: which concurrency model drives the scenario.
+///
+/// This replaces the old implicit `concurrency: usize` selection (where
+/// `1` meant serial and anything larger meant "the engine, shared or
+/// sharded depending on how the runner was built"). Each variant names
+/// its model explicitly, so call sites say what they mean and the
+/// open-loop client population is a first-class axis instead of being
+/// conflated with worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// One operation at a time on one virtual clock (the serial driver).
+    #[default]
+    Serial,
+    /// `workers` closed-loop lanes share one SUT behind a mutex
+    /// ([`crate::engine::run_concurrent_kv_scenario`]).
+    SharedLock {
+        /// Logical lanes (and default worker threads).
+        workers: usize,
+    },
+    /// The key space is split into `workers` range shards, each owned by
+    /// one lane ([`crate::engine::run_sharded_kv_scenario`]).
+    Sharded {
+        /// Number of shards/lanes (and default worker threads).
+        workers: usize,
+    },
+    /// `clients` simulated open-loop clients are multiplexed onto
+    /// `workers` threads by the event-heap scheduler
+    /// ([`crate::engine::run_open_loop_kv_scenario`]). Requires the
+    /// scenario to define an arrival process.
+    OpenLoop {
+        /// Simulated open-loop client population (may be millions).
+        clients: usize,
+        /// Worker threads the clients are multiplexed onto. Never affects
+        /// results, only wall-clock speed.
+        workers: usize,
+    },
+}
+
+impl ExecutionMode {
+    /// Rejects degenerate parameters (zero workers or clients).
+    pub fn validate(&self) -> Result<()> {
+        let ok = match *self {
+            ExecutionMode::Serial => true,
+            ExecutionMode::SharedLock { workers } | ExecutionMode::Sharded { workers } => {
+                workers >= 1
+            }
+            ExecutionMode::OpenLoop { clients, workers } => clients >= 1 && workers >= 1,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(BenchError::InvalidScenario(
+                "ExecutionMode workers and clients must be at least 1".to_string(),
+            ))
+        }
+    }
+
+    /// Short human-readable label (`serial`, `shared`, `sharded`,
+    /// `open-loop`) used by CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionMode::Serial => "serial",
+            ExecutionMode::SharedLock { .. } => "shared",
+            ExecutionMode::Sharded { .. } => "sharded",
+            ExecutionMode::OpenLoop { .. } => "open-loop",
+        }
+    }
+}
+
 /// How a run executes, independent of the scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct RunOptions {
-    /// Logical concurrency (lanes). `1` = serial driver; `> 1` = the
-    /// concurrent engine (shared-mutex with a single SUT, key-range
-    /// sharded with a factory).
-    pub concurrency: usize,
-    /// Worker threads for concurrent runs; `None` = one per lane. Never
-    /// affects results, only wall-clock speed.
+    /// The execution mode (serial, shared-lock, sharded, or open-loop).
+    pub mode: ExecutionMode,
+    /// Physical worker-thread override for engine runs; `None` = the
+    /// mode's `workers`. Never affects results, only wall-clock speed.
     pub threads: Option<usize>,
     /// Cap on executed operations.
     pub max_ops: u64,
-    /// Operations per engine channel batch.
+    /// Operations per engine channel batch (and per scheduler event
+    /// batch in open-loop mode).
     pub batch_size: usize,
     /// Engine completion-counter interval width (virtual seconds).
     pub completion_interval: f64,
@@ -73,7 +151,7 @@ impl Default for RunOptions {
     fn default() -> Self {
         let engine = EngineConfig::default();
         RunOptions {
-            concurrency: 1,
+            mode: ExecutionMode::Serial,
             threads: None,
             max_ops: u64::MAX,
             batch_size: engine.batch_size,
@@ -85,18 +163,42 @@ impl Default for RunOptions {
 }
 
 impl RunOptions {
-    /// Serial options with `n` logical lanes when `n > 1`.
-    pub fn with_concurrency(n: usize) -> Self {
+    /// Options running in the given [`ExecutionMode`].
+    pub fn with_mode(mode: ExecutionMode) -> Self {
         RunOptions {
-            concurrency: n,
+            mode,
             ..RunOptions::default()
         }
     }
 
+    /// Legacy constructor from a bare lane count: `n <= 1` is serial,
+    /// anything larger maps to [`ExecutionMode::Sharded`] (which the
+    /// runner degrades to shared-mutex when it only holds one SUT — the
+    /// exact historic routing).
+    #[deprecated(
+        since = "0.1.0",
+        note = "name the concurrency model explicitly with `RunOptions::with_mode(ExecutionMode::...)`"
+    )]
+    pub fn with_concurrency(n: usize) -> Self {
+        let mode = if n <= 1 {
+            ExecutionMode::Serial
+        } else {
+            ExecutionMode::Sharded { workers: n }
+        };
+        RunOptions::with_mode(mode)
+    }
+
     fn engine_config(&self) -> EngineConfig {
+        let (default_threads, lanes) = match self.mode {
+            ExecutionMode::Serial => (1, 1),
+            ExecutionMode::SharedLock { workers } | ExecutionMode::Sharded { workers } => {
+                (workers, workers)
+            }
+            ExecutionMode::OpenLoop { clients, workers } => (workers, clients),
+        };
         EngineConfig {
-            threads: self.threads.unwrap_or(self.concurrency).max(1),
-            lanes: self.concurrency,
+            threads: self.threads.unwrap_or(default_threads).max(1),
+            lanes,
             max_ops: self.max_ops,
             batch_size: self.batch_size,
             completion_interval: self.completion_interval,
@@ -106,15 +208,17 @@ impl RunOptions {
     fn driver_config(&self) -> DriverConfig {
         DriverConfig {
             max_ops: self.max_ops,
-            concurrency: 1,
+            mode: ExecutionMode::Serial,
             ..DriverConfig::default()
         }
     }
 }
 
 /// Concurrent-engine statistics carried through [`RunOutcome`] when the
-/// run went through the engine.
-#[derive(Debug, Clone)]
+/// run went through the engine, and stamped into archived
+/// [`RunArtifact`](crate::results::RunArtifact)s (schema v3) so capacity
+/// runs can report scheduler occupancy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// Merged log-bucketed latency histogram (nanoseconds, virtual).
     pub latency: LatencyHistogram,
@@ -122,7 +226,7 @@ pub struct EngineStats {
     pub completions: IntervalCounts,
     /// Worker threads used.
     pub threads: usize,
-    /// Logical lanes used.
+    /// Logical lanes used (the client count in open-loop mode).
     pub lanes: usize,
 }
 
@@ -162,8 +266,8 @@ type SutFactory<'a> = Box<dyn FnMut(&Dataset) -> Result<BoxedKvSut> + 'a>;
 enum RunnerSut<'a> {
     /// One caller-built SUT, already loaded with the scenario's dataset.
     Single(&'a mut (dyn SystemUnderTest<Operation> + Send)),
-    /// A constructor invoked per shard (or once, when serial) with the
-    /// freshly built dataset.
+    /// A constructor invoked per shard (or once, for the non-sharded
+    /// modes) with the freshly built dataset.
     Factory(SutFactory<'a>),
 }
 
@@ -175,8 +279,9 @@ pub struct Runner<'a> {
 
 impl<'a> Runner<'a> {
     /// A runner over one caller-built SUT (already loaded with the
-    /// scenario's dataset). With `concurrency > 1` the engine shares it
-    /// across lanes behind a mutex.
+    /// scenario's dataset). The shared-lock and open-loop modes drive it
+    /// directly; `Sharded` degrades to shared-lock (one SUT cannot be
+    /// range-split).
     pub fn new(sut: &'a mut (dyn SystemUnderTest<Operation> + Send)) -> Self {
         Runner {
             sut: RunnerSut::Single(sut),
@@ -185,7 +290,7 @@ impl<'a> Runner<'a> {
     }
 
     /// A runner that builds its SUT(s) from the scenario's dataset: once
-    /// when serial, once per key-range shard when `concurrency > 1`.
+    /// per key-range shard in `Sharded` mode, once otherwise.
     pub fn from_factory<F>(factory: F) -> Self
     where
         F: FnMut(&Dataset) -> Result<BoxedKvSut> + 'a,
@@ -203,18 +308,14 @@ impl<'a> Runner<'a> {
     }
 
     /// Runs the scenario, routing to the serial driver, the shared-SUT
-    /// engine, or the sharded engine based on the options and how the
-    /// runner was constructed.
+    /// engine, the sharded engine, or the open-loop scheduler based on
+    /// the configured [`ExecutionMode`].
     pub fn run(&mut self, scenario: &Scenario) -> Result<RunOutcome> {
-        if self.opts.concurrency == 0 {
-            return Err(BenchError::InvalidScenario(
-                "RunOptions.concurrency must be at least 1".to_string(),
-            ));
-        }
+        self.opts.mode.validate()?;
         let opts = self.opts;
         let mut obs = RunObserver::new(opts.obs);
-        let (record, engine, holdout) = match (&mut self.sut, opts.concurrency) {
-            (RunnerSut::Single(sut), 1) => {
+        let (record, engine, holdout) = match (&mut self.sut, opts.mode) {
+            (RunnerSut::Single(sut), ExecutionMode::Serial) => {
                 let span = obs.spans.enter("run");
                 let record =
                     run_kv_scenario_observed(*sut, scenario, opts.driver_config(), &mut obs)?;
@@ -222,7 +323,10 @@ impl<'a> Runner<'a> {
                 let holdout = run_serial_holdout(&mut obs, *sut, scenario, opts, &record)?;
                 (record, None, holdout)
             }
-            (RunnerSut::Single(sut), _) => {
+            (
+                RunnerSut::Single(sut),
+                ExecutionMode::SharedLock { .. } | ExecutionMode::Sharded { .. },
+            ) => {
                 let span = obs.spans.enter("run");
                 let report = run_concurrent_kv_scenario_observed(
                     *sut,
@@ -235,7 +339,20 @@ impl<'a> Runner<'a> {
                 let stats = EngineStats::from_report(&report);
                 (report.record, Some(stats), holdout)
             }
-            (RunnerSut::Factory(factory), 1) => {
+            (RunnerSut::Single(sut), ExecutionMode::OpenLoop { .. }) => {
+                let span = obs.spans.enter("run");
+                let report = run_open_loop_kv_scenario_observed(
+                    *sut,
+                    scenario,
+                    &opts.engine_config(),
+                    &mut obs,
+                )?;
+                obs.spans.exit(span);
+                let holdout = run_serial_holdout(&mut obs, *sut, scenario, opts, &report.record)?;
+                let stats = EngineStats::from_report(&report);
+                (report.record, Some(stats), holdout)
+            }
+            (RunnerSut::Factory(factory), ExecutionMode::Serial) => {
                 let span = obs.spans.enter("bulk-load");
                 let data = scenario.dataset.build()?;
                 let mut sut = factory(&data)?;
@@ -251,10 +368,46 @@ impl<'a> Runner<'a> {
                 let holdout = run_serial_holdout(&mut obs, sut.as_mut(), scenario, opts, &record)?;
                 (record, None, holdout)
             }
-            (RunnerSut::Factory(factory), lanes) => {
+            (RunnerSut::Factory(factory), ExecutionMode::SharedLock { .. }) => {
                 let span = obs.spans.enter("bulk-load");
                 let data = scenario.dataset.build()?;
-                let (router, shards) = shard_dataset(&data, lanes)?;
+                let mut sut = factory(&data)?;
+                obs.spans.exit(span);
+                let span = obs.spans.enter("run");
+                let report = run_concurrent_kv_scenario_observed(
+                    sut.as_mut(),
+                    scenario,
+                    &opts.engine_config(),
+                    &mut obs,
+                )?;
+                obs.spans.exit(span);
+                let holdout =
+                    run_serial_holdout(&mut obs, sut.as_mut(), scenario, opts, &report.record)?;
+                let stats = EngineStats::from_report(&report);
+                (report.record, Some(stats), holdout)
+            }
+            (RunnerSut::Factory(factory), ExecutionMode::OpenLoop { .. }) => {
+                let span = obs.spans.enter("bulk-load");
+                let data = scenario.dataset.build()?;
+                let mut sut = factory(&data)?;
+                obs.spans.exit(span);
+                let span = obs.spans.enter("run");
+                let report = run_open_loop_kv_scenario_observed(
+                    sut.as_mut(),
+                    scenario,
+                    &opts.engine_config(),
+                    &mut obs,
+                )?;
+                obs.spans.exit(span);
+                let holdout =
+                    run_serial_holdout(&mut obs, sut.as_mut(), scenario, opts, &report.record)?;
+                let stats = EngineStats::from_report(&report);
+                (report.record, Some(stats), holdout)
+            }
+            (RunnerSut::Factory(factory), ExecutionMode::Sharded { workers }) => {
+                let span = obs.spans.enter("bulk-load");
+                let data = scenario.dataset.build()?;
+                let (router, shards) = shard_dataset(&data, workers)?;
                 let mut suts = shards.iter().map(factory).collect::<Result<Vec<_>>>()?;
                 obs.spans.exit(span);
                 let config = opts.engine_config();
@@ -372,7 +525,7 @@ mod tests {
     }
 
     #[test]
-    fn factory_concurrency_matches_direct_sharded_call() {
+    fn factory_sharded_mode_matches_direct_sharded_call() {
         let s = scenario();
         let data = s.dataset.build().unwrap();
         let (router, shards) = shard_dataset(&data, 4).unwrap();
@@ -381,7 +534,7 @@ mod tests {
             run_sharded_kv_scenario(&mut suts, &router, &s, &EngineConfig::with_concurrency(4))
                 .unwrap();
         let outcome = Runner::from_factory(factory)
-            .config(RunOptions::with_concurrency(4))
+            .config(RunOptions::with_mode(ExecutionMode::Sharded { workers: 4 }))
             .run(&s)
             .unwrap();
         assert_eq!(outcome.record.ops, direct.record.ops);
@@ -391,16 +544,43 @@ mod tests {
     }
 
     #[test]
-    fn shared_concurrency_uses_engine() {
+    fn shared_lock_mode_uses_engine() {
         let s = scenario();
         let data = s.dataset.build().unwrap();
         let mut sut = BTreeSut::build(&data).unwrap();
         let outcome = Runner::new(&mut sut)
-            .config(RunOptions::with_concurrency(2))
+            .config(RunOptions::with_mode(ExecutionMode::SharedLock {
+                workers: 2,
+            }))
             .run(&s)
             .unwrap();
         assert_eq!(outcome.engine.as_ref().unwrap().lanes, 2);
         assert_eq!(outcome.record.completed(), 2_000);
+    }
+
+    #[test]
+    fn deprecated_concurrency_shim_keeps_historic_routing() {
+        // `with_concurrency(n)` on a single borrowed SUT historically ran
+        // the shared-mutex engine with `n` lanes; the shim must preserve
+        // that (via Sharded-degrades-to-shared).
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let mut sut = BTreeSut::build(&data).unwrap();
+        #[allow(deprecated)]
+        let opts = RunOptions::with_concurrency(2);
+        assert_eq!(opts.mode, ExecutionMode::Sharded { workers: 2 });
+        let legacy = Runner::new(&mut sut).config(opts).run(&s).unwrap();
+        let mut sut2 = BTreeSut::build(&data).unwrap();
+        let explicit = Runner::new(&mut sut2)
+            .config(RunOptions::with_mode(ExecutionMode::SharedLock {
+                workers: 2,
+            }))
+            .run(&s)
+            .unwrap();
+        assert_eq!(legacy.record.ops, explicit.record.ops);
+        #[allow(deprecated)]
+        let serial = RunOptions::with_concurrency(1);
+        assert_eq!(serial.mode, ExecutionMode::Serial);
     }
 
     #[test]
@@ -447,12 +627,33 @@ mod tests {
     }
 
     #[test]
-    fn zero_concurrency_rejected() {
+    fn degenerate_modes_rejected() {
         let s = scenario();
-        let opts = RunOptions {
-            concurrency: 0,
-            ..RunOptions::default()
-        };
+        for mode in [
+            ExecutionMode::SharedLock { workers: 0 },
+            ExecutionMode::Sharded { workers: 0 },
+            ExecutionMode::OpenLoop {
+                clients: 0,
+                workers: 1,
+            },
+            ExecutionMode::OpenLoop {
+                clients: 1,
+                workers: 0,
+            },
+        ] {
+            assert!(mode.validate().is_err(), "{mode:?} should be invalid");
+            let opts = RunOptions::with_mode(mode);
+            assert!(Runner::from_factory(factory).config(opts).run(&s).is_err());
+        }
+    }
+
+    #[test]
+    fn open_loop_mode_requires_arrival_spec() {
+        let s = scenario(); // closed loop: no arrival section
+        let opts = RunOptions::with_mode(ExecutionMode::OpenLoop {
+            clients: 4,
+            workers: 2,
+        });
         assert!(Runner::from_factory(factory).config(opts).run(&s).is_err());
     }
 }

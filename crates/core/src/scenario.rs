@@ -37,6 +37,60 @@ pub struct ArrivalSpec {
     pub seed: u64,
 }
 
+/// Open-loop client population: how many simulated clients the event-heap
+/// scheduler ([`crate::engine::sched`]) multiplexes onto the worker pool.
+/// Spelled as the `[open_loop]` section in `.spec` files; requires an
+/// arrival process ([`Scenario::arrival`]) since open-loop clients issue
+/// operations on the arrival schedule, not on completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenLoopSpec {
+    /// Number of simulated open-loop clients (may be millions; per-client
+    /// state is four scalars).
+    pub clients: u64,
+}
+
+/// The execution mode a scenario asks for (`mode = "..."` in the spec
+/// `[run]` table). This is a *preference*: worker/client counts come from
+/// the run options and [`OpenLoopSpec`], so the spec stays portable
+/// across machines. `None` lets the caller (CLI flags, run options)
+/// decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModePreference {
+    /// The serial driver.
+    Serial,
+    /// Shared-mutex concurrent lanes.
+    Shared,
+    /// Key-range-sharded concurrent lanes.
+    Sharded,
+    /// The open-loop event-heap scheduler (requires `[open_loop]` and
+    /// `[arrival]`).
+    OpenLoop,
+}
+
+impl ModePreference {
+    /// Parses the spec-file spelling (`serial`, `shared`, `sharded`,
+    /// `open-loop`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "serial" => Some(ModePreference::Serial),
+            "shared" => Some(ModePreference::Shared),
+            "sharded" => Some(ModePreference::Sharded),
+            "open-loop" => Some(ModePreference::OpenLoop),
+            _ => None,
+        }
+    }
+
+    /// The spec-file spelling this parses back from.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ModePreference::Serial => "serial",
+            ModePreference::Shared => "shared",
+            ModePreference::Sharded => "sharded",
+            ModePreference::OpenLoop => "open-loop",
+        }
+    }
+}
+
 /// How online adaptation (retraining) work consumes resources (§V-B:
 /// "the fraction of system resources to dedicate for online training").
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -115,6 +169,12 @@ pub struct Scenario {
     /// `None` = closed loop (next op issued on completion); `Some` = open
     /// loop, where latency includes queueing behind earlier operations.
     pub arrival: Option<ArrivalSpec>,
+    /// Open-loop client population for the event-heap scheduler
+    /// (`[open_loop]` spec section). Requires `arrival`.
+    pub open_loop: Option<OpenLoopSpec>,
+    /// Preferred execution mode (`mode` key in the spec `[run]` table);
+    /// `None` lets the caller decide.
+    pub mode: Option<ModePreference>,
     /// How online retraining work is scheduled against queries.
     pub online_train: OnlineTrainMode,
     /// Optional deterministic fault-injection plan (`[[fault]]` spec
@@ -174,6 +234,25 @@ impl Scenario {
                     "closed loop is expressed by arrival = None".to_string(),
                 ));
             }
+        }
+        if let Some(open_loop) = &self.open_loop {
+            if open_loop.clients == 0 {
+                return Err(BenchError::InvalidScenario(
+                    "open_loop clients must be at least 1".to_string(),
+                ));
+            }
+            if self.arrival.is_none() {
+                return Err(BenchError::InvalidScenario(
+                    "[open_loop] requires an [arrival] section: open-loop clients issue \
+                     operations on the arrival schedule"
+                        .to_string(),
+                ));
+            }
+        }
+        if self.mode == Some(ModePreference::OpenLoop) && self.arrival.is_none() {
+            return Err(BenchError::InvalidScenario(
+                "mode = \"open-loop\" requires an [arrival] section".to_string(),
+            ));
         }
         if let Some(plan) = &self.faults {
             plan.validate(self.workload.phases())
@@ -293,6 +372,8 @@ pub struct ScenarioBuilder {
     maintenance_every: u64,
     holdout: Option<PhasedWorkload>,
     arrival: Option<ArrivalSpec>,
+    open_loop: Option<OpenLoopSpec>,
+    mode: Option<ModePreference>,
     online_train: OnlineTrainMode,
     faults: Option<FaultPlan>,
 }
@@ -311,6 +392,8 @@ impl ScenarioBuilder {
             maintenance_every: 64,
             holdout: None,
             arrival: None,
+            open_loop: None,
+            mode: None,
             online_train: OnlineTrainMode::Foreground,
             faults: None,
         }
@@ -382,6 +465,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Declares an open-loop client population for the event-heap
+    /// scheduler (default: none). Requires [`ScenarioBuilder::arrival`].
+    pub fn open_loop(mut self, clients: u64) -> Self {
+        self.open_loop = Some(OpenLoopSpec { clients });
+        self
+    }
+
+    /// Sets the scenario's preferred execution mode (default: caller
+    /// decides).
+    pub fn mode(mut self, mode: ModePreference) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+
     /// Sets how online retraining work is scheduled (default: foreground).
     pub fn online_train(mut self, mode: OnlineTrainMode) -> Self {
         self.online_train = mode;
@@ -415,6 +512,8 @@ impl ScenarioBuilder {
             maintenance_every: self.maintenance_every,
             holdout: self.holdout,
             arrival: self.arrival,
+            open_loop: self.open_loop,
+            mode: self.mode,
             online_train: self.online_train,
             faults: self.faults,
             raw: (),
@@ -513,6 +612,41 @@ mod tests {
             .work_units_per_second(0.0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn open_loop_spec_requires_arrival_and_clients() {
+        let base = Scenario::two_phase_shift(
+            "ol",
+            KeyDistribution::Uniform,
+            KeyDistribution::Uniform,
+            100,
+            10,
+            1,
+        )
+        .unwrap();
+        let mut s = base.clone();
+        s.open_loop = Some(OpenLoopSpec { clients: 100 });
+        assert!(s.validate().is_err(), "open_loop without arrival");
+        s.arrival = Some(ArrivalSpec {
+            process: ArrivalProcess::Poisson { rate: 1_000.0 },
+            modulation: LoadModulation::Constant,
+            seed: 1,
+        });
+        s.validate().unwrap();
+        s.open_loop = Some(OpenLoopSpec { clients: 0 });
+        assert!(s.validate().is_err(), "zero clients");
+        let mut m = base.clone();
+        m.mode = Some(ModePreference::OpenLoop);
+        assert!(m.validate().is_err(), "open-loop mode without arrival");
+        m.mode = Some(ModePreference::Sharded);
+        m.validate().unwrap();
+        assert_eq!(
+            ModePreference::parse("open-loop"),
+            Some(ModePreference::OpenLoop)
+        );
+        assert_eq!(ModePreference::parse("bogus"), None);
+        assert_eq!(ModePreference::Shared.as_str(), "shared");
     }
 
     #[test]

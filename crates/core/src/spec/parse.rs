@@ -21,7 +21,7 @@ use super::compose::{
 use super::SpecError;
 use crate::faults::{FaultPlan, FaultSpec, RetryPolicy};
 use crate::metrics::sla::SlaPolicy;
-use crate::scenario::{ArrivalSpec, DatasetSpec, OnlineTrainMode, Scenario};
+use crate::scenario::{ArrivalSpec, DatasetSpec, ModePreference, OnlineTrainMode, Scenario};
 use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
 use lsbench_workload::keygen::{KeyDistribution, CANONICAL_DISTRIBUTIONS};
 use lsbench_workload::ops::OperationMix;
@@ -165,7 +165,7 @@ fn parse_value(raw: &str, key: &str, line: usize) -> SResult<Value> {
     ))
 }
 
-const SINGLE_SECTIONS: &[&str] = &["dataset", "run", "sla", "arrival"];
+const SINGLE_SECTIONS: &[&str] = &["dataset", "run", "sla", "arrival", "open_loop"];
 const MULTI_SECTIONS: &[&str] = &[
     "phase",
     "holdout",
@@ -1024,6 +1024,29 @@ fn compile_arrival(mut f: Fields) -> SResult<ArrivalSpec> {
     })
 }
 
+/// The `[open_loop]` section: a client population, plus optional
+/// `arrival = RATE` sugar for the common Poisson-at-constant-rate case
+/// (the full `[arrival]` section remains available for everything else).
+struct OpenLoopSettings {
+    clients: u64,
+    /// `(rate, line)` of the sugar key; resolved against the root seed
+    /// once that is parsed.
+    arrival_rate: Option<(f64, usize)>,
+    line: usize,
+}
+
+fn compile_open_loop(mut f: Fields, line: usize) -> SResult<OpenLoopSettings> {
+    let clients = f.req_u64("clients")?;
+    let arrival_rate = f.opt_f64("arrival")?;
+    let settings = OpenLoopSettings {
+        clients,
+        arrival_rate,
+        line,
+    };
+    f.finish()?;
+    Ok(settings)
+}
+
 /// Everything `[run]` can set, with builder defaults for whatever is
 /// absent.
 struct RunSettings {
@@ -1031,6 +1054,7 @@ struct RunSettings {
     work_units_per_second: Option<f64>,
     maintenance_every: Option<u64>,
     online_train: Option<OnlineTrainMode>,
+    mode: Option<ModePreference>,
     holdout_seed: Option<u64>,
     fault_seed: Option<u64>,
     timeout: Option<f64>,
@@ -1127,12 +1151,29 @@ fn compile_run(mut f: Fields) -> SResult<RunSettings> {
             }
         },
     };
+    let mode = match f.opt_str("mode")? {
+        None => None,
+        Some((name, line)) => match ModePreference::parse(&name) {
+            Some(mode) => Some(mode),
+            None => {
+                return Err(SpecError::new(
+                    line,
+                    "mode",
+                    format!(
+                        "unknown mode '{name}' (expected \"serial\", \"shared\", \"sharded\", \
+                         or \"open-loop\")"
+                    ),
+                ))
+            }
+        },
+    };
     let (timeout, max_retries, backoff_base, backoff_multiplier) = take_fault_policy(&mut f)?;
     let settings = RunSettings {
         train_budget,
         work_units_per_second: f.opt_f64("work_units_per_second")?.map(|(v, _)| v),
         maintenance_every: f.opt_u64("maintenance_every")?,
         online_train,
+        mode,
         holdout_seed: f.opt_u64("holdout_seed")?,
         fault_seed: f.opt_u64("fault_seed")?,
         timeout,
@@ -1193,6 +1234,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
     let mut dataset: Option<DatasetSpec> = None;
     let mut sla: Option<SlaPolicy> = None;
     let mut arrival: Option<ArrivalSpec> = None;
+    let mut open_loop: Option<OpenLoopSettings> = None;
     let mut run: Option<RunSettings> = None;
     let mut main_chain = Chain::default();
     let mut holdout_chain = Chain::default();
@@ -1220,6 +1262,10 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
             "dataset" => dataset = Some(compile_dataset(Fields::new(section))?),
             "sla" => sla = Some(compile_sla(Fields::new(section))?),
             "arrival" => arrival = Some(compile_arrival(Fields::new(section))?),
+            "open_loop" => {
+                let line = section.line;
+                open_loop = Some(compile_open_loop(Fields::new(section), line)?);
+            }
             "run" => run = Some(compile_run(Fields::new(section))?),
             "phase" => {
                 let (phase, join) = compile_phase(Fields::new(section), default_range)?;
@@ -1271,6 +1317,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
         work_units_per_second: None,
         maintenance_every: None,
         online_train: None,
+        mode: None,
         holdout_seed: None,
         fault_seed: None,
         timeout: None,
@@ -1336,8 +1383,42 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
     if let Some(v) = run.online_train {
         builder = builder.online_train(v);
     }
+    if let Some(v) = run.mode {
+        builder = builder.mode(v);
+    }
     if let Some(v) = sla {
         builder = builder.sla(v);
+    }
+    if let Some(settings) = open_loop {
+        if let Some((rate, rline)) = settings.arrival_rate {
+            if arrival.is_some() {
+                return Err(SpecError::new(
+                    rline,
+                    "arrival",
+                    "both an [arrival] section and [open_loop] arrival sugar given — \
+                     keep one",
+                ));
+            }
+            // The sugar normalizes to a full Poisson/constant arrival spec
+            // seeded from the root seed, so `parse ∘ render = id` holds.
+            let process = ArrivalProcess::Poisson { rate };
+            process
+                .validate()
+                .map_err(|e| SpecError::new(rline, "arrival", e.to_string()))?;
+            arrival = Some(ArrivalSpec {
+                process,
+                modulation: LoadModulation::Constant,
+                seed,
+            });
+        } else if arrival.is_none() {
+            return Err(SpecError::new(
+                settings.line,
+                "open_loop",
+                "[open_loop] needs an arrival process: add an [arrival] section or the \
+                 'arrival = RATE' sugar key",
+            ));
+        }
+        builder = builder.open_loop(settings.clients);
     }
     if let Some(v) = arrival {
         builder = builder.arrival(v);

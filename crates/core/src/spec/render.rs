@@ -171,6 +171,10 @@ pub fn render_scenario(s: &Scenario) -> String {
             let _ = writeln!(out, "train_fraction = {}", f(fraction));
         }
     }
+    // Only when set, so pre-existing scenarios render byte-identically.
+    if let Some(mode) = s.mode {
+        let _ = writeln!(out, "mode = \"{}\"", mode.as_str());
+    }
     if let Some(holdout) = &s.holdout {
         let _ = writeln!(out, "holdout_seed = {}", holdout.seed());
     }
@@ -229,6 +233,13 @@ pub fn render_scenario(s: &Scenario) -> String {
             }
         }
         let _ = writeln!(out, "seed = {}", arrival.seed);
+    }
+
+    // Rendered in full (never as the parser's `arrival = RATE` sugar):
+    // the sugar normalizes at parse time, so round-tripping stays exact.
+    if let Some(open_loop) = &s.open_loop {
+        let _ = writeln!(out, "\n[open_loop]");
+        let _ = writeln!(out, "clients = {}", open_loop.clients);
     }
 
     for (i, phase) in s.workload.phases().iter().enumerate() {

@@ -14,7 +14,7 @@ use crate::metrics::adaptability::AdaptabilityReport;
 use crate::metrics::sla::SlaReport;
 use crate::obs::{MetricsRegistry, ObsConfig, SpanNode, TraceLog};
 use crate::record::RunRecord;
-use crate::runner::{BoxedKvSut, RunOptions, Runner};
+use crate::runner::{BoxedKvSut, ExecutionMode, RunOptions, Runner};
 use crate::scenario::{ArrivalSpec, DatasetSpec, Scenario};
 use crate::{BenchError, Result};
 use lsbench_sut::kv::BTreeSut;
@@ -441,6 +441,13 @@ where
     let mut summaries = Vec::with_capacity(scenarios.len());
     let mut observation = SuiteObservation::default();
     let mut sut_name = String::new();
+    // Suite semantics are unchanged: threads > 1 key-range-shards every
+    // scenario, threads <= 1 runs the serial driver.
+    let mode = if threads > 1 {
+        ExecutionMode::Sharded { workers: threads }
+    } else {
+        ExecutionMode::Serial
+    };
     for scenario in scenarios {
         // Baseline calibration run: same execution shape (serial or
         // sharded), no hold-out, metrics-only observation.
@@ -449,15 +456,14 @@ where
                 .map(|s| Box::new(s) as BoxedKvSut)
                 .map_err(|e| BenchError::Sut(e.to_string()))
         })
-        .config(RunOptions::with_concurrency(threads))
+        .config(RunOptions::with_mode(mode))
         .run(scenario)?;
         let threshold = scenario.sla.resolve(Some(&baseline.record))?;
 
         let opts = RunOptions {
-            concurrency: threads,
             holdout: scenario.holdout.is_some(),
             obs,
-            ..RunOptions::default()
+            ..RunOptions::with_mode(mode)
         };
         let outcome = Runner::from_factory(&mut factory)
             .config(opts)

@@ -9,7 +9,7 @@
 //!
 //! **Timeout accounting.** The socket read deadline and the
 //! retry/backoff schedule come from the same PR-4
-//! [`RetryPolicy`](crate::faults::RetryPolicy) type the fault injector
+//! [`RetryPolicy`] type the fault injector
 //! uses — with `timeout` read as *wall* seconds here, since a real
 //! network has no virtual clock. Every expired deadline bumps
 //! `timeouts`, every reconnect-and-resend bumps `retries`, and the

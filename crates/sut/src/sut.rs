@@ -60,7 +60,7 @@ pub struct SutMetrics {
 /// Transport-level failure counters a SUT adapter accumulates outside the
 /// driver's fault plan — real socket deadlines and reconnect-retries on a
 /// remote SUT. The driver folds deltas of these into the run's
-/// [`FaultStats`]-equivalent ledger so a wall-clock network timeout and a
+/// `FaultStats`-equivalent ledger so a wall-clock network timeout and a
 /// chaos-injected one are indistinguishable in the record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct TransportStats {

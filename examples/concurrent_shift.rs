@@ -7,7 +7,7 @@
 //! ```
 
 use lsbench::core::engine::{run_concurrent_kv_scenario, EngineConfig};
-use lsbench::core::runner::{BoxedKvSut, RunOptions, Runner};
+use lsbench::core::runner::{BoxedKvSut, ExecutionMode, RunOptions, Runner};
 use lsbench::core::scenario::{ArrivalSpec, Scenario};
 use lsbench::core::BenchError;
 use lsbench::sut::kv::{BTreeSut, RetrainPolicy, RmiSut};
@@ -58,12 +58,14 @@ fn main() {
         serial.completed()
     );
 
-    // Sharded: with concurrency > 1 the Runner splits the key space at
-    // dataset quantiles, builds one factory SUT per shard, drives each
-    // shard on its own lane, and merges per-lane results into a record of
-    // the exact serial shape.
+    // Sharded: the Runner splits the key space at dataset quantiles,
+    // builds one factory SUT per shard, drives each shard on its own
+    // lane, and merges per-lane results into a record of the exact
+    // serial shape.
     let sharded = Runner::from_factory(rmi_factory)
-        .config(RunOptions::with_concurrency(THREADS))
+        .config(RunOptions::with_mode(ExecutionMode::Sharded {
+            workers: THREADS,
+        }))
         .run(&s)
         .expect("runs");
     println!(
@@ -102,5 +104,32 @@ fn main() {
     println!(
         "\n(latency = completion - intended arrival; queueing delay under overload\n\
          is visible instead of being silently coordinated away)"
+    );
+
+    // Massive open-loop multiplexing: the event-heap scheduler runs
+    // 100,000 simulated clients on THREADS worker threads — per-client
+    // virtual clocks, O(clients) memory, records bit-identical at any
+    // worker count.
+    let swarm = Runner::from_factory(rmi_factory)
+        .config(RunOptions::with_mode(ExecutionMode::OpenLoop {
+            clients: 100_000,
+            workers: THREADS,
+        }))
+        .run(&open)
+        .expect("runs");
+    let stats = swarm.engine.expect("engine stats");
+    let qn = |p: f64| {
+        stats
+            .latency
+            .quantile(p)
+            .map(|ns| ns as f64 / 1e9)
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "100k clients: p50 {:.6}s  p99 {:.6}s on {} workers ({} ops)",
+        qn(0.50),
+        qn(0.99),
+        stats.threads,
+        swarm.record.completed()
     );
 }

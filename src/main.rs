@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! lsbench suite [--size N] [--ops N] [--seed N] [--threads N] [--sut NAME]... [--faults P] [--trace]
-//! lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--faults P] [--trace]
+//! lsbench run --scenario NAME|FILE --sut NAME [--mode M] [--threads N] [--clients N] [--faults P] [--trace]
 //! lsbench run --scenario NAME|FILE --remote HOST:PORT [--threads N] [--faults P]
+//! lsbench capacity --scenario NAME|FILE --sut NAME --sla p99:MS [--remote HOST:PORT]
 //! lsbench serve --sut NAME --port P [--host H]
 //! lsbench shift --sut NAME [--size N] [--ops N] [--threads N] [--trace]
 //! lsbench quality --dist NAME [--param X]
@@ -37,23 +38,28 @@
 //! `regress` gates a candidate against a baseline under a policy file,
 //! exiting non-zero on violation and emitting `BENCH_summary.json`.
 
+use lsbench::core::capacity::{
+    capacity_search, render_capacity_report, with_arrival_rate, CapacityConfig, CapacityPoint,
+    SlaTarget,
+};
 use lsbench::core::faults::{resolve_fault_plan, FaultPlan};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
 use lsbench::core::obs::{render_spans, ObsConfig};
 use lsbench::core::report::{render_adaptability, to_json, write_artifact};
 use lsbench::core::results::{
     compare, evaluate_regression, parse_regression_policy, render_comparison_report,
-    render_regression, render_transport_header, write_bench_summary, ResultStore, RunArtifact,
-    RunManifest, SuiteArtifact, Transport,
+    render_regression, render_transport_header, write_bench_summary, CapacityArtifact,
+    CapacityManifest, ResultStore, RunArtifact, RunManifest, SuiteArtifact, Transport,
 };
-use lsbench::core::runner::{RunOptions, RunOutcome, Runner};
-use lsbench::core::scenario::Scenario;
+use lsbench::core::runner::{ExecutionMode, RunOptions, RunOutcome, Runner};
+use lsbench::core::scenario::{ModePreference, Scenario};
 use lsbench::core::spec::{render_scenario, ScenarioRegistry};
 use lsbench::core::suite::{
     render_comparison, run_scenarios_observed, standard_scenarios, SuiteConfig, SuiteResult,
 };
 use lsbench::core::sut_registry::SutRegistry;
 use lsbench::core::wire::{RemoteOptions, RemoteSut, WireServer, PROTOCOL_VERSION};
+use lsbench::core::BenchError;
 use lsbench::sut::sut::SystemUnderTest;
 use lsbench::workload::keygen::{KeyDistribution, KeyGenerator, CANONICAL_DISTRIBUTIONS};
 use lsbench::workload::quality::score_dataset;
@@ -77,16 +83,37 @@ USAGE:
       archives every run record into the results store for later
       `lsbench compare` / `lsbench regress`.
 
-  lsbench run --scenario NAME|FILE --sut NAME [--threads N] [--trace]
-              [--size N] [--ops N] [--seed N] [--faults NAME|FILE]
-              [--remote HOST:PORT]
+  lsbench run --scenario NAME|FILE --sut NAME [--mode M] [--threads N]
+              [--clients N] [--trace] [--size N] [--ops N] [--seed N]
+              [--faults NAME|FILE] [--remote HOST:PORT]
       Run one scenario — a built-in name (see `lsbench scenarios`) or a
       .spec file — for one SUT. --size/--ops/--seed rescale built-in
-      scenarios; spec files always run exactly as written. --faults
-      attaches a deterministic fault plan on top of whatever [[fault]]
-      blocks the spec itself carries (the flag wins). --remote drives a
-      `lsbench serve` server over the wire protocol instead of an
-      in-process SUT (the server chooses the SUT; --sut is ignored).
+      scenarios; spec files always run exactly as written. --mode picks
+      the execution mode (serial, shared, sharded, open-loop); without it
+      the scenario's `[run] mode` / `[open_loop]` section decides, then
+      --threads N > 1 implies sharded, else serial. --clients N sets (and
+      implies) the open-loop client population multiplexed onto the
+      worker pool. --faults attaches a deterministic fault plan on top of
+      whatever [[fault]] blocks the spec itself carries (the flag wins).
+      --remote drives a `lsbench serve` server over the wire protocol
+      instead of an in-process SUT (the server chooses the SUT; --sut is
+      ignored).
+
+  lsbench capacity --scenario NAME|FILE --sut NAME --sla pNN:MS
+                   [--clients N] [--threads N] [--rate R] [--probes N]
+                   [--tolerance X] [--size N] [--ops N] [--seed N]
+                   [--faults NAME|FILE] [--remote HOST:PORT]
+                   [--store DIR] [--json]
+      Binary-search the maximum sustainable open-loop arrival rate under
+      a latency SLA (`p99:5` = p99 at most 5ms, virtual time). Each probe
+      runs the scenario open-loop on a fresh SUT with the arrival rate
+      substituted, bracketing then bisecting to the SLA knee; every probe
+      lands in the printed throughput-latency curve. The report is
+      archived as a schema-versioned capacity artifact under the results
+      store's capacity/ directory. --rate sets the first probed rate
+      (default 1000 ops/s), --probes caps probe runs (default 12),
+      --tolerance sets the relative bracket width to stop at (default
+      0.05). With --remote every probe drives a `lsbench serve` server.
 
   lsbench serve --sut NAME --port P [--host H]
       Host a registered SUT out-of-process: listen on H:P (default host
@@ -204,34 +231,168 @@ fn attach_faults(scenario: &mut Scenario, plan: &FaultPlan) -> Result<(), ExitCo
     Ok(())
 }
 
+/// The flags every run-executing subcommand (`run`, `suite`, `archive
+/// run`, `capacity`, `shift`) shares, parsed once with one error style
+/// instead of per-command copies: scenario/SUT selection, transport,
+/// execution mode, worker threads, open-loop clients, fault plan, and
+/// observability.
+struct CommonRunArgs {
+    scenario: Option<String>,
+    /// Every `--sut` occurrence; single-SUT commands use the first.
+    suts: Vec<String>,
+    remote: Option<String>,
+    mode: Option<ModePreference>,
+    threads: usize,
+    clients: Option<usize>,
+    faults: Option<FaultPlan>,
+    obs: ObsConfig,
+}
+
+impl CommonRunArgs {
+    /// Parses the shared flags. Flag errors print to stderr and exit with
+    /// the usage code, same as every other CLI error.
+    fn parse(args: &[String]) -> Result<Self, ExitCode> {
+        let mode = match parse_flag(args, "--mode") {
+            None => None,
+            Some(name) => match ModePreference::parse(&name) {
+                Some(m) => Some(m),
+                None => {
+                    eprintln!(
+                        "unknown mode '{name}' (expected \"serial\", \"shared\", \"sharded\", \
+                         or \"open-loop\")"
+                    );
+                    return Err(ExitCode::from(2));
+                }
+            },
+        };
+        let clients = match parse_flag(args, "--clients") {
+            None => None,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Some(n),
+                _ => {
+                    eprintln!("--clients must be a positive integer, got '{v}'");
+                    return Err(ExitCode::from(2));
+                }
+            },
+        };
+        Ok(CommonRunArgs {
+            scenario: parse_flag(args, "--scenario"),
+            suts: args
+                .windows(2)
+                .filter(|w| w[0] == "--sut")
+                .map(|w| w[1].clone())
+                .collect(),
+            remote: parse_flag(args, "--remote"),
+            mode,
+            threads: parse_num(args, "--threads", 1),
+            clients,
+            faults: fault_plan_arg(args)?,
+            obs: obs_config(args),
+        })
+    }
+
+    /// The required `--scenario` argument, resolved through the registry
+    /// with the shared `--faults` plan attached.
+    fn resolve_scenario(&self, args: &[String]) -> Result<Scenario, ExitCode> {
+        let Some(scenario_arg) = &self.scenario else {
+            eprintln!("--scenario NAME|FILE is required (see `lsbench scenarios`)");
+            return Err(ExitCode::from(2));
+        };
+        let mut scenario = scenario_registry(args).resolve(scenario_arg).map_err(|e| {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        })?;
+        if let Some(plan) = &self.faults {
+            attach_faults(&mut scenario, plan)?;
+        }
+        Ok(scenario)
+    }
+
+    /// The required `--sut` argument (unless `--remote` stands in).
+    fn require_sut(&self) -> Result<String, ExitCode> {
+        match self.suts.first() {
+            Some(name) => Ok(name.clone()),
+            None => {
+                eprintln!(
+                    "--sut NAME is required unless --remote HOST:PORT is given \
+                     (see `lsbench list`)"
+                );
+                Err(ExitCode::from(2))
+            }
+        }
+    }
+
+    /// Resolves the execution mode for `scenario`. Precedence: the
+    /// `--mode` flag, then the scenario's `[run] mode` preference, then
+    /// its `[open_loop]` section (or an explicit `--clients`), then
+    /// `--threads N > 1` implying sharded, defaulting to serial.
+    fn execution_mode(&self, scenario: &Scenario) -> ExecutionMode {
+        let workers = self.threads.max(1);
+        let open_loop = || ExecutionMode::OpenLoop {
+            clients: self
+                .clients
+                .or(scenario.open_loop.map(|o| o.clients as usize))
+                .unwrap_or(DEFAULT_CLIENTS),
+            workers,
+        };
+        match self.mode.or(scenario.mode) {
+            Some(ModePreference::Serial) => ExecutionMode::Serial,
+            Some(ModePreference::Shared) => ExecutionMode::SharedLock { workers },
+            Some(ModePreference::Sharded) => ExecutionMode::Sharded { workers },
+            Some(ModePreference::OpenLoop) => open_loop(),
+            None if scenario.open_loop.is_some() || self.clients.is_some() => open_loop(),
+            None if workers > 1 => ExecutionMode::Sharded { workers },
+            None => ExecutionMode::Serial,
+        }
+    }
+
+    /// [`RunOptions`] for `scenario`: the resolved execution mode plus
+    /// the shared observability config.
+    fn run_options(&self, scenario: &Scenario) -> RunOptions {
+        RunOptions {
+            obs: self.obs,
+            ..RunOptions::with_mode(self.execution_mode(scenario))
+        }
+    }
+}
+
+/// Open-loop client population when neither `--clients` nor the
+/// scenario's `[open_loop]` section names one.
+const DEFAULT_CLIENTS: usize = 1000;
+
+/// Worker count recorded in archive manifests: the thread count the mode
+/// actually runs with (1 = serial driver).
+fn mode_workers(mode: ExecutionMode) -> usize {
+    match mode {
+        ExecutionMode::Serial => 1,
+        ExecutionMode::SharedLock { workers }
+        | ExecutionMode::Sharded { workers }
+        | ExecutionMode::OpenLoop { workers, .. } => workers,
+    }
+}
+
 fn cmd_suite(args: &[String]) -> ExitCode {
+    let common = match CommonRunArgs::parse(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
     let registry = SutRegistry::default();
     let cfg = SuiteConfig {
         dataset_size: parse_num(args, "--size", 100_000),
         ops_per_phase: parse_num(args, "--ops", 10_000),
         seed: parse_num(args, "--seed", 0x5EED),
         work_units_per_second: 1_000_000.0,
-        threads: parse_num(args, "--threads", 1),
+        threads: common.threads,
     };
-    let chosen: Vec<String> = {
-        let mut names: Vec<String> = args
-            .windows(2)
-            .filter(|w| w[0] == "--sut")
-            .map(|w| w[1].clone())
-            .collect();
-        if names.is_empty() {
-            names = registry.names().iter().map(|s| s.to_string()).collect();
-        }
-        names
+    let chosen: Vec<String> = if common.suts.is_empty() {
+        registry.names().iter().map(|s| s.to_string()).collect()
+    } else {
+        common.suts.clone()
     };
-    let obs = obs_config(args);
-    let fault_plan = match fault_plan_arg(args) {
-        Ok(p) => p,
-        Err(code) => return code,
-    };
+    let obs = common.obs;
     let scenarios = match standard_scenarios(&cfg) {
         Ok(mut scenarios) => {
-            if let Some(plan) = &fault_plan {
+            if let Some(plan) = &common.faults {
                 for scenario in &mut scenarios {
                     if let Err(code) = attach_faults(scenario, plan) {
                         return code;
@@ -318,10 +479,14 @@ fn cmd_suite(args: &[String]) -> ExitCode {
 }
 
 fn cmd_shift(args: &[String]) -> ExitCode {
+    let common = match CommonRunArgs::parse(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
     let registry = SutRegistry::default();
-    let Some(sut_name) = parse_flag(args, "--sut") else {
-        eprintln!("--sut NAME is required (see `lsbench list`)");
-        return ExitCode::from(2);
+    let sut_name = match common.require_sut() {
+        Ok(name) => name,
+        Err(code) => return code,
     };
     let factory = match registry.factory(&sut_name) {
         Ok(f) => f,
@@ -350,11 +515,7 @@ fn cmd_shift(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let opts = RunOptions {
-        concurrency: parse_num(args, "--threads", 1),
-        obs: obs_config(args),
-        ..RunOptions::default()
-    };
+    let opts = common.run_options(&scenario);
     let outcome = match Runner::from_factory(factory).config(opts).run(&scenario) {
         Ok(o) => o,
         Err(e) => {
@@ -437,68 +598,66 @@ fn scenario_registry(args: &[String]) -> ScenarioRegistry {
     })
 }
 
+/// Executes one resolved scenario locally or remotely with the shared
+/// options — the common tail of `run`, `archive run`, and every capacity
+/// probe. Returns the outcome, the (possibly server-reported) SUT name,
+/// and the transport used.
+fn execute_scenario(
+    common: &CommonRunArgs,
+    scenario: &Scenario,
+    opts: RunOptions,
+    quiet: bool,
+) -> Result<(RunOutcome, String, Transport), ExitCode> {
+    if let Some(endpoint) = &common.remote {
+        let (outcome, sut_name) = run_remote(scenario, endpoint, opts, quiet)?;
+        let transport = Transport::Remote {
+            endpoint: endpoint.clone(),
+        };
+        return Ok((outcome, sut_name, transport));
+    }
+    let sut_name = common.require_sut()?;
+    let registry = SutRegistry::default();
+    let factory = registry.factory(&sut_name).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(2)
+    })?;
+    if !quiet {
+        eprintln!(
+            "running {} on {} ({} phases, {} ops, mode {}) ...",
+            scenario.name,
+            sut_name,
+            scenario.workload.phases().len(),
+            scenario.workload.total_ops(),
+            opts.mode.label()
+        );
+    }
+    let outcome = Runner::from_factory(factory)
+        .config(opts)
+        .run(scenario)
+        .map_err(|e| {
+            eprintln!("run failed: {e}");
+            ExitCode::FAILURE
+        })?;
+    Ok((outcome, sut_name, Transport::Local))
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
-    let Some(scenario_arg) = parse_flag(args, "--scenario") else {
-        eprintln!("--scenario NAME|FILE is required (see `lsbench scenarios`)");
-        return ExitCode::from(2);
+    let common = match CommonRunArgs::parse(args) {
+        Ok(c) => c,
+        Err(code) => return code,
     };
-    let remote = parse_flag(args, "--remote");
-    let sut_arg = parse_flag(args, "--sut");
-    if remote.is_none() && sut_arg.is_none() {
+    if common.remote.is_none() && common.suts.is_empty() {
         eprintln!("--sut NAME is required unless --remote HOST:PORT is given (see `lsbench list`)");
         return ExitCode::from(2);
     }
-    let mut scenario = match scenario_registry(args).resolve(&scenario_arg) {
+    let scenario = match common.resolve_scenario(args) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-    };
-    match fault_plan_arg(args) {
-        Ok(Some(plan)) => {
-            if let Err(code) = attach_faults(&mut scenario, &plan) {
-                return code;
-            }
-        }
-        Ok(None) => {}
         Err(code) => return code,
-    }
-    let opts = RunOptions {
-        concurrency: parse_num(args, "--threads", 1),
-        obs: obs_config(args),
-        ..RunOptions::default()
     };
-    if let Some(endpoint) = remote {
-        let (outcome, sut_name) = match run_remote(&scenario, &endpoint, opts) {
-            Ok(v) => v,
-            Err(code) => return code,
-        };
-        report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
-        return ExitCode::SUCCESS;
-    }
-    let sut_name = sut_arg.expect("checked above");
-    let registry = SutRegistry::default();
-    let factory = match registry.factory(&sut_name) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
-        }
-    };
-    eprintln!(
-        "running {} on {} ({} phases, {} ops) ...",
-        scenario.name,
-        sut_name,
-        scenario.workload.phases().len(),
-        scenario.workload.total_ops()
-    );
-    let outcome = match Runner::from_factory(factory).config(opts).run(&scenario) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("run failed: {e}");
-            return ExitCode::FAILURE;
-        }
+    let opts = common.run_options(&scenario);
+    let (outcome, sut_name, _) = match execute_scenario(&common, &scenario, opts, false) {
+        Ok(v) => v,
+        Err(code) => return code,
     };
     report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
     ExitCode::SUCCESS
@@ -513,18 +672,22 @@ fn run_remote(
     scenario: &Scenario,
     endpoint: &str,
     opts: RunOptions,
+    quiet: bool,
 ) -> Result<(RunOutcome, String), ExitCode> {
     let mut remote = RemoteSut::connect(endpoint, RemoteOptions::default()).map_err(|e| {
         eprintln!("cannot connect to {endpoint}: {e}");
         ExitCode::from(2)
     })?;
-    eprintln!(
-        "running {} remotely on '{}' at {endpoint} (protocol v{PROTOCOL_VERSION}, {} phases, {} ops) ...",
-        scenario.name,
-        remote.name(),
-        scenario.workload.phases().len(),
-        scenario.workload.total_ops()
-    );
+    if !quiet {
+        eprintln!(
+            "running {} remotely on '{}' at {endpoint} (protocol v{PROTOCOL_VERSION}, {} phases, {} ops, mode {}) ...",
+            scenario.name,
+            remote.name(),
+            scenario.workload.phases().len(),
+            scenario.workload.total_ops(),
+            opts.mode.label()
+        );
+    }
     remote.load(&render_scenario(scenario)).map_err(|e| {
         eprintln!("remote load failed: {e}");
         ExitCode::FAILURE
@@ -609,6 +772,12 @@ fn positional_args(args: &[String]) -> Vec<String> {
         "--remote",
         "--port",
         "--host",
+        "--mode",
+        "--clients",
+        "--sla",
+        "--rate",
+        "--probes",
+        "--tolerance",
     ];
     let mut out = Vec::new();
     let mut i = 0;
@@ -638,15 +807,14 @@ fn cmd_archive(args: &[String]) -> ExitCode {
 }
 
 /// `lsbench archive run`: exactly `lsbench run`, plus saving the record
-/// (with its reproduction manifest) into the results store.
+/// (with its reproduction manifest and engine statistics) into the
+/// results store.
 fn cmd_archive_run(args: &[String]) -> ExitCode {
-    let Some(scenario_arg) = parse_flag(args, "--scenario") else {
-        eprintln!("--scenario NAME|FILE is required (see `lsbench scenarios`)");
-        return ExitCode::from(2);
+    let common = match CommonRunArgs::parse(args) {
+        Ok(c) => c,
+        Err(code) => return code,
     };
-    let remote = parse_flag(args, "--remote");
-    let sut_arg = parse_flag(args, "--sut");
-    if remote.is_none() && sut_arg.is_none() {
+    if common.remote.is_none() && common.suts.is_empty() {
         eprintln!("--sut NAME is required unless --remote HOST:PORT is given (see `lsbench list`)");
         return ExitCode::from(2);
     }
@@ -654,63 +822,132 @@ fn cmd_archive_run(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(code) => return code,
     };
-    let mut scenario = match scenario_registry(args).resolve(&scenario_arg) {
+    let scenario = match common.resolve_scenario(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let opts = common.run_options(&scenario);
+    let (outcome, sut_name, transport) = match execute_scenario(&common, &scenario, opts, false) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
+    let manifest = RunManifest::for_run(&scenario, &sut_name, mode_workers(opts.mode))
+        .with_transport(transport);
+    let artifact = RunArtifact::new(manifest, outcome.record).with_engine(outcome.engine);
+    match store.save(&artifact) {
+        Ok(path) => {
+            println!("archived {} (digest {})", path.display(), artifact.digest);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("archive failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `lsbench capacity`: binary-search the maximum sustainable open-loop
+/// arrival rate under a latency SLA, probing with full runs on fresh
+/// SUTs, and archive the resulting knee curve.
+fn cmd_capacity(args: &[String]) -> ExitCode {
+    let common = match CommonRunArgs::parse(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    if common.remote.is_none() && common.suts.is_empty() {
+        eprintln!("--sut NAME is required unless --remote HOST:PORT is given (see `lsbench list`)");
+        return ExitCode::from(2);
+    }
+    let Some(sla_arg) = parse_flag(args, "--sla") else {
+        eprintln!("--sla pNN:MS is required (e.g. --sla p99:5 for p99 <= 5ms)");
+        return ExitCode::from(2);
+    };
+    let sla = match SlaTarget::parse(&sla_arg) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
-    match fault_plan_arg(args) {
-        Ok(Some(plan)) => {
-            if let Err(code) = attach_faults(&mut scenario, &plan) {
-                return code;
-            }
-        }
-        Ok(None) => {}
+    let store = match open_store(args) {
+        Ok(s) => s,
         Err(code) => return code,
-    }
-    let threads: usize = parse_num(args, "--threads", 1);
-    let opts = RunOptions {
-        concurrency: threads,
-        obs: obs_config(args),
-        ..RunOptions::default()
     };
-    let (outcome, sut_name, transport) = if let Some(endpoint) = remote {
-        let (outcome, sut_name) = match run_remote(&scenario, &endpoint, opts) {
-            Ok(v) => v,
-            Err(code) => return code,
-        };
-        (outcome, sut_name, Transport::Remote { endpoint })
-    } else {
-        let sut_name = sut_arg.expect("checked above");
-        let registry = SutRegistry::default();
-        let factory = match registry.factory(&sut_name) {
-            Ok(f) => f,
+    let scenario = match common.resolve_scenario(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let clients = common
+        .clients
+        .or(scenario.open_loop.map(|o| o.clients as usize))
+        .unwrap_or(DEFAULT_CLIENTS);
+    let workers = common.threads.max(1);
+    let config = CapacityConfig {
+        sla,
+        initial_rate: parse_num(args, "--rate", 1000.0),
+        max_probes: parse_num(args, "--probes", 12),
+        tolerance: parse_num(args, "--tolerance", 0.05),
+    };
+    eprintln!(
+        "capacity search: {} under {} ({clients} clients, {workers} workers, \
+         start {} ops/s, <= {} probes) ...",
+        scenario.name,
+        sla.describe(),
+        config.initial_rate,
+        config.max_probes
+    );
+    // Each probe is a fresh SUT at a substituted arrival rate; the probe
+    // fails the whole search rather than guessing past a broken run.
+    let mut probe_sut = String::new();
+    let probe_result = capacity_search(&config, |rate| {
+        let probe_scenario = with_arrival_rate(&scenario, rate);
+        let opts = RunOptions::with_mode(ExecutionMode::OpenLoop { clients, workers });
+        let (outcome, sut_name, _) = execute_scenario(&common, &probe_scenario, opts, true)
+            .map_err(|_| BenchError::Sut(format!("probe at {rate} ops/s failed")))?;
+        probe_sut = sut_name;
+        let engine = outcome.engine.as_ref().ok_or_else(|| {
+            BenchError::Metric("open-loop probe produced no engine stats".to_string())
+        })?;
+        let point = CapacityPoint::from_run(rate, &sla, engine, &outcome.record)?;
+        eprintln!(
+            "  probe {:>12.2} ops/s -> p{} {:.4}ms, {} completed: {}",
+            point.rate,
+            sla.quantile * 100.0,
+            point.latency_seconds * 1000.0,
+            point.completed,
+            if point.met { "met" } else { "VIOLATED" }
+        );
+        Ok(point)
+    });
+    let report = match probe_result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("capacity search failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if has_flag(args, "--json") {
+        match to_json(&report) {
+            Ok(json) => println!("{json}"),
             Err(e) => {
                 eprintln!("{e}");
-                return ExitCode::from(2);
-            }
-        };
-        eprintln!(
-            "running {} on {sut_name} ({} phases, {} ops) ...",
-            scenario.name,
-            scenario.workload.phases().len(),
-            scenario.workload.total_ops()
-        );
-        let outcome = match Runner::from_factory(factory).config(opts).run(&scenario) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("run failed: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-        (outcome, sut_name, Transport::Local)
+        }
+    } else {
+        print!("{}", render_capacity_report(&report));
+    }
+    let transport = match &common.remote {
+        Some(endpoint) => Transport::Remote {
+            endpoint: endpoint.clone(),
+        },
+        None => Transport::Local,
     };
-    report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
-    let manifest = RunManifest::for_run(&scenario, &sut_name, threads).with_transport(transport);
-    let artifact = RunArtifact::new(manifest, outcome.record);
-    match store.save(&artifact) {
+    let manifest = CapacityManifest::for_search(&scenario, &probe_sut, &sla_arg, clients, workers)
+        .with_transport(transport);
+    let artifact = CapacityArtifact::new(manifest, report);
+    match store.save_capacity(&artifact) {
         Ok(path) => {
             println!("archived {} (digest {})", path.display(), artifact.digest);
             ExitCode::SUCCESS
@@ -1050,6 +1287,7 @@ fn main() -> ExitCode {
     match args.first().map(|s| s.as_str()) {
         Some("suite") => cmd_suite(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("capacity") => cmd_capacity(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("shift") => cmd_shift(&args[1..]),
         Some("quality") => cmd_quality(&args[1..]),

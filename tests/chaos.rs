@@ -21,7 +21,7 @@ use lsbench::core::faults::{FaultPlan, FaultSpec, FaultStats, RetryPolicy};
 use lsbench::core::metrics::sla::SlaReport;
 use lsbench::core::obs::ObsConfig;
 use lsbench::core::record::RunRecord;
-use lsbench::core::runner::{BoxedKvSut, RunOptions, Runner};
+use lsbench::core::runner::{BoxedKvSut, ExecutionMode, RunOptions, Runner};
 use lsbench::core::scenario::Scenario;
 use lsbench::core::BenchError;
 use lsbench::sut::kv::{RetrainPolicy, RmiSut};
@@ -182,7 +182,7 @@ fn empty_plan_is_bit_identical_on_the_concurrent_engine() {
         let mut s = scenario(31);
         s.faults = faults;
         Runner::from_factory(factory)
-            .config(RunOptions::with_concurrency(4))
+            .config(RunOptions::with_mode(ExecutionMode::Sharded { workers: 4 }))
             .run(&s)
             .expect("run succeeds")
     };

@@ -13,7 +13,7 @@
 use lsbench::core::driver::{run_kv_scenario, DriverConfig};
 use lsbench::core::obs::ObsConfig;
 use lsbench::core::record::RunRecord;
-use lsbench::core::runner::{BoxedKvSut, RunOptions, RunOutcome, Runner};
+use lsbench::core::runner::{BoxedKvSut, ExecutionMode, RunOptions, RunOutcome, Runner};
 use lsbench::core::scenario::Scenario;
 use lsbench::core::sut_registry::SutRegistry;
 use lsbench::core::BenchError;
@@ -113,7 +113,7 @@ fn golden_trace_aligns_with_run_record_serial() {
 fn golden_trace_aligns_with_run_record_engine() {
     let outcome = run_with(RunOptions {
         obs: ObsConfig::traced(),
-        ..RunOptions::with_concurrency(4)
+        ..RunOptions::with_mode(ExecutionMode::Sharded { workers: 4 })
     });
     let trace = outcome.trace.expect("tracing was requested");
     let record = &outcome.record;
@@ -146,7 +146,7 @@ fn tracing_never_changes_results() {
 fn worker_count_invariant_under_tracing() {
     // 4 lanes on 1, 2, and 4 worker threads: records AND traces identical,
     // traced or not.
-    let base = RunOptions::with_concurrency(4);
+    let base = RunOptions::with_mode(ExecutionMode::Sharded { workers: 4 });
     let reference = run_with(base);
     let mut reference_trace = None;
     for threads in [1usize, 2, 4] {

@@ -1,0 +1,117 @@
+//! Acceptance tests for the open-loop capacity engine: the event-heap
+//! scheduler must multiplex very large simulated client populations onto a
+//! small worker pool **bit-identically** at any worker count — including
+//! under an injected chaos plan — and the `ExecutionMode` API must route
+//! the open-loop mode end to end through the public `Runner`.
+
+use lsbench::core::faults::resolve_fault_plan;
+use lsbench::core::runner::{ExecutionMode, RunOptions, RunOutcome, Runner};
+use lsbench::core::scenario::{ArrivalSpec, Scenario};
+use lsbench::core::sut_registry::SutRegistry;
+use lsbench::workload::arrival::{ArrivalProcess, LoadModulation};
+use lsbench::workload::keygen::KeyDistribution;
+
+fn open_loop_scenario() -> Scenario {
+    let mut s = Scenario::two_phase_shift(
+        "open-loop-acceptance",
+        KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
+        KeyDistribution::Normal {
+            center: 0.9,
+            std_frac: 0.03,
+        },
+        8_000,
+        2_500,
+        42,
+    )
+    .expect("valid scenario");
+    s.arrival = Some(ArrivalSpec {
+        process: ArrivalProcess::Poisson { rate: 50_000.0 },
+        modulation: LoadModulation::Constant,
+        seed: 9,
+    });
+    s
+}
+
+fn run_open(scenario: &Scenario, sut: &str, clients: usize, workers: usize) -> RunOutcome {
+    let registry = SutRegistry::default();
+    let factory = registry.factory(sut).expect("known SUT");
+    let outcome = Runner::from_factory(factory)
+        .config(RunOptions::with_mode(ExecutionMode::OpenLoop {
+            clients,
+            workers,
+        }))
+        .run(scenario)
+        .expect("open-loop run succeeds");
+    outcome
+}
+
+/// The tentpole acceptance criterion: 100,000 simulated open-loop clients
+/// multiplexed onto 1, 4, and 8 workers produce **bit-identical** run
+/// records and engine histograms. Latency is charged from each op's
+/// intended arrival on its owning client's virtual clock, so the schedule
+/// — and therefore the record — cannot depend on how the clients were
+/// packed onto OS threads.
+#[test]
+fn hundred_thousand_clients_are_bit_identical_across_worker_counts() {
+    let scenario = open_loop_scenario();
+    let baseline = run_open(&scenario, "btree", 100_000, 1);
+    let base_stats = baseline.engine.as_ref().expect("engine stats");
+    assert_eq!(base_stats.lanes, 100_000, "one lane per simulated client");
+    for workers in [4usize, 8] {
+        let other = run_open(&scenario, "btree", 100_000, workers);
+        assert_eq!(
+            other.record, baseline.record,
+            "open-loop record must be bit-identical (workers={workers})"
+        );
+        let stats = other.engine.as_ref().expect("engine stats");
+        assert_eq!(stats.threads, workers);
+        assert_eq!(
+            stats.latency, base_stats.latency,
+            "coordinated-omission-safe histogram (workers={workers})"
+        );
+    }
+}
+
+/// Worker-count invariance survives an injected chaos plan: retries,
+/// timeouts, and crash-recovery all happen on per-client virtual clocks,
+/// so the fault ledger and every op outcome stay identical whether the
+/// clients share one worker or eight.
+#[test]
+fn open_loop_chaos_run_is_worker_count_invariant() {
+    let mut scenario = open_loop_scenario();
+    scenario.faults = Some(resolve_fault_plan("chaos-errors").expect("builtin plan"));
+    scenario.validate().expect("plan fits scenario");
+
+    let baseline = run_open(&scenario, "btree", 5_000, 1);
+    assert!(
+        baseline.record.faults.injected > 0,
+        "the chaos plan actually fired"
+    );
+    for workers in [4usize, 8] {
+        let other = run_open(&scenario, "btree", 5_000, workers);
+        assert_eq!(
+            other.record, baseline.record,
+            "chaos open-loop record (workers={workers})"
+        );
+        assert_eq!(other.record.faults, baseline.record.faults);
+    }
+}
+
+/// `OpenLoop { clients: 1 }` through the public `Runner` is the serial
+/// driver in disguise: one client owns every op and its virtual clock is
+/// the serial clock, so the records agree field for field.
+#[test]
+fn single_client_open_loop_matches_serial_via_runner() {
+    let scenario = open_loop_scenario();
+    let registry = SutRegistry::default();
+    let factory = registry.factory("rmi").expect("known SUT");
+    let serial = Runner::from_factory(factory)
+        .config(RunOptions::with_mode(ExecutionMode::Serial))
+        .run(&scenario)
+        .expect("serial run");
+    let open = run_open(&scenario, "rmi", 1, 4);
+    assert_eq!(open.record, serial.record);
+}

@@ -11,7 +11,7 @@
 
 use lsbench::core::faults::{FaultPlan, FaultSpec, RetryPolicy};
 use lsbench::core::obs::ObsConfig;
-use lsbench::core::runner::{BoxedKvSut, RunOptions, RunOutcome, Runner};
+use lsbench::core::runner::{BoxedKvSut, ExecutionMode, RunOptions, RunOutcome, Runner};
 use lsbench::core::scenario::Scenario;
 use lsbench::core::spec::render_scenario;
 use lsbench::core::sut_registry::SutRegistry;
@@ -46,11 +46,21 @@ fn spawn_server(sut: &str) -> ServerHandle {
         .expect("spawns")
 }
 
+/// The historic `--threads N` routing: 1 worker is the serial driver,
+/// more run the shared-SUT engine lanes.
+fn threads_mode(threads: usize) -> ExecutionMode {
+    if threads <= 1 {
+        ExecutionMode::Serial
+    } else {
+        ExecutionMode::Sharded { workers: threads }
+    }
+}
+
 fn run_local(scenario: &Scenario, sut: &str, threads: usize) -> RunOutcome {
     let data = scenario.dataset.build().expect("dataset builds");
     let mut local = SutRegistry::default().build(sut, &data).expect("builds");
     let outcome = Runner::new(local.as_mut())
-        .config(RunOptions::with_concurrency(threads))
+        .config(RunOptions::with_mode(threads_mode(threads)))
         .run(scenario)
         .expect("local run");
     outcome
@@ -67,7 +77,7 @@ fn run_remote(
         .load(&render_scenario(scenario))
         .expect("remote load");
     let outcome = Runner::new(&mut remote)
-        .config(RunOptions::with_concurrency(threads))
+        .config(RunOptions::with_mode(threads_mode(threads)))
         .run(scenario)
         .expect("remote run");
     outcome

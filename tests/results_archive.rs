@@ -9,7 +9,7 @@ use lsbench::core::results::{
     compare, ComparisonReport, ResultStore, RunArtifact, RunManifest, StoreError, SuiteArtifact,
     Transport, SCHEMA_VERSION,
 };
-use lsbench::core::runner::{RunOptions, Runner};
+use lsbench::core::runner::{ExecutionMode, RunOptions, Runner};
 use lsbench::core::scenario::Scenario;
 use lsbench::core::suite::{s2_abrupt_shift, SuiteConfig, SuiteResult};
 use lsbench::core::sut_registry::SutRegistry;
@@ -35,7 +35,11 @@ fn run_and_record(scenario: &Scenario, sut: &str, threads: usize) -> RunRecord {
     let registry = SutRegistry::default();
     let factory = registry.factory(sut).expect("known SUT");
     let outcome = Runner::from_factory(factory)
-        .config(RunOptions::with_concurrency(threads))
+        .config(RunOptions::with_mode(if threads > 1 {
+            ExecutionMode::Sharded { workers: threads }
+        } else {
+            ExecutionMode::Serial
+        }))
         .run(scenario)
         .expect("run succeeds");
     outcome.record
@@ -152,10 +156,10 @@ fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("fixtures")
-        .join("run_artifact_v2.json")
+        .join("run_artifact_v3.json")
 }
 
-/// Byte-exact golden pin of the `RunArtifact` v2 JSON schema. If this
+/// Byte-exact golden pin of the `RunArtifact` v3 JSON schema. If this
 /// fails, the serialized shape changed: bump
 /// [`lsbench::core::results::SCHEMA_VERSION`], regenerate the fixture with
 /// `cargo test regenerate_golden_artifact_fixture -- --ignored`, and
@@ -165,7 +169,7 @@ fn fixture_path() -> PathBuf {
 fn run_artifact_json_schema_is_pinned_byte_exact() {
     let artifact = golden_artifact();
     let expected = std::fs::read_to_string(fixture_path())
-        .expect("tests/fixtures/run_artifact_v2.json exists (see regenerate test)");
+        .expect("tests/fixtures/run_artifact_v3.json exists (see regenerate test)");
     let actual = artifact.to_json().expect("serializes");
     assert_eq!(
         actual, expected,
@@ -196,7 +200,7 @@ fn store_refuses_unversioned_and_drifted_artifacts() {
     let json = std::fs::read_to_string(&path).unwrap();
 
     // Strip the version field → refused as unversioned.
-    let unversioned = json.replacen("  \"schema_version\": 2,\n", "", 1);
+    let unversioned = json.replacen("  \"schema_version\": 3,\n", "", 1);
     assert_ne!(unversioned, json);
     std::fs::write(&path, &unversioned).unwrap();
     match store.load(&artifact.digest) {
@@ -207,13 +211,13 @@ fn store_refuses_unversioned_and_drifted_artifacts() {
         other => panic!("expected unversioned refusal, got {other:?}"),
     }
 
-    // Version drift (old v1 readers-era artifacts) → refused with the
-    // found version reported.
-    let drifted = json.replacen("\"schema_version\": 2", "\"schema_version\": 1", 1);
+    // Version drift: a v2-era artifact (pre-engine-stats) must be refused
+    // with the found version reported, never best-effort parsed.
+    let drifted = json.replacen("\"schema_version\": 3", "\"schema_version\": 2", 1);
     std::fs::write(&path, &drifted).unwrap();
     assert!(matches!(
         store.load(&artifact.digest),
-        Err(StoreError::Schema { found: Some(1), .. })
+        Err(StoreError::Schema { found: Some(2), .. })
     ));
 
     // Tampered manifest → digest mismatch.

@@ -5,7 +5,7 @@
 
 use lsbench::core::faults::{FaultPlan, FaultSpec, RetryPolicy};
 use lsbench::core::metrics::sla::SlaPolicy;
-use lsbench::core::runner::{RunOptions, Runner};
+use lsbench::core::runner::{ExecutionMode, RunOptions, Runner};
 use lsbench::core::scenario::{ArrivalSpec, OnlineTrainMode, Scenario};
 use lsbench::core::spec::{parse_scenario, render_scenario, ScenarioRegistry};
 use lsbench::core::suite::SuiteConfig;
@@ -181,7 +181,11 @@ fn built_in_and_spec_file_runs_are_bit_identical() {
     for workers in [1, 4] {
         let run = |s: &Scenario| {
             Runner::from_factory(suts.factory("btree").expect("registered"))
-                .config(RunOptions::with_concurrency(workers))
+                .config(RunOptions::with_mode(if workers > 1 {
+                    ExecutionMode::Sharded { workers }
+                } else {
+                    ExecutionMode::Serial
+                }))
                 .run(s)
                 .expect("run succeeds")
         };
