@@ -487,6 +487,107 @@ pub fn run_kv_trace<S: SystemUnderTest<Operation> + ?Sized>(
     })
 }
 
+/// Replays a trace open-loop against a SUT with a population of `clients`
+/// independent closed-loop clients sharing the trace's arrival schedule.
+///
+/// Operations are assigned to clients round-robin in trace order. An entry
+/// with a positive `arrival` issues at that virtual time (or when its
+/// client frees up, whichever is later) and its latency *includes queueing
+/// delay* — the coordinated-omission-safe measurement. Entries without
+/// timestamps issue as soon as their client is free and measure service
+/// time only.
+///
+/// The replay is a logically serial discrete-event simulation on the
+/// virtual clock: operations execute against the SUT in trace order, and
+/// only per-client completion times differ from [`run_kv_trace`]. Physical
+/// worker count can therefore never affect the record — the same contract
+/// the engine pins for generated scenarios ("threads never decide
+/// results"), guarded for replays by `tests/open_loop.rs` and the CI
+/// trace-smoke job.
+pub fn run_kv_trace_open_loop<S: SystemUnderTest<Operation> + ?Sized>(
+    sut: &mut S,
+    trace: &lsbench_workload::trace::Trace,
+    config: &ReplayConfig,
+    clients: usize,
+) -> Result<RunRecord> {
+    if config.work_units_per_second <= 0.0 {
+        return Err(BenchError::InvalidScenario(
+            "work_units_per_second must be positive".to_string(),
+        ));
+    }
+    if clients == 0 {
+        return Err(BenchError::InvalidScenario(
+            "open-loop replay needs at least one client".to_string(),
+        ));
+    }
+    let rate = config.work_units_per_second;
+    let mut clock = SimClock::new();
+    let train_work = sut.train(config.train_budget);
+    clock.advance(train_work as f64 / rate);
+    let train = TrainInfo {
+        work: train_work,
+        seconds: clock.now(),
+    };
+    let exec_start = clock.now();
+    let mut client_free = vec![exec_start; clients.min(trace.len().max(1))];
+    let mut ops = Vec::with_capacity(trace.len());
+    let mut phase_change_times = vec![(0usize, exec_start)];
+    let mut current_phase = 0usize;
+    let mut since_maintenance = 0u64;
+    let mut backlog = 0.0f64;
+    let mut last_completion = exec_start;
+    for (i, entry) in trace.entries().iter().enumerate() {
+        if entry.phase != current_phase {
+            current_phase = entry.phase;
+            phase_change_times.push((current_phase, last_completion));
+            backlog += sut.on_phase_change(current_phase) as f64 / rate;
+        }
+        since_maintenance += 1;
+        if since_maintenance >= config.maintenance_every {
+            since_maintenance = 0;
+            backlog += sut.maintenance() as f64 / rate;
+        }
+        let slot = i % client_free.len();
+        let outcome = sut
+            .execute(&entry.op)
+            .map_err(|e| BenchError::Sut(e.to_string()))?;
+        let service = service_with_backlog(
+            outcome.work as f64 / rate,
+            &mut backlog,
+            config.online_train,
+        );
+        let (start, basis) = if entry.arrival > 0.0 {
+            let arrival = exec_start + entry.arrival;
+            (arrival.max(client_free[slot]), arrival)
+        } else {
+            (client_free[slot], client_free[slot])
+        };
+        let completion = start + service;
+        client_free[slot] = completion;
+        last_completion = last_completion.max(completion);
+        ops.push(OpRecord {
+            t_end: completion,
+            latency: completion - basis,
+            phase: entry.phase as u16,
+            ok: outcome.ok,
+            in_transition: false,
+        });
+    }
+    Ok(RunRecord {
+        sut_name: sut.name(),
+        scenario_name: "trace-replay".to_string(),
+        phase_names: trace.phase_names().to_vec(),
+        ops,
+        phase_change_times,
+        train,
+        exec_start,
+        exec_end: last_completion + backlog,
+        final_metrics: sut.metrics(),
+        work_units_per_second: rate,
+        faults: FaultStats::default(),
+    })
+}
+
 /// Runs a query SUT over per-phase query batches (each inner vector is one
 /// workload phase). Phase changes are announced between batches.
 pub fn run_query_workload<S: SystemUnderTest<QueryOp> + ?Sized>(

@@ -52,6 +52,10 @@
 //!   protocol over TCP, the `lsbench serve` server loop hosting any
 //!   registered SUT, and the [`wire::RemoteSut`] pipelined client-pool
 //!   adapter — with the in-process mode as the conformance oracle.
+//! * [`trace`] — the real-workload bridge: CSV/JSON-lines trace import
+//!   with positioned errors, open/closed-loop replay at any speed, and
+//!   the trace-to-spec fitter (change-point phase segmentation plus
+//!   per-phase mix/distribution estimation).
 
 #![warn(missing_docs)]
 
@@ -70,12 +74,13 @@ pub mod scenario;
 pub mod spec;
 pub mod suite;
 pub mod sut_registry;
+pub mod trace;
 pub mod wire;
 
 pub use capacity::{capacity_search, CapacityConfig, CapacityPoint, CapacityReport, SlaTarget};
 pub use driver::{
-    run_kv_scenario, run_kv_scenario_observed, run_kv_trace, run_query_workload, DriverConfig,
-    ReplayConfig,
+    run_kv_scenario, run_kv_scenario_observed, run_kv_trace, run_kv_trace_open_loop,
+    run_query_workload, DriverConfig, ReplayConfig,
 };
 pub use engine::{
     run_concurrent_kv_scenario, run_concurrent_kv_scenario_observed, run_open_loop_kv_scenario,
@@ -103,6 +108,7 @@ pub use suite::{
     run_suite, run_suite_observed, standard_scenarios, SuiteConfig, SuiteObservation, SuiteResult,
 };
 pub use sut_registry::SutRegistry;
+pub use trace::{fit_scenario, import_str, FitReport, ImportedTrace, TraceError, TraceFormat};
 pub use wire::{RemoteOptions, RemoteSut, ServerHandle, WireError, WireServer, PROTOCOL_VERSION};
 
 /// Errors produced by the benchmark framework.

@@ -6,6 +6,7 @@
 //! `[sla]`, `[arrival]`), and `[[block]]` headers for the ordered phase
 //! chain (`[[phase]]`, `[[holdout]]`, the composer blocks
 //! `[[diurnal]]`, `[[burst]]`, `[[gradual_shift]]`, `[[growing_skew]]`,
+//! the generator families `[[templated_repetition]]` and `[[ledger]]`,
 //! and fault-injection `[[fault]]` blocks).
 //! Values are integers (decimal or `0x` hex), floats, `"strings"`,
 //! booleans, and two-element integer arrays (`key_range = [lo, hi]`).
@@ -23,6 +24,7 @@ use crate::faults::{FaultPlan, FaultSpec, RetryPolicy};
 use crate::metrics::sla::SlaPolicy;
 use crate::scenario::{ArrivalSpec, DatasetSpec, ModePreference, OnlineTrainMode, Scenario};
 use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
+use lsbench_workload::families::{LedgerGrowth, TemplatedRepetition};
 use lsbench_workload::keygen::{KeyDistribution, CANONICAL_DISTRIBUTIONS};
 use lsbench_workload::ops::OperationMix;
 use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
@@ -173,6 +175,8 @@ const MULTI_SECTIONS: &[&str] = &[
     "burst",
     "gradual_shift",
     "growing_skew",
+    "templated_repetition",
+    "ledger",
     "fault",
 ];
 
@@ -668,6 +672,28 @@ fn compile_composer(
     default_range: Option<(u64, u64)>,
 ) -> SResult<(Expansion, Option<(TransitionKind, usize)>)> {
     let line = f.line;
+    if kind == "ledger" {
+        // The ledger family derives its mix from `append_fraction`, so it
+        // skips the common path (which demands an explicit mix).
+        let join = take_transition(&mut f)?;
+        let family = LedgerGrowth {
+            name: match f.opt_str("name")? {
+                Some((n, _)) => n,
+                None => kind.to_string(),
+            },
+            steps: f.req_u64("steps")?,
+            ops_per_step: f.req_u64("ops_per_step")?,
+            key_range: take_key_range(&mut f, default_range)?,
+            start_frac: f.req_f64("start_frac")?.0,
+            append_fraction: f.req_f64("append_fraction")?.0,
+            recency: f.opt_f64("recency")?.map(|(v, _)| v).unwrap_or(0.1),
+        };
+        f.finish()?;
+        let expansion = family
+            .expand()
+            .map_err(|reason| SpecError::new(line, kind, reason))?;
+        return Ok((expansion, join));
+    }
     let common = take_composer_common(&mut f, kind, default_range)?;
     let join = common.join;
     let expansion = match kind {
@@ -714,6 +740,18 @@ fn compile_composer(
             smooth: opt_smooth(&mut f)?,
             key_range: common.key_range,
             mix: common.mix,
+        }
+        .expand(),
+        "templated_repetition" => TemplatedRepetition {
+            name: common.name,
+            steps: common.steps,
+            ops_per_step: common.ops_per_step,
+            key_range: common.key_range,
+            mix: common.mix,
+            templates: f.req_u64("templates")?,
+            hot_templates: f.req_u64("hot_templates")?,
+            theta: f.req_f64("theta")?.0,
+            churn: f.opt_f64("churn")?.map(|(v, _)| v).unwrap_or(0.0),
         }
         .expand(),
         other => unreachable!("lexer admits only known composer blocks, got {other}"),
@@ -1281,7 +1319,12 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
                 let (spec, lines) = compile_fault(Fields::new(section))?;
                 fault_blocks.push((spec, lines, block_line));
             }
-            kind @ ("diurnal" | "burst" | "gradual_shift" | "growing_skew") => {
+            kind @ ("diurnal"
+            | "burst"
+            | "gradual_shift"
+            | "growing_skew"
+            | "templated_repetition"
+            | "ledger") => {
                 let kind = kind.to_string();
                 let (expansion, join) =
                     compile_composer(Fields::new(section), &kind, default_range)?;

@@ -167,7 +167,9 @@ mod tests {
                 "S2-abrupt-shift",
                 "S3-gradual-writes",
                 "S4-scans",
-                "S5-bursty-load"
+                "S5-bursty-load",
+                "S6-templated-repetition",
+                "S7-ledger-growth"
             ]
         );
         for name in reg.names() {

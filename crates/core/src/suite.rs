@@ -20,6 +20,7 @@ use crate::{BenchError, Result};
 use lsbench_sut::kv::BTreeSut;
 use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
 use lsbench_workload::dataset::Dataset;
+use lsbench_workload::families::{LedgerGrowth, TemplatedRepetition};
 use lsbench_workload::keygen::KeyDistribution;
 use lsbench_workload::ops::OperationMix;
 use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
@@ -279,6 +280,49 @@ pub fn s5_bursty_load(cfg: &SuiteConfig) -> Result<Scenario> {
         .build()
 }
 
+/// S6: templated query repetition with churn (Redbench dynamics).
+pub fn s6_templated_repetition(cfg: &SuiteConfig) -> Result<Scenario> {
+    let family = TemplatedRepetition {
+        name: "templ".to_string(),
+        steps: 4,
+        ops_per_step: (cfg.ops_per_phase / 2).max(1),
+        key_range: KEY_RANGE,
+        mix: OperationMix::ycsb_c(),
+        templates: 1_000,
+        hot_templates: 50,
+        theta: 1.1,
+        churn: 0.5,
+    };
+    let (phases, transitions) = family
+        .expand()
+        .map_err(|e| BenchError::Workload(format!("templated_repetition: {e}")))?;
+    let workload = PhasedWorkload::new(phases, transitions, cfg.seed ^ 0x58).map_err(wrap)?;
+    suite_builder("S6-templated-repetition", cfg, 0x77)
+        .workload(workload)
+        .build()
+}
+
+/// S7: append-mostly ledger whose key distribution drifts as it grows
+/// (CrypQ dynamics).
+pub fn s7_ledger_growth(cfg: &SuiteConfig) -> Result<Scenario> {
+    let family = LedgerGrowth {
+        name: "ledger".to_string(),
+        steps: 4,
+        ops_per_step: (cfg.ops_per_phase / 2).max(1),
+        key_range: KEY_RANGE,
+        start_frac: 0.25,
+        append_fraction: 0.3,
+        recency: 0.1,
+    };
+    let (phases, transitions) = family
+        .expand()
+        .map_err(|e| BenchError::Workload(format!("ledger: {e}")))?;
+    let workload = PhasedWorkload::new(phases, transitions, cfg.seed ^ 0x59).map_err(wrap)?;
+    suite_builder("S7-ledger-growth", cfg, 0x88)
+        .workload(workload)
+        .build()
+}
+
 /// A built-in scenario generator: builds a [`Scenario`] at the given
 /// [`SuiteConfig`] scale.
 pub type ScenarioGen = fn(&SuiteConfig) -> Result<Scenario>;
@@ -309,9 +353,19 @@ pub const STANDARD_SCENARIOS: &[(&str, &str, ScenarioGen)] = &[
         "bursty open-loop load (Poisson + burst modulation)",
         s5_bursty_load,
     ),
+    (
+        "S6-templated-repetition",
+        "hot query templates with Zipf popularity and churn (Redbench)",
+        s6_templated_repetition,
+    ),
+    (
+        "S7-ledger-growth",
+        "append-mostly ledger with drifting key distribution (CrypQ)",
+        s7_ledger_growth,
+    ),
 ];
 
-/// Builds the five standard scenarios.
+/// Builds the seven standard scenarios.
 pub fn standard_scenarios(cfg: &SuiteConfig) -> Result<Vec<Scenario>> {
     STANDARD_SCENARIOS
         .iter()
@@ -579,7 +633,7 @@ mod tests {
     #[test]
     fn standard_scenarios_are_valid() {
         let scenarios = standard_scenarios(&tiny()).unwrap();
-        assert_eq!(scenarios.len(), 5);
+        assert_eq!(scenarios.len(), 7);
         for s in &scenarios {
             s.validate().unwrap();
         }
@@ -610,8 +664,8 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        assert_eq!(rmi.summaries.len(), 5);
-        assert_eq!(btree.summaries.len(), 5);
+        assert_eq!(rmi.summaries.len(), 7);
+        assert_eq!(btree.summaries.len(), 7);
         assert_eq!(rmi.sut_name, "rmi");
         // Only S1 has a generalization ratio.
         assert!(rmi.summaries[0].generalization.is_some());
@@ -621,7 +675,7 @@ mod tests {
         assert!(btree.summaries.iter().all(|s| s.train_seconds == 0.0));
         // Comparison renders every scenario once.
         let table = render_comparison(&[rmi.clone(), btree]);
-        assert_eq!(table.matches("== S").count(), 5);
+        assert_eq!(table.matches("== S").count(), 7);
         assert!(table.contains("rmi"));
         assert!(table.contains("btree"));
         // JSON round trip.

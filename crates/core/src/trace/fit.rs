@@ -1,0 +1,257 @@
+//! Fitting a `.spec` scenario to a trace.
+//!
+//! The fit works on *parse-time statistics*, not op-level copying: each
+//! detected segment (see [`segment_trace`]) is
+//! reduced to an operation mix, a robust key range, and a distribution
+//! family chosen from the fit vocabulary — hotspot (positional
+//! concentration at the low end of the range), Zipf (frequency
+//! concentration on few keys regardless of position — the generator
+//! scatters Zipf ranks across the key space, so position says nothing),
+//! or uniform (neither). The result is an ordinary [`Scenario`] rendered
+//! through the canonical renderer, so `parse ∘ render = id` holds and the
+//! fitted spec archives, compares, and capacity-searches like any other.
+
+use super::summarize::{
+    distinct_and_top1, global_key_range, segment_trace, summarize_windows, Segment,
+    CHANGE_THRESHOLD,
+};
+use crate::scenario::{DatasetSpec, Scenario};
+use crate::Result;
+use lsbench_workload::keygen::KeyDistribution;
+use lsbench_workload::ops::{Operation, OperationMix};
+use lsbench_workload::phases::{PhasedWorkload, TransitionKind, WorkloadPhase};
+use lsbench_workload::trace::Trace;
+
+/// Candidate hot-region spans tried by the hotspot detector, as fractions
+/// of the segment's key range.
+const HOT_SPANS: &[f64] = &[0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3];
+
+/// One fitted phase: the estimated generator parameters plus the raw
+/// statistics they were derived from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseFit {
+    /// Phase name in the fitted spec (`fit-0`, `fit-1`, …).
+    pub name: String,
+    /// Estimated key distribution.
+    pub distribution: KeyDistribution,
+    /// Robust key range (1st–99th percentile of observed keys).
+    pub key_range: (u64, u64),
+    /// Observed operation mix.
+    pub mix: OperationMix,
+    /// Operations in the segment.
+    pub ops: u64,
+    /// Distinct keys divided by operations in the segment.
+    pub distinct_ratio: f64,
+    /// Fraction of operations hitting the segment's most frequent key.
+    pub top1_mass: f64,
+}
+
+/// The fit summary returned alongside the scenario: per-phase estimates
+/// plus the whole-trace repetition factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// Per-phase fits, in trace order.
+    pub phases: Vec<PhaseFit>,
+    /// Distinct keys divided by total operations (1.0 = no repetition).
+    pub distinct_ratio: f64,
+    /// Fraction of operations accounted for by the 10 most frequent keys
+    /// (the "top templates" in Redbench's sense).
+    pub top_template_mass: f64,
+}
+
+/// Percentile of a sorted slice (linear index, inclusive bounds).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Mass of the `k` most frequent keys in a sorted key slice.
+fn top_k_mass(sorted: &[u64], k: usize) -> f64 {
+    let mut counts: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        counts.push(j - i);
+        i = j;
+    }
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let top: usize = counts.iter().take(k).sum();
+    top as f64 / sorted.len().max(1) as f64
+}
+
+/// Second-most-frequent key's count in a sorted key slice.
+fn second_count(sorted: &[u64]) -> usize {
+    let mut best = 0usize;
+    let mut second = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        let c = j - i;
+        if c > best {
+            second = best;
+            best = c;
+        } else if c > second {
+            second = c;
+        }
+        i = j;
+    }
+    second
+}
+
+/// Chooses a distribution family for one segment's sorted keys over the
+/// fitted `[lo, hi)` range.
+fn estimate_distribution(
+    sorted: &[u64],
+    lo: u64,
+    hi: u64,
+    distinct_ratio: f64,
+    top1_mass: f64,
+) -> KeyDistribution {
+    let span = (hi - lo).max(1) as f64;
+    let n = sorted.len() as f64;
+    // Hotspot: a large mass parked in a small leading fraction of the
+    // range. Pick the candidate span with the highest lift (mass/span)
+    // among those holding a majority of accesses.
+    let mut best: Option<(f64, f64, f64)> = None; // (lift, span, mass)
+    for &s in HOT_SPANS {
+        let cut = lo + (span * s) as u64;
+        let below = sorted.partition_point(|&k| k < cut);
+        let mass = below as f64 / n;
+        let lift = mass / s;
+        if mass >= 0.5 && lift >= 2.0 && best.map(|(l, _, _)| lift > l).unwrap_or(true) {
+            best = Some((lift, s, mass));
+        }
+    }
+    if let Some((_, hot_span, hot_fraction)) = best {
+        return KeyDistribution::Hotspot {
+            hot_span,
+            hot_fraction: hot_fraction.min(1.0),
+        };
+    }
+    // Zipf: frequency concentration — the hottest key absorbs far more
+    // than a uniform draw would give it, and keys repeat heavily. The
+    // exponent comes from the top-two frequency ratio (f1/f2 = 2^θ).
+    if top1_mass >= 0.01 && distinct_ratio < 0.8 {
+        let c2 = second_count(sorted).max(1);
+        let c1 = (top1_mass * n).round().max(1.0);
+        let theta = (c1 / c2 as f64).ln() / 2.0f64.ln();
+        return KeyDistribution::Zipf {
+            theta: theta.clamp(0.2, 5.0),
+        };
+    }
+    KeyDistribution::Uniform
+}
+
+/// Fits one segment of the trace.
+fn fit_segment(trace: &Trace, seg: Segment, index: usize) -> PhaseFit {
+    let entries = &trace.entries()[seg.start..seg.start + seg.len];
+    let mut kind_counts = [0usize; 5];
+    let mut max_scan_len = 0u32;
+    let mut keys: Vec<u64> = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let slot = match entry.op {
+            Operation::Read { .. } => 0,
+            Operation::Insert { .. } => 1,
+            Operation::Update { .. } => 2,
+            Operation::Scan { len, .. } => {
+                max_scan_len = max_scan_len.max(len);
+                3
+            }
+            Operation::Delete { .. } => 4,
+        };
+        kind_counts[slot] += 1;
+        keys.push(entry.op.key());
+    }
+    keys.sort_unstable();
+    let total = entries.len() as f64;
+    let mix = OperationMix {
+        read: kind_counts[0] as f64 / total,
+        insert: kind_counts[1] as f64 / total,
+        update: kind_counts[2] as f64 / total,
+        scan: kind_counts[3] as f64 / total,
+        delete: kind_counts[4] as f64 / total,
+        max_scan_len,
+    };
+    // Robust range: 1st–99th percentile, widened by one so lo < hi.
+    let lo = percentile(&keys, 0.01);
+    let hi = percentile(&keys, 0.99).max(lo) + 1;
+    let (distinct, top1) = distinct_and_top1(&keys);
+    let distinct_ratio = distinct as f64 / total;
+    let top1_mass = top1 as f64 / total;
+    let distribution = estimate_distribution(&keys, lo, hi, distinct_ratio, top1_mass);
+    PhaseFit {
+        name: format!("fit-{index}"),
+        distribution,
+        key_range: (lo, hi),
+        mix,
+        ops: entries.len() as u64,
+        distinct_ratio,
+        top1_mass,
+    }
+}
+
+/// Fits a scenario named `name` (seeded with `seed`) to a trace.
+///
+/// Segments the trace with the default window count (one window per ~500
+/// operations, clamped to 8–64) and threshold, estimates each segment's
+/// phase, and assembles an ordinary validated [`Scenario`] whose dataset
+/// is uniform over the trace's observed key range with one key per
+/// distinct key observed.
+pub fn fit_scenario(trace: &Trace, name: &str, seed: u64) -> Result<(Scenario, FitReport)> {
+    if trace.is_empty() {
+        return Err(crate::BenchError::InvalidScenario(
+            "cannot fit an empty trace".to_string(),
+        ));
+    }
+    let window_count = (trace.len() / 500).clamp(8, 64);
+    let stats = summarize_windows(trace, window_count);
+    let segments = segment_trace(&stats, CHANGE_THRESHOLD);
+    let phases: Vec<PhaseFit> = segments
+        .into_iter()
+        .enumerate()
+        .map(|(i, seg)| fit_segment(trace, seg, i))
+        .collect();
+
+    let mut all_keys: Vec<u64> = trace.entries().iter().map(|e| e.op.key()).collect();
+    all_keys.sort_unstable();
+    let (distinct, _) = distinct_and_top1(&all_keys);
+    let report = FitReport {
+        distinct_ratio: distinct as f64 / all_keys.len() as f64,
+        top_template_mass: top_k_mass(&all_keys, 10),
+        phases: phases.clone(),
+    };
+
+    let (global_lo, global_hi) = global_key_range(trace);
+    let dataset = DatasetSpec {
+        distribution: KeyDistribution::Uniform,
+        key_range: (global_lo, global_hi.max(global_lo) + 1),
+        size: distinct.max(1),
+        seed: seed ^ 0xDA7A,
+    };
+    let workload_phases: Vec<WorkloadPhase> = phases
+        .iter()
+        .map(|p| {
+            WorkloadPhase::new(
+                p.name.clone(),
+                p.distribution.clone(),
+                p.key_range,
+                p.mix.clone(),
+                p.ops,
+            )
+        })
+        .collect();
+    let transitions = vec![TransitionKind::Abrupt; workload_phases.len() - 1];
+    let workload = PhasedWorkload::new(workload_phases, transitions, seed)
+        .map_err(|e| crate::BenchError::Workload(e.to_string()))?;
+    let scenario = Scenario::builder(name)
+        .dataset_spec(dataset)
+        .workload(workload)
+        .build()?;
+    Ok((scenario, report))
+}

@@ -1,0 +1,133 @@
+//! Importing parsed trace records into a replayable
+//! [`Trace`].
+//!
+//! Timestamps, when present, become open-loop arrival times relative to
+//! the first record, so a timestamped trace replays through
+//! [`run_kv_trace`](crate::driver::run_kv_trace) with queueing latency at
+//! any `--speed` multiplier. Timestamp-less traces leave every arrival at
+//! zero, which `run_kv_trace` interprets as closed-loop replay (the next
+//! operation issues when the previous completes).
+
+use super::format::{parse_csv, parse_jsonl, RawEntry, TraceFormat};
+use super::{TResult, TraceError};
+use lsbench_workload::ops::Operation;
+use lsbench_workload::trace::{Trace, TraceEntry};
+
+/// A trace imported from an external file, plus what the file carried.
+#[derive(Debug, Clone)]
+pub struct ImportedTrace {
+    /// The replayable trace (single phase named `"imported"`).
+    pub trace: Trace,
+    /// Whether the source carried timestamps (open-loop replay) or not
+    /// (closed-loop fallback).
+    pub had_timestamps: bool,
+}
+
+/// Aggregate statistics of an imported trace, for the CLI summary line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total operations.
+    pub ops: usize,
+    /// Operations per kind, in `read,insert,update,scan,delete` order.
+    pub by_kind: [usize; 5],
+    /// Number of distinct keys touched.
+    pub distinct_keys: usize,
+    /// Smallest and largest key touched.
+    pub key_range: (u64, u64),
+    /// Trace duration in seconds (0 for timestamp-less traces).
+    pub duration: f64,
+}
+
+impl ImportedTrace {
+    /// Divides every arrival time by `speed` (> 1 replays faster). A no-op
+    /// on timestamp-less traces.
+    pub fn scale_speed(&mut self, speed: f64) -> TResult<()> {
+        if !(speed > 0.0 && speed.is_finite()) {
+            return Err(TraceError::new(
+                0,
+                "speed",
+                format!("speed multiplier {speed} must be positive and finite"),
+            ));
+        }
+        if !self.had_timestamps || speed == 1.0 {
+            return Ok(());
+        }
+        let mut scaled = Trace::new(self.trace.phase_names().to_vec());
+        for entry in self.trace.entries() {
+            scaled.push(TraceEntry {
+                op: entry.op,
+                phase: entry.phase,
+                arrival: entry.arrival / speed,
+            });
+        }
+        self.trace = scaled;
+        Ok(())
+    }
+
+    /// Computes aggregate statistics over the imported trace.
+    pub fn stats(&self) -> TraceStats {
+        let mut by_kind = [0usize; 5];
+        let mut keys: Vec<u64> = Vec::with_capacity(self.trace.len());
+        for entry in self.trace.entries() {
+            let slot = match entry.op {
+                Operation::Read { .. } => 0,
+                Operation::Insert { .. } => 1,
+                Operation::Update { .. } => 2,
+                Operation::Scan { .. } => 3,
+                Operation::Delete { .. } => 4,
+            };
+            by_kind[slot] += 1;
+            keys.push(entry.op.key());
+        }
+        keys.sort_unstable();
+        let key_range = match (keys.first(), keys.last()) {
+            (Some(lo), Some(hi)) => (*lo, *hi),
+            _ => (0, 0),
+        };
+        keys.dedup();
+        let duration = self
+            .trace
+            .entries()
+            .last()
+            .map(|e| e.arrival)
+            .unwrap_or(0.0);
+        TraceStats {
+            ops: self.trace.len(),
+            by_kind,
+            distinct_keys: keys.len(),
+            key_range,
+            duration,
+        }
+    }
+}
+
+/// Converts parsed records into a single-phase [`Trace`], rebasing
+/// timestamps so the first arrival is zero.
+pub fn assemble(raw: Vec<RawEntry>) -> TResult<ImportedTrace> {
+    if raw.is_empty() {
+        return Err(TraceError::new(0, "file", "trace has no operations"));
+    }
+    let had_timestamps = raw[0].ts.is_some();
+    let t0 = raw[0].ts.unwrap_or(0.0);
+    let mut trace = Trace::new(vec!["imported".to_string()]);
+    for entry in raw {
+        trace.push(TraceEntry {
+            op: entry.op,
+            phase: 0,
+            arrival: entry.ts.map(|t| t - t0).unwrap_or(0.0),
+        });
+    }
+    Ok(ImportedTrace {
+        trace,
+        had_timestamps,
+    })
+}
+
+/// Parses and assembles a trace from text in the given format.
+pub fn import_str(text: &str, format: TraceFormat) -> TResult<ImportedTrace> {
+    let raw = match format {
+        TraceFormat::Csv => parse_csv(text)?,
+        TraceFormat::Jsonl => parse_jsonl(text)?,
+    };
+    assemble(raw)
+}

@@ -1,0 +1,76 @@
+//! The trace subsystem: import real workloads, replay them, and fit them
+//! to `.spec` scenarios.
+//!
+//! The paper's benchmark only matters if its workloads exercise adaptation
+//! the way real ones do (§III-A), and real workloads arrive as *traces*,
+//! not generator configurations. This subsystem closes that gap in three
+//! layers:
+//!
+//! * [`mod@format`] — the on-disk trace formats: CSV and JSON-lines keyed-op
+//!   traces (op, key, optional value, scan length, and timestamp), parsed
+//!   with positioned [`TraceError`]s in the spec-parser style and exported
+//!   back in a canonical form so `import ∘ export = id`.
+//! * [`import`] — streams a parsed trace into the workload crate's
+//!   [`Trace`](lsbench_workload::trace::Trace) so it replays through
+//!   [`run_kv_trace`](crate::driver::run_kv_trace) at any `--speed`
+//!   multiplier. Timestamped traces replay open-loop (latency includes
+//!   queueing); timestamp-less traces fall back to closed-loop.
+//! * [`summarize`] / [`fit`] — fits a `.spec` scenario to a trace:
+//!   change-point phase segmentation over windowed op-mix/key-distribution
+//!   statistics, per-phase mix and distribution estimation, and a
+//!   repetition factor. The fitted scenario is rendered through the
+//!   canonical renderer, so `parse ∘ render = id` holds and it archives,
+//!   compares, and capacity-searches like any hand-written spec.
+
+pub mod fit;
+pub mod format;
+pub mod import;
+pub mod summarize;
+
+pub use fit::{fit_scenario, FitReport};
+pub use format::{export_csv, export_jsonl, parse_csv, parse_jsonl, TraceFormat};
+pub use import::{import_str, ImportedTrace};
+pub use summarize::{segment_trace, summarize_windows, Segment, WindowStats};
+
+/// A positioned trace-import error: the line, the field (column or key),
+/// and what went wrong. Line 0 means the whole file.
+///
+/// Mirrors [`SpecError`](crate::spec::SpecError) so trace diagnostics read
+/// exactly like spec diagnostics: `line 7: op: unknown operation 'fetch'`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// 1-based source line (0 = the whole file).
+    pub line: usize,
+    /// The offending column or key.
+    pub field: String,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl TraceError {
+    /// Creates a positioned error.
+    pub fn new(line: usize, field: impl Into<String>, reason: impl Into<String>) -> Self {
+        TraceError {
+            line,
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}: {}", self.line, self.field, self.reason)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<TraceError> for crate::BenchError {
+    fn from(e: TraceError) -> Self {
+        crate::BenchError::InvalidScenario(format!("trace error: {e}"))
+    }
+}
+
+/// Convenience result alias for the trace subsystem.
+pub type TResult<T> = Result<T, TraceError>;

@@ -1,0 +1,212 @@
+//! Windowed trace statistics and change-point phase segmentation.
+//!
+//! Fitting a spec to a trace starts by slicing the trace into fixed-size
+//! windows and summarizing each one as a feature vector: operation-kind
+//! fractions, a positional key histogram over the trace's global key
+//! range, the distinct-key ratio, and the top-key mass. A phase boundary
+//! is declared wherever the L1 distance between consecutive window
+//! features jumps above a threshold — an abrupt distribution or mix shift
+//! moves a lot of histogram mass at once, while sampling noise between
+//! same-phase windows stays well below it. Segments too short to be real
+//! phases (fewer than two windows) are merged into their neighbor.
+
+use lsbench_workload::ops::Operation;
+use lsbench_workload::trace::Trace;
+
+/// Number of buckets in the positional key histogram. Coarse enough that
+/// same-phase sampling noise stays far below the segmentation threshold at
+/// a few hundred ops per window, fine enough that a distribution shift
+/// moves most of the mass.
+pub const KEY_BUCKETS: usize = 16;
+
+/// Default L1 feature-distance threshold above which consecutive windows
+/// are declared to belong to different phases. Disjoint key distributions
+/// are ~2.0 apart; same-phase noise at ≥250 ops/window is ~0.2.
+pub const CHANGE_THRESHOLD: f64 = 0.6;
+
+/// Summary features of one trace window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Index of the window's first entry in the trace.
+    pub start: usize,
+    /// Number of entries in the window.
+    pub len: usize,
+    /// Fractions per operation kind, in `read,insert,update,scan,delete`
+    /// order.
+    pub kind_fracs: [f64; 5],
+    /// Normalized positional key histogram over the trace's global key
+    /// range.
+    pub key_hist: [f64; KEY_BUCKETS],
+    /// Distinct keys in the window divided by window length.
+    pub distinct_ratio: f64,
+    /// Fraction of the window's operations hitting its single most
+    /// frequent key.
+    pub top1_mass: f64,
+}
+
+/// One detected phase segment, in entry indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Index of the segment's first entry.
+    pub start: usize,
+    /// Number of entries in the segment.
+    pub len: usize,
+}
+
+fn kind_slot(op: &Operation) -> usize {
+    match op {
+        Operation::Read { .. } => 0,
+        Operation::Insert { .. } => 1,
+        Operation::Update { .. } => 2,
+        Operation::Scan { .. } => 3,
+        Operation::Delete { .. } => 4,
+    }
+}
+
+/// Splits the trace into `window_count` near-equal windows and summarizes
+/// each. The window count is clamped so every window holds at least one
+/// entry.
+pub fn summarize_windows(trace: &Trace, window_count: usize) -> Vec<WindowStats> {
+    let n = trace.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let window_count = window_count.clamp(1, n);
+    let (lo, hi) = global_key_range(trace);
+    let span = (hi - lo).max(1) as f64;
+    let mut out = Vec::with_capacity(window_count);
+    for w in 0..window_count {
+        let start = w * n / window_count;
+        let end = (w + 1) * n / window_count;
+        let len = end - start;
+        let mut kind_counts = [0usize; 5];
+        let mut hist = [0.0f64; KEY_BUCKETS];
+        let mut keys: Vec<u64> = Vec::with_capacity(len);
+        for entry in &trace.entries()[start..end] {
+            kind_counts[kind_slot(&entry.op)] += 1;
+            let key = entry.op.key();
+            keys.push(key);
+            let pos = (key.saturating_sub(lo)) as f64 / span;
+            let bucket = ((pos * KEY_BUCKETS as f64) as usize).min(KEY_BUCKETS - 1);
+            hist[bucket] += 1.0;
+        }
+        let total = len as f64;
+        let mut kind_fracs = [0.0f64; 5];
+        for (f, c) in kind_fracs.iter_mut().zip(kind_counts) {
+            *f = c as f64 / total;
+        }
+        for h in hist.iter_mut() {
+            *h /= total;
+        }
+        keys.sort_unstable();
+        let (distinct, top1) = distinct_and_top1(&keys);
+        out.push(WindowStats {
+            start,
+            len,
+            kind_fracs,
+            key_hist: hist,
+            distinct_ratio: distinct as f64 / total,
+            top1_mass: top1 as f64 / total,
+        });
+    }
+    out
+}
+
+/// The smallest and largest key touched anywhere in the trace.
+pub(crate) fn global_key_range(trace: &Trace) -> (u64, u64) {
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for entry in trace.entries() {
+        let k = entry.op.key();
+        lo = lo.min(k);
+        hi = hi.max(k);
+    }
+    if lo > hi {
+        (0, 0)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Distinct count and top-1 run length of a *sorted* key slice.
+pub(crate) fn distinct_and_top1(sorted: &[u64]) -> (usize, usize) {
+    let mut distinct = 0usize;
+    let mut top1 = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j] == sorted[i] {
+            j += 1;
+        }
+        distinct += 1;
+        top1 = top1.max(j - i);
+        i = j;
+    }
+    (distinct, top1)
+}
+
+/// L1 distance between two windows' feature vectors (kind fractions plus
+/// key histogram).
+fn feature_distance(a: &WindowStats, b: &WindowStats) -> f64 {
+    let mix: f64 = a
+        .kind_fracs
+        .iter()
+        .zip(&b.kind_fracs)
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    let hist: f64 = a
+        .key_hist
+        .iter()
+        .zip(&b.key_hist)
+        .map(|(x, y)| (x - y).abs())
+        .sum();
+    mix + hist
+}
+
+/// Detects phase boundaries: a segment break wherever the feature distance
+/// between consecutive windows exceeds `threshold`; segments shorter than
+/// two windows are merged into the previous one (real phases persist,
+/// single-window blips are noise).
+pub fn segment_trace(stats: &[WindowStats], threshold: f64) -> Vec<Segment> {
+    if stats.is_empty() {
+        return Vec::new();
+    }
+    // Window-index boundaries (each is the first window of a new segment).
+    let mut breaks: Vec<usize> = Vec::new();
+    for i in 1..stats.len() {
+        if feature_distance(&stats[i - 1], &stats[i]) > threshold {
+            breaks.push(i);
+        }
+    }
+    // Assemble [start, end) window spans and merge too-short segments.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for b in breaks.into_iter().chain(std::iter::once(stats.len())) {
+        spans.push((start, b));
+        start = b;
+    }
+    let mut merged: Vec<(usize, usize)> = Vec::new();
+    for span in spans {
+        let len = span.1 - span.0;
+        match merged.last_mut() {
+            Some(prev) if len < 2 => prev.1 = span.1,
+            Some(prev) if prev.1 - prev.0 < 2 => prev.1 = span.1,
+            _ => merged.push(span),
+        }
+    }
+    merged
+        .into_iter()
+        .map(|(ws, we)| {
+            let start = stats[ws].start;
+            let end = if we == stats.len() {
+                stats[we - 1].start + stats[we - 1].len
+            } else {
+                stats[we].start
+            };
+            Segment {
+                start,
+                len: end - start,
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,374 @@
+//! Generator families modelled on real-workload studies.
+//!
+//! Synthetic generators with uniform template popularity never produce the
+//! two dominant traits of production traces (see PAPERS.md):
+//!
+//! * **Redbench**: real analytical workloads are dominated by *query
+//!   repetition* — a small set of hot query templates, Zipf-popular,
+//!   accounts for most executions, and the hot set slowly churns.
+//! * **CrypQ**: operational datasets are *append-mostly ledgers* — the key
+//!   space only grows, recent keys absorb most accesses, and the absolute
+//!   key distribution therefore drifts continuously as the ledger grows.
+//!
+//! This module provides both as phase-expanding families, in the same shape
+//! as the core crate's drift composers: a family is a plain struct whose
+//! [`expand`](TemplatedRepetition::expand) unrolls it into concrete
+//! [`WorkloadPhase`]s joined by [`TransitionKind`]s. Expansion is pure
+//! arithmetic — families return `String` reasons on invalid parameters and
+//! the spec parser attaches source positions.
+
+use crate::keygen::KeyDistribution;
+use crate::ops::OperationMix;
+use crate::phases::{TransitionKind, WorkloadPhase};
+
+/// The phases and the transitions *between* them produced by a family
+/// (`transitions.len() == phases.len() - 1`).
+pub type FamilyExpansion = (Vec<WorkloadPhase>, Vec<TransitionKind>);
+
+/// Linear interpolation position of step `i` among `steps` (0 at the first
+/// step, 1 at the last; 0 for a single step).
+fn lerp_t(i: u64, steps: u64) -> f64 {
+    if steps <= 1 {
+        0.0
+    } else {
+        i as f64 / (steps - 1) as f64
+    }
+}
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+fn check_steps(steps: u64, min: u64) -> Result<(), String> {
+    if steps < min {
+        Err(format!("needs at least {min} steps, got {steps}"))
+    } else if steps > 100_000 {
+        Err(format!("{steps} steps is unreasonably many (max 100000)"))
+    } else {
+        Ok(())
+    }
+}
+
+fn check_ops(ops_per_step: u64) -> Result<(), String> {
+    if ops_per_step == 0 {
+        Err("ops_per_step must be positive".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+/// Generalized harmonic number `H(k, theta) = Σ_{r=1..k} r^{-theta}`.
+fn harmonic(k: u64, theta: f64) -> f64 {
+    (1..=k).map(|r| (r as f64).powf(-theta)).sum()
+}
+
+/// `templated_repetition { templates, hot_templates, theta, churn }`:
+/// hot query templates with Zipf popularity (Redbench).
+///
+/// The key range is treated as `templates` equal-width template slots, the
+/// first `hot_templates` of which form the hot set. Template popularity is
+/// Zipf(`theta`): the fraction of accesses landing in the hot set is the
+/// Zipf head mass `H(hot_templates, theta) / H(templates, theta)`, realized
+/// as a [`KeyDistribution::Hotspot`] whose `hot_span` is the hot set's share
+/// of the key space. With `churn > 0` the head mass erodes linearly toward
+/// the uniform baseline over the expanded steps — the hot set losing its
+/// dominance as the template population turns over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemplatedRepetition {
+    /// Phase-name prefix (phases are `{name}-0`, `{name}-1`, …).
+    pub name: String,
+    /// Number of phases to expand to.
+    pub steps: u64,
+    /// Operations per expanded phase.
+    pub ops_per_step: u64,
+    /// Key range partitioned into template slots.
+    pub key_range: (u64, u64),
+    /// Operation mix shared by every step.
+    pub mix: OperationMix,
+    /// Total number of query templates (≥ 2).
+    pub templates: u64,
+    /// Size of the hot template set (≥ 1, < `templates`).
+    pub hot_templates: u64,
+    /// Zipf exponent of template popularity (> 0).
+    pub theta: f64,
+    /// Fraction of the Zipf head mass eroded by the final step, in `[0, 1]`.
+    pub churn: f64,
+}
+
+impl TemplatedRepetition {
+    /// Expands the family. See the type-level docs for the schedule.
+    pub fn expand(&self) -> Result<FamilyExpansion, String> {
+        check_steps(self.steps, 1)?;
+        check_ops(self.ops_per_step)?;
+        if self.templates < 2 {
+            return Err(format!(
+                "needs at least 2 templates, got {}",
+                self.templates
+            ));
+        }
+        if self.templates > 1_000_000 {
+            return Err(format!(
+                "{} templates is unreasonably many (max 1000000)",
+                self.templates
+            ));
+        }
+        if self.hot_templates == 0 || self.hot_templates >= self.templates {
+            return Err(format!(
+                "hot_templates must be in [1, templates), got {} of {}",
+                self.hot_templates, self.templates
+            ));
+        }
+        if !(self.theta > 0.0 && self.theta.is_finite()) {
+            return Err("theta must be positive and finite".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.churn) {
+            return Err("churn must be in [0, 1]".to_string());
+        }
+        if self.churn > 0.0 && self.steps < 2 {
+            return Err("churn needs at least 2 steps to erode over".to_string());
+        }
+        let hot_span = self.hot_templates as f64 / self.templates as f64;
+        let head_mass =
+            harmonic(self.hot_templates, self.theta) / harmonic(self.templates, self.theta);
+        let phases = (0..self.steps)
+            .map(|i| {
+                // Erode the Zipf head mass toward the uniform baseline
+                // (where the hot set receives exactly its span's share).
+                let hot_fraction = lerp(head_mass, hot_span, self.churn * lerp_t(i, self.steps));
+                WorkloadPhase::new(
+                    format!("{}-{i}", self.name),
+                    KeyDistribution::Hotspot {
+                        hot_fraction,
+                        hot_span,
+                    },
+                    self.key_range,
+                    self.mix.clone(),
+                    self.ops_per_step,
+                )
+            })
+            .collect::<Vec<_>>();
+        let transitions = vec![TransitionKind::Abrupt; phases.len() - 1];
+        Ok((phases, transitions))
+    }
+}
+
+/// `ledger { start_frac, append_fraction, recency }`: an append-mostly
+/// ledger whose key distribution drifts as the ledger grows (CrypQ).
+///
+/// The key range is the ledger's *final* extent. Step `i` exposes the live
+/// prefix `[lo, lo + span · lerp(start_frac, 1, tᵢ))`; accesses concentrate
+/// on the most recent `recency` fraction of the live prefix (a truncated
+/// normal centered near the live high end), so the *absolute* key
+/// distribution drifts every step even though the relative shape is fixed.
+/// The mix is derived, not configured: `append_fraction` of operations are
+/// inserts (appends — the generator writes fresh keys beyond the live
+/// range) and the rest are reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerGrowth {
+    /// Phase-name prefix (phases are `{name}-0`, `{name}-1`, …).
+    pub name: String,
+    /// Number of phases to expand to (≥ 2 — growth needs somewhere to go).
+    pub steps: u64,
+    /// Operations per expanded phase.
+    pub ops_per_step: u64,
+    /// The ledger's final key range, reached at the last step.
+    pub key_range: (u64, u64),
+    /// Fraction of the final range live at the first step, in `(0, 1)`.
+    pub start_frac: f64,
+    /// Fraction of operations that append, in `[0, 1)`.
+    pub append_fraction: f64,
+    /// Fraction of the live prefix absorbing most accesses, in `(0, 1]`.
+    pub recency: f64,
+}
+
+impl LedgerGrowth {
+    /// Expands the family. See the type-level docs for the schedule.
+    pub fn expand(&self) -> Result<FamilyExpansion, String> {
+        check_steps(self.steps, 2)?;
+        check_ops(self.ops_per_step)?;
+        let (lo, hi) = self.key_range;
+        if lo >= hi {
+            return Err(format!("key_range {lo}..{hi} is empty"));
+        }
+        if !(self.start_frac > 0.0 && self.start_frac < 1.0) {
+            return Err("start_frac must be in (0, 1)".to_string());
+        }
+        if !(0.0..1.0).contains(&self.append_fraction) {
+            return Err("append_fraction must be in [0, 1)".to_string());
+        }
+        if !(self.recency > 0.0 && self.recency <= 1.0) {
+            return Err("recency must be in (0, 1]".to_string());
+        }
+        let span = (hi - lo) as f64;
+        if span * self.start_frac < 1.0 {
+            return Err(format!(
+                "key_range too small: start_frac {} of {span} keys is empty",
+                self.start_frac
+            ));
+        }
+        let mix = OperationMix {
+            read: 1.0 - self.append_fraction,
+            insert: self.append_fraction,
+            update: 0.0,
+            scan: 0.0,
+            delete: 0.0,
+            max_scan_len: 0,
+        };
+        // Accesses concentrate on the newest `recency` fraction of the live
+        // prefix: a normal centered in the middle of that recent window.
+        let distribution = KeyDistribution::Normal {
+            center: 1.0 - self.recency / 2.0,
+            std_frac: self.recency / 4.0,
+        };
+        let phases = (0..self.steps)
+            .map(|i| {
+                let frac = lerp(self.start_frac, 1.0, lerp_t(i, self.steps));
+                let live_hi = lo + (span * frac).round().max(1.0) as u64;
+                WorkloadPhase::new(
+                    format!("{}-{i}", self.name),
+                    distribution.clone(),
+                    (lo, live_hi.min(hi).max(lo + 1)),
+                    mix.clone(),
+                    self.ops_per_step,
+                )
+            })
+            .collect::<Vec<_>>();
+        let transitions = vec![TransitionKind::Abrupt; phases.len() - 1];
+        Ok((phases, transitions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::PhasedWorkload;
+
+    fn templated() -> TemplatedRepetition {
+        TemplatedRepetition {
+            name: "templ".to_string(),
+            steps: 4,
+            ops_per_step: 1_000,
+            key_range: (0, 1_000_000),
+            mix: OperationMix::ycsb_c(),
+            templates: 100,
+            hot_templates: 10,
+            theta: 1.1,
+            churn: 0.5,
+        }
+    }
+
+    fn ledger() -> LedgerGrowth {
+        LedgerGrowth {
+            name: "ledger".to_string(),
+            steps: 5,
+            ops_per_step: 1_000,
+            key_range: (0, 1_000_000),
+            start_frac: 0.2,
+            append_fraction: 0.3,
+            recency: 0.1,
+        }
+    }
+
+    #[test]
+    fn templated_expands_to_validating_workload() {
+        let (phases, transitions) = templated().expand().unwrap();
+        assert_eq!(phases.len(), 4);
+        assert_eq!(transitions.len(), 3);
+        PhasedWorkload::new(phases, transitions, 42).unwrap();
+    }
+
+    #[test]
+    fn templated_head_mass_exceeds_span_and_erodes_with_churn() {
+        let (phases, _) = templated().expand().unwrap();
+        let fractions: Vec<f64> = phases
+            .iter()
+            .map(|p| match p.distribution {
+                KeyDistribution::Hotspot {
+                    hot_fraction,
+                    hot_span,
+                } => {
+                    assert!((hot_span - 0.1).abs() < 1e-12);
+                    hot_fraction
+                }
+                ref other => panic!("expected hotspot, got {other:?}"),
+            })
+            .collect();
+        // Zipf head mass always beats the uniform baseline.
+        assert!(fractions[0] > 0.1);
+        // Churn erodes the head mass monotonically.
+        for w in fractions.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        // At churn 0.5 the final step keeps half the excess over baseline.
+        let expected_last = 0.1 + (fractions[0] - 0.1) * 0.5;
+        assert!((fractions[3] - expected_last).abs() < 1e-9);
+    }
+
+    #[test]
+    fn templated_zero_churn_is_stationary() {
+        let mut fam = templated();
+        fam.churn = 0.0;
+        fam.steps = 1;
+        let (phases, transitions) = fam.expand().unwrap();
+        assert_eq!(phases.len(), 1);
+        assert!(transitions.is_empty());
+    }
+
+    #[test]
+    fn templated_rejects_bad_parameters() {
+        let mut fam = templated();
+        fam.hot_templates = 100;
+        assert!(fam.expand().unwrap_err().contains("hot_templates"));
+        let mut fam = templated();
+        fam.theta = 0.0;
+        assert!(fam.expand().unwrap_err().contains("theta"));
+        let mut fam = templated();
+        fam.churn = 1.5;
+        assert!(fam.expand().unwrap_err().contains("churn"));
+        let mut fam = templated();
+        fam.steps = 1;
+        assert!(fam.expand().unwrap_err().contains("churn"));
+        let mut fam = templated();
+        fam.templates = 1;
+        assert!(fam.expand().unwrap_err().contains("templates"));
+    }
+
+    #[test]
+    fn ledger_expands_to_growing_validating_workload() {
+        let (phases, transitions) = ledger().expand().unwrap();
+        assert_eq!(phases.len(), 5);
+        assert_eq!(transitions.len(), 4);
+        // The live prefix grows monotonically to the full range.
+        let highs: Vec<u64> = phases.iter().map(|p| p.key_range.1).collect();
+        for w in highs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(*highs.first().unwrap(), 200_000);
+        assert_eq!(*highs.last().unwrap(), 1_000_000);
+        // Derived mix: append_fraction inserts, the rest reads.
+        for p in &phases {
+            assert!((p.mix.insert - 0.3).abs() < 1e-12);
+            assert!((p.mix.read - 0.7).abs() < 1e-12);
+        }
+        PhasedWorkload::new(phases, transitions, 42).unwrap();
+    }
+
+    #[test]
+    fn ledger_rejects_bad_parameters() {
+        let mut fam = ledger();
+        fam.steps = 1;
+        assert!(fam.expand().unwrap_err().contains("steps"));
+        let mut fam = ledger();
+        fam.start_frac = 1.0;
+        assert!(fam.expand().unwrap_err().contains("start_frac"));
+        let mut fam = ledger();
+        fam.append_fraction = 1.0;
+        assert!(fam.expand().unwrap_err().contains("append_fraction"));
+        let mut fam = ledger();
+        fam.recency = 0.0;
+        assert!(fam.expand().unwrap_err().contains("recency"));
+        let mut fam = ledger();
+        fam.key_range = (10, 10);
+        assert!(fam.expand().unwrap_err().contains("empty"));
+    }
+}

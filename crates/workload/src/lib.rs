@@ -16,6 +16,9 @@
 //!   load modulation.
 //! * [`phases`] — multi-phase workloads with abrupt or gradual transitions
 //!   between (distribution, mix) pairs, the heart of a dynamic scenario.
+//! * [`families`] — generator families modelled on real-workload studies:
+//!   templated query repetition (Redbench) and drifting append-mostly
+//!   ledgers (CrypQ).
 //! * [`trace`] — recording and replaying generated operation streams.
 //! * [`quality`] — the dataset/workload quality-scoring tool of §V-C, which
 //!   "attribute\[s] low marks to uniform data distributions and workloads
@@ -28,6 +31,7 @@
 
 pub mod arrival;
 pub mod dataset;
+pub mod families;
 pub mod keygen;
 pub mod ops;
 pub mod phases;
@@ -37,6 +41,7 @@ pub mod trace;
 
 pub use arrival::{ArrivalProcess, LoadModulation};
 pub use dataset::Dataset;
+pub use families::{LedgerGrowth, TemplatedRepetition};
 pub use keygen::{KeyDistribution, KeyGenerator};
 pub use ops::{Operation, OperationMix};
 pub use phases::{PhasedWorkload, TransitionKind, WorkloadPhase};

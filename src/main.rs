@@ -8,6 +8,7 @@
 //! lsbench serve --sut NAME --port P [--host H]
 //! lsbench shift --sut NAME [--size N] [--ops N] [--threads N] [--trace]
 //! lsbench quality --dist NAME [--param X]
+//! lsbench trace import|replay|fit|record FILE ... [--speed X] [--out FILE]
 //! lsbench archive run --scenario NAME|FILE --sut NAME [--threads N] [--store DIR]
 //! lsbench archive list|show [ID] [--store DIR]
 //! lsbench compare BASELINE CANDIDATE [--store DIR] [--json]
@@ -42,6 +43,7 @@ use lsbench::core::capacity::{
     capacity_search, render_capacity_report, with_arrival_rate, CapacityConfig, CapacityPoint,
     SlaTarget,
 };
+use lsbench::core::driver::{run_kv_trace, run_kv_trace_open_loop, ReplayConfig};
 use lsbench::core::faults::{resolve_fault_plan, FaultPlan};
 use lsbench::core::metrics::adaptability::AdaptabilityReport;
 use lsbench::core::obs::{render_spans, ObsConfig};
@@ -58,6 +60,9 @@ use lsbench::core::suite::{
     render_comparison, run_scenarios_observed, standard_scenarios, SuiteConfig, SuiteResult,
 };
 use lsbench::core::sut_registry::SutRegistry;
+use lsbench::core::trace::{
+    export_csv, export_jsonl, fit_scenario, import_str, ImportedTrace, TraceFormat,
+};
 use lsbench::core::wire::{RemoteOptions, RemoteSut, WireServer, PROTOCOL_VERSION};
 use lsbench::core::BenchError;
 use lsbench::sut::sut::SystemUnderTest;
@@ -161,6 +166,39 @@ USAGE:
       Gate the candidate against the baseline under a regression policy
       (spec-style file; see policies/default.policy). Writes
       BENCH_summary.json and exits non-zero on any policy violation.
+
+  lsbench trace import FILE [--format csv|jsonl] [--out FILE] [--speed X]
+      Parse and validate a keyed-operation trace (CSV or JSON-lines;
+      format inferred from the extension) and print its summary:
+      op counts, distinct keys, key range, and whether it carries
+      timestamps (open-loop replay) or not (closed-loop fallback).
+      Errors are positioned (file:line N: field: reason). --out rewrites
+      the trace in canonical form; --speed rescales timestamps.
+
+  lsbench trace replay FILE --sut NAME [--speed X] [--mode open-loop]
+                      [--clients N] [--threads N] [--format csv|jsonl]
+                      [--archive] [--store DIR]
+      Replay an imported trace against a SUT on the virtual clock.
+      Timestamped traces replay open-loop at the recorded arrival times
+      (divided by --speed); timestamp-less traces replay closed-loop.
+      --mode open-loop / --clients N multiplexes the trace over an
+      open-loop client population (bit-identical for any --threads).
+      --archive saves the record into the results store so replays can
+      feed `lsbench compare` / `lsbench regress`.
+
+  lsbench trace fit FILE [--name NAME] [--seed N] [--out FILE]
+                   [--format csv|jsonl]
+      Fit a scenario spec to a trace: change-point phase segmentation
+      over windowed op-mix/key statistics, then per-phase mix, key-range,
+      and distribution estimation (hotspot / Zipf / uniform) plus a
+      repetition-factor report. Prints canonical spec text (or writes
+      --out) that `lsbench validate` and `lsbench run` accept as-is.
+
+  lsbench trace record --scenario NAME|FILE --out FILE [--rate R]
+                       [--format csv|jsonl] [--size N] [--ops N] [--seed N]
+      Record a scenario's generated operation stream as a trace file.
+      --rate R stamps constant-rate timestamps (R ops/s) so the
+      recording replays open-loop.
 
   lsbench scenarios
       List built-in scenarios (resolvable by name in `lsbench run`).
@@ -778,6 +816,10 @@ fn positional_args(args: &[String]) -> Vec<String> {
         "--rate",
         "--probes",
         "--tolerance",
+        "--speed",
+        "--out",
+        "--format",
+        "--name",
     ];
     let mut out = Vec::new();
     let mut i = 0;
@@ -1239,6 +1281,348 @@ fn cmd_export(args: &[String]) -> ExitCode {
     }
 }
 
+/// Reads and imports a trace file, resolving the format from `--format`
+/// or the file extension. Errors print positioned, `validate`-style:
+/// `file:line N: field: reason`.
+fn load_trace(file: &str, args: &[String]) -> Result<ImportedTrace, ExitCode> {
+    let format = match parse_flag(args, "--format") {
+        Some(name) => match TraceFormat::from_name(&name) {
+            Some(f) => f,
+            None => {
+                eprintln!("unknown trace format '{name}' (expected \"csv\" or \"jsonl\")");
+                return Err(ExitCode::from(2));
+            }
+        },
+        None => match TraceFormat::from_path(file) {
+            Some(f) => f,
+            None => {
+                eprintln!("cannot infer trace format of {file} (use --format csv|jsonl)");
+                return Err(ExitCode::from(2));
+            }
+        },
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| {
+        eprintln!("cannot read {file}: {e}");
+        ExitCode::from(2)
+    })?;
+    let mut imported = import_str(&text, format).map_err(|e| {
+        eprintln!("{file}:{e}");
+        ExitCode::FAILURE
+    })?;
+    if let Some(speed) = parse_flag(args, "--speed") {
+        let speed: f64 = match speed.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("--speed must be a number, got '{speed}'");
+                return Err(ExitCode::from(2));
+            }
+        };
+        imported.scale_speed(speed).map_err(|e| {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        })?;
+    }
+    Ok(imported)
+}
+
+/// Writes a trace in canonical form to `path`, format from the path's
+/// extension (or `--format`).
+fn write_trace(trace: &lsbench::workload::Trace, path: &str, args: &[String]) -> ExitCode {
+    let format = parse_flag(args, "--format")
+        .and_then(|n| TraceFormat::from_name(&n))
+        .or_else(|| TraceFormat::from_path(path))
+        .unwrap_or(TraceFormat::Csv);
+    let text = match format {
+        TraceFormat::Csv => export_csv(trace),
+        TraceFormat::Jsonl => export_jsonl(trace),
+    };
+    match std::fs::write(path, text) {
+        Ok(()) => {
+            eprintln!("wrote {} ops to {path}", trace.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_trace_stats(stats: &lsbench::core::trace::import::TraceStats, had_timestamps: bool) {
+    println!(
+        "{} ops (read {}, insert {}, update {}, scan {}, delete {})",
+        stats.ops,
+        stats.by_kind[0],
+        stats.by_kind[1],
+        stats.by_kind[2],
+        stats.by_kind[3],
+        stats.by_kind[4]
+    );
+    println!(
+        "{} distinct keys in [{}, {}]",
+        stats.distinct_keys, stats.key_range.0, stats.key_range.1
+    );
+    if had_timestamps {
+        println!(
+            "timestamped: {:.6}s span, replays open-loop",
+            stats.duration
+        );
+    } else {
+        println!("no timestamps: replays closed-loop");
+    }
+}
+
+/// `lsbench trace import`: parse, validate, and summarize a trace file,
+/// optionally re-exporting it in canonical form.
+fn cmd_trace_import(args: &[String]) -> ExitCode {
+    let Some(file) = positional_args(args).first().cloned() else {
+        eprintln!("usage: lsbench trace import FILE [--format csv|jsonl] [--out FILE]");
+        return ExitCode::from(2);
+    };
+    let imported = match load_trace(&file, args) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    print_trace_stats(&imported.stats(), imported.had_timestamps);
+    if let Some(out) = parse_flag(args, "--out") {
+        return write_trace(&imported.trace, &out, args);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `lsbench trace replay`: replay an imported trace against a SUT —
+/// closed-loop by default, open-loop with `--mode open-loop` /
+/// `--clients` — optionally archiving the record into the results store.
+fn cmd_trace_replay(args: &[String]) -> ExitCode {
+    let Some(file) = positional_args(args).first().cloned() else {
+        eprintln!(
+            "usage: lsbench trace replay FILE --sut NAME [--speed X] [--mode open-loop] \
+             [--clients N] [--threads N] [--archive] [--store DIR]"
+        );
+        return ExitCode::from(2);
+    };
+    let common = match CommonRunArgs::parse(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let sut_name = match common.require_sut() {
+        Ok(name) => name,
+        Err(code) => return code,
+    };
+    let imported = match load_trace(&file, args) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    // The dataset a trace replays over: the trace's own key population.
+    let data = lsbench::workload::Dataset::from_keys(
+        imported
+            .trace
+            .entries()
+            .iter()
+            .map(|e| e.op.key())
+            .collect(),
+    );
+    let mut sut = match SutRegistry::default().build(&sut_name, &data) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = ReplayConfig::default();
+    let open_loop =
+        matches!(common.mode, Some(ModePreference::OpenLoop)) || common.clients.is_some();
+    let record = if open_loop {
+        let clients = common.clients.unwrap_or(DEFAULT_CLIENTS);
+        eprintln!(
+            "replaying {} ops open-loop on {sut_name} ({clients} clients) ...",
+            imported.trace.len()
+        );
+        run_kv_trace_open_loop(sut.as_mut(), &imported.trace, &config, clients)
+    } else {
+        eprintln!(
+            "replaying {} ops closed-loop on {sut_name} ...",
+            imported.trace.len()
+        );
+        run_kv_trace(sut.as_mut(), &imported.trace, &config)
+    };
+    let record = match record {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{}: {:.0} ops/s mean, {} completed, {} failures",
+        record.sut_name,
+        record.mean_throughput(),
+        record.completed(),
+        record.failures()
+    );
+    if has_flag(args, "--archive") {
+        let store = match open_store(args) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        // Replays have no Scenario, so the manifest carries a stable
+        // descriptor instead of rendered spec text.
+        let clients = common.clients.unwrap_or(DEFAULT_CLIENTS);
+        let stem = Path::new(&file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.clone());
+        let manifest = RunManifest {
+            sut: sut_name.clone(),
+            scenario: format!("trace-{stem}"),
+            spec: format!(
+                "# trace replay\nfile = \"{file}\"\nspeed = \"{}\"\nmode = \"{}\"\n",
+                parse_flag(args, "--speed").unwrap_or_else(|| "1".to_string()),
+                if open_loop {
+                    format!("open-loop:{clients}")
+                } else {
+                    "closed-loop".to_string()
+                }
+            ),
+            concurrency: common.threads.max(1),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            transport: Transport::Local,
+        };
+        let artifact = RunArtifact::new(manifest, record);
+        match store.save(&artifact) {
+            Ok(path) => println!("archived {} (digest {})", path.display(), artifact.digest),
+            Err(e) => {
+                eprintln!("archive failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `lsbench trace fit`: fit a `.spec` scenario to a trace and print (or
+/// write) the canonical spec text plus a fit report.
+fn cmd_trace_fit(args: &[String]) -> ExitCode {
+    let Some(file) = positional_args(args).first().cloned() else {
+        eprintln!("usage: lsbench trace fit FILE [--name NAME] [--seed N] [--out FILE]");
+        return ExitCode::from(2);
+    };
+    let imported = match load_trace(&file, args) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let name = parse_flag(args, "--name").unwrap_or_else(|| "fitted-trace".to_string());
+    let seed: u64 = parse_num(args, "--seed", 0x5EED);
+    let (scenario, report) = match fit_scenario(&imported.trace, &name, seed) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("fit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "fit: {} phase(s), repetition factor: distinct ratio {:.3}, top-10 template mass {:.3}",
+        report.phases.len(),
+        report.distinct_ratio,
+        report.top_template_mass
+    );
+    for p in &report.phases {
+        eprintln!(
+            "  {}: {} ops, {:?}, key_range [{}, {}), distinct {:.3}, top1 {:.4}",
+            p.name,
+            p.ops,
+            p.distribution,
+            p.key_range.0,
+            p.key_range.1,
+            p.distinct_ratio,
+            p.top1_mass
+        );
+    }
+    let spec = render_scenario(&scenario);
+    match parse_flag(args, "--out") {
+        Some(out) => match std::fs::write(&out, &spec) {
+            Ok(()) => {
+                eprintln!("wrote fitted spec to {out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cannot write {out}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{spec}");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// `lsbench trace record`: record a scenario's generated operation stream
+/// as a trace file — the bridge from generators to shareable traces.
+/// `--rate R` stamps constant-rate timestamps (R ops/s) so the recording
+/// replays open-loop.
+fn cmd_trace_record(args: &[String]) -> ExitCode {
+    let common = match CommonRunArgs::parse(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let Some(out) = parse_flag(args, "--out") else {
+        eprintln!(
+            "usage: lsbench trace record --scenario NAME|FILE --out FILE \
+             [--rate R] [--format csv|jsonl]"
+        );
+        return ExitCode::from(2);
+    };
+    let scenario = match common.resolve_scenario(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let trace = match lsbench::workload::Trace::record(&scenario.workload) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot record {}: {e}", scenario.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match parse_flag(args, "--rate") {
+        None => trace,
+        Some(rate) => {
+            let rate: f64 = match rate.parse() {
+                Ok(v) if v > 0.0 => v,
+                _ => {
+                    eprintln!("--rate must be a positive number, got '{rate}'");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut stamped = lsbench::workload::Trace::new(trace.phase_names().to_vec());
+            for (i, entry) in trace.entries().iter().enumerate() {
+                stamped.push(lsbench::workload::trace::TraceEntry {
+                    op: entry.op,
+                    phase: entry.phase,
+                    arrival: i as f64 / rate,
+                });
+            }
+            stamped
+        }
+    };
+    write_trace(&trace, &out, args)
+}
+
+fn cmd_trace(args: &[String]) -> ExitCode {
+    match args.first().map(|s| s.as_str()) {
+        Some("import") => cmd_trace_import(&args[1..]),
+        Some("replay") => cmd_trace_replay(&args[1..]),
+        Some("fit") => cmd_trace_fit(&args[1..]),
+        Some("record") => cmd_trace_record(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: lsbench trace import|replay|fit|record ... (see `lsbench` for details)"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn cmd_quality(args: &[String]) -> ExitCode {
     let Some(dist_name) = parse_flag(args, "--dist") else {
         eprintln!("--dist NAME is required (see `lsbench list`)");
@@ -1291,6 +1675,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("shift") => cmd_shift(&args[1..]),
         Some("quality") => cmd_quality(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("archive") => cmd_archive(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("regress") => cmd_regress(&args[1..]),

@@ -115,3 +115,41 @@ fn single_client_open_loop_matches_serial_via_runner() {
     let open = run_open(&scenario, "rmi", 1, 4);
     assert_eq!(open.record, serial.record);
 }
+
+/// The trace-replay counterpart of the worker-count guard: an imported,
+/// timestamped trace replayed open-loop with a 100,000-client population
+/// produces bit-identical records on every replay. The replay is a
+/// logically serial event simulation — ops execute in trace order against
+/// per-client virtual clocks, so there is no worker schedule that could
+/// leak into the record at any `--threads` setting.
+#[test]
+fn imported_trace_open_loop_replay_is_bit_identical() {
+    use lsbench::core::driver::{run_kv_trace_open_loop, ReplayConfig};
+    use lsbench::core::trace::{import_str, TraceFormat};
+    use lsbench::workload::Dataset;
+
+    let text = include_str!("trace_fixtures/s2_10k.csv");
+    let imported = import_str(text, TraceFormat::Csv).expect("fixture parses");
+    assert!(imported.had_timestamps, "fixture carries arrival times");
+    let data = Dataset::from_keys(
+        imported
+            .trace
+            .entries()
+            .iter()
+            .map(|e| e.op.key())
+            .collect(),
+    );
+    let registry = SutRegistry::default();
+    let config = ReplayConfig::default();
+
+    let mut sut = registry.build("btree", &data).expect("btree");
+    let baseline = run_kv_trace_open_loop(sut.as_mut(), &imported.trace, &config, 100_000)
+        .expect("open-loop replay");
+    assert_eq!(baseline.completed(), imported.trace.len());
+    for run in 0..2 {
+        let mut sut = registry.build("btree", &data).expect("btree");
+        let again = run_kv_trace_open_loop(sut.as_mut(), &imported.trace, &config, 100_000)
+            .expect("open-loop replay");
+        assert_eq!(again, baseline, "replay {run} must be bit-identical");
+    }
+}

@@ -145,6 +145,8 @@ fn shipped_exemplars_parse_and_validate() {
         "scenarios/chaos_errors.spec",
         "scenarios/chaos_stall.spec",
         "scenarios/chaos_crash.spec",
+        "scenarios/templated_repetition.spec",
+        "scenarios/ledger_growth.spec",
     ] {
         let s = ScenarioRegistry::load_file(file).unwrap_or_else(|e| panic!("{file}:{e}"));
         s.validate().unwrap_or_else(|e| panic!("{file}: {e}"));
