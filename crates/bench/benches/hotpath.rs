@@ -1,0 +1,271 @@
+//! **Hot-path micro/macro suite** for the `--clock wall` work (ISSUE 9).
+//!
+//! Three layers, finest first:
+//!
+//! * `last_mile` — the branchless `lower_bound` against
+//!   `slice::partition_point` on window sizes typical of a learned
+//!   index's final scan (the optimization's smallest observable unit);
+//! * `point_probe` / `batched_probe` / `execute_many` — full index
+//!   probes (single and `get_many`-batched) and batched SUT dispatch,
+//!   the paths the group-prefetch probes and `execute_many` fast paths
+//!   actually serve;
+//! * `macro_wall` — a whole `Runner` run under `clock = wall`, the user
+//!   visible end of the same hot path.
+//!
+//! Besides the criterion groups, a compact machine-readable summary is
+//! written to `target/lsbench-results/BENCH_hotpath.json` so CI can
+//! archive one artifact per run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lsbench_bench::emit;
+use lsbench_core::runner::{RunOptions, Runner};
+use lsbench_core::scenario::ClockMode;
+use lsbench_core::suite::{s2_abrupt_shift, SuiteConfig};
+use lsbench_core::sut_registry::SutRegistry;
+use lsbench_index::search::lower_bound;
+use lsbench_index::{btree::BPlusTree, pgm::PgmIndex, rmi::Rmi, spline::RadixSpline};
+use lsbench_index::{BulkLoad, Index};
+use lsbench_workload::dataset::Dataset;
+use lsbench_workload::keygen::{KeyDistribution, KeyGenerator};
+use lsbench_workload::ops::Operation;
+use std::time::Instant;
+
+const N: usize = 200_000;
+const PROBES: usize = 1024;
+const WINDOWS: [usize; 3] = [64, 512, 4096];
+
+fn dataset() -> Dataset {
+    Dataset::generate(
+        KeyDistribution::LogNormal {
+            mu: 0.0,
+            sigma: 1.2,
+        },
+        0,
+        100_000_000,
+        N,
+        99,
+    )
+    .expect("dataset builds")
+}
+
+fn probe_keys(data: &Dataset) -> Vec<u64> {
+    let mut g = KeyGenerator::new(KeyDistribution::Uniform, 0, data.len() as u64, 7)
+        .expect("valid generator");
+    (0..PROBES)
+        .map(|_| data.keys()[g.next_key() as usize])
+        .collect()
+}
+
+/// Best-of-3 nanoseconds per call for `f` driven over the probe set.
+fn best_ns_per_op(mut f: impl FnMut(usize) -> u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut acc = 0u64;
+        for i in 0..PROBES * 16 {
+            acc = acc.wrapping_add(f(i));
+        }
+        black_box(acc);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / (PROBES * 16) as f64);
+    }
+    best
+}
+
+fn bench_last_mile(c: &mut Criterion, json: &mut Vec<String>) {
+    let data = dataset();
+    let probes = probe_keys(&data);
+    let mut group = c.benchmark_group("last_mile_search");
+    for window in WINDOWS {
+        let keys = &data.keys()[..window];
+        let hi = keys[window - 1];
+        for (name, branchless) in [("std_partition_point", false), ("branchless", true)] {
+            let label = format!("{name}/{window}");
+            group.bench_with_input(BenchmarkId::new(name, window), &branchless, |b, &bl| {
+                let mut i = 0;
+                b.iter(|| {
+                    let key = probes[i % PROBES].min(hi);
+                    i += 1;
+                    if bl {
+                        black_box(lower_bound(keys, black_box(key)))
+                    } else {
+                        black_box(keys.partition_point(|&k| k < black_box(key)))
+                    }
+                })
+            });
+            let ns = best_ns_per_op(|i| {
+                let key = probes[i % PROBES].min(hi);
+                if branchless {
+                    lower_bound(keys, key) as u64
+                } else {
+                    keys.partition_point(|&k| k < key) as u64
+                }
+            });
+            json.push(format!(
+                "    {{\"bench\": \"last_mile\", \"variant\": \"{label}\", \"ns_per_op\": {ns:.2}}}"
+            ));
+        }
+    }
+    group.finish();
+}
+
+fn bench_point_probe(c: &mut Criterion, json: &mut Vec<String>) {
+    let data = dataset();
+    let pairs: Vec<(u64, u64)> = data.pairs().collect();
+    let probes = probe_keys(&data);
+    let mut group = c.benchmark_group("point_probe_200k_lognormal");
+
+    let btree = BPlusTree::bulk_load(&pairs).expect("builds");
+    let rmi = Rmi::bulk_load(&pairs).expect("builds");
+    let pgm = PgmIndex::bulk_load(&pairs).expect("builds");
+    let spline = RadixSpline::bulk_load(&pairs).expect("builds");
+
+    macro_rules! probe {
+        ($idx:expr, $name:expr) => {
+            group.bench_function($name, |b| {
+                let mut i = 0;
+                b.iter(|| {
+                    let k = probes[i % PROBES];
+                    i += 1;
+                    black_box($idx.get(black_box(k)))
+                })
+            });
+            let ns = best_ns_per_op(|i| $idx.get(probes[i % PROBES]).unwrap_or(0));
+            json.push(format!(
+                "    {{\"bench\": \"point_probe\", \"variant\": \"{}\", \"ns_per_op\": {:.2}}}",
+                $name, ns
+            ));
+        };
+    }
+    probe!(btree, "btree");
+    probe!(rmi, "rmi");
+    probe!(pgm, "pgm");
+    probe!(spline, "radix-spline");
+    group.finish();
+
+    // The batched probe path (`Index::get_many`) against a loop of
+    // single `get`s: the group descent / lockstep-search payoff in
+    // isolation, before any SUT dispatch enters the picture.
+    let mut group = c.benchmark_group("batched_probe_200k_lognormal");
+    macro_rules! probe_many {
+        ($idx:expr, $name:expr) => {
+            group.bench_function($name, |b| {
+                let mut out: Vec<Option<u64>> = Vec::with_capacity(PROBES);
+                b.iter(|| {
+                    out.clear();
+                    $idx.get_many(black_box(&probes), &mut out);
+                    black_box(out.len())
+                })
+            });
+            let mut out: Vec<Option<u64>> = Vec::with_capacity(PROBES);
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                for _ in 0..16 {
+                    out.clear();
+                    $idx.get_many(&probes, &mut out);
+                    black_box(out.len());
+                }
+                best = best.min(t0.elapsed().as_secs_f64() * 1e9 / (16 * PROBES) as f64);
+            }
+            json.push(format!(
+                "    {{\"bench\": \"batched_probe\", \"variant\": \"{}\", \"ns_per_op\": {:.2}}}",
+                $name, best
+            ));
+        };
+    }
+    probe_many!(btree, "btree");
+    probe_many!(rmi, "rmi");
+    probe_many!(spline, "radix-spline");
+    group.finish();
+}
+
+fn bench_execute_many(c: &mut Criterion, json: &mut Vec<String>) {
+    let data = dataset();
+    let probes = probe_keys(&data);
+    let registry = SutRegistry::default();
+    let mut group = c.benchmark_group("execute_many_batch");
+    group.sample_size(20);
+    for sut_name in ["btree", "rmi", "spline", "alex"] {
+        for batch in [1usize, 64, 512] {
+            let mut sut = registry.build(sut_name, &data).expect("SUT builds");
+            let ops: Vec<Operation> = probes
+                .iter()
+                .take(batch)
+                .map(|&key| Operation::Read { key })
+                .collect();
+            let label = format!("{sut_name}/{batch}");
+            group.bench_with_input(BenchmarkId::new(sut_name, batch), &batch, |b, _| {
+                b.iter(|| black_box(sut.execute_many(black_box(&ops))))
+            });
+            let mut sut2 = registry.build(sut_name, &data).expect("SUT builds");
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                for _ in 0..64 {
+                    black_box(sut2.execute_many(&ops));
+                }
+                best = best.min(t0.elapsed().as_secs_f64() * 1e9 / (64 * batch) as f64);
+            }
+            json.push(format!(
+                "    {{\"bench\": \"execute_many\", \"variant\": \"{label}\", \"ns_per_op\": {best:.2}}}"
+            ));
+        }
+    }
+    group.finish();
+}
+
+fn bench_macro_wall(c: &mut Criterion, json: &mut Vec<String>) {
+    let scenario = s2_abrupt_shift(&SuiteConfig {
+        dataset_size: 20_000,
+        ops_per_phase: 4_000,
+        ..SuiteConfig::default()
+    })
+    .expect("valid scenario");
+    let registry = SutRegistry::default();
+    let mut group = c.benchmark_group("macro_wall_run");
+    group.sample_size(10);
+    for sut in ["btree", "rmi"] {
+        group.bench_function(sut, |b| {
+            b.iter(|| {
+                let factory = registry.factory(sut).expect("known SUT");
+                Runner::from_factory(factory)
+                    .config(RunOptions {
+                        clock: ClockMode::Wall,
+                        ..RunOptions::default()
+                    })
+                    .run(&scenario)
+                    .expect("wall run")
+            })
+        });
+        let factory = registry.factory(sut).expect("known SUT");
+        let outcome = Runner::from_factory(factory)
+            .config(RunOptions {
+                clock: ClockMode::Wall,
+                ..RunOptions::default()
+            })
+            .run(&scenario)
+            .expect("wall run");
+        let wall = outcome.wall.expect("wall stats");
+        json.push(format!(
+            "    {{\"bench\": \"macro_wall\", \"variant\": \"{sut}\", \"wall_ops_per_s\": {:.0}, \"ops\": {}}}",
+            wall.throughput, wall.ops
+        ));
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let mut json = Vec::new();
+    bench_last_mile(c, &mut json);
+    bench_point_probe(c, &mut json);
+    bench_execute_many(c, &mut json);
+    bench_macro_wall(c, &mut json);
+    let body = format!(
+        "{{\n  \"suite\": \"hotpath\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        json.join(",\n")
+    );
+    emit("BENCH_hotpath.json", &body);
+}
+
+criterion_group!(hotpath, benches);
+criterion_main!(hotpath);

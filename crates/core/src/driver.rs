@@ -14,13 +14,16 @@
 use crate::faults::{execute_faulted, FaultOpCtx, FaultSession, FaultStats};
 use crate::obs::{LaneObs, RunObserver};
 use crate::record::{OpRecord, RunRecord, TrainInfo};
-use crate::scenario::Scenario;
+use crate::runner::WallStats;
+use crate::scenario::{ClockMode, Scenario};
 use crate::{BenchError, Result};
+use lsbench_stats::LatencyHistogram;
 use lsbench_sut::clock::{Clock, SimClock};
 use lsbench_sut::query_sut::QueryOp;
 use lsbench_sut::sut::{SystemUnderTest, TransportStats};
 use lsbench_workload::arrival::ArrivalGenerator;
 use lsbench_workload::ops::Operation;
+use std::time::Instant;
 
 /// Extra driver knobs independent of the scenario.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +42,12 @@ pub struct DriverConfig {
     /// bit-identical for any batch size; larger batches amortize dispatch
     /// cost (one wire frame instead of one per op on a remote SUT).
     pub dispatch_batch: usize,
+    /// Which clock the run reports on. [`ClockMode::Sim`] is the
+    /// conformance oracle; [`ClockMode::Wall`] additionally captures host
+    /// wall-clock timings ([`WallStats`]) *beside* the virtual record —
+    /// never inside it, so the work-unit [`RunRecord`] stays bit-identical
+    /// across clock modes (pinned by `tests/determinism.rs`).
+    pub clock: ClockMode,
 }
 
 impl Default for DriverConfig {
@@ -47,7 +56,46 @@ impl Default for DriverConfig {
             max_ops: u64::MAX,
             mode: crate::runner::ExecutionMode::Serial,
             dispatch_batch: 64,
+            clock: ClockMode::Sim,
         }
+    }
+}
+
+/// Accumulates host wall-clock timings alongside the virtual clock when a
+/// run executes with `clock = wall`.
+///
+/// Latencies are captured coordinated-omission-safely: every operation in
+/// a dispatch batch is charged the batch's *full* wall duration, so a
+/// stall that delayed ten queued operations inflates all ten samples
+/// instead of being averaged into one. This is deliberately conservative —
+/// a per-op split would credit queued work with time it did not wait.
+struct WallRecorder {
+    started: Instant,
+    latency: LatencyHistogram,
+    ops: u64,
+}
+
+impl WallRecorder {
+    fn new() -> Self {
+        WallRecorder {
+            started: Instant::now(),
+            latency: LatencyHistogram::new(),
+            ops: 0,
+        }
+    }
+
+    /// Records one dispatch of `ops` operations that took `elapsed` of
+    /// host time (each op gets the full batch duration — see type docs).
+    fn batch(&mut self, elapsed: std::time::Duration, ops: usize) {
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        for _ in 0..ops {
+            self.latency.record(ns);
+        }
+        self.ops += ops as u64;
+    }
+
+    fn finish(self) -> WallStats {
+        WallStats::new(self.started.elapsed().as_secs_f64(), self.ops, self.latency)
     }
 }
 
@@ -76,6 +124,23 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
     config: DriverConfig,
     obs: &mut RunObserver,
 ) -> Result<RunRecord> {
+    run_kv_scenario_timed(sut, scenario, config, obs).map(|(record, _)| record)
+}
+
+/// [`run_kv_scenario_observed`] that also returns the host wall-clock
+/// statistics when [`DriverConfig::clock`] is [`ClockMode::Wall`]
+/// (`None` in sim mode).
+///
+/// The wall recorder only *observes* the hot loop — it never advances or
+/// reads the virtual clock, and nothing it measures feeds back into
+/// scheduling — so the returned [`RunRecord`] is bit-identical between
+/// clock modes by construction.
+pub fn run_kv_scenario_timed<S: SystemUnderTest<Operation> + ?Sized>(
+    sut: &mut S,
+    scenario: &Scenario,
+    config: DriverConfig,
+    obs: &mut RunObserver,
+) -> Result<(RunRecord, Option<WallStats>)> {
     scenario.validate()?;
     let stream = scenario
         .workload
@@ -96,6 +161,12 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
     obs.train_end(exec_start, train_work);
     // Phase-0 anchor, mirroring `phase_change_times[0]`.
     obs.root.phase_change(exec_start, 0);
+    // Wall-clock capture starts after training so `elapsed_seconds`
+    // covers the same window as `exec_start..exec_end` does virtually.
+    let mut wall = match config.clock {
+        ClockMode::Sim => None,
+        ClockMode::Wall => Some(WallRecorder::new()),
+    };
 
     let mut ops = Vec::with_capacity(scenario.workload.total_ops().min(1 << 22) as usize);
     let mut phase_change_times = vec![(0usize, exec_start)];
@@ -176,7 +247,11 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
                 batch_ops.clear();
                 batch_ops.extend(batch.iter().map(|l| l.op));
                 let before = sut.transport_stats();
+                let dispatched = wall.as_ref().map(|_| Instant::now());
                 let outcomes = sut.execute_many(&batch_ops);
+                if let (Some(w), Some(t0)) = (wall.as_mut(), dispatched) {
+                    w.batch(t0.elapsed(), batch.len());
+                }
                 fold_transport_delta(
                     before,
                     sut.transport_stats(),
@@ -228,6 +303,7 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
                     t
                 });
                 let before = sut.transport_stats();
+                let dispatched = wall.as_ref().map(|_| Instant::now());
                 let fr = execute_faulted(
                     sut,
                     &labeled.op,
@@ -240,6 +316,9 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
                     session,
                     &mut backlog,
                 )?;
+                if let (Some(w), Some(t0)) = (wall.as_mut(), dispatched) {
+                    w.batch(t0.elapsed(), 1);
+                }
                 fold_transport_delta(
                     before,
                     sut.transport_stats(),
@@ -283,7 +362,7 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
     clock.advance(backlog);
     obs.run_end(clock.now(), ops.len() as u64);
 
-    Ok(RunRecord {
+    let record = RunRecord {
         sut_name: sut.name(),
         scenario_name: scenario.name.clone(),
         phase_names: scenario
@@ -300,7 +379,8 @@ pub fn run_kv_scenario_observed<S: SystemUnderTest<Operation> + ?Sized>(
         final_metrics: sut.metrics(),
         work_units_per_second: rate,
         faults: fault_stats,
-    })
+    };
+    Ok((record, wall.map(WallRecorder::finish)))
 }
 
 /// Folds a [`TransportStats`] delta (a remote SUT's socket-deadline
@@ -713,6 +793,31 @@ mod tests {
         let b = run();
         assert_eq!(a.ops, b.ops);
         assert_eq!(a.exec_end, b.exec_end);
+    }
+
+    #[test]
+    fn wall_clock_mode_observes_without_perturbing_the_record() {
+        let s = scenario();
+        let data = s.dataset.build().unwrap();
+        let run = |clock| {
+            let mut sut = BTreeSut::build(&data).unwrap();
+            let cfg = DriverConfig {
+                clock,
+                ..DriverConfig::default()
+            };
+            run_kv_scenario_timed(&mut sut, &s, cfg, &mut RunObserver::disabled()).unwrap()
+        };
+        let (sim_record, sim_wall) = run(ClockMode::Sim);
+        let (wall_record, wall_stats) = run(ClockMode::Wall);
+        // The work-unit record is bit-identical across clock modes: wall
+        // capture only observes the hot loop, it never schedules.
+        assert_eq!(sim_record, wall_record);
+        assert!(sim_wall.is_none());
+        let wall = wall_stats.expect("wall stats in wall mode");
+        assert_eq!(wall.ops, wall_record.completed() as u64);
+        assert_eq!(wall.latency.total(), wall.ops);
+        assert!(wall.elapsed_seconds > 0.0);
+        assert!(wall.throughput > 0.0);
     }
 
     #[test]

@@ -79,8 +79,8 @@ pub mod wire;
 
 pub use capacity::{capacity_search, CapacityConfig, CapacityPoint, CapacityReport, SlaTarget};
 pub use driver::{
-    run_kv_scenario, run_kv_scenario_observed, run_kv_trace, run_kv_trace_open_loop,
-    run_query_workload, DriverConfig, ReplayConfig,
+    run_kv_scenario, run_kv_scenario_observed, run_kv_scenario_timed, run_kv_trace,
+    run_kv_trace_open_loop, run_query_workload, DriverConfig, ReplayConfig,
 };
 pub use engine::{
     run_concurrent_kv_scenario, run_concurrent_kv_scenario_observed, run_open_loop_kv_scenario,
@@ -101,8 +101,10 @@ pub use results::{
     ResultStore, RunArtifact, RunManifest, StoreError, SuiteArtifact, Transport,
 };
 pub use results::{CapacityArtifact, CapacityManifest};
-pub use runner::{BoxedKvSut, EngineStats, ExecutionMode, RunOptions, RunOutcome, Runner};
-pub use scenario::{ModePreference, OpenLoopSpec, Scenario, ScenarioBuilder};
+pub use runner::{
+    BoxedKvSut, EngineStats, ExecutionMode, RunOptions, RunOutcome, Runner, WallStats,
+};
+pub use scenario::{ClockMode, ModePreference, OpenLoopSpec, Scenario, ScenarioBuilder};
 pub use spec::{parse_fault_plan, parse_scenario, render_scenario, ScenarioRegistry, SpecError};
 pub use suite::{
     run_suite, run_suite_observed, standard_scenarios, SuiteConfig, SuiteObservation, SuiteResult,

@@ -449,6 +449,7 @@ mod tests {
             concurrency: 1,
             crate_version: "0".to_string(),
             transport,
+            clock: crate::scenario::ClockMode::Sim,
         };
         let local = manifest("btree", Transport::Local);
         let remote = manifest(

@@ -55,5 +55,9 @@ pub use store::{
 /// `transport` field (local vs. remote endpoint); v3 = `RunArtifact`
 /// gains the optional `engine` stats block
 /// ([`EngineStats`](crate::runner::EngineStats)) and the store learns
-/// capacity artifacts ([`CapacityArtifact`] under `capacity/`).
-pub const SCHEMA_VERSION: u32 = 3;
+/// capacity artifacts ([`CapacityArtifact`] under `capacity/`); v4 =
+/// `RunManifest` gains the `clock` field (sim vs. wall — part of the
+/// content address, so a wall run never collides with its sim twin) and
+/// `RunArtifact` gains the optional `wall` stats block
+/// ([`WallStats`](crate::runner::WallStats)).
+pub const SCHEMA_VERSION: u32 = 4;

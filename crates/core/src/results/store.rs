@@ -18,8 +18,8 @@ use super::SCHEMA_VERSION;
 use crate::capacity::CapacityReport;
 use crate::record::RunRecord;
 use crate::report::{workspace_root, write_artifact_to};
-use crate::runner::EngineStats;
-use crate::scenario::Scenario;
+use crate::runner::{EngineStats, WallStats};
+use crate::scenario::{ClockMode, Scenario};
 use crate::spec::render_scenario;
 use crate::suite::SuiteResult;
 use crate::BenchError;
@@ -151,13 +151,18 @@ pub struct RunManifest {
     pub crate_version: String,
     /// Where the SUT executed (local process vs. remote endpoint).
     pub transport: Transport,
+    /// Which clock the run reported on (sim vs. wall). Part of the
+    /// content address: a wall-clock run can never collide with (or be
+    /// silently compared as) its sim twin. New in schema v4.
+    pub clock: ClockMode,
 }
 
 impl RunManifest {
     /// Builds the manifest for a run of `scenario` (faults attached and
     /// all) by `sut` at `concurrency` workers, stamped with this crate's
     /// version. Transport defaults to [`Transport::Local`]; remote runs
-    /// chain [`RunManifest::with_transport`].
+    /// chain [`RunManifest::with_transport`]. Clock defaults to
+    /// [`ClockMode::Sim`]; wall runs chain [`RunManifest::with_clock`].
     pub fn for_run(scenario: &Scenario, sut: &str, concurrency: usize) -> Self {
         RunManifest {
             sut: sut.to_string(),
@@ -166,12 +171,19 @@ impl RunManifest {
             concurrency,
             crate_version: env!("CARGO_PKG_VERSION").to_string(),
             transport: Transport::Local,
+            clock: ClockMode::Sim,
         }
     }
 
     /// Stamps the transport the run used.
     pub fn with_transport(mut self, transport: Transport) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Stamps the clock mode the run used.
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -215,12 +227,17 @@ pub struct RunArtifact {
     /// thread/lane counts) when the run went through the concurrent
     /// engine; `None` for serial-driver runs. New in schema v3.
     pub engine: Option<EngineStats>,
+    /// Host wall-clock statistics when the run used `clock = wall`;
+    /// `None` for sim runs. Lives beside the record, never inside it, so
+    /// a wall artifact's `record` is bit-identical to its sim twin's.
+    /// New in schema v4.
+    pub wall: Option<WallStats>,
 }
 
 impl RunArtifact {
     /// Packages a manifest and record into a versioned, digested artifact.
     /// Engine stats start absent; chain [`RunArtifact::with_engine`] for
-    /// engine-path runs.
+    /// engine-path runs and [`RunArtifact::with_wall`] for wall-clock runs.
     pub fn new(manifest: RunManifest, record: RunRecord) -> Self {
         RunArtifact {
             schema_version: SCHEMA_VERSION,
@@ -228,6 +245,7 @@ impl RunArtifact {
             manifest,
             record,
             engine: None,
+            wall: None,
         }
     }
 
@@ -236,6 +254,13 @@ impl RunArtifact {
     /// which file the artifact stores under.
     pub fn with_engine(mut self, engine: Option<EngineStats>) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Stamps the wall-clock statistics of the run that produced the
+    /// record. Digest unaffected, same as [`RunArtifact::with_engine`].
+    pub fn with_wall(mut self, wall: Option<WallStats>) -> Self {
+        self.wall = wall;
         self
     }
 
@@ -720,6 +745,7 @@ mod tests {
             concurrency: 1,
             crate_version: "0.0.0-test".to_string(),
             transport: Transport::Local,
+            clock: ClockMode::Sim,
         }
     }
 
@@ -805,7 +831,7 @@ mod tests {
     fn unversioned_artifacts_are_refused() {
         let artifact = RunArtifact::new(manifest("x"), tiny_record("x"));
         let json = artifact.to_json().unwrap();
-        let stripped = json.replacen("\"schema_version\": 3,\n", "", 1);
+        let stripped = json.replacen("\"schema_version\": 4,\n", "", 1);
         assert_ne!(json, stripped, "fixture must actually strip the field");
         match RunArtifact::from_json(&stripped) {
             Err(StoreError::Schema {
@@ -822,7 +848,7 @@ mod tests {
     fn version_drift_is_refused() {
         let artifact = RunArtifact::new(manifest("x"), tiny_record("x"));
         let json = artifact.to_json().unwrap().replacen(
-            "\"schema_version\": 3",
+            "\"schema_version\": 4",
             "\"schema_version\": 999",
             1,
         );
@@ -900,6 +926,25 @@ mod tests {
             Err(StoreError::ManifestMismatch { .. })
         ));
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn clock_mode_is_content_addressed_and_wall_stats_stamp_cleanly() {
+        let sim = manifest("btree");
+        let wall = manifest("btree").with_clock(ClockMode::Wall);
+        // The clock participates in the content address: a wall-clock run
+        // can never collide with (or silently replace) its sim twin.
+        assert_ne!(sim.digest(), wall.digest());
+        let plain = RunArtifact::new(wall.clone(), tiny_record("btree"));
+        let stamped =
+            RunArtifact::new(wall, tiny_record("btree")).with_wall(Some(WallStats::coarse(1.5, 3)));
+        assert_eq!(plain.digest, stamped.digest, "digest is manifest-only");
+        assert!(plain.wall.is_none());
+        let json = stamped.to_json().unwrap();
+        let back = RunArtifact::from_json(&json).unwrap();
+        assert_eq!(back, stamped, "wall stats survive the store losslessly");
+        assert_eq!(back.wall.as_ref().unwrap().ops, 3);
+        assert_eq!(back.manifest.clock, ClockMode::Wall);
     }
 
     #[test]

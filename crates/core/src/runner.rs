@@ -35,7 +35,7 @@
 //! [`RunRecord`], optional engine statistics, optional hold-out
 //! comparison, and whatever the observability layer collected.
 
-use crate::driver::{run_kv_scenario_observed, DriverConfig};
+use crate::driver::{run_kv_scenario_observed, run_kv_scenario_timed, DriverConfig};
 use crate::engine::{
     run_concurrent_kv_scenario_observed, run_open_loop_kv_scenario_observed,
     run_sharded_kv_scenario_observed, shard_dataset, EngineConfig, EngineReport,
@@ -43,7 +43,7 @@ use crate::engine::{
 use crate::holdout::{one_shot_scenario, HoldoutReport};
 use crate::obs::{MetricsRegistry, ObsConfig, RunObserver, SpanNode, TraceLog};
 use crate::record::RunRecord;
-use crate::scenario::Scenario;
+use crate::scenario::{ClockMode, Scenario};
 use crate::{BenchError, Result};
 use lsbench_stats::{IntervalCounts, LatencyHistogram};
 use lsbench_sut::sut::SystemUnderTest;
@@ -145,6 +145,11 @@ pub struct RunOptions {
     /// What to observe (see [`ObsConfig`]); `ObsConfig::default()` collects
     /// metrics only, [`ObsConfig::traced`] adds the event trace and spans.
     pub obs: ObsConfig,
+    /// Which clock the run reports on. [`ClockMode::Sim`] (the default)
+    /// is the deterministic conformance oracle; [`ClockMode::Wall`]
+    /// additionally captures host wall-clock timings into
+    /// [`RunOutcome::wall`] without perturbing the virtual record.
+    pub clock: ClockMode,
 }
 
 impl Default for RunOptions {
@@ -158,6 +163,7 @@ impl Default for RunOptions {
             completion_interval: engine.completion_interval,
             holdout: false,
             obs: ObsConfig::default(),
+            clock: ClockMode::Sim,
         }
     }
 }
@@ -209,6 +215,7 @@ impl RunOptions {
         DriverConfig {
             max_ops: self.max_ops,
             mode: ExecutionMode::Serial,
+            clock: self.clock,
             ..DriverConfig::default()
         }
     }
@@ -241,6 +248,54 @@ impl EngineStats {
     }
 }
 
+/// Host wall-clock statistics for a run executed with [`ClockMode::Wall`],
+/// carried through [`RunOutcome::wall`] and stamped into archived
+/// [`RunArtifact`](crate::results::RunArtifact)s (schema v4).
+///
+/// Wall data lives *beside* the virtual record, never inside it: the
+/// work-unit [`RunRecord`] of a wall run is bit-identical to the sim run
+/// of the same scenario, which is what keeps the virtual clock the
+/// conformance oracle (pinned by `tests/determinism.rs` and
+/// `tests/rank_agreement.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WallStats {
+    /// Wall seconds from the end of training to the last completion.
+    pub elapsed_seconds: f64,
+    /// Operations measured.
+    pub ops: u64,
+    /// `ops / elapsed_seconds` (0 when elapsed rounds to zero).
+    pub throughput: f64,
+    /// Coordinated-omission-safe per-op wall latency histogram
+    /// (nanoseconds): each op is charged its full dispatch-batch
+    /// duration. Empty for engine-path runs, which report only the
+    /// coarse elapsed/throughput pair.
+    pub latency: LatencyHistogram,
+}
+
+impl WallStats {
+    /// Packages a finished capture; computes throughput defensively.
+    pub fn new(elapsed_seconds: f64, ops: u64, latency: LatencyHistogram) -> Self {
+        let throughput = if elapsed_seconds > 0.0 {
+            ops as f64 / elapsed_seconds
+        } else {
+            0.0
+        };
+        WallStats {
+            elapsed_seconds,
+            ops,
+            throughput,
+            latency,
+        }
+    }
+
+    /// Coarse capture for engine-path runs: elapsed and throughput only,
+    /// no per-op histogram (the engine's own latency histogram is virtual
+    /// and lives in [`EngineStats`]).
+    pub fn coarse(elapsed_seconds: f64, ops: u64) -> Self {
+        WallStats::new(elapsed_seconds, ops, LatencyHistogram::new())
+    }
+}
+
 /// Everything one [`Runner::run`] produced.
 #[derive(Debug)]
 pub struct RunOutcome {
@@ -248,6 +303,8 @@ pub struct RunOutcome {
     pub record: RunRecord,
     /// Engine statistics when the run used the concurrent engine.
     pub engine: Option<EngineStats>,
+    /// Host wall-clock statistics when the run used [`ClockMode::Wall`].
+    pub wall: Option<WallStats>,
     /// Hold-out record and generalization comparison when
     /// [`RunOptions::holdout`] was set.
     pub holdout: Option<(RunRecord, HoldoutReport)>,
@@ -314,14 +371,22 @@ impl<'a> Runner<'a> {
         self.opts.mode.validate()?;
         let opts = self.opts;
         let mut obs = RunObserver::new(opts.obs);
-        let (record, engine, holdout) = match (&mut self.sut, opts.mode) {
+        // Engine paths have no per-op wall recorder; when clock=wall they
+        // get a coarse elapsed/throughput capture measured from here (so
+        // the window includes dataset build for factory runs — coarse by
+        // name and by nature; the serial driver owns precise capture).
+        let coarse_start = (opts.clock == ClockMode::Wall).then(std::time::Instant::now);
+        let coarse = |started: Option<std::time::Instant>, record: &RunRecord| {
+            started.map(|t0| WallStats::coarse(t0.elapsed().as_secs_f64(), record.ops.len() as u64))
+        };
+        let (record, engine, holdout, wall) = match (&mut self.sut, opts.mode) {
             (RunnerSut::Single(sut), ExecutionMode::Serial) => {
                 let span = obs.spans.enter("run");
-                let record =
-                    run_kv_scenario_observed(*sut, scenario, opts.driver_config(), &mut obs)?;
+                let (record, wall) =
+                    run_kv_scenario_timed(*sut, scenario, opts.driver_config(), &mut obs)?;
                 obs.spans.exit(span);
                 let holdout = run_serial_holdout(&mut obs, *sut, scenario, opts, &record)?;
-                (record, None, holdout)
+                (record, None, holdout, wall)
             }
             (
                 RunnerSut::Single(sut),
@@ -335,9 +400,10 @@ impl<'a> Runner<'a> {
                     &mut obs,
                 )?;
                 obs.spans.exit(span);
+                let wall = coarse(coarse_start, &report.record);
                 let holdout = run_serial_holdout(&mut obs, *sut, scenario, opts, &report.record)?;
                 let stats = EngineStats::from_report(&report);
-                (report.record, Some(stats), holdout)
+                (report.record, Some(stats), holdout, wall)
             }
             (RunnerSut::Single(sut), ExecutionMode::OpenLoop { .. }) => {
                 let span = obs.spans.enter("run");
@@ -348,9 +414,10 @@ impl<'a> Runner<'a> {
                     &mut obs,
                 )?;
                 obs.spans.exit(span);
+                let wall = coarse(coarse_start, &report.record);
                 let holdout = run_serial_holdout(&mut obs, *sut, scenario, opts, &report.record)?;
                 let stats = EngineStats::from_report(&report);
-                (report.record, Some(stats), holdout)
+                (report.record, Some(stats), holdout, wall)
             }
             (RunnerSut::Factory(factory), ExecutionMode::Serial) => {
                 let span = obs.spans.enter("bulk-load");
@@ -358,15 +425,11 @@ impl<'a> Runner<'a> {
                 let mut sut = factory(&data)?;
                 obs.spans.exit(span);
                 let span = obs.spans.enter("run");
-                let record = run_kv_scenario_observed(
-                    sut.as_mut(),
-                    scenario,
-                    opts.driver_config(),
-                    &mut obs,
-                )?;
+                let (record, wall) =
+                    run_kv_scenario_timed(sut.as_mut(), scenario, opts.driver_config(), &mut obs)?;
                 obs.spans.exit(span);
                 let holdout = run_serial_holdout(&mut obs, sut.as_mut(), scenario, opts, &record)?;
-                (record, None, holdout)
+                (record, None, holdout, wall)
             }
             (RunnerSut::Factory(factory), ExecutionMode::SharedLock { .. }) => {
                 let span = obs.spans.enter("bulk-load");
@@ -381,10 +444,11 @@ impl<'a> Runner<'a> {
                     &mut obs,
                 )?;
                 obs.spans.exit(span);
+                let wall = coarse(coarse_start, &report.record);
                 let holdout =
                     run_serial_holdout(&mut obs, sut.as_mut(), scenario, opts, &report.record)?;
                 let stats = EngineStats::from_report(&report);
-                (report.record, Some(stats), holdout)
+                (report.record, Some(stats), holdout, wall)
             }
             (RunnerSut::Factory(factory), ExecutionMode::OpenLoop { .. }) => {
                 let span = obs.spans.enter("bulk-load");
@@ -399,10 +463,11 @@ impl<'a> Runner<'a> {
                     &mut obs,
                 )?;
                 obs.spans.exit(span);
+                let wall = coarse(coarse_start, &report.record);
                 let holdout =
                     run_serial_holdout(&mut obs, sut.as_mut(), scenario, opts, &report.record)?;
                 let stats = EngineStats::from_report(&report);
-                (report.record, Some(stats), holdout)
+                (report.record, Some(stats), holdout, wall)
             }
             (RunnerSut::Factory(factory), ExecutionMode::Sharded { workers }) => {
                 let span = obs.spans.enter("bulk-load");
@@ -416,6 +481,7 @@ impl<'a> Runner<'a> {
                     &mut suts, &router, scenario, &config, &mut obs,
                 )?;
                 obs.spans.exit(span);
+                let wall = coarse(coarse_start, &report.record);
                 let holdout = if opts.holdout {
                     let span = obs.spans.enter("holdout");
                     let one_shot = one_shot_scenario(scenario)?;
@@ -433,7 +499,7 @@ impl<'a> Runner<'a> {
                     None
                 };
                 let stats = EngineStats::from_report(&report);
-                (report.record, Some(stats), holdout)
+                (report.record, Some(stats), holdout, wall)
             }
         };
         let report = obs.finish()?;
@@ -441,6 +507,7 @@ impl<'a> Runner<'a> {
             record,
             engine,
             holdout,
+            wall,
             trace: report.trace,
             metrics: report.metrics,
             spans: report.spans,

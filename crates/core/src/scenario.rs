@@ -91,6 +91,44 @@ impl ModePreference {
     }
 }
 
+/// The measurement clock a scenario asks for (`clock = "..."` in the spec
+/// `[run]` table). Like [`ModePreference`] this is a *preference*: `None`
+/// lets the caller (CLI flags, run options) decide.
+///
+/// * [`Sim`](ClockMode::Sim) — the deterministic virtual clock: work units
+///   converted to seconds at `work_units_per_second`. The conformance
+///   oracle; records are bit-identical across machines and repeats.
+/// * [`Wall`](ClockMode::Wall) — real elapsed time measured around the
+///   batched dispatch, reported *alongside* the work-unit record (which
+///   stays bit-identical to a sim run of the same scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ClockMode {
+    /// Deterministic virtual clock (the default).
+    #[default]
+    Sim,
+    /// Wall-clock measurement alongside the work-unit accounting.
+    Wall,
+}
+
+impl ClockMode {
+    /// Parses the spec-file spelling (`sim`, `wall`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(ClockMode::Sim),
+            "wall" => Some(ClockMode::Wall),
+            _ => None,
+        }
+    }
+
+    /// The spec-file spelling this parses back from.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ClockMode::Sim => "sim",
+            ClockMode::Wall => "wall",
+        }
+    }
+}
+
 /// How online adaptation (retraining) work consumes resources (§V-B:
 /// "the fraction of system resources to dedicate for online training").
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -175,6 +213,9 @@ pub struct Scenario {
     /// Preferred execution mode (`mode` key in the spec `[run]` table);
     /// `None` lets the caller decide.
     pub mode: Option<ModePreference>,
+    /// Preferred measurement clock (`clock` key in the spec `[run]`
+    /// table); `None` lets the caller decide (default: sim).
+    pub clock: Option<ClockMode>,
     /// How online retraining work is scheduled against queries.
     pub online_train: OnlineTrainMode,
     /// Optional deterministic fault-injection plan (`[[fault]]` spec
@@ -374,6 +415,7 @@ pub struct ScenarioBuilder {
     arrival: Option<ArrivalSpec>,
     open_loop: Option<OpenLoopSpec>,
     mode: Option<ModePreference>,
+    clock: Option<ClockMode>,
     online_train: OnlineTrainMode,
     faults: Option<FaultPlan>,
 }
@@ -394,6 +436,7 @@ impl ScenarioBuilder {
             arrival: None,
             open_loop: None,
             mode: None,
+            clock: None,
             online_train: OnlineTrainMode::Foreground,
             faults: None,
         }
@@ -479,6 +522,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the scenario's preferred measurement clock (default: caller
+    /// decides, which means the deterministic virtual clock).
+    pub fn clock(mut self, clock: ClockMode) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Sets how online retraining work is scheduled (default: foreground).
     pub fn online_train(mut self, mode: OnlineTrainMode) -> Self {
         self.online_train = mode;
@@ -514,6 +564,7 @@ impl ScenarioBuilder {
             arrival: self.arrival,
             open_loop: self.open_loop,
             mode: self.mode,
+            clock: self.clock,
             online_train: self.online_train,
             faults: self.faults,
             raw: (),

@@ -22,7 +22,9 @@ use super::compose::{
 use super::SpecError;
 use crate::faults::{FaultPlan, FaultSpec, RetryPolicy};
 use crate::metrics::sla::SlaPolicy;
-use crate::scenario::{ArrivalSpec, DatasetSpec, ModePreference, OnlineTrainMode, Scenario};
+use crate::scenario::{
+    ArrivalSpec, ClockMode, DatasetSpec, ModePreference, OnlineTrainMode, Scenario,
+};
 use lsbench_workload::arrival::{ArrivalProcess, LoadModulation};
 use lsbench_workload::families::{LedgerGrowth, TemplatedRepetition};
 use lsbench_workload::keygen::{KeyDistribution, CANONICAL_DISTRIBUTIONS};
@@ -1093,6 +1095,7 @@ struct RunSettings {
     maintenance_every: Option<u64>,
     online_train: Option<OnlineTrainMode>,
     mode: Option<ModePreference>,
+    clock: Option<ClockMode>,
     holdout_seed: Option<u64>,
     fault_seed: Option<u64>,
     timeout: Option<f64>,
@@ -1205,6 +1208,19 @@ fn compile_run(mut f: Fields) -> SResult<RunSettings> {
             }
         },
     };
+    let clock = match f.opt_str("clock")? {
+        None => None,
+        Some((name, line)) => match ClockMode::parse(&name) {
+            Some(clock) => Some(clock),
+            None => {
+                return Err(SpecError::new(
+                    line,
+                    "clock",
+                    format!("unknown clock '{name}' (expected \"sim\" or \"wall\")"),
+                ))
+            }
+        },
+    };
     let (timeout, max_retries, backoff_base, backoff_multiplier) = take_fault_policy(&mut f)?;
     let settings = RunSettings {
         train_budget,
@@ -1212,6 +1228,7 @@ fn compile_run(mut f: Fields) -> SResult<RunSettings> {
         maintenance_every: f.opt_u64("maintenance_every")?,
         online_train,
         mode,
+        clock,
         holdout_seed: f.opt_u64("holdout_seed")?,
         fault_seed: f.opt_u64("fault_seed")?,
         timeout,
@@ -1361,6 +1378,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
         maintenance_every: None,
         online_train: None,
         mode: None,
+        clock: None,
         holdout_seed: None,
         fault_seed: None,
         timeout: None,
@@ -1428,6 +1446,9 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
     }
     if let Some(v) = run.mode {
         builder = builder.mode(v);
+    }
+    if let Some(v) = run.clock {
+        builder = builder.clock(v);
     }
     if let Some(v) = sla {
         builder = builder.sla(v);

@@ -175,6 +175,9 @@ pub fn render_scenario(s: &Scenario) -> String {
     if let Some(mode) = s.mode {
         let _ = writeln!(out, "mode = \"{}\"", mode.as_str());
     }
+    if let Some(clock) = s.clock {
+        let _ = writeln!(out, "clock = \"{}\"", clock.as_str());
+    }
     if let Some(holdout) = &s.holdout {
         let _ = writeln!(out, "holdout_seed = {}", holdout.seed());
     }

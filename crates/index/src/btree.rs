@@ -115,6 +115,12 @@ impl BPlusTree {
                 Node::Internal { keys, children } => {
                     let idx = keys.partition_point(|&k| k <= key);
                     cur = children[idx];
+                    // Start pulling the child node header while the loop
+                    // bookkeeping retires; the next iteration's match needs
+                    // it immediately.
+                    // SAFETY: `cur` is a live child index, so it is within
+                    // the arena (`cur < self.nodes.len()`).
+                    crate::prefetch_read(unsafe { self.nodes.as_ptr().add(cur) });
                 }
                 Node::Leaf { .. } => return cur,
                 Node::Free => unreachable!("descended into freed node"),
@@ -646,6 +652,60 @@ impl Index for BPlusTree {
     fn probe_cost(&self, _key: u64) -> u64 {
         // One node binary search per level.
         self.height() as u64 * crate::bsearch_cost(self.cap as u64)
+    }
+
+    /// Level-synchronous group descent: all probes in a group walk the
+    /// tree one level per round, prefetching each probe's next node before
+    /// any of them is searched. A lone [`Index::get`] must serialize its
+    /// cache misses (each node address depends on the previous search);
+    /// across a group the probes are independent, so the misses of a whole
+    /// round overlap (memory-level parallelism).
+    fn get_many(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        /// Probes descended per round. Big enough to cover the memory
+        /// parallelism a core can sustain, small enough to stay in
+        /// registers/L1.
+        const GROUP: usize = 16;
+        out.reserve(keys.len());
+        let mut cur = [0usize; GROUP];
+        for chunk in keys.chunks(GROUP) {
+            let g = chunk.len();
+            cur[..g].fill(self.root);
+            // Descend all probes in lockstep until every one is at a leaf.
+            // Heights are uniform in a B+-tree, so the group stays in step.
+            let mut done = false;
+            while !done {
+                // Pass 1: the separator arrays live in their own heap
+                // allocations — start their loads before any search needs
+                // them.
+                for &c in &cur[..g] {
+                    match &self.nodes[c] {
+                        Node::Internal { keys, .. } | Node::Leaf { keys, .. } => {
+                            crate::prefetch_read(keys.as_ptr());
+                        }
+                        Node::Free => unreachable!("descended into freed node"),
+                    }
+                }
+                // Pass 2: route each probe one level down.
+                done = true;
+                for (c, &key) in cur[..g].iter_mut().zip(chunk) {
+                    if let Node::Internal { keys, children } = &self.nodes[*c] {
+                        let idx = keys.partition_point(|&k| k <= key);
+                        *c = children[idx];
+                        // SAFETY: `*c` is a live child index within the arena.
+                        crate::prefetch_read(unsafe { self.nodes.as_ptr().add(*c) });
+                        done = false;
+                    }
+                }
+            }
+            for (&c, &key) in cur[..g].iter().zip(chunk) {
+                match &self.nodes[c] {
+                    Node::Leaf { keys, values, .. } => {
+                        out.push(keys.binary_search(&key).ok().map(|idx| values[idx]));
+                    }
+                    _ => unreachable!("group descent ended off-leaf"),
+                }
+            }
+        }
     }
 }
 

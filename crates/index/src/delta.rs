@@ -154,6 +154,24 @@ impl<I: Index + BulkLoad> Index for DeltaIndex<I> {
         self.delta.get(key).or_else(|| self.base.get(key))
     }
 
+    fn get_many(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        // Let the base overlap its probe misses across the batch, then
+        // patch the (usually empty) delta and tombstones over the results
+        // in the same precedence order as [`DeltaIndex::get`].
+        let start = out.len();
+        self.base.get_many(keys, out);
+        if self.tombstones.is_empty() && self.delta.is_empty() {
+            return;
+        }
+        for (slot, &key) in out[start..].iter_mut().zip(keys) {
+            if self.tombstones.contains(&key) {
+                *slot = None;
+            } else if let Some(v) = self.delta.get(key) {
+                *slot = Some(v);
+            }
+        }
+    }
+
     fn range(&self, start: u64, limit: usize) -> Result<Vec<(u64, u64)>> {
         // Merge base and delta streams, honouring tombstones.
         let base = self.base.range(start, limit + self.tombstones.len())?;

@@ -40,6 +40,7 @@ pub mod learned_sort;
 pub mod model;
 pub mod pgm;
 pub mod rmi;
+pub mod search;
 pub mod sorted_array;
 pub mod spline;
 
@@ -140,6 +141,38 @@ pub trait Index: Send {
     fn probe_cost(&self, _key: u64) -> u64 {
         (self.len() as u64 + 2).ilog2() as u64 + 1
     }
+
+    /// Batched point lookups: appends `self.get(k)` for every `k` in
+    /// `keys` to `out`, in order.
+    ///
+    /// The default is the plain loop, so every implementation gets the
+    /// exact per-key semantics of [`Index::get`]. Structures whose probe
+    /// chases pointers or lands in an unpredictable window override this
+    /// with a group-prefetch implementation: the probes in a batch are
+    /// independent, so issuing their cache misses together (memory-level
+    /// parallelism) hides latency a one-key-at-a-time loop must eat
+    /// serially.
+    fn get_many(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        out.reserve(keys.len());
+        out.extend(keys.iter().map(|&k| self.get(k)));
+    }
+}
+
+/// Hints the CPU to pull the cache line holding `*p` into L1.
+///
+/// No-op on non-x86_64 targets. Safe to call with any pointer value —
+/// prefetch never faults — but callers should pass pointers derived from
+/// live allocations so the hint is useful.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it cannot fault even on invalid
+    // addresses and has no architectural effect besides cache state.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(p as *const i8, std::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
 }
 
 /// Indexes that are bulk-loaded from sorted `(key, value)` pairs.

@@ -92,7 +92,10 @@ impl PgmIndex {
         let slack = self.epsilon as usize + 2;
         let lo = approx.saturating_sub(slack);
         let hi = (approx + slack + 1).min(level.len());
-        let idx = (lo + level[lo..hi].partition_point(|s| s.first_key <= key)).saturating_sub(1);
+        // The ±ε window is a few cache lines at most, so the branchless
+        // scan wins: no mispredicted comparisons on the way down.
+        let idx = (lo + crate::search::partition_point_by(&level[lo..hi], |s| s.first_key <= key))
+            .saturating_sub(1);
         let valid = (level[idx].first_key <= key || idx == 0)
             && (idx + 1 == level.len() || level[idx + 1].first_key > key);
         if valid {
@@ -130,7 +133,17 @@ impl PgmIndex {
                     hi = n;
                 }
                 lo = lo.min(hi);
-                return lo + self.keys[lo..hi].partition_point(|&k| k < key);
+                // Branchless last mile inside the ε window; if validation
+                // widened the bracket to the whole array (a key the
+                // segments never covered), the speculative stdlib search
+                // handles the memory-bound case better.
+                let w = &self.keys[lo..hi];
+                return lo
+                    + if w.len() <= 2 * slack + 1 {
+                        crate::search::lower_bound(w, key)
+                    } else {
+                        w.partition_point(|&k| k < key)
+                    };
             }
             // Predict the segment index in the level below.
             let below = &self.levels[depth - 1];

@@ -181,29 +181,53 @@ impl Rmi {
         &self.leaves[idx]
     }
 
-    /// Position of the first key `>= key` (lower bound), using the model
-    /// plus a bounded binary search.
-    pub fn lower_bound(&self, key: u64) -> usize {
+    /// The `[lo, hi)` slice of `keys` guaranteed to bracket `key`'s lower
+    /// bound: the leaf model's prediction widened by its error bounds.
+    ///
+    /// The window provably brackets the boundary for keys the leaf was
+    /// trained on; for other keys it may be off, so it is widened whenever
+    /// the bracket is not demonstrably valid: after the fixups,
+    /// `keys[lo-1] < key` (or `lo == 0`) and `keys[hi-1] >= key`
+    /// (or `hi == n`).
+    #[inline]
+    fn window(&self, key: u64) -> (usize, usize) {
+        let (lo, hi) = self.raw_window(key);
+        self.fixup_window(lo, hi, key)
+    }
+
+    /// The model's predicted `[lo, hi)` bracket, before validation. Only
+    /// evaluates models — never touches the key array.
+    #[inline]
+    fn raw_window(&self, key: u64) -> (usize, usize) {
         let n = self.keys.len();
-        if n == 0 {
-            return 0;
-        }
         let leaf = self.leaf_of(key);
         let pred = leaf.model.predict(key);
-        let mut lo = (pred + leaf.err_lo as f64).floor().max(0.0) as usize;
-        let mut hi = ((pred + leaf.err_hi as f64).ceil().max(0.0) as usize + 1).min(n);
-        lo = lo.min(hi);
-        // The window provably brackets the boundary for keys the leaf was
-        // trained on; for other keys it may be off, so widen whenever the
-        // bracket is not demonstrably valid: after these fixups,
-        // keys[lo-1] < key (or lo == 0) and keys[hi-1] >= key (or hi == n).
+        let lo = (pred + leaf.err_lo as f64).floor().max(0.0) as usize;
+        let hi = ((pred + leaf.err_hi as f64).ceil().max(0.0) as usize + 1).min(n);
+        (lo.min(hi), hi)
+    }
+
+    /// Validates a raw bracket against the key array (two boundary
+    /// reads), widening when the model's bracket does not provably hold.
+    #[inline]
+    fn fixup_window(&self, mut lo: usize, mut hi: usize, key: u64) -> (usize, usize) {
+        let n = self.keys.len();
         if lo > 0 && self.keys[lo - 1] >= key {
             lo = 0;
         }
         if hi < n && self.keys[hi - 1] < key {
             hi = n;
         }
-        lo = lo.min(hi);
+        (lo.min(hi), hi)
+    }
+
+    /// Position of the first key `>= key` (lower bound), using the model
+    /// plus a bounded binary search.
+    pub fn lower_bound(&self, key: u64) -> usize {
+        if self.keys.is_empty() {
+            return 0;
+        }
+        let (lo, hi) = self.window(key);
         lo + self.keys[lo..hi].partition_point(|&k| k < key)
     }
 }
@@ -272,6 +296,60 @@ impl Index for Rmi {
         let window = (leaf.err_hi - leaf.err_lo).max(0) as u64;
         // Root model + leaf model + last-mile search of this leaf's window.
         2 + crate::bsearch_cost(window)
+    }
+
+    /// Batched probes in two passes: evaluate every model in the group
+    /// first (the models are hot — only the key-array windows miss
+    /// cache), then resolve all the last-mile searches in lockstep with
+    /// [`crate::search::lower_bound_group`], which advances each search
+    /// one halving step per round and prefetches its next probe. A lone
+    /// [`Index::get`] must eat its window misses serially; the group's
+    /// are independent and overlap.
+    fn get_many(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        use crate::search::{lower_bound_group, GROUP};
+        out.reserve(keys.len());
+        if self.keys.is_empty() {
+            out.extend(keys.iter().map(|_| None));
+            return;
+        }
+        let n = self.keys.len();
+        let mut windows = [(0usize, 0usize); GROUP];
+        let mut pos = [0usize; GROUP];
+        for chunk in keys.chunks(GROUP) {
+            let g = chunk.len();
+            // Model pass: predict every bracket and start the loads of
+            // the boundary lines the validation pass is about to read.
+            for (w, &key) in windows[..g].iter_mut().zip(chunk) {
+                let (lo, hi) = self.raw_window(key);
+                *w = (lo, hi);
+                if lo > 0 {
+                    crate::prefetch_read(&self.keys[lo - 1]);
+                }
+                if hi < n && hi > 0 {
+                    crate::prefetch_read(&self.keys[hi - 1]);
+                }
+            }
+            // Validation pass: the boundary reads land on lines already
+            // in flight.
+            for (w, &key) in windows[..g].iter_mut().zip(chunk) {
+                *w = self.fixup_window(w.0, w.1, key);
+            }
+            lower_bound_group(&self.keys, chunk, &windows[..g], &mut pos[..g]);
+            // The values array is a separate allocation — overlap the
+            // hits' value misses before reading any of them.
+            for &p in &pos[..g] {
+                if p < n {
+                    crate::prefetch_read(&self.values[p]);
+                }
+            }
+            for (&p, &key) in pos[..g].iter().zip(chunk) {
+                out.push(if p < n && self.keys[p] == key {
+                    Some(self.values[p])
+                } else {
+                    None
+                });
+            }
+        }
     }
 }
 

@@ -170,15 +170,35 @@ impl RadixSpline {
         if key > self.keys[n - 1] {
             return n;
         }
-        // Radix hop: candidate spline points for this prefix.
+        let (lo, hi) = {
+            let span = self.knot_span(key);
+            let (lo, hi) = self.raw_window(span, key);
+            self.fixup_window(lo, hi, key)
+        };
+        lo + self.keys[lo..hi].partition_point(|&k| k < key)
+    }
+
+    /// Radix hop: the `[lo, hi)` span of spline points whose segment
+    /// brackets `key`. `begin` points at the first spline point with
+    /// `key`'s prefix, whose key may exceed `key`, so the span starts one
+    /// left of it.
+    ///
+    /// Requires `keys[0] < key <= keys[n-1]`.
+    #[inline]
+    fn knot_span(&self, key: u64) -> (usize, usize) {
         let prefix = (key >> self.shift) as usize;
         let begin = self.radix[prefix] as usize;
         let end = (self.radix[prefix + 1] as usize).min(self.spline.len());
+        (begin.saturating_sub(1), (end + 1).min(self.spline.len()))
+    }
+
+    /// Finds the bracketing segment within a knot span, interpolates, and
+    /// returns the `[lo, hi)` data window the prediction plus error slack
+    /// allows — before validation against the key array.
+    #[inline]
+    fn raw_window(&self, span: (usize, usize), key: u64) -> (usize, usize) {
+        let (lo, hi) = span;
         // We need the segment [p_i, p_{i+1}] with p_i.key <= key <= p_{i+1}.key.
-        // `begin` points at the first spline point with this prefix, whose key
-        // may exceed `key`, so step one left for the segment start.
-        let lo = begin.saturating_sub(1);
-        let hi = (end + 1).min(self.spline.len());
         let seg = lo
             + self.spline[lo..hi]
                 .partition_point(|sp| sp.key <= key)
@@ -192,16 +212,23 @@ impl RadixSpline {
             a.pos as f64
         };
         let slack = self.max_error + 2;
-        let mut lo = (pred as usize).saturating_sub(slack);
-        let mut hi = (pred as usize + slack + 1).min(n);
+        let lo = (pred as usize).saturating_sub(slack);
+        let hi = (pred as usize + slack + 1).min(self.keys.len());
+        (lo, hi)
+    }
+
+    /// Validates a raw window against the key array (two boundary reads),
+    /// widening when the spline's bracket does not provably hold.
+    #[inline]
+    fn fixup_window(&self, mut lo: usize, mut hi: usize, key: u64) -> (usize, usize) {
+        let n = self.keys.len();
         if lo > 0 && self.keys[lo - 1] >= key {
             lo = 0;
         }
         if hi < n && self.keys[hi - 1] < key {
             hi = n;
         }
-        lo = lo.min(hi);
-        lo + self.keys[lo..hi].partition_point(|&k| k < key)
+        (lo.min(hi), hi)
     }
 }
 
@@ -268,6 +295,88 @@ impl Index for RadixSpline {
         let prefix = ((key >> self.shift) as usize).min(self.radix.len() - 2);
         let candidates = (self.radix[prefix + 1].saturating_sub(self.radix[prefix])) as u64;
         1 + crate::bsearch_cost(candidates) + crate::bsearch_cost(self.max_error as u64)
+    }
+
+    /// Pipelined batch probe. A single spline lookup chains four
+    /// dependent memory regions — radix table, knot span, data window,
+    /// value — and each one's address depends on the previous read, so a
+    /// lone [`Index::get`] serializes its misses. Across a batch the
+    /// probes are independent: each pass issues the whole group's loads
+    /// for one stage (prefetch), then the next pass consumes them while
+    /// the following stage's lines are in flight, finishing with the
+    /// lockstep branchless last mile of
+    /// [`crate::search::lower_bound_group`].
+    fn get_many(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        use crate::search::{lower_bound_group, GROUP};
+        out.reserve(keys.len());
+        let n = self.keys.len();
+        if n == 0 {
+            out.extend(keys.iter().map(|_| None));
+            return;
+        }
+        let mut spans = [(0usize, 0usize); GROUP];
+        let mut windows = [(0usize, 0usize); GROUP];
+        let mut pos = [0usize; GROUP];
+        for chunk in keys.chunks(GROUP) {
+            let g = chunk.len();
+            // Pass 1: the radix entries scatter over a megabyte-scale
+            // table — issue every lane's load before any is consumed.
+            for &key in chunk {
+                crate::prefetch_read(&self.radix[(key >> self.shift) as usize]);
+            }
+            // Pass 2: radix hop; start each knot span's load. Keys
+            // outside the indexed range resolve immediately to an empty
+            // window at their final position (matching `lower_bound`'s
+            // early outs).
+            for (s, &key) in spans[..g].iter_mut().zip(chunk) {
+                *s = if key <= self.keys[0] || key > self.keys[n - 1] {
+                    (usize::MAX, usize::MAX)
+                } else {
+                    let span = self.knot_span(key);
+                    crate::prefetch_read(&self.spline[span.0]);
+                    span
+                };
+            }
+            // Pass 3: segment search + interpolation → raw data window;
+            // start the boundary loads the validation pass reads.
+            for i in 0..g {
+                windows[i] = if spans[i].0 == usize::MAX {
+                    let p = if chunk[i] <= self.keys[0] { 0 } else { n };
+                    (p, p)
+                } else {
+                    let (lo, hi) = self.raw_window(spans[i], chunk[i]);
+                    if lo > 0 {
+                        crate::prefetch_read(&self.keys[lo - 1]);
+                    }
+                    if hi > 0 && hi < n {
+                        crate::prefetch_read(&self.keys[hi - 1]);
+                    }
+                    (lo, hi)
+                };
+            }
+            // Pass 4: validate on in-flight lines. Raw windows are never
+            // empty, so an empty window is exactly a resolved early-out.
+            for (w, &key) in windows[..g].iter_mut().zip(chunk) {
+                if w.0 != w.1 {
+                    *w = self.fixup_window(w.0, w.1, key);
+                }
+            }
+            lower_bound_group(&self.keys, chunk, &windows[..g], &mut pos[..g]);
+            // The values array is its own allocation — overlap the hits'
+            // value misses before reading any of them.
+            for &p in &pos[..g] {
+                if p < n {
+                    crate::prefetch_read(&self.values[p]);
+                }
+            }
+            for (&p, &key) in pos[..g].iter().zip(chunk) {
+                out.push(if p < n && self.keys[p] == key {
+                    Some(self.values[p])
+                } else {
+                    None
+                });
+            }
+        }
     }
 }
 

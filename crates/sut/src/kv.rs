@@ -145,6 +145,42 @@ impl<I: Index + BulkLoad> SystemUnderTest<Operation> for LearnedKvSut<I> {
         }
     }
 
+    fn execute_many(&mut self, ops: &[Operation]) -> Vec<Result<ExecOutcome>> {
+        // Batched dispatch: reads never fail and never mutate, so the
+        // fast path skips the per-op cost-model match and the delta-size
+        // probe the general path recomputes every call, and routes each
+        // run of consecutive reads through `Index::get_many` so the base
+        // index can overlap their cache misses. The work charged per read
+        // is `probe_cost(key)` either way — batching never changes the
+        // record.
+        let mut out = Vec::with_capacity(ops.len());
+        let mut keys: Vec<u64> = Vec::new();
+        let mut hits: Vec<Option<u64>> = Vec::new();
+        let mut i = 0;
+        while i < ops.len() {
+            let Operation::Read { key } = ops[i] else {
+                out.push(self.execute(&ops[i]));
+                i += 1;
+                continue;
+            };
+            keys.clear();
+            keys.push(key);
+            while let Some(&Operation::Read { key }) = ops.get(i + keys.len()) {
+                keys.push(key);
+            }
+            hits.clear();
+            self.index.get_many(&keys, &mut hits);
+            debug_assert_eq!(hits.len(), keys.len());
+            for &key in &keys {
+                let work = self.index.probe_cost(key);
+                self.execution_work += work;
+                out.push(Ok(ExecOutcome::ok(work)));
+            }
+            i += keys.len();
+        }
+        out
+    }
+
     fn on_phase_change(&mut self, _new_phase: usize) -> u64 {
         if self.policy == RetrainPolicy::OnPhaseChange && self.index.pending() > 0 {
             self.retrain_now()
@@ -259,6 +295,42 @@ macro_rules! traditional_sut {
                 }
             }
 
+            fn execute_many(&mut self, ops: &[Operation]) -> Vec<Result<ExecOutcome>> {
+                // Batched dispatch: `Index::get` takes `&self`, so a read's
+                // structural work is provably zero and the two full-arena
+                // `stats()` scans the general path pays per op can be
+                // skipped entirely. Runs of consecutive reads go through
+                // `Index::get_many` (the B+-tree's group descent overlaps
+                // the probes' node misses); the work units charged are
+                // `probe_cost(key)` per read either way.
+                let mut out = Vec::with_capacity(ops.len());
+                let mut keys: Vec<u64> = Vec::new();
+                let mut hits: Vec<Option<u64>> = Vec::new();
+                let mut i = 0;
+                while i < ops.len() {
+                    let Operation::Read { key } = ops[i] else {
+                        out.push(self.execute(&ops[i]));
+                        i += 1;
+                        continue;
+                    };
+                    keys.clear();
+                    keys.push(key);
+                    while let Some(&Operation::Read { key }) = ops.get(i + keys.len()) {
+                        keys.push(key);
+                    }
+                    hits.clear();
+                    self.index.get_many(&keys, &mut hits);
+                    debug_assert_eq!(hits.len(), keys.len());
+                    for &key in &keys {
+                        let work = self.index.probe_cost(key);
+                        self.execution_work += work;
+                        out.push(Ok(ExecOutcome::ok(work)));
+                    }
+                    i += keys.len();
+                }
+                out
+            }
+
             fn metrics(&self) -> SutMetrics {
                 let stats = self.index.stats();
                 SutMetrics {
@@ -332,6 +404,39 @@ impl SystemUnderTest<Operation> for AlexSut {
             Err(IndexError::Unsupported(_)) => Ok(ExecOutcome::failed(work)),
             Err(e) => Err(SutError::Internal(e.to_string())),
         }
+    }
+
+    fn execute_many(&mut self, ops: &[Operation]) -> Vec<Result<ExecOutcome>> {
+        // Batched dispatch: reads can't adapt the structure (`get` takes
+        // `&self`), so skip the per-op `stats()` scans over every leaf.
+        // Consecutive reads are handed to `Index::get_many` in one run;
+        // the charged work stays `probe_cost(key)` per read.
+        let mut out = Vec::with_capacity(ops.len());
+        let mut keys: Vec<u64> = Vec::new();
+        let mut hits: Vec<Option<u64>> = Vec::new();
+        let mut i = 0;
+        while i < ops.len() {
+            let Operation::Read { key } = ops[i] else {
+                out.push(self.execute(&ops[i]));
+                i += 1;
+                continue;
+            };
+            keys.clear();
+            keys.push(key);
+            while let Some(&Operation::Read { key }) = ops.get(i + keys.len()) {
+                keys.push(key);
+            }
+            hits.clear();
+            self.index.get_many(&keys, &mut hits);
+            debug_assert_eq!(hits.len(), keys.len());
+            for &key in &keys {
+                let work = self.index.probe_cost(key);
+                self.execution_work += work;
+                out.push(Ok(ExecOutcome::ok(work)));
+            }
+            i += keys.len();
+        }
+        out
     }
 
     fn metrics(&self) -> SutMetrics {
@@ -695,6 +800,52 @@ mod tests {
         assert_send_sync::<RmiSut>();
         assert_send_sync::<PgmSut>();
         assert_send_sync::<SplineSut>();
+    }
+
+    #[test]
+    fn execute_many_fast_path_matches_execute() {
+        // The batched read fast path must be outcome- and metric-identical
+        // to op-at-a-time dispatch on every overriding SUT.
+        fn check<S: SystemUnderTest<Operation>>(mut a: S, mut b: S, data: &Dataset) {
+            let ops: Vec<Operation> = data
+                .keys()
+                .iter()
+                .take(300)
+                .enumerate()
+                .map(|(i, &k)| match i % 4 {
+                    0..=1 => Operation::Read { key: k },
+                    2 => Operation::Insert {
+                        key: k + 1,
+                        value: i as u64,
+                    },
+                    _ => Operation::Scan { start: k, len: 3 },
+                })
+                .collect();
+            let one: Vec<ExecOutcome> = ops.iter().map(|op| a.execute(op).unwrap()).collect();
+            let many: Vec<ExecOutcome> = b
+                .execute_many(&ops)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect();
+            assert_eq!(one, many, "{}", a.name());
+            assert_eq!(a.metrics(), b.metrics(), "{}", a.name());
+        }
+        let data = dataset(3000);
+        check(
+            BTreeSut::build(&data).unwrap(),
+            BTreeSut::build(&data).unwrap(),
+            &data,
+        );
+        check(
+            AlexSut::build(&data).unwrap(),
+            AlexSut::build(&data).unwrap(),
+            &data,
+        );
+        check(
+            RmiSut::build("rmi", &data, RetrainPolicy::Never).unwrap(),
+            RmiSut::build("rmi", &data, RetrainPolicy::Never).unwrap(),
+            &data,
+        );
     }
 
     #[test]

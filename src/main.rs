@@ -54,7 +54,7 @@ use lsbench::core::results::{
     CapacityManifest, ResultStore, RunArtifact, RunManifest, SuiteArtifact, Transport,
 };
 use lsbench::core::runner::{ExecutionMode, RunOptions, RunOutcome, Runner};
-use lsbench::core::scenario::{ModePreference, Scenario};
+use lsbench::core::scenario::{ClockMode, ModePreference, Scenario};
 use lsbench::core::spec::{render_scenario, ScenarioRegistry};
 use lsbench::core::suite::{
     render_comparison, run_scenarios_observed, standard_scenarios, SuiteConfig, SuiteResult,
@@ -88,21 +88,25 @@ USAGE:
       archives every run record into the results store for later
       `lsbench compare` / `lsbench regress`.
 
-  lsbench run --scenario NAME|FILE --sut NAME [--mode M] [--threads N]
-              [--clients N] [--trace] [--size N] [--ops N] [--seed N]
-              [--faults NAME|FILE] [--remote HOST:PORT]
+  lsbench run --scenario NAME|FILE --sut NAME [--mode M] [--clock C]
+              [--threads N] [--clients N] [--trace] [--size N] [--ops N]
+              [--seed N] [--faults NAME|FILE] [--remote HOST:PORT]
       Run one scenario — a built-in name (see `lsbench scenarios`) or a
       .spec file — for one SUT. --size/--ops/--seed rescale built-in
       scenarios; spec files always run exactly as written. --mode picks
       the execution mode (serial, shared, sharded, open-loop); without it
       the scenario's `[run] mode` / `[open_loop]` section decides, then
-      --threads N > 1 implies sharded, else serial. --clients N sets (and
-      implies) the open-loop client population multiplexed onto the
-      worker pool. --faults attaches a deterministic fault plan on top of
-      whatever [[fault]] blocks the spec itself carries (the flag wins).
-      --remote drives a `lsbench serve` server over the wire protocol
-      instead of an in-process SUT (the server chooses the SUT; --sut is
-      ignored).
+      --threads N > 1 implies sharded, else serial. --clock picks the
+      reporting clock (sim, wall); without it the scenario's `[run]
+      clock` decides, defaulting to sim. Wall mode additionally measures
+      host time coordinated-omission-safely beside the virtual record —
+      the work-unit record itself is bit-identical across clocks.
+      --clients N sets (and implies) the open-loop client population
+      multiplexed onto the worker pool. --faults attaches a deterministic
+      fault plan on top of whatever [[fault]] blocks the spec itself
+      carries (the flag wins). --remote drives a `lsbench serve` server
+      over the wire protocol instead of an in-process SUT (the server
+      chooses the SUT; --sut is ignored).
 
   lsbench capacity --scenario NAME|FILE --sut NAME --sla pNN:MS
                    [--clients N] [--threads N] [--rate R] [--probes N]
@@ -280,6 +284,7 @@ struct CommonRunArgs {
     suts: Vec<String>,
     remote: Option<String>,
     mode: Option<ModePreference>,
+    clock: Option<ClockMode>,
     threads: usize,
     clients: Option<usize>,
     faults: Option<FaultPlan>,
@@ -303,6 +308,16 @@ impl CommonRunArgs {
                 }
             },
         };
+        let clock = match parse_flag(args, "--clock") {
+            None => None,
+            Some(name) => match ClockMode::parse(&name) {
+                Some(c) => Some(c),
+                None => {
+                    eprintln!("unknown clock '{name}' (expected \"sim\" or \"wall\")");
+                    return Err(ExitCode::from(2));
+                }
+            },
+        };
         let clients = match parse_flag(args, "--clients") {
             None => None,
             Some(v) => match v.parse::<usize>() {
@@ -322,6 +337,7 @@ impl CommonRunArgs {
                 .collect(),
             remote: parse_flag(args, "--remote"),
             mode,
+            clock,
             threads: parse_num(args, "--threads", 1),
             clients,
             faults: fault_plan_arg(args)?,
@@ -384,11 +400,18 @@ impl CommonRunArgs {
         }
     }
 
+    /// Resolves the clock mode for `scenario`. Precedence: the `--clock`
+    /// flag, then the scenario's `[run] clock` preference, then sim.
+    fn clock_mode(&self, scenario: &Scenario) -> ClockMode {
+        self.clock.or(scenario.clock).unwrap_or_default()
+    }
+
     /// [`RunOptions`] for `scenario`: the resolved execution mode plus
-    /// the shared observability config.
+    /// the resolved clock and the shared observability config.
     fn run_options(&self, scenario: &Scenario) -> RunOptions {
         RunOptions {
             obs: self.obs,
+            clock: self.clock_mode(scenario),
             ..RunOptions::with_mode(self.execution_mode(scenario))
         }
     }
@@ -589,6 +612,28 @@ fn report_outcome(
             q(0.50),
             q(0.99)
         );
+    }
+    if let Some(wall) = &outcome.wall {
+        if wall.latency.total() > 0 {
+            let q = |p: f64| {
+                wall.latency
+                    .quantile(p)
+                    .map(|ns| ns as f64 / 1e6)
+                    .unwrap_or(f64::NAN)
+            };
+            println!(
+                "[wall] {:.3}s elapsed, {:.0} ops/s, p50 {:.4}ms p99 {:.4}ms (host clock)",
+                wall.elapsed_seconds,
+                wall.throughput,
+                q(0.50),
+                q(0.99)
+            );
+        } else {
+            println!(
+                "[wall] {:.3}s elapsed, {:.0} ops/s (host clock, coarse)",
+                wall.elapsed_seconds, wall.throughput
+            );
+        }
     }
     let record = &outcome.record;
     println!(
@@ -811,6 +856,7 @@ fn positional_args(args: &[String]) -> Vec<String> {
         "--port",
         "--host",
         "--mode",
+        "--clock",
         "--clients",
         "--sla",
         "--rate",
@@ -875,8 +921,11 @@ fn cmd_archive_run(args: &[String]) -> ExitCode {
     };
     report_outcome(&outcome, &sut_name, &scenario, "run_trace.jsonl");
     let manifest = RunManifest::for_run(&scenario, &sut_name, mode_workers(opts.mode))
-        .with_transport(transport);
-    let artifact = RunArtifact::new(manifest, outcome.record).with_engine(outcome.engine);
+        .with_transport(transport)
+        .with_clock(opts.clock);
+    let artifact = RunArtifact::new(manifest, outcome.record)
+        .with_engine(outcome.engine)
+        .with_wall(outcome.wall);
     match store.save(&artifact) {
         Ok(path) => {
             println!("archived {} (digest {})", path.display(), artifact.digest);
@@ -1487,6 +1536,7 @@ fn cmd_trace_replay(args: &[String]) -> ExitCode {
             concurrency: common.threads.max(1),
             crate_version: env!("CARGO_PKG_VERSION").to_string(),
             transport: Transport::Local,
+            clock: ClockMode::Sim,
         };
         let artifact = RunArtifact::new(manifest, record);
         match store.save(&artifact) {

@@ -120,6 +120,52 @@ fn concurrent_engine_is_worker_count_invariant() {
 }
 
 #[test]
+fn wall_clock_mode_never_perturbs_the_work_unit_record() {
+    // The guard behind `--clock wall`: host timings are observed *beside*
+    // the virtual record, never fed into it. Repeating a wall run, or
+    // moving it from one worker to four, must leave the work-unit record
+    // bit-identical — only the wall stats block is allowed to vary.
+    use lsbench::core::runner::{ExecutionMode, RunOptions, Runner};
+    use lsbench::core::scenario::ClockMode;
+    use lsbench::core::sut_registry::SutRegistry;
+    let s = scenario(17);
+    let registry = SutRegistry::default();
+    let run = |mode: ExecutionMode, threads: Option<usize>| {
+        let factory = registry.factory("rmi").expect("known SUT");
+        let opts = RunOptions {
+            clock: ClockMode::Wall,
+            threads,
+            ..RunOptions::with_mode(mode)
+        };
+        Runner::from_factory(factory)
+            .config(opts)
+            .run(&s)
+            .expect("wall run succeeds")
+    };
+    let first = run(ExecutionMode::Serial, None);
+    let second = run(ExecutionMode::Serial, None);
+    assert_eq!(
+        first.record, second.record,
+        "repeated wall runs must agree bit-for-bit on the work-unit record"
+    );
+    for outcome in [&first, &second] {
+        let wall = outcome.wall.as_ref().expect("wall stats captured");
+        assert_eq!(wall.ops, outcome.record.ops.len() as u64);
+        assert!(wall.elapsed_seconds > 0.0);
+    }
+
+    // Lanes determine results; threads never do. Pin four shards and vary
+    // only the executing thread count underneath the wall clock.
+    let one = run(ExecutionMode::Sharded { workers: 4 }, Some(1));
+    let four = run(ExecutionMode::Sharded { workers: 4 }, Some(4));
+    assert_eq!(
+        one.record, four.record,
+        "thread count must not leak into the record even under clock=wall"
+    );
+    assert!(one.wall.is_some() && four.wall.is_some());
+}
+
+#[test]
 fn json_round_trip_preserves_determinism() {
     let a = run_rmi(11);
     let json = serde_json::to_string(&a).unwrap();

@@ -243,6 +243,73 @@ proptest! {
         prop_assert_eq!(ab.faults.failed_ops, -ba.faults.failed_ops);
     }
 
+    /// The branchless last-mile search behind every learned index's probe
+    /// is pinned to the standard library, element by element: on arbitrary
+    /// sorted slices (duplicates included) `lower_bound`/`upper_bound`
+    /// equal `slice::partition_point`, and `binary_search` matches
+    /// `slice::binary_search` on `Err` exactly and on `Ok` up to which
+    /// duplicate is reported (ours is always the *first* match).
+    #[test]
+    fn branchless_search_matches_std_on_arbitrary_slices(
+        mut keys in proptest::collection::vec(0u64..2_000, 0..400),
+        probes in proptest::collection::vec(0u64..2_100, 1..60),
+    ) {
+        use lsbench::index::search::{binary_search, lower_bound, partition_point_by, upper_bound};
+        keys.sort_unstable();
+        for &key in &probes {
+            let lo = lower_bound(&keys, key);
+            let hi = upper_bound(&keys, key);
+            prop_assert_eq!(lo, keys.partition_point(|&k| k < key), "lower_bound({})", key);
+            prop_assert_eq!(hi, keys.partition_point(|&k| k <= key), "upper_bound({})", key);
+            prop_assert_eq!(
+                partition_point_by(&keys, |&k| k < key),
+                lo,
+                "partition_point_by must agree with lower_bound at {}",
+                key
+            );
+            match (binary_search(&keys, key), keys.binary_search(&key)) {
+                (Ok(a), Ok(_)) => {
+                    // First-match contract: keys[a] == key and nothing
+                    // equal precedes it. (std may return any duplicate.)
+                    prop_assert_eq!(keys[a], key);
+                    prop_assert_eq!(a, lo, "Ok index must be the first match");
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "Err insertion point for {}", key),
+                (a, b) => return Err(TestCaseError::fail(
+                    format!("Ok/Err disagreement for {key}: {a:?} vs {b:?}"),
+                )),
+            }
+        }
+        // The lockstep batch resolves every lane exactly like the scalar
+        // search over the same window — including empty, full, and
+        // partial windows.
+        use lsbench::index::search::{lower_bound_group, GROUP};
+        for chunk in probes.chunks(GROUP) {
+            let windows: Vec<(usize, usize)> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, _)| match i % 3 {
+                    0 => (0, keys.len()),
+                    1 => {
+                        let mid = keys.len() / 2;
+                        (mid.min(keys.len()), keys.len())
+                    }
+                    _ => (0, 0),
+                })
+                .collect();
+            let mut got = vec![0usize; chunk.len()];
+            lower_bound_group(&keys, chunk, &windows, &mut got);
+            for (i, (&key, &(lo, hi))) in chunk.iter().zip(&windows).enumerate() {
+                let want = lo + keys[lo..hi].partition_point(|&k| k < key);
+                prop_assert_eq!(
+                    got[i], want,
+                    "lower_bound_group lane {} for key {} over [{}, {})",
+                    i, key, lo, hi
+                );
+            }
+        }
+    }
+
     /// Φ stays a distance: in [0, 1] for arbitrary same-range samples,
     /// whatever the method.
     #[test]

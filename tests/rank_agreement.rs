@@ -1,0 +1,118 @@
+//! Rank-agreement acceptance layer for `--clock wall` (ISSUE 9).
+//!
+//! The work-unit cost model is only trustworthy if it *orders* systems the
+//! way the host clock does. This test runs the same read-only scenario
+//! across SUTs with very different point-lookup costs in both clock modes
+//! and checks two things:
+//!
+//!   1. the work-unit record is bit-identical between `clock = sim` and
+//!      `clock = wall` (the wall recorder observes, never perturbs), and
+//!   2. the wall-clock throughput ranking agrees with the work-unit
+//!      ranking at Kendall's tau >= 1/3 (at most one discordant pair of
+//!      three), using best-of-N wall repeats to shrug off scheduler noise.
+
+use lsbench::core::record::RunRecord;
+use lsbench::core::runner::{RunOptions, Runner};
+use lsbench::core::scenario::{ClockMode, Scenario};
+use lsbench::core::sut_registry::SutRegistry;
+use lsbench::workload::keygen::KeyDistribution;
+use lsbench::workload::ops::OperationMix;
+
+/// Read-only uniform point lookups: the workload where the gap between a
+/// hash table, a learned index, and a B-tree is widest and most stable.
+fn scenario() -> Scenario {
+    Scenario::specialization_sweep(
+        "rank-agreement",
+        vec![KeyDistribution::Uniform],
+        100_000,
+        20_000,
+        OperationMix::ycsb_c(),
+        0xA5EE,
+    )
+    .expect("valid scenario")
+}
+
+fn run(sut: &str, scenario: &Scenario, clock: ClockMode) -> (RunRecord, Option<f64>) {
+    let registry = SutRegistry::default();
+    let factory = registry.factory(sut).expect("known SUT");
+    let outcome = Runner::from_factory(factory)
+        .config(RunOptions {
+            clock,
+            ..RunOptions::default()
+        })
+        .run(scenario)
+        .expect("run succeeds");
+    let wall = outcome.wall.map(|w| w.throughput);
+    (outcome.record, wall)
+}
+
+/// Kendall's tau over two parallel score slices: concordant minus
+/// discordant pairs, normalized by the pair count. No ties expected.
+fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let sa = (a[i] - a[j]).signum();
+            let sb = (b[i] - b[j]).signum();
+            if sa * sb > 0.0 {
+                concordant += 1;
+            } else if sa * sb < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+#[test]
+fn wall_clock_ranking_agrees_with_work_unit_ranking() {
+    const SUTS: &[&str] = &["hash", "rmi", "btree"];
+    const WALL_REPEATS: usize = 3;
+    let s = scenario();
+
+    let mut work_tput = Vec::new();
+    let mut wall_tput = Vec::new();
+    for sut in SUTS {
+        let (sim_record, sim_wall) = run(sut, &s, ClockMode::Sim);
+        assert!(sim_wall.is_none(), "{sut}: sim mode must not capture wall");
+
+        // Best-of-N wall repeats; every repeat must reproduce the sim
+        // record bit-for-bit — the tentpole's core invariant.
+        let mut best = 0.0f64;
+        for _ in 0..WALL_REPEATS {
+            let (wall_record, wall) = run(sut, &s, ClockMode::Wall);
+            assert_eq!(
+                wall_record, sim_record,
+                "{sut}: clock=wall perturbed the work-unit record"
+            );
+            best = best.max(wall.expect("wall mode captures wall stats"));
+        }
+        assert!(best > 0.0, "{sut}: wall throughput must be positive");
+
+        let virtual_secs = sim_record.exec_end - sim_record.exec_start;
+        assert!(virtual_secs > 0.0);
+        work_tput.push(sim_record.ops.len() as f64 / virtual_secs);
+        wall_tput.push(best);
+    }
+
+    let tau = kendall_tau(&work_tput, &wall_tput);
+    assert!(
+        tau >= 1.0 / 3.0,
+        "work-unit and wall-clock rankings disagree: tau = {tau} \
+         (work-unit ops/s: {work_tput:?}, wall ops/s: {wall_tput:?})"
+    );
+}
+
+/// The tau helper itself behaves: identical orderings score 1, reversed
+/// orderings score -1, one swapped neighbor pair of three scores 1/3.
+#[test]
+fn kendall_tau_helper_is_sane() {
+    assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]), 1.0);
+    assert_eq!(kendall_tau(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]), -1.0);
+    let third = kendall_tau(&[1.0, 2.0, 3.0], &[2.0, 1.0, 3.0]);
+    assert!((third - 1.0 / 3.0).abs() < 1e-12);
+}

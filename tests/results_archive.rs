@@ -9,8 +9,8 @@ use lsbench::core::results::{
     compare, ComparisonReport, ResultStore, RunArtifact, RunManifest, StoreError, SuiteArtifact,
     Transport, SCHEMA_VERSION,
 };
-use lsbench::core::runner::{ExecutionMode, RunOptions, Runner};
-use lsbench::core::scenario::Scenario;
+use lsbench::core::runner::{ExecutionMode, RunOptions, Runner, WallStats};
+use lsbench::core::scenario::{ClockMode, Scenario};
 use lsbench::core::suite::{s2_abrupt_shift, SuiteConfig, SuiteResult};
 use lsbench::core::sut_registry::SutRegistry;
 use lsbench::sut::sut::SutMetrics;
@@ -105,6 +105,7 @@ fn golden_artifact() -> RunArtifact {
         transport: Transport::Remote {
             endpoint: "127.0.0.1:7070".to_string(),
         },
+        clock: ClockMode::Wall,
     };
     let record = RunRecord {
         sut_name: "btree".to_string(),
@@ -149,17 +150,22 @@ fn golden_artifact() -> RunArtifact {
             crashes: 1,
         },
     };
-    RunArtifact::new(manifest, record)
+    // A wall run carries its host-clock stats beside (never inside) the
+    // record, so the fixture pins the wall block's serialized shape too.
+    let mut latency = lsbench::stats::LatencyHistogram::new();
+    latency.record(250_000);
+    latency.record(500_000);
+    RunArtifact::new(manifest, record).with_wall(Some(WallStats::new(0.75, 2, latency)))
 }
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("fixtures")
-        .join("run_artifact_v3.json")
+        .join("run_artifact_v4.json")
 }
 
-/// Byte-exact golden pin of the `RunArtifact` v3 JSON schema. If this
+/// Byte-exact golden pin of the `RunArtifact` v4 JSON schema. If this
 /// fails, the serialized shape changed: bump
 /// [`lsbench::core::results::SCHEMA_VERSION`], regenerate the fixture with
 /// `cargo test regenerate_golden_artifact_fixture -- --ignored`, and
@@ -169,7 +175,7 @@ fn fixture_path() -> PathBuf {
 fn run_artifact_json_schema_is_pinned_byte_exact() {
     let artifact = golden_artifact();
     let expected = std::fs::read_to_string(fixture_path())
-        .expect("tests/fixtures/run_artifact_v3.json exists (see regenerate test)");
+        .expect("tests/fixtures/run_artifact_v4.json exists (see regenerate test)");
     let actual = artifact.to_json().expect("serializes");
     assert_eq!(
         actual, expected,
@@ -200,7 +206,7 @@ fn store_refuses_unversioned_and_drifted_artifacts() {
     let json = std::fs::read_to_string(&path).unwrap();
 
     // Strip the version field → refused as unversioned.
-    let unversioned = json.replacen("  \"schema_version\": 3,\n", "", 1);
+    let unversioned = json.replacen("  \"schema_version\": 4,\n", "", 1);
     assert_ne!(unversioned, json);
     std::fs::write(&path, &unversioned).unwrap();
     match store.load(&artifact.digest) {
@@ -211,13 +217,13 @@ fn store_refuses_unversioned_and_drifted_artifacts() {
         other => panic!("expected unversioned refusal, got {other:?}"),
     }
 
-    // Version drift: a v2-era artifact (pre-engine-stats) must be refused
+    // Version drift: a v3-era artifact (pre-clock-mode) must be refused
     // with the found version reported, never best-effort parsed.
-    let drifted = json.replacen("\"schema_version\": 3", "\"schema_version\": 2", 1);
+    let drifted = json.replacen("\"schema_version\": 4", "\"schema_version\": 3", 1);
     std::fs::write(&path, &drifted).unwrap();
     assert!(matches!(
         store.load(&artifact.digest),
-        Err(StoreError::Schema { found: Some(2), .. })
+        Err(StoreError::Schema { found: Some(3), .. })
     ));
 
     // Tampered manifest → digest mismatch.

@@ -6,7 +6,7 @@
 use lsbench::core::faults::{FaultPlan, FaultSpec, RetryPolicy};
 use lsbench::core::metrics::sla::SlaPolicy;
 use lsbench::core::runner::{ExecutionMode, RunOptions, Runner};
-use lsbench::core::scenario::{ArrivalSpec, OnlineTrainMode, Scenario};
+use lsbench::core::scenario::{ArrivalSpec, ClockMode, OnlineTrainMode, Scenario};
 use lsbench::core::spec::{parse_scenario, render_scenario, ScenarioRegistry};
 use lsbench::core::suite::SuiteConfig;
 use lsbench::core::sut_registry::SutRegistry;
@@ -72,6 +72,20 @@ const BAD_FIXTURES: &[(&str, &str, usize, &str, &str)] = &[
         11,
         "gradual_shift",
         "cannot interpolate",
+    ),
+    (
+        "clock_unknown",
+        include_str!("spec_fixtures/bad/clock_unknown.spec"),
+        12,
+        "clock",
+        "unknown clock 'lunar'",
+    ),
+    (
+        "clock_bad_type",
+        include_str!("spec_fixtures/bad/clock_bad_type.spec"),
+        12,
+        "clock",
+        "expected a \"string\"",
     ),
     (
         "fault_unknown_key",
@@ -478,13 +492,21 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 ],
                 prop_oneof![Just(None), vec(arb_phase(), 1..3).prop_map(Some)],
                 arb_fault_parts(),
+                prop_oneof![
+                    Just(None),
+                    Just(Some(ClockMode::Sim)),
+                    Just(Some(ClockMode::Wall)),
+                ],
             ),
         ),
     )
         .prop_map(
             |(
                 (name, phase_list, seed, data_dist, data_size),
-                ((sla, arrival, train_budget, wups), (maintenance, online, holdout, fault_parts)),
+                (
+                    (sla, arrival, train_budget, wups),
+                    (maintenance, online, holdout, fault_parts, clock),
+                ),
             )| {
                 let ops0 = phase_list[0].0.ops;
                 let workload = |list: Vec<(WorkloadPhase, TransitionKind)>, seed: u64| {
@@ -505,6 +527,9 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                 }
                 if let Some(a) = arrival {
                     builder = builder.arrival(a);
+                }
+                if let Some(c) = clock {
+                    builder = builder.clock(c);
                 }
                 if let Some((
                     (fseed, timeout, max_retries, backoff_base, backoff_multiplier),
