@@ -37,9 +37,15 @@
 //!   hold-out runs from a single [`RunOptions`] configuration via the
 //!   explicit [`ExecutionMode`] enum.
 //! * [`spec`] — the declarative scenario subsystem: a line-oriented spec
-//!   language with positioned errors, parse-time drift composers, a
+//!   language with positioned errors, the seven parse-time drift
+//!   composers (see the canonical table in the [`spec`] module docs), a
 //!   canonical renderer, and the [`spec::ScenarioRegistry`] resolving
 //!   built-in and file-based scenarios uniformly.
+//! * [`sweep`] — the drift-sweep subsystem: the endpoint-exact
+//!   [`sweep::DriftAxis`] α ∈ [0, 1] primitive every composer expands
+//!   through, scenario ladders over an α grid, per-SUT metric-vs-α
+//!   curves with the distribution-learnability linear bound as a theory
+//!   overlay, and the archived [`results::SweepArtifact`].
 //! * [`sut_registry`] — name → constructor registry so CLIs, suites, and
 //!   benches resolve systems under test uniformly.
 //! * [`report`] — plain-text figures (ASCII), CSV series, and JSON
@@ -74,6 +80,7 @@ pub mod scenario;
 pub mod spec;
 pub mod suite;
 pub mod sut_registry;
+pub mod sweep;
 pub mod trace;
 pub mod wire;
 
@@ -101,6 +108,7 @@ pub use results::{
     ResultStore, RunArtifact, RunManifest, StoreError, SuiteArtifact, Transport,
 };
 pub use results::{CapacityArtifact, CapacityManifest};
+pub use results::{SweepArtifact, SweepManifest, SWEEP_SCHEMA_VERSION};
 pub use runner::{
     BoxedKvSut, EngineStats, ExecutionMode, RunOptions, RunOutcome, Runner, WallStats,
 };
@@ -110,6 +118,7 @@ pub use suite::{
     run_suite, run_suite_observed, standard_scenarios, SuiteConfig, SuiteObservation, SuiteResult,
 };
 pub use sut_registry::SutRegistry;
+pub use sweep::{render_sweep_report, rung_scenario, DriftAxis, DriftLadder, SweepCurve};
 pub use trace::{fit_scenario, import_str, FitReport, ImportedTrace, TraceError, TraceFormat};
 pub use wire::{RemoteOptions, RemoteSut, ServerHandle, WireError, WireServer, PROTOCOL_VERSION};
 

@@ -26,7 +26,9 @@
 //!
 //! Every artifact this module writes carries a `schema_version` field;
 //! bump [`SCHEMA_VERSION`] whenever the serialized shape changes, so old
-//! readers fail loudly rather than misread.
+//! readers fail loudly rather than misread. Drift-sweep artifacts
+//! ([`SweepArtifact`], under `sweep/`) version independently via
+//! [`SWEEP_SCHEMA_VERSION`] — see its docs for why.
 
 pub mod compare;
 pub mod regress;
@@ -42,7 +44,7 @@ pub use regress::{
 };
 pub use store::{
     CapacityArtifact, CapacityManifest, ResultStore, RunArtifact, RunManifest, StoreEntry,
-    StoreError, SuiteArtifact, Transport,
+    StoreError, SuiteArtifact, SweepArtifact, SweepManifest, Transport, SWEEP_SCHEMA_VERSION,
 };
 
 /// Version of every serialized artifact schema in this module

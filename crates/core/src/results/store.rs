@@ -22,6 +22,7 @@ use crate::runner::{EngineStats, WallStats};
 use crate::scenario::{ClockMode, Scenario};
 use crate::spec::render_scenario;
 use crate::suite::SuiteResult;
+use crate::sweep::curves::SweepCurve;
 use crate::BenchError;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
@@ -434,6 +435,151 @@ impl CapacityArtifact {
     }
 }
 
+/// Version of the serialized [`SweepArtifact`] schema. Sweep artifacts
+/// version independently of the run-artifact family ([`SCHEMA_VERSION`]):
+/// they live in their own `sweep/` subdirectory, are never cross-read by
+/// the run loaders, and started life after v4, so coupling the two would
+/// only force pointless migrations. History: v1 = this format's debut
+/// (manifest: scenario, base spec text, SUTs, axis, α grid, transport,
+/// clock; payload: per-SUT metric curves).
+pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+
+/// Everything needed to reproduce a drift sweep: the scenario name, the
+/// rendered canonical spec text of the *base* scenario (rung derivation
+/// is deterministic from it), the SUT list, the axis as given on the
+/// command line plus the expanded α grid, the crate version, transport,
+/// and clock. Content-addressed exactly like [`RunManifest`].
+///
+/// Deliberately absent: worker/thread counts. Lanes are decided by the
+/// scenario's execution mode and results never depend on executing
+/// thread count, so the same sweep at 1 or 4 workers must produce the
+/// same digest — and byte-identical artifacts (the determinism tests pin
+/// this).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepManifest {
+    /// Scenario name.
+    pub scenario: String,
+    /// Canonical spec text of the base scenario ([`render_scenario`]).
+    pub spec: String,
+    /// SUT names, in run order.
+    pub suts: Vec<String>,
+    /// The drift axis as given (`lo..hixN`, e.g. `0..1x5`).
+    pub axis: String,
+    /// The expanded monotone α grid, one entry per rung.
+    pub alphas: Vec<f64>,
+    /// `lsbench-core` version that wrote the artifact.
+    pub crate_version: String,
+    /// Where the SUTs executed (local process vs. remote endpoint).
+    pub transport: Transport,
+    /// Which clock the rungs reported on (sim vs. wall).
+    pub clock: ClockMode,
+}
+
+impl SweepManifest {
+    /// Builds the manifest for a sweep of `scenario` by `suts` over
+    /// `axis`/`alphas`, stamped with this crate's version. Transport
+    /// defaults to [`Transport::Local`] and clock to [`ClockMode::Sim`];
+    /// chain [`SweepManifest::with_transport`] /
+    /// [`SweepManifest::with_clock`] otherwise.
+    pub fn for_sweep(scenario: &Scenario, suts: &[String], axis: &str, alphas: &[f64]) -> Self {
+        SweepManifest {
+            scenario: scenario.name.clone(),
+            spec: render_scenario(scenario),
+            suts: suts.to_vec(),
+            axis: axis.to_string(),
+            alphas: alphas.to_vec(),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            transport: Transport::Local,
+            clock: ClockMode::Sim,
+        }
+    }
+
+    /// Stamps the transport the sweep used.
+    pub fn with_transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Stamps the clock mode the sweep used.
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Stable content digest, same construction as [`RunManifest::digest`].
+    pub fn digest(&self) -> String {
+        let canonical = serde_json::to_string(self).expect("manifest serialization is total");
+        format!("{:016x}", fnv1a64(canonical.as_bytes()))
+    }
+}
+
+/// A saved drift sweep: schema version ([`SWEEP_SCHEMA_VERSION`]),
+/// manifest digest, manifest, and one metric curve per SUT. Stored under
+/// the `sweep/` subdirectory of a results store so sweep, capacity, and
+/// run artifacts never shadow each other in listings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepArtifact {
+    /// Schema version ([`SWEEP_SCHEMA_VERSION`]) — checked before
+    /// anything else on load.
+    pub schema_version: u32,
+    /// [`SweepManifest::digest`] at save time — revalidated on load.
+    pub digest: String,
+    /// The reproduction manifest.
+    pub manifest: SweepManifest,
+    /// Per-SUT metric-vs-α curves, in manifest SUT order.
+    pub curves: Vec<SweepCurve>,
+}
+
+impl SweepArtifact {
+    /// Packages a manifest and curves into a versioned, digested artifact.
+    pub fn new(manifest: SweepManifest, curves: Vec<SweepCurve>) -> Self {
+        SweepArtifact {
+            schema_version: SWEEP_SCHEMA_VERSION,
+            digest: manifest.digest(),
+            manifest,
+            curves,
+        }
+    }
+
+    /// The file name this artifact stores under (inside `sweep/`):
+    /// `<scenario>-sweep-<axis>-<digest>.json` (slugged).
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-sweep-{}-{}.json",
+            slug(&self.manifest.scenario),
+            slug(&self.manifest.axis),
+            self.digest
+        )
+    }
+
+    /// Pretty JSON encoding (trailing newline included).
+    pub fn to_json(&self) -> Result<String, StoreError> {
+        serde_json::to_string_pretty(self)
+            .map(|mut s| {
+                s.push('\n');
+                s
+            })
+            .map_err(|e| StoreError::Parse(e.to_string()))
+    }
+
+    /// Strict decode: checks `schema_version` against
+    /// [`SWEEP_SCHEMA_VERSION`] *before* interpreting the rest, then
+    /// revalidates the stored digest against the manifest.
+    pub fn from_json(text: &str) -> Result<Self, StoreError> {
+        check_schema_version_expecting(text, SWEEP_SCHEMA_VERSION)?;
+        let artifact: SweepArtifact =
+            serde_json::from_str(text).map_err(|e| StoreError::Parse(e.to_string()))?;
+        let computed = artifact.manifest.digest();
+        if computed != artifact.digest {
+            return Err(StoreError::ManifestMismatch {
+                stored: artifact.digest,
+                computed,
+            });
+        }
+        Ok(artifact)
+    }
+}
+
 /// The versioned envelope for `lsbench suite` JSON output: the same
 /// `schema_version` discipline as [`RunArtifact`], wrapped around the
 /// cross-SUT [`SuiteResult`] list.
@@ -465,6 +611,13 @@ impl SuiteArtifact {
 /// anything else, so version drift is reported as such rather than as a
 /// confusing field-level parse error.
 fn check_schema_version(text: &str) -> Result<(), StoreError> {
+    check_schema_version_expecting(text, SCHEMA_VERSION)
+}
+
+/// [`check_schema_version`], parameterized over the expected version —
+/// artifact families that version independently (sweeps vs. runs) share
+/// the same strict-refusal machinery.
+fn check_schema_version_expecting(text: &str, expected: u32) -> Result<(), StoreError> {
     let value: serde::Value =
         serde_json::from_str(text).map_err(|e| StoreError::Parse(e.to_string()))?;
     let entries = value
@@ -480,10 +633,10 @@ fn check_schema_version(text: &str) -> Result<(), StoreError> {
         }
     };
     match found {
-        Some(v) if v == SCHEMA_VERSION => Ok(()),
+        Some(v) if v == expected => Ok(()),
         other => Err(StoreError::Schema {
             found: other,
-            expected: SCHEMA_VERSION,
+            expected,
         }),
     }
 }
@@ -655,6 +808,50 @@ impl ResultStore {
     /// An empty (or absent) `capacity/` directory lists as empty.
     pub fn list_capacity(&self) -> Result<Vec<PathBuf>, StoreError> {
         let dir = self.capacity_dir();
+        if !dir.is_dir() {
+            return Ok(Vec::new());
+        }
+        let read = std::fs::read_dir(&dir)
+            .map_err(|e| StoreError::Io(format!("cannot read {}: {e}", dir.display())))?;
+        let mut paths: Vec<PathBuf> = read
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        Ok(paths)
+    }
+
+    /// The sweep subdirectory of this store. Like `capacity/`,
+    /// [`ResultStore::list`] never looks inside it, so sweep artifacts
+    /// never appear in (or break) run listings.
+    pub fn sweep_dir(&self) -> PathBuf {
+        self.dir.join("sweep")
+    }
+
+    /// Saves a sweep artifact under its content-addressed file name in
+    /// the `sweep/` subdirectory. Saving the same manifest again
+    /// overwrites the same file.
+    pub fn save_sweep(&self, artifact: &SweepArtifact) -> Result<PathBuf, StoreError> {
+        let dir = self.sweep_dir();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StoreError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        let json = artifact.to_json()?;
+        write_artifact_to(&dir, &artifact.file_name(), &json)
+            .map_err(|e| StoreError::Io(e.to_string()))
+    }
+
+    /// Loads and strictly validates the sweep artifact at `path`.
+    pub fn load_sweep_path(path: &Path) -> Result<SweepArtifact, StoreError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| StoreError::Io(format!("cannot read {}: {e}", path.display())))?;
+        SweepArtifact::from_json(&text).map_err(|e| annotate_with_path(e, path))
+    }
+
+    /// Lists every sweep artifact file in the store, sorted by name. An
+    /// empty (or absent) `sweep/` directory lists as empty.
+    pub fn list_sweep(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let dir = self.sweep_dir();
         if !dir.is_dir() {
             return Ok(Vec::new());
         }
@@ -924,6 +1121,68 @@ mod tests {
         assert!(matches!(
             CapacityArtifact::from_json(&tampered),
             Err(StoreError::ManifestMismatch { .. })
+        ));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sweep_artifacts_round_trip_in_their_own_subdirectory() {
+        use crate::sweep::curves::{SweepCurve, SweepPoint};
+        let (store, dir) = temp_store("sweep");
+        let manifest = SweepManifest {
+            scenario: "store-test".to_string(),
+            spec: "name = \"store-test\"\n".to_string(),
+            suts: vec!["btree".to_string(), "rmi".to_string()],
+            axis: "0..1x2".to_string(),
+            alphas: vec![0.0, 1.0],
+            crate_version: "0.0.0-test".to_string(),
+            transport: Transport::Local,
+            clock: ClockMode::Sim,
+        };
+        let curves = vec![SweepCurve {
+            sut: "btree".to_string(),
+            points: vec![SweepPoint {
+                alpha: 0.0,
+                adaptability_area: -0.01,
+                adjustment_speed: 0.5,
+                sla_violation_rate: 0.1,
+                specialization_spread: 1.25,
+            }],
+        }];
+        let artifact = SweepArtifact::new(manifest.clone(), curves);
+        assert_eq!(artifact.schema_version, SWEEP_SCHEMA_VERSION);
+        let p1 = store.save_sweep(&artifact).unwrap();
+        let p2 = store.save_sweep(&artifact).unwrap();
+        assert_eq!(p1, p2, "same manifest → same file");
+        assert!(p1.starts_with(store.sweep_dir()));
+        let back = ResultStore::load_sweep_path(&p1).unwrap();
+        assert_eq!(back, artifact);
+        assert_eq!(store.list_sweep().unwrap(), vec![p1]);
+        // Sweep artifacts never leak into (or break) run listings.
+        assert!(store.list().unwrap().is_empty());
+        // Tampering with the manifest is refused just like run artifacts.
+        let tampered =
+            artifact
+                .to_json()
+                .unwrap()
+                .replacen("\"axis\": \"0..1x2\"", "\"axis\": \"0..1x9\"", 1);
+        assert!(matches!(
+            SweepArtifact::from_json(&tampered),
+            Err(StoreError::ManifestMismatch { .. })
+        ));
+        // A run-schema version (4) in a sweep artifact is version drift,
+        // not a pass: the families version independently.
+        let drifted = artifact.to_json().unwrap().replacen(
+            "\"schema_version\": 1",
+            "\"schema_version\": 4",
+            1,
+        );
+        assert!(matches!(
+            SweepArtifact::from_json(&drifted),
+            Err(StoreError::Schema {
+                found: Some(4),
+                expected: SWEEP_SCHEMA_VERSION,
+            })
         ));
         let _ = std::fs::remove_dir_all(dir);
     }

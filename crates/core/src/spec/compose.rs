@@ -2,39 +2,40 @@
 //! phase lists.
 //!
 //! NeurBench-style parameterized drift: instead of hand-writing N phases,
-//! a spec states the *shape* of the drift (`diurnal`, `burst`,
-//! `gradual_shift`, `growing_skew`) and the composer unrolls it into
-//! [`WorkloadPhase`]s joined by [`TransitionKind`]s. Expansion happens at
-//! parse time and is pure arithmetic over a virtual clock (step midpoints),
-//! so a composed scenario is indistinguishable from one whose phases were
-//! written out by hand — the run-time driver never knows composers exist.
-//! See DESIGN.md ("Parse-time composer expansion") for why.
+//! a spec states the *shape* of the drift and the composer unrolls it into
+//! [`WorkloadPhase`]s joined by [`TransitionKind`]s (the canonical table
+//! of all seven composer blocks lives in the [`spec`](crate::spec)
+//! module docs). Expansion happens at parse time and is pure arithmetic
+//! over a virtual clock (step midpoints), so a composed scenario is
+//! indistinguishable from one whose phases were written out by hand — the
+//! run-time driver never knows composers exist. See DESIGN.md
+//! ("Parse-time composer expansion") for why.
+//!
+//! Every composer in this file expands through the shared
+//! [`DriftAxis`] primitive from the sweep subsystem
+//! ([`crate::sweep::drift`]): the composer states the α = 0 and α = 1
+//! endpoint phases and a per-step intensity schedule, and the axis does
+//! the interpolation. The axis's interior arithmetic is the same
+//! `a + (b − a) · t` the composers used before the refactor and its
+//! endpoints are clamped to exact clones, so existing spec expansions are
+//! preserved bit for bit (DESIGN.md §13).
 //!
 //! Composers return plain `String` reasons on invalid parameters; the
 //! parser attaches the source position to produce a
 //! [`SpecError`](super::SpecError).
 
+use crate::sweep::drift::{lerp_t, DriftAxis};
 use lsbench_workload::keygen::KeyDistribution;
 use lsbench_workload::ops::OperationMix;
 use lsbench_workload::phases::{TransitionKind, WorkloadPhase};
 
+/// Re-exported from [`crate::sweep::drift`], where the interpolation
+/// arithmetic moved when the composers were refactored onto [`DriftAxis`].
+pub use crate::sweep::drift::interpolate_distribution;
+
 /// An expanded composer: the concrete phases and the transitions *between*
 /// them (`transitions.len() == phases.len() - 1`).
 pub type Expansion = (Vec<WorkloadPhase>, Vec<TransitionKind>);
-
-/// Linear interpolation position of step `i` among `steps` (0 at the first
-/// step, 1 at the last; 0 for a single step).
-fn lerp_t(i: u64, steps: u64) -> f64 {
-    if steps <= 1 {
-        0.0
-    } else {
-        i as f64 / (steps - 1) as f64
-    }
-}
-
-fn lerp(a: f64, b: f64, t: f64) -> f64 {
-    a + (b - a) * t
-}
 
 /// Internal transitions for a composer: abrupt by default, or gradual with
 /// the given `smooth` window.
@@ -102,18 +103,25 @@ impl DiurnalComposer {
         if !(0.0..1.0).contains(&self.amplitude) {
             return Err("amplitude must be in [0, 1)".to_string());
         }
+        // Diurnal drift is pure load-shape drift: the distribution endpoint
+        // is degenerate (base ≡ target) and the sinusoid modulates the
+        // concurrency lever on top of the axis's α = 0 template.
+        let template = WorkloadPhase::new(
+            self.name.clone(),
+            self.distribution.clone(),
+            self.key_range,
+            self.mix.clone(),
+            self.ops_per_step,
+        );
+        let axis = DriftAxis::new(template.clone(), template)
+            .expect("a degenerate axis between identical shapes always builds");
         let phases = (0..self.steps)
             .map(|i| {
                 let t = (i as f64 + 0.5) / self.period;
                 let factor = 1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t).sin();
-                WorkloadPhase::new(
-                    format!("{}-{i}", self.name),
-                    self.distribution.clone(),
-                    self.key_range,
-                    self.mix.clone(),
-                    self.ops_per_step,
-                )
-                .with_concurrency_burst(factor)
+                let mut p = axis.at(0.0).with_concurrency_burst(factor);
+                p.name = format!("{}-{i}", self.name);
+                p
             })
             .collect::<Vec<_>>();
         let transitions = internal_transitions(phases.len() - 1, None);
@@ -170,96 +178,28 @@ impl BurstComposer {
         if !(self.factor > 0.0 && self.factor.is_finite()) {
             return Err("factor must be positive and finite".to_string());
         }
+        // A flash crowd is a two-point axis — calm (α = 0) vs. surge
+        // (α = 1) — sampled only at its exact endpoints per step.
+        let calm = WorkloadPhase::new(
+            self.name.clone(),
+            self.distribution.clone(),
+            self.key_range,
+            self.mix.clone(),
+            self.ops_per_step,
+        );
+        let surge = calm.clone().with_concurrency_burst(self.factor);
+        let axis = DriftAxis::new(calm, surge)
+            .expect("a burst axis between identical shapes always builds");
         let phases = (0..self.steps)
             .map(|i| {
                 let in_burst = i >= self.at && i < self.at + self.width;
-                WorkloadPhase::new(
-                    format!("{}-{i}", self.name),
-                    self.distribution.clone(),
-                    self.key_range,
-                    self.mix.clone(),
-                    self.ops_per_step,
-                )
-                .with_concurrency_burst(if in_burst { self.factor } else { 1.0 })
+                let mut p = axis.at(if in_burst { 1.0 } else { 0.0 });
+                p.name = format!("{}-{i}", self.name);
+                p
             })
             .collect::<Vec<_>>();
         let transitions = internal_transitions(phases.len() - 1, None);
         Ok((phases, transitions))
-    }
-}
-
-/// Interpolates two same-shape distributions at `t ∈ [0, 1]`.
-///
-/// Every numeric parameter is lerped; the integer `clusters` parameter is
-/// lerped and rounded. Mismatched shapes are an error — a jump between
-/// shapes is what `transition = "gradual"` on an explicit phase is for.
-pub fn interpolate_distribution(
-    from: &KeyDistribution,
-    to: &KeyDistribution,
-    t: f64,
-) -> Result<KeyDistribution, String> {
-    use KeyDistribution as D;
-    match (from, to) {
-        (D::Uniform, D::Uniform) => Ok(D::Uniform),
-        (D::Zipf { theta: a }, D::Zipf { theta: b }) => Ok(D::Zipf {
-            theta: lerp(*a, *b, t),
-        }),
-        (
-            D::Normal {
-                center: c1,
-                std_frac: s1,
-            },
-            D::Normal {
-                center: c2,
-                std_frac: s2,
-            },
-        ) => Ok(D::Normal {
-            center: lerp(*c1, *c2, t),
-            std_frac: lerp(*s1, *s2, t),
-        }),
-        (D::LogNormal { mu: m1, sigma: s1 }, D::LogNormal { mu: m2, sigma: s2 }) => {
-            Ok(D::LogNormal {
-                mu: lerp(*m1, *m2, t),
-                sigma: lerp(*s1, *s2, t),
-            })
-        }
-        (
-            D::Hotspot {
-                hot_span: h1,
-                hot_fraction: f1,
-            },
-            D::Hotspot {
-                hot_span: h2,
-                hot_fraction: f2,
-            },
-        ) => Ok(D::Hotspot {
-            hot_span: lerp(*h1, *h2, t),
-            hot_fraction: lerp(*f1, *f2, t),
-        }),
-        (
-            D::Clustered {
-                clusters: c1,
-                cluster_std_frac: s1,
-            },
-            D::Clustered {
-                clusters: c2,
-                cluster_std_frac: s2,
-            },
-        ) => Ok(D::Clustered {
-            clusters: lerp(*c1 as f64, *c2 as f64, t).round().max(1.0) as usize,
-            cluster_std_frac: lerp(*s1, *s2, t),
-        }),
-        (D::SequentialNoise { noise_frac: n1 }, D::SequentialNoise { noise_frac: n2 }) => {
-            Ok(D::SequentialNoise {
-                noise_frac: lerp(*n1, *n2, t),
-            })
-        }
-        _ => Err(format!(
-            "cannot interpolate '{}' into '{}' (shapes must match; use an explicit phase with \
-             transition = \"gradual\" for cross-shape drift)",
-            from.canonical_name(),
-            to.canonical_name()
-        )),
     }
 }
 
@@ -295,18 +235,23 @@ impl GradualShiftComposer {
     pub fn expand(&self) -> Result<Expansion, String> {
         check_steps(self.steps, 2)?;
         check_ops(self.ops_per_step)?;
+        let endpoint = |d: &KeyDistribution| {
+            WorkloadPhase::new(
+                self.name.clone(),
+                d.clone(),
+                self.key_range,
+                self.mix.clone(),
+                self.ops_per_step,
+            )
+        };
+        let axis = DriftAxis::new(endpoint(&self.from), endpoint(&self.to))?;
         let phases = (0..self.steps)
             .map(|i| {
-                let d = interpolate_distribution(&self.from, &self.to, lerp_t(i, self.steps))?;
-                Ok(WorkloadPhase::new(
-                    format!("{}-{i}", self.name),
-                    d,
-                    self.key_range,
-                    self.mix.clone(),
-                    self.ops_per_step,
-                ))
+                let mut p = axis.at(lerp_t(i, self.steps));
+                p.name = format!("{}-{i}", self.name);
+                p
             })
-            .collect::<Result<Vec<_>, String>>()?;
+            .collect::<Vec<_>>();
         let transitions = internal_transitions(phases.len() - 1, self.smooth);
         Ok((phases, transitions))
     }
@@ -350,16 +295,83 @@ impl GrowingSkewComposer {
                 return Err(format!("{label} must be positive and finite"));
             }
         }
+        let endpoint = |theta: f64| {
+            WorkloadPhase::new(
+                self.name.clone(),
+                KeyDistribution::Zipf { theta },
+                self.key_range,
+                self.mix.clone(),
+                self.ops_per_step,
+            )
+        };
+        let axis = DriftAxis::new(endpoint(self.start_theta), endpoint(self.end_theta))
+            .expect("two zipf endpoints always share a shape");
         let phases = (0..self.steps)
             .map(|i| {
-                let theta = lerp(self.start_theta, self.end_theta, lerp_t(i, self.steps));
-                WorkloadPhase::new(
-                    format!("{}-{i}", self.name),
-                    KeyDistribution::Zipf { theta },
-                    self.key_range,
-                    self.mix.clone(),
-                    self.ops_per_step,
-                )
+                let mut p = axis.at(lerp_t(i, self.steps));
+                p.name = format!("{}-{i}", self.name);
+                p
+            })
+            .collect::<Vec<_>>();
+        let transitions = internal_transitions(phases.len() - 1, self.smooth);
+        Ok((phases, transitions))
+    }
+}
+
+/// `drift { alpha, from, to, steps }`: the sweep subsystem's α axis
+/// exposed directly in spec files.
+///
+/// Expands to `steps` phases that ramp the drift intensity linearly from
+/// 0 (the `from` distribution, exactly) up to `alpha` — step `i` sits at
+/// `α_i = alpha · i / (steps − 1)` on the [`DriftAxis`] between `from`
+/// and `to`. `alpha = 1` reproduces `[[gradual_shift]]` bit for bit;
+/// smaller values stop the drift partway, which is what a ladder of
+/// `[[drift]]` specs at increasing `alpha` sweeps over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftComposer {
+    /// Phase-name prefix.
+    pub name: String,
+    /// Number of phases to expand to (at least 2).
+    pub steps: u64,
+    /// Operations per expanded phase.
+    pub ops_per_step: u64,
+    /// Starting distribution (the α = 0 anchor).
+    pub from: KeyDistribution,
+    /// Full-drift distribution (reached only when `alpha = 1`).
+    pub to: KeyDistribution,
+    /// Drift intensity the last step reaches, in `[0, 1]`.
+    pub alpha: f64,
+    /// Gradual window for the joins between steps (`None` = abrupt).
+    pub smooth: Option<f64>,
+    /// Key range shared by every step.
+    pub key_range: (u64, u64),
+    /// Operation mix shared by every step.
+    pub mix: OperationMix,
+}
+
+impl DriftComposer {
+    /// Expands the composer. See the type-level docs for the schedule.
+    pub fn expand(&self) -> Result<Expansion, String> {
+        check_steps(self.steps, 2)?;
+        check_ops(self.ops_per_step)?;
+        if !(self.alpha.is_finite() && (0.0..=1.0).contains(&self.alpha)) {
+            return Err(format!("alpha must be in [0, 1], got {}", self.alpha));
+        }
+        let endpoint = |d: &KeyDistribution| {
+            WorkloadPhase::new(
+                self.name.clone(),
+                d.clone(),
+                self.key_range,
+                self.mix.clone(),
+                self.ops_per_step,
+            )
+        };
+        let axis = DriftAxis::new(endpoint(&self.from), endpoint(&self.to))?;
+        let phases = (0..self.steps)
+            .map(|i| {
+                let mut p = axis.at(self.alpha * lerp_t(i, self.steps));
+                p.name = format!("{}-{i}", self.name);
+                p
             })
             .collect::<Vec<_>>();
         let transitions = internal_transitions(phases.len() - 1, self.smooth);
@@ -474,5 +486,65 @@ mod tests {
         assert_eq!(thetas[8], 1.4);
         assert!(thetas.windows(2).all(|w| w[0] < w[1]));
         assert!(transitions.iter().all(|t| *t == TransitionKind::Abrupt));
+    }
+
+    fn drift_composer(alpha: f64) -> DriftComposer {
+        DriftComposer {
+            name: "d".to_string(),
+            steps: 5,
+            ops_per_step: 10,
+            from: KeyDistribution::Zipf { theta: 0.5 },
+            to: KeyDistribution::Zipf { theta: 1.3 },
+            alpha,
+            smooth: None,
+            key_range: RANGE,
+            mix: OperationMix::ycsb_c(),
+        }
+    }
+
+    #[test]
+    fn drift_at_zero_alpha_never_leaves_the_base_distribution() {
+        let (phases, _) = drift_composer(0.0).expand().unwrap();
+        assert!(phases
+            .iter()
+            .all(|p| p.distribution == KeyDistribution::Zipf { theta: 0.5 }));
+    }
+
+    #[test]
+    fn drift_at_full_alpha_matches_gradual_shift_exactly() {
+        let d = drift_composer(1.0);
+        let g = GradualShiftComposer {
+            name: d.name.clone(),
+            steps: d.steps,
+            ops_per_step: d.ops_per_step,
+            from: d.from.clone(),
+            to: d.to.clone(),
+            smooth: d.smooth,
+            key_range: d.key_range,
+            mix: d.mix.clone(),
+        };
+        assert_eq!(d.expand().unwrap(), g.expand().unwrap());
+    }
+
+    #[test]
+    fn drift_partial_alpha_stops_partway_and_hits_its_endpoint_exactly() {
+        let (phases, _) = drift_composer(0.5).expand().unwrap();
+        let theta_of = |p: &WorkloadPhase| match p.distribution {
+            KeyDistribution::Zipf { theta } => theta,
+            _ => panic!("all phases zipf"),
+        };
+        assert_eq!(theta_of(&phases[0]), 0.5);
+        // The last step sits at α = 0.5 on the axis: lerp(0.5, 1.3, 0.5).
+        assert!((theta_of(&phases[4]) - 0.9).abs() < 1e-12);
+        let thetas: Vec<f64> = phases.iter().map(theta_of).collect();
+        assert!(thetas.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn drift_rejects_out_of_range_alpha() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = drift_composer(bad).expand().unwrap_err();
+            assert!(err.contains("alpha must be in [0, 1]"), "{err}");
+        }
     }
 }

@@ -15,23 +15,46 @@
 //! * [`parse`] — the parser + schema. Every rejection is a positioned
 //!   [`SpecError`] (`line`, `field`, `reason`); malformed input never
 //!   panics.
-//! * [`compose`] — *drift composers*: high-level phase generators
-//!   (`diurnal`, `burst`, `gradual_shift`, `growing_skew`) that expand
-//!   into concrete phase lists at parse time, deterministically (virtual
-//!   clock arithmetic + the spec seed — see DESIGN.md).
+//! * [`compose`] — *drift composers*: high-level phase generators that
+//!   expand into concrete phase lists at parse time, deterministically
+//!   (virtual clock arithmetic + the spec seed — see DESIGN.md). The
+//!   canonical composer table below is the single source of truth; other
+//!   doc comments reference it rather than re-listing the set.
 //! * [`render`] — the canonical renderer: [`render_scenario`] emits spec
 //!   text that parses back to an equal scenario (`parse ∘ render = id`),
 //!   which is how the built-in suite ships as `scenarios/*.spec`.
 //! * [`registry`] — [`ScenarioRegistry`]: name → scenario resolution
 //!   mirroring [`SutRegistry`](crate::sut_registry::SutRegistry), with
 //!   uniform fallback to spec files on disk.
+//!
+//! # The seven parse-time drift composers
+//!
+//! | Block | Expands to | Drift shape |
+//! |---|---|---|
+//! | `[[diurnal]]` | `steps` phases | sinusoidal load swing (concurrency burst) over a fixed distribution |
+//! | `[[burst]]` | `steps` phases | calm/surge alternation between two load levels |
+//! | `[[gradual_shift]]` | `steps` phases | parameter interpolation from `from` to `to` at full intensity |
+//! | `[[growing_skew]]` | `steps` phases | Zipf theta ramp (a `gradual_shift` specialized to skew) |
+//! | `[[drift]]` | `steps` phases | `gradual_shift` scaled by an explicit intensity `alpha` ∈ \[0, 1\] |
+//! | `[[templated_repetition]]` | template-driven phases | query-template popularity churn (PR-8 workload family) |
+//! | `[[ledger]]` | growth-driven phases | append-heavy ledger growth (PR-8 workload family) |
+//!
+//! The first five route through the shared
+//! [`DriftAxis`](crate::sweep::DriftAxis) primitive in [`crate::sweep`];
+//! `drift(0)` is the base phase and `drift(1)` the target, exact by
+//! construction. The last two wrap `lsbench_workload::families`
+//! generators. The `lsbench sweep` ladder
+//! ([`DriftLadder`](crate::sweep::DriftLadder)) reuses the same axis at
+//! run time to grade whole scenarios by intensity.
 
 pub mod compose;
 pub mod parse;
 pub mod registry;
 pub mod render;
 
-pub use compose::{BurstComposer, DiurnalComposer, GradualShiftComposer, GrowingSkewComposer};
+pub use compose::{
+    BurstComposer, DiurnalComposer, DriftComposer, GradualShiftComposer, GrowingSkewComposer,
+};
 pub use parse::{parse_fault_plan, parse_scenario};
 pub use registry::ScenarioRegistry;
 pub use render::render_scenario;

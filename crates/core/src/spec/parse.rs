@@ -4,10 +4,11 @@
 //! "Scenario files" section for the full grammar): top-level `key = value`
 //! pairs, `[section]` headers for singletons (`[dataset]`, `[run]`,
 //! `[sla]`, `[arrival]`), and `[[block]]` headers for the ordered phase
-//! chain (`[[phase]]`, `[[holdout]]`, the composer blocks
-//! `[[diurnal]]`, `[[burst]]`, `[[gradual_shift]]`, `[[growing_skew]]`,
-//! the generator families `[[templated_repetition]]` and `[[ledger]]`,
-//! and fault-injection `[[fault]]` blocks).
+//! chain: `[[phase]]`, `[[holdout]]`, the seven composer blocks
+//! (`[[diurnal]]`, `[[burst]]`, `[[gradual_shift]]`, `[[growing_skew]]`,
+//! `[[drift]]`, `[[templated_repetition]]`, `[[ledger]]` — the canonical
+//! table lives in the [`spec`](crate::spec) module docs), and
+//! fault-injection `[[fault]]` blocks.
 //! Values are integers (decimal or `0x` hex), floats, `"strings"`,
 //! booleans, and two-element integer arrays (`key_range = [lo, hi]`).
 //!
@@ -17,7 +18,8 @@
 //! never panic (property-tested in `tests/scenario_spec.rs`).
 
 use super::compose::{
-    BurstComposer, DiurnalComposer, Expansion, GradualShiftComposer, GrowingSkewComposer,
+    BurstComposer, DiurnalComposer, DriftComposer, Expansion, GradualShiftComposer,
+    GrowingSkewComposer,
 };
 use super::SpecError;
 use crate::faults::{FaultPlan, FaultSpec, RetryPolicy};
@@ -177,6 +179,7 @@ const MULTI_SECTIONS: &[&str] = &[
     "burst",
     "gradual_shift",
     "growing_skew",
+    "drift",
     "templated_repetition",
     "ledger",
     "fault",
@@ -728,6 +731,18 @@ fn compile_composer(
             ops_per_step: common.ops_per_step,
             from: take_distribution(&mut f, "from", "from_")?,
             to: take_distribution(&mut f, "to", "to_")?,
+            smooth: opt_smooth(&mut f)?,
+            key_range: common.key_range,
+            mix: common.mix,
+        }
+        .expand(),
+        "drift" => DriftComposer {
+            name: common.name,
+            steps: common.steps,
+            ops_per_step: common.ops_per_step,
+            from: take_distribution(&mut f, "from", "from_")?,
+            to: take_distribution(&mut f, "to", "to_")?,
+            alpha: f.req_f64("alpha")?.0,
             smooth: opt_smooth(&mut f)?,
             key_range: common.key_range,
             mix: common.mix,
@@ -1340,6 +1355,7 @@ pub fn parse_scenario(text: &str) -> Result<Scenario, SpecError> {
             | "burst"
             | "gradual_shift"
             | "growing_skew"
+            | "drift"
             | "templated_repetition"
             | "ledger") => {
                 let kind = kind.to_string();

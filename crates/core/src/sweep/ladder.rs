@@ -1,0 +1,229 @@
+//! Sweep grids and scenario ladders: from an `lo..hixN` axis string to
+//! the per-rung scenarios `lsbench sweep` runs.
+//!
+//! A ladder takes a *base* scenario and treats its first phase as the
+//! no-drift anchor: the rung at intensity α replaces every phase `i`
+//! with `DriftAxis{base: phase₀, target: phaseᵢ}.at(α)`. At α = 0 the
+//! workload is the anchor phase repeated (a static control run); at
+//! α = 1 it is the scenario exactly as authored — both exact by the
+//! axis's endpoint clamp, so the top rung of a sweep is byte-identical
+//! to a plain `lsbench run` of the same spec. Everything else about the
+//! scenario (dataset, SLA policy, arrival process, execution mode,
+//! clock, faults) is cloned unchanged onto every rung; offered-load
+//! drift rides on the phases' `concurrency_burst`, which the axis
+//! interpolates like any other parameter.
+
+use crate::scenario::Scenario;
+use crate::sweep::drift::{lerp, DriftAxis};
+use crate::{BenchError, Result};
+use lsbench_workload::phases::PhasedWorkload;
+
+/// Upper bound on rungs per sweep — enough for a dense curve, far below
+/// anything a CLI run could finish in reasonable time.
+const MAX_RUNGS: usize = 1_000;
+
+/// Parses a sweep axis of the form `lo..hixN` (e.g. `0..1x5`) into a
+/// monotone α grid of `N` rungs from `lo` to `hi`, both inclusive and
+/// hit exactly. Returns a human-readable reason on malformed input.
+pub fn parse_axis(axis: &str) -> std::result::Result<Vec<f64>, String> {
+    let malformed = || format!("malformed drift axis '{axis}' (expected lo..hixN, e.g. 0..1x5)");
+    let (range, count) = axis.rsplit_once('x').ok_or_else(malformed)?;
+    let (lo, hi) = range.split_once("..").ok_or_else(malformed)?;
+    let lo: f64 = lo.trim().parse().map_err(|_| malformed())?;
+    let hi: f64 = hi.trim().parse().map_err(|_| malformed())?;
+    let n: usize = count.trim().parse().map_err(|_| malformed())?;
+    if !(lo.is_finite() && hi.is_finite() && (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi))
+    {
+        return Err(format!(
+            "drift axis endpoints must lie in [0, 1], got {lo}..{hi}"
+        ));
+    }
+    if lo >= hi {
+        return Err(format!(
+            "drift axis must ascend, got {lo}..{hi} (lo must be < hi)"
+        ));
+    }
+    if n < 2 {
+        return Err(format!("a sweep needs at least 2 rungs, got {n}"));
+    }
+    if n > MAX_RUNGS {
+        return Err(format!("{n} rungs is unreasonably many (max {MAX_RUNGS})"));
+    }
+    Ok((0..n)
+        .map(|i| {
+            // Endpoint-exact, like the axis itself: the first and last
+            // rungs are the literal bounds, not their lerped neighbors.
+            if i == 0 {
+                lo
+            } else if i == n - 1 {
+                hi
+            } else {
+                lerp(lo, hi, i as f64 / (n - 1) as f64)
+            }
+        })
+        .collect())
+}
+
+/// Derives the scenario at drift intensity `alpha` from `base` (see the
+/// module docs for the anchor semantics). Fails when `alpha` is outside
+/// [0, 1] or when any phase's distribution shape differs from the first
+/// phase's — the same restriction the composers impose, because a shape
+/// jump has no meaningful partial interpolation.
+pub fn rung_scenario(base: &Scenario, alpha: f64) -> Result<Scenario> {
+    if !(alpha.is_finite() && (0.0..=1.0).contains(&alpha)) {
+        return Err(BenchError::InvalidScenario(format!(
+            "drift intensity must be in [0, 1], got {alpha}"
+        )));
+    }
+    let phases = base.workload.phases();
+    let anchor = phases[0].clone();
+    let mut drifted = Vec::with_capacity(phases.len());
+    for phase in phases {
+        let axis = DriftAxis::new(anchor.clone(), phase.clone()).map_err(|e| {
+            BenchError::InvalidScenario(format!(
+                "scenario '{}' cannot form a drift ladder: phase '{}': {e}",
+                base.name, phase.name
+            ))
+        })?;
+        let mut rung_phase = axis.at(alpha);
+        // Keep the authored phase names so per-phase metrics line up
+        // across rungs of the same sweep.
+        rung_phase.name = phase.name.clone();
+        drifted.push(rung_phase);
+    }
+    let workload = PhasedWorkload::new(
+        drifted,
+        base.workload.transitions().to_vec(),
+        base.workload.seed(),
+    )
+    .map_err(|e| BenchError::InvalidScenario(e.to_string()))?;
+    let mut rung = base.clone();
+    rung.workload = workload;
+    Ok(rung)
+}
+
+/// A fully expanded sweep ladder: the axis text, its α grid, and the
+/// derived scenario at every rung.
+#[derive(Debug, Clone)]
+pub struct DriftLadder {
+    /// The axis as given (e.g. `0..1x5`) — archived in the manifest.
+    pub axis: String,
+    /// The monotone α grid, one entry per rung.
+    pub alphas: Vec<f64>,
+    /// The derived scenario at each α, in grid order.
+    pub rungs: Vec<Scenario>,
+}
+
+impl DriftLadder {
+    /// Parses `axis` and derives every rung scenario from `base`.
+    pub fn build(base: &Scenario, axis: &str) -> Result<Self> {
+        let alphas = parse_axis(axis).map_err(BenchError::InvalidScenario)?;
+        let rungs = alphas
+            .iter()
+            .map(|&a| rung_scenario(base, a))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(DriftLadder {
+            axis: axis.to_string(),
+            alphas,
+            rungs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsbench_workload::keygen::KeyDistribution;
+
+    fn base() -> Scenario {
+        Scenario::two_phase_shift(
+            "ladder-base",
+            KeyDistribution::Zipf { theta: 0.4 },
+            KeyDistribution::Zipf { theta: 1.3 },
+            4_000,
+            500,
+            7,
+        )
+        .expect("valid scenario")
+    }
+
+    #[test]
+    fn axis_grids_are_monotone_and_endpoint_exact() {
+        let grid = parse_axis("0..1x5").unwrap();
+        assert_eq!(grid.len(), 5);
+        assert_eq!(grid[0], 0.0);
+        assert_eq!(grid[4], 1.0);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        let sub = parse_axis("0.25..0.75x3").unwrap();
+        assert_eq!(sub, vec![0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn malformed_axes_are_rejected_with_reasons() {
+        for (axis, needle) in [
+            ("0..1", "malformed drift axis"),
+            ("5", "malformed drift axis"),
+            ("0..1xzero", "malformed drift axis"),
+            ("0..2x5", "must lie in [0, 1]"),
+            ("0.8..0.2x5", "must ascend"),
+            ("0..1x1", "at least 2 rungs"),
+            ("0..1x9999", "unreasonably many"),
+        ] {
+            let err = parse_axis(axis).unwrap_err();
+            assert!(err.contains(needle), "{axis}: {err}");
+        }
+    }
+
+    #[test]
+    fn rung_zero_is_the_anchor_repeated_and_rung_one_is_the_base() {
+        let base = base();
+        let calm = rung_scenario(&base, 0.0).unwrap();
+        let anchor = &base.workload.phases()[0];
+        for p in calm.workload.phases() {
+            assert_eq!(p.distribution, anchor.distribution);
+            assert_eq!(p.mix, anchor.mix);
+            assert_eq!(p.ops, anchor.ops);
+        }
+        // Names stay authored even on the homogenized rung.
+        assert_eq!(
+            calm.workload.phases().last().unwrap().name,
+            base.workload.phases().last().unwrap().name
+        );
+        let full = rung_scenario(&base, 1.0).unwrap();
+        assert_eq!(full.workload.phases(), base.workload.phases());
+        assert_eq!(full.workload.transitions(), base.workload.transitions());
+    }
+
+    #[test]
+    fn ladders_expand_each_alpha_once() {
+        let ladder = DriftLadder::build(&base(), "0..1x4").unwrap();
+        assert_eq!(ladder.alphas.len(), 4);
+        assert_eq!(ladder.rungs.len(), 4);
+        assert_eq!(ladder.axis, "0..1x4");
+    }
+
+    #[test]
+    fn out_of_range_alpha_is_rejected() {
+        let err = rung_scenario(&base(), 1.5).unwrap_err();
+        assert!(matches!(err, BenchError::InvalidScenario(_)));
+    }
+
+    #[test]
+    fn cross_shape_scenarios_cannot_form_a_ladder() {
+        let mixed = Scenario::two_phase_shift(
+            "mixed",
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipf { theta: 1.1 },
+            4_000,
+            500,
+            7,
+        )
+        .expect("valid scenario");
+        let err = rung_scenario(&mixed, 0.5).unwrap_err();
+        let BenchError::InvalidScenario(reason) = err else {
+            panic!("wrong error kind");
+        };
+        assert!(reason.contains("cannot form a drift ladder"), "{reason}");
+        assert!(reason.contains("cannot interpolate"), "{reason}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Rendering metric-vs-α sweep curves: aligned tables, sparklines, and
+//! the theory overlay.
+//!
+//! The JSON form of a sweep is the archived
+//! [`SweepArtifact`](crate::results::SweepArtifact) itself; this module
+//! only produces the human-readable figure. Layout: one block per
+//! metric, with a measured column and a `theory` column (the linear
+//! shift bound) per SUT, an ASCII sparkline pair per SUT, and one
+//! `flag:` line per rung that bows past the bound.
+
+use crate::sweep::curves::{bound_flags, linear_reference, SweepCurve, METRICS};
+
+/// Sparkline glyph for a value normalized to `[0, 1]`.
+fn glyph(frac: f64) -> char {
+    match (frac.clamp(0.0, 1.0) * 8.0) as usize {
+        0 => ' ',
+        1 => '▁',
+        2 => '▂',
+        3 => '▃',
+        4 => '▄',
+        5 => '▅',
+        6 => '▆',
+        7 => '▇',
+        _ => '█',
+    }
+}
+
+/// One glyph per rung, normalized over the combined range of the
+/// measured and reference series so the two sparklines are comparable.
+fn sparkline(series: &[f64], lo: f64, hi: f64) -> String {
+    let span = hi - lo;
+    series
+        .iter()
+        .map(|&v| {
+            if span > 0.0 {
+                glyph((v - lo) / span)
+            } else {
+                glyph(0.5)
+            }
+        })
+        .collect()
+}
+
+/// Renders the full sweep figure for one scenario's curves.
+pub fn render_sweep_report(scenario: &str, axis: &str, curves: &[SweepCurve]) -> String {
+    let mut out = String::new();
+    let rungs = curves.first().map(|c| c.points.len()).unwrap_or(0);
+    let suts: Vec<&str> = curves.iter().map(|c| c.sut.as_str()).collect();
+    out.push_str(&format!(
+        "Drift sweep — {scenario} (axis {axis}, {rungs} rungs, SUTs: {})\n",
+        suts.join(", ")
+    ));
+    out.push_str(
+        "  theory = linear shift bound between each metric's own α-endpoints\n  \
+         (distribution-learnability: a well-behaved learner degrades at most linearly in α)\n",
+    );
+    for (name, metric, higher_is_better) in METRICS {
+        let direction = if higher_is_better {
+            "higher is better"
+        } else {
+            "lower is better"
+        };
+        out.push_str(&format!("\n== {name} ({direction}) ==\n"));
+        out.push_str(&format!("{:>8}", "α"));
+        for curve in curves {
+            out.push_str(&format!("{:>12}{:>12}", curve.sut, "theory"));
+        }
+        out.push('\n');
+        let references: Vec<Vec<f64>> = curves
+            .iter()
+            .map(|c| linear_reference(&c.points, metric))
+            .collect();
+        for rung in 0..rungs {
+            let alpha = curves[0].points[rung].alpha;
+            out.push_str(&format!("{alpha:>8.3}"));
+            for (curve, reference) in curves.iter().zip(&references) {
+                out.push_str(&format!(
+                    "{:>12.4}{:>12.4}",
+                    metric(&curve.points[rung]),
+                    reference[rung]
+                ));
+            }
+            out.push('\n');
+        }
+        for (curve, reference) in curves.iter().zip(&references) {
+            let measured: Vec<f64> = curve.points.iter().map(metric).collect();
+            let lo = measured
+                .iter()
+                .chain(reference)
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let hi = measured
+                .iter()
+                .chain(reference)
+                .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            out.push_str(&format!(
+                "  {:<10} measured |{}|  bound |{}|\n",
+                curve.sut,
+                sparkline(&measured, lo, hi),
+                sparkline(reference, lo, hi),
+            ));
+        }
+    }
+    let mut flags: Vec<_> = curves.iter().flat_map(bound_flags).collect();
+    flags.sort_by(|a, b| {
+        a.alpha
+            .partial_cmp(&b.alpha)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.sut.cmp(&b.sut))
+            .then_with(|| a.metric.cmp(&b.metric))
+    });
+    out.push('\n');
+    if flags.is_empty() {
+        out.push_str("no rung degrades faster than the linear shift bound\n");
+    } else {
+        for f in &flags {
+            out.push_str(&format!(
+                "flag: {} α={:.3} {} {:.1}% past the linear bound\n",
+                f.sut,
+                f.alpha,
+                f.metric,
+                f.excess_frac * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::curves::SweepPoint;
+
+    fn curve(sut: &str, areas: &[f64]) -> SweepCurve {
+        SweepCurve {
+            sut: sut.to_string(),
+            points: areas
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| SweepPoint {
+                    alpha: i as f64 / (areas.len() - 1) as f64,
+                    adaptability_area: a,
+                    adjustment_speed: 0.1 * i as f64,
+                    sla_violation_rate: 0.05 * i as f64,
+                    specialization_spread: 1.0 + i as f64,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn report_renders_all_metrics_suts_and_overlays() {
+        let curves = vec![
+            curve("btree", &[0.0, -0.1, -0.2]),
+            curve("rmi", &[0.0, -0.8, -0.3]),
+        ];
+        let s = render_sweep_report("golden", "0..1x3", &curves);
+        assert!(s.contains("Drift sweep — golden (axis 0..1x3, 3 rungs, SUTs: btree, rmi)"));
+        for (name, _, _) in METRICS {
+            assert!(s.contains(name), "missing metric block: {name}");
+        }
+        assert!(s.contains("theory"));
+        assert!(s.contains("measured |"));
+        assert!(s.contains("bound |"));
+        // rmi bows far below its own linear reference at α=0.5.
+        assert!(s.contains("flag: rmi α=0.500 adaptability area"));
+        assert!(!s.contains("flag: btree"));
+    }
+
+    #[test]
+    fn linear_curves_report_no_flags() {
+        let curves = vec![curve("btree", &[0.0, -0.1, -0.2])];
+        let s = render_sweep_report("golden", "0..1x3", &curves);
+        assert!(s.contains("no rung degrades faster"));
+    }
+}

@@ -5,6 +5,7 @@
 //! lsbench run --scenario NAME|FILE --sut NAME [--mode M] [--threads N] [--clients N] [--faults P] [--trace]
 //! lsbench run --scenario NAME|FILE --remote HOST:PORT [--threads N] [--faults P]
 //! lsbench capacity --scenario NAME|FILE --sut NAME --sla p99:MS [--remote HOST:PORT]
+//! lsbench sweep --scenario NAME|FILE --sut A[,B,...] [--drift LO..HIxN] [--json]
 //! lsbench serve --sut NAME --port P [--host H]
 //! lsbench shift --sut NAME [--size N] [--ops N] [--threads N] [--trace]
 //! lsbench quality --dist NAME [--param X]
@@ -51,7 +52,8 @@ use lsbench::core::report::{render_adaptability, to_json, write_artifact};
 use lsbench::core::results::{
     compare, evaluate_regression, parse_regression_policy, render_comparison_report,
     render_regression, render_transport_header, write_bench_summary, CapacityArtifact,
-    CapacityManifest, ResultStore, RunArtifact, RunManifest, SuiteArtifact, Transport,
+    CapacityManifest, ResultStore, RunArtifact, RunManifest, SuiteArtifact, SweepArtifact,
+    SweepManifest, Transport,
 };
 use lsbench::core::runner::{ExecutionMode, RunOptions, RunOutcome, Runner};
 use lsbench::core::scenario::{ClockMode, ModePreference, Scenario};
@@ -60,6 +62,7 @@ use lsbench::core::suite::{
     render_comparison, run_scenarios_observed, standard_scenarios, SuiteConfig, SuiteResult,
 };
 use lsbench::core::sut_registry::SutRegistry;
+use lsbench::core::sweep::{render_sweep_report, sweep_curve, DriftLadder};
 use lsbench::core::trace::{
     export_csv, export_jsonl, fit_scenario, import_str, ImportedTrace, TraceFormat,
 };
@@ -123,6 +126,23 @@ USAGE:
       (default 1000 ops/s), --probes caps probe runs (default 12),
       --tolerance sets the relative bracket width to stop at (default
       0.05). With --remote every probe drives a `lsbench serve` server.
+
+  lsbench sweep --scenario NAME|FILE --sut A[,B,...] [--drift LO..HIxN]
+                [--mode M] [--clock C] [--threads N] [--clients N]
+                [--faults NAME|FILE] [--remote HOST:PORT]
+                [--store DIR] [--json]
+      Grade the scenario's drift by intensity: expand the --drift axis
+      (default 0..1x5) into an N-rung ladder — rung α replays every phase
+      pulled toward the first phase so that α=0 is a static control and
+      α=1 is the scenario as written — run every (SUT, α) cell, and print
+      per-SUT curves of adaptability area, adjustment speed, SLA
+      violation rate, and specialization spread against α, with the
+      linear distribution-shift bound as a theory overlay (rungs that
+      degrade faster are flagged). Multiple lanes: repeat --sut or pass a
+      comma list. The curves are archived as a schema-versioned sweep
+      artifact under the results store's sweep/ directory; --json prints
+      the artifact instead of the text report. The ladder requires every
+      phase to share the first phase's distribution shape.
 
   lsbench serve --sut NAME --port P [--host H]
       Host a registered SUT out-of-process: listen on H:P (default host
@@ -859,6 +879,7 @@ fn positional_args(args: &[String]) -> Vec<String> {
         "--clock",
         "--clients",
         "--sla",
+        "--drift",
         "--rate",
         "--probes",
         "--tolerance",
@@ -1039,6 +1060,132 @@ fn cmd_capacity(args: &[String]) -> ExitCode {
         .with_transport(transport);
     let artifact = CapacityArtifact::new(manifest, report);
     match store.save_capacity(&artifact) {
+        Ok(path) => {
+            println!("archived {} (digest {})", path.display(), artifact.digest);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("archive failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `lsbench sweep`: grade a scenario's drift by intensity — expand the
+/// `--drift lo..hixN` ladder, run every (SUT, α) cell through the normal
+/// runner, print the metric-vs-α curves with the linear shift-bound
+/// overlay, and archive the curves as a sweep artifact.
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let common = match CommonRunArgs::parse(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    // `--sut a --sut b` and `--sut a,b` both spell a multi-SUT sweep.
+    let suts: Vec<String> = common
+        .suts
+        .iter()
+        .flat_map(|s| s.split(','))
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if common.remote.is_none() && suts.is_empty() {
+        eprintln!("--sut NAME is required unless --remote HOST:PORT is given (see `lsbench list`)");
+        return ExitCode::from(2);
+    }
+    let store = match open_store(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let scenario = match common.resolve_scenario(args) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let axis = parse_flag(args, "--drift").unwrap_or_else(|| "0..1x5".to_string());
+    let ladder = match DriftLadder::build(&scenario, &axis) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    // With --remote the server picks the single SUT; locally each named
+    // SUT is one lane of the sweep.
+    let lanes: Vec<Option<String>> = if common.remote.is_some() {
+        vec![None]
+    } else {
+        suts.into_iter().map(Some).collect()
+    };
+    eprintln!(
+        "drift sweep: {} over {} ({} rungs x {} SUT lane(s)) ...",
+        scenario.name,
+        ladder.axis,
+        ladder.rungs.len(),
+        lanes.len()
+    );
+    let mut curves = Vec::with_capacity(lanes.len());
+    let mut curve_suts = Vec::with_capacity(lanes.len());
+    for lane in lanes {
+        let lane_common = CommonRunArgs {
+            scenario: common.scenario.clone(),
+            suts: lane.clone().into_iter().collect(),
+            remote: common.remote.clone(),
+            mode: common.mode,
+            clock: common.clock,
+            threads: common.threads,
+            clients: common.clients,
+            faults: common.faults.clone(),
+            obs: common.obs,
+        };
+        let mut lane_sut = lane.unwrap_or_default();
+        let mut records = Vec::with_capacity(ladder.rungs.len());
+        for (&alpha, rung) in ladder.alphas.iter().zip(&ladder.rungs) {
+            let opts = lane_common.run_options(rung);
+            let (outcome, sut_name, _) = match execute_scenario(&lane_common, rung, opts, true) {
+                Ok(v) => v,
+                Err(code) => return code,
+            };
+            eprintln!(
+                "  {sut_name} α={alpha:.3}: {} completed",
+                outcome.record.completed()
+            );
+            lane_sut = sut_name;
+            records.push(outcome.record);
+        }
+        let curve = match sweep_curve(&lane_sut, &ladder.alphas, &ladder.rungs, &records) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("sweep curve for {lane_sut} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        curve_suts.push(lane_sut);
+        curves.push(curve);
+    }
+    let transport = match &common.remote {
+        Some(endpoint) => Transport::Remote {
+            endpoint: endpoint.clone(),
+        },
+        None => Transport::Local,
+    };
+    let manifest = SweepManifest::for_sweep(&scenario, &curve_suts, &ladder.axis, &ladder.alphas)
+        .with_transport(transport)
+        .with_clock(common.clock_mode(&scenario));
+    let artifact = SweepArtifact::new(manifest, curves);
+    if has_flag(args, "--json") {
+        match artifact.to_json() {
+            Ok(json) => print!("{json}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!(
+            "{}",
+            render_sweep_report(&scenario.name, &ladder.axis, &artifact.curves)
+        );
+    }
+    match store.save_sweep(&artifact) {
         Ok(path) => {
             println!("archived {} (digest {})", path.display(), artifact.digest);
             ExitCode::SUCCESS
@@ -1722,6 +1869,7 @@ fn main() -> ExitCode {
         Some("suite") => cmd_suite(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("capacity") => cmd_capacity(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("shift") => cmd_shift(&args[1..]),
         Some("quality") => cmd_quality(&args[1..]),

@@ -74,6 +74,20 @@ const BAD_FIXTURES: &[(&str, &str, usize, &str, &str)] = &[
         "cannot interpolate",
     ),
     (
+        "drift_alpha_out_of_range",
+        include_str!("spec_fixtures/bad/drift_alpha_out_of_range.spec"),
+        11,
+        "drift",
+        "alpha must be in [0, 1]",
+    ),
+    (
+        "drift_cross_shape",
+        include_str!("spec_fixtures/bad/drift_cross_shape.spec"),
+        11,
+        "drift",
+        "cannot interpolate",
+    ),
+    (
         "clock_unknown",
         include_str!("spec_fixtures/bad/clock_unknown.spec"),
         12,
@@ -319,6 +333,61 @@ fn growing_skew_expansion_is_pinned() {
         .transitions()
         .iter()
         .all(|t| *t == TransitionKind::Gradual { window: 0.5 }));
+}
+
+#[test]
+fn drift_expansion_is_pinned() {
+    // α = 0.5 over zipf 0.5 → 1.3 stops halfway: the last step sits at
+    // theta 0.9, and interior steps ramp linearly toward it.
+    let s = spec_with_blocks(
+        "[[drift]]\nsteps = 5\nops_per_step = 10\nfrom = \"zipf\"\nfrom_theta = 0.5\n\
+         to = \"zipf\"\nto_theta = 1.3\nalpha = 0.5\nmix = \"ycsb-c\"\n",
+    );
+    let thetas: Vec<f64> = s
+        .workload
+        .phases()
+        .iter()
+        .map(|p| match p.distribution {
+            KeyDistribution::Zipf { theta } => theta,
+            ref other => panic!("expected zipf, got {other:?}"),
+        })
+        .collect();
+    for (got, want) in thetas.iter().zip([0.5, 0.6, 0.7, 0.8, 0.9]) {
+        assert!(close(*got, want), "{thetas:?}");
+    }
+    // α = 0 never leaves the base distribution, exactly.
+    let frozen = spec_with_blocks(
+        "[[drift]]\nsteps = 5\nops_per_step = 10\nfrom = \"zipf\"\nfrom_theta = 0.5\n\
+         to = \"zipf\"\nto_theta = 1.3\nalpha = 0.0\nmix = \"ycsb-c\"\n",
+    );
+    for p in frozen.workload.phases() {
+        assert_eq!(p.distribution, KeyDistribution::Zipf { theta: 0.5 });
+    }
+    // α = 1 is [[gradual_shift]] bit for bit (names aside — each block
+    // prefixes phases with its own default name).
+    let full = spec_with_blocks(
+        "[[drift]]\nname = \"x\"\nsteps = 5\nops_per_step = 10\nfrom = \"zipf\"\n\
+         from_theta = 0.5\nto = \"zipf\"\nto_theta = 1.3\nalpha = 1.0\nmix = \"ycsb-c\"\n",
+    );
+    let shift = spec_with_blocks(
+        "[[gradual_shift]]\nname = \"x\"\nsteps = 5\nops_per_step = 10\nfrom = \"zipf\"\n\
+         from_theta = 0.5\nto = \"zipf\"\nto_theta = 1.3\nmix = \"ycsb-c\"\n",
+    );
+    assert_eq!(full.workload.phases(), shift.workload.phases());
+    assert_eq!(full.workload.transitions(), shift.workload.transitions());
+}
+
+#[test]
+fn drift_spec_round_trips_through_render() {
+    // Composers expand at parse time and the renderer emits the expanded
+    // phases, so parse ∘ render = id holds for [[drift]] specs too.
+    let s = spec_with_blocks(
+        "[[drift]]\nsteps = 4\nops_per_step = 25\nfrom = \"zipf\"\nfrom_theta = 0.6\n\
+         to = \"zipf\"\nto_theta = 1.2\nalpha = 0.75\nsmooth = 0.5\nmix = \"ycsb-a\"\n",
+    );
+    let rendered = render_scenario(&s);
+    let reparsed = parse_scenario(&rendered).expect("rendered drift spec parses");
+    assert_eq!(s, reparsed);
 }
 
 // ---------------------------------------------------------------------------
@@ -618,5 +687,43 @@ proptest! {
     #[test]
     fn arbitrary_text_never_panics(text in "[ -~\n\"#=\\[\\]]{0,200}") {
         let _ = parse_scenario(&text);
+    }
+
+    /// `[[drift]]` blocks never panic the parser, across in-range and
+    /// out-of-range alphas, degenerate step counts, and cross-shape
+    /// endpoints; whenever such a spec parses, α stays in range and the
+    /// result validates.
+    #[test]
+    fn drift_blocks_never_panic(
+        steps in 0u64..8,
+        ops in 0u64..200,
+        alpha in prop_oneof![
+            -2.0f64..3.0,
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+        ],
+        from_theta in 0.01f64..2.0,
+        to_theta in 0.01f64..2.0,
+        cross_shape in any::<bool>(),
+    ) {
+        let from = if cross_shape {
+            "from = \"uniform\"".to_string()
+        } else {
+            format!("from = \"zipf\"\nfrom_theta = {from_theta}")
+        };
+        let text = format!(
+            "name = \"fuzz\"\nseed = 7\n\n[dataset]\ndistribution = \"uniform\"\n\
+             key_range = [0, 1000]\nsize = 100\nseed = 8\n\n[[drift]]\n\
+             steps = {steps}\nops_per_step = {ops}\n{from}\n\
+             to = \"zipf\"\nto_theta = {to_theta}\nalpha = {alpha}\nmix = \"ycsb-c\"\n"
+        );
+        match parse_scenario(&text) {
+            Ok(s) => {
+                prop_assert!((0.0..=1.0).contains(&alpha));
+                prop_assert!(s.validate().is_ok());
+            }
+            Err(e) => prop_assert!(!e.field.is_empty()),
+        }
     }
 }
